@@ -1,0 +1,206 @@
+//! CC's build-up phase: the same dynamic program as motivo's engine, but
+//! over pointer representatives and per-vertex hash tables, with 64-bit
+//! counts and no 0-rooting — the baseline configuration of Figs. 2–4.
+
+use crate::treelet::Arena;
+use motivo_graph::{Coloring, Graph};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Build metrics mirroring `motivo_core::BuildStats` for the comparisons.
+#[derive(Clone, Debug, Default)]
+pub struct CcStats {
+    /// Total wall-clock of the DP.
+    pub total: Duration,
+    /// Wall-clock spent inside check-and-merge pair iteration (Fig. 2).
+    pub merge_time: Duration,
+    /// Check-and-merge operations performed.
+    pub merge_ops: u64,
+    /// Approximate heap bytes of the tables plus representatives — the
+    /// memory-footprint side of the §5.1 size table (CC's footprint was
+    /// measured as JVM heap; we count hash-table entries at 128 bits/pair
+    /// plus overhead, as the paper describes).
+    pub table_bytes: usize,
+}
+
+/// The finished CC tables: `tables[h-1][v]` maps treelet id → 64-bit count.
+pub struct CcBuild {
+    /// Representative arena ("pointers").
+    pub arena: Arena,
+    /// Per-size, per-vertex hash tables.
+    pub tables: Vec<Vec<HashMap<u32, u64>>>,
+    /// Graphlet size.
+    pub k: u32,
+    /// Metrics.
+    pub stats: CcStats,
+}
+
+/// Runs CC's build-up phase (single-threaded; experiments compare against
+/// motivo configured with one thread, see EXPERIMENTS.md).
+pub fn cc_build(g: &Graph, coloring: &Coloring, k: u32) -> CcBuild {
+    assert!((2..=16).contains(&k));
+    let n = g.num_nodes() as usize;
+    let start = Instant::now();
+    let mut arena = Arena::new();
+    let mut tables: Vec<Vec<HashMap<u32, u64>>> = Vec::with_capacity(k as usize);
+    let mut merge_time = Duration::ZERO;
+    let mut merge_ops = 0u64;
+
+    // Level 1.
+    let mut level1: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+    for (v, map) in level1.iter_mut().enumerate() {
+        let id = arena.singleton(coloring.color(v as u32));
+        map.insert(id, 1);
+    }
+    tables.push(level1);
+
+    for h in 2..=k {
+        let mut level: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        for v in 0..n as u32 {
+            let mut acc: HashMap<u32, u64> = HashMap::new();
+            let m_start = Instant::now();
+            for &u in g.neighbors(v) {
+                for h1 in 1..h {
+                    let h2 = h - h1;
+                    // Hash-table iteration with pointer dereferencing on
+                    // every pair — CC's hot loop.
+                    let vt: Vec<(u32, u64)> = tables[h1 as usize - 1][v as usize]
+                        .iter()
+                        .map(|(&id, &c)| (id, c))
+                        .collect();
+                    for (id1, c1) in vt {
+                        let ut: Vec<(u32, u64)> = tables[h2 as usize - 1][u as usize]
+                            .iter()
+                            .map(|(&id, &c)| (id, c))
+                            .collect();
+                        for (id2, c2) in ut {
+                            merge_ops += 1;
+                            if let Some(merged) = arena.check_and_merge(id1, id2, k) {
+                                // 64-bit counts, wrapping like CC's
+                                // overflow behaviour.
+                                *acc.entry(merged).or_insert(0) =
+                                    acc.get(&merged).copied().unwrap_or(0).wrapping_add(
+                                        c1.wrapping_mul(c2),
+                                    );
+                            }
+                        }
+                    }
+                }
+            }
+            merge_time += m_start.elapsed();
+            // Divide by β (Eq. 1).
+            for (&id, count) in acc.iter_mut() {
+                let beta = arena.get(id).tree.beta();
+                debug_assert_eq!(*count % beta, 0);
+                *count /= beta;
+            }
+            acc.retain(|_, c| *c > 0);
+            level[v as usize] = acc;
+        }
+        tables.push(level);
+    }
+
+    // 128 bits per pair (64-bit pointer key + 64-bit count) plus hash
+    // overhead, as §3.1 accounts for CC.
+    let pairs: usize = tables.iter().flatten().map(HashMap::len).sum();
+    let table_bytes = pairs * 16 * 2 + arena.byte_size();
+    CcBuild {
+        arena,
+        tables,
+        k,
+        stats: CcStats { total: start.elapsed(), merge_time, merge_ops, table_bytes },
+    }
+}
+
+impl CcBuild {
+    /// Total rooted colorful k-treelet count at `v` (no 0-rooting: every
+    /// copy appears at each of its k rootings).
+    pub fn occ(&self, v: u32) -> u64 {
+        self.tables[self.k as usize - 1][v as usize].values().sum()
+    }
+
+    /// Sum of `occ(v)` over all vertices (`k ×` the number of copies).
+    pub fn total_rooted(&self) -> u64 {
+        (0..self.tables[0].len() as u32).map(|v| self.occ(v)).sum()
+    }
+
+    /// Count-table pairs stored.
+    pub fn num_pairs(&self) -> usize {
+        self.tables.iter().flatten().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_core::build::{build_table, BuildConfig};
+    use motivo_graph::generators;
+    use motivo_table::storage::StorageKind;
+
+    /// The CC port and motivo's engine must produce identical tables when
+    /// motivo's optimizations are disabled (no 0-rooting) — strong mutual
+    /// validation of two independent implementations.
+    fn assert_equivalent(g: &Graph, k: u32, seed: u64) {
+        let coloring = Coloring::uniform(g, k, seed);
+        let cc = cc_build(g, &coloring, k);
+        let cfg = BuildConfig {
+            zero_rooting: false,
+            threads: 1,
+            storage: StorageKind::Memory,
+            ..BuildConfig::new(k)
+        };
+        let (mt, _) = build_table(g, &coloring, &cfg).unwrap();
+        for v in 0..g.num_nodes() {
+            for h in 1..=k {
+                let mut cc_pairs: Vec<(u64, u128)> = cc.tables[h as usize - 1][v as usize]
+                    .iter()
+                    .map(|(&id, &c)| (cc.arena.to_succinct(id).code(), c as u128))
+                    .collect();
+                cc_pairs.sort_unstable();
+                let mt_pairs: Vec<(u64, u128)> =
+                    mt.get(h, v).iter().map(|(ct, c)| (ct.code(), c)).collect();
+                assert_eq!(cc_pairs, mt_pairs, "vertex {v} size {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_on_cliques_and_paths() {
+        assert_equivalent(&generators::complete_graph(6), 4, 0);
+        assert_equivalent(&generators::path_graph(10), 3, 1);
+        assert_equivalent(&generators::cycle_graph(9), 4, 2);
+    }
+
+    #[test]
+    fn equivalent_on_random_graphs() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi(40, 100, seed);
+            assert_equivalent(&g, 4, seed);
+        }
+        assert_equivalent(&generators::barabasi_albert(60, 3, 7), 5, 3);
+    }
+
+    #[test]
+    fn stats_populated() {
+        // A rainbow-guaranteed coloring avoids the (quite likely on 7
+        // vertices) event that a uniform coloring misses a color entirely.
+        let g = generators::complete_graph(8);
+        let coloring = Coloring::fixed(vec![0, 1, 2, 3, 0, 1, 2, 3], 4);
+        let cc = cc_build(&g, &coloring, 4);
+        assert!(cc.stats.merge_ops > 0);
+        assert!(cc.stats.table_bytes > 0);
+        assert!(cc.num_pairs() > 0);
+        assert!(cc.total_rooted() > 0);
+    }
+
+    #[test]
+    fn no_zero_rooting_means_k_rootings() {
+        // On K4 with a rainbow coloring: 16 spanning trees of K4, each a
+        // colorful 4-treelet; rooted at each of the 4 vertices → 64 rooted
+        // counts.
+        let g = generators::complete_graph(4);
+        let coloring = Coloring::fixed(vec![0, 1, 2, 3], 4);
+        let cc = cc_build(&g, &coloring, 4);
+        assert_eq!(cc.total_rooted(), 64);
+    }
+}

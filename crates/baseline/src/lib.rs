@@ -1,0 +1,28 @@
+//! `cc-baseline` — a faithful Rust port of the internals of **CC**, the
+//! color-coding counter of Bressan et al. (WSDM'17 / TKDD'18) that Motivo
+//! §3.1 describes and measures against:
+//!
+//! * every colored treelet has a **unique representative instance**, a
+//!   pointer-based tree structure plus a color set; the "pointer" (here an
+//!   arena id) is its identifier;
+//! * per-vertex counts live in **hash tables keyed by that pointer**, so
+//!   every check-and-merge dereferences representatives and recurses over
+//!   heap nodes;
+//! * counts are **64-bit** (the overflow-prone choice the paper calls out);
+//! * no 0-rooting: size-k treelets are counted at *every* rooting;
+//! * sampling selects treelets by iterating the hash table (no cumulative
+//!   records, no alias per shape, no neighbor buffering).
+//!
+//! This is the "original" series in Figs. 2–4 and the CC column of the
+//! §5.1 tables. It intentionally allocates and recurses where motivo does
+//! bit arithmetic — that contrast *is* the experiment. The port is
+//! validated against motivo's engine record-for-record (with motivo's
+//! optimizations disabled) in this crate's tests.
+
+pub mod build;
+pub mod sample;
+pub mod treelet;
+
+pub use build::{cc_build, CcBuild, CcStats};
+pub use sample::CcSampler;
+pub use treelet::{Arena, CcTreelet, TreeNode};

@@ -1,0 +1,255 @@
+//! CC's sampling phase: the same multi-stage sampling as §2.2, implemented
+//! the way CC stores its state — hash-table iteration to select treelets,
+//! recursive representative comparisons during embedding, no cumulative
+//! records, no per-shape alias tables, no neighbor buffering.
+
+use crate::build::CcBuild;
+use crate::treelet::TreeNode;
+use motivo_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Draws colorful treelet copies from CC's tables.
+pub struct CcSampler<'a> {
+    build: &'a CcBuild,
+    g: &'a Graph,
+    /// Cumulative rooted totals per vertex for the root draw (binary
+    /// search; CC has no alias table here).
+    root_cum: Vec<u64>,
+    total: u64,
+    rng: SmallRng,
+}
+
+impl<'a> CcSampler<'a> {
+    /// Prepares a sampler (O(n) cumulative scan).
+    pub fn new(build: &'a CcBuild, g: &'a Graph, seed: u64) -> CcSampler<'a> {
+        let mut root_cum = Vec::with_capacity(g.num_nodes() as usize);
+        let mut acc = 0u64;
+        for v in 0..g.num_nodes() {
+            acc += build.occ(v);
+            root_cum.push(acc);
+        }
+        assert!(acc > 0, "empty urn");
+        CcSampler { build, g, root_cum, total: acc, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Total rooted colorful k-treelets (k × the copy count).
+    pub fn total_rooted(&self) -> u64 {
+        self.total
+    }
+
+    /// Draws one colorful k-treelet copy uniformly at random; returns its
+    /// vertex set.
+    pub fn sample_copy(&mut self) -> Vec<u32> {
+        // Root: binary search in the cumulative array.
+        let r = self.rng.gen_range(1..=self.total);
+        let v = self.root_cum.partition_point(|&c| c < r) as u32;
+        // Treelet: linear hash-table iteration, as CC must.
+        let table = &self.build.tables[self.build.k as usize - 1][v as usize];
+        let occ: u64 = self.build.occ(v);
+        let mut r2 = self.rng.gen_range(1..=occ);
+        let mut chosen = None;
+        for (&id, &c) in table {
+            if r2 <= c {
+                chosen = Some(id);
+                break;
+            }
+            r2 -= c;
+        }
+        let id = chosen.expect("r2 within occ");
+        let mut out = Vec::with_capacity(self.build.k as usize);
+        self.embed(v, id, &mut out);
+        debug_assert_eq!(out.len(), self.build.k as usize);
+        out
+    }
+
+    fn embed(&mut self, v: u32, id: u32, out: &mut Vec<u32>) {
+        if self.build.arena.size(id) == 1 {
+            out.push(v);
+            return;
+        }
+        let (rest_shape, first_shape) = self
+            .build
+            .arena
+            .decomp_shape(id)
+            .expect("non-singleton decomposes");
+        let colors = self.build.arena.get(id).colors;
+        let h1 = rest_shape.size();
+        let h2 = first_shape.size();
+
+        // Sweep 1: totals per C'' over neighbors (recursive shape compares
+        // on every entry — the cost motivo's sorted records avoid).
+        let mut second_totals: HashMap<u16, u64> = HashMap::new();
+        for &u in self.g.neighbors(v) {
+            for (&id2, &c2) in &self.build.tables[h2 as usize - 1][u as usize] {
+                let t2 = self.build.arena.get(id2);
+                if t2.colors & !colors == 0 && shape_eq(&t2.tree, &first_shape) {
+                    *second_totals.entry(t2.colors).or_insert(0) += c2;
+                }
+            }
+        }
+        // Candidates (C', id1) from v's table.
+        let mut cands: Vec<(u32, u16, u64)> = Vec::new();
+        let mut total = 0u64;
+        for (&id1, &c1) in &self.build.tables[h1 as usize - 1][v as usize] {
+            let t1 = self.build.arena.get(id1);
+            if t1.colors & !colors != 0 || !shape_eq(&t1.tree, &rest_shape) {
+                continue;
+            }
+            let c_second = colors & !t1.colors;
+            if let Some(&su) = second_totals.get(&c_second) {
+                if su > 0 {
+                    let w = c1 * su;
+                    total += w;
+                    cands.push((id1, c_second, w));
+                }
+            }
+        }
+        assert!(total > 0, "consistency: positive counts have a split");
+        let mut r = self.rng.gen_range(1..=total);
+        let &(id1, c_second, _) = cands
+            .iter()
+            .find(|&&(_, _, w)| {
+                if r <= w {
+                    true
+                } else {
+                    r -= w;
+                    false
+                }
+            })
+            .expect("r within total");
+
+        // Sweep 2: pick u (and its entry) by prefix sums over c''-matching
+        // entries.
+        let su = second_totals[&c_second];
+        let mut r2 = self.rng.gen_range(1..=su);
+        let mut chosen: Option<(u32, u32)> = None;
+        'outer: for &u in self.g.neighbors(v) {
+            for (&id2, &c2) in &self.build.tables[h2 as usize - 1][u as usize] {
+                let t2 = self.build.arena.get(id2);
+                if t2.colors == c_second && shape_eq(&t2.tree, &first_shape) {
+                    if r2 <= c2 {
+                        chosen = Some((u, id2));
+                        break 'outer;
+                    }
+                    r2 -= c2;
+                }
+            }
+        }
+        let (u, id2) = chosen.expect("r2 within su");
+        self.embed(v, id1, out);
+        self.embed(u, id2, out);
+    }
+}
+
+fn shape_eq(a: &TreeNode, b: &TreeNode) -> bool {
+    a.cmp_euler(b) == std::cmp::Ordering::Equal
+}
+
+/// CC's count estimator: with `S` samples of which `χ_i` hit graphlet `i`
+/// (σ_i spanning trees), total rooted treelets `t_rooted`, and colorful
+/// probability `p_k`: `ĝ_i = (χ_i/S) · t_rooted/(k σ_i) / p_k`.
+pub fn cc_estimate(
+    occurrences: u64,
+    samples: u64,
+    t_rooted: u64,
+    k: u32,
+    sigma: u128,
+    p_k: f64,
+) -> f64 {
+    occurrences as f64 / samples as f64 * t_rooted as f64 / (k as f64 * sigma as f64) / p_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::cc_build;
+    use motivo_graph::{generators, Coloring};
+
+    #[test]
+    fn samples_are_valid() {
+        let g = generators::complete_graph(6);
+        let coloring = Coloring::uniform(&g, 4, 3);
+        let cc = cc_build(&g, &coloring, 4);
+        let mut s = CcSampler::new(&cc, &g, 9);
+        for _ in 0..100 {
+            let verts = s.sample_copy();
+            assert_eq!(verts.len(), 4);
+            let mut sorted = verts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "vertices must be distinct");
+        }
+    }
+
+    #[test]
+    fn estimator_recovers_triangles_on_k5() {
+        // Average over colorings; every sample is a triangle on K5 at k=3.
+        let g = generators::complete_graph(5);
+        let mut acc = 0.0;
+        let runs = 100;
+        let mut ok_runs = 0;
+        for seed in 0..runs {
+            let coloring = Coloring::uniform(&g, 3, seed);
+            let cc = cc_build(&g, &coloring, 3);
+            if cc.total_rooted() == 0 {
+                ok_runs += 1; // zero estimate, still unbiased
+                continue;
+            }
+            let s = CcSampler::new(&cc, &g, seed + 7);
+            // Single class: χ/S = 1 exactly.
+            acc += cc_estimate(100, 100, s.total_rooted(), 3, 3, coloring.p_colorful());
+            ok_runs += 1;
+        }
+        let avg = acc / ok_runs as f64;
+        assert!((avg - 10.0).abs() < 1.5, "CC triangle estimate {avg}, want 10");
+    }
+
+    #[test]
+    fn distribution_matches_motivo_sampler() {
+        // Tally sampled vertex sets from both implementations on the same
+        // coloring; the empirical distributions must agree.
+        let g = generators::erdos_renyi(30, 70, 3);
+        let coloring = Coloring::uniform(&g, 3, 5);
+        let cc = cc_build(&g, &coloring, 3);
+        let mut cs = CcSampler::new(&cc, &g, 1);
+
+        let cfg = motivo_core::BuildConfig {
+            threads: 1,
+            zero_rooting: true,
+            coloring: motivo_core::ColoringSpec::Fixed(
+                (0..g.num_nodes()).map(|v| coloring.color(v)).collect(),
+            ),
+            ..motivo_core::BuildConfig::new(3)
+        };
+        let urn = motivo_core::build_urn(&g, &cfg).unwrap();
+        let mut ms = motivo_core::Sampler::new(&urn, motivo_core::SampleConfig::seeded(2));
+
+        let trials = 40_000;
+        let mut tally_cc: HashMap<Vec<u32>, u64> = HashMap::new();
+        let mut tally_mt: HashMap<Vec<u32>, u64> = HashMap::new();
+        for _ in 0..trials {
+            let mut a = cs.sample_copy();
+            a.sort_unstable();
+            *tally_cc.entry(a).or_insert(0) += 1;
+            let mut b = ms.sample_copy();
+            b.sort_unstable();
+            *tally_mt.entry(b).or_insert(0) += 1;
+        }
+        // Same support…
+        let mut keys: Vec<&Vec<u32>> = tally_cc.keys().collect();
+        keys.extend(tally_mt.keys());
+        keys.sort();
+        keys.dedup();
+        // …and similar masses.
+        for key in keys {
+            let fa = tally_cc.get(key).copied().unwrap_or(0) as f64 / trials as f64;
+            let fb = tally_mt.get(key).copied().unwrap_or(0) as f64 / trials as f64;
+            assert!(
+                (fa - fb).abs() < 0.02,
+                "copy {key:?}: CC {fa:.4} vs motivo {fb:.4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! CC's pointer-based treelet representatives (§3.1, "The internals of CC").
+
+use motivo_treelet::{ColorSet, ColoredTreelet, Treelet};
+use std::collections::HashMap;
+
+/// A heap-allocated rooted tree; children are kept sorted ascending in the
+/// treelet order (compared through their DFS strings, recursively
+/// materialized — the expensive part CC pays on every comparison).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TreeNode {
+    /// Child subtrees in canonical (ascending) order.
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    /// A single node.
+    pub fn leaf() -> TreeNode {
+        TreeNode { children: Vec::new() }
+    }
+
+    /// Number of nodes (recursive walk — no O(1) popcount here).
+    pub fn size(&self) -> u32 {
+        1 + self.children.iter().map(TreeNode::size).sum::<u32>()
+    }
+
+    /// The DFS (Euler) bitstring, materialized as bytes; this is what CC
+    /// effectively recomputes when it orders or compares representatives.
+    pub fn euler(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.fill_euler(&mut out);
+        out
+    }
+
+    fn fill_euler(&self, out: &mut Vec<u8>) {
+        for c in &self.children {
+            out.push(1);
+            c.fill_euler(out);
+            out.push(0);
+        }
+    }
+
+    /// Treelet-order comparison via materialized strings.
+    pub fn cmp_euler(&self, other: &TreeNode) -> std::cmp::Ordering {
+        // Zero-padded lexicographic comparison = the succinct integer order.
+        let (a, b) = (self.euler(), other.euler());
+        let n = a.len().max(b.len());
+        for i in 0..n {
+            let x = a.get(i).copied().unwrap_or(0);
+            let y = b.get(i).copied().unwrap_or(0);
+            match x.cmp(&y) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// `β_T`: leading children isomorphic to the first.
+    pub fn beta(&self) -> u64 {
+        let first = match self.children.first() {
+            Some(f) => f,
+            None => return 1,
+        };
+        let mut b = 0;
+        for c in &self.children {
+            if c.cmp_euler(first) == std::cmp::Ordering::Equal {
+                b += 1;
+            } else {
+                break;
+            }
+        }
+        b
+    }
+}
+
+/// A colored treelet representative: tree structure plus color set.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CcTreelet {
+    /// The pointer-based shape.
+    pub tree: TreeNode,
+    /// The color set (characteristic vector, as CC stores alongside).
+    pub colors: u16,
+}
+
+/// Interning arena: every distinct colored treelet gets one representative
+/// instance; ids play the role of CC's pointers.
+#[derive(Default)]
+pub struct Arena {
+    items: Vec<CcTreelet>,
+    intern: HashMap<(Vec<u8>, u16), u32>,
+}
+
+impl Arena {
+    /// An empty arena.
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Number of distinct representatives.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The representative behind an id.
+    pub fn get(&self, id: u32) -> &CcTreelet {
+        &self.items[id as usize]
+    }
+
+    /// Number of nodes of a representative.
+    pub fn size(&self, id: u32) -> u32 {
+        self.get(id).tree.size()
+    }
+
+    /// Interns (or finds) the singleton of one color.
+    pub fn singleton(&mut self, color: u8) -> u32 {
+        self.intern_treelet(CcTreelet { tree: TreeNode::leaf(), colors: 1 << color })
+    }
+
+    fn intern_treelet(&mut self, t: CcTreelet) -> u32 {
+        let key = (t.tree.euler(), t.colors);
+        if let Some(&id) = self.intern.get(&key) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.intern.insert(key, id);
+        self.items.push(t);
+        id
+    }
+
+    /// CC's check-and-merge: try to extend `t1` (the `T'` rooted at `v`)
+    /// with `t2` (the `T''` at a neighbor) into a treelet on at most
+    /// `max_k` nodes whose unique decomposition is `(t1, t2)`. Recursive
+    /// pointer-chasing on the representative structures; returns the merged
+    /// id on success.
+    pub fn check_and_merge(&mut self, t1: u32, t2: u32, max_k: u32) -> Option<u32> {
+        let a = self.get(t1);
+        let b = self.get(t2);
+        // Color check.
+        if a.colors & b.colors != 0 {
+            return None;
+        }
+        // Size check.
+        if a.tree.size() + b.tree.size() > max_k {
+            return None;
+        }
+        // Canonicality: T'' must come no later than T''s future sibling,
+        // the first child of T'.
+        if let Some(first) = a.tree.children.first() {
+            if b.tree.cmp_euler(first) == std::cmp::Ordering::Greater {
+                return None;
+            }
+        }
+        let mut merged = a.tree.clone();
+        merged.children.insert(0, b.tree.clone());
+        let colors = a.colors | b.colors;
+        Some(self.intern_treelet(CcTreelet { tree: merged, colors }))
+    }
+
+    /// Unique decomposition of a non-singleton shape: `(T', T'')` with
+    /// `T''` the first child. Colors are *not* split here (the split is a
+    /// sampling-time choice); both halves are returned as bare shapes with
+    /// empty color sets interned on demand by the sampler.
+    pub fn decomp_shape(&self, id: u32) -> Option<(TreeNode, TreeNode)> {
+        let t = &self.get(id).tree;
+        let first = t.children.first()?.clone();
+        let mut rest = t.clone();
+        rest.children.remove(0);
+        Some((rest, first))
+    }
+
+    /// Converts a representative to motivo's succinct encoding — used only
+    /// by the cross-validation tests, never by CC's own hot path.
+    pub fn to_succinct(&self, id: u32) -> ColoredTreelet {
+        let t = self.get(id);
+        ColoredTreelet::new(tree_to_succinct(&t.tree), ColorSet(t.colors))
+    }
+
+    /// Approximate heap bytes held by representatives and the intern map —
+    /// the table-size accounting of the §5.1 comparison.
+    pub fn byte_size(&self) -> usize {
+        self.items.iter().map(|t| tree_bytes(&t.tree) + 2).sum::<usize>()
+            + self.intern.len() * (std::mem::size_of::<(Vec<u8>, u16)>() + 8)
+    }
+}
+
+fn tree_bytes(t: &TreeNode) -> usize {
+    std::mem::size_of::<TreeNode>() + t.children.iter().map(tree_bytes).sum::<usize>()
+}
+
+fn tree_to_succinct(t: &TreeNode) -> Treelet {
+    // Children are sorted ascending; merge wants largest first.
+    let mut acc = Treelet::SINGLETON;
+    for c in t.children.iter().rev() {
+        let ct = tree_to_succinct(c);
+        acc = acc.merge(ct).expect("sorted children are canonical");
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_merge() {
+        let mut a = Arena::new();
+        let s0 = a.singleton(0);
+        let s1 = a.singleton(1);
+        let s0_again = a.singleton(0);
+        assert_eq!(s0, s0_again);
+        let edge = a.check_and_merge(s0, s1, 4).unwrap();
+        assert_eq!(a.size(edge), 2);
+        // Color clash rejected.
+        assert!(a.check_and_merge(s0, s0, 4).is_none());
+    }
+
+    #[test]
+    fn canonicality_enforced_like_succinct() {
+        let mut a = Arena::new();
+        let s0 = a.singleton(0);
+        let s1 = a.singleton(1);
+        let s2 = a.singleton(2);
+        let edge01 = a.check_and_merge(s0, s1, 4).unwrap();
+        let edge12 = a.check_and_merge(s1, s2, 4).unwrap();
+        // Attaching a chain as first child of an edge-rooted tree is not
+        // canonical (chain > leaf), exactly like the succinct encoding.
+        assert!(a.check_and_merge(edge01, edge12, 4).is_none());
+        // But leaf onto chain works.
+        let s3 = a.singleton(3);
+        let p3 = a.check_and_merge(s3, edge01, 4).unwrap();
+        assert_eq!(a.size(p3), 3);
+    }
+
+    #[test]
+    fn succinct_conversion_matches() {
+        let mut a = Arena::new();
+        let s0 = a.singleton(0);
+        let s1 = a.singleton(1);
+        let s2 = a.singleton(2);
+        let edge = a.check_and_merge(s0, s1, 4).unwrap();
+        let star3 = a.check_and_merge(edge, s2, 4).unwrap();
+        let ct = a.to_succinct(star3);
+        assert_eq!(ct.tree(), motivo_treelet::star_treelet(3));
+        assert_eq!(ct.colors().0, 0b0111);
+    }
+
+    #[test]
+    fn beta_matches_succinct() {
+        let mut a = Arena::new();
+        let ids: Vec<u32> = (0..4).map(|c| a.singleton(c)).collect();
+        let mut star = ids[0];
+        for &leaf in &ids[1..] {
+            star = a.check_and_merge(star, leaf, 5).unwrap();
+        }
+        assert_eq!(a.get(star).tree.beta(), 3);
+        assert_eq!(a.to_succinct(star).tree().beta(), 3);
+    }
+
+    #[test]
+    fn euler_order_is_zero_padded() {
+        // leaf < edge-subtree, and prefix handling matches integer order.
+        let leaf = TreeNode::leaf();
+        let chain = TreeNode { children: vec![TreeNode::leaf()] };
+        assert_eq!(leaf.cmp_euler(&chain), std::cmp::Ordering::Less);
+        assert_eq!(chain.cmp_euler(&chain), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmark of the build-up phase (Figs. 3/4/7 time series):
+//! motivo vs the CC port, plus the 0-rooting ablation.
+//!
+//! ```sh
+//! cargo bench -p motivo-bench --bench build
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motivo_core::{build_urn, BuildConfig};
+use motivo_graph::{generators, Coloring};
+
+fn bench_build(c: &mut Criterion) {
+    let g = generators::barabasi_albert(1_000, 3, 1);
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for k in [4u32, 5] {
+        group.bench_with_input(BenchmarkId::new("motivo", k), &k, |b, &k| {
+            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(3);
+            b.iter(|| build_urn(&g, &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("motivo-no-0root", k), &k, |b, &k| {
+            let cfg =
+                BuildConfig { threads: 1, zero_rooting: false, ..BuildConfig::new(k) }.seed(3);
+            b.iter(|| build_urn(&g, &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cc-port", k), &k, |b, &k| {
+            let coloring = Coloring::uniform(&g, k, 3);
+            b.iter(|| cc_baseline::cc_build(&g, &coloring, k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_parallel(c: &mut Criterion) {
+    let g = generators::barabasi_albert(4_000, 4, 2);
+    let k = 5;
+    let mut group = c.benchmark_group("build-parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let cfg = BuildConfig { threads: t, ..BuildConfig::new(k) }.seed(3);
+            b.iter(|| build_urn(&g, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_build_parallel);
+criterion_main!(benches);

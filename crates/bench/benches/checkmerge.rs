@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark behind Fig. 2: one check-and-merge replay per
+//! suite graph, succinct vs pointer representatives.
+//!
+//! ```sh
+//! cargo bench -p motivo-bench --bench checkmerge
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motivo_bench::checkmerge::{cc_checkmerge, succinct_checkmerge};
+use motivo_graph::{generators, Coloring};
+
+fn bench_checkmerge(c: &mut Criterion) {
+    let graphs = vec![
+        ("ba-small", generators::barabasi_albert(400, 3, 1)),
+        ("er-small", generators::erdos_renyi(500, 1500, 2)),
+    ];
+    let k = 4;
+    let mut group = c.benchmark_group("checkmerge");
+    group.sample_size(10);
+    for (name, g) in &graphs {
+        let coloring = Coloring::uniform(g, k, 7);
+        group.bench_with_input(BenchmarkId::new("succinct", name), g, |b, g| {
+            b.iter(|| succinct_checkmerge(g, &coloring, k))
+        });
+        group.bench_with_input(BenchmarkId::new("pointer", name), g, |b, g| {
+            b.iter(|| cc_checkmerge(g, &coloring, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkmerge);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark of the sampling phase (T4/Fig. 5 series): motivo's
+//! sampler (buffered and not) vs the CC port's sampler.
+//!
+//! ```sh
+//! cargo bench -p motivo-bench --bench sampling
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motivo_core::{build_urn, BuildConfig, SampleConfig, Sampler};
+use motivo_graph::{generators, Coloring};
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = generators::star_heavy(2_000, 3, 0.5, 3);
+    let k = 4;
+    let seed = 7;
+    let urn = build_urn(&g, &BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(seed))
+        .expect("build");
+    let coloring = Coloring::uniform(&g, k, seed);
+    let cc = cc_baseline::cc_build(&g, &coloring, k);
+
+    let mut group = c.benchmark_group("sampling");
+    group.bench_function(BenchmarkId::new("motivo", "buffered"), |b| {
+        let sc = SampleConfig { buffer_threshold: 512, ..SampleConfig::seeded(1) };
+        let mut s = Sampler::new(&urn, sc);
+        b.iter(|| s.sample_copy())
+    });
+    group.bench_function(BenchmarkId::new("motivo", "unbuffered"), |b| {
+        let sc = SampleConfig { buffering: false, ..SampleConfig::seeded(1) };
+        let mut s = Sampler::new(&urn, sc);
+        b.iter(|| s.sample_copy())
+    });
+    group.bench_function(BenchmarkId::new("cc-port", "plain"), |b| {
+        let mut s = cc_baseline::CcSampler::new(&cc, &g, 1);
+        b.iter(|| s.sample_copy())
+    });
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    // The per-sample classification path: induce + canonicalize (cached).
+    let g = generators::barabasi_albert(2_000, 4, 5);
+    let k = 5;
+    let urn = build_urn(&g, &BuildConfig::new(k).seed(2)).expect("build");
+    let mut group = c.benchmark_group("classification");
+    group.bench_function("sample+classify", |b| {
+        let mut s = Sampler::new(&urn, SampleConfig::seeded(4));
+        let mut cache = motivo_graphlet::CanonicalCache::new();
+        b.iter(|| {
+            let verts = s.sample_copy();
+            let raw = motivo_graphlet::Graphlet::from_rows(&g.induced_rows(&verts));
+            cache.canonical_code(&raw)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_classification);
+criterion_main!(benches);

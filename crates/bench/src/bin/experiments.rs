@@ -1,0 +1,587 @@
+//! Regenerates every table and figure of Motivo's §5 on the synthetic
+//! suite (see DESIGN.md for the experiment index, EXPERIMENTS.md for
+//! paper-vs-measured).
+//!
+//! ```sh
+//! cargo run --release -p motivo-bench --bin experiments -- all
+//! cargo run --release -p motivo-bench --bin experiments -- t2 f8 --quick
+//! cargo run --release -p motivo-bench --bin experiments -- f7 --scale 2
+//! ```
+
+use cc_baseline::{cc_build, CcSampler};
+use motivo_bench::checkmerge::{cc_checkmerge, succinct_checkmerge};
+use motivo_bench::ground::ground_truth;
+use motivo_bench::runs::{ags_run, errors_vs_truth, l1, naive_run};
+use motivo_bench::{accuracy_suite, print_table, secs, Ctx};
+use motivo_core::stats::{histogram, text_histogram};
+use motivo_core::{build_urn, BuildConfig, SampleConfig, Sampler};
+use motivo_graph::generators::{self, SuiteGraph};
+use motivo_graph::Coloring;
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = Ctx::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                ctx.scale = it.next().and_then(|s| s.parse().ok()).expect("--scale N");
+            }
+            "--quick" => ctx.quick = true,
+            "--threads" => {
+                ctx.threads = it.next().and_then(|s| s.parse().ok()).expect("--threads N");
+            }
+            "--out" => {
+                ctx.out_dir = it.next().expect("--out DIR").into();
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments <ids...|all> [--scale N] [--quick] [--threads N] [--out DIR]\n\
+             ids: t1 t2 t3 t4 f2 f3 f4 f5 f6 f7 f8 f9 f10 l1"
+        );
+        std::process::exit(2);
+    }
+    let all = ["t1", "t2", "t3", "t4", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "l1"];
+    let run: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        all.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+    let started = Instant::now();
+    for id in run {
+        match id {
+            "t1" => t1(&ctx),
+            "t2" | "t3" | "f3" => t2_t3_f3(&ctx, id),
+            "t4" => t4(&ctx),
+            "f2" => f2(&ctx),
+            "f4" => f4(&ctx),
+            "f5" => f5(&ctx),
+            "f6" => f6(&ctx),
+            "f7" => f7(&ctx),
+            "f8" | "f9" | "f10" | "l1" => accuracy_experiments(&ctx, id),
+            other => eprintln!("unknown experiment id: {other}"),
+        }
+    }
+    println!("\nall requested experiments done in {:?}", started.elapsed());
+}
+
+/// Table 1: the dataset suite standing in for the paper's graphs.
+fn t1(ctx: &Ctx) {
+    let suite = generators::suite(ctx.scale);
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.graph.num_nodes().to_string(),
+                s.graph.num_edges().to_string(),
+                s.graph.max_degree().to_string(),
+                s.max_k.to_string(),
+            ]
+        })
+        .collect();
+    print_table("T1: dataset suite (paper Table 1 substitute)", &["graph", "nodes", "edges", "maxdeg", "max k"], &rows);
+    ctx.save_json(
+        "t1_datasets",
+        &suite
+            .iter()
+            .map(|s| {
+                json!({
+                    "name": s.name,
+                    "nodes": s.graph.num_nodes(),
+                    "edges": s.graph.num_edges(),
+                    "max_degree": s.graph.max_degree(),
+                    "max_k": s.max_k,
+                })
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn cc_comparison_graphs(ctx: &Ctx) -> Vec<SuiteGraph> {
+    // CC (single-threaded, pointer-based) caps the sizes we can afford.
+    let mut suite = generators::suite(ctx.scale);
+    suite.retain(|s| s.graph.num_edges() <= 40_000 * ctx.scale as usize);
+    suite
+}
+
+fn cc_ks(ctx: &Ctx) -> Vec<u32> {
+    if ctx.quick {
+        vec![4]
+    } else {
+        vec![4, 5]
+    }
+}
+
+/// §5.1 build-up speedup (t2), count-table size ratio (t3), and the Fig. 3
+/// build time/memory comparison (f3) — one set of runs feeds all three.
+fn t2_t3_f3(ctx: &Ctx, which: &str) {
+    let suite = cc_comparison_graphs(ctx);
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for s in &suite {
+        for &k in &cc_ks(ctx) {
+            let coloring_seed = 7;
+            let coloring = Coloring::uniform(&s.graph, k, coloring_seed);
+            let cc_t0 = Instant::now();
+            let cc = cc_build(&s.graph, &coloring, k);
+            let cc_time = cc_t0.elapsed();
+            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(coloring_seed);
+            let urn = match build_urn(&s.graph, &cfg) {
+                Ok(u) => u,
+                Err(e) => {
+                    println!("  {} k={k}: motivo build failed: {e}", s.name);
+                    continue;
+                }
+            };
+            let mt = urn.build_stats();
+            let speedup = cc_time.as_secs_f64() / mt.total.as_secs_f64();
+            let size_ratio = cc.stats.table_bytes as f64 / mt.table_bytes as f64;
+            rows.push(vec![
+                s.name.to_string(),
+                k.to_string(),
+                secs(cc_time),
+                secs(mt.total),
+                format!("{speedup:.1}x"),
+                format!("{:.1}", cc.stats.table_bytes as f64 / (1 << 20) as f64),
+                format!("{:.1}", mt.table_bytes as f64 / (1 << 20) as f64),
+                format!("{size_ratio:.1}x"),
+            ]);
+            artifacts.push(json!({
+                "graph": s.name, "k": k,
+                "cc_seconds": cc_time.as_secs_f64(),
+                "motivo_seconds": mt.total.as_secs_f64(),
+                "speedup": speedup,
+                "cc_bytes": cc.stats.table_bytes,
+                "motivo_bytes": mt.table_bytes,
+                "size_ratio": size_ratio,
+            }));
+        }
+    }
+    let title = match which {
+        "t2" => "T2: build-up speedup, motivo vs CC (paper §5.1, 1 thread each)",
+        "t3" => "T3: count-table size ratio, CC/motivo (paper §5.1)",
+        _ => "F3: build time & memory, original (CC) vs succinct (motivo)",
+    };
+    print_table(
+        title,
+        &["graph", "k", "CC s", "motivo s", "speedup", "CC MiB", "motivo MiB", "size ratio"],
+        &rows,
+    );
+    ctx.save_json(&format!("{which}_build_comparison"), &artifacts);
+}
+
+/// §5.1 sampling-speed ratio: motivo samples/s vs CC samples/s.
+fn t4(ctx: &Ctx) {
+    let suite = cc_comparison_graphs(ctx);
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for s in &suite {
+        for &k in &cc_ks(ctx) {
+            let seed = 7;
+            let coloring = Coloring::uniform(&s.graph, k, seed);
+            let cc = cc_build(&s.graph, &coloring, k);
+            if cc.total_rooted() == 0 {
+                continue;
+            }
+            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(seed);
+            let urn = match build_urn(&s.graph, &cfg) {
+                Ok(u) => u,
+                Err(_) => continue,
+            };
+            let rate_motivo = {
+                let mut smp = Sampler::new(&urn, SampleConfig::seeded(3));
+                timed_rate(|| {
+                    smp.sample_copy();
+                })
+            };
+            let rate_cc = {
+                let mut smp = CcSampler::new(&cc, &s.graph, 3);
+                timed_rate(|| {
+                    smp.sample_copy();
+                })
+            };
+            rows.push(vec![
+                s.name.to_string(),
+                k.to_string(),
+                format!("{rate_cc:.0}"),
+                format!("{rate_motivo:.0}"),
+                format!("{:.1}x", rate_motivo / rate_cc),
+            ]);
+            artifacts.push(json!({
+                "graph": s.name, "k": k,
+                "cc_samples_per_s": rate_cc,
+                "motivo_samples_per_s": rate_motivo,
+                "ratio": rate_motivo / rate_cc,
+            }));
+        }
+    }
+    print_table(
+        "T4: sampling speed, motivo vs CC (paper §5.1; samples/s, 1 thread)",
+        &["graph", "k", "CC /s", "motivo /s", "ratio"],
+        &rows,
+    );
+    ctx.save_json("t4_sampling_speed", &artifacts);
+}
+
+/// Runs `f` repeatedly for ~1.5 s and returns calls per second.
+fn timed_rate(mut f: impl FnMut()) -> f64 {
+    let budget = Duration::from_millis(1500);
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < budget {
+        for _ in 0..100 {
+            f();
+        }
+        calls += 100;
+    }
+    calls as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Fig. 2: time spent in check-and-merge, original vs succinct.
+fn f2(ctx: &Ctx) {
+    let suite = cc_comparison_graphs(ctx);
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for s in &suite {
+        for &k in &cc_ks(ctx) {
+            let coloring = Coloring::uniform(&s.graph, k, 5);
+            let succ = succinct_checkmerge(&s.graph, &coloring, k);
+            let cc = cc_checkmerge(&s.graph, &coloring, k);
+            assert_eq!(succ.checksum, cc.checksum, "sides must do identical work");
+            rows.push(vec![
+                s.name.to_string(),
+                k.to_string(),
+                format!("{}", succ.ops),
+                format!("{:.1}", cc.elapsed.as_secs_f64() * 1e3),
+                format!("{:.1}", succ.elapsed.as_secs_f64() * 1e3),
+                format!("{:.1}x", cc.elapsed.as_secs_f64() / succ.elapsed.as_secs_f64()),
+            ]);
+            artifacts.push(json!({
+                "graph": s.name, "k": k, "ops": succ.ops,
+                "original_ms": cc.elapsed.as_secs_f64() * 1e3,
+                "succinct_ms": succ.elapsed.as_secs_f64() * 1e3,
+            }));
+        }
+    }
+    print_table(
+        "F2: check-and-merge time, original (pointer) vs succinct",
+        &["graph", "k", "ops", "original ms", "succinct ms", "speedup"],
+        &rows,
+    );
+    ctx.save_json("f2_checkmerge", &artifacts);
+}
+
+/// Fig. 4: impact of 0-rooting on the build.
+fn f4(ctx: &Ctx) {
+    let suite = generators::suite(ctx.scale);
+    let ks = if ctx.quick { vec![5] } else { vec![5, 6] };
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for s in &suite {
+        for &k in &ks {
+            if k > s.max_k {
+                continue;
+            }
+            let time_for = |zero_rooting: bool| {
+                let cfg = BuildConfig {
+                    threads: ctx.threads,
+                    zero_rooting,
+                    ..BuildConfig::new(k)
+                }
+                .seed(9);
+                build_urn(&s.graph, &cfg)
+                    .map(|u| (u.build_stats().total, u.build_stats().table_bytes))
+                    .ok()
+            };
+            let (Some((off, off_bytes)), Some((on, on_bytes))) =
+                (time_for(false), time_for(true))
+            else {
+                continue;
+            };
+            rows.push(vec![
+                s.name.to_string(),
+                k.to_string(),
+                secs(off),
+                secs(on),
+                format!("{:.0}%", 100.0 * (1.0 - on.as_secs_f64() / off.as_secs_f64())),
+                format!("{:.0}%", 100.0 * (1.0 - on_bytes as f64 / off_bytes as f64)),
+            ]);
+            artifacts.push(json!({
+                "graph": s.name, "k": k,
+                "original_s": off.as_secs_f64(), "zero_rooting_s": on.as_secs_f64(),
+                "original_bytes": off_bytes, "zero_rooting_bytes": on_bytes,
+            }));
+        }
+    }
+    print_table(
+        "F4: impact of 0-rooting on the build-up phase",
+        &["graph", "k", "original s", "0-rooted s", "time saved", "space saved"],
+        &rows,
+    );
+    ctx.save_json("f4_zero_rooting", &artifacts);
+}
+
+/// Fig. 5: impact of neighbor buffering on hub-heavy graphs.
+fn f5(ctx: &Ctx) {
+    let s = ctx.scale;
+    let graphs = vec![
+        ("hub-web", generators::star_heavy(3_000 * s, 3, 0.5, 3)),
+        ("berkstan-like", generators::star_heavy(4_000 * s, 2, 0.9, 8)),
+        ("yelp-stars", generators::yelp_like(40 * s, 150, 60 * s as usize, 4)),
+    ];
+    let k = 5;
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for (name, g) in &graphs {
+        let cfg = BuildConfig { threads: ctx.threads, ..BuildConfig::new(k) }.seed(2);
+        let urn = match build_urn(g, &cfg) {
+            Ok(u) => u,
+            Err(e) => {
+                println!("  {name}: {e}");
+                continue;
+            }
+        };
+        let rate = |buffering: bool| {
+            let sc = SampleConfig {
+                seed: 4,
+                buffering,
+                buffer_threshold: 512,
+                buffer_batch: 100,
+            };
+            let mut smp = Sampler::new(&urn, sc);
+            timed_rate(|| {
+                smp.sample_copy();
+            })
+        };
+        let (plain, buffered) = (rate(false), rate(true));
+        rows.push(vec![
+            name.to_string(),
+            k.to_string(),
+            format!("{plain:.0}"),
+            format!("{buffered:.0}"),
+            format!("{:.1}x", buffered / plain),
+        ]);
+        artifacts.push(json!({
+            "graph": name, "k": k,
+            "original_samples_per_s": plain,
+            "buffered_samples_per_s": buffered,
+        }));
+    }
+    print_table(
+        "F5: impact of neighbor buffering (samples/s)",
+        &["graph", "k", "original /s", "buffered /s", "speedup"],
+        &rows,
+    );
+    ctx.save_json("f5_neighbor_buffering", &artifacts);
+}
+
+/// Fig. 6 (+ §3.4 impact): biased coloring — error distribution widening
+/// and build shrink factors.
+fn f6(ctx: &Ctx) {
+    let g = generators::barabasi_albert(800 * ctx.scale, 3, 6);
+    let ks = if ctx.quick { vec![5] } else { vec![5, 6] };
+    let mut artifacts = Vec::new();
+    for &k in &ks {
+        let gt = ground_truth(&g, k, 100);
+        let truth = &gt.counts;
+        let lambda = 0.5 / k as f64;
+        let mut series = Vec::new();
+        for biased in [false, true] {
+            // Per-graphlet errors averaged over a handful of colorings.
+            let mut errs_all: Vec<f64> = Vec::new();
+            let mut build_time = Duration::ZERO;
+            let mut bytes = 0usize;
+            let colorings = 5;
+            for seed in 0..colorings {
+                let mut cfg =
+                    BuildConfig { threads: ctx.threads, ..BuildConfig::new(k) }.seed(seed);
+                if biased {
+                    cfg = cfg.biased(lambda);
+                }
+                let urn = match build_urn(&g, &cfg) {
+                    Ok(u) => u,
+                    Err(_) => continue,
+                };
+                build_time += urn.build_stats().total;
+                bytes = urn.build_stats().table_bytes;
+                let run = naive_run(&urn, 100_000, ctx.threads, seed + 40);
+                errs_all.extend(errors_vs_truth(&run.counts, truth).iter().map(|&(_, e)| e));
+            }
+            let h = histogram(errs_all.iter().copied(), -1.0, 1.0, 16);
+            let label = if biased { format!("biased λ={lambda:.3}") } else { "uniform".into() };
+            println!("\nF6: k={k} {label} count-error distribution (truth: {} classes{})",
+                truth.len(), if gt.exact { ", exact" } else { ", averaged" });
+            print!("{}", text_histogram(&h, -1.0, 1.0, 40));
+            println!(
+                "   build {:.2}s  table {:.1} MiB",
+                build_time.as_secs_f64() / colorings as f64,
+                bytes as f64 / (1 << 20) as f64
+            );
+            series.push(json!({
+                "k": k, "biased": biased, "lambda": if biased { lambda } else { 1.0 / k as f64 },
+                "histogram": h, "lo": -1.0, "hi": 1.0,
+                "avg_build_s": build_time.as_secs_f64() / colorings as f64,
+                "table_bytes": bytes,
+            }));
+        }
+        artifacts.push(json!({ "k": k, "series": series }));
+    }
+    ctx.save_json("f6_biased_coloring", &artifacts);
+}
+
+/// Fig. 7: build time per million edges and table bits per node, vs k.
+fn f7(ctx: &Ctx) {
+    let suite = generators::suite(ctx.scale);
+    let max_k = if ctx.quick { 5 } else { 6 };
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for s in &suite {
+        for k in 4..=max_k.min(s.max_k) {
+            let cfg = BuildConfig { threads: ctx.threads, ..BuildConfig::new(k) }.seed(3);
+            let urn = match build_urn(&s.graph, &cfg) {
+                Ok(u) => u,
+                Err(_) => continue,
+            };
+            let st = urn.build_stats();
+            let s_per_medge = st.total.as_secs_f64() / (s.graph.num_edges() as f64 / 1e6);
+            let bits_per_node = st.table_bytes as f64 * 8.0 / s.graph.num_nodes() as f64;
+            rows.push(vec![
+                s.name.to_string(),
+                k.to_string(),
+                format!("{s_per_medge:.2}"),
+                format!("{bits_per_node:.0}"),
+            ]);
+            artifacts.push(json!({
+                "graph": s.name, "k": k,
+                "seconds_per_million_edges": s_per_medge,
+                "bits_per_node": bits_per_node,
+            }));
+        }
+    }
+    print_table(
+        "F7: build-up cost scaling (seconds per M edges, table bits per node)",
+        &["graph", "k", "s/Medge", "bits/node"],
+        &rows,
+    );
+    ctx.save_json("f7_scaling", &artifacts);
+}
+
+/// Figs. 8–10 and the §5.2 ℓ1 table: accuracy of naive vs AGS against
+/// ground truth, one shared set of runs.
+fn accuracy_experiments(ctx: &Ctx, which: &str) {
+    let suite = accuracy_suite(ctx.scale);
+    let mut f9_rows = Vec::new();
+    let mut f10_rows = Vec::new();
+    let mut l1_rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for s in &suite {
+        for &k in &s.ks {
+            if ctx.quick && k > 4 {
+                continue;
+            }
+            let gt = ground_truth(&s.graph, k, 300);
+            let truth = &gt.counts;
+            let truth_freq = gt.frequencies();
+            let budget = if k <= 4 { 120_000 } else { 250_000 };
+            // The paper's protocol: average each estimator over several
+            // colorings (it reports the average of 10 runs).
+            let colorings = if ctx.quick { 4 } else { 8 };
+            let naive = motivo_bench::runs::averaged_run(
+                &s.graph,
+                k,
+                colorings,
+                11,
+                ctx.threads,
+                |urn, seed| naive_run(urn, budget, ctx.threads, seed),
+            );
+            let agsr = motivo_bench::runs::averaged_run(
+                &s.graph,
+                k,
+                colorings,
+                11,
+                ctx.threads,
+                |urn, seed| ags_run(urn, budget, 1000, seed),
+            );
+
+            let errs_naive = errors_vs_truth(&naive.counts, truth);
+            let errs_ags = errors_vs_truth(&agsr.counts, truth);
+            if which == "f8" {
+                for (label, errs) in [("naive", &errs_naive), ("AGS", &errs_ags)] {
+                    let h = histogram(errs.iter().map(|&(_, e)| e), -1.0, 1.5, 20);
+                    println!(
+                        "\nF8: {} k={k} {label} count-error distribution ({} truth classes{})",
+                        s.name,
+                        truth.len(),
+                        if gt.exact { ", exact" } else { ", averaged" }
+                    );
+                    print!("{}", text_histogram(&h, -1.0, 1.5, 40));
+                    artifacts.push(json!({
+                        "graph": s.name, "k": k, "estimator": label,
+                        "histogram": h, "lo": -1.0, "hi": 1.5,
+                    }));
+                }
+            }
+            let within = |errs: &[(u128, f64)]| errs.iter().filter(|&&(_, e)| e.abs() <= 0.5).count();
+            let (wn, wa) = (within(&errs_naive), within(&errs_ags));
+            f9_rows.push(vec![
+                s.name.to_string(),
+                k.to_string(),
+                truth.len().to_string(),
+                wn.to_string(),
+                wa.to_string(),
+                format!("{:.2}", wn as f64 / truth.len() as f64),
+                format!("{:.2}", wa as f64 / truth.len() as f64),
+            ]);
+            let (rn, ra) = (naive.rarest_frequency(10), agsr.rarest_frequency(10));
+            f10_rows.push(vec![
+                s.name.to_string(),
+                k.to_string(),
+                format!("{rn:.2e}"),
+                format!("{ra:.2e}"),
+            ]);
+            let (l1n, l1a) =
+                (l1(&naive.frequencies(), &truth_freq), l1(&agsr.frequencies(), &truth_freq));
+            l1_rows.push(vec![
+                s.name.to_string(),
+                k.to_string(),
+                format!("{l1n:.4}"),
+                format!("{l1a:.4}"),
+            ]);
+            if which != "f8" {
+                artifacts.push(json!({
+                    "graph": s.name, "k": k,
+                    "classes": truth.len(),
+                    "within50_naive": wn, "within50_ags": wa,
+                    "rarest_naive": rn, "rarest_ags": ra,
+                    "l1_naive": l1n, "l1_ags": l1a,
+                }));
+            }
+        }
+    }
+    match which {
+        "f9" => print_table(
+            "F9: classes within ±50% of truth (absolute and fraction)",
+            &["graph", "k", "classes", "naive", "AGS", "naive frac", "AGS frac"],
+            &f9_rows,
+        ),
+        "f10" => print_table(
+            "F10: frequency of the rarest class with ≥10 samples",
+            &["graph", "k", "naive", "AGS"],
+            &f10_rows,
+        ),
+        "l1" => print_table(
+            "L1: ℓ1 error of the estimated graphlet distribution (§5.2)",
+            &["graph", "k", "naive ℓ1", "AGS ℓ1"],
+            &l1_rows,
+        ),
+        _ => {}
+    }
+    ctx.save_json(&format!("{which}_accuracy"), &artifacts);
+}

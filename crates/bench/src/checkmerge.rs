@@ -1,0 +1,119 @@
+//! The Fig. 2 measurement: time spent in check-and-merge operations, for
+//! succinct treelets (motivo) versus pointer representatives (CC).
+//!
+//! Both sides replay exactly the same work: given tables built up to size
+//! `k − 1`, iterate every `(v, u ∼ v, h1 + h2 = k)` count pair and perform
+//! the check-and-merge — color disjointness, canonical-shape admissibility,
+//! and the merge itself. The succinct side is a handful of bit operations
+//! on `u64`s; the pointer side dereferences arena representatives, compares
+//! recursively materialized DFS strings, and interns cloned trees. A
+//! checksum of merged counts is returned so the compiler cannot elide
+//! either loop, and so both sides can be asserted identical.
+
+use cc_baseline::cc_build;
+use motivo_core::build::{build_table, BuildConfig};
+use motivo_graph::{Coloring, Graph};
+use motivo_treelet::ColoredTreelet;
+use std::time::{Duration, Instant};
+
+/// Result of one check-and-merge replay.
+pub struct CheckMergeRun {
+    /// Wall-clock of the pair loop.
+    pub elapsed: Duration,
+    /// Pairs examined.
+    pub ops: u64,
+    /// Sum of `c1·c2` over successful merges (keeps the loops honest
+    /// and lets the test assert both sides do identical work).
+    pub checksum: u128,
+}
+
+/// Succinct side: motivo records and bit-twiddled merges.
+pub fn succinct_checkmerge(g: &Graph, coloring: &Coloring, k: u32) -> CheckMergeRun {
+    assert!(k >= 3);
+    let cfg = BuildConfig { threads: 1, zero_rooting: false, ..BuildConfig::new(k - 1) };
+    let (table, _) = build_table(g, coloring, &cfg).expect("build to k-1");
+    let start = Instant::now();
+    let mut ops = 0u64;
+    let mut checksum = 0u128;
+    for v in 0..g.num_nodes() {
+        let v_pairs: Vec<Vec<(ColoredTreelet, u128)>> =
+            (1..k).map(|h1| table.get(h1, v).iter().collect()).collect();
+        for &u in g.neighbors(v) {
+            for h1 in 1..k {
+                let h2 = k - h1;
+                let vp = &v_pairs[h1 as usize - 1];
+                if vp.is_empty() {
+                    continue;
+                }
+                let ru = table.get(h2, u);
+                for (ct2, c2) in ru.iter() {
+                    for &(ct1, c1) in vp {
+                        ops += 1;
+                        if ct1.colors().is_disjoint(ct2.colors())
+                            && ct1.tree().can_merge(ct2.tree())
+                        {
+                            let merged = ct1.tree().merge_unchecked(ct2.tree());
+                            // Keep the merge observable without adding
+                            // asymmetric work to either side.
+                            std::hint::black_box(merged);
+                            checksum = checksum.wrapping_add(c1.wrapping_mul(c2));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CheckMergeRun { elapsed: start.elapsed(), ops, checksum }
+}
+
+/// Pointer side: CC arena representatives and recursive comparisons.
+pub fn cc_checkmerge(g: &Graph, coloring: &Coloring, k: u32) -> CheckMergeRun {
+    assert!(k >= 3);
+    let mut cc = cc_build(g, coloring, k - 1);
+    let start = Instant::now();
+    let mut ops = 0u64;
+    let mut checksum = 0u128;
+    for v in 0..g.num_nodes() {
+        for &u in g.neighbors(v) {
+            for h1 in 1..k {
+                let h2 = k - h1;
+                let vt: Vec<(u32, u64)> = cc.tables[h1 as usize - 1][v as usize]
+                    .iter()
+                    .map(|(&i, &c)| (i, c))
+                    .collect();
+                for (id1, c1) in vt {
+                    let ut: Vec<(u32, u64)> = cc.tables[h2 as usize - 1][u as usize]
+                        .iter()
+                        .map(|(&i, &c)| (i, c))
+                        .collect();
+                    for (id2, c2) in ut {
+                        ops += 1;
+                        if let Some(merged) = cc.arena.check_and_merge(id1, id2, k) {
+                            std::hint::black_box(merged);
+                            checksum =
+                                checksum.wrapping_add(c1 as u128 * c2 as u128);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CheckMergeRun { elapsed: start.elapsed(), ops, checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_graph::generators;
+
+    #[test]
+    fn both_sides_do_identical_work() {
+        let g = generators::erdos_renyi(60, 150, 4);
+        let coloring = Coloring::uniform(&g, 4, 9);
+        let s = succinct_checkmerge(&g, &coloring, 4);
+        let c = cc_checkmerge(&g, &coloring, 4);
+        assert_eq!(s.ops, c.ops, "identical pair iteration");
+        assert_eq!(s.checksum, c.checksum, "identical merge outcomes");
+        assert!(s.ops > 0);
+    }
+}

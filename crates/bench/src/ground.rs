@@ -1,0 +1,113 @@
+//! Ground truth for the accuracy experiments, following the paper's §5
+//! protocol: exact counts (ESU, our ESCAPE substitute) where feasible, and
+//! otherwise "the counts given by motivo averaged over 20 runs, 10 using
+//! naive sampling and 10 using AGS".
+
+use motivo_core::{ags, build_urn, naive_estimates, AgsConfig, BuildConfig, SampleConfig};
+use motivo_graph::Graph;
+use motivo_graphlet::GraphletRegistry;
+use std::collections::HashMap;
+
+/// Per-class ground-truth counts, keyed by canonical graphlet code.
+pub struct GroundTruth {
+    /// Canonical code → count (exact integer or averaged estimate).
+    pub counts: HashMap<u128, f64>,
+    /// Whether the counts are exact (ESU) or averaged motivo runs.
+    pub exact: bool,
+}
+
+impl GroundTruth {
+    /// Total k-graphlet copies.
+    pub fn total(&self) -> f64 {
+        self.counts.values().sum()
+    }
+
+    /// Relative frequencies.
+    pub fn frequencies(&self) -> HashMap<u128, f64> {
+        let t = self.total();
+        self.counts.iter().map(|(&c, &n)| (c, n / t)).collect()
+    }
+}
+
+/// Cost heuristic: ESU touches every connected induced k-subgraph, so cap
+/// by an estimated subgraph count (edges × avg-degreeᵏ⁻²-ish).
+fn esu_feasible(g: &Graph, k: u32) -> bool {
+    if k > 5 {
+        return false;
+    }
+    let m = g.num_edges() as f64;
+    let avg_d = 2.0 * m / g.num_nodes() as f64;
+    let max_d = g.max_degree() as f64;
+    // Stars at the max-degree vertex alone give C(Δ, k−1) subgraphs.
+    let hub = (0..k - 1).map(|i| (max_d - i as f64) / (i as f64 + 1.0)).product::<f64>();
+    let rough = m * avg_d.powi(k as i32 - 2) + hub;
+    rough < 5e7
+}
+
+/// Ground truth per the paper's protocol.
+pub fn ground_truth(g: &Graph, k: u32, base_seed: u64) -> GroundTruth {
+    if esu_feasible(g, k) {
+        let exact = motivo_exact::count_exact(g, k as u8);
+        return GroundTruth {
+            counts: exact.counts.iter().map(|(&c, &n)| (c, n as f64)).collect(),
+            exact: true,
+        };
+    }
+    // Averaged motivo runs: 10 naive + 10 AGS over distinct colorings.
+    let mut registry = GraphletRegistry::new(k as u8);
+    let mut acc: HashMap<usize, f64> = HashMap::new();
+    let runs = 20u64;
+    let budget = 200_000u64;
+    for r in 0..runs {
+        let urn = match build_urn(g, &BuildConfig::new(k).seed(base_seed + r)) {
+            Ok(u) => u,
+            Err(_) => continue,
+        };
+        let est = if r % 2 == 0 {
+            naive_estimates(&urn, &mut registry, budget, 0, &SampleConfig::seeded(r))
+        } else {
+            ags(
+                &urn,
+                &mut registry,
+                &AgsConfig {
+                    c_bar: 1000,
+                    max_samples: budget,
+                    sample: SampleConfig::seeded(r),
+                    ..AgsConfig::default()
+                },
+            )
+            .estimates
+        };
+        for e in &est.per_graphlet {
+            *acc.entry(e.index).or_insert(0.0) += e.count;
+        }
+    }
+    let counts = acc
+        .into_iter()
+        .map(|(i, c)| (registry.info(i).graphlet.code(), c / runs as f64))
+        .collect();
+    GroundTruth { counts, exact: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_graph::generators;
+
+    #[test]
+    fn exact_path_taken_for_small_graphs() {
+        let g = generators::barabasi_albert(200, 3, 1);
+        let gt = ground_truth(&g, 4, 0);
+        assert!(gt.exact);
+        assert!(gt.total() > 0.0);
+        let fsum: f64 = gt.frequencies().values().sum();
+        assert!((fsum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility_heuristic_rejects_hubs() {
+        let g = generators::star_graph(200_000);
+        assert!(!esu_feasible(&g, 5), "C(2e5, 4) subgraphs is not feasible");
+        assert!(esu_feasible(&generators::path_graph(1000), 5));
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared harness for regenerating every table and figure of the paper's
+//! §5 (see DESIGN.md for the experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record).
+//!
+//! The binary `experiments` drives everything:
+//!
+//! ```sh
+//! cargo run --release -p motivo-bench --bin experiments -- all
+//! cargo run --release -p motivo-bench --bin experiments -- f8 --scale 2
+//! ```
+//!
+//! Results are printed as text tables/histograms and mirrored as JSON under
+//! `results/`.
+
+pub mod checkmerge;
+pub mod ground;
+pub mod runs;
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Execution context shared by all experiments.
+pub struct Ctx {
+    /// Multiplies workload sizes (1 = laptop defaults).
+    pub scale: u32,
+    /// Where JSON artifacts land.
+    pub out_dir: PathBuf,
+    /// Quick mode trims the slowest corners (large k, CC on big graphs).
+    pub quick: bool,
+    /// Worker threads for motivo runs (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for Ctx {
+    fn default() -> Ctx {
+        Ctx { scale: 1, out_dir: PathBuf::from("results"), quick: false, threads: 0 }
+    }
+}
+
+impl Ctx {
+    /// Writes a JSON artifact under the results directory.
+    pub fn save_json<T: Serialize>(&self, name: &str, value: &T) {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(format!("{name}.json"));
+        let data = serde_json::to_string_pretty(value).expect("serialize");
+        std::fs::write(&path, data).expect("write artifact");
+        println!("  [saved {}]", path.display());
+    }
+}
+
+/// The graphs used by the accuracy experiments (small enough for exact or
+/// averaged ground truth), distinct from the performance suite.
+pub struct AccuracyGraph {
+    /// Dataset label.
+    pub name: &'static str,
+    /// The graph.
+    pub graph: motivo_graph::Graph,
+    /// k values to run.
+    pub ks: Vec<u32>,
+}
+
+/// Accuracy suite: one skewed, one flat, one star-dominated instance.
+pub fn accuracy_suite(scale: u32) -> Vec<AccuracyGraph> {
+    use motivo_graph::generators as gen;
+    let s = scale.max(1);
+    vec![
+        AccuracyGraph {
+            name: "ba-social",
+            graph: gen::barabasi_albert(600 * s, 3, 1),
+            ks: vec![4, 5],
+        },
+        AccuracyGraph {
+            name: "er-flat",
+            graph: gen::erdos_renyi(800 * s, 1_600 * s as usize, 2),
+            ks: vec![4, 5],
+        },
+        AccuracyGraph {
+            name: "yelp-stars",
+            graph: gen::yelp_like(25 * s, 80, 40 * s as usize, 4),
+            ks: vec![4, 5],
+        },
+    ]
+}
+
+/// Pretty-prints a text table: header + rows of equal arity.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// `Duration` as fractional seconds with 3 decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}

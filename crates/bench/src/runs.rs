@@ -1,0 +1,170 @@
+//! Estimation runners shared by the figure experiments: one naive run and
+//! one AGS run with a common time-or-sample budget, returning per-class
+//! maps keyed by canonical code (registry indices are run-local).
+
+use motivo_core::{ags, AgsConfig, Estimates, SampleConfig, Urn};
+use motivo_graphlet::GraphletRegistry;
+use std::collections::HashMap;
+
+/// One estimator's output, keyed by canonical code.
+pub struct RunOutput {
+    /// code → estimated total count.
+    pub counts: HashMap<u128, f64>,
+    /// code → samples that hit the class.
+    pub occurrences: HashMap<u128, u64>,
+    /// Samples taken.
+    pub samples: u64,
+    /// Wall-clock of the sampling phase.
+    pub elapsed: std::time::Duration,
+}
+
+impl RunOutput {
+    fn from_estimates(est: &Estimates, registry: &GraphletRegistry) -> RunOutput {
+        let mut counts = HashMap::new();
+        let mut occurrences = HashMap::new();
+        for e in &est.per_graphlet {
+            let code = registry.info(e.index).graphlet.code();
+            counts.insert(code, e.count);
+            occurrences.insert(code, e.occurrences);
+        }
+        RunOutput { counts, occurrences, samples: est.samples, elapsed: est.elapsed }
+    }
+
+    /// Relative frequencies of the estimated counts.
+    pub fn frequencies(&self) -> HashMap<u128, f64> {
+        let t: f64 = self.counts.values().sum();
+        self.counts.iter().map(|(&c, &n)| (c, n / t)).collect()
+    }
+
+    /// Smallest frequency among classes with ≥ `min_occ` samples (Fig. 10).
+    pub fn rarest_frequency(&self, min_occ: u64) -> f64 {
+        let freqs = self.frequencies();
+        self.occurrences
+            .iter()
+            .filter(|&(_, &o)| o >= min_occ)
+            .map(|(c, _)| freqs[c])
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs the naive estimator for `samples` draws.
+pub fn naive_run(urn: &Urn<'_>, samples: u64, threads: usize, seed: u64) -> RunOutput {
+    let mut registry = GraphletRegistry::new(urn.k() as u8);
+    let est = motivo_core::naive_estimates(
+        urn,
+        &mut registry,
+        samples,
+        threads,
+        &SampleConfig::seeded(seed),
+    );
+    RunOutput::from_estimates(&est, &registry)
+}
+
+/// Runs AGS with a budget of `samples` draws.
+pub fn ags_run(urn: &Urn<'_>, samples: u64, c_bar: u64, seed: u64) -> RunOutput {
+    let mut registry = GraphletRegistry::new(urn.k() as u8);
+    let cfg = AgsConfig {
+        c_bar,
+        max_samples: samples,
+        idle_limit: (samples / 4).max(10_000),
+        sample: SampleConfig::seeded(seed),
+    };
+    let res = ags(urn, &mut registry, &cfg);
+    RunOutput::from_estimates(&res.estimates, &registry)
+}
+
+/// Runs an estimator over several colorings and averages the per-class
+/// counts — the paper's §5 protocol ("the average over 10 runs"). This is
+/// what makes the per-shape AGS estimator's coloring-position variance
+/// (hub vertices drawing color 0 skew `r_j` within one coloring) wash out:
+/// the estimator is unbiased *across* colorings.
+pub fn averaged_run(
+    g: &motivo_graph::Graph,
+    k: u32,
+    colorings: u64,
+    base_seed: u64,
+    threads: usize,
+    f: impl Fn(&Urn<'_>, u64) -> RunOutput,
+) -> RunOutput {
+    use motivo_core::{build_urn, BuildConfig};
+    let mut counts: HashMap<u128, f64> = HashMap::new();
+    let mut occurrences: HashMap<u128, u64> = HashMap::new();
+    let mut samples = 0u64;
+    let mut elapsed = std::time::Duration::ZERO;
+    for c in 0..colorings {
+        let cfg = BuildConfig { threads, ..BuildConfig::new(k) }.seed(base_seed + c);
+        let urn = match build_urn(g, &cfg) {
+            Ok(u) => u,
+            Err(_) => continue, // empty urn: a zero contribution
+        };
+        let run = f(&urn, base_seed + 1000 + c);
+        for (code, n) in run.counts {
+            *counts.entry(code).or_insert(0.0) += n;
+        }
+        for (code, o) in run.occurrences {
+            *occurrences.entry(code).or_insert(0) += o;
+        }
+        samples += run.samples;
+        elapsed += run.elapsed;
+    }
+    for n in counts.values_mut() {
+        *n /= colorings as f64;
+    }
+    RunOutput { counts, occurrences, samples, elapsed }
+}
+
+/// Count errors vs a truth map: `(ĉ − c)/c` per class in the truth
+/// (missed classes → −1). Returns `(code, error)` pairs.
+pub fn errors_vs_truth(
+    run: &HashMap<u128, f64>,
+    truth: &HashMap<u128, f64>,
+) -> Vec<(u128, f64)> {
+    truth
+        .iter()
+        .filter(|&(_, &t)| t > 0.0)
+        .map(|(&code, &t)| (code, (run.get(&code).copied().unwrap_or(0.0) - t) / t))
+        .collect()
+}
+
+/// ℓ1 distance between two frequency maps over the union of classes.
+pub fn l1(a: &HashMap<u128, f64>, b: &HashMap<u128, f64>) -> f64 {
+    let keys: std::collections::BTreeSet<u128> = a.keys().chain(b.keys()).copied().collect();
+    keys.into_iter()
+        .map(|k| (a.get(&k).copied().unwrap_or(0.0) - b.get(&k).copied().unwrap_or(0.0)).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_core::{build_urn, BuildConfig};
+    use motivo_graph::generators;
+
+    #[test]
+    fn runners_produce_consistent_outputs() {
+        let g = generators::barabasi_albert(300, 3, 3);
+        let urn = build_urn(&g, &BuildConfig::new(4).seed(1)).unwrap();
+        let naive = naive_run(&urn, 20_000, 1, 2);
+        assert_eq!(naive.samples, 20_000);
+        assert!((naive.frequencies().values().sum::<f64>() - 1.0).abs() < 1e-9);
+        let a = ags_run(&urn, 20_000, 500, 3);
+        assert!(a.samples <= 20_000);
+        assert!(!a.counts.is_empty());
+        // Both see the dominant classes.
+        let top_naive = naive.counts.iter().max_by(|x, y| x.1.total_cmp(y.1)).unwrap().0;
+        assert!(a.counts.contains_key(top_naive));
+    }
+
+    #[test]
+    fn error_and_l1_helpers() {
+        let truth: HashMap<u128, f64> = [(1u128, 10.0), (2, 5.0)].into();
+        let run: HashMap<u128, f64> = [(1u128, 12.0)].into();
+        let errs = errors_vs_truth(&run, &truth);
+        let get = |c: u128| errs.iter().find(|&&(x, _)| x == c).unwrap().1;
+        assert!((get(1) - 0.2).abs() < 1e-12);
+        assert!((get(2) + 1.0).abs() < 1e-12);
+        let fa: HashMap<u128, f64> = [(1u128, 1.0)].into();
+        let fb: HashMap<u128, f64> = [(2u128, 1.0)].into();
+        assert!((l1(&fa, &fb) - 2.0).abs() < 1e-12);
+    }
+}

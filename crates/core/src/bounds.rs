@@ -1,0 +1,109 @@
+//! Concentration-bound utilities (Theorems 2–4 and the sampling-cost
+//! arithmetic quoted throughout §1 and §5).
+
+/// `n!` as an `f64` (exact for `n ≤ 20`).
+pub fn factorial(n: u32) -> f64 {
+    (1..=n).map(|i| i as f64).product()
+}
+
+/// Theorem 2 (additive, from CC): an upper bound of the shape
+/// `exp(−ε² g^{1/k})` on `Pr[|ĝ_i − g_i| > 2εg/(1−ε)]`, with `g` the total
+/// k-graphlet count. Constants inside `Ω(·)` are not published; this
+/// returns the exponential with unit constant, usable for qualitative
+/// comparisons only.
+pub fn theorem2_bound(eps: f64, g_total: f64, k: u32) -> f64 {
+    (-(eps * eps) * g_total.powf(1.0 / k as f64)).exp().min(1.0)
+}
+
+/// Theorem 3 (multiplicative): `Pr[|ĝ_i − g_i| > ε g_i] <
+/// 2 exp(−(2ε²/(k−1)!) · p_k g_i / Δ^{k−2})`.
+///
+/// This is the bound that justifies biased coloring: with `p_k =
+/// k! λ^{k−1}(1−(k−1)λ)`, accuracy is retained as long as
+/// `λ^{k−1} n / Δ^{k−2}` stays large (§3.4).
+pub fn theorem3_bound(eps: f64, k: u32, p_k: f64, g_i: f64, max_degree: f64) -> f64 {
+    assert!(k >= 2);
+    let exponent = 2.0 * eps * eps / factorial(k - 1) * (p_k * g_i / max_degree.powi(k as i32 - 2));
+    (2.0 * (-exponent).exp()).min(1.0)
+}
+
+/// The covering threshold of AGS (Theorem 4 / pseudocode line 3):
+/// `c̄ = ⌈(4/ε²) ln(2s/δ)⌉` for `s` graphlet classes.
+pub fn ags_cover_threshold(eps: f64, delta: f64, s: u64) -> u64 {
+    assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0 && s >= 1);
+    (4.0 / (eps * eps) * (2.0 * s as f64 / delta).ln()).ceil() as u64
+}
+
+/// Expected naive samples to witness one copy of a graphlet with colorful
+/// count `c_i` and `σ_i` spanning trees, out of `t` total colorful treelets
+/// (§2.2): `t / (c_i σ_i)`. This is the quantity behind the paper's
+/// "3·10³ years at 10⁹ samples/s" example.
+pub fn naive_samples_to_witness(t: f64, c_i: f64, sigma_i: f64) -> f64 {
+    assert!(c_i > 0.0 && sigma_i > 0.0 && t > 0.0);
+    t / (c_i * sigma_i)
+}
+
+/// Number of distinct k-graphlets (`s` in the paper; OEIS A001349) for the
+/// sizes the experiments touch. Used to size the AGS union bound.
+pub fn num_graphlet_classes(k: u32) -> Option<u64> {
+    match k {
+        1 => Some(1),
+        2 => Some(1),
+        3 => Some(2),
+        4 => Some(6),
+        5 => Some(21),
+        6 => Some(112),
+        7 => Some(853),
+        8 => Some(11_117),
+        9 => Some(261_080),
+        10 => Some(11_716_571),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(5), 120.0);
+        assert_eq!(factorial(10), 3_628_800.0);
+    }
+
+    #[test]
+    fn theorem3_monotone_in_gi_and_delta() {
+        // Parameters in the informative (unclamped) regime: k = 4, Δ = 10.
+        let p4 = 24.0 / 256.0;
+        let b1 = theorem3_bound(0.5, 4, p4, 1e5, 10.0);
+        let b2 = theorem3_bound(0.5, 4, p4, 1e6, 10.0);
+        assert!(b1 < 1.0, "b1 = {b1} must be informative");
+        assert!(b2 < b1, "more copies ⇒ tighter bound: {b2} vs {b1}");
+        let b3 = theorem3_bound(0.5, 4, p4, 1e5, 100.0);
+        assert!(b3 > b1, "larger max degree ⇒ weaker bound");
+        assert!(b2 > 0.0);
+    }
+
+    #[test]
+    fn cover_threshold_matches_formula() {
+        // ε = 0.5, δ = 0.1, s = 21 → (4/0.25)·ln(420) ≈ 16·6.04 = 96.7 → 97.
+        assert_eq!(ags_cover_threshold(0.5, 0.1, 21), 97);
+        // Tighter ε inflates quadratically.
+        assert!(ags_cover_threshold(0.1, 0.1, 21) > 20 * ags_cover_threshold(0.5, 0.1, 21));
+    }
+
+    #[test]
+    fn witness_cost_is_inverse_frequency() {
+        // 0.01% of the urn ⇒ ~10⁴ samples.
+        let cost = naive_samples_to_witness(1e8, 1e4, 1.0);
+        assert!((cost - 1e4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn class_counts_table() {
+        assert_eq!(num_graphlet_classes(5), Some(21));
+        assert_eq!(num_graphlet_classes(8), Some(11_117));
+        assert_eq!(num_graphlet_classes(17), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the build and sampling phases.
+
+use std::fmt;
+
+/// Failures of the build-up phase.
+#[derive(Debug)]
+pub enum BuildError {
+    /// `k` outside `[2, 16]` (the succinct encoding bound).
+    BadK(u32),
+    /// Fewer vertices than `k`.
+    GraphTooSmall {
+        /// Number of vertices in the host graph.
+        n: u32,
+        /// Requested graphlet size.
+        k: u32,
+    },
+    /// Biased-coloring `λ` outside `(0, 1/k]`.
+    BadLambda(f64),
+    /// Fixed coloring with the wrong length.
+    BadFixedColoring,
+    /// The coloring produced no colorful k-treelet (e.g. no vertex of color
+    /// 0 under 0-rooting, or the graph has no connected k-subgraph).
+    EmptyUrn,
+    /// Backend I/O failure (disk-backed tables).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BadK(k) => write!(f, "graphlet size k={k} outside [2, 16]"),
+            BuildError::GraphTooSmall { n, k } => {
+                write!(f, "graph has {n} vertices, fewer than k={k}")
+            }
+            BuildError::BadLambda(l) => write!(f, "biased-coloring lambda {l} outside (0, 1/k]"),
+            BuildError::BadFixedColoring => write!(f, "fixed coloring length != vertex count"),
+            BuildError::EmptyUrn => {
+                write!(f, "no colorful k-treelet found; re-color with a new seed or reduce k")
+            }
+            BuildError::Io(e) => write!(f, "count-table I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BuildError {
+    fn from(e: std::io::Error) -> BuildError {
+        BuildError::Io(e)
+    }
+}

@@ -1,0 +1,253 @@
+//! Naive (uniform-urn) graphlet counting — the sampling strategy of CC,
+//! run on motivo's fast urn (§2.2, §5.2).
+//!
+//! Each sample is a uniform colorful k-treelet copy; the subgraph of `G`
+//! induced by its vertices is a graphlet occurrence. With `t` the total
+//! number of colorful k-treelets, `σ_i` the spanning trees of graphlet
+//! `H_i`, and `χ_i` the number of samples landing on `H_i` out of `S`:
+//!
+//! ```text
+//! ĉ_i (colorful copies) = (χ_i / S) · t / σ_i
+//! ĝ_i (all copies)      = ĉ_i / p_k
+//! ```
+//!
+//! Both are unbiased. The expected samples to *witness* `H_i` at all grow
+//! as `t/(c_i σ_i)` — the additive-error barrier AGS breaks.
+
+use crate::sample::{SampleConfig, Sampler};
+use crate::urn::Urn;
+use motivo_graphlet::{CanonicalCache, Graphlet, GraphletRegistry};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Estimates for one graphlet class.
+#[derive(Clone, Debug)]
+pub struct GraphletEstimate {
+    /// Dense index in the registry this run used.
+    pub index: usize,
+    /// Samples that landed on this class.
+    pub occurrences: u64,
+    /// Estimated colorful copies `ĉ_i`.
+    pub colorful: f64,
+    /// Estimated total induced copies `ĝ_i = ĉ_i / p_k`.
+    pub count: f64,
+    /// Estimated relative frequency among all k-graphlet copies.
+    pub frequency: f64,
+}
+
+/// The result of an estimation run.
+#[derive(Clone, Debug)]
+pub struct Estimates {
+    /// Graphlet size.
+    pub k: u32,
+    /// Samples taken.
+    pub samples: u64,
+    /// Wall-clock spent sampling.
+    pub elapsed: Duration,
+    /// Per-class estimates, indexed like the registry.
+    pub per_graphlet: Vec<GraphletEstimate>,
+}
+
+impl Estimates {
+    /// Estimated total number of induced k-graphlet copies.
+    pub fn total_count(&self) -> f64 {
+        self.per_graphlet.iter().map(|e| e.count).sum()
+    }
+
+    /// The estimate for a registry index, if that class was seen.
+    pub fn get(&self, index: usize) -> Option<&GraphletEstimate> {
+        self.per_graphlet.iter().find(|e| e.index == index)
+    }
+
+    /// Samples per second achieved.
+    pub fn sampling_rate(&self) -> f64 {
+        self.samples as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Draws `samples` copies across `threads` threads and tallies canonical
+/// graphlet codes. Classification is thread-local (memoized canonicalizer);
+/// registry resolution happens afterwards, single-threaded.
+pub fn sample_tally(
+    urn: &Urn<'_>,
+    samples: u64,
+    threads: usize,
+    cfg: &SampleConfig,
+) -> (HashMap<u128, u64>, Duration) {
+    let threads = threads.max(1) as u64;
+    let start = Instant::now();
+    let g = urn.graph();
+    let tallies = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let share = samples / threads + u64::from(t < samples % threads);
+            let cfg = SampleConfig { seed: cfg.seed.wrapping_add(t * 0x9E37), ..cfg.clone() };
+            handles.push(scope.spawn(move |_| {
+                let mut sampler = Sampler::new(urn, cfg);
+                let mut cache = CanonicalCache::new();
+                let mut tally: HashMap<u128, u64> = HashMap::new();
+                for _ in 0..share {
+                    let verts = sampler.sample_copy();
+                    let rows = g.induced_rows(&verts);
+                    let raw = Graphlet::from_rows(&rows);
+                    *tally.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
+                }
+                tally
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampler thread panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("sampling scope panicked");
+
+    let mut merged: HashMap<u128, u64> = HashMap::new();
+    for t in tallies {
+        for (code, n) in t {
+            *merged.entry(code).or_insert(0) += n;
+        }
+    }
+    (merged, start.elapsed())
+}
+
+/// Turns a canonical-code tally into per-class estimates.
+pub fn estimates_from_tally(
+    urn: &Urn<'_>,
+    registry: &mut GraphletRegistry,
+    tally: &HashMap<u128, u64>,
+    samples: u64,
+    elapsed: Duration,
+) -> Estimates {
+    let t = urn.total_treelets() as f64;
+    let p_k = urn.p_colorful();
+    let mut per_graphlet = Vec::with_capacity(tally.len());
+    for (&code, &occ) in tally {
+        let g = Graphlet::from_code(code).expect("valid canonical code");
+        let index = registry.classify(&g);
+        let sigma = registry.info(index).spanning_trees as f64;
+        let colorful = occ as f64 / samples as f64 * t / sigma;
+        per_graphlet.push(GraphletEstimate {
+            index,
+            occurrences: occ,
+            colorful,
+            count: colorful / p_k,
+            frequency: 0.0,
+        });
+    }
+    per_graphlet.sort_unstable_by_key(|e| e.index);
+    let total: f64 = per_graphlet.iter().map(|e| e.count).sum();
+    if total > 0.0 {
+        for e in &mut per_graphlet {
+            e.frequency = e.count / total;
+        }
+    }
+    Estimates { k: urn.k(), samples, elapsed, per_graphlet }
+}
+
+/// End-to-end naive estimation: sample, classify, estimate.
+pub fn naive_estimates(
+    urn: &Urn<'_>,
+    registry: &mut GraphletRegistry,
+    samples: u64,
+    threads: usize,
+    cfg: &SampleConfig,
+) -> Estimates {
+    let (tally, elapsed) = sample_tally(urn, samples, threads, cfg);
+    estimates_from_tally(urn, registry, &tally, samples, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_urn, BuildConfig};
+    use motivo_graph::generators;
+
+    /// On K5 at k=3 every 3-subset is a triangle: the estimator must hit
+    /// C(5,3) = 10 when averaged over colorings. Colorings that produce an
+    /// empty urn legitimately contribute a zero estimate (this keeps the
+    /// average exactly unbiased).
+    #[test]
+    fn triangle_count_on_k5() {
+        let g = generators::complete_graph(5);
+        let mut registry = GraphletRegistry::new(3);
+        let mut acc = 0.0;
+        let runs = 100;
+        for seed in 0..runs {
+            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(3) }.seed(seed);
+            match build_urn(&g, &cfg) {
+                Err(crate::error::BuildError::EmptyUrn) => {} // estimate 0
+                Err(e) => panic!("unexpected build error: {e}"),
+                Ok(urn) => {
+                    let est = naive_estimates(
+                        &urn,
+                        &mut registry,
+                        500,
+                        1,
+                        &SampleConfig::seeded(seed + 100),
+                    );
+                    acc += est.total_count();
+                }
+            }
+        }
+        let avg = acc / runs as f64;
+        assert!((avg - 10.0).abs() < 1.5, "triangle estimate {avg}, want 10");
+    }
+
+    /// Star graph at k=3: all graphlets are paths (cherries through the
+    /// center): C(n-1, 2) of them, and zero triangles.
+    #[test]
+    fn star_counts_paths_only() {
+        let g = generators::star_graph(12);
+        let mut registry = GraphletRegistry::new(3);
+        let mut acc = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(3) }.seed(seed);
+            let urn = build_urn(&g, &cfg).unwrap();
+            let est =
+                naive_estimates(&urn, &mut registry, 2_000, 1, &SampleConfig::seeded(seed));
+            assert_eq!(est.per_graphlet.len(), 1, "only the path class exists");
+            acc += est.total_count();
+        }
+        let avg = acc / runs as f64;
+        let want = 55.0; // C(11, 2)
+        assert!((avg - want).abs() < want * 0.15, "path estimate {avg}, want {want}");
+    }
+
+    /// Frequencies sum to one and per-class counts are consistent.
+    #[test]
+    fn frequencies_normalize() {
+        let g = generators::barabasi_albert(150, 3, 4);
+        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(4) }.seed(7);
+        let urn = build_urn(&g, &cfg).unwrap();
+        let mut registry = GraphletRegistry::new(4);
+        let est = naive_estimates(&urn, &mut registry, 20_000, 2, &SampleConfig::seeded(3));
+        let fsum: f64 = est.per_graphlet.iter().map(|e| e.frequency).sum();
+        assert!((fsum - 1.0).abs() < 1e-9);
+        assert!(est.total_count() > 0.0);
+        assert!(est.sampling_rate() > 0.0);
+        let occ_sum: u64 = est.per_graphlet.iter().map(|e| e.occurrences).sum();
+        assert_eq!(occ_sum, 20_000);
+    }
+
+    /// Multi-threaded tallies agree with single-threaded in distribution.
+    #[test]
+    fn threading_is_sound() {
+        let g = generators::erdos_renyi(200, 600, 9);
+        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(3) }.seed(2);
+        let urn = build_urn(&g, &cfg).unwrap();
+        let (t1, _) = sample_tally(&urn, 30_000, 1, &SampleConfig::seeded(5));
+        let (t4, _) = sample_tally(&urn, 30_000, 4, &SampleConfig::seeded(6));
+        assert_eq!(t1.values().sum::<u64>(), 30_000);
+        assert_eq!(t4.values().sum::<u64>(), 30_000);
+        // Same dominant class with similar mass.
+        let top = |t: &HashMap<u128, u64>| {
+            t.iter().max_by_key(|(_, &n)| n).map(|(&c, &n)| (c, n)).unwrap()
+        };
+        let (c1, n1) = top(&t1);
+        let (c4, n4) = top(&t4);
+        assert_eq!(c1, c4);
+        assert!((n1 as f64 - n4 as f64).abs() / 30_000.0 < 0.05);
+    }
+}

@@ -1,0 +1,177 @@
+//! Urn persistence: the build-up phase is the expensive half of a run, and
+//! the paper's tool keeps its count tables on external storage between
+//! phases (§3.1, §3.3). [`save_urn`]/[`load_urn`] let a built urn be reused
+//! across processes: the count table (per-level data + index files), the
+//! coloring it was built under, and the build metrics all round-trip.
+//!
+//! The host graph itself is *not* stored here — it has its own format
+//! (`motivo_graph::io`) and the caller passes it back at load time; a
+//! fingerprint check rejects mismatched graphs.
+
+use crate::build::BuildStats;
+use crate::error::BuildError;
+use crate::urn::Urn;
+use bytes::{Buf, BufMut};
+use motivo_graph::{Coloring, Graph};
+use motivo_table::CountTable;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// A cheap order-sensitive fingerprint of the graph structure, stored with
+/// the urn so `load_urn` can refuse a different graph.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(g.num_nodes() as u64);
+    mix(g.num_edges() as u64);
+    for v in 0..g.num_nodes() {
+        mix(g.degree(v) as u64);
+    }
+    h
+}
+
+/// Persists a built urn into `dir`.
+pub fn save_urn(urn: &Urn<'_>, dir: impl AsRef<Path>) -> io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    urn.table().save_dir(dir)?;
+    urn.coloring().save(std::fs::File::create(dir.join("coloring.mtvc"))?)?;
+    // Build stats + graph fingerprint.
+    let st = urn.build_stats();
+    let mut meta = Vec::new();
+    meta.put_slice(b"MTVU");
+    meta.put_u32_le(1);
+    meta.put_u64_le(graph_fingerprint(urn.graph()));
+    meta.put_f64_le(st.total.as_secs_f64());
+    meta.put_u64_le(st.merge_ops);
+    meta.put_u64_le(st.table_bytes as u64);
+    meta.put_u64_le(st.records as u64);
+    meta.put_u32_le(st.per_level.len() as u32);
+    for d in &st.per_level {
+        meta.put_f64_le(d.as_secs_f64());
+    }
+    std::fs::write(dir.join("urn.meta"), meta)
+}
+
+/// Reopens an urn persisted by [`save_urn`] against the same host graph,
+/// preloading all levels into memory (fast sampling; use
+/// [`load_urn_external`] to keep the table on disk when it exceeds RAM).
+pub fn load_urn<'g>(g: &'g Graph, dir: impl AsRef<Path>) -> Result<Urn<'g>, BuildError> {
+    load_urn_inner(g, dir.as_ref(), true)
+}
+
+/// Like [`load_urn`] but serving every record access from the on-disk
+/// files — the paper's "operating system will reclaim memory" regime.
+pub fn load_urn_external<'g>(
+    g: &'g Graph,
+    dir: impl AsRef<Path>,
+) -> Result<Urn<'g>, BuildError> {
+    load_urn_inner(g, dir.as_ref(), false)
+}
+
+fn load_urn_inner<'g>(g: &'g Graph, dir: &Path, preload: bool) -> Result<Urn<'g>, BuildError> {
+    let raw = std::fs::read(dir.join("urn.meta")).map_err(BuildError::Io)?;
+    let mut buf = &raw[..];
+    if buf.remaining() < 48 {
+        return Err(BuildError::Io(bad("truncated urn meta")));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != b"MTVU" || buf.get_u32_le() != 1 {
+        return Err(BuildError::Io(bad("bad urn meta header")));
+    }
+    let fp = buf.get_u64_le();
+    if fp != graph_fingerprint(g) {
+        return Err(BuildError::Io(bad(
+            "graph fingerprint mismatch: this urn was built for a different graph",
+        )));
+    }
+    let total = Duration::from_secs_f64(buf.get_f64_le());
+    let merge_ops = buf.get_u64_le();
+    let table_bytes = buf.get_u64_le() as usize;
+    let records = buf.get_u64_le() as usize;
+    let levels = buf.get_u32_le() as usize;
+    if buf.remaining() != levels * 8 {
+        return Err(BuildError::Io(bad("urn meta length mismatch")));
+    }
+    let per_level =
+        (0..levels).map(|_| Duration::from_secs_f64(buf.get_f64_le())).collect();
+    let stats = BuildStats { total, per_level, merge_ops, table_bytes, records };
+
+    let coloring = Coloring::load(
+        std::fs::File::open(dir.join("coloring.mtvc")).map_err(BuildError::Io)?,
+    )
+    .map_err(BuildError::Io)?;
+    let mut table = CountTable::open_dir(dir).map_err(BuildError::Io)?;
+    if preload {
+        table = table.preload();
+    }
+    Urn::assemble(g, coloring, table, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_urn, BuildConfig};
+    use crate::naive::naive_estimates;
+    use crate::sample::SampleConfig;
+    use motivo_graph::generators;
+    use motivo_graphlet::GraphletRegistry;
+
+    #[test]
+    fn urn_roundtrip_preserves_everything() {
+        let g = generators::barabasi_albert(200, 3, 4);
+        let dir = std::env::temp_dir().join("motivo-persist-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let urn = build_urn(&g, &BuildConfig { threads: 2, ..BuildConfig::new(4) }.seed(6))
+            .unwrap();
+        save_urn(&urn, &dir).unwrap();
+        let back = load_urn(&g, &dir).unwrap();
+        assert_eq!(back.total_treelets(), urn.total_treelets());
+        assert_eq!(back.shape_totals(), urn.shape_totals());
+        assert_eq!(back.k(), urn.k());
+        assert_eq!(back.build_stats().merge_ops, urn.build_stats().merge_ops);
+        for v in 0..g.num_nodes() {
+            assert_eq!(back.occ(v), urn.occ(v));
+        }
+        // Estimation through the reopened urn is identical under the same
+        // sampling seed.
+        let mut ra = GraphletRegistry::new(4);
+        let mut rb = GraphletRegistry::new(4);
+        let a = naive_estimates(&urn, &mut ra, 5_000, 1, &SampleConfig::seeded(1));
+        let b = naive_estimates(&back, &mut rb, 5_000, 1, &SampleConfig::seeded(1));
+        assert_eq!(a.per_graphlet.len(), b.per_graphlet.len());
+        assert!((a.total_count() - b.total_count()).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_graph_rejected() {
+        let g = generators::complete_graph(8);
+        let other = generators::complete_graph(9);
+        let dir = std::env::temp_dir().join("motivo-persist-test-fp");
+        std::fs::remove_dir_all(&dir).ok();
+        let urn = build_urn(&g, &BuildConfig { threads: 1, ..BuildConfig::new(3) }.seed(1))
+            .unwrap();
+        save_urn(&urn, &dir).unwrap();
+        assert!(load_urn(&other, &dir).is_err());
+        assert!(load_urn(&g, &dir).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_structure() {
+        let a = generators::path_graph(10);
+        let b = generators::cycle_graph(10);
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&generators::path_graph(10)));
+    }
+}

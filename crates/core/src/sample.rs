@@ -1,0 +1,464 @@
+//! The sampling phase: drawing uniform colorful treelet copies from the urn
+//! and embedding them in the host graph (§2.2), with the neighbor-buffering
+//! optimization for high-degree vertices (§3.2).
+//!
+//! One sample proceeds top-down:
+//!
+//! 1. draw the root `v` with probability `occ(v)/t` (alias table, `O(1)`);
+//! 2. draw a colored treelet `(T, C)` from `v`'s record with probability
+//!    `c(T_C, v)/occ(v)` (cumulative binary search, `O(k)`);
+//! 3. embed recursively: decompose `T` into `(T', T'')`, pick the color
+//!    split `C = C' ⊎ C''` and the neighbor `u ∼ v` hosting `T''` jointly
+//!    with probability `∝ c(T'_{C'}, v) · c(T''_{C''}, u)`, and recurse on
+//!    both halves. Disjoint color sets guarantee vertex-disjointness, and a
+//!    short induction shows the resulting copy is uniform among the
+//!    `c(T_C, v)` copies.
+//!
+//! Step 3 sweeps `v`'s neighbor list (Θ(deg v)); for hub vertices the sweep
+//! draws [`SampleConfig::buffer_batch`] i.i.d. outcomes at once and caches
+//! the rest — "sampling 100 neighbors is as expensive as sampling just one"
+//! (§3.2).
+
+use crate::urn::Urn;
+use motivo_table::AliasTable;
+use motivo_treelet::{ColorSet, ColoredTreelet, Treelet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// Sampler tuning knobs.
+#[derive(Clone, Debug)]
+pub struct SampleConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Enable neighbor buffering (§3.2). Disable only for the Fig. 5
+    /// ablation.
+    pub buffering: bool,
+    /// Degree at or above which the split draw is batched (paper: 10⁴).
+    pub buffer_threshold: usize,
+    /// Batch size (paper: 100).
+    pub buffer_batch: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> SampleConfig {
+        SampleConfig {
+            seed: 0,
+            buffering: true,
+            buffer_threshold: 10_000,
+            buffer_batch: 100,
+        }
+    }
+}
+
+impl SampleConfig {
+    /// A config with everything default but the seed.
+    pub fn seeded(seed: u64) -> SampleConfig {
+        SampleConfig { seed, ..SampleConfig::default() }
+    }
+}
+
+/// One pre-drawn decomposition outcome: the color split and the neighbor.
+#[derive(Clone, Copy, Debug)]
+struct SplitDraw {
+    c_prime: ColorSet,
+    c_second: ColorSet,
+    u: u32,
+}
+
+/// Draws treelet copies from an urn. Cheap to create; keep one per thread.
+pub struct Sampler<'u, 'g> {
+    urn: &'u Urn<'g>,
+    cfg: SampleConfig,
+    rng: SmallRng,
+    /// Buffered split draws keyed by `(vertex, colored treelet)`.
+    buffers: HashMap<(u32, u64), VecDeque<SplitDraw>>,
+    /// Total neighbor sweeps performed (two per unbuffered split draw);
+    /// exposed for the Fig. 5 diagnostics.
+    sweeps: u64,
+    samples: u64,
+}
+
+impl<'u, 'g> Sampler<'u, 'g> {
+    /// Creates a sampler over `urn`.
+    pub fn new(urn: &'u Urn<'g>, cfg: SampleConfig) -> Sampler<'u, 'g> {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Sampler { urn, cfg, rng, buffers: HashMap::new(), sweeps: 0, samples: 0 }
+    }
+
+    /// Draws one colorful k-treelet copy uniformly at random from the urn;
+    /// returns its vertices (k distinct vertices, DFS order of the treelet).
+    pub fn sample_copy(&mut self) -> Vec<u32> {
+        let k = self.urn.k();
+        let v = self.urn.root_alias().sample(&mut self.rng) as u32;
+        let rec = self.urn.record(k, v);
+        let r = self.rng.gen_range(1..=rec.total());
+        let ct = rec.select(r);
+        self.finish_embed(v, ct)
+    }
+
+    /// Draws one copy uniformly among the copies of rooted shape `shape` —
+    /// the `sample(T)` primitive of AGS (§4). `alias` must be built over
+    /// [`Urn::shape_vertex_totals`] for the same shape.
+    pub fn sample_copy_of_shape(&mut self, shape: Treelet, alias: &AliasTable) -> Vec<u32> {
+        let k = self.urn.k();
+        let v = alias.sample(&mut self.rng) as u32;
+        let rec = self.urn.record(k, v);
+        let total = rec.tree_total(shape);
+        debug_assert!(total > 0, "alias weight nonzero implies entries");
+        let r = self.rng.gen_range(1..=total);
+        let ct = rec.select_in_tree(shape, r);
+        self.finish_embed(v, ct)
+    }
+
+    fn finish_embed(&mut self, v: u32, ct: ColoredTreelet) -> Vec<u32> {
+        let k = self.urn.k();
+        let mut out = Vec::with_capacity(k as usize);
+        self.embed(v, ct, &mut out);
+        debug_assert_eq!(out.len(), k as usize);
+        debug_assert!(
+            {
+                let mut s = out.clone();
+                s.sort_unstable();
+                s.windows(2).all(|w| w[0] != w[1])
+            },
+            "colorful copies must be vertex-disjoint"
+        );
+        self.samples += 1;
+        out
+    }
+
+    /// `(samples, neighbor sweeps)` so far — buffering drives sweeps per
+    /// sample down on hub-heavy graphs.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.samples, self.sweeps)
+    }
+
+    /// Recursive embedding of a colored treelet copy rooted at `v`.
+    fn embed(&mut self, v: u32, ct: ColoredTreelet, out: &mut Vec<u32>) {
+        if ct.size() == 1 {
+            out.push(v);
+            return;
+        }
+        let draw = self.draw_split(v, ct);
+        let (t_prime, t_second) = ct.tree().decomp();
+        self.embed(v, ColoredTreelet::new(t_prime, draw.c_prime), out);
+        self.embed(draw.u, ColoredTreelet::new(t_second, draw.c_second), out);
+    }
+
+    /// Draws `(C', C'', u)` for the decomposition of `ct` at `v`, through
+    /// the buffer when `v` is a hub.
+    fn draw_split(&mut self, v: u32, ct: ColoredTreelet) -> SplitDraw {
+        let buffered =
+            self.cfg.buffering && self.urn.graph().degree(v) >= self.cfg.buffer_threshold;
+        if !buffered {
+            return self.draw_split_batch(v, ct, 1)[0];
+        }
+        let key = (v, ct.code());
+        if let Some(q) = self.buffers.get_mut(&key) {
+            if let Some(d) = q.pop_front() {
+                return d;
+            }
+        }
+        let batch = self.draw_split_batch(v, ct, self.cfg.buffer_batch.max(1));
+        let mut q: VecDeque<SplitDraw> = batch.into();
+        let first = q.pop_front().expect("batch nonempty");
+        if self.buffers.len() > 4096 {
+            self.buffers.clear(); // crude bound; hub keys are few in practice
+        }
+        self.buffers.insert(key, q);
+        first
+    }
+
+    /// Draws `count` i.i.d. split outcomes with exactly two neighbor sweeps
+    /// regardless of `count` — the buffered strategy of §3.2.
+    fn draw_split_batch(&mut self, v: u32, ct: ColoredTreelet, count: usize) -> Vec<SplitDraw> {
+        let (t_prime, t_second) = ct.tree().decomp();
+        let (h1, h2) = (t_prime.size(), t_second.size());
+        let colors = ct.colors();
+        let g = self.urn.graph();
+
+        // Sweep 1: S[C''] = Σ_{u ∼ v} c(T''_{C''}, u) for viable C''.
+        self.sweeps += 1;
+        let mut second_totals: HashMap<u16, u128> = HashMap::new();
+        for &u in g.neighbors(v) {
+            let ru = self.urn.record(h2, u);
+            for (cs, cnt) in ru.iter_tree(t_second) {
+                if cs.is_subset_of(colors) {
+                    *second_totals.entry(cs.0).or_insert(0) += cnt;
+                }
+            }
+        }
+
+        // Candidate splits weighted by c(T'_{C'}, v) · S[C \ C'].
+        let rv = self.urn.record(h1, v);
+        let mut cands: Vec<(ColorSet, ColorSet, u128)> = Vec::new();
+        let mut total: u128 = 0;
+        for (cp, cv) in rv.iter_tree(t_prime) {
+            if !cp.is_subset_of(colors) {
+                continue;
+            }
+            let cs = colors.minus(cp);
+            debug_assert_eq!(cs.len(), h2);
+            if let Some(&su) = second_totals.get(&cs.0) {
+                if su > 0 {
+                    let w = cv.checked_mul(su).expect("split weight overflows u128");
+                    total += w;
+                    cands.push((cp, cs, w));
+                }
+            }
+        }
+        assert!(
+            total > 0,
+            "consistency: c(T_C, v) > 0 implies at least one split"
+        );
+
+        // Draw the splits; collect per-C'' thresholds for the u selection.
+        struct Pending {
+            c_prime: ColorSet,
+            c_second: ColorSet,
+            r2: u128,
+            u: Option<u32>,
+        }
+        let mut pending: Vec<Pending> = (0..count)
+            .map(|_| {
+                let mut r = self.rng.gen_range(1..=total);
+                let &(cp, cs, _) = cands
+                    .iter()
+                    .find(|&&(_, _, w)| {
+                        if r <= w {
+                            true
+                        } else {
+                            r -= w;
+                            false
+                        }
+                    })
+                    .expect("r within total");
+                let su = second_totals[&cs.0];
+                Pending { c_prime: cp, c_second: cs, r2: self.rng.gen_range(1..=su), u: None }
+            })
+            .collect();
+
+        // Group thresholds by C'' and sort them, so one sweep assigns all.
+        let mut groups: HashMap<u16, Vec<usize>> = HashMap::new();
+        for (i, p) in pending.iter().enumerate() {
+            groups.entry(p.c_second.0).or_default().push(i);
+        }
+        for idxs in groups.values_mut() {
+            idxs.sort_unstable_by_key(|&i| pending[i].r2);
+        }
+        let mut cursors: HashMap<u16, (u128, usize)> =
+            groups.keys().map(|&c| (c, (0u128, 0usize))).collect();
+
+        // Sweep 2: prefix sums per C'' assign every threshold its u.
+        self.sweeps += 1;
+        let mut unassigned = pending.len();
+        'sweep: for &u in g.neighbors(v) {
+            let ru = self.urn.record(h2, u);
+            for (cs, cnt) in ru.iter_tree(t_second) {
+                if let Some(idxs) = groups.get(&cs.0) {
+                    let (cum, pos) = cursors.get_mut(&cs.0).expect("group cursor");
+                    *cum += cnt;
+                    while *pos < idxs.len() && pending[idxs[*pos]].r2 <= *cum {
+                        pending[idxs[*pos]].u = Some(u);
+                        *pos += 1;
+                        unassigned -= 1;
+                    }
+                }
+            }
+            if unassigned == 0 {
+                break 'sweep;
+            }
+        }
+        debug_assert_eq!(unassigned, 0, "thresholds within totals must all assign");
+
+        pending
+            .into_iter()
+            .map(|p| SplitDraw {
+                c_prime: p.c_prime,
+                c_second: p.c_second,
+                u: p.u.expect("assigned in sweep 2"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_urn, BuildConfig, ColoringSpec};
+    use motivo_graph::generators;
+    use std::collections::HashMap as Map;
+
+    /// On K4 with a rainbow coloring, every 3-subset is a colorful triangle
+    /// host; sampled 3-treelet copies must be uniform over their supports.
+    #[test]
+    fn samples_are_valid_and_distinct() {
+        let g = generators::complete_graph(6);
+        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(4) }.seed(3);
+        let urn = build_urn(&g, &cfg).unwrap();
+        let mut s = Sampler::new(&urn, SampleConfig::seeded(1));
+        for _ in 0..200 {
+            let verts = s.sample_copy();
+            assert_eq!(verts.len(), 4);
+            let mut sorted = verts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+            // All distinct colors.
+            let mut cols: Vec<u8> =
+                verts.iter().map(|&v| urn.coloring().color(v)).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), 4);
+        }
+    }
+
+    /// Uniformity: on the path 0-1-2-3 with a rainbow coloring there are
+    /// exactly three 2-node colorful treelet copies at k=2; each edge must
+    /// appear with frequency 1/3.
+    #[test]
+    fn copies_are_uniform_on_path() {
+        let g = generators::path_graph(4);
+        let cfg = BuildConfig {
+            threads: 1,
+            coloring: ColoringSpec::Fixed(vec![0, 1, 0, 1]),
+            ..BuildConfig::new(2)
+        };
+        let urn = build_urn(&g, &cfg).unwrap();
+        assert_eq!(urn.total_treelets(), 3);
+        let mut s = Sampler::new(&urn, SampleConfig::seeded(5));
+        let mut tally: Map<Vec<u32>, u64> = Map::new();
+        let trials = 30_000;
+        for _ in 0..trials {
+            let mut v = s.sample_copy();
+            v.sort_unstable();
+            *tally.entry(v).or_insert(0) += 1;
+        }
+        assert_eq!(tally.len(), 3);
+        for (copy, hits) in tally {
+            let f = hits as f64 / trials as f64;
+            assert!((f - 1.0 / 3.0).abs() < 0.02, "copy {copy:?} freq {f}");
+        }
+    }
+
+    /// Uniformity across copies with different shapes: star vs path
+    /// 3-treelets in a small tree.
+    #[test]
+    fn copies_are_uniform_across_shapes() {
+        // Star with 3 leaves: colorful 3-treelets under a rainbow-ish
+        // coloring; compare empirical frequencies against exact counts from
+        // the urn totals.
+        let g = generators::star_graph(4);
+        let cfg = BuildConfig {
+            threads: 1,
+            coloring: ColoringSpec::Fixed(vec![0, 1, 2, 1]),
+            ..BuildConfig::new(3)
+        };
+        let urn = build_urn(&g, &cfg).unwrap();
+        // Colorful 3-subtrees: {0,1,2}, {0,3,2} (cherries at the center);
+        // colors {0,1,2} each; total must be 2.
+        assert_eq!(urn.total_treelets(), 2);
+        let mut s = Sampler::new(&urn, SampleConfig::seeded(11));
+        let mut tally: Map<Vec<u32>, u64> = Map::new();
+        for _ in 0..20_000 {
+            let mut v = s.sample_copy();
+            v.sort_unstable();
+            *tally.entry(v).or_insert(0) += 1;
+        }
+        assert_eq!(tally.len(), 2);
+        for (_, hits) in tally {
+            let f = hits as f64 / 20_000.0;
+            assert!((f - 0.5).abs() < 0.02, "freq {f}");
+        }
+    }
+
+    /// Buffered and unbuffered sampling draw from the same distribution.
+    #[test]
+    fn buffering_preserves_distribution() {
+        let g = generators::star_heavy(300, 2, 0.8, 7);
+        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(3) }.seed(1);
+        let urn = build_urn(&g, &cfg).unwrap();
+        let tally = |buffering: bool, seed: u64| {
+            let sc = SampleConfig {
+                seed,
+                buffering,
+                buffer_threshold: 8,
+                buffer_batch: 50,
+            };
+            let mut s = Sampler::new(&urn, sc);
+            let mut t: Map<Vec<u32>, u64> = Map::new();
+            for _ in 0..20_000 {
+                let mut v = s.sample_copy();
+                v.sort_unstable();
+                *t.entry(v).or_insert(0) += 1;
+            }
+            t
+        };
+        let buf = tally(true, 2);
+        let plain = tally(false, 3);
+        // Compare aggregate statistics: same support size ballpark and
+        // similar mass on the most frequent copies.
+        let top = |t: &Map<Vec<u32>, u64>| {
+            let mut v: Vec<u64> = t.values().copied().collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v.truncate(5);
+            v
+        };
+        let (tb, tp) = (top(&buf), top(&plain));
+        for (a, b) in tb.iter().zip(tp.iter()) {
+            let (fa, fb) = (*a as f64 / 20_000.0, *b as f64 / 20_000.0);
+            assert!(
+                (fa - fb).abs() < 0.05,
+                "buffered {fa} vs plain {fb} (tops {tb:?} vs {tp:?})"
+            );
+        }
+    }
+
+    /// Buffering reduces neighbor sweeps per sample on hub graphs.
+    #[test]
+    fn buffering_cuts_sweeps() {
+        let g = generators::star_heavy(400, 2, 0.9, 13);
+        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(4) }.seed(2);
+        let urn = build_urn(&g, &cfg).unwrap();
+        let sweeps = |buffering: bool| {
+            let sc = SampleConfig { seed: 4, buffering, buffer_threshold: 64, buffer_batch: 100 };
+            let mut s = Sampler::new(&urn, sc);
+            for _ in 0..2_000 {
+                s.sample_copy();
+            }
+            let (_, sweeps) = s.stats();
+            sweeps
+        };
+        let with = sweeps(true);
+        let without = sweeps(false);
+        // Only hub vertices are buffered, so the cut is bounded by the
+        // fraction of split draws that happen at hubs; 2x is already the
+        // hub-dominated regime.
+        assert!(
+            with * 2 < without,
+            "buffering should cut sweeps at least 2x: {with} vs {without}"
+        );
+    }
+
+    /// Shape-restricted sampling only returns copies of the requested shape.
+    #[test]
+    fn shape_sampling_respects_shape() {
+        let g = generators::complete_graph(7);
+        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(4) }.seed(9);
+        let urn = build_urn(&g, &cfg).unwrap();
+        let star = motivo_treelet::star_treelet(4);
+        let j = urn.shape_index(star);
+        assert!(urn.shape_total(j) > 0);
+        let alias = motivo_table::AliasTable::from_u128(&urn.shape_vertex_totals(star));
+        let mut s = Sampler::new(&urn, SampleConfig::seeded(8));
+        for _ in 0..100 {
+            let verts = s.sample_copy_of_shape(star, &alias);
+            assert_eq!(verts.len(), 4);
+            // First vertex is the root (star center): adjacent to the rest.
+            for &u in &verts[1..] {
+                assert!(g.has_edge(verts[0], u));
+            }
+        }
+    }
+}

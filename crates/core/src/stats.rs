@@ -1,0 +1,150 @@
+//! Accuracy metrics used throughout §5: per-graphlet count error, ℓ1
+//! distance between graphlet distributions, ±50% coverage, and histogram
+//! helpers for the error-distribution figures.
+
+use std::collections::HashMap;
+
+/// The §5.2 count error `err_H = (ĉ_H − c_H)/c_H`: `0` is perfect, `−1`
+/// means the graphlet was missed entirely.
+pub fn count_error(estimate: f64, truth: f64) -> f64 {
+    assert!(truth > 0.0, "count error defined for graphlets present in G");
+    (estimate - truth) / truth
+}
+
+/// Per-class count errors for every class present in the ground truth;
+/// classes the estimator missed contribute `−1`.
+pub fn count_errors(
+    estimates: &HashMap<usize, f64>,
+    truth: &HashMap<usize, f64>,
+) -> Vec<(usize, f64)> {
+    let mut out: Vec<(usize, f64)> = truth
+        .iter()
+        .filter(|&(_, &t)| t > 0.0)
+        .map(|(&i, &t)| (i, count_error(estimates.get(&i).copied().unwrap_or(0.0), t)))
+        .collect();
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out
+}
+
+/// ℓ1 distance between two frequency vectors over the union of classes
+/// (§5.2, "Error in ℓ1 norm").
+pub fn l1_error(est: &HashMap<usize, f64>, truth: &HashMap<usize, f64>) -> f64 {
+    let keys: std::collections::BTreeSet<usize> =
+        est.keys().chain(truth.keys()).copied().collect();
+    keys.into_iter()
+        .map(|i| {
+            (est.get(&i).copied().unwrap_or(0.0) - truth.get(&i).copied().unwrap_or(0.0)).abs()
+        })
+        .sum()
+}
+
+/// Fraction of classes whose estimate is within `±tol` of the truth
+/// (Fig. 9 uses `tol = 0.5`).
+pub fn fraction_within(errors: &[(usize, f64)], tol: f64) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    let hit = errors.iter().filter(|&&(_, e)| e.abs() <= tol).count();
+    hit as f64 / errors.len() as f64
+}
+
+/// Number of classes within `±tol`.
+pub fn count_within(errors: &[(usize, f64)], tol: f64) -> usize {
+    errors.iter().filter(|&&(_, e)| e.abs() <= tol).count()
+}
+
+/// Fixed-width histogram over `[lo, hi]`, clamping outliers into the end
+/// bins — the Fig. 6/8 error-distribution plots.
+pub fn histogram(values: impl IntoIterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    assert!(bins >= 1 && hi > lo);
+    let mut h = vec![0u64; bins];
+    let width = (hi - lo) / bins as f64;
+    for v in values {
+        let idx = ((v - lo) / width).floor();
+        let idx = (idx.max(0.0) as usize).min(bins - 1);
+        h[idx] += 1;
+    }
+    h
+}
+
+/// The `p`-th percentile (`0 ≤ p ≤ 100`) by nearest-rank on a copy of the
+/// data. Used for the whiskers in the §5.2 plots.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty() && (0.0..=100.0).contains(&p));
+    let mut v = values.to_vec();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank]
+}
+
+/// Render a crude text bar chart (used by the experiments binary so the
+/// figures are eyeballable straight from the terminal).
+pub fn text_histogram(h: &[u64], lo: f64, hi: f64, max_width: usize) -> String {
+    let peak = h.iter().copied().max().unwrap_or(0).max(1);
+    let width = (hi - lo) / h.len() as f64;
+    let mut out = String::new();
+    for (i, &c) in h.iter().enumerate() {
+        let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
+        let left = lo + i as f64 * width;
+        out.push_str(&format!("{left:>8.2} | {bar} {c}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_error_signs() {
+        assert_eq!(count_error(15.0, 10.0), 0.5);
+        assert_eq!(count_error(0.0, 10.0), -1.0);
+        assert_eq!(count_error(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn errors_mark_missed_classes() {
+        let truth: HashMap<usize, f64> = [(0, 10.0), (1, 5.0)].into();
+        let est: HashMap<usize, f64> = [(0, 12.0)].into();
+        let errs = count_errors(&est, &truth);
+        assert_eq!(errs, vec![(0, 0.2), (1, -1.0)]);
+    }
+
+    #[test]
+    fn l1_on_disjoint_supports() {
+        let a: HashMap<usize, f64> = [(0, 1.0)].into();
+        let b: HashMap<usize, f64> = [(1, 1.0)].into();
+        assert!((l1_error(&a, &b) - 2.0).abs() < 1e-12);
+        assert_eq!(l1_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn within_counts() {
+        let errs = vec![(0, 0.1), (1, -0.6), (2, 0.5), (3, -1.0)];
+        assert_eq!(count_within(&errs, 0.5), 2);
+        assert!((fraction_within(&errs, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(fraction_within(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_clamps() {
+        let h = histogram([-5.0, -0.9, -0.4, 0.4, 0.9, 7.0], -1.0, 1.0, 4);
+        assert_eq!(h, vec![2, 1, 1, 2]);
+        assert_eq!(h.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+    }
+
+    #[test]
+    fn text_histogram_renders() {
+        let s = text_histogram(&[1, 4, 2], 0.0, 3.0, 10);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+    }
+}

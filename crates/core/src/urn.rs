@@ -1,0 +1,170 @@
+//! The urn: the assembled count table plus everything derived from it that
+//! the samplers need (per-vertex totals, the alias table over roots, and the
+//! per-rooted-shape totals `r_j` that drive AGS).
+
+use crate::build::BuildStats;
+use crate::error::BuildError;
+use motivo_graph::{Coloring, Graph};
+use motivo_table::storage::RecordHandle;
+use motivo_table::{AliasTable, CountTable};
+use motivo_treelet::{Treelet, TreeletFamily};
+
+/// The abstract urn of the paper: after the build-up phase, colorful
+/// k-treelet copies can be drawn uniformly at random from it, either
+/// globally (`sample()`) or restricted to one rooted shape (`sample(T)`).
+pub struct Urn<'g> {
+    graph: &'g Graph,
+    coloring: Coloring,
+    k: u32,
+    table: CountTable,
+    family: TreeletFamily,
+    /// `occ(v)` at size k (0-rooted): colorful k-treelets rooted at `v`.
+    occ_k: Vec<u128>,
+    /// `t = Σ_v occ(v)`: every colorful k-treelet copy, counted once.
+    total_k: u128,
+    root_alias: AliasTable,
+    /// Canonical rooted k-treelet shapes, ascending.
+    shapes: Vec<Treelet>,
+    /// `r_j = Σ_v occ(T_j, v)` per shape.
+    r_shapes: Vec<u128>,
+    stats: BuildStats,
+}
+
+impl<'g> Urn<'g> {
+    /// Derives the sampler-facing tables from a freshly built count table.
+    pub(crate) fn assemble(
+        graph: &'g Graph,
+        coloring: Coloring,
+        table: CountTable,
+        stats: BuildStats,
+    ) -> Result<Urn<'g>, BuildError> {
+        let k = table.k();
+        let n = graph.num_nodes();
+        let family = TreeletFamily::new(k);
+        let shapes: Vec<Treelet> = family.of_size(k).to_vec();
+        let mut occ_k = vec![0u128; n as usize];
+        let mut r_shapes = vec![0u128; shapes.len()];
+        let mut total: u128 = 0;
+        for v in 0..n {
+            let rec = table.get(k, v);
+            let t = rec.total();
+            occ_k[v as usize] = t;
+            total += t;
+            if t > 0 {
+                for (j, &shape) in shapes.iter().enumerate() {
+                    r_shapes[j] += rec.tree_total(shape);
+                }
+            }
+        }
+        if total == 0 {
+            return Err(BuildError::EmptyUrn);
+        }
+        let root_alias = AliasTable::from_u128(&occ_k);
+        Ok(Urn {
+            graph,
+            coloring,
+            k,
+            table,
+            family,
+            occ_k,
+            total_k: total,
+            root_alias,
+            shapes,
+            r_shapes,
+            stats,
+        })
+    }
+
+    /// The host graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The coloring the urn was built under.
+    pub fn coloring(&self) -> &Coloring {
+        &self.coloring
+    }
+
+    /// Graphlet size `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The underlying count table.
+    pub fn table(&self) -> &CountTable {
+        &self.table
+    }
+
+    /// The rooted-treelet family for sizes `1..=k`.
+    pub fn family(&self) -> &TreeletFamily {
+        &self.family
+    }
+
+    /// Record of vertex `v` at treelet size `h`.
+    #[inline]
+    pub fn record(&self, h: u32, v: u32) -> RecordHandle<'_> {
+        self.table.get(h, v)
+    }
+
+    /// `occ(v)`: colorful k-treelets rooted (0-rooted) at `v`.
+    pub fn occ(&self, v: u32) -> u128 {
+        self.occ_k[v as usize]
+    }
+
+    /// `t`: total colorful k-treelet copies in the urn.
+    pub fn total_treelets(&self) -> u128 {
+        self.total_k
+    }
+
+    /// The alias table over root vertices (weights `occ(v)`).
+    pub fn root_alias(&self) -> &AliasTable {
+        &self.root_alias
+    }
+
+    /// The canonical rooted k-treelet shapes, ascending.
+    pub fn shapes(&self) -> &[Treelet] {
+        &self.shapes
+    }
+
+    /// `r_j` for shape index `j`.
+    pub fn shape_total(&self, j: usize) -> u128 {
+        self.r_shapes[j]
+    }
+
+    /// All `r_j` values.
+    pub fn shape_totals(&self) -> &[u128] {
+        &self.r_shapes
+    }
+
+    /// Dense index of a size-k shape.
+    pub fn shape_index(&self, t: Treelet) -> usize {
+        self.family.index_of(t)
+    }
+
+    /// Per-vertex totals `occ(T_j, v)` for one shape — the weights of the
+    /// per-shape alias table AGS rebuilds on every treelet switch (§3.3,
+    /// "when a new T is chosen, the alias sampler must be rebuilt from
+    /// scratch").
+    pub fn shape_vertex_totals(&self, shape: Treelet) -> Vec<u128> {
+        (0..self.graph.num_nodes())
+            .map(|v| {
+                if self.occ_k[v as usize] == 0 {
+                    0
+                } else {
+                    self.table.get(self.k, v).tree_total(shape)
+                }
+            })
+            .collect()
+    }
+
+    /// `p_k`: probability that a fixed k-set is colorful under the urn's
+    /// coloring distribution.
+    pub fn p_colorful(&self) -> f64 {
+        self.coloring.p_colorful()
+    }
+
+    /// Build-phase metrics.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.stats
+    }
+}

@@ -1,0 +1,263 @@
+//! Vertex colorings: uniform and biased (paper §2.1 and §3.4).
+//!
+//! Color coding assigns every vertex an i.i.d. color in `{0, …, k−1}`. With
+//! the **uniform** distribution a fixed k-vertex set becomes colorful with
+//! probability `p_k = k!/k^k`. The **biased** distribution of §3.4 gives a
+//! small probability `λ ≪ 1/k` to each of the colors `0..k−1` except one
+//! heavy color (we pick color `k−1`, keeping color 0 — the 0-rooting color —
+//! among the light ones), which makes most treelet counts vanish and shrinks
+//! the count table at an accuracy cost quantified by Theorem 3.
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How vertex colors are distributed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ColorDistribution {
+    /// Each color with probability `1/k`.
+    Uniform,
+    /// Colors `0..k−1` with probability `λ` each, color `k−1` with the
+    /// remaining mass `1 − (k−1)λ`. Requires `0 < λ ≤ 1/k`.
+    Biased {
+        /// Probability of each light color.
+        lambda: f64,
+    },
+}
+
+impl ColorDistribution {
+    /// Probability that a *fixed* set of `k` vertices receives `k` distinct
+    /// colors: `k!/k^k` uniformly, `k!·λ^{k−1}·(1−(k−1)λ)` biased.
+    ///
+    /// This is the `p_k` by which colorful counts are divided to obtain the
+    /// final estimates (§2.2).
+    pub fn p_colorful(self, k: u32) -> f64 {
+        let kf = k as f64;
+        let fact: f64 = (1..=k).map(|i| i as f64).product();
+        match self {
+            ColorDistribution::Uniform => fact / kf.powi(k as i32),
+            ColorDistribution::Biased { lambda } => {
+                fact * lambda.powi(k as i32 - 1) * (1.0 - (kf - 1.0) * lambda)
+            }
+        }
+    }
+}
+
+/// A concrete color assignment to the vertices of a graph.
+#[derive(Clone)]
+pub struct Coloring {
+    colors: Vec<u8>,
+    k: u32,
+    distribution: ColorDistribution,
+}
+
+impl Coloring {
+    /// Colors every vertex i.i.d. uniformly over `{0, …, k−1}`.
+    pub fn uniform(g: &Graph, k: u32, seed: u64) -> Coloring {
+        assert!((2..=16).contains(&k));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let colors = (0..g.num_nodes()).map(|_| rng.gen_range(0..k) as u8).collect();
+        Coloring { colors, k, distribution: ColorDistribution::Uniform }
+    }
+
+    /// Biased coloring (§3.4): light colors `0..k−1` with probability `λ`,
+    /// heavy color `k−1` with the rest.
+    pub fn biased(g: &Graph, k: u32, lambda: f64, seed: u64) -> Coloring {
+        assert!((2..=16).contains(&k));
+        assert!(
+            lambda > 0.0 && lambda <= 1.0 / k as f64,
+            "lambda must lie in (0, 1/k]"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let colors = (0..g.num_nodes())
+            .map(|_| {
+                let x: f64 = rng.gen();
+                let slot = (x / lambda) as u32;
+                if slot < k - 1 {
+                    slot as u8
+                } else {
+                    (k - 1) as u8
+                }
+            })
+            .collect();
+        Coloring { colors, k, distribution: ColorDistribution::Biased { lambda } }
+    }
+
+    /// A fixed assignment (used for the identity coloring when computing
+    /// spanning-treelet tables on k-node graphlets, and by tests).
+    pub fn fixed(colors: Vec<u8>, k: u32) -> Coloring {
+        assert!((2..=16).contains(&k));
+        assert!(colors.iter().all(|&c| (c as u32) < k));
+        Coloring { colors, k, distribution: ColorDistribution::Uniform }
+    }
+
+    /// The number of colors `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The color of vertex `v`.
+    #[inline]
+    pub fn color(&self, v: u32) -> u8 {
+        self.colors[v as usize]
+    }
+
+    /// The underlying distribution (determines `p_k`).
+    pub fn distribution(&self) -> ColorDistribution {
+        self.distribution
+    }
+
+    /// `p_k` for this coloring's distribution.
+    pub fn p_colorful(&self) -> f64 {
+        self.distribution.p_colorful(self.k)
+    }
+
+    /// Vertices per color, for diagnostics.
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.k as usize];
+        for &c in &self.colors {
+            h[c as usize] += 1;
+        }
+        h
+    }
+
+    /// Serializes the coloring (needed to reopen a persisted urn: the
+    /// count table is only meaningful together with the coloring it was
+    /// built under). Format: magic `MTVC`, version, k, distribution tag
+    /// (+ λ), n, then one color byte per vertex.
+    pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        use bytes::BufMut;
+        let mut buf = Vec::with_capacity(32 + self.colors.len());
+        buf.put_slice(b"MTVC");
+        buf.put_u32_le(1);
+        buf.put_u32_le(self.k);
+        match self.distribution {
+            ColorDistribution::Uniform => {
+                buf.put_u8(0);
+                buf.put_f64_le(0.0);
+            }
+            ColorDistribution::Biased { lambda } => {
+                buf.put_u8(1);
+                buf.put_f64_le(lambda);
+            }
+        }
+        buf.put_u64_le(self.colors.len() as u64);
+        buf.put_slice(&self.colors);
+        w.write_all(&buf)
+    }
+
+    /// Deserializes a coloring written by [`Coloring::save`].
+    pub fn load<R: std::io::Read>(mut r: R) -> std::io::Result<Coloring> {
+        use bytes::Buf;
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw)?;
+        let mut buf = &raw[..];
+        if buf.remaining() < 29 {
+            return Err(bad("truncated coloring"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"MTVC" || buf.get_u32_le() != 1 {
+            return Err(bad("bad coloring header"));
+        }
+        let k = buf.get_u32_le();
+        if !(2..=16).contains(&k) {
+            return Err(bad("bad k"));
+        }
+        let tag = buf.get_u8();
+        let lambda = buf.get_f64_le();
+        let distribution = match tag {
+            0 => ColorDistribution::Uniform,
+            1 => ColorDistribution::Biased { lambda },
+            _ => return Err(bad("bad distribution tag")),
+        };
+        let n = buf.get_u64_le() as usize;
+        if buf.remaining() != n {
+            return Err(bad("coloring length mismatch"));
+        }
+        let colors = buf.to_vec();
+        if colors.iter().any(|&c| c as u32 >= k) {
+            return Err(bad("color out of range"));
+        }
+        Ok(Coloring { colors, k, distribution })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn uniform_p_colorful_matches_formula() {
+        let u = ColorDistribution::Uniform;
+        assert!((u.p_colorful(3) - 6.0 / 27.0).abs() < 1e-12);
+        assert!((u.p_colorful(5) - 120.0 / 3125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_reduces_to_uniform_at_lambda_inv_k() {
+        for k in 2..=8u32 {
+            let b = ColorDistribution::Biased { lambda: 1.0 / k as f64 };
+            let u = ColorDistribution::Uniform;
+            assert!((b.p_colorful(k) - u.p_colorful(k)).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn uniform_histogram_roughly_flat() {
+        let g = generators::erdos_renyi(2000, 4000, 7);
+        let c = Coloring::uniform(&g, 5, 42);
+        let h = c.histogram();
+        assert_eq!(h.iter().sum::<usize>(), 2000);
+        for &cnt in &h {
+            assert!((250..=550).contains(&cnt), "suspicious color balance {h:?}");
+        }
+    }
+
+    #[test]
+    fn biased_histogram_skews_to_heavy_color() {
+        let g = generators::erdos_renyi(5000, 10000, 7);
+        let c = Coloring::biased(&g, 5, 0.02, 42);
+        let h = c.histogram();
+        // Heavy color is k−1 with mass 1 − 4·0.02 = 0.92.
+        assert!(h[4] > 4200, "heavy color underrepresented: {h:?}");
+        for &light in &h[..4] {
+            assert!(light < 250, "light color overrepresented: {h:?}");
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let g = generators::erdos_renyi(50, 120, 1);
+        for c in [Coloring::uniform(&g, 5, 3), Coloring::biased(&g, 5, 0.05, 4)] {
+            let mut buf = Vec::new();
+            c.save(&mut buf).unwrap();
+            let back = Coloring::load(&buf[..]).unwrap();
+            assert_eq!(back.k(), c.k());
+            assert_eq!(back.distribution(), c.distribution());
+            for v in 0..g.num_nodes() {
+                assert_eq!(back.color(v), c.color(v));
+            }
+        }
+        // Corruption rejected.
+        let c = Coloring::uniform(&g, 4, 1);
+        let mut buf = Vec::new();
+        c.save(&mut buf).unwrap();
+        assert!(Coloring::load(&buf[..buf.len() - 1]).is_err());
+        buf[0] = b'X';
+        assert!(Coloring::load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::erdos_renyi(100, 300, 3);
+        let a = Coloring::uniform(&g, 6, 9);
+        let b = Coloring::uniform(&g, 6, 9);
+        for v in 0..g.num_nodes() {
+            assert_eq!(a.color(v), b.color(v));
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Deterministic synthetic graph generators.
+//!
+//! These stand in for the paper's datasets (Table 1): the figures are driven
+//! by three structural properties — degree skew (hubs), treelet-count skew,
+//! and graphlet-frequency skew — and each generator reproduces one of them at
+//! laptop scale. All generators are seeded and reproducible.
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// `G(n, m)` Erdős–Rényi: `m` distinct uniform edges. Flat degrees, flat
+/// graphlet spectrum — the "AGS gains little" regime of §5.3.
+pub fn erdos_renyi(n: u32, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let max_m = n as u64 * (n as u64 - 1) / 2;
+    assert!((m as u64) <= max_m, "too many edges requested");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let e = (a.min(b), a.max(b));
+        if seen.insert(e) {
+            edges.push(e);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: every new vertex attaches to
+/// `m_attach` earlier vertices chosen proportionally to degree (via the
+/// repeated-endpoint urn). Heavy-tailed degrees ≈ the paper's social graphs.
+pub fn barabasi_albert(n: u32, m_attach: u32, seed: u64) -> Graph {
+    assert!(m_attach >= 1 && n > m_attach);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * (n as usize) * m_attach as usize);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n as usize * m_attach as usize);
+    // Seed clique on m_attach + 1 vertices.
+    for a in 0..=m_attach {
+        for b in a + 1..=m_attach {
+            edges.push((a, b));
+            endpoints.push(a);
+            endpoints.push(b);
+        }
+    }
+    for v in m_attach + 1..n {
+        let mut chosen: HashSet<u32> = HashSet::with_capacity(m_attach as usize);
+        while chosen.len() < m_attach as usize {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            chosen.insert(t);
+        }
+        // Sort: HashSet iteration order is nondeterministic, and the urn
+        // contents feed back into future draws.
+        let mut chosen: Vec<u32> = chosen.into_iter().collect();
+        chosen.sort_unstable();
+        for t in chosen {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A BA graph plus one hub adjacent to a `hub_fraction` of all vertices —
+/// the BerkStan/Orkut regime where one vertex roots a large share of all
+/// treelets, which is what neighbor buffering (§3.2, Fig. 5) compensates.
+pub fn star_heavy(n: u32, m_attach: u32, hub_fraction: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&hub_fraction) && n >= 8);
+    let base = barabasi_albert(n, m_attach, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let hub = 0u32;
+    let mut edges: Vec<(u32, u32)> = base.edges().collect();
+    let targets = ((n as f64 - 1.0) * hub_fraction) as u32;
+    let mut chosen: HashSet<u32> = HashSet::with_capacity(targets as usize);
+    while (chosen.len() as u32) < targets {
+        let t = rng.gen_range(1..n);
+        chosen.insert(t);
+    }
+    let mut chosen: Vec<u32> = chosen.into_iter().collect();
+    chosen.sort_unstable();
+    for t in chosen {
+        edges.push((hub, t));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A Yelp-like graph: `centers` large stars (leaf counts geometrically
+/// spread around `avg_leaves`) chained together, plus a sprinkle of random
+/// leaf–leaf edges. For `k ≥ 5`, all but a vanishing fraction of k-graphlets
+/// are stars — the §5.3 showcase where naive sampling sees only the star and
+/// AGS still covers the rare shapes.
+pub fn yelp_like(centers: u32, avg_leaves: u32, extra_edges: usize, seed: u64) -> Graph {
+    assert!(centers >= 1 && avg_leaves >= 4);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut next = centers; // vertices 0..centers are the star centers
+    let mut sizes = Vec::with_capacity(centers as usize);
+    for c in 0..centers {
+        // Spread star sizes so the treelet mass is skewed across shapes too.
+        let leaves = (avg_leaves / 2) + rng.gen_range(0..avg_leaves);
+        sizes.push(leaves);
+        for _ in 0..leaves {
+            edges.push((c, next));
+            next += 1;
+        }
+        if c > 0 {
+            edges.push((c - 1, c)); // chain the centers: connected graph
+        }
+    }
+    let n = next;
+    for _ in 0..extra_edges {
+        let a = rng.gen_range(centers..n);
+        let b = rng.gen_range(centers..n);
+        if a != b {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The `(clique_n, tail)` lollipop graph of Theorem 5: a clique on
+/// `clique_n` vertices with a dangling path of `tail` vertices. The k-path
+/// graphlet has polynomially small frequency yet its only spanning tree is
+/// the treelet that dominates the urn — the lower-bound instance for *any*
+/// `sample(T)`-based strategy.
+pub fn lollipop(clique_n: u32, tail: u32) -> Graph {
+    assert!(clique_n >= 2);
+    let n = clique_n + tail;
+    let mut edges = Vec::new();
+    for a in 0..clique_n {
+        for b in a + 1..clique_n {
+            edges.push((a, b));
+        }
+    }
+    for i in 0..tail {
+        let prev = if i == 0 { clique_n - 1 } else { clique_n + i - 1 };
+        edges.push((prev, clique_n + i));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The path on `n` vertices.
+pub fn path_graph(n: u32) -> Graph {
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The cycle on `n ≥ 3` vertices.
+pub fn cycle_graph(n: u32) -> Graph {
+    assert!(n >= 3);
+    let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    Graph::from_edges(n, &edges)
+}
+
+/// The complete graph `K_n`.
+pub fn complete_graph(n: u32) -> Graph {
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            edges.push((a, b));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The star `K_{1,n−1}` with center 0.
+pub fn star_graph(n: u32) -> Graph {
+    assert!(n >= 2);
+    let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The complete bipartite graph `K_{a,b}`.
+pub fn complete_bipartite(a: u32, b: u32) -> Graph {
+    let mut edges = Vec::new();
+    for x in 0..a {
+        for y in 0..b {
+            edges.push((x, a + y));
+        }
+    }
+    Graph::from_edges(a + b, &edges)
+}
+
+/// A named graph in the benchmark suite.
+pub struct SuiteGraph {
+    /// Dataset name used in tables/figures.
+    pub name: &'static str,
+    /// The graph itself.
+    pub graph: Graph,
+    /// Largest `k` the experiments run on it.
+    pub max_k: u32,
+}
+
+/// The default benchmark suite standing in for the paper's Table 1, scaled
+/// by `scale ≥ 1` (vertex counts multiply; all seeds fixed).
+pub fn suite(scale: u32) -> Vec<SuiteGraph> {
+    let s = scale.max(1);
+    vec![
+        SuiteGraph {
+            name: "ba-social",
+            graph: barabasi_albert(2_000 * s, 5, 1),
+            max_k: 6,
+        },
+        SuiteGraph {
+            name: "er-flat",
+            graph: erdos_renyi(3_000 * s, 9_000 * s as usize, 2),
+            max_k: 6,
+        },
+        SuiteGraph {
+            name: "hub-web",
+            graph: star_heavy(2_000 * s, 3, 0.5, 3),
+            max_k: 6,
+        },
+        SuiteGraph {
+            name: "yelp-stars",
+            graph: yelp_like(40 * s, 120, 60 * s as usize, 4),
+            max_k: 7,
+        },
+        SuiteGraph {
+            name: "lollipop",
+            graph: lollipop(60 * s.min(4), 5),
+            max_k: 6,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_has_requested_edges() {
+        let g = erdos_renyi(100, 300, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn ba_structure() {
+        let g = barabasi_albert(500, 3, 1);
+        assert_eq!(g.num_nodes(), 500);
+        // Seed clique K4 (6 edges) + 496 vertices × 3 edges.
+        assert_eq!(g.num_edges(), 6 + 496 * 3);
+        assert!(g.is_connected());
+        // Preferential attachment ⇒ max degree well above the minimum.
+        assert!(g.max_degree() > 20, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn star_heavy_has_hub() {
+        let g = star_heavy(1000, 2, 0.6, 9);
+        assert!(g.degree(0) >= 550, "hub degree {}", g.degree(0));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn yelp_like_star_dominated() {
+        let g = yelp_like(10, 50, 5, 3);
+        assert!(g.is_connected());
+        // Centers dominate degrees.
+        let hub_degrees: Vec<_> = (0..10).map(|c| g.degree(c)).collect();
+        assert!(hub_degrees.iter().all(|&d| d >= 25), "{hub_degrees:?}");
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(10, 3);
+        assert_eq!(g.num_nodes(), 13);
+        assert_eq!(g.num_edges(), 45 + 3);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(12), 1); // tail end
+        assert_eq!(g.degree(9), 10); // clique vertex holding the tail
+    }
+
+    #[test]
+    fn basic_shapes() {
+        assert_eq!(path_graph(5).num_edges(), 4);
+        assert_eq!(cycle_graph(5).num_edges(), 5);
+        assert_eq!(complete_graph(6).num_edges(), 15);
+        assert_eq!(star_graph(7).num_edges(), 6);
+        assert_eq!(complete_bipartite(3, 4).num_edges(), 12);
+        assert!(cycle_graph(5).is_connected());
+    }
+
+    #[test]
+    fn suite_is_reproducible() {
+        let a = suite(1);
+        let b = suite(1);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.graph, y.graph, "{} not deterministic", x.name);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Graph serialization: whitespace edge-list text and a compact binary
+//! format (the paper converts all inputs to "the motivo binary format").
+//!
+//! Binary layout (little-endian): magic `MTVG`, version `u32`, `n: u64`,
+//! `m2: u64` (directed half-edge count), `offsets: (n+1) × u64`,
+//! `neighbors: m2 × u32`.
+
+use crate::Graph;
+use bytes::{Buf, BufMut};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MTVG";
+const VERSION: u32 = 1;
+
+/// Parses a whitespace-separated edge list (`u v` per line, `#`/`%` comments
+/// skipped). Vertices are the ids appearing in the file; `n` is one plus the
+/// maximum id.
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let a: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data(format!("bad line: {line:?}")))?;
+        let b: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data(format!("bad line: {line:?}")))?;
+        max_id = max_id.max(a).max(b);
+        edges.push((a, b));
+    }
+    if edges.is_empty() {
+        return Err(bad_data("empty edge list".into()));
+    }
+    Ok(Graph::from_edges(max_id + 1, &edges))
+}
+
+/// Reads an edge-list file from disk.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Serializes to the binary format.
+pub fn write_binary<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    let n = g.num_nodes() as u64;
+    let m2: u64 = (0..g.num_nodes()).map(|v| g.degree(v) as u64).sum();
+    let mut buf = Vec::with_capacity(24 + (n as usize + 1) * 8 + m2 as usize * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(n);
+    buf.put_u64_le(m2);
+    let mut acc = 0u64;
+    buf.put_u64_le(0);
+    for v in 0..g.num_nodes() {
+        acc += g.degree(v) as u64;
+        buf.put_u64_le(acc);
+    }
+    for v in 0..g.num_nodes() {
+        for &u in g.neighbors(v) {
+            buf.put_u32_le(u);
+        }
+    }
+    w.write_all(&buf)
+}
+
+/// Deserializes from the binary format, validating the header and structure.
+pub fn read_binary<R: Read>(mut r: R) -> io::Result<Graph> {
+    let mut all = Vec::new();
+    r.read_to_end(&mut all)?;
+    let mut buf = &all[..];
+    if buf.remaining() < 24 {
+        return Err(bad_data("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad_data("bad magic".into()));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(bad_data("unsupported version".into()));
+    }
+    let n = buf.get_u64_le() as usize;
+    let m2 = buf.get_u64_le() as usize;
+    if buf.remaining() != (n + 1) * 8 + m2 * 4 {
+        return Err(bad_data("length mismatch".into()));
+    }
+    let mut edges = Vec::with_capacity(m2 / 2);
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le() as usize);
+    }
+    if offsets[0] != 0 || offsets[n] != m2 {
+        return Err(bad_data("corrupt offsets".into()));
+    }
+    let mut neighbors = Vec::with_capacity(m2);
+    for _ in 0..m2 {
+        neighbors.push(buf.get_u32_le());
+    }
+    for v in 0..n {
+        if offsets[v] > offsets[v + 1] {
+            return Err(bad_data("non-monotone offsets".into()));
+        }
+        for &u in &neighbors[offsets[v]..offsets[v + 1]] {
+            if u as usize >= n {
+                return Err(bad_data("neighbor out of range".into()));
+            }
+            if u as usize > v {
+                edges.push((v as u32, u));
+            }
+        }
+    }
+    Ok(Graph::from_edges(n as u32, &edges))
+}
+
+/// Writes the binary format to a file.
+pub fn save_binary<P: AsRef<Path>>(g: &Graph, path: P) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Loads the binary format from a file.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let text = "# comment\n0 1\n1 2\n\n% other comment\n2 0\n3 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("".as_bytes()).is_err());
+        assert!(read_edge_list("5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = generators::barabasi_albert(300, 3, 11);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let h = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = generators::path_graph(10);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert!(read_binary(&buf[..10]).is_err());
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_binary(&bad[..]).is_err());
+        let mut trunc = buf.clone();
+        trunc.pop();
+        assert!(read_binary(&trunc[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = generators::cycle_graph(17);
+        let dir = std::env::temp_dir().join("motivo-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cycle.mtvg");
+        save_binary(&g, &path).unwrap();
+        assert_eq!(load_binary(&path).unwrap(), g);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,212 @@
+//! Host-graph substrate for Motivo.
+//!
+//! The paper stores the input graph as adjacency lists in "sorted static
+//! arrays; arrays of consecutive vertices are contiguous in memory" (§3.3) —
+//! i.e. a CSR (compressed sparse row) layout — providing fast neighbor
+//! iteration and `O(log δ(u))` edge-membership queries, which the sampling
+//! phase needs to induce the subgraph on a sampled vertex set.
+//!
+//! [`Graph`] is exactly that: undirected, simple (no self-loops, no parallel
+//! edges), with `u32` vertex ids. [`generators`] provides the deterministic
+//! synthetic workload suite standing in for the paper's datasets (Table 1),
+//! and [`coloring`] implements both the uniform and the biased (§3.4) color
+//! assignments.
+
+pub mod coloring;
+pub mod generators;
+pub mod io;
+
+pub use coloring::{ColorDistribution, Coloring};
+
+/// An undirected simple graph in CSR form with sorted adjacency arrays.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an edge list. Self-loops are
+    /// dropped and duplicate/parallel edges (in either orientation) are
+    /// merged; endpoints must be `< n`.
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Graph {
+        let mut deg = vec![0usize; n as usize];
+        let mut clean: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            if a != b {
+                clean.push((a.min(b), a.max(b)));
+            }
+        }
+        clean.sort_unstable();
+        clean.dedup();
+        for &(a, b) in &clean {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; acc];
+        for &(a, b) in &clean {
+            neighbors[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        for v in 0..n as usize {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge-membership query in `O(log min(δ(u), δ(v)))` by binary-searching
+    /// the shorter adjacency list (paper §3.3, footnote 7).
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum degree Δ (0 for the empty graph) — the quantity in the
+    /// Theorem 3 concentration bound.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Iterates each undirected edge once, as `(min, max)` pairs in order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_nodes()).flat_map(move |v| {
+            self.neighbors(v).iter().filter(move |&&u| u > v).map(move |&u| (v, u))
+        })
+    }
+
+    /// The adjacency of the subgraph induced by `verts`, as per-vertex
+    /// bitmask rows over the *positions* in `verts` (which must hold at most
+    /// 16 distinct vertices). Row `i` has bit `j` set iff
+    /// `verts[i] ~ verts[j]` in the graph.
+    pub fn induced_rows(&self, verts: &[u32]) -> Vec<u16> {
+        assert!(verts.len() <= 16);
+        let mut rows = vec![0u16; verts.len()];
+        for i in 0..verts.len() {
+            for j in i + 1..verts.len() {
+                if self.has_edge(verts[i], verts[j]) {
+                    rows[i] |= 1 << j;
+                    rows[j] |= 1 << i;
+                }
+            }
+        }
+        rows
+    }
+
+    /// Whether the graph is connected (vacuously true when `n ≤ 1`).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n as usize];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut cnt = 1u32;
+        while let Some(v) = stack.pop() {
+            for &u in self.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    cnt += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        cnt == n
+    }
+
+    /// Total in-memory footprint of the CSR arrays, in bytes. Reported by
+    /// the space-usage experiments (Fig. 7).
+    pub fn byte_size(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.num_nodes(), self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_dedups() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0), (1, 1), (2, 3), (0, 1)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(1, 1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn degrees_and_edges_iterator() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.max_degree(), 3);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (0, 3), (3, 4)]);
+        assert_eq!(edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn induced_rows_triangle() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let rows = g.induced_rows(&[0, 1, 2]);
+        assert_eq!(rows, vec![0b110, 0b101, 0b011]);
+        let rows = g.induced_rows(&[0, 3]);
+        assert_eq!(rows, vec![0, 0]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Graph::from_edges(3, &[(0, 1), (1, 2)]).is_connected());
+        assert!(!Graph::from_edges(3, &[(0, 1)]).is_connected());
+        assert!(Graph::from_edges(1, &[]).is_connected());
+    }
+}

@@ -1,0 +1,285 @@
+//! Canonical labeling — the from-scratch Nauty substitute.
+//!
+//! The canonical form of a graphlet is the relabeling that **maximizes** the
+//! packed upper-triangle code, restricted to permutations respecting the
+//! stable partition computed by 1-D Weisfeiler–Leman color refinement. The
+//! refinement classes are isomorphism-invariant (colors are built from
+//! degrees and multisets of neighbor colors only), and the class order is
+//! fixed by the invariant signatures, so the restricted maximum is the same
+//! for any two isomorphic graphs — giving a sound canonical form with a
+//! search space of `Π |cell|!` instead of `k!`.
+//!
+//! The backtracking assigns positions `0..k` one vertex at a time; placing
+//! position `p` fixes exactly the upper-triangle column `p` (bits
+//! `p(p−1)/2 .. p(p+1)/2`), so partial codes are comparable per-column and
+//! branches that fall lexicographically behind the incumbent are pruned.
+//!
+//! A [`CanonicalCache`] memoizes raw code → canonical code, which makes the
+//! sampler's per-sample classification an amortized hash lookup (sampled
+//! patterns repeat heavily).
+
+use crate::Graphlet;
+use std::collections::HashMap;
+
+/// Computes the canonical representative and one certifying permutation
+/// (`perm[i]` = canonical position of input vertex `i`).
+pub fn canonical_form(g: &Graphlet) -> (Graphlet, Vec<u8>) {
+    let k = g.k() as usize;
+    if k == 1 {
+        return (*g, vec![0]);
+    }
+    let cells = refine(g);
+    // Positions 0..k take vertices cell by cell (cell order is invariant).
+    let mut cell_of_position = Vec::with_capacity(k);
+    for (ci, cell) in cells.iter().enumerate() {
+        for _ in 0..cell.len() {
+            cell_of_position.push(ci);
+        }
+    }
+    let rows = g.rows();
+    let mut search = Search {
+        k,
+        rows: &rows,
+        cells: &cells,
+        cell_of_position: &cell_of_position,
+        used: 0,
+        placed: Vec::with_capacity(k),
+        best_bits: 0,
+        best_perm: Vec::new(),
+        have_best: false,
+    };
+    search.dfs(0, 0, true);
+    let placed = search.best_perm;
+    // placed[p] = input vertex at canonical position p; invert it.
+    let mut perm = vec![0u8; k];
+    for (p, &v) in placed.iter().enumerate() {
+        perm[v as usize] = p as u8;
+    }
+    let canon = Graphlet::from_parts(g.k(), search.best_bits).expect("triangle bits");
+    debug_assert_eq!(g.relabel(&perm), canon);
+    (canon, perm)
+}
+
+/// 1-D WL refinement: returns the stable ordered partition as cells of
+/// vertex ids; the cell order is derived from invariant signatures only.
+fn refine(g: &Graphlet) -> Vec<Vec<u8>> {
+    let k = g.k() as usize;
+    let mut colors: Vec<u32> = (0..k).map(|i| g.degree(i as u8)).collect();
+    loop {
+        // Signature: (own color, sorted neighbor colors).
+        let mut sigs: Vec<(u32, Vec<u32>)> = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut nc: Vec<u32> = (0..k)
+                .filter(|&j| g.edge(i as u8, j as u8))
+                .map(|j| colors[j])
+                .collect();
+            nc.sort_unstable();
+            sigs.push((colors[i], nc));
+        }
+        let mut sorted: Vec<&(u32, Vec<u32>)> = sigs.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        let new_colors: Vec<u32> = sigs
+            .iter()
+            .map(|s| sorted.binary_search(&s).expect("present") as u32)
+            .collect();
+        if new_colors == colors {
+            break;
+        }
+        colors = new_colors;
+    }
+    let num_cells = colors.iter().max().map(|&m| m as usize + 1).unwrap_or(0);
+    let mut cells: Vec<Vec<u8>> = vec![Vec::new(); num_cells];
+    for (i, &c) in colors.iter().enumerate() {
+        cells[c as usize].push(i as u8);
+    }
+    cells.retain(|c| !c.is_empty());
+    cells
+}
+
+struct Search<'a> {
+    k: usize,
+    rows: &'a [u16],
+    cells: &'a [Vec<u8>],
+    cell_of_position: &'a [usize],
+    /// Bitmask of already-placed input vertices.
+    used: u16,
+    /// placed[p] = input vertex at canonical position p.
+    placed: Vec<u8>,
+    best_bits: u128,
+    best_perm: Vec<u8>,
+    have_best: bool,
+}
+
+impl Search<'_> {
+    /// `partial` holds the bits of columns `< pos`; `tight` means the
+    /// partial code equals the incumbent's prefix (only then can pruning
+    /// apply).
+    fn dfs(&mut self, pos: usize, partial: u128, tight: bool) {
+        if pos == self.k {
+            if !self.have_best || partial > self.best_bits {
+                self.best_bits = partial;
+                self.best_perm = self.placed.clone();
+                self.have_best = true;
+            }
+            return;
+        }
+        let col_base = (pos * pos.saturating_sub(1) / 2) as u32;
+        let best_col = if self.have_best {
+            (self.best_bits >> col_base) & ((1u128 << pos) - 1)
+        } else {
+            0
+        };
+        for &v in &self.cells[self.cell_of_position[pos]] {
+            if self.used >> v & 1 == 1 {
+                continue;
+            }
+            // Column bits: edges from v to the already-placed positions.
+            let mut col: u128 = 0;
+            for (p, &u) in self.placed.iter().enumerate() {
+                if self.rows[v as usize] >> u & 1 == 1 {
+                    col |= 1 << p;
+                }
+            }
+            let (child_tight, skip) = if tight && self.have_best {
+                if col < best_col {
+                    (false, true) // strictly behind the incumbent: prune
+                } else {
+                    (col == best_col, false)
+                }
+            } else {
+                (false, false)
+            };
+            if skip {
+                continue;
+            }
+            self.used |= 1 << v;
+            self.placed.push(v);
+            self.dfs(pos + 1, partial | (col << col_base), child_tight);
+            self.placed.pop();
+            self.used &= !(1 << v);
+        }
+    }
+}
+
+/// Memo cache from raw graphlet codes to canonical codes.
+///
+/// Samples are classified at a rate of 10⁴–10⁶ per second and the set of
+/// distinct raw patterns is tiny compared to the sample count, so after
+/// warm-up a classification is one hash probe.
+#[derive(Default)]
+pub struct CanonicalCache {
+    map: HashMap<u128, u128>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CanonicalCache {
+    /// Creates an empty cache.
+    pub fn new() -> CanonicalCache {
+        CanonicalCache::default()
+    }
+
+    /// Canonical code of `g`, computing and memoizing on first sight.
+    pub fn canonical_code(&mut self, g: &Graphlet) -> u128 {
+        if let Some(&c) = self.map.get(&g.code()) {
+            self.hits += 1;
+            return c;
+        }
+        self.misses += 1;
+        let c = g.canonical().code();
+        self.map.insert(g.code(), c);
+        c
+    }
+
+    /// `(hits, misses)` counters, for diagnostics.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clique, cycle, path, star};
+
+    fn random_perm(k: u8, rng: &mut impl rand::Rng) -> Vec<u8> {
+        let mut p: Vec<u8> = (0..k).collect();
+        for i in (1..k as usize).rev() {
+            let j = rng.gen_range(0..=i);
+            p.swap(i, j);
+        }
+        p
+    }
+
+    #[test]
+    fn canonical_is_isomorphism_invariant() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        for g in [path(6), cycle(6), star(7), clique(5), crate::Graphlet::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (2, 5)],
+        )] {
+            let c0 = g.canonical();
+            for _ in 0..50 {
+                let perm = random_perm(g.k(), &mut rng);
+                let h = g.relabel(&perm);
+                assert_eq!(h.canonical(), c0, "not invariant for {g:?} perm {perm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        for g in [path(5), cycle(7), star(6), clique(4)] {
+            let c = g.canonical();
+            assert_eq!(c.canonical(), c);
+        }
+    }
+
+    #[test]
+    fn distinguishes_non_isomorphic() {
+        assert_ne!(path(4).canonical(), star(4).canonical());
+        assert_ne!(cycle(5).canonical(), path(5).canonical());
+        // Two 4-node graphs with degree sequence [2,2,1,1]: P4 vs triangle+pendant
+        // have different sequences; use C4 vs K3+isolated-ish instead: both
+        // degree-regular cases are covered above. Paw vs diamond:
+        let paw = crate::Graphlet::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let diamond = crate::Graphlet::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 3)]);
+        assert_ne!(paw.canonical(), diamond.canonical());
+    }
+
+    #[test]
+    fn certifying_permutation_is_valid() {
+        let g = crate::Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let (c, perm) = canonical_form(&g);
+        assert_eq!(g.relabel(&perm), c);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn regular_graphs_survive_symmetry() {
+        // Highly symmetric inputs exercise the non-discrete-partition path.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let petersen_ish = cycle(8);
+        let c0 = petersen_ish.canonical();
+        for _ in 0..30 {
+            let perm = random_perm(8, &mut rng);
+            assert_eq!(petersen_ish.relabel(&perm).canonical(), c0);
+        }
+        assert_eq!(clique(8).canonical(), clique(8));
+    }
+
+    #[test]
+    fn cache_memoizes() {
+        let mut cache = CanonicalCache::new();
+        let g = cycle(6);
+        let a = cache.canonical_code(&g);
+        let b = cache.canonical_code(&g);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+}

@@ -1,0 +1,72 @@
+//! Enumeration of all connected k-graphlets up to isomorphism.
+//!
+//! Brute force over the `2^{k(k−1)/2}` upper-triangle masks with a
+//! connectivity filter and canonical dedup. Practical for `k ≤ 7`
+//! (2^21 masks); for `k = 8` the paper's 11 117 classes are discovered
+//! on demand by the sampler's registry instead (the paper itself never
+//! materializes them up front either).
+
+use crate::{canonical_form, Graphlet};
+use std::collections::BTreeSet;
+
+/// All connected graphlets on exactly `k ≤ 7` nodes, as canonical
+/// representatives in ascending code order.
+///
+/// Class counts (OEIS A001349): k = 1..7 → 1, 1, 2, 6, 21, 112, 853.
+pub fn all_graphlets(k: u8) -> Vec<Graphlet> {
+    assert!((1..=7).contains(&k), "exhaustive enumeration supported for k ≤ 7");
+    if k == 1 {
+        return vec![Graphlet::empty(1)];
+    }
+    let pairs = (k as u32) * (k as u32 - 1) / 2;
+    let mut seen: BTreeSet<u128> = BTreeSet::new();
+    for bits in 0u128..1u128 << pairs {
+        // Connected graphs need at least k−1 edges; vertex 0 needs a neighbor.
+        if bits.count_ones() < k as u32 - 1 {
+            continue;
+        }
+        let g = Graphlet::from_parts(k, bits).expect("mask within triangle");
+        if g.degree(0) == 0 || !g.is_connected() {
+            continue;
+        }
+        let (canon, _) = canonical_form(&g);
+        seen.insert(canon.code());
+    }
+    seen.into_iter()
+        .map(|c| Graphlet::from_code(c).expect("valid canonical code"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_match_oeis() {
+        assert_eq!(all_graphlets(1).len(), 1);
+        assert_eq!(all_graphlets(2).len(), 1);
+        assert_eq!(all_graphlets(3).len(), 2);
+        assert_eq!(all_graphlets(4).len(), 6);
+        assert_eq!(all_graphlets(5).len(), 21);
+        assert_eq!(all_graphlets(6).len(), 112);
+    }
+
+    #[test]
+    fn representatives_are_canonical_and_connected() {
+        for g in all_graphlets(5) {
+            assert!(g.is_connected());
+            assert_eq!(g.canonical(), g);
+        }
+    }
+
+    #[test]
+    fn known_shapes_present() {
+        let g5 = all_graphlets(5);
+        for shape in [crate::clique(5), crate::path(5), crate::star(5), crate::cycle(5)] {
+            assert!(
+                g5.contains(&shape.canonical()),
+                "missing {shape:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Spanning-tree counting via Kirchhoff's matrix-tree theorem (§3.3).
+//!
+//! The number of spanning trees `σ` of a connected graph on `k` vertices is
+//! the determinant of any `(k−1) × (k−1)` principal minor of its Laplacian.
+//! We evaluate the determinant exactly over the integers with the Bareiss
+//! fraction-free elimination (all intermediate divisions are exact), in
+//! `O(k³)` as in the paper. For `k ≤ 16` the result is at most
+//! `16^14 < 2^57`, comfortably inside `i128` at every step.
+
+use crate::Graphlet;
+
+/// Exact integer determinant by Bareiss fraction-free Gaussian elimination.
+pub fn det_bareiss(mut m: Vec<Vec<i128>>) -> i128 {
+    let n = m.len();
+    if n == 0 {
+        return 1;
+    }
+    let mut sign = 1i128;
+    let mut prev = 1i128;
+    for p in 0..n - 1 {
+        if m[p][p] == 0 {
+            // Pivot: find a row below with a nonzero entry in column p.
+            match (p + 1..n).find(|&r| m[r][p] != 0) {
+                Some(r) => {
+                    m.swap(p, r);
+                    sign = -sign;
+                }
+                None => return 0,
+            }
+        }
+        for i in p + 1..n {
+            for j in p + 1..n {
+                // Exact by the Bareiss identity.
+                m[i][j] = (m[i][j] * m[p][p] - m[i][p] * m[p][j]) / prev;
+            }
+            m[i][p] = 0;
+        }
+        prev = m[p][p];
+    }
+    sign * m[n - 1][n - 1]
+}
+
+/// Number of spanning trees of `g` (0 if disconnected, 1 for `k = 1`).
+#[allow(clippy::needless_range_loop)] // index symmetry mirrors the matrix definition
+pub fn spanning_tree_count(g: &Graphlet) -> u128 {
+    let k = g.k() as usize;
+    if k == 1 {
+        return 1;
+    }
+    // Laplacian minor: drop the last row/column.
+    let mut m = vec![vec![0i128; k - 1]; k - 1];
+    for i in 0..k - 1 {
+        m[i][i] = g.degree(i as u8) as i128;
+        for j in 0..k - 1 {
+            if i != j && g.edge(i as u8, j as u8) {
+                m[i][j] = -1;
+            }
+        }
+    }
+    let d = det_bareiss(m);
+    debug_assert!(d >= 0, "Laplacian minors are positive semidefinite");
+    d as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clique, cycle, path, star, Graphlet};
+
+    #[test]
+    fn classic_counts() {
+        // Cayley: sigma(K_k) = k^(k-2).
+        assert_eq!(spanning_tree_count(&clique(3)), 3);
+        assert_eq!(spanning_tree_count(&clique(4)), 16);
+        assert_eq!(spanning_tree_count(&clique(5)), 125);
+        assert_eq!(spanning_tree_count(&clique(7)), 16807);
+        // Trees have exactly one spanning tree.
+        assert_eq!(spanning_tree_count(&path(6)), 1);
+        assert_eq!(spanning_tree_count(&star(9)), 1);
+        // Cycles have k.
+        assert_eq!(spanning_tree_count(&cycle(5)), 5);
+        assert_eq!(spanning_tree_count(&cycle(12)), 12);
+        // Singleton.
+        assert_eq!(spanning_tree_count(&Graphlet::empty(1)), 1);
+        // Disconnected graphs have none.
+        assert_eq!(spanning_tree_count(&Graphlet::empty(3)), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_formula() {
+        // sigma(K_{a,b}) = a^(b-1) * b^(a-1).
+        let mut k23 = Graphlet::empty(5);
+        for x in 0..2u8 {
+            for y in 2..5u8 {
+                k23.set_edge(x, y);
+            }
+        }
+        assert_eq!(spanning_tree_count(&k23), 2u128.pow(2) * 3u128.pow(1));
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        for _ in 0..30 {
+            let k = rng.gen_range(2..=6u8);
+            let mut g = Graphlet::empty(k);
+            for i in 0..k {
+                for j in i + 1..k {
+                    if rng.gen_bool(0.5) {
+                        g.set_edge(i, j);
+                    }
+                }
+            }
+            assert_eq!(
+                spanning_tree_count(&g),
+                brute_force_spanning(&g),
+                "mismatch on {g:?}"
+            );
+        }
+    }
+
+    /// Counts spanning trees by iterating every (k−1)-subset of edges.
+    fn brute_force_spanning(g: &Graphlet) -> u128 {
+        let k = g.k();
+        let edges: Vec<(u8, u8)> = {
+            let mut v = Vec::new();
+            for i in 0..k {
+                for j in i + 1..k {
+                    if g.edge(i, j) {
+                        v.push((i, j));
+                    }
+                }
+            }
+            v
+        };
+        if k == 1 {
+            return 1;
+        }
+        let need = (k - 1) as u32;
+        let mut count = 0u128;
+        for mask in 0u32..1 << edges.len() {
+            if mask.count_ones() != need {
+                continue;
+            }
+            let sel: Vec<(u8, u8)> = edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            if Graphlet::from_edges(k, &sel).is_connected() {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn bareiss_handles_pivoting() {
+        // A matrix that needs a row swap at the first pivot.
+        let m = vec![vec![0, 2, 1], vec![1, 0, 0], vec![3, 1, 1]];
+        let m: Vec<Vec<i128>> = m.into_iter().map(|r| r.into_iter().collect()).collect();
+        // Cofactor expansion along the first row: 0 − 2·(1·1−0·3) + 1·(1·1−0·3) = −1.
+        assert_eq!(det_bareiss(m), -1);
+    }
+}

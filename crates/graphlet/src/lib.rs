@@ -1,0 +1,331 @@
+//! Graphlets: small connected graphs on at most 16 nodes, packed in 128 bits.
+//!
+//! Motivo encodes each graphlet as its `k × k` symmetric adjacency matrix
+//! reduced to the strict upper triangle and reshaped into a
+//! `1 × k(k−1)/2` bit vector — at most 120 bits, fitting a `u128` (§3.3,
+//! "Graphlets"). Before encoding, a graphlet is replaced by a canonical
+//! representative of its isomorphism class; the paper uses Nauty, we use a
+//! from-scratch canonicalizer ([`canon`]) based on 1-D Weisfeiler–Leman
+//! refinement plus pruned backtracking.
+//!
+//! The crate also provides the spanning-tree machinery the samplers need:
+//! Kirchhoff's matrix-tree determinant ([`kirchhoff`]) and the per-rooted-
+//! treelet spanning counts `σ*` ([`spanning`]) computed by running the
+//! build-up dynamic program on the graphlet itself with the identity
+//! coloring (§3.3, "Spanning trees").
+
+pub mod canon;
+pub mod enumerate;
+pub mod kirchhoff;
+pub mod names;
+pub mod registry;
+pub mod spanning;
+
+pub use canon::{canonical_form, CanonicalCache};
+pub use enumerate::all_graphlets;
+pub use names::name;
+pub use registry::{GraphletInfo, GraphletRegistry};
+
+/// Upper-triangle bit index of the unordered pair `(i, j)`, `i < j`:
+/// column-major, `idx = j(j−1)/2 + i`. This is the paper's bijection between
+/// vertex pairs and `{0, …, 119}`.
+#[inline]
+pub fn pair_index(i: u8, j: u8) -> u32 {
+    debug_assert!(i < j && j < 16);
+    (j as u32 * (j as u32 - 1)) / 2 + i as u32
+}
+
+/// A small simple graph on `k ≤ 16` labelled vertices, adjacency packed in a
+/// `u128`. Not necessarily canonical; see [`canonical_form`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Graphlet {
+    k: u8,
+    bits: u128,
+}
+
+impl Graphlet {
+    /// The empty graph on `k` vertices.
+    pub fn empty(k: u8) -> Graphlet {
+        assert!((1..=16).contains(&k));
+        Graphlet { k, bits: 0 }
+    }
+
+    /// From an explicit edge list over vertices `0..k`.
+    pub fn from_edges(k: u8, edges: &[(u8, u8)]) -> Graphlet {
+        let mut g = Graphlet::empty(k);
+        for &(a, b) in edges {
+            g.set_edge(a, b);
+        }
+        g
+    }
+
+    /// From per-vertex adjacency bitmask rows (as produced by
+    /// `Graph::induced_rows`): row `i` has bit `j` set iff `i ~ j`.
+    pub fn from_rows(rows: &[u16]) -> Graphlet {
+        let k = rows.len() as u8;
+        let mut g = Graphlet::empty(k);
+        for i in 0..k {
+            for j in i + 1..k {
+                if rows[i as usize] >> j & 1 == 1 {
+                    g.set_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// From raw parts (validated: no bits beyond the triangle).
+    pub fn from_parts(k: u8, bits: u128) -> Option<Graphlet> {
+        if !(1..=16).contains(&k) {
+            return None;
+        }
+        let max_bits = (k as u32 * (k as u32 - 1)) / 2;
+        if max_bits < 128 && bits >> max_bits != 0 {
+            return None;
+        }
+        Some(Graphlet { k, bits })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// The packed upper-triangle bits.
+    #[inline]
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// A code identifying `(k, bits)` jointly: `k` in the top 8 bits (the
+    /// triangle needs only 120). Two graphlets are identical iff their codes
+    /// are.
+    #[inline]
+    pub fn code(&self) -> u128 {
+        (self.k as u128) << 120 | self.bits
+    }
+
+    /// Inverse of [`Graphlet::code`].
+    pub fn from_code(code: u128) -> Option<Graphlet> {
+        Graphlet::from_parts((code >> 120) as u8, code & ((1u128 << 120) - 1))
+    }
+
+    /// Whether `i ~ j` (false for `i == j`).
+    #[inline]
+    pub fn edge(&self, i: u8, j: u8) -> bool {
+        if i == j {
+            return false;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.bits >> pair_index(a, b) & 1 == 1
+    }
+
+    /// Adds the edge `i ~ j`.
+    #[inline]
+    pub fn set_edge(&mut self, i: u8, j: u8) {
+        assert!(i != j && i < self.k && j < self.k);
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.bits |= 1 << pair_index(a, b);
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Degree of vertex `i`.
+    pub fn degree(&self, i: u8) -> u32 {
+        (0..self.k).filter(|&j| self.edge(i, j)).count() as u32
+    }
+
+    /// Adjacency of vertex `i` as a bitmask over `0..k`.
+    pub fn row(&self, i: u8) -> u16 {
+        let mut r = 0u16;
+        for j in 0..self.k {
+            if self.edge(i, j) {
+                r |= 1 << j;
+            }
+        }
+        r
+    }
+
+    /// All rows at once.
+    pub fn rows(&self) -> Vec<u16> {
+        (0..self.k).map(|i| self.row(i)).collect()
+    }
+
+    /// Degree sequence, descending — a cheap isomorphism invariant.
+    pub fn degree_sequence(&self) -> Vec<u32> {
+        let mut d: Vec<u32> = (0..self.k).map(|i| self.degree(i)).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+
+    /// Whether the graphlet is connected (graphlets in the paper's sense
+    /// always are; samples are connected by construction).
+    pub fn is_connected(&self) -> bool {
+        if self.k == 1 {
+            return true;
+        }
+        let rows = self.rows();
+        let mut seen: u16 = 1;
+        let mut frontier: u16 = 1;
+        while frontier != 0 {
+            let mut next: u16 = 0;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= rows[v] & !seen;
+            }
+            seen |= next;
+            frontier = next;
+        }
+        seen.count_ones() == self.k as u32
+    }
+
+    /// Relabels vertices: `perm[i]` is the new label of old vertex `i`.
+    pub fn relabel(&self, perm: &[u8]) -> Graphlet {
+        debug_assert_eq!(perm.len(), self.k as usize);
+        let mut g = Graphlet::empty(self.k);
+        for i in 0..self.k {
+            for j in i + 1..self.k {
+                if self.edge(i, j) {
+                    g.set_edge(perm[i as usize], perm[j as usize]);
+                }
+            }
+        }
+        g
+    }
+
+    /// The canonical representative of this graphlet's isomorphism class.
+    pub fn canonical(&self) -> Graphlet {
+        canon::canonical_form(self).0
+    }
+}
+
+impl std::fmt::Debug for Graphlet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graphlet(k={}, edges=[", self.k)?;
+        let mut first = true;
+        for j in 0..self.k {
+            for i in 0..j {
+                if self.edge(i, j) {
+                    if !first {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{i}-{j}")?;
+                    first = false;
+                }
+            }
+        }
+        write!(f, "])")
+    }
+}
+
+/// The k-clique.
+pub fn clique(k: u8) -> Graphlet {
+    let mut g = Graphlet::empty(k);
+    for i in 0..k {
+        for j in i + 1..k {
+            g.set_edge(i, j);
+        }
+    }
+    g
+}
+
+/// The k-path.
+pub fn path(k: u8) -> Graphlet {
+    let mut g = Graphlet::empty(k);
+    for i in 1..k {
+        g.set_edge(i - 1, i);
+    }
+    g
+}
+
+/// The k-cycle (`k ≥ 3`).
+pub fn cycle(k: u8) -> Graphlet {
+    assert!(k >= 3);
+    let mut g = path(k);
+    g.set_edge(k - 1, 0);
+    g
+}
+
+/// The k-star (center 0).
+pub fn star(k: u8) -> Graphlet {
+    let mut g = Graphlet::empty(k);
+    for i in 1..k {
+        g.set_edge(0, i);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..16u8 {
+            for i in 0..j {
+                let idx = pair_index(i, j);
+                assert!(idx < 120);
+                assert!(seen.insert(idx));
+            }
+        }
+        assert_eq!(seen.len(), 120);
+    }
+
+    #[test]
+    fn edges_and_degrees() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        for i in 0..5 {
+            assert_eq!(g.degree(i), 2);
+        }
+        assert!(g.edge(0, 4) && g.edge(4, 0));
+        assert!(!g.edge(0, 2));
+        assert_eq!(g.degree_sequence(), vec![2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn connectivity_bitset_bfs() {
+        assert!(clique(7).is_connected());
+        assert!(path(9).is_connected());
+        let mut g = Graphlet::empty(4);
+        g.set_edge(0, 1);
+        g.set_edge(2, 3);
+        assert!(!g.is_connected());
+        assert!(Graphlet::empty(1).is_connected());
+        assert!(!Graphlet::empty(2).is_connected());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = path(4);
+        let perm = [3u8, 1, 0, 2];
+        let h = g.relabel(&perm);
+        assert_eq!(h.num_edges(), 3);
+        // Edge 0-1 of g becomes 3-1, edge 1-2 becomes 1-0, edge 2-3 becomes 0-2.
+        assert!(h.edge(3, 1) && h.edge(1, 0) && h.edge(0, 2));
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for g in [clique(6), path(5), star(8), cycle(4)] {
+            assert_eq!(Graphlet::from_code(g.code()), Some(g));
+        }
+        assert!(Graphlet::from_parts(3, 0b1000).is_none()); // bit beyond triangle
+        assert!(Graphlet::from_parts(0, 0).is_none());
+    }
+
+    #[test]
+    fn from_rows_matches_edges() {
+        let g = Graphlet::from_rows(&[0b0110, 0b0101, 0b0011, 0b0000]);
+        assert!(g.edge(0, 1) && g.edge(0, 2) && g.edge(1, 2));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.k(), 4);
+    }
+}

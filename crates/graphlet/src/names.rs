@@ -1,0 +1,124 @@
+//! Human-readable graphlet names.
+//!
+//! Small graphlets have established names in the motif literature (the
+//! k ≤ 5 atlas); larger ones get a systematic description. Used by the CLI
+//! and the examples so output reads "diamond" instead of a 120-bit hex
+//! code.
+
+use crate::{canonical_form, clique, cycle, path, star, Graphlet};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// A name for the graphlet: an atlas name for the well-known classes, else
+/// a systematic `k<k>-e<edges>-d<degree sequence>` descriptor.
+pub fn name(g: &Graphlet) -> String {
+    let canon = g.canonical();
+    if let Some(n) = atlas().get(&canon.code()) {
+        return (*n).to_string();
+    }
+    let degs: Vec<String> = canon.degree_sequence().iter().map(u32::to_string).collect();
+    format!("k{}-e{}-d{}", canon.k(), canon.num_edges(), degs.join(""))
+}
+
+fn atlas() -> &'static HashMap<u128, &'static str> {
+    static ATLAS: OnceLock<HashMap<u128, &'static str>> = OnceLock::new();
+    ATLAS.get_or_init(|| {
+        let mut m: HashMap<u128, &'static str> = HashMap::new();
+        let mut put = |g: Graphlet, n: &'static str| {
+            m.insert(canonical_form(&g).0.code(), n);
+        };
+        // k = 2, 3.
+        put(path(2), "edge");
+        put(path(3), "path-3");
+        put(clique(3), "triangle");
+        // k = 4.
+        put(path(4), "path-4");
+        put(star(4), "star-4");
+        put(cycle(4), "4-cycle");
+        put(clique(4), "4-clique");
+        put(Graphlet::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]), "paw");
+        put(
+            Graphlet::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 3)]),
+            "diamond",
+        );
+        // k = 5 (the 21-graphlet atlas; common names).
+        put(path(5), "path-5");
+        put(star(5), "star-5");
+        put(cycle(5), "5-cycle");
+        put(clique(5), "5-clique");
+        put(
+            Graphlet::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]),
+            "fork", // a.k.a. chair without the seat edge
+        );
+        put(
+            Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]),
+            "house",
+        );
+        put(
+            Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 0), (4, 0)]),
+            "cricket",
+        );
+        put(
+            Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]),
+            "tadpole",
+        );
+        put(
+            Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (0, 4), (3, 4)]),
+            "butterfly",
+        );
+        put(
+            Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4), (2, 4)]),
+            "gem",
+        );
+        put(
+            Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 0), (1, 3), (2, 3), (0, 4)]),
+            "bull",
+        );
+        m
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atlas_names_are_isomorphism_invariant() {
+        let tri = clique(3);
+        assert_eq!(name(&tri), "triangle");
+        assert_eq!(name(&tri.relabel(&[2, 0, 1])), "triangle");
+        assert_eq!(name(&path(4)), "path-4");
+        assert_eq!(name(&star(5)), "star-5");
+        assert_eq!(name(&cycle(4)), "4-cycle");
+        assert_eq!(name(&clique(5)), "5-clique");
+        let paw = Graphlet::from_edges(4, &[(1, 2), (2, 3), (3, 1), (1, 0)]);
+        assert_eq!(name(&paw), "paw");
+    }
+
+    #[test]
+    fn systematic_fallback() {
+        // A 6-node shape without an atlas name.
+        let g = Graphlet::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let n = name(&g);
+        assert!(n.starts_with("k6-e7-d"), "{n}");
+        // Deterministic under relabeling.
+        assert_eq!(n, name(&g.relabel(&[3, 1, 5, 0, 2, 4])));
+    }
+
+    #[test]
+    fn named_classes_are_distinct() {
+        let names: Vec<String> = [
+            name(&path(5)),
+            name(&star(5)),
+            name(&cycle(5)),
+            name(&clique(5)),
+            name(&Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)])),
+            name(&Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 0), (1, 3), (2, 3), (0, 4)])),
+        ]
+        .to_vec();
+        let mut uniq = names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len(), "{names:?}");
+    }
+}

@@ -1,0 +1,275 @@
+//! The graphlet registry: canonical class ⇄ dense index, with the derived
+//! quantities (spanning-tree count `σ`, rooted spanning shapes `σ*`) the
+//! estimators need.
+//!
+//! The registry can be pre-populated by exhaustive enumeration (`k ≤ 7`) or
+//! grown on demand as the sampler discovers new classes (`k ≥ 8`, where the
+//! paper's >10⁴ classes are met only through samples). Derived quantities
+//! are computed once per class; the paper likewise caches its `σ_ij` table
+//! to disk because recomputing it dominated sampling start-up (§3.3).
+
+use crate::canon::CanonicalCache;
+use crate::kirchhoff::spanning_tree_count;
+use crate::spanning::sigma_rooted;
+use crate::{enumerate, Graphlet};
+use motivo_treelet::TreeletFamily;
+use std::collections::HashMap;
+
+/// Everything the samplers need to know about one isomorphism class.
+pub struct GraphletInfo {
+    /// Canonical representative.
+    pub graphlet: Graphlet,
+    /// Kirchhoff spanning-tree count `σ`.
+    pub spanning_trees: u128,
+    /// `σ*(H, T_j)` per rooted k-treelet shape `j` (dense family index):
+    /// rooted spanning copies of shape `T_j` over all roots.
+    pub sigma_rooted: Vec<u64>,
+}
+
+/// Registry of k-graphlet classes with a memoized canonicalizer.
+pub struct GraphletRegistry {
+    k: u8,
+    family: TreeletFamily,
+    index: HashMap<u128, usize>,
+    infos: Vec<GraphletInfo>,
+    cache: CanonicalCache,
+}
+
+impl GraphletRegistry {
+    /// An empty registry that discovers classes on demand.
+    pub fn new(k: u8) -> GraphletRegistry {
+        assert!((2..=16).contains(&k));
+        GraphletRegistry {
+            k,
+            family: TreeletFamily::new(k as u32),
+            index: HashMap::new(),
+            infos: Vec::new(),
+            cache: CanonicalCache::new(),
+        }
+    }
+
+    /// A registry pre-populated with every connected k-graphlet (`k ≤ 7`).
+    pub fn with_enumeration(k: u8) -> GraphletRegistry {
+        let mut reg = GraphletRegistry::new(k);
+        for g in enumerate::all_graphlets(k) {
+            reg.insert_canonical(g);
+        }
+        reg
+    }
+
+    /// The graphlet size `k`.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// The rooted k-treelet family used for `σ*` indexing.
+    pub fn family(&self) -> &TreeletFamily {
+        &self.family
+    }
+
+    /// Number of classes currently known.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether no class has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Classifies an arbitrary (not necessarily canonical) graphlet,
+    /// registering its class if new, and returns the dense class index.
+    pub fn classify(&mut self, g: &Graphlet) -> usize {
+        debug_assert_eq!(g.k(), self.k);
+        let canon_code = self.cache.canonical_code(g);
+        if let Some(&i) = self.index.get(&canon_code) {
+            return i;
+        }
+        let canon = Graphlet::from_code(canon_code).expect("valid canonical code");
+        self.insert_canonical(canon)
+    }
+
+    /// Classifies a canonical code that is already known, without mutating.
+    pub fn lookup(&self, canon_code: u128) -> Option<usize> {
+        self.index.get(&canon_code).copied()
+    }
+
+    /// Canonical code of `g` via the memo cache (no class registration).
+    pub fn canonical_code(&mut self, g: &Graphlet) -> u128 {
+        self.cache.canonical_code(g)
+    }
+
+    /// Registers a canonical representative (must be canonical), computing
+    /// its derived quantities; returns its index.
+    pub fn insert_canonical(&mut self, canon: Graphlet) -> usize {
+        debug_assert_eq!(canon.canonical(), canon, "representative must be canonical");
+        if let Some(&i) = self.index.get(&canon.code()) {
+            return i;
+        }
+        let info = GraphletInfo {
+            spanning_trees: spanning_tree_count(&canon),
+            sigma_rooted: sigma_rooted(&canon, &self.family),
+            graphlet: canon,
+        };
+        let i = self.infos.len();
+        self.index.insert(canon.code(), i);
+        self.infos.push(info);
+        i
+    }
+
+    /// Class info by dense index.
+    pub fn info(&self, i: usize) -> &GraphletInfo {
+        &self.infos[i]
+    }
+
+    /// Iterates `(index, info)` over all known classes.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &GraphletInfo)> {
+        self.infos.iter().enumerate()
+    }
+
+    /// Serializes the derived tables (`σ`, `σ*`) for all known classes —
+    /// the paper's σ-cache: "motivo caches the σ_ij and stores them to
+    /// disk for later reuse. In some cases (e.g. k = 8 on Facebook) this
+    /// accelerates sampling by an order of magnitude" (§3.3).
+    pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let j = self.family.count(self.k as u32);
+        let mut buf: Vec<u8> = Vec::with_capacity(24 + self.infos.len() * (32 + j * 8));
+        buf.extend_from_slice(b"MTVS");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(self.k);
+        buf.extend_from_slice(&(self.infos.len() as u64).to_le_bytes());
+        for info in &self.infos {
+            buf.extend_from_slice(&info.graphlet.code().to_le_bytes());
+            buf.extend_from_slice(&info.spanning_trees.to_le_bytes());
+            buf.extend_from_slice(&(info.sigma_rooted.len() as u32).to_le_bytes());
+            for &s in &info.sigma_rooted {
+                buf.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        w.write_all(&buf)
+    }
+
+    /// Reconstructs a registry from a [`GraphletRegistry::save`] cache,
+    /// skipping the σ recomputation (the expensive part for large k).
+    pub fn load<R: std::io::Read>(mut r: R) -> std::io::Result<GraphletRegistry> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw)?;
+        let take = |raw: &[u8], at: &mut usize, n: usize| -> std::io::Result<Vec<u8>> {
+            if raw.len() < *at + n {
+                return Err(bad("truncated sigma cache"));
+            }
+            let out = raw[*at..*at + n].to_vec();
+            *at += n;
+            Ok(out)
+        };
+        let mut at = 0usize;
+        if take(&raw, &mut at, 4)? != b"MTVS" {
+            return Err(bad("bad sigma cache magic"));
+        }
+        let ver = u32::from_le_bytes(take(&raw, &mut at, 4)?.try_into().unwrap());
+        if ver != 1 {
+            return Err(bad("unsupported sigma cache version"));
+        }
+        let k = take(&raw, &mut at, 1)?[0];
+        if !(2..=16).contains(&k) {
+            return Err(bad("bad k"));
+        }
+        let count = u64::from_le_bytes(take(&raw, &mut at, 8)?.try_into().unwrap()) as usize;
+        let mut reg = GraphletRegistry::new(k);
+        let expected_j = reg.family.count(k as u32);
+        for _ in 0..count {
+            let code = u128::from_le_bytes(take(&raw, &mut at, 16)?.try_into().unwrap());
+            let spanning = u128::from_le_bytes(take(&raw, &mut at, 16)?.try_into().unwrap());
+            let j = u32::from_le_bytes(take(&raw, &mut at, 4)?.try_into().unwrap()) as usize;
+            if j != expected_j {
+                return Err(bad("sigma vector arity mismatch"));
+            }
+            let mut sigma = Vec::with_capacity(j);
+            for _ in 0..j {
+                sigma.push(u64::from_le_bytes(take(&raw, &mut at, 8)?.try_into().unwrap()));
+            }
+            let canon = Graphlet::from_code(code).ok_or_else(|| bad("bad graphlet code"))?;
+            if canon.k() != k {
+                return Err(bad("graphlet size mismatch"));
+            }
+            let i = reg.infos.len();
+            reg.index.insert(code, i);
+            reg.infos.push(GraphletInfo {
+                graphlet: canon,
+                spanning_trees: spanning,
+                sigma_rooted: sigma,
+            });
+        }
+        if at != raw.len() {
+            return Err(bad("trailing bytes in sigma cache"));
+        }
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clique, cycle, path, star};
+
+    #[test]
+    fn enumerated_registry_has_all_classes() {
+        let reg = GraphletRegistry::with_enumeration(5);
+        assert_eq!(reg.len(), 21);
+        for (_, info) in reg.iter() {
+            assert!(info.graphlet.is_connected());
+            assert!(info.spanning_trees >= 1);
+            let total: u128 = info.sigma_rooted.iter().map(|&s| s as u128).sum();
+            assert_eq!(total, 5 * info.spanning_trees);
+        }
+    }
+
+    #[test]
+    fn classify_is_isomorphism_stable() {
+        let mut reg = GraphletRegistry::new(5);
+        let a = reg.classify(&cycle(5));
+        let relabeled = cycle(5).relabel(&[2, 4, 0, 3, 1]);
+        let b = reg.classify(&relabeled);
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        let c = reg.classify(&path(5));
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn sigma_cache_roundtrip() {
+        let reg = GraphletRegistry::with_enumeration(5);
+        let mut buf = Vec::new();
+        reg.save(&mut buf).unwrap();
+        let back = GraphletRegistry::load(&buf[..]).unwrap();
+        assert_eq!(back.len(), reg.len());
+        assert_eq!(back.k(), 5);
+        for (i, info) in reg.iter() {
+            let b = back.info(i);
+            assert_eq!(b.graphlet, info.graphlet);
+            assert_eq!(b.spanning_trees, info.spanning_trees);
+            assert_eq!(b.sigma_rooted, info.sigma_rooted);
+        }
+        // Lookups still work after reload.
+        let mut back = back;
+        assert_eq!(back.classify(&cycle(5)), reg.lookup(cycle(5).canonical().code()).unwrap());
+        // Corruption rejected.
+        assert!(GraphletRegistry::load(&buf[..buf.len() - 3]).is_err());
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(GraphletRegistry::load(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn on_demand_growth() {
+        let mut reg = GraphletRegistry::new(6);
+        assert!(reg.is_empty());
+        reg.classify(&clique(6));
+        reg.classify(&star(6));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.info(0).spanning_trees, 6u128.pow(4));
+        assert_eq!(reg.info(1).spanning_trees, 1);
+    }
+}

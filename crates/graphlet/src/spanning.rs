@@ -1,0 +1,231 @@
+//! Spanning-treelet tables: the `σ*` matrix needed by AGS (§3.3, §4).
+//!
+//! For AGS we need, for every k-graphlet `H` and every canonical *rooted*
+//! k-treelet shape `T`, the number `σ*(H, T)` of pairs *(spanning tree `S`
+//! of `H`, root vertex `r`)* whose canonical rooted shape is `T`. The paper
+//! computes these "using an in-memory implementation of the build-up phase"
+//! on the graphlet itself; we do exactly that: run the treelet dynamic
+//! program (Eq. 1) on `H` with the *identity coloring* (vertex `i` has color
+//! `i`), under which every subtree is automatically colorful and the
+//! full-color-set size-k counts at each root are precisely the rooted
+//! spanning-shape counts.
+//!
+//! This module doubles as the *reference implementation* of the DP: it is
+//! deliberately simple (per-vertex `BTreeMap`s, no parallelism, no
+//! flushing), and the integration tests pit the production engine against
+//! it on small graphs.
+
+use crate::kirchhoff::spanning_tree_count;
+use crate::Graphlet;
+use motivo_treelet::{ColorSet, ColoredTreelet, Treelet, TreeletFamily};
+use std::collections::BTreeMap;
+
+/// Per-vertex colorful treelet counts of a small (≤ 16 node) graph.
+pub struct SmallCounts {
+    /// `per_vertex[v]` maps each colored treelet (all sizes `1..=k`) to its
+    /// count rooted at `v`.
+    pub per_vertex: Vec<BTreeMap<ColoredTreelet, u128>>,
+    k: u32,
+}
+
+impl SmallCounts {
+    /// Runs the build-up DP on a graph given as adjacency bitmask rows with
+    /// an explicit vertex coloring (`colors[v] < k`).
+    ///
+    /// Counts follow Eq. 1: for every vertex `v` and colored treelet
+    /// `(T, C)` on `h ≤ k` nodes, the number of colorful non-induced copies
+    /// of `T` rooted at `v` spanning exactly the colors `C`.
+    pub fn build(rows: &[u16], colors: &[u8], k: u32) -> SmallCounts {
+        let n = rows.len();
+        assert!(n <= 16 && (1..=16).contains(&k));
+        assert_eq!(colors.len(), n);
+        // tables[h-1][v]: counts for treelets on exactly h nodes.
+        let mut tables: Vec<Vec<BTreeMap<ColoredTreelet, u128>>> = Vec::new();
+        let mut base: Vec<BTreeMap<ColoredTreelet, u128>> = vec![BTreeMap::new(); n];
+        for (v, row) in base.iter_mut().enumerate() {
+            row.insert(
+                ColoredTreelet::new(Treelet::SINGLETON, ColorSet::single(colors[v])),
+                1,
+            );
+        }
+        tables.push(base);
+        for h in 2..=k {
+            let mut level: Vec<BTreeMap<ColoredTreelet, u128>> = vec![BTreeMap::new(); n];
+            for v in 0..n {
+                for h1 in 1..h {
+                    let h2 = h - h1;
+                    // T' of size h1 rooted at v, T'' of size h2 rooted at u ~ v.
+                    for u in 0..n {
+                        if rows[v] >> u & 1 == 0 {
+                            continue;
+                        }
+                        let tv = tables[h1 as usize - 1][v].clone();
+                        for (&ct1, &c1) in &tv {
+                            for (&ct2, &c2) in &tables[h2 as usize - 1][u] {
+                                if !ct1.colors().is_disjoint(ct2.colors()) {
+                                    continue;
+                                }
+                                if !ct1.tree().can_merge(ct2.tree()) {
+                                    continue;
+                                }
+                                let merged = ColoredTreelet::new(
+                                    ct1.tree().merge_unchecked(ct2.tree()),
+                                    ct1.colors().union(ct2.colors()),
+                                );
+                                *level[v].entry(merged).or_insert(0) += c1 * c2;
+                            }
+                        }
+                    }
+                }
+                // Divide by the multiplicity β_T (Eq. 1).
+                for (ct, count) in level[v].iter_mut() {
+                    let beta = ct.tree().beta() as u128;
+                    debug_assert_eq!(*count % beta, 0, "β must divide the accumulation");
+                    *count /= beta;
+                }
+                level[v].retain(|_, c| *c > 0);
+            }
+            tables.push(level);
+        }
+        let mut per_vertex: Vec<BTreeMap<ColoredTreelet, u128>> = vec![BTreeMap::new(); n];
+        for level in tables {
+            for (v, map) in level.into_iter().enumerate() {
+                per_vertex[v].extend(map);
+            }
+        }
+        SmallCounts { per_vertex, k }
+    }
+
+    /// Count of a specific colored treelet rooted at `v`.
+    pub fn count(&self, v: usize, ct: ColoredTreelet) -> u128 {
+        self.per_vertex[v].get(&ct).copied().unwrap_or(0)
+    }
+
+    /// Total count of colorful size-`h` treelets rooted at `v`.
+    pub fn total_of_size(&self, v: usize, h: u32) -> u128 {
+        self.per_vertex[v]
+            .iter()
+            .filter(|(ct, _)| ct.size() == h)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// The size parameter `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+}
+
+/// The rooted spanning-shape counts `σ*(H, ·)` of a k-graphlet, indexed by
+/// the dense index of each rooted k-treelet shape in `family`.
+///
+/// Invariant (tested): `Σ_T σ*(H, T) = k · σ(H)` where `σ` is the Kirchhoff
+/// spanning-tree count — every spanning tree contributes one rooted copy per
+/// choice of root.
+pub fn sigma_rooted(h: &Graphlet, family: &TreeletFamily) -> Vec<u64> {
+    let k = h.k() as u32;
+    assert_eq!(family.k(), k, "family must be built for k = |H|");
+    let rows = h.rows();
+    let colors: Vec<u8> = (0..h.k()).collect();
+    let counts = SmallCounts::build(&rows, &colors, k);
+    let full = ColorSet::full(k as u8);
+    let mut sigma = vec![0u64; family.count(k)];
+    for v in 0..rows.len() {
+        for (&ct, &c) in &counts.per_vertex[v] {
+            if ct.size() == k {
+                debug_assert_eq!(ct.colors(), full);
+                sigma[family.index_of(ct.tree())] += c as u64;
+            }
+        }
+    }
+    debug_assert_eq!(
+        sigma.iter().map(|&s| s as u128).sum::<u128>(),
+        k as u128 * spanning_tree_count(h),
+        "rooted spanning shapes must total k · σ(H) for {h:?}"
+    );
+    sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clique, cycle, path, star};
+    use motivo_treelet::{path_treelet, star_treelet};
+
+    #[test]
+    fn sigma_totals_match_kirchhoff() {
+        for k in 3..=6u8 {
+            let family = TreeletFamily::new(k as u32);
+            for g in [clique(k), path(k), star(k), cycle(k)] {
+                let sigma = sigma_rooted(&g, &family);
+                let total: u128 = sigma.iter().map(|&s| s as u128).sum();
+                assert_eq!(
+                    total,
+                    k as u128 * spanning_tree_count(&g),
+                    "total mismatch for {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_spans_only_star_shapes() {
+        // The star's unique spanning tree is itself; its rootings are the
+        // star rooted at the center (1 way) and the "spider" rooted at a
+        // leaf (k−1 ways).
+        let k = 5u8;
+        let family = TreeletFamily::new(k as u32);
+        let sigma = sigma_rooted(&star(k), &family);
+        let nonzero: Vec<(Treelet, u64)> = family
+            .of_size(k as u32)
+            .iter()
+            .zip(&sigma)
+            .filter(|(_, &s)| s > 0)
+            .map(|(&t, &s)| (t, s))
+            .collect();
+        assert_eq!(nonzero.len(), 2);
+        let center_rooted = star_treelet(k as u32);
+        let leaf_rooted = Treelet::SINGLETON.merge(star_treelet(k as u32 - 1)).unwrap();
+        let get = |t: Treelet| nonzero.iter().find(|(x, _)| *x == t).map(|(_, s)| *s);
+        assert_eq!(get(center_rooted), Some(1));
+        assert_eq!(get(leaf_rooted), Some(k as u64 - 1));
+    }
+
+    #[test]
+    fn path_spans_paths_and_brooms() {
+        // The path graphlet's unique spanning tree is the path; rooted at an
+        // end it is the rooted path, rooted inside it is a "double broom".
+        let family = TreeletFamily::new(4);
+        let sigma = sigma_rooted(&path(4), &family);
+        let p4 = path_treelet(4);
+        assert_eq!(sigma[family.index_of(p4)], 2); // two ends
+        let total: u64 = sigma.iter().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn small_counts_on_triangle() {
+        // Triangle, identity coloring: each vertex roots one singleton, two
+        // edges, and size-3 treelets: rooted path x2 (via each neighbor) and
+        // the star-2 (cherry) x1.
+        let g = clique(3);
+        let counts = SmallCounts::build(&g.rows(), &[0, 1, 2], 3);
+        for v in 0..3 {
+            assert_eq!(counts.total_of_size(v, 1), 1);
+            assert_eq!(counts.total_of_size(v, 2), 2);
+            assert_eq!(counts.total_of_size(v, 3), 3);
+        }
+    }
+
+    #[test]
+    fn colorful_constraint_kills_repeated_colors() {
+        // Path 0-1-2 colored [0, 1, 0]: no colorful 3-treelet exists.
+        let g = path(3);
+        let counts = SmallCounts::build(&g.rows(), &[0, 1, 0], 3);
+        for v in 0..3 {
+            assert_eq!(counts.total_of_size(v, 3), 0, "vertex {v}");
+        }
+        // But the 2-treelets across distinct colors survive.
+        assert_eq!(counts.total_of_size(1, 2), 2);
+    }
+}

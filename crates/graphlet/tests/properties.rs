@@ -1,0 +1,164 @@
+//! Property tests for graphlet canonicalization and spanning machinery,
+//! including brute-force oracles that bypass the WL refinement entirely.
+
+use motivo_graphlet::kirchhoff::spanning_tree_count;
+use motivo_graphlet::spanning::sigma_rooted;
+use motivo_graphlet::{canonical_form, Graphlet};
+use motivo_treelet::{Treelet, TreeletFamily};
+use proptest::prelude::*;
+
+fn graphlet_strategy(max_k: u8) -> impl Strategy<Value = Graphlet> {
+    (2u8..=max_k).prop_flat_map(|k| {
+        let pairs = (k as usize) * (k as usize - 1) / 2;
+        proptest::collection::vec(any::<bool>(), pairs).prop_map(move |bits| {
+            let mut g = Graphlet::empty(k);
+            let mut idx = 0;
+            for j in 0..k {
+                for i in 0..j {
+                    if bits[idx] {
+                        g.set_edge(i, j);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+/// All permutations of `0..k` (k ≤ 6 keeps this ≤ 720).
+fn permutations(k: u8) -> Vec<Vec<u8>> {
+    fn rec(remaining: &mut Vec<u8>, acc: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+        if remaining.is_empty() {
+            out.push(acc.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            let x = remaining.remove(i);
+            acc.push(x);
+            rec(remaining, acc, out);
+            acc.pop();
+            remaining.insert(i, x);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut (0..k).collect(), &mut Vec::new(), &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exhaustive soundness of the canonical form: *every* one of the k!
+    /// relabelings canonicalizes to the same representative, and that
+    /// representative is itself a relabeling of the input. (Note: the
+    /// WL-cell-restricted maximum is a valid canonical form but not the
+    /// global k!-maximum — the restriction changes which representative is
+    /// picked, not its invariance.)
+    #[test]
+    fn canonical_is_exhaustively_invariant(g in graphlet_strategy(5)) {
+        let (canon, _) = canonical_form(&g);
+        let mut reaches_canon = false;
+        for p in permutations(g.k()) {
+            let h = g.relabel(&p);
+            prop_assert_eq!(h.canonical(), canon, "perm {:?}", p);
+            if h == canon {
+                reaches_canon = true;
+            }
+        }
+        prop_assert!(reaches_canon, "canonical form must be isomorphic to the input");
+    }
+
+    /// σ* computed by the DP equals brute-force spanning-tree enumeration
+    /// with explicit rooting classification.
+    #[test]
+    fn sigma_rooted_matches_bruteforce(g in graphlet_strategy(6)) {
+        prop_assume!(g.is_connected());
+        let k = g.k();
+        let family = TreeletFamily::new(k as u32);
+        let sigma = sigma_rooted(&g, &family);
+
+        // Brute force: every (k−1)-edge subset that forms a spanning tree,
+        // rooted at every vertex, classified by canonical rooted shape.
+        let edges: Vec<(u8, u8)> = {
+            let mut v = Vec::new();
+            for j in 0..k {
+                for i in 0..j {
+                    if g.edge(i, j) {
+                        v.push((i, j));
+                    }
+                }
+            }
+            v
+        };
+        let mut brute = vec![0u64; family.count(k as u32)];
+        let need = k as u32 - 1;
+        for mask in 0u32..1 << edges.len() {
+            if mask.count_ones() != need {
+                continue;
+            }
+            let sel: Vec<(u8, u8)> = edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let tree = Graphlet::from_edges(k, &sel);
+            if !tree.is_connected() {
+                continue;
+            }
+            for root in 0..k {
+                // Parent array by BFS from the root.
+                let mut order = vec![root];
+                let mut parent_of = vec![u8::MAX; k as usize];
+                parent_of[root as usize] = root;
+                let mut qi = 0;
+                while qi < order.len() {
+                    let v = order[qi];
+                    qi += 1;
+                    for u in 0..k {
+                        if tree.edge(v, u) && parent_of[u as usize] == u8::MAX {
+                            parent_of[u as usize] = v;
+                            order.push(u);
+                        }
+                    }
+                }
+                // Re-index in BFS order so parents precede children.
+                let mut pos = vec![0u8; k as usize];
+                for (i, &v) in order.iter().enumerate() {
+                    pos[v as usize] = i as u8;
+                }
+                let mut parents = vec![0u8; k as usize];
+                for &v in &order[1..] {
+                    parents[pos[v as usize] as usize] = pos[parent_of[v as usize] as usize];
+                }
+                let shape = Treelet::from_parents(&parents);
+                brute[family.index_of(shape)] += 1;
+            }
+        }
+        prop_assert_eq!(sigma, brute);
+    }
+
+    /// Kirchhoff count is relabeling-invariant.
+    #[test]
+    fn kirchhoff_is_invariant(g in graphlet_strategy(7), seed in 0u64..500) {
+        let k = g.k();
+        let mut perm: Vec<u8> = (0..k).collect();
+        let mut state = seed | 1;
+        for i in (1..k as usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        prop_assert_eq!(
+            spanning_tree_count(&g),
+            spanning_tree_count(&g.relabel(&perm))
+        );
+    }
+
+    /// `code`/`from_code` are mutually inverse for arbitrary graphlets.
+    #[test]
+    fn code_roundtrip(g in graphlet_strategy(16)) {
+        prop_assert_eq!(Graphlet::from_code(g.code()), Some(g));
+    }
+}

@@ -1,0 +1,140 @@
+//! Vose's alias method for O(1) categorical sampling (§3.3, [24]).
+//!
+//! The root vertex of every sample is drawn with probability proportional to
+//! the number of colorful k-treelets rooted at it; the alias table makes
+//! that an `O(1)` operation after an `O(n)` build. Weights arrive as `u128`
+//! treelet counts; the conversion to `f64` loses at most 2⁻⁵³ relative mass
+//! per vertex, which is far below sampling noise (documented substitution —
+//! the paper's implementation does the same via `double`s).
+
+use rand::Rng;
+
+/// An alias table over `0..n` with fixed weights.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds from nonnegative weights; at least one must be positive.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        assert!(n <= u32::MAX as usize);
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be nonnegative and finite with positive sum"
+        );
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Large donates the deficit of small.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are 1 up to rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Builds from `u128` counts (e.g. per-vertex treelet totals).
+    pub fn from_u128(weights: &[u128]) -> AliasTable {
+        let as_f64: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+        AliasTable::new(&as_f64)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in `O(1)`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_distribution_tracks_weights() {
+        let weights = [1.0, 0.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hits = [0u64; 4];
+        let trials = 200_000;
+        for _ in 0..trials {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(hits[1], 0, "zero-weight category sampled");
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = hits[i] as f64 / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "category {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn u128_weights() {
+        let table = AliasTable::from_u128(&[u128::MAX / 2, u128::MAX / 2, 0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut hits = [0u64; 3];
+        for _ in 0..10_000 {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(hits[2], 0);
+        assert!(hits[0] > 4_000 && hits[1] > 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-vertex accumulation during the build-up phase.
+//!
+//! "While being built, the record of `v` is actually stored in a hash
+//! table, which allows for efficient insertions. However, immediately after
+//! completion it is stored … in the compact form" (§3.1). The hash table
+//! uses a bespoke multiplicative hasher for the 48-bit keys — integer keys
+//! make SipHash pure overhead.
+
+use crate::record::Record;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fibonacci-multiplicative hasher for packed treelet keys.
+#[derive(Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("KeyHasher only hashes u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type KeyMap = HashMap<u64, u128, BuildHasherDefault<KeyHasher>>;
+
+/// Accumulates `(key, count)` contributions for one vertex, then freezes
+/// into a compact sorted [`Record`].
+#[derive(Default)]
+pub struct RecordBuilder {
+    map: KeyMap,
+}
+
+impl RecordBuilder {
+    /// An empty builder.
+    pub fn new() -> RecordBuilder {
+        RecordBuilder::default()
+    }
+
+    /// Adds `count` to the accumulator of `key`.
+    #[inline]
+    pub fn add(&mut self, key: u64, count: u128) {
+        if count > 0 {
+            *self.map.entry(key).or_insert(0) += count;
+        }
+    }
+
+    /// Number of distinct keys so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing was accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drains into raw pairs (unsorted) for callers that post-process
+    /// counts (e.g. the β division of Eq. 1) before freezing.
+    pub fn into_pairs(self) -> Vec<(u64, u128)> {
+        self.map.into_iter().collect()
+    }
+
+    /// Freezes into the compact sorted record, releasing the hash table.
+    pub fn freeze(self) -> Record {
+        Record::from_counts(self.into_pairs())
+    }
+
+    /// Merges another builder into this one (used when multiple threads
+    /// split one high-degree vertex's neighbor list, §3.3).
+    pub fn absorb(&mut self, other: RecordBuilder) {
+        for (k, c) in other.map {
+            *self.map.entry(k).or_insert(0) += c;
+        }
+    }
+
+    /// Clears for reuse (workhorse pattern: one builder per worker thread).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_freezes_sorted() {
+        let mut b = RecordBuilder::new();
+        b.add(30 << 16 | 1, 4);
+        b.add(10 << 16 | 2, 1);
+        b.add(30 << 16 | 1, 6);
+        b.add(20 << 16 | 4, 0); // ignored
+        assert_eq!(b.len(), 2);
+        let pairs = {
+            let mut p = b.into_pairs();
+            p.sort_unstable();
+            p
+        };
+        assert_eq!(pairs, vec![(10 << 16 | 2, 1), (30 << 16 | 1, 10)]);
+    }
+
+    #[test]
+    fn absorb_merges_counts() {
+        let mut a = RecordBuilder::new();
+        a.add(1, 5);
+        a.add(2, 1);
+        let mut b = RecordBuilder::new();
+        b.add(2, 2);
+        b.add(3, 7);
+        a.absorb(b);
+        let mut pairs = a.into_pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 5), (2, 3), (3, 7)]);
+    }
+
+    #[test]
+    fn freeze_produces_valid_record() {
+        let mut b = RecordBuilder::new();
+        // Valid colored-treelet keys: edge tree "10" with 2-color sets.
+        let edge = motivo_treelet::path_treelet(2);
+        let k1 = (edge.code() as u64) << 16 | 0b0011;
+        let k2 = (edge.code() as u64) << 16 | 0b0101;
+        b.add(k2, 3);
+        b.add(k1, 2);
+        let rec = b.freeze();
+        assert_eq!(rec.total(), 5);
+        assert_eq!(rec.len(), 2);
+    }
+}

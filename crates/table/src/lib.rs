@@ -1,0 +1,31 @@
+//! The treelet count table — Motivo's central data structure (§3.1).
+//!
+//! For every vertex `v` and treelet size `h ∈ [k]`, the table holds the
+//! record of `v`: the pairs `(s_{T_C}, c(T_C, v))` for every colored treelet
+//! `(T, C)` on `h` nodes with nonzero count, sorted by the packed 48-bit key.
+//! Instead of the raw counts, motivo stores the *cumulative* counts
+//! `η(T_C, v) = Σ_{T'_{C'} ≤ T_C} c(T'_{C'}, v)`, so that
+//!
+//! * `occ(v)` — the total count — is the last entry, `O(1)`;
+//! * `occ(T_C, v)` is a binary search plus one subtraction, `O(k)`;
+//! * `sample(v)` — draw `T_C` with probability `c(T_C, v)/η_v` — is a
+//!   uniform draw in `1..=η_v` plus one `partition_point`, `O(k)`;
+//! * iteration is a linear scan with one subtraction per entry.
+//!
+//! Counts are 128-bit, as in the paper (64-bit counts overflow: a single
+//! degree-2¹⁶ vertex roots ≈ 2⁸⁰ 6-stars).
+//!
+//! [`storage`] provides the two backends: in-memory, and the on-disk
+//! "greedy flushing" layout where each completed record leaves RAM
+//! immediately (§3.1). [`alias`] implements Vose's alias method used to
+//! draw the root vertex in `O(1)` (§3.3).
+
+pub mod alias;
+pub mod builder;
+pub mod record;
+pub mod storage;
+
+pub use alias::AliasTable;
+pub use builder::RecordBuilder;
+pub use record::Record;
+pub use storage::{CountTable, DiskLevel, LevelStore, MemoryLevel, RecordHandle, StorageKind};

@@ -1,0 +1,267 @@
+//! A single vertex's sorted count record with cumulative 128-bit counts.
+
+use bytes::{Buf, BufMut};
+use motivo_treelet::{ColorSet, ColoredTreelet, Treelet};
+
+/// Sorted `(packed colored-treelet key, cumulative count)` pairs for one
+/// vertex and one treelet size (§3.1, "Motivo's count table").
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Record {
+    codes: Vec<u64>,
+    cumul: Vec<u128>,
+}
+
+impl Record {
+    /// Builds a record from raw `(key, count)` pairs (any order, keys
+    /// unique, counts nonzero — zero counts are dropped).
+    pub fn from_counts(mut pairs: Vec<(u64, u128)>) -> Record {
+        pairs.retain(|&(_, c)| c > 0);
+        pairs.sort_unstable_by_key(|&(code, _)| code);
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "duplicate keys");
+        let mut codes = Vec::with_capacity(pairs.len());
+        let mut cumul = Vec::with_capacity(pairs.len());
+        let mut acc: u128 = 0;
+        for (code, c) in pairs {
+            acc = acc.checked_add(c).expect("record total overflows u128");
+            codes.push(code);
+            cumul.push(acc);
+        }
+        Record { codes, cumul }
+    }
+
+    /// Number of stored pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the record is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// `occ(v)`: total treelet count at this vertex — the last cumulative
+    /// entry, `O(1)`.
+    #[inline]
+    pub fn total(&self) -> u128 {
+        self.cumul.last().copied().unwrap_or(0)
+    }
+
+    /// `occ(T_C, v)`: the count of one colored treelet — binary search plus
+    /// one subtraction.
+    pub fn count_of(&self, ct: ColoredTreelet) -> u128 {
+        match self.codes.binary_search(&ct.code()) {
+            Ok(i) => self.cumul[i] - if i == 0 { 0 } else { self.cumul[i - 1] },
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterates `(colored treelet, count)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (ColoredTreelet, u128)> + '_ {
+        self.codes.iter().enumerate().map(move |(i, &code)| {
+            let prev = if i == 0 { 0 } else { self.cumul[i - 1] };
+            (
+                ColoredTreelet::from_code(code).expect("invariant: valid key"),
+                self.cumul[i] - prev,
+            )
+        })
+    }
+
+    /// `iter(T, v)`: the sub-range of entries with uncolored shape `T`
+    /// (keys share the 32-bit tree prefix), as `(colors, count)` pairs.
+    pub fn iter_tree(&self, tree: Treelet) -> impl Iterator<Item = (ColorSet, u128)> + '_ {
+        let (lo, hi) = self.tree_range(tree);
+        (lo..hi).map(move |i| {
+            let prev = if i == 0 { 0 } else { self.cumul[i - 1] };
+            (
+                ColorSet((self.codes[i] & 0xFFFF) as u16),
+                self.cumul[i] - prev,
+            )
+        })
+    }
+
+    /// `occ(T, v)`: total count over all colorings of shape `T` — two binary
+    /// searches and one subtraction thanks to the cumulative layout.
+    pub fn tree_total(&self, tree: Treelet) -> u128 {
+        let (lo, hi) = self.tree_range(tree);
+        if lo == hi {
+            return 0;
+        }
+        let before = if lo == 0 { 0 } else { self.cumul[lo - 1] };
+        self.cumul[hi - 1] - before
+    }
+
+    fn tree_range(&self, tree: Treelet) -> (usize, usize) {
+        let lo = self.codes.partition_point(|&c| c < ColoredTreelet::range_start(tree));
+        let hi = self.codes.partition_point(|&c| c <= ColoredTreelet::range_end(tree));
+        (lo, hi)
+    }
+
+    /// `sample(v)`: the entry whose cumulative range contains `r`, for
+    /// `r ∈ 1..=total()`. The caller draws `r` uniformly; the returned
+    /// treelet then has probability `c(T_C, v)/η_v`.
+    pub fn select(&self, r: u128) -> ColoredTreelet {
+        debug_assert!(r >= 1 && r <= self.total());
+        let i = self.cumul.partition_point(|&c| c < r);
+        ColoredTreelet::from_code(self.codes[i]).expect("invariant: valid key")
+    }
+
+    /// Like [`Record::select`] but restricted to the entries of shape
+    /// `tree`, with `r ∈ 1..=tree_total(tree)` — the per-shape urn of AGS.
+    pub fn select_in_tree(&self, tree: Treelet, r: u128) -> ColoredTreelet {
+        let (lo, hi) = self.tree_range(tree);
+        debug_assert!(lo < hi);
+        let before = if lo == 0 { 0 } else { self.cumul[lo - 1] };
+        debug_assert!(r >= 1 && r <= self.cumul[hi - 1] - before);
+        let i = lo + self.cumul[lo..hi].partition_point(|&c| c - before < r);
+        ColoredTreelet::from_code(self.codes[i]).expect("invariant: valid key")
+    }
+
+    /// Bytes used by the in-memory representation (the paper's 176 bits per
+    /// pair: 48-bit key stored in a u64 plus a 128-bit cumulative count).
+    pub fn byte_size(&self) -> usize {
+        self.codes.len() * (8 + 16)
+    }
+
+    /// Serialized length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.codes.len() * (8 + 16)
+    }
+
+    /// Serializes as `len: u32 | codes: u64×len | cumul: u128×len` (LE).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32_le(self.codes.len() as u32);
+        for &c in &self.codes {
+            buf.put_u64_le(c);
+        }
+        for &c in &self.cumul {
+            buf.put_u128_le(c);
+        }
+    }
+
+    /// Deserializes a record written by [`Record::encode`].
+    pub fn decode<B: Buf>(buf: &mut B) -> Option<Record> {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len * 24 {
+            return None;
+        }
+        let mut codes = Vec::with_capacity(len);
+        for _ in 0..len {
+            codes.push(buf.get_u64_le());
+        }
+        let mut cumul = Vec::with_capacity(len);
+        for _ in 0..len {
+            cumul.push(buf.get_u128_le());
+        }
+        if !codes.windows(2).all(|w| w[0] < w[1]) || !cumul.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        Some(Record { codes, cumul })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_treelet::{path_treelet, star_treelet};
+
+    fn ct(tree: Treelet, colors: u16) -> ColoredTreelet {
+        ColoredTreelet::new(tree, ColorSet(colors))
+    }
+
+    fn sample_record() -> (Record, Vec<(ColoredTreelet, u128)>) {
+        let s3 = star_treelet(3);
+        let p3 = path_treelet(3);
+        let pairs = vec![
+            (ct(s3, 0b0111), 5u128),
+            (ct(s3, 0b1011), 2),
+            (ct(p3, 0b0111), 7),
+            (ct(p3, 0b1110), 1),
+        ];
+        let rec = Record::from_counts(pairs.iter().map(|&(c, n)| (c.code(), n)).collect());
+        (rec, pairs)
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let (rec, pairs) = sample_record();
+        assert_eq!(rec.total(), 15);
+        for (ct, n) in pairs {
+            assert_eq!(rec.count_of(ct), n);
+        }
+        assert_eq!(rec.count_of(ct(star_treelet(3), 0b1101)), 0);
+    }
+
+    #[test]
+    fn iteration_matches_counts() {
+        let (rec, _) = sample_record();
+        let total: u128 = rec.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, rec.total());
+        assert_eq!(rec.iter().count(), 4);
+    }
+
+    #[test]
+    fn per_tree_queries() {
+        let (rec, _) = sample_record();
+        let s3 = star_treelet(3);
+        let p3 = path_treelet(3);
+        assert_eq!(rec.tree_total(s3), 7);
+        assert_eq!(rec.tree_total(p3), 8);
+        assert_eq!(rec.tree_total(path_treelet(4)), 0);
+        let colors: Vec<_> = rec.iter_tree(s3).collect();
+        assert_eq!(colors, vec![(ColorSet(0b0111), 5), (ColorSet(0b1011), 2)]);
+    }
+
+    #[test]
+    fn selection_covers_exact_ranges() {
+        let (rec, _) = sample_record();
+        // Counts in key order: star/0b0111 → 5, star/0b1011 → 2, path/0b0111 → 7, path/0b1110 → 1.
+        let mut tally = std::collections::HashMap::new();
+        for r in 1..=rec.total() {
+            *tally.entry(rec.select(r).code()).or_insert(0u128) += 1;
+        }
+        for (ct, n) in rec.iter() {
+            assert_eq!(tally[&ct.code()], n);
+        }
+    }
+
+    #[test]
+    fn selection_within_tree() {
+        let (rec, _) = sample_record();
+        let p3 = path_treelet(3);
+        let mut tally = std::collections::HashMap::new();
+        for r in 1..=rec.tree_total(p3) {
+            let picked = rec.select_in_tree(p3, r);
+            assert_eq!(picked.tree(), p3);
+            *tally.entry(picked.colors().0).or_insert(0u128) += 1;
+        }
+        assert_eq!(tally[&0b0111], 7);
+        assert_eq!(tally[&0b1110], 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (rec, _) = sample_record();
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        assert_eq!(buf.len(), rec.encoded_len());
+        let back = Record::decode(&mut &buf[..]).unwrap();
+        assert_eq!(back, rec);
+        // Corruption detected.
+        assert!(Record::decode(&mut &buf[..buf.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn zero_counts_dropped_and_empty_ok() {
+        let rec = Record::from_counts(vec![(123 << 16, 0)]);
+        assert!(rec.is_empty());
+        assert_eq!(rec.total(), 0);
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        assert_eq!(Record::decode(&mut &buf[..]).unwrap(), rec);
+    }
+}

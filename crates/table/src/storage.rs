@@ -1,0 +1,517 @@
+//! Storage backends for the count table.
+//!
+//! The paper's **greedy flushing** (§3.1): while level `h` is being built,
+//! each record is accumulated in a hash table, but "immediately after
+//! completion it is stored on disk in the compact form … The hash table is
+//! then emptied and memory released", so the table never fully resides in
+//! main memory; lower levels are later read back through memory-mapped I/O
+//! (§3.3). Std-only Rust has no `mmap`, so [`DiskLevel`] keeps a per-vertex
+//! `(offset, len)` index and serves reads with positioned `pread`-style
+//! calls — same architecture (records leave RAM at completion, reads go to
+//! the file), observable and testable. The paper's second sort pass exists
+//! to make keys seekable; the explicit index achieves the same and is noted
+//! as a substitution in DESIGN.md.
+
+use crate::record::Record;
+use std::fs::File;
+use std::io::{self, Write};
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+
+/// A record obtained from a store: borrowed from memory or decoded from
+/// disk.
+pub enum RecordHandle<'a> {
+    /// Borrowed from an in-memory level.
+    Borrowed(&'a Record),
+    /// Decoded from a disk level (or the canonical empty record).
+    Owned(Record),
+}
+
+impl Deref for RecordHandle<'_> {
+    type Target = Record;
+
+    fn deref(&self) -> &Record {
+        match self {
+            RecordHandle::Borrowed(r) => r,
+            RecordHandle::Owned(r) => r,
+        }
+    }
+}
+
+/// One level (treelet size) of the count table.
+pub trait LevelStore: Send + Sync {
+    /// Stores the completed record of vertex `v` (called once per vertex).
+    fn put(&mut self, v: u32, rec: Record);
+
+    /// Fetches the record of `v`; an empty record if `v` stored none.
+    fn get(&self, v: u32) -> RecordHandle<'_>;
+
+    /// Total size of the level's payload in bytes.
+    fn byte_size(&self) -> usize;
+
+    /// Number of non-empty records.
+    fn record_count(&self) -> usize;
+
+    /// Number of vertices the level was sized for.
+    fn num_vertices(&self) -> u32;
+
+    /// Vertices with a non-empty record, ascending.
+    fn vertices(&self) -> Vec<u32>;
+}
+
+/// In-memory level: a dense vector of records.
+pub struct MemoryLevel {
+    records: Vec<Option<Record>>,
+    bytes: usize,
+    count: usize,
+}
+
+impl MemoryLevel {
+    /// An empty level for `n` vertices.
+    pub fn new(n: u32) -> MemoryLevel {
+        MemoryLevel { records: vec![None; n as usize], bytes: 0, count: 0 }
+    }
+}
+
+impl LevelStore for MemoryLevel {
+    fn put(&mut self, v: u32, rec: Record) {
+        if rec.is_empty() {
+            return;
+        }
+        self.bytes += rec.byte_size();
+        self.count += 1;
+        debug_assert!(self.records[v as usize].is_none(), "record stored twice");
+        self.records[v as usize] = Some(rec);
+    }
+
+    fn get(&self, v: u32) -> RecordHandle<'_> {
+        match &self.records[v as usize] {
+            Some(r) => RecordHandle::Borrowed(r),
+            None => RecordHandle::Owned(Record::default()),
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        self.bytes
+    }
+
+    fn record_count(&self) -> usize {
+        self.count
+    }
+
+    fn num_vertices(&self) -> u32 {
+        self.records.len() as u32
+    }
+
+    fn vertices(&self) -> Vec<u32> {
+        (0..self.records.len() as u32)
+            .filter(|&v| self.records[v as usize].is_some())
+            .collect()
+    }
+}
+
+/// Disk level: records appended to a file at completion (greedy flushing),
+/// indexed by vertex for positioned reads.
+pub struct DiskLevel {
+    file: File,
+    path: PathBuf,
+    /// `(offset, len)` per vertex; `len == 0` means no record.
+    index: Vec<(u64, u32)>,
+    write_offset: u64,
+    count: usize,
+}
+
+impl DiskLevel {
+    /// Creates the backing file at `path` for `n` vertices.
+    pub fn create<P: AsRef<Path>>(path: P, n: u32) -> io::Result<DiskLevel> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(DiskLevel {
+            file,
+            path,
+            index: vec![(0, 0); n as usize],
+            write_offset: 0,
+            count: 0,
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persists the per-vertex index next to the data file (`<path>.idx`)
+    /// so the level can be reopened later: magic `MTVI`, version,
+    /// `n: u64`, then `n × (offset: u64, len: u32)`.
+    pub fn persist_index(&self) -> io::Result<()> {
+        use bytes::BufMut;
+        let mut buf = Vec::with_capacity(16 + self.index.len() * 12);
+        buf.put_slice(b"MTVI");
+        buf.put_u32_le(1);
+        buf.put_u64_le(self.index.len() as u64);
+        for &(off, len) in &self.index {
+            buf.put_u64_le(off);
+            buf.put_u32_le(len);
+        }
+        std::fs::write(self.index_path(), buf)
+    }
+
+    /// Reopens a level persisted by [`DiskLevel::persist_index`].
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<DiskLevel> {
+        use bytes::Buf;
+        let path = path.as_ref().to_path_buf();
+        let file = File::options().read(true).write(true).open(&path)?;
+        let idx_path = path.with_extension(
+            path.extension()
+                .map(|e| format!("{}.idx", e.to_string_lossy()))
+                .unwrap_or_else(|| "idx".into()),
+        );
+        let raw = std::fs::read(&idx_path)?;
+        let mut buf = &raw[..];
+        if buf.remaining() < 16 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated index"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"MTVI" || buf.get_u32_le() != 1 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index header"));
+        }
+        let n = buf.get_u64_le() as usize;
+        if buf.remaining() != n * 12 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "index length mismatch"));
+        }
+        let mut index = Vec::with_capacity(n);
+        let mut count = 0;
+        let mut write_offset = 0u64;
+        for _ in 0..n {
+            let off = buf.get_u64_le();
+            let len = buf.get_u32_le();
+            if len > 0 {
+                count += 1;
+                write_offset = write_offset.max(off + len as u64);
+            }
+            index.push((off, len));
+        }
+        Ok(DiskLevel { file, path, index, write_offset, count })
+    }
+
+    fn index_path(&self) -> std::path::PathBuf {
+        self.path.with_extension(
+            self.path
+                .extension()
+                .map(|e| format!("{}.idx", e.to_string_lossy()))
+                .unwrap_or_else(|| "idx".into()),
+        )
+    }
+}
+
+impl LevelStore for DiskLevel {
+    fn put(&mut self, v: u32, rec: Record) {
+        if rec.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(rec.encoded_len());
+        rec.encode(&mut buf);
+        self.file.write_all(&buf).expect("flush record to disk");
+        self.index[v as usize] = (self.write_offset, buf.len() as u32);
+        self.write_offset += buf.len() as u64;
+        self.count += 1;
+    }
+
+    fn get(&self, v: u32) -> RecordHandle<'_> {
+        let (off, len) = self.index[v as usize];
+        if len == 0 {
+            return RecordHandle::Owned(Record::default());
+        }
+        let mut buf = vec![0u8; len as usize];
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(&mut buf, off).expect("read record from disk");
+        RecordHandle::Owned(Record::decode(&mut &buf[..]).expect("valid record on disk"))
+    }
+
+    fn byte_size(&self) -> usize {
+        self.write_offset as usize
+    }
+
+    fn record_count(&self) -> usize {
+        self.count
+    }
+
+    fn num_vertices(&self) -> u32 {
+        self.index.len() as u32
+    }
+
+    fn vertices(&self) -> Vec<u32> {
+        (0..self.index.len() as u32)
+            .filter(|&v| self.index[v as usize].1 > 0)
+            .collect()
+    }
+}
+
+/// Which backend new levels use.
+#[derive(Clone, Debug)]
+pub enum StorageKind {
+    /// Everything in RAM.
+    Memory,
+    /// Greedy flushing into `dir/level-<h>.mtvt`.
+    Disk {
+        /// Directory for the level files (created if missing).
+        dir: PathBuf,
+    },
+}
+
+impl StorageKind {
+    /// Creates an empty level for treelet size `h` over `n` vertices.
+    pub fn create_level(&self, h: u32, n: u32) -> io::Result<Box<dyn LevelStore>> {
+        match self {
+            StorageKind::Memory => Ok(Box::new(MemoryLevel::new(n))),
+            StorageKind::Disk { dir } => {
+                std::fs::create_dir_all(dir)?;
+                Ok(Box::new(DiskLevel::create(dir.join(format!("level-{h}.mtvt")), n)?))
+            }
+        }
+    }
+}
+
+/// The assembled per-size count tables for sizes `1..=k`.
+pub struct CountTable {
+    k: u32,
+    levels: Vec<Box<dyn LevelStore>>,
+}
+
+impl CountTable {
+    /// Assembles a table from per-size levels (index 0 = size 1).
+    pub fn from_levels(levels: Vec<Box<dyn LevelStore>>) -> CountTable {
+        assert!(!levels.is_empty());
+        CountTable { k: levels.len() as u32, levels }
+    }
+
+    /// The treelet size bound `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Record of vertex `v` at treelet size `h`.
+    #[inline]
+    pub fn get(&self, h: u32, v: u32) -> RecordHandle<'_> {
+        self.levels[h as usize - 1].get(v)
+    }
+
+    /// The level store for size `h`.
+    pub fn level(&self, h: u32) -> &dyn LevelStore {
+        self.levels[h as usize - 1].as_ref()
+    }
+
+    /// Total payload bytes across all levels.
+    pub fn byte_size(&self) -> usize {
+        self.levels.iter().map(|l| l.byte_size()).sum()
+    }
+
+    /// Total number of stored records.
+    pub fn record_count(&self) -> usize {
+        self.levels.iter().map(|l| l.record_count()).sum()
+    }
+
+    /// Persists the whole table into `dir` (one data + index file pair per
+    /// level, plus `table.meta`), so it can be reopened with
+    /// [`CountTable::open_dir`]. In-memory levels are written out;
+    /// disk-backed levels re-export into the target directory.
+    pub fn save_dir<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let n = self.levels[0].num_vertices();
+        for (i, level) in self.levels.iter().enumerate() {
+            let h = i as u32 + 1;
+            // Write through a temp name, then rename: the source level may
+            // be disk-backed *in this very directory*, and creating the
+            // final file directly would truncate it mid-copy. The open
+            // source handle keeps the old inode across the rename.
+            let tmp = dir.join(format!("level-{h}.mtvt.new"));
+            let fin = dir.join(format!("level-{h}.mtvt"));
+            let mut disk = DiskLevel::create(&tmp, n)?;
+            for v in level.vertices() {
+                disk.put(v, (*level.get(v)).clone());
+            }
+            disk.persist_index()?;
+            std::fs::rename(&tmp, &fin)?;
+            std::fs::rename(
+                dir.join(format!("level-{h}.mtvt.new.idx")),
+                dir.join(format!("level-{h}.mtvt.idx")),
+            )?;
+        }
+        use bytes::BufMut;
+        let mut meta = Vec::new();
+        meta.put_slice(b"MTVT");
+        meta.put_u32_le(1);
+        meta.put_u32_le(self.k);
+        meta.put_u32_le(n);
+        std::fs::write(dir.join("table.meta"), meta)
+    }
+
+    /// Converts every level into an in-memory level. This is the "enough
+    /// memory is available" fast path of the paper's memory-mapped reads
+    /// (§3.3): after preloading, record access never touches the disk.
+    pub fn preload(self) -> CountTable {
+        let levels = self
+            .levels
+            .into_iter()
+            .map(|lvl| {
+                let mut mem = MemoryLevel::new(lvl.num_vertices());
+                for v in lvl.vertices() {
+                    mem.put(v, (*lvl.get(v)).clone());
+                }
+                Box::new(mem) as Box<dyn LevelStore>
+            })
+            .collect();
+        CountTable { k: self.k, levels }
+    }
+
+    /// Reopens a table persisted by [`CountTable::save_dir`].
+    pub fn open_dir<P: AsRef<Path>>(dir: P) -> io::Result<CountTable> {
+        use bytes::Buf;
+        let dir = dir.as_ref();
+        let raw = std::fs::read(dir.join("table.meta"))?;
+        let mut buf = &raw[..];
+        if buf.remaining() < 16 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated meta"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"MTVT" || buf.get_u32_le() != 1 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad table meta"));
+        }
+        let k = buf.get_u32_le();
+        let _n = buf.get_u32_le();
+        let mut levels: Vec<Box<dyn LevelStore>> = Vec::with_capacity(k as usize);
+        for h in 1..=k {
+            levels.push(Box::new(DiskLevel::open(dir.join(format!("level-{h}.mtvt")))?));
+        }
+        Ok(CountTable::from_levels(levels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_treelet::{path_treelet, star_treelet, ColorSet, ColoredTreelet};
+
+    fn record(seed: u64) -> Record {
+        let s3 = star_treelet(3);
+        let p3 = path_treelet(3);
+        Record::from_counts(vec![
+            (ColoredTreelet::new(s3, ColorSet(0b0111)).code(), seed as u128 + 1),
+            (ColoredTreelet::new(p3, ColorSet(0b1101)).code(), 2 * seed as u128 + 3),
+        ])
+    }
+
+    #[test]
+    fn memory_level_roundtrip() {
+        let mut lvl = MemoryLevel::new(10);
+        lvl.put(3, record(5));
+        lvl.put(7, record(9));
+        lvl.put(1, Record::default()); // empty: dropped
+        assert_eq!(lvl.record_count(), 2);
+        assert_eq!(lvl.get(3).total(), record(5).total());
+        assert!(lvl.get(0).is_empty());
+        assert!(lvl.get(1).is_empty());
+    }
+
+    #[test]
+    fn disk_level_matches_memory() {
+        let dir = std::env::temp_dir().join("motivo-table-test-disk");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut disk = DiskLevel::create(dir.join("lvl.mtvt"), 20).unwrap();
+        let mut mem = MemoryLevel::new(20);
+        for v in [0u32, 5, 19, 7] {
+            disk.put(v, record(v as u64));
+            mem.put(v, record(v as u64));
+        }
+        for v in 0..20 {
+            let (d, m) = (disk.get(v), mem.get(v));
+            assert_eq!(d.total(), m.total(), "vertex {v}");
+            assert_eq!(d.len(), m.len());
+            let dp: Vec<_> = d.iter().collect();
+            let mp: Vec<_> = m.iter().collect();
+            assert_eq!(dp, mp);
+        }
+        assert_eq!(disk.record_count(), 4);
+        assert!(disk.byte_size() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn count_table_assembly() {
+        let kind = StorageKind::Memory;
+        let mut l1 = kind.create_level(1, 5).unwrap();
+        let mut l2 = kind.create_level(2, 5).unwrap();
+        l1.put(0, record(1));
+        l2.put(4, record(2));
+        let table = CountTable::from_levels(vec![l1, l2]);
+        assert_eq!(table.k(), 2);
+        assert_eq!(table.get(1, 0).total(), record(1).total());
+        assert_eq!(table.get(2, 4).total(), record(2).total());
+        assert!(table.get(2, 0).is_empty());
+        assert_eq!(table.record_count(), 2);
+        assert!(table.byte_size() > 0);
+    }
+
+    #[test]
+    fn save_and_reopen_roundtrip() {
+        let dir = std::env::temp_dir().join("motivo-table-test-save");
+        std::fs::remove_dir_all(&dir).ok();
+        let kind = StorageKind::Memory;
+        let mut l1 = kind.create_level(1, 8).unwrap();
+        let mut l2 = kind.create_level(2, 8).unwrap();
+        for v in [0u32, 3, 7] {
+            l1.put(v, record(v as u64));
+        }
+        l2.put(5, record(42));
+        let table = CountTable::from_levels(vec![l1, l2]);
+        table.save_dir(&dir).unwrap();
+        let back = CountTable::open_dir(&dir).unwrap();
+        assert_eq!(back.k(), 2);
+        for h in 1..=2u32 {
+            for v in 0..8u32 {
+                let (a, b) = (table.get(h, v), back.get(h, v));
+                assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+            }
+        }
+        assert_eq!(back.record_count(), 4);
+        // Reopened level knows its vertex set.
+        assert_eq!(back.level(1).vertices(), vec![0, 3, 7]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_corrupt_index() {
+        let dir = std::env::temp_dir().join("motivo-table-test-badidx");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut lvl = DiskLevel::create(dir.join("l.mtvt"), 4).unwrap();
+        lvl.put(1, record(3));
+        lvl.persist_index().unwrap();
+        // Truncate the index.
+        let idx = dir.join("l.mtvt.idx");
+        let data = std::fs::read(&idx).unwrap();
+        std::fs::write(&idx, &data[..data.len() - 4]).unwrap();
+        assert!(DiskLevel::open(dir.join("l.mtvt")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_storage_kind_creates_files() {
+        let dir = std::env::temp_dir().join("motivo-table-test-kind");
+        std::fs::remove_dir_all(&dir).ok();
+        let kind = StorageKind::Disk { dir: dir.clone() };
+        let mut lvl = kind.create_level(3, 4).unwrap();
+        lvl.put(2, record(8));
+        assert!(dir.join("level-3.mtvt").exists());
+        assert_eq!(lvl.get(2).len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

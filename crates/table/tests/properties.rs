@@ -1,0 +1,92 @@
+//! Property tests for the count-table records: the cumulative layout must
+//! answer every query exactly like a naive reference map.
+
+use motivo_table::Record;
+use motivo_treelet::{all_treelets, ColorSet, ColoredTreelet};
+use proptest::prelude::*;
+
+/// Random record contents: a subset of valid colored-treelet keys (sizes
+/// 2..=4 over 6 colors) with counts in 1..100.
+fn record_strategy() -> impl Strategy<Value = Vec<(ColoredTreelet, u128)>> {
+    let keys: Vec<ColoredTreelet> = {
+        let mut v = Vec::new();
+        for h in 2..=4u32 {
+            for &t in all_treelets(h).iter() {
+                for colors in ColorSet::full(6).subsets_of_size(h) {
+                    v.push(ColoredTreelet::new(t, colors));
+                }
+            }
+        }
+        v
+    };
+    let n = keys.len();
+    proptest::collection::btree_map(0..n, 1u128..100, 1..40).prop_map(move |m| {
+        m.into_iter().map(|(i, c)| (keys[i], c)).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn record_answers_match_reference(pairs in record_strategy()) {
+        let rec = Record::from_counts(pairs.iter().map(|&(k, c)| (k.code(), c)).collect());
+        let reference: std::collections::HashMap<ColoredTreelet, u128> =
+            pairs.iter().copied().collect();
+        // Totals.
+        let total: u128 = reference.values().sum();
+        prop_assert_eq!(rec.total(), total);
+        prop_assert_eq!(rec.len(), reference.len());
+        // Point lookups (including misses).
+        for (&k, &c) in &reference {
+            prop_assert_eq!(rec.count_of(k), c);
+        }
+        let absent = ColoredTreelet::new(
+            motivo_treelet::path_treelet(5),
+            ColorSet::full(5),
+        );
+        prop_assert_eq!(rec.count_of(absent), 0);
+        // Iteration recovers exactly the reference.
+        let iterated: std::collections::HashMap<ColoredTreelet, u128> = rec.iter().collect();
+        prop_assert_eq!(&iterated, &reference);
+        // Per-shape totals tile the overall total.
+        let mut shape_sum = 0u128;
+        for h in 2..=4u32 {
+            for &t in all_treelets(h).iter() {
+                let tt = rec.tree_total(t);
+                let want: u128 = reference
+                    .iter()
+                    .filter(|(k, _)| k.tree() == t)
+                    .map(|(_, &c)| c)
+                    .sum();
+                prop_assert_eq!(tt, want);
+                shape_sum += tt;
+                // Per-shape iteration agrees.
+                let it_sum: u128 = rec.iter_tree(t).map(|(_, c)| c).sum();
+                prop_assert_eq!(it_sum, want);
+            }
+        }
+        prop_assert_eq!(shape_sum, total);
+    }
+
+    #[test]
+    fn selection_is_exact_inverse_of_cumulation(pairs in record_strategy()) {
+        let rec = Record::from_counts(pairs.iter().map(|&(k, c)| (k.code(), c)).collect());
+        // Global selection: each key hit exactly `count` times across all r.
+        let mut tally: std::collections::HashMap<u64, u128> = Default::default();
+        for r in 1..=rec.total() {
+            *tally.entry(rec.select(r).code()).or_insert(0) += 1;
+        }
+        for (k, c) in &pairs {
+            prop_assert_eq!(tally[&k.code()], *c);
+        }
+    }
+
+    #[test]
+    fn encode_decode_identity(pairs in record_strategy()) {
+        let rec = Record::from_counts(pairs.iter().map(|&(k, c)| (k.code(), c)).collect());
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        prop_assert_eq!(buf.len(), rec.encoded_len());
+        let back = Record::decode(&mut &buf[..]).expect("roundtrip");
+        prop_assert_eq!(back, rec);
+    }
+}

@@ -1,0 +1,154 @@
+//! Colored treelets packed into 48 bits of a `u64` (paper §3.1).
+
+use crate::{ColorSet, Treelet};
+
+/// A colorful rooted treelet `(T, C)` with `|T| = |C|`, packed as
+/// `(s_T as u64) << 16 | s_C`: the 30-bit tour in the high bits, the 16-bit
+/// color characteristic vector in the low bits — 48 significant bits total,
+/// exactly the paper's packing.
+///
+/// The derived `u64` order is tree-major, color-minor lexicographic order,
+/// which is the sort order of the count-table records.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColoredTreelet(u64);
+
+impl ColoredTreelet {
+    /// Packs a treelet and its color set. Debug-asserts the colorfulness
+    /// invariant `|T| = |C|`.
+    #[inline]
+    pub fn new(tree: Treelet, colors: ColorSet) -> ColoredTreelet {
+        debug_assert_eq!(
+            tree.size(),
+            colors.len(),
+            "colorful treelets span exactly one color per node"
+        );
+        ColoredTreelet((tree.code() as u64) << 16 | colors.0 as u64)
+    }
+
+    /// Reconstructs from a raw packed code, validating both halves.
+    pub fn from_code(code: u64) -> Option<ColoredTreelet> {
+        let tree = Treelet::from_code((code >> 16) as u32)?;
+        let colors = ColorSet((code & 0xFFFF) as u16);
+        if tree.size() == colors.len() {
+            Some(ColoredTreelet(code))
+        } else {
+            None
+        }
+    }
+
+    /// The packed 48-bit code.
+    #[inline]
+    pub fn code(self) -> u64 {
+        self.0
+    }
+
+    /// The uncolored treelet shape.
+    #[inline]
+    pub fn tree(self) -> Treelet {
+        Treelet::from_code((self.0 >> 16) as u32).expect("invariant: valid tour")
+    }
+
+    /// The color set.
+    #[inline]
+    pub fn colors(self) -> ColorSet {
+        ColorSet((self.0 & 0xFFFF) as u16)
+    }
+
+    /// Number of nodes (= number of colors).
+    #[inline]
+    pub fn size(self) -> u32 {
+        1 + ((self.0 >> 16) as u32).count_ones()
+    }
+
+    /// Smallest packed code with this tree shape (empty-color end of the
+    /// shape's record range).
+    #[inline]
+    pub fn range_start(tree: Treelet) -> u64 {
+        (tree.code() as u64) << 16
+    }
+
+    /// Largest packed code with this tree shape (inclusive).
+    #[inline]
+    pub fn range_end(tree: Treelet) -> u64 {
+        (tree.code() as u64) << 16 | 0xFFFF
+    }
+
+    /// Merges two colored treelets: shape-merge plus color union. Returns
+    /// `None` unless the shapes merge canonically and the colors are
+    /// disjoint — the full check-and-merge of the paper.
+    #[inline]
+    pub fn merge(self, child: ColoredTreelet) -> Option<ColoredTreelet> {
+        let (sc, cc) = (self.colors(), child.colors());
+        if !sc.is_disjoint(cc) {
+            return None;
+        }
+        let tree = self.tree().merge(child.tree())?;
+        Some(ColoredTreelet::new(tree, sc.union(cc)))
+    }
+}
+
+impl std::fmt::Debug for ColoredTreelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ColoredTreelet({}, {:?})", self.tree(), self.colors())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path_treelet;
+
+    #[test]
+    fn pack_unpack() {
+        let t = path_treelet(3);
+        let c = ColorSet::single(0).union(ColorSet::single(2)).union(ColorSet::single(5));
+        let ct = ColoredTreelet::new(t, c);
+        assert_eq!(ct.tree(), t);
+        assert_eq!(ct.colors(), c);
+        assert_eq!(ct.size(), 3);
+        assert_eq!(ColoredTreelet::from_code(ct.code()), Some(ct));
+    }
+
+    #[test]
+    fn from_code_rejects_mismatched_sizes() {
+        let t = path_treelet(3);
+        let code = (t.code() as u64) << 16 | 0b11; // 2 colors for 3 nodes
+        assert!(ColoredTreelet::from_code(code).is_none());
+    }
+
+    #[test]
+    fn order_is_tree_major() {
+        let small_tree = crate::star_treelet(3);
+        let big_tree = path_treelet(3);
+        assert!(small_tree < big_tree);
+        let a = ColoredTreelet::new(small_tree, ColorSet(0b111));
+        let b = ColoredTreelet::new(big_tree, ColorSet(0b0111));
+        let c = ColoredTreelet::new(big_tree, ColorSet(0b1011));
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn colored_merge_checks_disjointness() {
+        let e = ColoredTreelet::new(
+            path_treelet(2),
+            ColorSet::single(0).union(ColorSet::single(1)),
+        );
+        let overlapping = ColoredTreelet::new(Treelet::SINGLETON, ColorSet::single(1));
+        assert!(e.merge(overlapping).is_none());
+        let ok = ColoredTreelet::new(Treelet::SINGLETON, ColorSet::single(2));
+        let merged = e.merge(ok).unwrap();
+        assert_eq!(merged.size(), 3);
+        assert_eq!(merged.tree(), crate::star_treelet(3));
+    }
+
+    #[test]
+    fn range_bounds_bracket_all_colorings() {
+        let t = path_treelet(4);
+        let lo = ColoredTreelet::range_start(t);
+        let hi = ColoredTreelet::range_end(t);
+        for c in ColorSet::full(8).subsets_of_size(4) {
+            let code = ColoredTreelet::new(t, c).code();
+            assert!(lo <= code && code <= hi);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Color sets as 16-bit characteristic vectors.
+//!
+//! With `k ≤ 16` colors, a subset `C ⊆ {0, …, k−1}` is the bitmask with bit
+//! `c` set for each `c ∈ C`. Set algebra becomes single bitwise instructions,
+//! which is what makes the check half of check-and-merge (`C' ∩ C'' = ∅`)
+//! essentially free (paper §3.1).
+
+/// A subset of the `k ≤ 16` colors, as a characteristic bit vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ColorSet(pub u16);
+
+impl ColorSet {
+    /// The empty color set.
+    pub const EMPTY: ColorSet = ColorSet(0);
+
+    /// The singleton set `{color}`.
+    #[inline]
+    pub fn single(color: u8) -> ColorSet {
+        debug_assert!(color < 16);
+        ColorSet(1 << color)
+    }
+
+    /// The full set `{0, …, k−1}`.
+    #[inline]
+    pub fn full(k: u8) -> ColorSet {
+        debug_assert!((1..=16).contains(&k));
+        ColorSet(if k == 16 { u16::MAX } else { (1 << k) - 1 })
+    }
+
+    /// Number of colors in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `color` is in the set.
+    #[inline]
+    pub fn contains(self, color: u8) -> bool {
+        self.0 >> color & 1 == 1
+    }
+
+    /// Set union (bitwise `or`).
+    #[inline]
+    pub fn union(self, other: ColorSet) -> ColorSet {
+        ColorSet(self.0 | other.0)
+    }
+
+    /// Set intersection (bitwise `and`).
+    #[inline]
+    pub fn inter(self, other: ColorSet) -> ColorSet {
+        ColorSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn minus(self, other: ColorSet) -> ColorSet {
+        ColorSet(self.0 & !other.0)
+    }
+
+    /// Whether the two sets share no color — the merge precondition.
+    #[inline]
+    pub fn is_disjoint(self, other: ColorSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: ColorSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The smallest color in the set, if any.
+    #[inline]
+    pub fn min_color(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as u8)
+        }
+    }
+
+    /// Iterates over the colors in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let c = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                Some(c)
+            }
+        })
+    }
+
+    /// Enumerates every subset of `self` with exactly `size` colors.
+    ///
+    /// Used by the brute-force reference implementations in tests; the hot
+    /// DP never enumerates subsets (it iterates stored records instead).
+    pub fn subsets_of_size(self, size: u32) -> Vec<ColorSet> {
+        let colors: Vec<u8> = self.iter().collect();
+        let mut out = Vec::new();
+        let n = colors.len();
+        if (size as usize) > n {
+            return out;
+        }
+        // Gosper's hack over the positions of `colors`.
+        if size == 0 {
+            return vec![ColorSet::EMPTY];
+        }
+        let mut comb: u32 = (1 << size) - 1;
+        while comb < 1 << n {
+            let mut set = ColorSet::EMPTY;
+            for (i, &c) in colors.iter().enumerate() {
+                if comb >> i & 1 == 1 {
+                    set = set.union(ColorSet::single(c));
+                }
+            }
+            out.push(set);
+            let c = comb & comb.wrapping_neg();
+            let r = comb + c;
+            comb = (((r ^ comb) >> 2) / c) | r;
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for ColorSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algebra() {
+        let a = ColorSet::single(0).union(ColorSet::single(3));
+        let b = ColorSet::single(3).union(ColorSet::single(5));
+        assert_eq!(a.inter(b), ColorSet::single(3));
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.minus(b), ColorSet::single(0));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(ColorSet::single(7)));
+        assert!(ColorSet::single(3).is_subset_of(a));
+    }
+
+    #[test]
+    fn full_and_iter() {
+        let f = ColorSet::full(5);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(ColorSet::full(16).len(), 16);
+        assert_eq!(f.min_color(), Some(0));
+        assert_eq!(ColorSet::EMPTY.min_color(), None);
+    }
+
+    #[test]
+    fn subsets_of_size_counts() {
+        let f = ColorSet::full(6);
+        assert_eq!(f.subsets_of_size(0).len(), 1);
+        assert_eq!(f.subsets_of_size(2).len(), 15);
+        assert_eq!(f.subsets_of_size(3).len(), 20);
+        assert_eq!(f.subsets_of_size(6).len(), 1);
+        assert_eq!(f.subsets_of_size(7).len(), 0);
+        for s in f.subsets_of_size(3) {
+            assert_eq!(s.len(), 3);
+            assert!(s.is_subset_of(f));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Enumeration of all canonical rooted treelets by size.
+//!
+//! The generator mirrors the dynamic program itself: a canonical treelet on
+//! `h` nodes arises from exactly one pair `(T', T'')` with
+//! `|T'| + |T''| = h` and `T''` admissible as first child of `T'`
+//! ([`Treelet::can_merge`]). Iterating all admissible pairs therefore yields
+//! every canonical treelet exactly once — no dedup required (tested against
+//! OEIS A000081).
+
+use crate::Treelet;
+
+/// All canonical rooted treelets on exactly `h` nodes, ascending in the
+/// treelet order.
+pub fn all_treelets(h: u32) -> Vec<Treelet> {
+    all_treelets_up_to(h).pop().expect("h >= 1")
+}
+
+/// All canonical rooted treelets of sizes `1..=k`, indexed by `size - 1`.
+/// Each size class is sorted ascending in the treelet order.
+pub fn all_treelets_up_to(k: u32) -> Vec<Vec<Treelet>> {
+    assert!((1..=crate::MAX_TREELET_NODES).contains(&k));
+    let mut by_size: Vec<Vec<Treelet>> = vec![vec![Treelet::SINGLETON]];
+    for h in 2..=k {
+        let mut level = Vec::new();
+        for h1 in 1..h {
+            let h2 = h - h1;
+            for &t1 in &by_size[h1 as usize - 1] {
+                for &t2 in &by_size[h2 as usize - 1] {
+                    if t1.can_merge(t2) {
+                        level.push(t1.merge_unchecked(t2));
+                    }
+                }
+            }
+        }
+        level.sort_unstable();
+        debug_assert!(level.windows(2).all(|w| w[0] != w[1]), "duplicate treelet");
+        by_size.push(level);
+    }
+    by_size
+}
+
+/// A precomputed family of treelets up to size `k`, with O(1) lookup from a
+/// treelet to its dense index within its size class. The build-up phase and
+/// AGS both index per-shape arrays with this.
+pub struct TreeletFamily {
+    k: u32,
+    by_size: Vec<Vec<Treelet>>,
+}
+
+impl TreeletFamily {
+    /// Enumerates and indexes all treelets of sizes `1..=k`.
+    pub fn new(k: u32) -> TreeletFamily {
+        TreeletFamily { k, by_size: all_treelets_up_to(k) }
+    }
+
+    /// The size parameter `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The treelets of exactly `h` nodes, ascending.
+    pub fn of_size(&self, h: u32) -> &[Treelet] {
+        &self.by_size[h as usize - 1]
+    }
+
+    /// Number of distinct shapes of exactly `h` nodes.
+    pub fn count(&self, h: u32) -> usize {
+        self.of_size(h).len()
+    }
+
+    /// Dense index of `t` within its size class (binary search; O(log) with
+    /// tiny constants — there are at most 719 shapes for h ≤ 10).
+    pub fn index_of(&self, t: Treelet) -> usize {
+        self.of_size(t.size())
+            .binary_search(&t)
+            .expect("treelet must belong to the family")
+    }
+
+    /// Iterate `(size, index, treelet)` over the whole family.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, usize, Treelet)> + '_ {
+        self.by_size.iter().enumerate().flat_map(|(s, v)| {
+            v.iter().enumerate().map(move |(i, &t)| (s as u32 + 1, i, t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_indexing_consistent() {
+        let fam = TreeletFamily::new(7);
+        for h in 1..=7 {
+            for (i, &t) in fam.of_size(h).iter().enumerate() {
+                assert_eq!(fam.index_of(t), i);
+            }
+        }
+        assert_eq!(fam.count(7), 48);
+        assert_eq!(fam.iter().count(), 1 + 1 + 2 + 4 + 9 + 20 + 48);
+    }
+
+    #[test]
+    fn enumeration_is_sorted_unique() {
+        for h in 1..=9 {
+            let v = all_treelets(h);
+            for w in v.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

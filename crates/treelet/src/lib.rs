@@ -1,0 +1,468 @@
+//! Succinct rooted treelet encoding — Motivo §3.1.
+//!
+//! A *treelet* is a rooted tree on at most 16 nodes. Motivo's key data
+//! structure insight is that such a tree can be encoded in a single machine
+//! word as the bitstring of its DFS (Euler) tour: the i-th bit is `1` if the
+//! i-th edge traversal moves *away* from the root and `0` if it moves back
+//! *towards* it. A tree on `h` nodes has `h − 1` edges, each traversed twice,
+//! so the tour takes `2(h − 1) ≤ 30` bits for `h ≤ 16` and fits in a `u32`.
+//!
+//! We store the tour **left-aligned** (first bit in the MSB) and padded with
+//! zeros. Valid tours are balanced Dyck words, so zero-padding is unambiguous
+//! (no valid tour is another valid tour extended by zeros), and plain integer
+//! comparison of the padded words equals lexicographic comparison of the
+//! bitstrings. That integer order is the *total order on treelets* used
+//! throughout the paper: it determines the unique decomposition, the
+//! check-and-merge condition, and the sort order of the count table.
+//!
+//! Supported operations (paper names in parentheses):
+//! * [`Treelet::size`] (`getsize`) — one `POPCNT`.
+//! * [`Treelet::merge`] (`merge`) — concatenate `1 · s_T'' · 0 · s_T'`.
+//! * [`Treelet::decomp`] (`decomp`) — split off the root's first child
+//!   subtree; the inverse of `merge`.
+//! * [`Treelet::beta`] (`sub`) — the multiplicity `β_T` of Eq. (1): how many
+//!   of the root's child subtrees are isomorphic to the first one.
+//!
+//! A [`ColoredTreelet`] packs the tour together with the 16-bit
+//! characteristic vector of its color set into 48 bits of a `u64`, exactly as
+//! motivo packs its count-table keys; the `u64` integer order is the
+//! tree-major, color-minor lexicographic order of the paper.
+
+mod colorset;
+mod colored;
+mod enumerate;
+
+pub use colorset::ColorSet;
+pub use colored::ColoredTreelet;
+pub use enumerate::{all_treelets, all_treelets_up_to, TreeletFamily};
+
+/// Maximum number of nodes a treelet may have (the paper's `k ≤ 16` limit).
+pub const MAX_TREELET_NODES: u32 = 16;
+
+/// A rooted treelet on `1..=16` nodes, encoded as a left-aligned DFS tour
+/// bitstring in a `u32`.
+///
+/// The encoding is *canonical*: the DFS visits the children of every node in
+/// ascending order of their sub-encodings, so isomorphic rooted trees have
+/// identical encodings. All constructors maintain this invariant
+/// ([`Treelet::merge`] refuses non-canonical combinations unless asserted
+/// otherwise via [`Treelet::merge_unchecked`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Treelet(u32);
+
+impl Treelet {
+    /// The treelet consisting of a single root node (empty tour).
+    pub const SINGLETON: Treelet = Treelet(0);
+
+    /// Reconstructs a treelet from its raw encoding.
+    ///
+    /// Returns `None` if the bits are not a valid left-aligned balanced tour.
+    pub fn from_code(code: u32) -> Option<Treelet> {
+        let t = Treelet(code);
+        if t.is_valid() {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// The raw 30-bit (left-aligned) encoding.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Number of nodes: `1 + popcount(s_T)` — a single machine instruction,
+    /// as advertised in the paper (`getsize`).
+    #[inline]
+    pub fn size(self) -> u32 {
+        1 + self.0.count_ones()
+    }
+
+    /// Number of bits of the tour (`2(h−1)`).
+    #[inline]
+    pub fn tour_len(self) -> u32 {
+        2 * self.0.count_ones()
+    }
+
+    /// Whether this is the single-node treelet.
+    #[inline]
+    pub fn is_singleton(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Validates the encoding: balanced tour, every prefix non-negative,
+    /// nothing but padding after `tour_len` bits, at most 16 nodes.
+    pub fn is_valid(self) -> bool {
+        let ones = self.0.count_ones();
+        if ones > MAX_TREELET_NODES - 1 {
+            return false;
+        }
+        let len = 2 * ones;
+        // No stray bits beyond the tour.
+        if len < 32 && (self.0 << len) != 0 && len != 0 {
+            return false;
+        }
+        if len == 0 {
+            return self.0 == 0;
+        }
+        let mut depth: i32 = 0;
+        for i in 0..len {
+            if self.0 >> (31 - i) & 1 == 1 {
+                depth += 1;
+            } else {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+        }
+        depth == 0
+    }
+
+    /// Whether `merge(self, child)` is size-feasible and *canonical*, i.e.
+    /// produces the unique encoding whose [`Treelet::decomp`] returns
+    /// exactly `(self, child)`.
+    ///
+    /// This is the check half of the paper's check-and-merge: `child` must
+    /// come no later than the smallest (first) child subtree of `self` in the
+    /// treelet order. Color disjointness is checked separately by the caller.
+    #[inline]
+    pub fn can_merge(self, child: Treelet) -> bool {
+        if self.size() + child.size() > MAX_TREELET_NODES {
+            return false;
+        }
+        if self.is_singleton() {
+            return true;
+        }
+        child <= self.first_subtree()
+    }
+
+    /// Merges `child` as the new first child subtree of `self`'s root
+    /// (the paper's `merge(T', T'')`): the resulting tour is
+    /// `1 · s_child · 0 · s_self`.
+    ///
+    /// Returns `None` when the combination is not canonical or exceeds 16
+    /// nodes; use with [`Treelet::can_merge`] pre-checked via
+    /// [`Treelet::merge_unchecked`] in hot loops.
+    #[inline]
+    pub fn merge(self, child: Treelet) -> Option<Treelet> {
+        if self.can_merge(child) {
+            Some(self.merge_unchecked(child))
+        } else {
+            None
+        }
+    }
+
+    /// [`Treelet::merge`] without the canonicality check. The caller must
+    /// have verified [`Treelet::can_merge`]; in debug builds this is
+    /// asserted.
+    #[inline]
+    pub fn merge_unchecked(self, child: Treelet) -> Treelet {
+        debug_assert!(self.can_merge(child));
+        let child_len = child.tour_len();
+        // 1 · s_child · 0 · s_self, left-aligned. The `0` separator is the
+        // return-to-root move; it is already present as padding in
+        // `child.0 >> 1`, so only the final shift needs `child_len + 2`.
+        let mut code = (1u32 << 31) | (child.0 >> 1);
+        if child_len + 2 < 32 {
+            code |= self.0 >> (child_len + 2);
+        }
+        Treelet(code)
+    }
+
+    /// Splits off the root's first (smallest) child subtree — the paper's
+    /// unique decomposition `decomp(T) = (T', T'')` with `T''` rooted at a
+    /// child of the root and `T' = T − T''`. Inverse of [`Treelet::merge`].
+    ///
+    /// Panics in debug builds if called on the singleton.
+    #[inline]
+    pub fn decomp(self) -> (Treelet, Treelet) {
+        debug_assert!(!self.is_singleton(), "singleton has no decomposition");
+        let j = self.first_subtree_end();
+        // Bits 1..j-1 are the child's tour; bits j+1.. are the remainder's.
+        // For j == 1 the mask is !(u32::MAX) == 0, yielding the singleton.
+        let child = Treelet((self.0 << 1) & !(u32::MAX >> (j - 1)));
+        let rest = Treelet(self.0 << (j + 1)); // j + 1 ≤ 31 since tours ≤ 30 bits
+        (rest, child)
+    }
+
+    /// The root's first child subtree (the `T''` of [`Treelet::decomp`]).
+    #[inline]
+    pub fn first_subtree(self) -> Treelet {
+        self.decomp().1
+    }
+
+    /// Index `j` of the `0`-bit that closes the first child subtree:
+    /// the smallest `j ≥ 1` with balance zero after bits `0..=j`.
+    #[inline]
+    fn first_subtree_end(self) -> u32 {
+        let mut depth: i32 = 1; // bit 0 is the initial descent
+        let mut j = 1;
+        loop {
+            if self.0 >> (31 - j) & 1 == 1 {
+                depth += 1;
+            } else {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+    }
+
+    /// `β_T`, the paper's `sub(T)`: the number of child subtrees of the root
+    /// isomorphic to the first one. This is the overcount factor of Eq. (1):
+    /// the forward merge produces every copy of `T` exactly `β_T` times.
+    pub fn beta(self) -> u32 {
+        debug_assert!(!self.is_singleton());
+        let (mut rest, first) = self.decomp();
+        let mut count = 1;
+        while !rest.is_singleton() {
+            let (r, c) = rest.decomp();
+            if c == first {
+                count += 1;
+                rest = r;
+            } else {
+                break;
+            }
+        }
+        count
+    }
+
+    /// Number of children of the root.
+    pub fn root_degree(self) -> u32 {
+        let mut deg = 0;
+        let mut cur = self;
+        while !cur.is_singleton() {
+            deg += 1;
+            cur = cur.decomp().0;
+        }
+        deg
+    }
+
+    /// The child subtrees of the root, in canonical (ascending) order.
+    pub fn subtrees(self) -> Vec<Treelet> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        while !cur.is_singleton() {
+            let (rest, child) = cur.decomp();
+            out.push(child);
+            cur = rest;
+        }
+        out
+    }
+
+    /// Expands the encoding into a parent array: `parent[0]` is the root
+    /// (encoded as `0`), and for `i > 0`, `parent[i] < i` is the DFS parent.
+    /// Nodes are numbered in DFS (pre-order) visit order.
+    pub fn parents(self) -> Vec<u8> {
+        let h = self.size() as usize;
+        let mut parents = vec![0u8; h];
+        let mut stack: Vec<u8> = vec![0];
+        let mut next = 1u8;
+        for i in 0..self.tour_len() {
+            if self.0 >> (31 - i) & 1 == 1 {
+                parents[next as usize] = *stack.last().expect("tour balanced");
+                stack.push(next);
+                next += 1;
+            } else {
+                stack.pop();
+            }
+        }
+        parents
+    }
+
+    /// Builds the canonical treelet for an arbitrary rooted tree given as a
+    /// parent array (`parent[0]` ignored; `parent[i] < i`).
+    ///
+    /// Used by tests and by the graphlet spanning-tree machinery; not on any
+    /// hot path.
+    pub fn from_parents(parents: &[u8]) -> Treelet {
+        assert!(!parents.is_empty() && parents.len() <= MAX_TREELET_NODES as usize);
+        let n = parents.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &p) in parents.iter().enumerate().skip(1) {
+            assert!((p as usize) < i, "parents must be topologically ordered");
+            children[p as usize].push(i);
+        }
+        fn canon(node: usize, children: &[Vec<usize>]) -> Treelet {
+            let mut subs: Vec<Treelet> =
+                children[node].iter().map(|&c| canon(c, children)).collect();
+            // Children must be attached largest-first so that the final
+            // first child is the smallest (merge prepends).
+            subs.sort_unstable_by(|a, b| b.cmp(a));
+            let mut acc = Treelet::SINGLETON;
+            for s in subs {
+                acc = acc.merge(s).expect("sorted attach order is canonical");
+            }
+            acc
+        }
+        canon(0, &children)
+    }
+
+    /// The tour bitstring as text, e.g. `"1100"` for the rooted path on 3
+    /// nodes.
+    pub fn tour_string(self) -> String {
+        (0..self.tour_len())
+            .map(|i| if self.0 >> (31 - i) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Treelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Treelet({}, n={})", self.tour_string(), self.size())
+    }
+}
+
+impl std::fmt::Display for Treelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.tour_string())
+    }
+}
+
+/// The rooted path on `h` nodes (root at one end). Handy in tests/benches.
+pub fn path_treelet(h: u32) -> Treelet {
+    assert!((1..=MAX_TREELET_NODES).contains(&h));
+    let mut t = Treelet::SINGLETON;
+    for _ in 1..h {
+        t = Treelet::SINGLETON.merge(t).expect("path merge is canonical");
+    }
+    t
+}
+
+/// The star on `h` nodes rooted at the center.
+pub fn star_treelet(h: u32) -> Treelet {
+    assert!((1..=MAX_TREELET_NODES).contains(&h));
+    let mut t = Treelet::SINGLETON;
+    for _ in 1..h {
+        t = t.merge(Treelet::SINGLETON).expect("star merge is canonical");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> Treelet {
+        Treelet::SINGLETON.merge(Treelet::SINGLETON).unwrap()
+    }
+
+    #[test]
+    fn singleton_basics() {
+        let s = Treelet::SINGLETON;
+        assert_eq!(s.size(), 1);
+        assert_eq!(s.tour_len(), 0);
+        assert!(s.is_valid());
+        assert_eq!(s.tour_string(), "");
+    }
+
+    #[test]
+    fn edge_encoding() {
+        let e = edge();
+        assert_eq!(e.tour_string(), "10");
+        assert_eq!(e.size(), 2);
+        assert_eq!(e.beta(), 1);
+    }
+
+    #[test]
+    fn path3_encoding() {
+        let p3 = path_treelet(3);
+        assert_eq!(p3.tour_string(), "1100");
+        assert_eq!(p3.size(), 3);
+        let (rest, child) = p3.decomp();
+        assert_eq!(rest, Treelet::SINGLETON);
+        assert_eq!(child, edge());
+    }
+
+    #[test]
+    fn star3_encoding() {
+        let s3 = star_treelet(3);
+        assert_eq!(s3.tour_string(), "1010");
+        assert_eq!(s3.beta(), 2);
+        // star < path in the total order (lexicographic on tours).
+        assert!(s3 < path_treelet(3));
+    }
+
+    #[test]
+    fn merge_decomp_roundtrip_small() {
+        for h in 2..=8u32 {
+            for t in all_treelets(h) {
+                let (rest, child) = t.decomp();
+                assert_eq!(rest.merge(child), Some(t), "roundtrip failed for {t:?}");
+                assert_eq!(rest.size() + child.size(), h);
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_match_oeis() {
+        // Number of rooted trees on h nodes (OEIS A000081).
+        let expect = [1usize, 1, 2, 4, 9, 20, 48, 115, 286, 719];
+        for (i, &e) in expect.iter().enumerate() {
+            let h = i as u32 + 1;
+            assert_eq!(all_treelets(h).len(), e, "count mismatch at h={h}");
+        }
+    }
+
+    #[test]
+    fn all_enumerated_are_valid_and_sorted_children() {
+        for h in 1..=9u32 {
+            for t in all_treelets(h) {
+                assert!(t.is_valid(), "{t:?}");
+                assert_eq!(t.size(), h);
+                let subs = t.subtrees();
+                for w in subs.windows(2) {
+                    assert!(w[0] <= w[1], "children not ascending in {t:?}");
+                }
+                // Re-canonicalizing the parent array must be the identity.
+                assert_eq!(Treelet::from_parents(&t.parents()), t);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_counts_leading_equal_subtrees() {
+        assert_eq!(star_treelet(5).beta(), 4);
+        assert_eq!(path_treelet(5).beta(), 1);
+        // Root with two path-2 children: beta = 2.
+        let t = path_treelet(3).merge(edge()).unwrap();
+        assert_eq!(t.beta(), 2);
+    }
+
+    #[test]
+    fn non_canonical_merge_rejected() {
+        // Attaching a chain after building a star root–leaf is rejected:
+        // the chain (larger) may not become the first child.
+        let chain = edge();
+        let t = edge(); // root with one leaf
+        assert!(t.merge(chain).is_none());
+        // But the other association works: merge(path3, singleton).
+        assert!(path_treelet(3).merge(Treelet::SINGLETON).is_some());
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let p = path_treelet(16);
+        assert!(p.merge(Treelet::SINGLETON).is_none());
+        assert_eq!(p.size(), 16);
+        assert_eq!(p.tour_len(), 30);
+    }
+
+    #[test]
+    fn from_code_rejects_garbage() {
+        assert!(Treelet::from_code(0b01 << 30).is_none()); // starts descending
+        assert!(Treelet::from_code(u32::MAX).is_none()); // unbalanced
+        assert!(Treelet::from_code(0).is_some());
+        assert!(Treelet::from_code(0b10 << 30).is_some());
+    }
+
+    #[test]
+    fn parents_roundtrip_path_and_star() {
+        assert_eq!(path_treelet(4).parents(), vec![0, 0, 1, 2]);
+        assert_eq!(star_treelet(4).parents(), vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the succinct treelet codec.
+
+use motivo_treelet::{all_treelets, all_treelets_up_to, ColorSet, Treelet};
+use proptest::prelude::*;
+
+/// Random topologically-ordered parent array on `2..=12` nodes.
+fn parents_strategy() -> impl Strategy<Value = Vec<u8>> {
+    (2usize..=12).prop_flat_map(|n| {
+        let mut parts: Vec<BoxedStrategy<u8>> = vec![Just(0u8).boxed()];
+        for i in 1..n {
+            parts.push((0..i as u8).boxed());
+        }
+        parts
+    })
+}
+
+proptest! {
+    /// The canonical encoding does not depend on the order children were
+    /// attached in: permuting sibling ids in the parent array (relabeling
+    /// the tree) leaves the encoding unchanged.
+    #[test]
+    fn encoding_is_shape_invariant(parents in parents_strategy(), seed in 0u64..1000) {
+        let t = Treelet::from_parents(&parents);
+        // Relabel: random permutation of non-root ids that preserves the
+        // topological order constraint by re-deriving a parent array from
+        // a shuffled DFS of the same tree.
+        let n = parents.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &p) in parents.iter().enumerate().skip(1) {
+            children[p as usize].push(i);
+        }
+        // Deterministic shuffle of every child list.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for ch in children.iter_mut() {
+            for i in (1..ch.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                ch.swap(i, j);
+            }
+        }
+        // Rebuild a parent array by DFS over the shuffled child lists.
+        let mut new_parents = vec![0u8; n];
+        let mut order = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            order[v] = next;
+            next += 1;
+            for &c in children[v].iter().rev() {
+                stack.push(c);
+            }
+        }
+        // order[] maps old id → new id, increasing along the DFS.
+        let mut inv = vec![0usize; n];
+        for (old, &new) in order.iter().enumerate() {
+            inv[new] = old;
+        }
+        for new_id in 1..n {
+            let old = inv[new_id];
+            new_parents[new_id] = order[parents[old] as usize] as u8;
+        }
+        prop_assert_eq!(Treelet::from_parents(&new_parents), t);
+    }
+
+    /// `beta` equals the brute-force count of root-child subtrees
+    /// isomorphic to the smallest one.
+    #[test]
+    fn beta_matches_bruteforce(parents in parents_strategy()) {
+        let t = Treelet::from_parents(&parents);
+        if t.is_singleton() {
+            return Ok(());
+        }
+        let subs = t.subtrees();
+        let first = subs[0];
+        let brute = subs.iter().take_while(|&&s| s == first).count() as u32;
+        prop_assert_eq!(t.beta(), brute);
+    }
+
+    /// Sizes add up and tours stay valid under decomposition chains.
+    #[test]
+    fn decomposition_chain_terminates(parents in parents_strategy()) {
+        let mut t = Treelet::from_parents(&parents);
+        let mut total = t.size();
+        while !t.is_singleton() {
+            let (rest, child) = t.decomp();
+            prop_assert!(rest.is_valid() && child.is_valid());
+            prop_assert_eq!(rest.size() + child.size(), t.size());
+            prop_assert!(child <= t.first_subtree());
+            total -= child.size();
+            t = rest;
+        }
+        prop_assert_eq!(total, 1);
+    }
+
+    /// Gosper-hack subset enumeration equals the binomial coefficient and
+    /// produces distinct subsets of the right size.
+    #[test]
+    fn colorset_subsets(k in 1u8..=10, size in 0u32..=10) {
+        let full = ColorSet::full(k);
+        let subs = full.subsets_of_size(size);
+        let binom = |n: u64, r: u64| -> u64 {
+            if r > n {
+                return 0;
+            }
+            (0..r).fold(1u64, |acc, i| acc * (n - i) / (i + 1))
+        };
+        prop_assert_eq!(subs.len() as u64, binom(k as u64, size as u64));
+        let mut seen = std::collections::HashSet::new();
+        for s in subs {
+            prop_assert_eq!(s.len(), size);
+            prop_assert!(s.is_subset_of(full));
+            prop_assert!(seen.insert(s.0));
+        }
+    }
+}
+
+/// Exhaustive (not property-based, but cheap): every admissible merge of
+/// enumerated shapes round-trips, and the admissible pairs generate each
+/// size class exactly once.
+#[test]
+fn exhaustive_merge_decomp_consistency() {
+    let by_size = all_treelets_up_to(7);
+    for h in 2..=7u32 {
+        let mut generated = Vec::new();
+        for h1 in 1..h {
+            let h2 = h - h1;
+            for &t1 in &by_size[h1 as usize - 1] {
+                for &t2 in &by_size[h2 as usize - 1] {
+                    match t1.merge(t2) {
+                        Some(m) => {
+                            assert_eq!(m.decomp(), (t1, t2));
+                            generated.push(m);
+                        }
+                        None => {
+                            // Either too large (impossible here) or
+                            // non-canonical: t2 must exceed t1's first
+                            // subtree.
+                            assert!(
+                                !t1.is_singleton() && t2 > t1.first_subtree(),
+                                "unexpected merge rejection: {t1:?} + {t2:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        generated.sort_unstable();
+        generated.dedup();
+        assert_eq!(generated.len(), all_treelets(h).len(), "size {h}");
+    }
+}
+
+/// The integer order on encodings refines the size order only within
+/// fixed shapes — but padding guarantees no two distinct valid tours
+/// compare equal.
+#[test]
+fn encodings_are_injective_across_sizes() {
+    let mut all: Vec<Treelet> = Vec::new();
+    for h in 1..=8u32 {
+        all.extend(all_treelets(h));
+    }
+    let mut codes: Vec<u32> = all.iter().map(|t| t.code()).collect();
+    codes.sort_unstable();
+    let before = codes.len();
+    codes.dedup();
+    assert_eq!(codes.len(), before, "distinct treelets share an encoding");
+}

@@ -1,0 +1,82 @@
+//! The Theorem 5 lower-bound instance: the lollipop graph.
+//!
+//! A clique with a dangling path. The k-path graphlet has polynomially
+//! small frequency, and its only spanning tree — the path treelet — is
+//! drowned in the urn by the clique's treelets. Any `sample(T)`-based
+//! strategy needs Ω(1/p_H) samples to *find* the path... but AGS still
+//! wins big versus naive sampling on everything else, and once the heavy
+//! classes are covered its treelet switch steers straight at the path.
+//!
+//! ```sh
+//! cargo run --release --example lollipop
+//! ```
+
+use motivo::prelude::*;
+
+fn main() {
+    let graph = motivo::graph::generators::lollipop(80, 16);
+    let k = 5u32;
+    println!(
+        "lollipop: K{} plus a {}-vertex tail ({} nodes, {} edges)",
+        80,
+        16,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Ground truth via ESU: how rare is the induced k-path really?
+    let exact = motivo::exact::count_exact(&graph, k as u8);
+    let path = motivo::graphlet::path(k as u8);
+    let p_count = exact.count_of(&path);
+    println!(
+        "exact: {} induced {k}-paths among {} total {k}-graphlets (frequency {:.2e})",
+        p_count,
+        exact.total,
+        p_count as f64 / exact.total as f64
+    );
+
+    let budget = 150_000u64;
+    let mut found_naive = 0;
+    let mut found_ags = 0;
+    let runs = 5;
+    for seed in 0..runs {
+        let urn = match build_urn(&graph, &BuildConfig::new(k).seed(seed)) {
+            Ok(u) => u,
+            Err(e) => {
+                println!("seed {seed}: {e}");
+                continue;
+            }
+        };
+        let mut reg = GraphletRegistry::new(k as u8);
+        let naive = naive_estimates(&urn, &mut reg, budget, 0, &SampleConfig::seeded(seed));
+        let idx = reg.classify(&path);
+        if naive.get(idx).map(|e| e.occurrences).unwrap_or(0) > 0 {
+            found_naive += 1;
+        }
+        let mut reg2 = GraphletRegistry::new(k as u8);
+        let res = ags(
+            &urn,
+            &mut reg2,
+            &AgsConfig { c_bar: 500, max_samples: budget, ..AgsConfig::default() },
+        );
+        let idx2 = reg2.classify(&path);
+        let hits = res.estimates.get(idx2).map(|e| e.occurrences).unwrap_or(0);
+        if hits > 0 {
+            found_ags += 1;
+        }
+        println!(
+            "seed {seed}: naive classes {:>3}, AGS classes {:>3} ({} switches), AGS path hits {}",
+            naive.per_graphlet.len(),
+            res.estimates.per_graphlet.len(),
+            res.switches,
+            hits
+        );
+    }
+    println!(
+        "\npath graphlet witnessed: naive {found_naive}/{runs} colorings, AGS {found_ags}/{runs}"
+    );
+    println!(
+        "(Theorem 5: no sample(T)-based strategy can beat Ω(1/p) here — \
+         but AGS reaches that bound instead of naive's additive barrier.)"
+    );
+}

@@ -1,0 +1,379 @@
+//! The `motivo` command-line tool — build, sample, and count motifs from
+//! the shell, mirroring how the paper's C++ tool is driven.
+//!
+//! ```sh
+//! motivo generate --model ba --nodes 10000 --param 4 --out g.mtvg
+//! motivo info g.mtvg
+//! motivo count g.mtvg -k 5 --samples 200000 --runs 10
+//! motivo count g.mtvg -k 5 --ags --runs 10
+//! motivo build g.mtvg -k 5 --table urn-dir        # persist the urn
+//! motivo sample g.mtvg --table urn-dir --samples 100000
+//! motivo exact g.mtvg -k 4
+//! motivo convert edges.txt g.mtvg
+//! ```
+
+use motivo::core::{
+    ags, ensemble, load_urn, naive_estimates, save_urn, AgsConfig, BuildConfig, EnsembleConfig,
+    Estimator, SampleConfig,
+};
+use motivo::graph::{generators, io, Graph};
+use motivo::graphlet::{name, GraphletRegistry};
+use std::process::exit;
+
+fn main() {
+    // Piping into `head` closes stdout early; die quietly instead of
+    // panicking (std has no SIGPIPE story without libc).
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info.to_string();
+        if msg.contains("Broken pipe") {
+            exit(0);
+        }
+        eprintln!("{msg}");
+        exit(101);
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("exact") => cmd_exact(&args[1..]),
+        Some("count") => cmd_count(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("sample") => cmd_sample(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: motivo <generate|convert|info|exact|count|build|sample> [args]\n\
+                 \n\
+                 generate --model ba|er|hub|yelp|lollipop --nodes N [--param P] [--seed S] --out FILE\n\
+                 convert  <edges.txt> <out.mtvg>\n\
+                 info     <graph>\n\
+                 exact    <graph> -k K [--top N]\n\
+                 count    <graph> -k K [--samples N] [--ags] [--runs R] [--biased L]\n\
+                          [--threads T] [--seed S] [--top N] [--disk DIR]\n\
+                 build    <graph> -k K --table DIR [--seed S] [--biased L] [--threads T]\n\
+                 sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--top N]"
+            );
+            2
+        }
+    };
+    exit(code);
+}
+
+/// Tiny flag parser: positional args plus `--flag value` / `--flag` pairs.
+struct Opts {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String], boolean_flags: &[&str]) -> Opts {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if boolean_flags.contains(&name) {
+                    flags.insert(name.to_string(), "true".into());
+                } else {
+                    let v = it.next().cloned().unwrap_or_default();
+                    flags.insert(name.to_string(), v);
+                }
+            } else if let Some(name) = a.strip_prefix('-') {
+                let v = it.next().cloned().unwrap_or_default();
+                flags.insert(name.to_string(), v);
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Opts { positional, flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.flags.get(name).and_then(|v| v.parse().ok())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let loaded = if path.ends_with(".mtvg") {
+        io::load_binary(path)
+    } else {
+        io::load_edge_list(path)
+    };
+    loaded.map_err(|e| format!("cannot load graph {path}: {e}"))
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let model: String = o.get("model").unwrap_or_else(|| "ba".into());
+    let n: u32 = o.get("nodes").unwrap_or(10_000);
+    let seed: u64 = o.get("seed").unwrap_or(1);
+    let param: u32 = o.get("param").unwrap_or(3);
+    let out: String = match o.get("out") {
+        Some(p) => p,
+        None => return fail("--out FILE required"),
+    };
+    let g = match model.as_str() {
+        "ba" => generators::barabasi_albert(n, param, seed),
+        "er" => generators::erdos_renyi(n, (n as usize) * param as usize, seed),
+        "hub" => generators::star_heavy(n, param, 0.5, seed),
+        "yelp" => generators::yelp_like(n / 100 + 1, param.max(10), n as usize / 50, seed),
+        "lollipop" => generators::lollipop(n, param),
+        other => return fail(&format!("unknown model {other}")),
+    };
+    if let Err(e) = io::save_binary(&g, &out) {
+        return fail(&format!("cannot write {out}: {e}"));
+    }
+    println!("wrote {} ({} nodes, {} edges)", out, g.num_nodes(), g.num_edges());
+    0
+}
+
+fn cmd_convert(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let [input, output] = &o.positional[..] else {
+        return fail("usage: convert <edges.txt> <out.mtvg>");
+    };
+    let g = match io::load_edge_list(input) {
+        Ok(g) => g,
+        Err(e) => return fail(&format!("cannot read {input}: {e}")),
+    };
+    if let Err(e) = io::save_binary(&g, output) {
+        return fail(&format!("cannot write {output}: {e}"));
+    }
+    println!("wrote {} ({} nodes, {} edges)", output, g.num_nodes(), g.num_edges());
+    0
+}
+
+fn cmd_info(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let Some(path) = o.positional.first() else {
+        return fail("usage: info <graph>");
+    };
+    let g = match load_graph(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let mut degs: Vec<usize> = (0..g.num_nodes()).map(|v| g.degree(v)).collect();
+    degs.sort_unstable();
+    let pct = |p: f64| degs[((degs.len() - 1) as f64 * p) as usize];
+    println!("nodes        {}", g.num_nodes());
+    println!("edges        {}", g.num_edges());
+    println!("avg degree   {:.2}", 2.0 * g.num_edges() as f64 / g.num_nodes() as f64);
+    println!("degree p50   {}", pct(0.50));
+    println!("degree p90   {}", pct(0.90));
+    println!("degree p99   {}", pct(0.99));
+    println!("max degree   {}", g.max_degree());
+    println!("connected    {}", g.is_connected());
+    println!("csr bytes    {}", g.byte_size());
+    0
+}
+
+fn cmd_exact(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let Some(path) = o.positional.first() else {
+        return fail("usage: exact <graph> -k K [--top N]");
+    };
+    let Some(k) = o.get::<u8>("k") else {
+        return fail("-k K required");
+    };
+    let g = match load_graph(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let top: usize = o.get("top").unwrap_or(20);
+    let t0 = std::time::Instant::now();
+    let exact = motivo::exact::count_exact(&g, k);
+    println!(
+        "exact ESU enumeration: {} induced {k}-graphlets, {} classes, {:?}",
+        exact.total,
+        exact.num_classes(),
+        t0.elapsed()
+    );
+    let mut rows: Vec<(u128, u64)> = exact.counts.iter().map(|(&c, &n)| (c, n)).collect();
+    rows.sort_unstable_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (code, count) in rows.into_iter().take(top) {
+        let gl = motivo::graphlet::Graphlet::from_code(code).expect("valid code");
+        println!(
+            "{:>16}  {:>12}  ({:.4}%)",
+            name(&gl),
+            count,
+            100.0 * count as f64 / exact.total as f64
+        );
+    }
+    0
+}
+
+fn cmd_count(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &["ags"]);
+    let Some(path) = o.positional.first() else {
+        return fail("usage: count <graph> -k K [--samples N] [--ags] [--runs R] ...");
+    };
+    let Some(k) = o.get::<u32>("k") else {
+        return fail("-k K required");
+    };
+    let g = match load_graph(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let samples: u64 = o.get("samples").unwrap_or(200_000);
+    let runs: u64 = o.get("runs").unwrap_or(10);
+    let seed: u64 = o.get("seed").unwrap_or(0);
+    let threads: usize = o.get("threads").unwrap_or(0);
+    let top: usize = o.get("top").unwrap_or(25);
+
+    let mut build = BuildConfig::new(k);
+    if let Some(lambda) = o.get::<f64>("biased") {
+        build = build.biased(lambda);
+    }
+    if let Some(dir) = o.flags.get("disk") {
+        build = build.storage(motivo::table::storage::StorageKind::Disk { dir: dir.into() });
+    }
+    let estimator = if o.has("ags") {
+        Estimator::Ags(AgsConfig { max_samples: samples, ..AgsConfig::default() })
+    } else {
+        Estimator::Naive { samples }
+    };
+    let cfg = EnsembleConfig { runs, base_seed: seed, threads, estimator, build };
+    let mut registry = GraphletRegistry::new(k as u8);
+    let res = match ensemble(&g, &mut registry, &cfg) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    println!(
+        "{} runs ({} empty urns) · build {:.2}s · sampling {:.2}s · {} samples",
+        res.effective_runs,
+        res.empty_urns,
+        res.build_time.as_secs_f64(),
+        res.sample_time.as_secs_f64(),
+        res.samples
+    );
+    println!(
+        "estimated total {k}-graphlet copies: {:.3e}\n",
+        res.total_count()
+    );
+    let header = format!(
+        "{:>16}  {:>12}  {:>12}  {:>12}  {:>9}  runs seen",
+        "graphlet", "mean", "p10", "p90", "freq"
+    );
+    println!("{header}");
+    for c in res.classes.iter().take(top) {
+        println!(
+            "{:>16}  {:>12.4e}  {:>12.4e}  {:>12.4e}  {:>9.2e}  {}/{}",
+            name(&registry.info(c.index).graphlet),
+            c.mean,
+            c.p10,
+            c.p90,
+            c.frequency,
+            c.seen_in,
+            res.effective_runs
+        );
+    }
+    if res.classes.len() > top {
+        println!("… and {} more classes", res.classes.len() - top);
+    }
+    0
+}
+
+fn cmd_build(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let Some(path) = o.positional.first() else {
+        return fail("usage: build <graph> -k K --table DIR [--seed S]");
+    };
+    let Some(k) = o.get::<u32>("k") else {
+        return fail("-k K required");
+    };
+    let Some(table) = o.flags.get("table") else {
+        return fail("--table DIR required");
+    };
+    let g = match load_graph(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let mut cfg = BuildConfig::new(k).seed(o.get("seed").unwrap_or(0));
+    cfg.threads = o.get("threads").unwrap_or(0);
+    if let Some(lambda) = o.get::<f64>("biased") {
+        cfg = cfg.biased(lambda);
+    }
+    let urn = match motivo::core::build_urn(&g, &cfg) {
+        Ok(u) => u,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    let st = urn.build_stats();
+    println!(
+        "built urn: {} colorful {k}-treelets, {:.2}s, {:.1} MiB table",
+        urn.total_treelets(),
+        st.total.as_secs_f64(),
+        st.table_bytes as f64 / (1 << 20) as f64
+    );
+    if let Err(e) = save_urn(&urn, table) {
+        return fail(&format!("cannot persist urn: {e}"));
+    }
+    println!("persisted to {table}");
+    0
+}
+
+fn cmd_sample(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &["ags"]);
+    let Some(path) = o.positional.first() else {
+        return fail("usage: sample <graph> --table DIR [--samples N] [--ags]");
+    };
+    let Some(table) = o.flags.get("table") else {
+        return fail("--table DIR required");
+    };
+    let g = match load_graph(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let urn = match load_urn(&g, table) {
+        Ok(u) => u,
+        Err(e) => return fail(&format!("cannot load urn: {e}")),
+    };
+    let samples: u64 = o.get("samples").unwrap_or(200_000);
+    let seed: u64 = o.get("seed").unwrap_or(1);
+    let threads: usize = o.get("threads").unwrap_or(0);
+    let top: usize = o.get("top").unwrap_or(25);
+    let k = urn.k();
+    let mut registry = GraphletRegistry::new(k as u8);
+    let est = if o.has("ags") {
+        ags(
+            &urn,
+            &mut registry,
+            &AgsConfig {
+                max_samples: samples,
+                sample: SampleConfig::seeded(seed),
+                ..AgsConfig::default()
+            },
+        )
+        .estimates
+    } else {
+        naive_estimates(&urn, &mut registry, samples, threads, &SampleConfig::seeded(seed))
+    };
+    println!(
+        "{} samples in {:?} ({:.0}/s), {} classes",
+        est.samples,
+        est.elapsed,
+        est.sampling_rate(),
+        est.per_graphlet.len()
+    );
+    let mut rows = est.per_graphlet.clone();
+    rows.sort_by(|a, b| b.count.total_cmp(&a.count));
+    println!("{:>16}  {:>14}  {:>9}  {:>10}", "graphlet", "count", "freq", "samples");
+    for e in rows.iter().take(top) {
+        println!(
+            "{:>16}  {:>14.4e}  {:>9.2e}  {:>10}",
+            name(&registry.info(e.index).graphlet),
+            e.count,
+            e.frequency,
+            e.occurrences
+        );
+    }
+    0
+}

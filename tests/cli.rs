@@ -1,0 +1,135 @@
+//! End-to-end tests of the `motivo` command-line tool: every subcommand,
+//! driven through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn motivo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_motivo"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("motivo-cli-test-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn motivo");
+    assert!(
+        out.status.success(),
+        "command failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn generate_info_convert_roundtrip() {
+    let dir = workdir("gen");
+    let g = dir.join("g.mtvg");
+    let out = run(motivo()
+        .args(["generate", "--model", "er", "--nodes", "500", "--param", "3", "--seed", "2"])
+        .arg("--out")
+        .arg(&g));
+    assert!(out.contains("500 nodes"), "{out}");
+    let info = run(motivo().arg("info").arg(&g));
+    assert!(info.contains("nodes        500"), "{info}");
+    assert!(info.contains("edges        1500"), "{info}");
+
+    // Text → binary conversion.
+    let txt = dir.join("edges.txt");
+    std::fs::write(&txt, "0 1\n1 2\n2 0\n# comment\n3 0\n").unwrap();
+    let bin = dir.join("small.mtvg");
+    run(motivo().arg("convert").arg(&txt).arg(&bin));
+    let info = run(motivo().arg("info").arg(&bin));
+    assert!(info.contains("nodes        4"), "{info}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exact_names_the_classes() {
+    let dir = workdir("exact");
+    let g = dir.join("k6.mtvg");
+    run(motivo()
+        .args(["generate", "--model", "lollipop", "--nodes", "10", "--param", "3"])
+        .arg("--out")
+        .arg(&g));
+    let out = run(motivo().arg("exact").arg(&g).args(["-k", "3"]));
+    assert!(out.contains("triangle"), "{out}");
+    assert!(out.contains("path-3"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn count_reports_ensemble_estimates() {
+    let dir = workdir("count");
+    let g = dir.join("g.mtvg");
+    run(motivo()
+        .args(["generate", "--model", "ba", "--nodes", "400", "--param", "3", "--seed", "7"])
+        .arg("--out")
+        .arg(&g));
+    let out = run(motivo().arg("count").arg(&g).args([
+        "-k", "4", "--samples", "10000", "--runs", "3", "--top", "8",
+    ]));
+    assert!(out.contains("estimated total 4-graphlet copies"), "{out}");
+    assert!(out.contains("star-4"), "{out}");
+    assert!(out.contains("path-4"), "{out}");
+    // AGS variant runs too.
+    let out = run(motivo().arg("count").arg(&g).args([
+        "-k", "4", "--samples", "10000", "--runs", "2", "--ags",
+    ]));
+    assert!(out.contains("graphlet"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_then_sample_from_persisted_urn() {
+    let dir = workdir("persist");
+    let g = dir.join("g.mtvg");
+    run(motivo()
+        .args(["generate", "--model", "ba", "--nodes", "300", "--param", "3", "--seed", "9"])
+        .arg("--out")
+        .arg(&g));
+    let urn = dir.join("urn");
+    let out = run(motivo()
+        .arg("build")
+        .arg(&g)
+        .args(["-k", "4", "--seed", "3", "--table"])
+        .arg(&urn));
+    assert!(out.contains("built urn"), "{out}");
+    assert!(urn.join("table.meta").exists());
+    assert!(urn.join("coloring.mtvc").exists());
+    let out = run(motivo()
+        .arg("sample")
+        .arg(&g)
+        .arg("--table")
+        .arg(&urn)
+        .args(["--samples", "20000", "--seed", "4"]));
+    assert!(out.contains("samples"), "{out}");
+    assert!(out.contains("star-4") || out.contains("path-4"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = motivo().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let dir = workdir("missing");
+    let g = dir.join("g.mtvg");
+    run(motivo()
+        .args(["generate", "--model", "er", "--nodes", "100", "--param", "2"])
+        .arg("--out")
+        .arg(&g));
+    let out = motivo().arg("count").arg(&g).output().unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

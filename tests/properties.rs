@@ -1,0 +1,184 @@
+//! Cross-crate property tests (proptest): the invariants that hold for
+//! *every* input, not just the hand-picked unit cases.
+
+use motivo::graphlet::spanning::SmallCounts;
+use motivo::prelude::*;
+use proptest::prelude::*;
+
+/// Random parent array of a rooted tree on `n ≤ 10` nodes.
+fn parents_strategy() -> impl Strategy<Value = Vec<u8>> {
+    (2usize..=10).prop_flat_map(|n| {
+        let mut parts: Vec<BoxedStrategy<u8>> = vec![Just(0u8).boxed()];
+        for i in 1..n {
+            parts.push((0..i as u8).boxed());
+        }
+        parts
+    })
+}
+
+/// Random small simple graph as (n, edges).
+fn graph_strategy(max_n: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (4..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..=(n as usize * 3));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Treelet canonical encoding: building from any parent array and
+    /// re-deriving parents is a fixed point, and merge ∘ decomp = id.
+    #[test]
+    fn treelet_roundtrip(parents in parents_strategy()) {
+        let t = Treelet::from_parents(&parents);
+        prop_assert!(t.is_valid());
+        prop_assert_eq!(t.size() as usize, parents.len());
+        prop_assert_eq!(Treelet::from_parents(&t.parents()), t);
+        if !t.is_singleton() {
+            let (rest, child) = t.decomp();
+            prop_assert_eq!(rest.merge(child), Some(t));
+        }
+    }
+
+    /// Graphlet canonicalization is invariant under relabeling and
+    /// idempotent.
+    #[test]
+    fn canonical_form_invariant(
+        (n, edges) in graph_strategy(8),
+        perm_seed in 0u64..1_000,
+    ) {
+        let k = n as u8;
+        let small: Vec<(u8, u8)> = edges
+            .iter()
+            .filter(|&&(a, b)| a != b)
+            .map(|&(a, b)| (a as u8, b as u8))
+            .collect();
+        let g = Graphlet::from_edges(k, &small);
+        // A deterministic pseudo-random permutation.
+        let mut perm: Vec<u8> = (0..k).collect();
+        let mut state = perm_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for i in (1..k as usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let h = g.relabel(&perm);
+        prop_assert_eq!(h.canonical(), g.canonical());
+        prop_assert_eq!(g.canonical().canonical(), g.canonical());
+    }
+
+    /// The production DP equals the reference DP on arbitrary graphs and
+    /// colorings (every vertex, every colored treelet, every size).
+    #[test]
+    fn engine_matches_reference_dp(
+        (n, edges) in graph_strategy(12),
+        k in 3u32..=4,
+        color_seed in 0u64..500,
+    ) {
+        let clean: Vec<(u32, u32)> =
+            edges.iter().filter(|&&(a, b)| a != b).copied().collect();
+        let graph = Graph::from_edges(n, &clean);
+        // Deterministic colors from the seed.
+        let colors: Vec<u8> = (0..n)
+            .map(|v| {
+                let x = (v as u64 + 1).wrapping_mul(color_seed.wrapping_add(7))
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                ((x >> 32) % k as u64) as u8
+            })
+            .collect();
+        let cfg = BuildConfig {
+            zero_rooting: false,
+            threads: 2,
+            coloring: ColoringSpec::Fixed(colors.clone()),
+            ..BuildConfig::new(k)
+        };
+        let coloring = Coloring::fixed(colors.clone(), k);
+        let (table, _) = motivo::core::build::build_table(&graph, &coloring, &cfg).unwrap();
+        let verts: Vec<u32> = (0..n).collect();
+        let rows = graph.induced_rows(&verts);
+        let reference = SmallCounts::build(&rows, &colors, k);
+        for v in 0..n {
+            for h in 1..=k {
+                let got: Vec<(ColoredTreelet, u128)> = table.get(h, v).iter().collect();
+                let want: Vec<(ColoredTreelet, u128)> = reference.per_vertex[v as usize]
+                    .iter()
+                    .filter(|(ct, _)| ct.size() == h)
+                    .map(|(&ct, &c)| (ct, c))
+                    .collect();
+                prop_assert_eq!(&got, &want, "vertex {} size {}", v, h);
+            }
+        }
+    }
+
+    /// ESU totals equal brute force on arbitrary small graphs.
+    #[test]
+    fn esu_equals_bruteforce((n, edges) in graph_strategy(10), k in 3u8..=5) {
+        let clean: Vec<(u32, u32)> =
+            edges.iter().filter(|&&(a, b)| a != b).copied().collect();
+        let graph = Graph::from_edges(n, &clean);
+        let esu = motivo::exact::count_exact(&graph, k);
+        let bf = motivo::exact::count_exact_bruteforce(&graph, k);
+        prop_assert_eq!(esu.total, bf.total);
+        prop_assert_eq!(esu.counts, bf.counts);
+    }
+
+    /// Count-table records: select() hits every entry exactly count times,
+    /// and per-tree totals tile the overall total.
+    #[test]
+    fn record_selection_partitions(counts in proptest::collection::vec(1u32..50, 1..12)) {
+        // Build distinct valid colored-treelet keys of sizes 2 and 3.
+        let shapes = [
+            motivo::treelet::path_treelet(2),
+            motivo::treelet::path_treelet(3),
+            motivo::treelet::star_treelet(3),
+        ];
+        let mut pairs: Vec<(u64, u128)> = Vec::new();
+        let full = ColorSet::full(6);
+        'outer: for (i, &c) in counts.iter().enumerate() {
+            for (si, &shape) in shapes.iter().enumerate() {
+                let subsets = full.subsets_of_size(shape.size());
+                let idx = i * 3 + si;
+                if idx < subsets.len() {
+                    pairs.push((
+                        ColoredTreelet::new(shape, subsets[idx]).code(),
+                        c as u128,
+                    ));
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        let rec = motivo::table::Record::from_counts(pairs.clone());
+        let total = rec.total();
+        prop_assert_eq!(total, pairs.iter().map(|&(_, c)| c).sum::<u128>());
+        let mut tally = std::collections::HashMap::new();
+        for r in 1..=total {
+            *tally.entry(rec.select(r).code()).or_insert(0u128) += 1;
+        }
+        for (ct, c) in rec.iter() {
+            prop_assert_eq!(tally[&ct.code()], c);
+        }
+        let tree_sum: u128 = shapes.iter().map(|&s| rec.tree_total(s)).sum();
+        prop_assert_eq!(tree_sum, total);
+    }
+
+    /// Kirchhoff σ times k equals the rooted-spanning-shape totals for
+    /// arbitrary connected graphlets.
+    #[test]
+    fn sigma_rooted_total_invariant((n, edges) in graph_strategy(7)) {
+        let k = n as u8;
+        let small: Vec<(u8, u8)> = edges
+            .iter()
+            .filter(|&&(a, b)| a != b)
+            .map(|&(a, b)| (a as u8, b as u8))
+            .collect();
+        let g = Graphlet::from_edges(k, &small);
+        prop_assume!(g.is_connected());
+        let family = motivo::treelet::TreeletFamily::new(k as u32);
+        let sigma = motivo::graphlet::spanning::sigma_rooted(&g, &family);
+        let total: u128 = sigma.iter().map(|&s| s as u128).sum();
+        let kirchhoff = motivo::graphlet::kirchhoff::spanning_tree_count(&g);
+        prop_assert_eq!(total, k as u128 * kirchhoff);
+    }
+}

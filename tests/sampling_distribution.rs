@@ -1,0 +1,129 @@
+//! Statistical validation of the samplers beyond unit scale: exact
+//! uniformity of the per-shape urns, and agreement between the three ways
+//! to count (naive urn, AGS, exact enumeration) on one mid-size instance.
+
+use motivo::prelude::*;
+use std::collections::HashMap;
+
+/// Per-shape sampling must be uniform over the copies of that shape: on a
+/// graph small enough to enumerate, each colorful copy of the chosen shape
+/// should appear with equal empirical frequency.
+#[test]
+fn per_shape_sampling_is_uniform() {
+    let g = motivo::graph::generators::cycle_graph(9);
+    let k = 3u32;
+    // Fixed rainbow-ish coloring so the urn is deterministic.
+    let colors: Vec<u8> = (0..9).map(|v| (v % 3) as u8).collect();
+    let cfg = BuildConfig {
+        threads: 1,
+        coloring: ColoringSpec::Fixed(colors),
+        ..BuildConfig::new(k)
+    };
+    let urn = build_urn(&g, &cfg).unwrap();
+    // The path shape (k=3 end-rooted path) — every 3-path on the cycle
+    // with colors 0,1,2 in order... enumerate via the urn totals instead.
+    let shape = motivo::treelet::path_treelet(3);
+    let j = urn.shape_index(shape);
+    let r_j = urn.shape_total(j);
+    assert!(r_j > 0, "cycle coloring 0,1,2,... has colorful paths");
+    let alias = motivo::table::AliasTable::from_u128(&urn.shape_vertex_totals(shape));
+    let mut sampler = Sampler::new(&urn, SampleConfig::seeded(3));
+    let trials = 40_000u64;
+    let mut tally: HashMap<Vec<u32>, u64> = HashMap::new();
+    for _ in 0..trials {
+        let mut verts = sampler.sample_copy_of_shape(shape, &alias);
+        verts.sort_unstable();
+        *tally.entry(verts).or_insert(0) += 1;
+    }
+    assert_eq!(tally.len() as u128, r_j, "every copy must be reachable");
+    let expected = trials as f64 / r_j as f64;
+    for (copy, hits) in tally {
+        let dev = (hits as f64 - expected).abs() / expected;
+        assert!(dev < 0.15, "copy {copy:?}: {hits} hits vs expected {expected:.1}");
+    }
+}
+
+/// Three counting routes agree on one instance: exact ESU, averaged naive
+/// urn sampling, and averaged AGS.
+#[test]
+fn three_ways_to_count_agree() {
+    let g = motivo::graph::generators::erdos_renyi(250, 700, 11);
+    let k = 4u32;
+    let exact = motivo::exact::count_exact(&g, k as u8);
+    let mut registry = GraphletRegistry::new(k as u8);
+    let truth = exact.by_registry(&mut registry);
+    let (&top, &top_count) = truth.iter().max_by_key(|(_, &c)| c).unwrap();
+
+    let naive_cfg = EnsembleConfig { runs: 8, ..EnsembleConfig::naive(k, 40_000) };
+    let naive = ensemble(&g, &mut registry, &naive_cfg).unwrap();
+    let ags_cfg = EnsembleConfig {
+        runs: 8,
+        estimator: Estimator::Ags(AgsConfig {
+            c_bar: 500,
+            max_samples: 40_000,
+            ..AgsConfig::default()
+        }),
+        ..EnsembleConfig::naive(k, 0)
+    };
+    let agsr = ensemble(&g, &mut registry, &ags_cfg).unwrap();
+
+    let t = top_count as f64;
+    for (label, res) in [("naive", &naive), ("ags", &agsr)] {
+        let got = res.get(top).map(|c| c.mean).unwrap_or(0.0);
+        let rel = (got - t).abs() / t;
+        assert!(rel < 0.15, "{label}: top class {got:.0} vs exact {t:.0}");
+        // The ensemble total tracks the exact total too.
+        let rel_total = (res.total_count() - exact.total as f64).abs() / exact.total as f64;
+        assert!(rel_total < 0.15, "{label}: total {:.0} vs {}", res.total_count(), exact.total);
+    }
+}
+
+/// Atlas names cover all 21 five-node classes without collisions.
+#[test]
+fn atlas_names_are_unique_per_class() {
+    use motivo::graphlet::{all_graphlets, name};
+    for k in 3..=5u8 {
+        let classes = all_graphlets(k);
+        let names: Vec<String> = classes.iter().map(name).collect();
+        let mut uniq = names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), classes.len(), "name collision at k={k}: {names:?}");
+    }
+}
+
+/// The neighbor-buffered sampler and the plain sampler agree on class
+/// tallies at matched seeds and budgets (statistically).
+#[test]
+fn buffered_tallies_match_unbuffered() {
+    let g = motivo::graph::generators::star_heavy(1_500, 3, 0.6, 4);
+    let k = 4u32;
+    let urn = build_urn(&g, &BuildConfig::new(k).seed(2)).unwrap();
+    let tally = |buffering: bool, seed: u64| {
+        let mut reg = GraphletRegistry::new(k as u8);
+        let cfg = SampleConfig {
+            seed,
+            buffering,
+            buffer_threshold: 256,
+            buffer_batch: 100,
+        };
+        let est = naive_estimates(&urn, &mut reg, 40_000, 1, &cfg);
+        let m: HashMap<u128, f64> = est
+            .per_graphlet
+            .iter()
+            .map(|e| (reg.info(e.index).graphlet.code(), e.frequency))
+            .collect();
+        m
+    };
+    let a = tally(true, 7);
+    let b = tally(false, 8);
+    for (code, fa) in &a {
+        if *fa > 0.01 {
+            let fb = b.get(code).copied().unwrap_or(0.0);
+            assert!(
+                (fa - fb).abs() < 0.02,
+                "class {code:x}: buffered {fa:.4} vs plain {fb:.4}"
+            );
+        }
+    }
+}
