@@ -78,10 +78,11 @@ pub fn cc_build(g: &Graph, coloring: &Coloring, k: u32) -> CcBuild {
                             if let Some(merged) = arena.check_and_merge(id1, id2, k) {
                                 // 64-bit counts, wrapping like CC's
                                 // overflow behaviour.
-                                *acc.entry(merged).or_insert(0) =
-                                    acc.get(&merged).copied().unwrap_or(0).wrapping_add(
-                                        c1.wrapping_mul(c2),
-                                    );
+                                *acc.entry(merged).or_insert(0) = acc
+                                    .get(&merged)
+                                    .copied()
+                                    .unwrap_or(0)
+                                    .wrapping_add(c1.wrapping_mul(c2));
                             }
                         }
                     }
@@ -108,7 +109,12 @@ pub fn cc_build(g: &Graph, coloring: &Coloring, k: u32) -> CcBuild {
         arena,
         tables,
         k,
-        stats: CcStats { total: start.elapsed(), merge_time, merge_ops, table_bytes },
+        stats: CcStats {
+            total: start.elapsed(),
+            merge_time,
+            merge_ops,
+            table_bytes,
+        },
     }
 }
 

@@ -31,7 +31,13 @@ impl<'a> CcSampler<'a> {
             root_cum.push(acc);
         }
         assert!(acc > 0, "empty urn");
-        CcSampler { build, g, root_cum, total: acc, rng: SmallRng::seed_from_u64(seed) }
+        CcSampler {
+            build,
+            g,
+            root_cum,
+            total: acc,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Total rooted colorful k-treelets (k × the copy count).
@@ -203,7 +209,10 @@ mod tests {
             ok_runs += 1;
         }
         let avg = acc / ok_runs as f64;
-        assert!((avg - 10.0).abs() < 1.5, "CC triangle estimate {avg}, want 10");
+        assert!(
+            (avg - 10.0).abs() < 1.5,
+            "CC triangle estimate {avg}, want 10"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub struct TreeNode {
 impl TreeNode {
     /// A single node.
     pub fn leaf() -> TreeNode {
-        TreeNode { children: Vec::new() }
+        TreeNode {
+            children: Vec::new(),
+        }
     }
 
     /// Number of nodes (recursive walk — no O(1) popcount here).
@@ -118,7 +120,10 @@ impl Arena {
 
     /// Interns (or finds) the singleton of one color.
     pub fn singleton(&mut self, color: u8) -> u32 {
-        self.intern_treelet(CcTreelet { tree: TreeNode::leaf(), colors: 1 << color })
+        self.intern_treelet(CcTreelet {
+            tree: TreeNode::leaf(),
+            colors: 1 << color,
+        })
     }
 
     fn intern_treelet(&mut self, t: CcTreelet) -> u32 {
@@ -158,7 +163,10 @@ impl Arena {
         let mut merged = a.tree.clone();
         merged.children.insert(0, b.tree.clone());
         let colors = a.colors | b.colors;
-        Some(self.intern_treelet(CcTreelet { tree: merged, colors }))
+        Some(self.intern_treelet(CcTreelet {
+            tree: merged,
+            colors,
+        }))
     }
 
     /// Unique decomposition of a non-singleton shape: `(T', T'')` with
@@ -183,7 +191,10 @@ impl Arena {
     /// Approximate heap bytes held by representatives and the intern map —
     /// the table-size accounting of the §5.1 comparison.
     pub fn byte_size(&self) -> usize {
-        self.items.iter().map(|t| tree_bytes(&t.tree) + 2).sum::<usize>()
+        self.items
+            .iter()
+            .map(|t| tree_bytes(&t.tree) + 2)
+            .sum::<usize>()
             + self.intern.len() * (std::mem::size_of::<(Vec<u8>, u16)>() + 8)
     }
 }
@@ -265,7 +276,9 @@ mod tests {
     fn euler_order_is_zero_padded() {
         // leaf < edge-subtree, and prefix handling matches integer order.
         let leaf = TreeNode::leaf();
-        let chain = TreeNode { children: vec![TreeNode::leaf()] };
+        let chain = TreeNode {
+            children: vec![TreeNode::leaf()],
+        };
         assert_eq!(leaf.cmp_euler(&chain), std::cmp::Ordering::Less);
         assert_eq!(chain.cmp_euler(&chain), std::cmp::Ordering::Equal);
     }

@@ -15,12 +15,20 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     for k in [4u32, 5] {
         group.bench_with_input(BenchmarkId::new("motivo", k), &k, |b, &k| {
-            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(3);
+            let cfg = BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(k)
+            }
+            .seed(3);
             b.iter(|| build_urn(&g, &cfg).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("motivo-no-0root", k), &k, |b, &k| {
-            let cfg =
-                BuildConfig { threads: 1, zero_rooting: false, ..BuildConfig::new(k) }.seed(3);
+            let cfg = BuildConfig {
+                threads: 1,
+                zero_rooting: false,
+                ..BuildConfig::new(k)
+            }
+            .seed(3);
             b.iter(|| build_urn(&g, &cfg).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("cc-port", k), &k, |b, &k| {
@@ -38,7 +46,11 @@ fn bench_build_parallel(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let cfg = BuildConfig { threads: t, ..BuildConfig::new(k) }.seed(3);
+            let cfg = BuildConfig {
+                threads: t,
+                ..BuildConfig::new(k)
+            }
+            .seed(3);
             b.iter(|| build_urn(&g, &cfg).unwrap())
         });
     }

@@ -13,19 +13,32 @@ fn bench_sampling(c: &mut Criterion) {
     let g = generators::star_heavy(2_000, 3, 0.5, 3);
     let k = 4;
     let seed = 7;
-    let urn = build_urn(&g, &BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(seed))
-        .expect("build");
+    let urn = build_urn(
+        &g,
+        &BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(k)
+        }
+        .seed(seed),
+    )
+    .expect("build");
     let coloring = Coloring::uniform(&g, k, seed);
     let cc = cc_baseline::cc_build(&g, &coloring, k);
 
     let mut group = c.benchmark_group("sampling");
     group.bench_function(BenchmarkId::new("motivo", "buffered"), |b| {
-        let sc = SampleConfig { buffer_threshold: 512, ..SampleConfig::seeded(1) };
+        let sc = SampleConfig {
+            buffer_threshold: 512,
+            ..SampleConfig::seeded(1)
+        };
         let mut s = Sampler::new(&urn, sc);
         b.iter(|| s.sample_copy())
     });
     group.bench_function(BenchmarkId::new("motivo", "unbuffered"), |b| {
-        let sc = SampleConfig { buffering: false, ..SampleConfig::seeded(1) };
+        let sc = SampleConfig {
+            buffering: false,
+            ..SampleConfig::seeded(1)
+        };
         let mut s = Sampler::new(&urn, sc);
         b.iter(|| s.sample_copy())
     });

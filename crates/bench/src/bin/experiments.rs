@@ -47,7 +47,9 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let all = ["t1", "t2", "t3", "t4", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "l1"];
+    let all = [
+        "t1", "t2", "t3", "t4", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "l1",
+    ];
     let run: Vec<&str> = if ids.iter().any(|i| i == "all") {
         all.to_vec()
     } else {
@@ -68,7 +70,10 @@ fn main() {
             other => eprintln!("unknown experiment id: {other}"),
         }
     }
-    println!("\nall requested experiments done in {:?}", started.elapsed());
+    println!(
+        "\nall requested experiments done in {:?}",
+        started.elapsed()
+    );
 }
 
 /// Table 1: the dataset suite standing in for the paper's graphs.
@@ -86,7 +91,11 @@ fn t1(ctx: &Ctx) {
             ]
         })
         .collect();
-    print_table("T1: dataset suite (paper Table 1 substitute)", &["graph", "nodes", "edges", "maxdeg", "max k"], &rows);
+    print_table(
+        "T1: dataset suite (paper Table 1 substitute)",
+        &["graph", "nodes", "edges", "maxdeg", "max k"],
+        &rows,
+    );
     ctx.save_json(
         "t1_datasets",
         &suite
@@ -132,7 +141,11 @@ fn t2_t3_f3(ctx: &Ctx, which: &str) {
             let cc_t0 = Instant::now();
             let cc = cc_build(&s.graph, &coloring, k);
             let cc_time = cc_t0.elapsed();
-            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(coloring_seed);
+            let cfg = BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(k)
+            }
+            .seed(coloring_seed);
             let urn = match build_urn(&s.graph, &cfg) {
                 Ok(u) => u,
                 Err(e) => {
@@ -171,7 +184,16 @@ fn t2_t3_f3(ctx: &Ctx, which: &str) {
     };
     print_table(
         title,
-        &["graph", "k", "CC s", "motivo s", "speedup", "CC MiB", "motivo MiB", "size ratio"],
+        &[
+            "graph",
+            "k",
+            "CC s",
+            "motivo s",
+            "speedup",
+            "CC MiB",
+            "motivo MiB",
+            "size ratio",
+        ],
         &rows,
     );
     ctx.save_json(&format!("{which}_build_comparison"), &artifacts);
@@ -190,7 +212,11 @@ fn t4(ctx: &Ctx) {
             if cc.total_rooted() == 0 {
                 continue;
             }
-            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(seed);
+            let cfg = BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(k)
+            }
+            .seed(seed);
             let urn = match build_urn(&s.graph, &cfg) {
                 Ok(u) => u,
                 Err(_) => continue,
@@ -261,7 +287,10 @@ fn f2(ctx: &Ctx) {
                 format!("{}", succ.ops),
                 format!("{:.1}", cc.elapsed.as_secs_f64() * 1e3),
                 format!("{:.1}", succ.elapsed.as_secs_f64() * 1e3),
-                format!("{:.1}x", cc.elapsed.as_secs_f64() / succ.elapsed.as_secs_f64()),
+                format!(
+                    "{:.1}x",
+                    cc.elapsed.as_secs_f64() / succ.elapsed.as_secs_f64()
+                ),
             ]);
             artifacts.push(json!({
                 "graph": s.name, "k": k, "ops": succ.ops,
@@ -300,8 +329,7 @@ fn f4(ctx: &Ctx) {
                     .map(|u| (u.build_stats().total, u.build_stats().table_bytes))
                     .ok()
             };
-            let (Some((off, off_bytes)), Some((on, on_bytes))) =
-                (time_for(false), time_for(true))
+            let (Some((off, off_bytes)), Some((on, on_bytes))) = (time_for(false), time_for(true))
             else {
                 continue;
             };
@@ -310,7 +338,10 @@ fn f4(ctx: &Ctx) {
                 k.to_string(),
                 secs(off),
                 secs(on),
-                format!("{:.0}%", 100.0 * (1.0 - on.as_secs_f64() / off.as_secs_f64())),
+                format!(
+                    "{:.0}%",
+                    100.0 * (1.0 - on.as_secs_f64() / off.as_secs_f64())
+                ),
                 format!("{:.0}%", 100.0 * (1.0 - on_bytes as f64 / off_bytes as f64)),
             ]);
             artifacts.push(json!({
@@ -322,7 +353,14 @@ fn f4(ctx: &Ctx) {
     }
     print_table(
         "F4: impact of 0-rooting on the build-up phase",
-        &["graph", "k", "original s", "0-rooted s", "time saved", "space saved"],
+        &[
+            "graph",
+            "k",
+            "original s",
+            "0-rooted s",
+            "time saved",
+            "space saved",
+        ],
         &rows,
     );
     ctx.save_json("f4_zero_rooting", &artifacts);
@@ -333,14 +371,24 @@ fn f5(ctx: &Ctx) {
     let s = ctx.scale;
     let graphs = vec![
         ("hub-web", generators::star_heavy(3_000 * s, 3, 0.5, 3)),
-        ("berkstan-like", generators::star_heavy(4_000 * s, 2, 0.9, 8)),
-        ("yelp-stars", generators::yelp_like(40 * s, 150, 60 * s as usize, 4)),
+        (
+            "berkstan-like",
+            generators::star_heavy(4_000 * s, 2, 0.9, 8),
+        ),
+        (
+            "yelp-stars",
+            generators::yelp_like(40 * s, 150, 60 * s as usize, 4),
+        ),
     ];
     let k = 5;
     let mut rows = Vec::new();
     let mut artifacts = Vec::new();
     for (name, g) in &graphs {
-        let cfg = BuildConfig { threads: ctx.threads, ..BuildConfig::new(k) }.seed(2);
+        let cfg = BuildConfig {
+            threads: ctx.threads,
+            ..BuildConfig::new(k)
+        }
+        .seed(2);
         let urn = match build_urn(g, &cfg) {
             Ok(u) => u,
             Err(e) => {
@@ -400,8 +448,11 @@ fn f6(ctx: &Ctx) {
             let mut bytes = 0usize;
             let colorings = 5;
             for seed in 0..colorings {
-                let mut cfg =
-                    BuildConfig { threads: ctx.threads, ..BuildConfig::new(k) }.seed(seed);
+                let mut cfg = BuildConfig {
+                    threads: ctx.threads,
+                    ..BuildConfig::new(k)
+                }
+                .seed(seed);
                 if biased {
                     cfg = cfg.biased(lambda);
                 }
@@ -415,9 +466,16 @@ fn f6(ctx: &Ctx) {
                 errs_all.extend(errors_vs_truth(&run.counts, truth).iter().map(|&(_, e)| e));
             }
             let h = histogram(errs_all.iter().copied(), -1.0, 1.0, 16);
-            let label = if biased { format!("biased λ={lambda:.3}") } else { "uniform".into() };
-            println!("\nF6: k={k} {label} count-error distribution (truth: {} classes{})",
-                truth.len(), if gt.exact { ", exact" } else { ", averaged" });
+            let label = if biased {
+                format!("biased λ={lambda:.3}")
+            } else {
+                "uniform".into()
+            };
+            println!(
+                "\nF6: k={k} {label} count-error distribution (truth: {} classes{})",
+                truth.len(),
+                if gt.exact { ", exact" } else { ", averaged" }
+            );
             print!("{}", text_histogram(&h, -1.0, 1.0, 40));
             println!(
                 "   build {:.2}s  table {:.1} MiB",
@@ -444,7 +502,11 @@ fn f7(ctx: &Ctx) {
     let mut artifacts = Vec::new();
     for s in &suite {
         for k in 4..=max_k.min(s.max_k) {
-            let cfg = BuildConfig { threads: ctx.threads, ..BuildConfig::new(k) }.seed(3);
+            let cfg = BuildConfig {
+                threads: ctx.threads,
+                ..BuildConfig::new(k)
+            }
+            .seed(3);
             let urn = match build_urn(&s.graph, &cfg) {
                 Ok(u) => u,
                 Err(_) => continue,
@@ -528,7 +590,8 @@ fn accuracy_experiments(ctx: &Ctx, which: &str) {
                     }));
                 }
             }
-            let within = |errs: &[(u128, f64)]| errs.iter().filter(|&&(_, e)| e.abs() <= 0.5).count();
+            let within =
+                |errs: &[(u128, f64)]| errs.iter().filter(|&&(_, e)| e.abs() <= 0.5).count();
             let (wn, wa) = (within(&errs_naive), within(&errs_ags));
             f9_rows.push(vec![
                 s.name.to_string(),
@@ -546,8 +609,10 @@ fn accuracy_experiments(ctx: &Ctx, which: &str) {
                 format!("{rn:.2e}"),
                 format!("{ra:.2e}"),
             ]);
-            let (l1n, l1a) =
-                (l1(&naive.frequencies(), &truth_freq), l1(&agsr.frequencies(), &truth_freq));
+            let (l1n, l1a) = (
+                l1(&naive.frequencies(), &truth_freq),
+                l1(&agsr.frequencies(), &truth_freq),
+            );
             l1_rows.push(vec![
                 s.name.to_string(),
                 k.to_string(),
@@ -568,7 +633,15 @@ fn accuracy_experiments(ctx: &Ctx, which: &str) {
     match which {
         "f9" => print_table(
             "F9: classes within ±50% of truth (absolute and fraction)",
-            &["graph", "k", "classes", "naive", "AGS", "naive frac", "AGS frac"],
+            &[
+                "graph",
+                "k",
+                "classes",
+                "naive",
+                "AGS",
+                "naive frac",
+                "AGS frac",
+            ],
             &f9_rows,
         ),
         "f10" => print_table(

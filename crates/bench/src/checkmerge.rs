@@ -30,7 +30,11 @@ pub struct CheckMergeRun {
 /// Succinct side: motivo records and bit-twiddled merges.
 pub fn succinct_checkmerge(g: &Graph, coloring: &Coloring, k: u32) -> CheckMergeRun {
     assert!(k >= 3);
-    let cfg = BuildConfig { threads: 1, zero_rooting: false, ..BuildConfig::new(k - 1) };
+    let cfg = BuildConfig {
+        threads: 1,
+        zero_rooting: false,
+        ..BuildConfig::new(k - 1)
+    };
     let (table, _) = build_table(g, coloring, &cfg).expect("build to k-1");
     let start = Instant::now();
     let mut ops = 0u64;
@@ -63,7 +67,11 @@ pub fn succinct_checkmerge(g: &Graph, coloring: &Coloring, k: u32) -> CheckMerge
             }
         }
     }
-    CheckMergeRun { elapsed: start.elapsed(), ops, checksum }
+    CheckMergeRun {
+        elapsed: start.elapsed(),
+        ops,
+        checksum,
+    }
 }
 
 /// Pointer side: CC arena representatives and recursive comparisons.
@@ -90,15 +98,18 @@ pub fn cc_checkmerge(g: &Graph, coloring: &Coloring, k: u32) -> CheckMergeRun {
                         ops += 1;
                         if let Some(merged) = cc.arena.check_and_merge(id1, id2, k) {
                             std::hint::black_box(merged);
-                            checksum =
-                                checksum.wrapping_add(c1 as u128 * c2 as u128);
+                            checksum = checksum.wrapping_add(c1 as u128 * c2 as u128);
                         }
                     }
                 }
             }
         }
     }
-    CheckMergeRun { elapsed: start.elapsed(), ops, checksum }
+    CheckMergeRun {
+        elapsed: start.elapsed(),
+        ops,
+        checksum,
+    }
 }
 
 #[cfg(test)]

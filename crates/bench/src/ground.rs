@@ -39,7 +39,9 @@ fn esu_feasible(g: &Graph, k: u32) -> bool {
     let avg_d = 2.0 * m / g.num_nodes() as f64;
     let max_d = g.max_degree() as f64;
     // Stars at the max-degree vertex alone give C(Δ, k−1) subgraphs.
-    let hub = (0..k - 1).map(|i| (max_d - i as f64) / (i as f64 + 1.0)).product::<f64>();
+    let hub = (0..k - 1)
+        .map(|i| (max_d - i as f64) / (i as f64 + 1.0))
+        .product::<f64>();
     let rough = m * avg_d.powi(k as i32 - 2) + hub;
     rough < 5e7
 }
@@ -86,7 +88,10 @@ pub fn ground_truth(g: &Graph, k: u32, base_seed: u64) -> GroundTruth {
         .into_iter()
         .map(|(i, c)| (registry.info(i).graphlet.code(), c / runs as f64))
         .collect();
-    GroundTruth { counts, exact: false }
+    GroundTruth {
+        counts,
+        exact: false,
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,12 @@ pub struct Ctx {
 
 impl Default for Ctx {
     fn default() -> Ctx {
-        Ctx { scale: 1, out_dir: PathBuf::from("results"), quick: false, threads: 0 }
+        Ctx {
+            scale: 1,
+            out_dir: PathBuf::from("results"),
+            quick: false,
+            threads: 0,
+        }
     }
 }
 

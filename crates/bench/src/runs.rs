@@ -27,7 +27,12 @@ impl RunOutput {
             counts.insert(code, e.count);
             occurrences.insert(code, e.occurrences);
         }
-        RunOutput { counts, occurrences, samples: est.samples, elapsed: est.elapsed }
+        RunOutput {
+            counts,
+            occurrences,
+            samples: est.samples,
+            elapsed: est.elapsed,
+        }
     }
 
     /// Relative frequencies of the estimated counts.
@@ -92,7 +97,11 @@ pub fn averaged_run(
     let mut samples = 0u64;
     let mut elapsed = std::time::Duration::ZERO;
     for c in 0..colorings {
-        let cfg = BuildConfig { threads, ..BuildConfig::new(k) }.seed(base_seed + c);
+        let cfg = BuildConfig {
+            threads,
+            ..BuildConfig::new(k)
+        }
+        .seed(base_seed + c);
         let urn = match build_urn(g, &cfg) {
             Ok(u) => u,
             Err(_) => continue, // empty urn: a zero contribution
@@ -110,15 +119,17 @@ pub fn averaged_run(
     for n in counts.values_mut() {
         *n /= colorings as f64;
     }
-    RunOutput { counts, occurrences, samples, elapsed }
+    RunOutput {
+        counts,
+        occurrences,
+        samples,
+        elapsed,
+    }
 }
 
 /// Count errors vs a truth map: `(ĉ − c)/c` per class in the truth
 /// (missed classes → −1). Returns `(code, error)` pairs.
-pub fn errors_vs_truth(
-    run: &HashMap<u128, f64>,
-    truth: &HashMap<u128, f64>,
-) -> Vec<(u128, f64)> {
+pub fn errors_vs_truth(run: &HashMap<u128, f64>, truth: &HashMap<u128, f64>) -> Vec<(u128, f64)> {
     truth
         .iter()
         .filter(|&(_, &t)| t > 0.0)
@@ -151,7 +162,12 @@ mod tests {
         assert!(a.samples <= 20_000);
         assert!(!a.counts.is_empty());
         // Both see the dominant classes.
-        let top_naive = naive.counts.iter().max_by(|x, y| x.1.total_cmp(y.1)).unwrap().0;
+        let top_naive = naive
+            .counts
+            .iter()
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .unwrap()
+            .0;
         assert!(a.counts.contains_key(top_naive));
     }
 

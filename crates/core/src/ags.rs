@@ -62,7 +62,10 @@ impl AgsConfig {
     /// Derives `c̄` from the `(ε, δ)` guarantee of Theorem 4 for `s`
     /// graphlet classes.
     pub fn with_guarantee(eps: f64, delta: f64, s: u64) -> AgsConfig {
-        AgsConfig { c_bar: ags_cover_threshold(eps, delta, s), ..AgsConfig::default() }
+        AgsConfig {
+            c_bar: ags_cover_threshold(eps, delta, s),
+            ..AgsConfig::default()
+        }
     }
 }
 
@@ -246,7 +249,11 @@ mod tests {
         let mut acc = 0.0;
         let runs = 100;
         for seed in 0..runs {
-            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(3) }.seed(seed);
+            let cfg = BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(3)
+            }
+            .seed(seed);
             match build_urn(&g, &cfg) {
                 Err(crate::error::BuildError::EmptyUrn) => {}
                 Err(e) => panic!("unexpected build error: {e}"),
@@ -263,7 +270,10 @@ mod tests {
             }
         }
         let avg = acc / runs as f64;
-        assert!((avg - 10.0).abs() < 1.5, "AGS triangle estimate {avg}, want 10");
+        assert!(
+            (avg - 10.0).abs() < 1.5,
+            "AGS triangle estimate {avg}, want 10"
+        );
     }
 
     /// On a star-dominated graph, AGS must find strictly more classes than
@@ -287,7 +297,11 @@ mod tests {
         let g = motivo_graph::Graph::from_edges(next, &edges);
         let k = 4u32;
         let budget = 30_000u64;
-        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(k) }.seed(5);
+        let cfg = BuildConfig {
+            threads: 2,
+            ..BuildConfig::new(k)
+        }
+        .seed(5);
         let urn = build_urn(&g, &cfg).unwrap();
 
         let mut reg_naive = GraphletRegistry::new(k as u8);
@@ -309,7 +323,12 @@ mod tests {
 
         // Count classes seen at least 10 times (the paper's Fig. 10 filter:
         // enough occurrences to be more than chance).
-        let solid = |e: &Estimates| e.per_graphlet.iter().filter(|x| x.occurrences >= 10).count();
+        let solid = |e: &Estimates| {
+            e.per_graphlet
+                .iter()
+                .filter(|x| x.occurrences >= 10)
+                .count()
+        };
         let naive_classes = solid(&naive);
         let ags_classes = solid(&res.estimates);
         assert!(
@@ -333,7 +352,11 @@ mod tests {
     #[test]
     fn weights_accumulate_per_usage() {
         let g = generators::complete_graph(6);
-        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(3) }.seed(1);
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(3)
+        }
+        .seed(1);
         let urn = build_urn(&g, &cfg).unwrap();
         let mut registry = GraphletRegistry::new(3);
         let idx = registry.classify(&motivo_graphlet::clique(3));
@@ -357,7 +380,11 @@ mod tests {
         let mut found = 0;
         let runs = 6;
         for seed in 0..runs {
-            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(k) }.seed(seed);
+            let cfg = BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(k)
+            }
+            .seed(seed);
             let urn = match build_urn(&g, &cfg) {
                 Ok(u) => u,
                 Err(_) => continue,
@@ -375,6 +402,9 @@ mod tests {
                 found += 1;
             }
         }
-        assert!(found >= runs / 2, "AGS found the tail path in only {found}/{runs} colorings");
+        assert!(
+            found >= runs / 2,
+            "AGS found the tail path in only {found}/{runs} colorings"
+        );
     }
 }

@@ -97,7 +97,9 @@ impl BuildConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -125,7 +127,10 @@ pub fn build_urn<'g>(g: &'g Graph, cfg: &BuildConfig) -> Result<Urn<'g>, BuildEr
         return Err(BuildError::BadK(k));
     }
     if g.num_nodes() < k {
-        return Err(BuildError::GraphTooSmall { n: g.num_nodes(), k });
+        return Err(BuildError::GraphTooSmall {
+            n: g.num_nodes(),
+            k,
+        });
     }
     let coloring = match &cfg.coloring {
         ColoringSpec::Uniform => Coloring::uniform(g, k, cfg.seed),
@@ -179,8 +184,9 @@ pub fn build_table(
         let mut level = cfg.storage.create_level(h, n)?;
         // Vertices above the hub threshold are deferred to the edge-split
         // pass so no worker stalls on one giant adjacency list.
-        let hubs: Vec<u32> =
-            (0..n).filter(|&v| g.degree(v) >= cfg.hub_split_threshold).collect();
+        let hubs: Vec<u32> = (0..n)
+            .filter(|&v| g.degree(v) >= cfg.hub_split_threshold)
+            .collect();
         let is_hub = |v: u32| g.degree(v) >= cfg.hub_split_threshold;
         let ctx = LevelCtx {
             g,
@@ -201,20 +207,18 @@ pub fn build_table(
                 let ctx = &ctx;
                 let cursor = &cursor;
                 let is_hub = &is_hub;
-                scope.spawn(move |_| {
-                    loop {
-                        let v = cursor.fetch_add(1, Ordering::Relaxed);
-                        if v >= n as usize {
-                            break;
-                        }
-                        let v = v as u32;
-                        if is_hub(v) {
-                            continue;
-                        }
-                        let rec = ctx.process_vertex(v, None);
-                        if !rec.is_empty() {
-                            tx.send((v, rec)).expect("collector alive");
-                        }
+                scope.spawn(move |_| loop {
+                    let v = cursor.fetch_add(1, Ordering::Relaxed);
+                    if v >= n as usize {
+                        break;
+                    }
+                    let v = v as u32;
+                    if is_hub(v) {
+                        continue;
+                    }
+                    let rec = ctx.process_vertex(v, None);
+                    if !rec.is_empty() {
+                        tx.send((v, rec)).expect("collector alive");
                     }
                 });
             }
@@ -449,8 +453,9 @@ mod tests {
         for trial in 0..5 {
             let g = generators::erdos_renyi(12, 22, trial);
             let k = rng.gen_range(3..=5);
-            let colors: Vec<u8> =
-                (0..g.num_nodes()).map(|_| rng.gen_range(0..k) as u8).collect();
+            let colors: Vec<u8> = (0..g.num_nodes())
+                .map(|_| rng.gen_range(0..k) as u8)
+                .collect();
             assert_matches_reference(&g, colors, k);
         }
     }
@@ -459,7 +464,10 @@ mod tests {
     fn zero_rooting_keeps_only_color0_roots_at_level_k() {
         let g = generators::complete_graph(5);
         let colors = vec![0u8, 1, 2, 0, 1];
-        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(3) };
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(3)
+        };
         let coloring = Coloring::fixed(colors.clone(), 3);
         let (table, _) = build_table(&g, &coloring, &cfg).unwrap();
         for v in 0..5 {
@@ -467,7 +475,11 @@ mod tests {
             if colors[v as usize] == 0 {
                 assert!(!empty, "color-0 vertex {v} should have k-records");
             } else {
-                assert!(empty, "vertex {v} with color {} must be skipped", colors[v as usize]);
+                assert!(
+                    empty,
+                    "vertex {v} with color {} must be skipped",
+                    colors[v as usize]
+                );
             }
         }
         // Lower levels keep all rootings.
@@ -485,7 +497,10 @@ mod tests {
         // counted at its color-0 root exactly once).
         let g = generators::complete_graph(4);
         let coloring = Coloring::fixed(vec![0, 1, 2, 3], 4);
-        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(4) };
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(4)
+        };
         let (table, _) = build_table(&g, &coloring, &cfg).unwrap();
         let total: u128 = (0..4).map(|v| table.get(4, v).total()).sum();
         assert_eq!(total, 16);
@@ -495,8 +510,16 @@ mod tests {
     fn hub_split_agrees_with_plain_path() {
         let g = generators::star_heavy(200, 2, 0.9, 5);
         let coloring = Coloring::uniform(&g, 4, 3);
-        let plain = BuildConfig { threads: 3, hub_split_threshold: usize::MAX, ..BuildConfig::new(4) };
-        let split = BuildConfig { threads: 3, hub_split_threshold: 16, ..BuildConfig::new(4) };
+        let plain = BuildConfig {
+            threads: 3,
+            hub_split_threshold: usize::MAX,
+            ..BuildConfig::new(4)
+        };
+        let split = BuildConfig {
+            threads: 3,
+            hub_split_threshold: 16,
+            ..BuildConfig::new(4)
+        };
         let (ta, _) = build_table(&g, &coloring, &plain).unwrap();
         let (tb, _) = build_table(&g, &coloring, &split).unwrap();
         for v in 0..g.num_nodes() {
@@ -514,7 +537,10 @@ mod tests {
         let coloring = Coloring::uniform(&g, 5, 1);
         let dir = std::env::temp_dir().join("motivo-core-disk-test");
         std::fs::remove_dir_all(&dir).ok();
-        let mem = BuildConfig { threads: 2, ..BuildConfig::new(5) };
+        let mem = BuildConfig {
+            threads: 2,
+            ..BuildConfig::new(5)
+        };
         let disk = BuildConfig {
             threads: 2,
             storage: StorageKind::Disk { dir: dir.clone() },
@@ -536,7 +562,10 @@ mod tests {
     fn merge_ops_counted() {
         let g = generators::complete_graph(6);
         let coloring = Coloring::uniform(&g, 4, 0);
-        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(4) };
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(4)
+        };
         let (_, stats) = build_table(&g, &coloring, &cfg).unwrap();
         assert!(stats.merge_ops > 0);
         assert_eq!(stats.per_level.len(), 3);
@@ -546,7 +575,10 @@ mod tests {
     fn singleton_level_counts_color() {
         let g = generators::path_graph(4);
         let coloring = Coloring::fixed(vec![2, 0, 1, 2], 3);
-        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(3) };
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(3)
+        };
         let (table, _) = build_table(&g, &coloring, &cfg).unwrap();
         let rec = table.get(1, 0);
         let (ct, c) = rec.iter().next().unwrap();

@@ -75,7 +75,10 @@ impl EnsembleConfig {
             runs: 10,
             base_seed: 0,
             threads: 0,
-            estimator: Estimator::Ags(AgsConfig { max_samples, ..AgsConfig::default() }),
+            estimator: Estimator::Ags(AgsConfig {
+                max_samples,
+                ..AgsConfig::default()
+            }),
             build: BuildConfig::new(k),
         }
     }
@@ -225,9 +228,15 @@ pub fn ensemble(
                 .iter()
                 .map(|run| run.get(&index).map(|&(c, _)| c).unwrap_or(0.0))
                 .collect();
-            let occurrences: u64 =
-                per_run.iter().filter_map(|run| run.get(&index)).map(|&(_, o)| o).sum();
-            let seen_in = per_run.iter().filter(|run| run.contains_key(&index)).count() as u64;
+            let occurrences: u64 = per_run
+                .iter()
+                .filter_map(|run| run.get(&index))
+                .map(|&(_, o)| o)
+                .sum();
+            let seen_in = per_run
+                .iter()
+                .filter(|run| run.contains_key(&index))
+                .count() as u64;
             let mean = values.iter().sum::<f64>() / values.len() as f64;
             ClassSummary {
                 index,
@@ -274,7 +283,10 @@ mod tests {
         let res = ensemble(&g, &mut registry, &cfg).unwrap();
         assert!(res.effective_runs + res.empty_urns == 30);
         let total = res.total_count();
-        assert!((total - 20.0).abs() < 3.0, "triangle ensemble {total}, want 20");
+        assert!(
+            (total - 20.0).abs() < 3.0,
+            "triangle ensemble {total}, want 20"
+        );
         // Whiskers bracket the mean.
         let c = &res.classes[0];
         assert!(c.p10 <= c.mean + 1e-9 && c.mean <= c.p90 + 1e-9);
@@ -287,7 +299,10 @@ mod tests {
         let mut registry = GraphletRegistry::new(4);
         let cfg = EnsembleConfig {
             runs: 4,
-            estimator: Estimator::Mixed { samples: 5_000, c_bar: 300 },
+            estimator: Estimator::Mixed {
+                samples: 5_000,
+                c_bar: 300,
+            },
             ..EnsembleConfig::naive(4, 0)
         };
         let res = ensemble(&g, &mut registry, &cfg).unwrap();
@@ -335,7 +350,10 @@ mod tests {
     fn impossible_build_reports_error() {
         let g = generators::path_graph(3);
         let mut registry = GraphletRegistry::new(8);
-        let cfg = EnsembleConfig { runs: 2, ..EnsembleConfig::naive(8, 100) };
+        let cfg = EnsembleConfig {
+            runs: 2,
+            ..EnsembleConfig::naive(8, 100)
+        };
         assert!(ensemble(&g, &mut registry, &cfg).is_err());
     }
 }

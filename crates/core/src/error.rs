@@ -35,7 +35,10 @@ impl fmt::Display for BuildError {
             BuildError::BadLambda(l) => write!(f, "biased-coloring lambda {l} outside (0, 1/k]"),
             BuildError::BadFixedColoring => write!(f, "fixed coloring length != vertex count"),
             BuildError::EmptyUrn => {
-                write!(f, "no colorful k-treelet found; re-color with a new seed or reduce k")
+                write!(
+                    f,
+                    "no colorful k-treelet found; re-color with a new seed or reduce k"
+                )
             }
             BuildError::Io(e) => write!(f, "count-table I/O error: {e}"),
         }

@@ -27,8 +27,9 @@
 
 pub mod ags;
 pub mod bounds;
-pub mod ensemble;
 pub mod build;
+pub mod checksum;
+pub mod ensemble;
 pub mod error;
 pub mod naive;
 pub mod persist;
@@ -40,7 +41,7 @@ pub use ags::{ags, AgsConfig, AgsResult};
 pub use build::{build_urn, BuildConfig, BuildStats, ColoringSpec};
 pub use ensemble::{ensemble, ClassSummary, EnsembleConfig, EnsembleResult, Estimator};
 pub use error::BuildError;
-pub use persist::{load_urn, load_urn_external, save_urn};
 pub use naive::{estimates_from_tally, naive_estimates, sample_tally, Estimates, GraphletEstimate};
+pub use persist::{graph_fingerprint, load_urn, load_urn_external, save_urn};
 pub use sample::{SampleConfig, Sampler};
 pub use urn::Urn;

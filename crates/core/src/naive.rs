@@ -81,7 +81,10 @@ pub fn sample_tally(
         let mut handles = Vec::new();
         for t in 0..threads {
             let share = samples / threads + u64::from(t < samples % threads);
-            let cfg = SampleConfig { seed: cfg.seed.wrapping_add(t * 0x9E37), ..cfg.clone() };
+            let cfg = SampleConfig {
+                seed: cfg.seed.wrapping_add(t * 0x9E37),
+                ..cfg.clone()
+            };
             handles.push(scope.spawn(move |_| {
                 let mut sampler = Sampler::new(urn, cfg);
                 let mut cache = CanonicalCache::new();
@@ -142,7 +145,12 @@ pub fn estimates_from_tally(
             e.frequency = e.count / total;
         }
     }
-    Estimates { k: urn.k(), samples, elapsed, per_graphlet }
+    Estimates {
+        k: urn.k(),
+        samples,
+        elapsed,
+        per_graphlet,
+    }
 }
 
 /// End-to-end naive estimation: sample, classify, estimate.
@@ -174,7 +182,11 @@ mod tests {
         let mut acc = 0.0;
         let runs = 100;
         for seed in 0..runs {
-            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(3) }.seed(seed);
+            let cfg = BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(3)
+            }
+            .seed(seed);
             match build_urn(&g, &cfg) {
                 Err(crate::error::BuildError::EmptyUrn) => {} // estimate 0
                 Err(e) => panic!("unexpected build error: {e}"),
@@ -203,23 +215,33 @@ mod tests {
         let mut acc = 0.0;
         let runs = 20;
         for seed in 0..runs {
-            let cfg = BuildConfig { threads: 1, ..BuildConfig::new(3) }.seed(seed);
+            let cfg = BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(3)
+            }
+            .seed(seed);
             let urn = build_urn(&g, &cfg).unwrap();
-            let est =
-                naive_estimates(&urn, &mut registry, 2_000, 1, &SampleConfig::seeded(seed));
+            let est = naive_estimates(&urn, &mut registry, 2_000, 1, &SampleConfig::seeded(seed));
             assert_eq!(est.per_graphlet.len(), 1, "only the path class exists");
             acc += est.total_count();
         }
         let avg = acc / runs as f64;
         let want = 55.0; // C(11, 2)
-        assert!((avg - want).abs() < want * 0.15, "path estimate {avg}, want {want}");
+        assert!(
+            (avg - want).abs() < want * 0.15,
+            "path estimate {avg}, want {want}"
+        );
     }
 
     /// Frequencies sum to one and per-class counts are consistent.
     #[test]
     fn frequencies_normalize() {
         let g = generators::barabasi_albert(150, 3, 4);
-        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(4) }.seed(7);
+        let cfg = BuildConfig {
+            threads: 2,
+            ..BuildConfig::new(4)
+        }
+        .seed(7);
         let urn = build_urn(&g, &cfg).unwrap();
         let mut registry = GraphletRegistry::new(4);
         let est = naive_estimates(&urn, &mut registry, 20_000, 2, &SampleConfig::seeded(3));
@@ -235,7 +257,11 @@ mod tests {
     #[test]
     fn threading_is_sound() {
         let g = generators::erdos_renyi(200, 600, 9);
-        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(3) }.seed(2);
+        let cfg = BuildConfig {
+            threads: 2,
+            ..BuildConfig::new(3)
+        }
+        .seed(2);
         let urn = build_urn(&g, &cfg).unwrap();
         let (t1, _) = sample_tally(&urn, 30_000, 1, &SampleConfig::seeded(5));
         let (t4, _) = sample_tally(&urn, 30_000, 4, &SampleConfig::seeded(6));
@@ -243,7 +269,10 @@ mod tests {
         assert_eq!(t4.values().sum::<u64>(), 30_000);
         // Same dominant class with similar mass.
         let top = |t: &HashMap<u128, u64>| {
-            t.iter().max_by_key(|(_, &n)| n).map(|(&c, &n)| (c, n)).unwrap()
+            t.iter()
+                .max_by_key(|(_, &n)| n)
+                .map(|(&c, &n)| (c, n))
+                .unwrap()
         };
         let (c1, n1) = top(&t1);
         let (c4, n4) = top(&t4);

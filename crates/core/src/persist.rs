@@ -9,6 +9,7 @@
 //! fingerprint check rejects mismatched graphs.
 
 use crate::build::BuildStats;
+use crate::checksum::crc32;
 use crate::error::BuildError;
 use crate::urn::Urn;
 use bytes::{Buf, BufMut};
@@ -43,21 +44,26 @@ pub fn save_urn(urn: &Urn<'_>, dir: impl AsRef<Path>) -> io::Result<()> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     urn.table().save_dir(dir)?;
-    urn.coloring().save(std::fs::File::create(dir.join("coloring.mtvc"))?)?;
-    // Build stats + graph fingerprint.
+    urn.coloring()
+        .save(std::fs::File::create(dir.join("coloring.mtvc"))?)?;
+    // Build stats + graph fingerprint, CRC-protected (v2; v1 had no
+    // checksum and is still readable).
     let st = urn.build_stats();
-    let mut meta = Vec::new();
-    meta.put_slice(b"MTVU");
-    meta.put_u32_le(1);
-    meta.put_u64_le(graph_fingerprint(urn.graph()));
-    meta.put_f64_le(st.total.as_secs_f64());
-    meta.put_u64_le(st.merge_ops);
-    meta.put_u64_le(st.table_bytes as u64);
-    meta.put_u64_le(st.records as u64);
-    meta.put_u32_le(st.per_level.len() as u32);
+    let mut payload = Vec::new();
+    payload.put_u64_le(graph_fingerprint(urn.graph()));
+    payload.put_f64_le(st.total.as_secs_f64());
+    payload.put_u64_le(st.merge_ops);
+    payload.put_u64_le(st.table_bytes as u64);
+    payload.put_u64_le(st.records as u64);
+    payload.put_u32_le(st.per_level.len() as u32);
     for d in &st.per_level {
-        meta.put_f64_le(d.as_secs_f64());
+        payload.put_f64_le(d.as_secs_f64());
     }
+    let mut meta = Vec::with_capacity(12 + payload.len());
+    meta.put_slice(b"MTVU");
+    meta.put_u32_le(2);
+    meta.put_u32_le(crc32(&payload));
+    meta.put_slice(&payload);
     std::fs::write(dir.join("urn.meta"), meta)
 }
 
@@ -70,10 +76,7 @@ pub fn load_urn<'g>(g: &'g Graph, dir: impl AsRef<Path>) -> Result<Urn<'g>, Buil
 
 /// Like [`load_urn`] but serving every record access from the on-disk
 /// files — the paper's "operating system will reclaim memory" regime.
-pub fn load_urn_external<'g>(
-    g: &'g Graph,
-    dir: impl AsRef<Path>,
-) -> Result<Urn<'g>, BuildError> {
+pub fn load_urn_external<'g>(g: &'g Graph, dir: impl AsRef<Path>) -> Result<Urn<'g>, BuildError> {
     load_urn_inner(g, dir.as_ref(), false)
 }
 
@@ -85,8 +88,28 @@ fn load_urn_inner<'g>(g: &'g Graph, dir: &Path, preload: bool) -> Result<Urn<'g>
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
-    if &magic != b"MTVU" || buf.get_u32_le() != 1 {
+    if &magic != b"MTVU" {
         return Err(BuildError::Io(bad("bad urn meta header")));
+    }
+    match buf.get_u32_le() {
+        // v1: no checksum (pre-CRC files remain loadable).
+        1 => {}
+        // v2: CRC32 over everything after the 12-byte header.
+        2 => {
+            if buf.remaining() < 4 {
+                return Err(BuildError::Io(bad("truncated urn meta")));
+            }
+            let want = buf.get_u32_le();
+            if crc32(buf) != want {
+                return Err(BuildError::Io(bad(
+                    "urn meta checksum mismatch: file is corrupt",
+                )));
+            }
+        }
+        _ => return Err(BuildError::Io(bad("unsupported urn meta version"))),
+    }
+    if buf.remaining() < 44 {
+        return Err(BuildError::Io(bad("truncated urn meta")));
     }
     let fp = buf.get_u64_le();
     if fp != graph_fingerprint(g) {
@@ -102,14 +125,20 @@ fn load_urn_inner<'g>(g: &'g Graph, dir: &Path, preload: bool) -> Result<Urn<'g>
     if buf.remaining() != levels * 8 {
         return Err(BuildError::Io(bad("urn meta length mismatch")));
     }
-    let per_level =
-        (0..levels).map(|_| Duration::from_secs_f64(buf.get_f64_le())).collect();
-    let stats = BuildStats { total, per_level, merge_ops, table_bytes, records };
+    let per_level = (0..levels)
+        .map(|_| Duration::from_secs_f64(buf.get_f64_le()))
+        .collect();
+    let stats = BuildStats {
+        total,
+        per_level,
+        merge_ops,
+        table_bytes,
+        records,
+    };
 
-    let coloring = Coloring::load(
-        std::fs::File::open(dir.join("coloring.mtvc")).map_err(BuildError::Io)?,
-    )
-    .map_err(BuildError::Io)?;
+    let coloring =
+        Coloring::load(std::fs::File::open(dir.join("coloring.mtvc")).map_err(BuildError::Io)?)
+            .map_err(BuildError::Io)?;
     let mut table = CountTable::open_dir(dir).map_err(BuildError::Io)?;
     if preload {
         table = table.preload();
@@ -131,8 +160,15 @@ mod tests {
         let g = generators::barabasi_albert(200, 3, 4);
         let dir = std::env::temp_dir().join("motivo-persist-test");
         std::fs::remove_dir_all(&dir).ok();
-        let urn = build_urn(&g, &BuildConfig { threads: 2, ..BuildConfig::new(4) }.seed(6))
-            .unwrap();
+        let urn = build_urn(
+            &g,
+            &BuildConfig {
+                threads: 2,
+                ..BuildConfig::new(4)
+            }
+            .seed(6),
+        )
+        .unwrap();
         save_urn(&urn, &dir).unwrap();
         let back = load_urn(&g, &dir).unwrap();
         assert_eq!(back.total_treelets(), urn.total_treelets());
@@ -159,11 +195,73 @@ mod tests {
         let other = generators::complete_graph(9);
         let dir = std::env::temp_dir().join("motivo-persist-test-fp");
         std::fs::remove_dir_all(&dir).ok();
-        let urn = build_urn(&g, &BuildConfig { threads: 1, ..BuildConfig::new(3) }.seed(1))
-            .unwrap();
+        let urn = build_urn(
+            &g,
+            &BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(3)
+            }
+            .seed(1),
+        )
+        .unwrap();
         save_urn(&urn, &dir).unwrap();
         assert!(load_urn(&other, &dir).is_err());
         assert!(load_urn(&g, &dir).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_meta_rejected_by_checksum() {
+        let g = generators::complete_graph(8);
+        let dir = std::env::temp_dir().join("motivo-persist-test-crc");
+        std::fs::remove_dir_all(&dir).ok();
+        let urn = build_urn(
+            &g,
+            &BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(3)
+            }
+            .seed(1),
+        )
+        .unwrap();
+        save_urn(&urn, &dir).unwrap();
+        let meta_path = dir.join("urn.meta");
+        let mut raw = std::fs::read(&meta_path).unwrap();
+        // Flip one payload bit (past the 12-byte header).
+        raw[20] ^= 0x04;
+        std::fs::write(&meta_path, &raw).unwrap();
+        let err = match load_urn(&g, &dir) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt urn meta must not load"),
+        };
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_meta_without_checksum_still_loads() {
+        let g = generators::complete_graph(8);
+        let dir = std::env::temp_dir().join("motivo-persist-test-v1");
+        std::fs::remove_dir_all(&dir).ok();
+        let urn = build_urn(
+            &g,
+            &BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(3)
+            }
+            .seed(1),
+        )
+        .unwrap();
+        save_urn(&urn, &dir).unwrap();
+        // Rewrite the meta as a v1 file: header says 1, no CRC word.
+        let raw = std::fs::read(dir.join("urn.meta")).unwrap();
+        let mut v1 = Vec::new();
+        v1.put_slice(b"MTVU");
+        v1.put_u32_le(1);
+        v1.put_slice(&raw[12..]);
+        std::fs::write(dir.join("urn.meta"), v1).unwrap();
+        let back = load_urn(&g, &dir).unwrap();
+        assert_eq!(back.total_treelets(), urn.total_treelets());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -172,6 +270,9 @@ mod tests {
         let a = generators::path_graph(10);
         let b = generators::cycle_graph(10);
         assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
-        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&generators::path_graph(10)));
+        assert_eq!(
+            graph_fingerprint(&a),
+            graph_fingerprint(&generators::path_graph(10))
+        );
     }
 }

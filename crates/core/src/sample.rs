@@ -54,7 +54,10 @@ impl Default for SampleConfig {
 impl SampleConfig {
     /// A config with everything default but the seed.
     pub fn seeded(seed: u64) -> SampleConfig {
-        SampleConfig { seed, ..SampleConfig::default() }
+        SampleConfig {
+            seed,
+            ..SampleConfig::default()
+        }
     }
 }
 
@@ -83,7 +86,14 @@ impl<'u, 'g> Sampler<'u, 'g> {
     /// Creates a sampler over `urn`.
     pub fn new(urn: &'u Urn<'g>, cfg: SampleConfig) -> Sampler<'u, 'g> {
         let rng = SmallRng::seed_from_u64(cfg.seed);
-        Sampler { urn, cfg, rng, buffers: HashMap::new(), sweeps: 0, samples: 0 }
+        Sampler {
+            urn,
+            cfg,
+            rng,
+            buffers: HashMap::new(),
+            sweeps: 0,
+            samples: 0,
+        }
     }
 
     /// Draws one colorful k-treelet copy uniformly at random from the urn;
@@ -235,7 +245,12 @@ impl<'u, 'g> Sampler<'u, 'g> {
                     })
                     .expect("r within total");
                 let su = second_totals[&cs.0];
-                Pending { c_prime: cp, c_second: cs, r2: self.rng.gen_range(1..=su), u: None }
+                Pending {
+                    c_prime: cp,
+                    c_second: cs,
+                    r2: self.rng.gen_range(1..=su),
+                    u: None,
+                }
             })
             .collect();
 
@@ -295,7 +310,11 @@ mod tests {
     #[test]
     fn samples_are_valid_and_distinct() {
         let g = generators::complete_graph(6);
-        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(4) }.seed(3);
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(4)
+        }
+        .seed(3);
         let urn = build_urn(&g, &cfg).unwrap();
         let mut s = Sampler::new(&urn, SampleConfig::seeded(1));
         for _ in 0..200 {
@@ -306,8 +325,7 @@ mod tests {
             sorted.dedup();
             assert_eq!(sorted.len(), 4);
             // All distinct colors.
-            let mut cols: Vec<u8> =
-                verts.iter().map(|&v| urn.coloring().color(v)).collect();
+            let mut cols: Vec<u8> = verts.iter().map(|&v| urn.coloring().color(v)).collect();
             cols.sort_unstable();
             cols.dedup();
             assert_eq!(cols.len(), 4);
@@ -377,7 +395,11 @@ mod tests {
     #[test]
     fn buffering_preserves_distribution() {
         let g = generators::star_heavy(300, 2, 0.8, 7);
-        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(3) }.seed(1);
+        let cfg = BuildConfig {
+            threads: 2,
+            ..BuildConfig::new(3)
+        }
+        .seed(1);
         let urn = build_urn(&g, &cfg).unwrap();
         let tally = |buffering: bool, seed: u64| {
             let sc = SampleConfig {
@@ -419,10 +441,19 @@ mod tests {
     #[test]
     fn buffering_cuts_sweeps() {
         let g = generators::star_heavy(400, 2, 0.9, 13);
-        let cfg = BuildConfig { threads: 2, ..BuildConfig::new(4) }.seed(2);
+        let cfg = BuildConfig {
+            threads: 2,
+            ..BuildConfig::new(4)
+        }
+        .seed(2);
         let urn = build_urn(&g, &cfg).unwrap();
         let sweeps = |buffering: bool| {
-            let sc = SampleConfig { seed: 4, buffering, buffer_threshold: 64, buffer_batch: 100 };
+            let sc = SampleConfig {
+                seed: 4,
+                buffering,
+                buffer_threshold: 64,
+                buffer_batch: 100,
+            };
             let mut s = Sampler::new(&urn, sc);
             for _ in 0..2_000 {
                 s.sample_copy();
@@ -445,7 +476,11 @@ mod tests {
     #[test]
     fn shape_sampling_respects_shape() {
         let g = generators::complete_graph(7);
-        let cfg = BuildConfig { threads: 1, ..BuildConfig::new(4) }.seed(9);
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(4)
+        }
+        .seed(9);
         let urn = build_urn(&g, &cfg).unwrap();
         let star = motivo_treelet::star_treelet(4);
         let j = urn.shape_index(star);

@@ -7,7 +7,10 @@ use std::collections::HashMap;
 /// The §5.2 count error `err_H = (ĉ_H − c_H)/c_H`: `0` is perfect, `−1`
 /// means the graphlet was missed entirely.
 pub fn count_error(estimate: f64, truth: f64) -> f64 {
-    assert!(truth > 0.0, "count error defined for graphlets present in G");
+    assert!(
+        truth > 0.0,
+        "count error defined for graphlets present in G"
+    );
     (estimate - truth) / truth
 }
 
@@ -29,8 +32,7 @@ pub fn count_errors(
 /// ℓ1 distance between two frequency vectors over the union of classes
 /// (§5.2, "Error in ℓ1 norm").
 pub fn l1_error(est: &HashMap<usize, f64>, truth: &HashMap<usize, f64>) -> f64 {
-    let keys: std::collections::BTreeSet<usize> =
-        est.keys().chain(truth.keys()).copied().collect();
+    let keys: std::collections::BTreeSet<usize> = est.keys().chain(truth.keys()).copied().collect();
     keys.into_iter()
         .map(|i| {
             (est.get(&i).copied().unwrap_or(0.0) - truth.get(&i).copied().unwrap_or(0.0)).abs()
@@ -84,7 +86,11 @@ pub fn text_histogram(h: &[u64], lo: f64, hi: f64, max_width: usize) -> String {
     let width = (hi - lo) / h.len() as f64;
     let mut out = String::new();
     for (i, &c) in h.iter().enumerate() {
-        let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
+        let bar = "#".repeat(
+            (c as usize * max_width)
+                .div_ceil(peak as usize)
+                .min(max_width),
+        );
         let left = lo + i as f64 * width;
         out.push_str(&format!("{left:>8.2} | {bar} {c}\n"));
     }

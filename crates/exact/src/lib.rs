@@ -71,7 +71,11 @@ pub fn count_exact(g: &Graph, k: u8) -> ExactCounts {
     let mut total = 0u64;
     if k == 1 {
         counts.insert(Graphlet::empty(1).code(), n as u64);
-        return ExactCounts { k, counts, total: n as u64 };
+        return ExactCounts {
+            k,
+            counts,
+            total: n as u64,
+        };
     }
     // blocked[u]: u is in the subgraph or was already adjacent to it when
     // the extension set was last widened (the "exclusive neighborhood").
@@ -259,7 +263,10 @@ mod tests {
         let exact = count_exact(&g, 4);
         let fsum: f64 = exact.frequencies().values().sum();
         assert!((fsum - 1.0).abs() < 1e-9);
-        assert!(exact.num_classes() >= 4, "BA graphs have diverse 4-graphlets");
+        assert!(
+            exact.num_classes() >= 4,
+            "BA graphs have diverse 4-graphlets"
+        );
     }
 
     #[test]

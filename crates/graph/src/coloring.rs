@@ -56,8 +56,14 @@ impl Coloring {
     pub fn uniform(g: &Graph, k: u32, seed: u64) -> Coloring {
         assert!((2..=16).contains(&k));
         let mut rng = SmallRng::seed_from_u64(seed);
-        let colors = (0..g.num_nodes()).map(|_| rng.gen_range(0..k) as u8).collect();
-        Coloring { colors, k, distribution: ColorDistribution::Uniform }
+        let colors = (0..g.num_nodes())
+            .map(|_| rng.gen_range(0..k) as u8)
+            .collect();
+        Coloring {
+            colors,
+            k,
+            distribution: ColorDistribution::Uniform,
+        }
     }
 
     /// Biased coloring (§3.4): light colors `0..k−1` with probability `λ`,
@@ -80,7 +86,11 @@ impl Coloring {
                 }
             })
             .collect();
-        Coloring { colors, k, distribution: ColorDistribution::Biased { lambda } }
+        Coloring {
+            colors,
+            k,
+            distribution: ColorDistribution::Biased { lambda },
+        }
     }
 
     /// A fixed assignment (used for the identity coloring when computing
@@ -88,7 +98,11 @@ impl Coloring {
     pub fn fixed(colors: Vec<u8>, k: u32) -> Coloring {
         assert!((2..=16).contains(&k));
         assert!(colors.iter().all(|&c| (c as u32) < k));
-        Coloring { colors, k, distribution: ColorDistribution::Uniform }
+        Coloring {
+            colors,
+            k,
+            distribution: ColorDistribution::Uniform,
+        }
     }
 
     /// The number of colors `k`.
@@ -181,7 +195,11 @@ impl Coloring {
         if colors.iter().any(|&c| c as u32 >= k) {
             return Err(bad("color out of range"));
         }
-        Ok(Coloring { colors, k, distribution })
+        Ok(Coloring {
+            colors,
+            k,
+            distribution,
+        })
     }
 }
 
@@ -200,7 +218,9 @@ mod tests {
     #[test]
     fn biased_reduces_to_uniform_at_lambda_inv_k() {
         for k in 2..=8u32 {
-            let b = ColorDistribution::Biased { lambda: 1.0 / k as f64 };
+            let b = ColorDistribution::Biased {
+                lambda: 1.0 / k as f64,
+            };
             let u = ColorDistribution::Uniform;
             assert!((b.p_colorful(k) - u.p_colorful(k)).abs() < 1e-12, "k={k}");
         }
@@ -232,7 +252,10 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let g = generators::erdos_renyi(50, 120, 1);
-        for c in [Coloring::uniform(&g, 5, 3), Coloring::biased(&g, 5, 0.05, 4)] {
+        for c in [
+            Coloring::uniform(&g, 5, 3),
+            Coloring::biased(&g, 5, 0.05, 4),
+        ] {
             let mut buf = Vec::new();
             c.save(&mut buf).unwrap();
             let back = Coloring::load(&buf[..]).unwrap();

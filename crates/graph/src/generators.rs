@@ -140,7 +140,11 @@ pub fn lollipop(clique_n: u32, tail: u32) -> Graph {
         }
     }
     for i in 0..tail {
-        let prev = if i == 0 { clique_n - 1 } else { clique_n + i - 1 };
+        let prev = if i == 0 {
+            clique_n - 1
+        } else {
+            clique_n + i - 1
+        };
         edges.push((prev, clique_n + i));
     }
     Graph::from_edges(n, &edges)

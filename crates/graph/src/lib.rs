@@ -98,20 +98,30 @@ impl Graph {
         if u == v {
             return false;
         }
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Maximum degree Δ (0 for the empty graph) — the quantity in the
     /// Theorem 3 concentration bound.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates each undirected edge once, as `(min, max)` pairs in order.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.num_nodes()).flat_map(move |v| {
-            self.neighbors(v).iter().filter(move |&&u| u > v).map(move |&u| (v, u))
+            self.neighbors(v)
+                .iter()
+                .filter(move |&&u| u > v)
+                .map(move |&u| (v, u))
         })
     }
 

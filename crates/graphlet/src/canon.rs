@@ -216,10 +216,13 @@ mod tests {
     fn canonical_is_isomorphism_invariant() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
-        for g in [path(6), cycle(6), star(7), clique(5), crate::Graphlet::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (2, 5)],
-        )] {
+        for g in [
+            path(6),
+            cycle(6),
+            star(7),
+            clique(5),
+            crate::Graphlet::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (2, 5)]),
+        ] {
             let c0 = g.canonical();
             for _ in 0..50 {
                 let perm = random_perm(g.k(), &mut rng);

@@ -14,7 +14,10 @@ use std::collections::BTreeSet;
 ///
 /// Class counts (OEIS A001349): k = 1..7 → 1, 1, 2, 6, 21, 112, 853.
 pub fn all_graphlets(k: u8) -> Vec<Graphlet> {
-    assert!((1..=7).contains(&k), "exhaustive enumeration supported for k ≤ 7");
+    assert!(
+        (1..=7).contains(&k),
+        "exhaustive enumeration supported for k ≤ 7"
+    );
     if k == 1 {
         return vec![Graphlet::empty(1)];
     }
@@ -62,11 +65,13 @@ mod tests {
     #[test]
     fn known_shapes_present() {
         let g5 = all_graphlets(5);
-        for shape in [crate::clique(5), crate::path(5), crate::star(5), crate::cycle(5)] {
-            assert!(
-                g5.contains(&shape.canonical()),
-                "missing {shape:?}"
-            );
+        for shape in [
+            crate::clique(5),
+            crate::path(5),
+            crate::star(5),
+            crate::cycle(5),
+        ] {
+            assert!(g5.contains(&shape.canonical()), "missing {shape:?}");
         }
     }
 }

@@ -36,7 +36,10 @@ fn atlas() -> &'static HashMap<u128, &'static str> {
         put(star(4), "star-4");
         put(cycle(4), "4-cycle");
         put(clique(4), "4-clique");
-        put(Graphlet::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]), "paw");
+        put(
+            Graphlet::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]),
+            "paw",
+        );
         put(
             Graphlet::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 3)]),
             "diamond",
@@ -112,8 +115,14 @@ mod tests {
             name(&star(5)),
             name(&cycle(5)),
             name(&clique(5)),
-            name(&Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)])),
-            name(&Graphlet::from_edges(5, &[(0, 1), (1, 2), (2, 0), (1, 3), (2, 3), (0, 4)])),
+            name(&Graphlet::from_edges(
+                5,
+                &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)],
+            )),
+            name(&Graphlet::from_edges(
+                5,
+                &[(0, 1), (1, 2), (2, 0), (1, 3), (2, 3), (0, 4)],
+            )),
         ]
         .to_vec();
         let mut uniq = names.clone();

@@ -187,7 +187,9 @@ impl GraphletRegistry {
             }
             let mut sigma = Vec::with_capacity(j);
             for _ in 0..j {
-                sigma.push(u64::from_le_bytes(take(&raw, &mut at, 8)?.try_into().unwrap()));
+                sigma.push(u64::from_le_bytes(
+                    take(&raw, &mut at, 8)?.try_into().unwrap(),
+                ));
             }
             let canon = Graphlet::from_code(code).ok_or_else(|| bad("bad graphlet code"))?;
             if canon.k() != k {
@@ -254,7 +256,10 @@ mod tests {
         }
         // Lookups still work after reload.
         let mut back = back;
-        assert_eq!(back.classify(&cycle(5)), reg.lookup(cycle(5).canonical().code()).unwrap());
+        assert_eq!(
+            back.classify(&cycle(5)),
+            reg.lookup(cycle(5).canonical().code()).unwrap()
+        );
         // Corruption rejected.
         assert!(GraphletRegistry::load(&buf[..buf.len() - 3]).is_err());
         let mut bad = buf.clone();

@@ -185,7 +185,9 @@ mod tests {
             .collect();
         assert_eq!(nonzero.len(), 2);
         let center_rooted = star_treelet(k as u32);
-        let leaf_rooted = Treelet::SINGLETON.merge(star_treelet(k as u32 - 1)).unwrap();
+        let leaf_rooted = Treelet::SINGLETON
+            .merge(star_treelet(k as u32 - 1))
+            .unwrap();
         let get = |t: Treelet| nonzero.iter().find(|(x, _)| *x == t).map(|(_, s)| *s);
         assert_eq!(get(center_rooted), Some(1));
         assert_eq!(get(leaf_rooted), Some(k as u64 - 1));

@@ -1,0 +1,69 @@
+//! Store-level error type, wrapping build and I/O failures.
+
+use motivo_core::BuildError;
+use std::fmt;
+
+use crate::manifest::UrnId;
+
+/// Failures of the urn repository.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (journal, manifest, urn directories).
+    Io(std::io::Error),
+    /// A persisted structure failed validation (bad magic, checksum, …).
+    Corrupt(String),
+    /// The underlying build-up phase failed.
+    Build(BuildError),
+    /// No urn with this id (or it was removed).
+    UnknownUrn(UrnId),
+    /// The urn exists but its build has not finished successfully.
+    NotBuilt(UrnId),
+    /// The host graph file for a stored urn is missing.
+    GraphMissing(u64),
+    /// The store only manages reusable builds; per-vertex fixed colorings
+    /// are test-only and cannot be keyed.
+    UnsupportedColoring,
+    /// The background build worker is gone (store is shutting down).
+    WorkerGone,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "store corrupt: {msg}"),
+            StoreError::Build(e) => write!(f, "urn build failed: {e}"),
+            StoreError::UnknownUrn(id) => write!(f, "unknown urn {id}"),
+            StoreError::NotBuilt(id) => write!(f, "urn {id} is not built"),
+            StoreError::GraphMissing(fp) => {
+                write!(f, "host graph {fp:016x} missing from the store")
+            }
+            StoreError::UnsupportedColoring => {
+                write!(f, "fixed colorings cannot be stored; use Uniform or Biased")
+            }
+            StoreError::WorkerGone => write!(f, "build worker has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<BuildError> for StoreError {
+    fn from(e: BuildError) -> StoreError {
+        StoreError::Build(e)
+    }
+}

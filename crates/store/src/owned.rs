@@ -1,0 +1,117 @@
+//! [`StoreUrn`]: an urn that owns its host graph, so the store can cache
+//! and hand out urns without borrowing from the caller.
+//!
+//! [`motivo_core::Urn`] borrows its graph (`Urn<'g>`), which is the right
+//! shape for one-shot runs but not for a repository whose urns outlive any
+//! caller stack frame. `StoreUrn` pins the graph behind an `Arc` and keeps
+//! an `Urn` pointing into that allocation.
+
+use motivo_core::error::BuildError;
+use motivo_core::Urn;
+use motivo_graph::Graph;
+use std::sync::Arc;
+
+/// A self-contained urn: graph + assembled urn, shareable across threads
+/// and cacheable by the store.
+pub struct StoreUrn {
+    /// Borrows `graph`'s heap allocation; declared first so it drops
+    /// before the `Arc` it points into.
+    urn: Urn<'static>,
+    graph: Arc<Graph>,
+    /// Resident footprint estimate (table payload + CSR bytes), the unit
+    /// of the cache's byte budget.
+    bytes: usize,
+}
+
+impl StoreUrn {
+    /// Assembles a `StoreUrn` by running `make` (a load or build) against
+    /// the pinned graph.
+    pub fn assemble<F>(graph: Arc<Graph>, make: F) -> Result<StoreUrn, BuildError>
+    where
+        F: FnOnce(&'static Graph) -> Result<Urn<'static>, BuildError>,
+    {
+        // SAFETY: the reference points into the Arc's heap allocation,
+        // which is stable (Arc never moves its payload), never handed out
+        // mutably, and outlives `urn`: the Arc lives in the same struct
+        // and field order drops `urn` first. The 'static lifetime never
+        // escapes this struct — accessors reborrow at `&self`'s lifetime.
+        let graph_ref: &'static Graph = unsafe { &*Arc::as_ptr(&graph) };
+        let urn = make(graph_ref)?;
+        let bytes = urn.table().byte_size() + graph_ref.byte_size();
+        Ok(StoreUrn { urn, graph, bytes })
+    }
+
+    /// The urn, reborrowed at the caller's lifetime (covariance shortens
+    /// the internal `'static`).
+    pub fn urn(&self) -> &Urn<'_> {
+        &self.urn
+    }
+
+    /// The pinned host graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Resident footprint estimate in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_core::{build_urn, naive_estimates, BuildConfig, SampleConfig};
+    use motivo_graph::generators;
+    use motivo_graphlet::GraphletRegistry;
+
+    #[test]
+    fn outlives_the_construction_scope_and_samples() {
+        let owned = {
+            let graph = Arc::new(generators::barabasi_albert(150, 3, 4));
+            StoreUrn::assemble(graph, |g| {
+                build_urn(
+                    g,
+                    &BuildConfig {
+                        threads: 1,
+                        ..BuildConfig::new(4)
+                    }
+                    .seed(2),
+                )
+            })
+            .unwrap()
+        };
+        assert!(owned.bytes() > 0);
+        assert_eq!(owned.urn().k(), 4);
+        let mut registry = GraphletRegistry::new(4);
+        let est = naive_estimates(
+            owned.urn(),
+            &mut registry,
+            2_000,
+            1,
+            &SampleConfig::seeded(1),
+        );
+        assert!(est.total_count() > 0.0);
+    }
+
+    #[test]
+    fn clones_of_the_graph_arc_stay_valid_after_drop() {
+        let graph = Arc::new(generators::complete_graph(10));
+        let owned = StoreUrn::assemble(graph.clone(), |g| {
+            build_urn(
+                g,
+                &BuildConfig {
+                    threads: 1,
+                    ..BuildConfig::new(3)
+                }
+                .seed(1),
+            )
+        })
+        .unwrap();
+        let total = owned.urn().total_treelets();
+        assert!(total > 0);
+        drop(owned);
+        // The graph Arc handed in is untouched by the urn's lifecycle.
+        assert_eq!(graph.num_nodes(), 10);
+    }
+}

@@ -1,0 +1,131 @@
+//! [`StoreQuery`]: the query front-end. Routes estimator calls through
+//! the store's cache and keeps per-urn serving statistics (hits, misses,
+//! latency), which is what a long-lived service wants to watch.
+
+use motivo_core::{ags, naive_estimates, AgsConfig, AgsResult, Estimates, SampleConfig};
+use motivo_graphlet::GraphletRegistry;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::error::StoreError;
+use crate::manifest::UrnId;
+use crate::store::UrnStore;
+
+/// Serving counters for one urn (or aggregated over all of them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Queries whose urn was already resident.
+    pub cache_hits: u64,
+    /// Queries that had to load the urn from disk first.
+    pub cache_misses: u64,
+    /// Total wall-clock spent answering (load + sampling).
+    pub total_latency: Duration,
+}
+
+impl QueryStats {
+    fn absorb(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.total_latency += other.total_latency;
+    }
+
+    /// Mean latency per query.
+    pub fn mean_latency(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.queries as u32
+        }
+    }
+}
+
+/// A query layer over one store. Thread-safe; borrows the store.
+pub struct StoreQuery<'s> {
+    store: &'s UrnStore,
+    stats: Mutex<HashMap<UrnId, QueryStats>>,
+}
+
+impl<'s> StoreQuery<'s> {
+    pub fn new(store: &'s UrnStore) -> StoreQuery<'s> {
+        StoreQuery {
+            store,
+            stats: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &UrnStore {
+        self.store
+    }
+
+    fn record<T>(
+        &self,
+        id: UrnId,
+        run: impl FnOnce(&crate::owned::StoreUrn) -> T,
+    ) -> Result<T, StoreError> {
+        let t0 = Instant::now();
+        let was_cached = self.store.is_cached(id);
+        let urn = self.store.get(id)?;
+        let out = run(&urn);
+        let mut stats = self.stats.lock().expect("query stats poisoned");
+        let entry = stats.entry(id).or_default();
+        entry.queries += 1;
+        if was_cached {
+            entry.cache_hits += 1;
+        } else {
+            entry.cache_misses += 1;
+        }
+        entry.total_latency += t0.elapsed();
+        Ok(out)
+    }
+
+    /// Naive estimation (uniform treelet sampling) through the cache.
+    /// `registry` grows with discovered classes, exactly as in
+    /// [`motivo_core::naive_estimates`]; its `k` must match the urn's.
+    pub fn naive_estimates(
+        &self,
+        id: UrnId,
+        registry: &mut GraphletRegistry,
+        samples: u64,
+        threads: usize,
+        cfg: &SampleConfig,
+    ) -> Result<Estimates, StoreError> {
+        self.record(id, |urn| {
+            naive_estimates(urn.urn(), registry, samples, threads, cfg)
+        })
+    }
+
+    /// Adaptive graphlet sampling through the cache.
+    pub fn ags(
+        &self,
+        id: UrnId,
+        registry: &mut GraphletRegistry,
+        cfg: &AgsConfig,
+    ) -> Result<AgsResult, StoreError> {
+        self.record(id, |urn| ags(urn.urn(), registry, cfg))
+    }
+
+    /// Counters for one urn.
+    pub fn stats(&self, id: UrnId) -> QueryStats {
+        self.stats
+            .lock()
+            .expect("query stats poisoned")
+            .get(&id)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Counters summed over every urn served.
+    pub fn total_stats(&self) -> QueryStats {
+        let stats = self.stats.lock().expect("query stats poisoned");
+        let mut total = QueryStats::default();
+        for s in stats.values() {
+            total.absorb(s);
+        }
+        total
+    }
+}

@@ -93,8 +93,12 @@ impl Record {
     }
 
     fn tree_range(&self, tree: Treelet) -> (usize, usize) {
-        let lo = self.codes.partition_point(|&c| c < ColoredTreelet::range_start(tree));
-        let hi = self.codes.partition_point(|&c| c <= ColoredTreelet::range_end(tree));
+        let lo = self
+            .codes
+            .partition_point(|&c| c < ColoredTreelet::range_start(tree));
+        let hi = self
+            .codes
+            .partition_point(|&c| c <= ColoredTreelet::range_end(tree));
         (lo, hi)
     }
 

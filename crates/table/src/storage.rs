@@ -69,7 +69,11 @@ pub struct MemoryLevel {
 impl MemoryLevel {
     /// An empty level for `n` vertices.
     pub fn new(n: u32) -> MemoryLevel {
-        MemoryLevel { records: vec![None; n as usize], bytes: 0, count: 0 }
+        MemoryLevel {
+            records: vec![None; n as usize],
+            bytes: 0,
+            count: 0,
+        }
     }
 }
 
@@ -174,16 +178,25 @@ impl DiskLevel {
         let raw = std::fs::read(&idx_path)?;
         let mut buf = &raw[..];
         if buf.remaining() < 16 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated index"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated index",
+            ));
         }
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
         if &magic != b"MTVI" || buf.get_u32_le() != 1 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index header"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad index header",
+            ));
         }
         let n = buf.get_u64_le() as usize;
         if buf.remaining() != n * 12 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "index length mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "index length mismatch",
+            ));
         }
         let mut index = Vec::with_capacity(n);
         let mut count = 0;
@@ -197,7 +210,13 @@ impl DiskLevel {
             }
             index.push((off, len));
         }
-        Ok(DiskLevel { file, path, index, write_offset, count })
+        Ok(DiskLevel {
+            file,
+            path,
+            index,
+            write_offset,
+            count,
+        })
     }
 
     fn index_path(&self) -> std::path::PathBuf {
@@ -230,7 +249,9 @@ impl LevelStore for DiskLevel {
         }
         let mut buf = vec![0u8; len as usize];
         use std::os::unix::fs::FileExt;
-        self.file.read_exact_at(&mut buf, off).expect("read record from disk");
+        self.file
+            .read_exact_at(&mut buf, off)
+            .expect("read record from disk");
         RecordHandle::Owned(Record::decode(&mut &buf[..]).expect("valid record on disk"))
     }
 
@@ -272,7 +293,10 @@ impl StorageKind {
             StorageKind::Memory => Ok(Box::new(MemoryLevel::new(n))),
             StorageKind::Disk { dir } => {
                 std::fs::create_dir_all(dir)?;
-                Ok(Box::new(DiskLevel::create(dir.join(format!("level-{h}.mtvt")), n)?))
+                Ok(Box::new(DiskLevel::create(
+                    dir.join(format!("level-{h}.mtvt")),
+                    n,
+                )?))
             }
         }
     }
@@ -288,7 +312,10 @@ impl CountTable {
     /// Assembles a table from per-size levels (index 0 = size 1).
     pub fn from_levels(levels: Vec<Box<dyn LevelStore>>) -> CountTable {
         assert!(!levels.is_empty());
-        CountTable { k: levels.len() as u32, levels }
+        CountTable {
+            k: levels.len() as u32,
+            levels,
+        }
     }
 
     /// The treelet size bound `k`.
@@ -389,7 +416,9 @@ impl CountTable {
         let _n = buf.get_u32_le();
         let mut levels: Vec<Box<dyn LevelStore>> = Vec::with_capacity(k as usize);
         for h in 1..=k {
-            levels.push(Box::new(DiskLevel::open(dir.join(format!("level-{h}.mtvt")))?));
+            levels.push(Box::new(DiskLevel::open(
+                dir.join(format!("level-{h}.mtvt")),
+            )?));
         }
         Ok(CountTable::from_levels(levels))
     }
@@ -404,8 +433,14 @@ mod tests {
         let s3 = star_treelet(3);
         let p3 = path_treelet(3);
         Record::from_counts(vec![
-            (ColoredTreelet::new(s3, ColorSet(0b0111)).code(), seed as u128 + 1),
-            (ColoredTreelet::new(p3, ColorSet(0b1101)).code(), 2 * seed as u128 + 3),
+            (
+                ColoredTreelet::new(s3, ColorSet(0b0111)).code(),
+                seed as u128 + 1,
+            ),
+            (
+                ColoredTreelet::new(p3, ColorSet(0b1101)).code(),
+                2 * seed as u128 + 3,
+            ),
         ])
     }
 

@@ -20,9 +20,8 @@ fn record_strategy() -> impl Strategy<Value = Vec<(ColoredTreelet, u128)>> {
         v
     };
     let n = keys.len();
-    proptest::collection::btree_map(0..n, 1u128..100, 1..40).prop_map(move |m| {
-        m.into_iter().map(|(i, c)| (keys[i], c)).collect()
-    })
+    proptest::collection::btree_map(0..n, 1u128..100, 1..40)
+        .prop_map(move |m| m.into_iter().map(|(i, c)| (keys[i], c)).collect())
 }
 
 proptest! {

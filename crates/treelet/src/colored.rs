@@ -101,7 +101,9 @@ mod tests {
     #[test]
     fn pack_unpack() {
         let t = path_treelet(3);
-        let c = ColorSet::single(0).union(ColorSet::single(2)).union(ColorSet::single(5));
+        let c = ColorSet::single(0)
+            .union(ColorSet::single(2))
+            .union(ColorSet::single(5));
         let ct = ColoredTreelet::new(t, c);
         assert_eq!(ct.tree(), t);
         assert_eq!(ct.colors(), c);

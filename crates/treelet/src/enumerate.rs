@@ -50,7 +50,10 @@ pub struct TreeletFamily {
 impl TreeletFamily {
     /// Enumerates and indexes all treelets of sizes `1..=k`.
     pub fn new(k: u32) -> TreeletFamily {
-        TreeletFamily { k, by_size: all_treelets_up_to(k) }
+        TreeletFamily {
+            k,
+            by_size: all_treelets_up_to(k),
+        }
     }
 
     /// The size parameter `k`.
@@ -79,7 +82,9 @@ impl TreeletFamily {
     /// Iterate `(size, index, treelet)` over the whole family.
     pub fn iter(&self) -> impl Iterator<Item = (u32, usize, Treelet)> + '_ {
         self.by_size.iter().enumerate().flat_map(|(s, v)| {
-            v.iter().enumerate().map(move |(i, &t)| (s as u32 + 1, i, t))
+            v.iter()
+                .enumerate()
+                .map(move |(i, &t)| (s as u32 + 1, i, t))
         })
     }
 }

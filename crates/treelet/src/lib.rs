@@ -28,12 +28,12 @@
 //! motivo packs its count-table keys; the `u64` integer order is the
 //! tree-major, color-minor lexicographic order of the paper.
 
-mod colorset;
 mod colored;
+mod colorset;
 mod enumerate;
 
-pub use colorset::ColorSet;
 pub use colored::ColoredTreelet;
+pub use colorset::ColorSet;
 pub use enumerate::{all_treelets, all_treelets_up_to, TreeletFamily};
 
 /// Maximum number of nodes a treelet may have (the paper's `k ≤ 16` limit).
@@ -306,7 +306,13 @@ impl Treelet {
     /// nodes.
     pub fn tour_string(self) -> String {
         (0..self.tour_len())
-            .map(|i| if self.0 >> (31 - i) & 1 == 1 { '1' } else { '0' })
+            .map(|i| {
+                if self.0 >> (31 - i) & 1 == 1 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
             .collect()
     }
 }
@@ -328,7 +334,9 @@ pub fn path_treelet(h: u32) -> Treelet {
     assert!((1..=MAX_TREELET_NODES).contains(&h));
     let mut t = Treelet::SINGLETON;
     for _ in 1..h {
-        t = Treelet::SINGLETON.merge(t).expect("path merge is canonical");
+        t = Treelet::SINGLETON
+            .merge(t)
+            .expect("path merge is canonical");
     }
     t
 }
@@ -338,7 +346,9 @@ pub fn star_treelet(h: u32) -> Treelet {
     assert!((1..=MAX_TREELET_NODES).contains(&h));
     let mut t = Treelet::SINGLETON;
     for _ in 1..h {
-        t = t.merge(Treelet::SINGLETON).expect("star merge is canonical");
+        t = t
+            .merge(Treelet::SINGLETON)
+            .expect("star merge is canonical");
     }
     t
 }

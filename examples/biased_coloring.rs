@@ -36,7 +36,8 @@ fn main() {
                 // 2·exp(−2ε²/(k−1)!·p_k·g/Δ^{k−2}) ≤ 0.1  ⇔
                 // g ≥ ln(20)·(k−1)!·Δ^{k−2}/(2ε²·p_k).
                 let eps = 0.5f64;
-                let g_needed = (20f64).ln() * bounds::factorial(k - 1)
+                let g_needed = (20f64).ln()
+                    * bounds::factorial(k - 1)
                     * (graph.max_degree() as f64).powi(k as i32 - 2)
                     / (2.0 * eps * eps * p_k);
                 println!(
@@ -57,7 +58,10 @@ fn main() {
     // biased colorings and compare with exact ground truth.
     let small = motivo::graph::generators::barabasi_albert(800, 3, 2);
     let exact = motivo::exact::count_exact(&small, 4);
-    println!("\naccuracy on a small graph (exact total = {}):", exact.total);
+    println!(
+        "\naccuracy on a small graph (exact total = {}):",
+        exact.total
+    );
     for (label, lambda) in [("uniform", 0.25f64), ("biased", 0.08)] {
         let mut registry = GraphletRegistry::new(4);
         let mut cfg = EnsembleConfig {

@@ -30,7 +30,11 @@ fn main() {
     );
     for entry in std::fs::read_dir(&dir).unwrap() {
         let e = entry.unwrap();
-        println!("  {:>12} B  {}", e.metadata().unwrap().len(), e.file_name().to_string_lossy());
+        println!(
+            "  {:>12} B  {}",
+            e.metadata().unwrap().len(),
+            e.file_name().to_string_lossy()
+        );
     }
 
     // Persist the full urn (adds the coloring + metadata + level indexes).

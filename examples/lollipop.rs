@@ -57,7 +57,11 @@ fn main() {
         let res = ags(
             &urn,
             &mut reg2,
-            &AgsConfig { c_bar: 500, max_samples: budget, ..AgsConfig::default() },
+            &AgsConfig {
+                c_bar: 500,
+                max_samples: budget,
+                ..AgsConfig::default()
+            },
         );
         let idx2 = reg2.classify(&path);
         let hits = res.estimates.get(idx2).map(|e| e.occurrences).unwrap_or(0);

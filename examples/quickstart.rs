@@ -59,11 +59,18 @@ fn main() {
 
     // Sanity: compare the star and clique counts against exact ESU counts.
     let exact = motivo::exact::count_exact(&graph, k as u8);
-    for shape in [motivo::graphlet::star(k as u8), motivo::graphlet::clique(k as u8)] {
+    for shape in [
+        motivo::graphlet::star(k as u8),
+        motivo::graphlet::clique(k as u8),
+    ] {
         let truth = exact.count_of(&shape) as f64;
         let idx = registry.classify(&shape);
         let got = est.get(idx).map(|e| e.count).unwrap_or(0.0);
-        let err = if truth > 0.0 { (got - truth) / truth } else { 0.0 };
+        let err = if truth > 0.0 {
+            (got - truth) / truth
+        } else {
+            0.0
+        };
         println!(
             "\n  {:?}: estimate {:.0} vs exact {:.0} (error {:+.1}%)",
             shape.degree_sequence(),

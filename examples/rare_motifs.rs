@@ -68,10 +68,19 @@ fn main() {
 
     // AGS with the same budget.
     let mut reg_ags = GraphletRegistry::new(k as u8);
-    let cfg = AgsConfig { c_bar: 1000, max_samples: budget, ..AgsConfig::default() };
+    let cfg = AgsConfig {
+        c_bar: 1000,
+        max_samples: budget,
+        ..AgsConfig::default()
+    };
     let result = ags(&urn, &mut reg_ags, &cfg);
 
-    let solid = |est: &Estimates| est.per_graphlet.iter().filter(|e| e.occurrences >= 10).count();
+    let solid = |est: &Estimates| {
+        est.per_graphlet
+            .iter()
+            .filter(|e| e.occurrences >= 10)
+            .count()
+    };
     let rarest = |est: &Estimates| {
         est.per_graphlet
             .iter()
@@ -80,13 +89,20 @@ fn main() {
             .fold(f64::INFINITY, f64::min)
     };
     println!("\n                      naive        AGS");
-    println!("samples          {:>10} {:>10}", naive.samples, result.estimates.samples);
+    println!(
+        "samples          {:>10} {:>10}",
+        naive.samples, result.estimates.samples
+    );
     println!(
         "classes seen     {:>10} {:>10}",
         naive.per_graphlet.len(),
         result.estimates.per_graphlet.len()
     );
-    println!("classes ≥10 hits {:>10} {:>10}", solid(&naive), solid(&result.estimates));
+    println!(
+        "classes ≥10 hits {:>10} {:>10}",
+        solid(&naive),
+        solid(&result.estimates)
+    );
     println!("treelet switches {:>10} {:>10}", "-", result.switches);
     println!(
         "rarest freq seen {:>10.1e} {:>10.1e}",

@@ -10,6 +10,8 @@
 //! motivo sample g.mtvg --table urn-dir --samples 100000
 //! motivo exact g.mtvg -k 4
 //! motivo convert edges.txt g.mtvg
+//! motivo store build g.mtvg -k 5 --store repo     # managed repository
+//! motivo store query urn-0 --store repo --samples 100000
 //! ```
 
 use motivo::core::{
@@ -18,6 +20,7 @@ use motivo::core::{
 };
 use motivo::graph::{generators, io, Graph};
 use motivo::graphlet::{name, GraphletRegistry};
+use motivo::store::{BuildStatus, StoreQuery, UrnId, UrnStore};
 use std::process::exit;
 
 fn main() {
@@ -40,9 +43,10 @@ fn main() {
         Some("count") => cmd_count(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         _ => {
             eprintln!(
-                "usage: motivo <generate|convert|info|exact|count|build|sample> [args]\n\
+                "usage: motivo <generate|convert|info|exact|count|build|sample|store> [args]\n\
                  \n\
                  generate --model ba|er|hub|yelp|lollipop --nodes N [--param P] [--seed S] --out FILE\n\
                  convert  <edges.txt> <out.mtvg>\n\
@@ -51,7 +55,11 @@ fn main() {
                  count    <graph> -k K [--samples N] [--ags] [--runs R] [--biased L]\n\
                           [--threads T] [--seed S] [--top N] [--disk DIR]\n\
                  build    <graph> -k K --table DIR [--seed S] [--biased L] [--threads T]\n\
-                 sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--top N]"
+                 sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--top N]\n\
+                 store    build <graph> -k K --store DIR [--seed S] [--biased L] [--threads T]\n\
+                 store    list --store DIR\n\
+                 store    query <urn-id> --store DIR [--samples N] [--ags] [--seed S] [--top N]\n\
+                 store    gc --store DIR"
             );
             2
         }
@@ -132,7 +140,12 @@ fn cmd_generate(args: &[String]) -> i32 {
     if let Err(e) = io::save_binary(&g, &out) {
         return fail(&format!("cannot write {out}: {e}"));
     }
-    println!("wrote {} ({} nodes, {} edges)", out, g.num_nodes(), g.num_edges());
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.num_nodes(),
+        g.num_edges()
+    );
     0
 }
 
@@ -148,7 +161,12 @@ fn cmd_convert(args: &[String]) -> i32 {
     if let Err(e) = io::save_binary(&g, output) {
         return fail(&format!("cannot write {output}: {e}"));
     }
-    println!("wrote {} ({} nodes, {} edges)", output, g.num_nodes(), g.num_edges());
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        output,
+        g.num_nodes(),
+        g.num_edges()
+    );
     0
 }
 
@@ -166,7 +184,10 @@ fn cmd_info(args: &[String]) -> i32 {
     let pct = |p: f64| degs[((degs.len() - 1) as f64 * p) as usize];
     println!("nodes        {}", g.num_nodes());
     println!("edges        {}", g.num_edges());
-    println!("avg degree   {:.2}", 2.0 * g.num_edges() as f64 / g.num_nodes() as f64);
+    println!(
+        "avg degree   {:.2}",
+        2.0 * g.num_edges() as f64 / g.num_nodes() as f64
+    );
     println!("degree p50   {}", pct(0.50));
     println!("degree p90   {}", pct(0.90));
     println!("degree p99   {}", pct(0.99));
@@ -237,11 +258,20 @@ fn cmd_count(args: &[String]) -> i32 {
         build = build.storage(motivo::table::storage::StorageKind::Disk { dir: dir.into() });
     }
     let estimator = if o.has("ags") {
-        Estimator::Ags(AgsConfig { max_samples: samples, ..AgsConfig::default() })
+        Estimator::Ags(AgsConfig {
+            max_samples: samples,
+            ..AgsConfig::default()
+        })
     } else {
         Estimator::Naive { samples }
     };
-    let cfg = EnsembleConfig { runs, base_seed: seed, threads, estimator, build };
+    let cfg = EnsembleConfig {
+        runs,
+        base_seed: seed,
+        threads,
+        estimator,
+        build,
+    };
     let mut registry = GraphletRegistry::new(k as u8);
     let res = match ensemble(&g, &mut registry, &cfg) {
         Ok(r) => r,
@@ -320,6 +350,186 @@ fn cmd_build(args: &[String]) -> i32 {
     0
 }
 
+fn cmd_store(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_store_build(&args[1..]),
+        Some("list") => cmd_store_list(&args[1..]),
+        Some("query") => cmd_store_query(&args[1..]),
+        Some("gc") => cmd_store_gc(&args[1..]),
+        _ => fail("usage: store <build|list|query|gc> --store DIR [args]"),
+    }
+}
+
+fn open_store(o: &Opts) -> Result<UrnStore, String> {
+    let Some(dir) = o.flags.get("store") else {
+        return Err("--store DIR required".into());
+    };
+    UrnStore::open(dir).map_err(|e| format!("cannot open store {dir}: {e}"))
+}
+
+/// Accepts `urn-3` (as printed by `store list`) or bare `3`.
+fn parse_urn_id(s: &str) -> Option<UrnId> {
+    s.strip_prefix("urn-").unwrap_or(s).parse().ok().map(UrnId)
+}
+
+fn cmd_store_build(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let Some(path) = o.positional.first() else {
+        return fail("usage: store build <graph> -k K --store DIR [--seed S]");
+    };
+    let Some(k) = o.get::<u32>("k") else {
+        return fail("-k K required");
+    };
+    let g = match load_graph(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let store = match open_store(&o) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let mut cfg = BuildConfig::new(k).seed(o.get("seed").unwrap_or(0));
+    cfg.threads = o.get("threads").unwrap_or(0);
+    if let Some(lambda) = o.get::<f64>("biased") {
+        cfg = cfg.biased(lambda);
+    }
+    let handle = match store.build_or_get(&g, &cfg) {
+        Ok(h) => h,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    let already = handle.poll().is_some();
+    let urn = match handle.wait() {
+        Ok(u) => u,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    println!(
+        "{} {}: {} colorful {k}-treelets, {:.1} MiB table",
+        if already { "reused" } else { "built" },
+        handle.id(),
+        urn.urn().total_treelets(),
+        urn.urn().table().byte_size() as f64 / (1 << 20) as f64
+    );
+    0
+}
+
+fn cmd_store_list(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let store = match open_store(&o) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let urns = store.list();
+    println!(
+        "{:>8}  {:>2}  {:>10}  {:>8}  {:>12}  {:>16}",
+        "urn", "k", "seed", "status", "bytes", "graph"
+    );
+    for m in &urns {
+        println!(
+            "{:>8}  {:>2}  {:>10}  {:>8}  {:>12}  {:>16x}",
+            m.id.to_string(),
+            m.key.k,
+            m.key.seed,
+            match m.status {
+                BuildStatus::Pending => "pending",
+                BuildStatus::Built => "built",
+                BuildStatus::Failed => "failed",
+            },
+            m.table_bytes,
+            m.key.fingerprint
+        );
+    }
+    println!("{} urns, {} graphs", urns.len(), store.graphs().len());
+    0
+}
+
+fn cmd_store_query(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &["ags"]);
+    let Some(id) = o.positional.first().and_then(|s| parse_urn_id(s)) else {
+        return fail("usage: store query <urn-id> --store DIR [--samples N] [--ags]");
+    };
+    let store = match open_store(&o) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let Some(meta) = store.list().into_iter().find(|m| m.id == id) else {
+        return fail(&format!("unknown urn {id}"));
+    };
+    let samples: u64 = o.get("samples").unwrap_or(200_000);
+    let seed: u64 = o.get("seed").unwrap_or(1);
+    let top: usize = o.get("top").unwrap_or(25);
+    let query = StoreQuery::new(&store);
+    let mut registry = GraphletRegistry::new(meta.key.k as u8);
+    let est = if o.has("ags") {
+        match query.ags(
+            id,
+            &mut registry,
+            &AgsConfig {
+                max_samples: samples,
+                sample: SampleConfig::seeded(seed),
+                ..AgsConfig::default()
+            },
+        ) {
+            Ok(r) => r.estimates,
+            Err(e) => return fail(&format!("{e}")),
+        }
+    } else {
+        match query.naive_estimates(id, &mut registry, samples, 0, &SampleConfig::seeded(seed)) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("{e}")),
+        }
+    };
+    let qs = query.stats(id);
+    println!(
+        "{}: {} samples in {:?}, {} classes (cache {})",
+        id,
+        est.samples,
+        est.elapsed,
+        est.per_graphlet.len(),
+        if qs.cache_hits > 0 { "hit" } else { "miss" }
+    );
+    let mut rows = est.per_graphlet.clone();
+    rows.sort_by(|a, b| b.count.total_cmp(&a.count));
+    println!(
+        "{:>16}  {:>14}  {:>9}  {:>10}",
+        "graphlet", "count", "freq", "samples"
+    );
+    for e in rows.iter().take(top) {
+        println!(
+            "{:>16}  {:>14.4e}  {:>9.2e}  {:>10}",
+            name(&registry.info(e.index).graphlet),
+            e.count,
+            e.frequency,
+            e.occurrences
+        );
+    }
+    0
+}
+
+fn cmd_store_gc(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let store = match open_store(&o) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let rec = store.recovery_report();
+    if rec.interrupted_builds > 0 || rec.torn_journal_bytes > 0 {
+        println!(
+            "recovered: {} interrupted builds swept, {} torn journal bytes dropped",
+            rec.interrupted_builds, rec.torn_journal_bytes
+        );
+    }
+    match store.gc() {
+        Ok(r) => {
+            println!(
+                "gc: {} orphan urn dirs, {} orphan graphs, {} journal bytes compacted",
+                r.orphan_dirs_removed, r.orphan_graphs_removed, r.journal_bytes_compacted
+            );
+            0
+        }
+        Err(e) => fail(&format!("{e}")),
+    }
+}
+
 fn cmd_sample(args: &[String]) -> i32 {
     let o = Opts::parse(args, &["ags"]);
     let Some(path) = o.positional.first() else {
@@ -354,7 +564,13 @@ fn cmd_sample(args: &[String]) -> i32 {
         )
         .estimates
     } else {
-        naive_estimates(&urn, &mut registry, samples, threads, &SampleConfig::seeded(seed))
+        naive_estimates(
+            &urn,
+            &mut registry,
+            samples,
+            threads,
+            &SampleConfig::seeded(seed),
+        )
     };
     println!(
         "{} samples in {:?} ({:.0}/s), {} classes",
@@ -365,7 +581,10 @@ fn cmd_sample(args: &[String]) -> i32 {
     );
     let mut rows = est.per_graphlet.clone();
     rows.sort_by(|a, b| b.count.total_cmp(&a.count));
-    println!("{:>16}  {:>14}  {:>9}  {:>10}", "graphlet", "count", "freq", "samples");
+    println!(
+        "{:>16}  {:>14}  {:>9}  {:>10}",
+        "graphlet", "count", "freq", "samples"
+    );
     for e in rows.iter().take(top) {
         println!(
             "{:>16}  {:>14.4e}  {:>9.2e}  {:>10}",

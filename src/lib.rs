@@ -50,12 +50,14 @@
 //! | [`core`] | build-up engine, samplers, naive estimator, AGS |
 //! | [`exact`] | exact ESU enumeration (ground truth) |
 //! | [`baseline`] | the pointer-based CC port the paper compares against |
+//! | [`store`] | crash-safe urn repository: journal, LRU cache, query service |
 
 pub use cc_baseline as baseline;
 pub use motivo_core as core;
 pub use motivo_exact as exact;
 pub use motivo_graph as graph;
 pub use motivo_graphlet as graphlet;
+pub use motivo_store as store;
 pub use motivo_table as table;
 pub use motivo_treelet as treelet;
 
@@ -68,6 +70,7 @@ pub mod prelude {
     };
     pub use crate::graph::{ColorDistribution, Coloring, Graph};
     pub use crate::graphlet::{Graphlet, GraphletRegistry};
+    pub use crate::store::{StoreError, StoreQuery, UrnId, UrnStore};
     pub use crate::table::storage::StorageKind;
     pub use crate::treelet::{ColorSet, ColoredTreelet, Treelet};
 }

@@ -32,7 +32,9 @@ fn generate_info_convert_roundtrip() {
     let dir = workdir("gen");
     let g = dir.join("g.mtvg");
     let out = run(motivo()
-        .args(["generate", "--model", "er", "--nodes", "500", "--param", "3", "--seed", "2"])
+        .args([
+            "generate", "--model", "er", "--nodes", "500", "--param", "3", "--seed", "2",
+        ])
         .arg("--out")
         .arg(&g));
     assert!(out.contains("500 nodes"), "{out}");
@@ -55,7 +57,9 @@ fn exact_names_the_classes() {
     let dir = workdir("exact");
     let g = dir.join("k6.mtvg");
     run(motivo()
-        .args(["generate", "--model", "lollipop", "--nodes", "10", "--param", "3"])
+        .args([
+            "generate", "--model", "lollipop", "--nodes", "10", "--param", "3",
+        ])
         .arg("--out")
         .arg(&g));
     let out = run(motivo().arg("exact").arg(&g).args(["-k", "3"]));
@@ -69,18 +73,33 @@ fn count_reports_ensemble_estimates() {
     let dir = workdir("count");
     let g = dir.join("g.mtvg");
     run(motivo()
-        .args(["generate", "--model", "ba", "--nodes", "400", "--param", "3", "--seed", "7"])
+        .args([
+            "generate", "--model", "ba", "--nodes", "400", "--param", "3", "--seed", "7",
+        ])
         .arg("--out")
         .arg(&g));
     let out = run(motivo().arg("count").arg(&g).args([
-        "-k", "4", "--samples", "10000", "--runs", "3", "--top", "8",
+        "-k",
+        "4",
+        "--samples",
+        "10000",
+        "--runs",
+        "3",
+        "--top",
+        "8",
     ]));
     assert!(out.contains("estimated total 4-graphlet copies"), "{out}");
     assert!(out.contains("star-4"), "{out}");
     assert!(out.contains("path-4"), "{out}");
     // AGS variant runs too.
     let out = run(motivo().arg("count").arg(&g).args([
-        "-k", "4", "--samples", "10000", "--runs", "2", "--ags",
+        "-k",
+        "4",
+        "--samples",
+        "10000",
+        "--runs",
+        "2",
+        "--ags",
     ]));
     assert!(out.contains("graphlet"), "{out}");
     std::fs::remove_dir_all(&dir).ok();
@@ -91,7 +110,9 @@ fn build_then_sample_from_persisted_urn() {
     let dir = workdir("persist");
     let g = dir.join("g.mtvg");
     run(motivo()
-        .args(["generate", "--model", "ba", "--nodes", "300", "--param", "3", "--seed", "9"])
+        .args([
+            "generate", "--model", "ba", "--nodes", "300", "--param", "3", "--seed", "9",
+        ])
         .arg("--out")
         .arg(&g));
     let urn = dir.join("urn");
@@ -115,6 +136,61 @@ fn build_then_sample_from_persisted_urn() {
 }
 
 #[test]
+fn store_build_list_query_gc_flow() {
+    let dir = workdir("store");
+    let g = dir.join("g.mtvg");
+    run(motivo()
+        .args([
+            "generate", "--model", "ba", "--nodes", "250", "--param", "3", "--seed", "5",
+        ])
+        .arg("--out")
+        .arg(&g));
+    let repo = dir.join("repo");
+
+    // First build creates urn-0; an identical request reuses it.
+    let out = run(motivo()
+        .args(["store", "build"])
+        .arg(&g)
+        .args(["-k", "4", "--seed", "2", "--store"])
+        .arg(&repo));
+    assert!(out.contains("built urn-0"), "{out}");
+    assert!(repo.join("journal.log").exists());
+    assert!(repo.join("urns/urn-0/table.meta").exists());
+    let out = run(motivo()
+        .args(["store", "build"])
+        .arg(&g)
+        .args(["-k", "4", "--seed", "2", "--store"])
+        .arg(&repo));
+    assert!(out.contains("reused urn-0"), "{out}");
+
+    let out = run(motivo().args(["store", "list", "--store"]).arg(&repo));
+    assert!(out.contains("urn-0"), "{out}");
+    assert!(out.contains("built"), "{out}");
+    assert!(out.contains("1 urns, 1 graphs"), "{out}");
+
+    // Query without resupplying the graph: the store owns it.
+    let out = run(motivo()
+        .args(["store", "query", "urn-0", "--store"])
+        .arg(&repo)
+        .args(["--samples", "20000", "--seed", "3"]));
+    assert!(out.contains("samples"), "{out}");
+    assert!(out.contains("star-4") || out.contains("path-4"), "{out}");
+
+    let out = run(motivo().args(["store", "gc", "--store"]).arg(&repo));
+    assert!(out.contains("journal bytes compacted"), "{out}");
+    assert!(repo.join("MANIFEST").exists());
+
+    // Unknown urn fails cleanly.
+    let out = motivo()
+        .args(["store", "query", "urn-9", "--store"])
+        .arg(&repo)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = motivo().arg("bogus").output().unwrap();
     assert!(!out.status.success());
@@ -126,7 +202,9 @@ fn missing_required_flag_fails() {
     let dir = workdir("missing");
     let g = dir.join("g.mtvg");
     run(motivo()
-        .args(["generate", "--model", "er", "--nodes", "100", "--param", "2"])
+        .args([
+            "generate", "--model", "er", "--nodes", "100", "--param", "2",
+        ])
         .arg("--out")
         .arg(&g));
     let out = motivo().arg("count").arg(&g).output().unwrap();

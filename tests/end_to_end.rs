@@ -25,19 +25,21 @@ fn run_naive_vs_exact(graph: &Graph, k: u32, colorings: u64, samples: u64) -> (f
             *acc.entry(e.index).or_insert(0.0) += e.count;
         }
     }
-    let est_avg: HashMap<usize, f64> =
-        acc.into_iter().map(|(i, c)| (i, c / colorings as f64)).collect();
+    let est_avg: HashMap<usize, f64> = acc
+        .into_iter()
+        .map(|(i, c)| (i, c / colorings as f64))
+        .collect();
 
     let total_truth: f64 = truth.values().map(|&c| c as f64).sum();
-    let truth_freq: HashMap<usize, f64> =
-        truth.iter().map(|(&i, &c)| (i, c as f64 / total_truth)).collect();
+    let truth_freq: HashMap<usize, f64> = truth
+        .iter()
+        .map(|(&i, &c)| (i, c as f64 / total_truth))
+        .collect();
     let total_est: f64 = est_avg.values().sum();
-    let est_freq: HashMap<usize, f64> =
-        est_avg.iter().map(|(&i, &c)| (i, c / total_est)).collect();
+    let est_freq: HashMap<usize, f64> = est_avg.iter().map(|(&i, &c)| (i, c / total_est)).collect();
     let l1 = stats::l1_error(&est_freq, &truth_freq);
 
-    let truth_f64: HashMap<usize, f64> =
-        truth.iter().map(|(&i, &c)| (i, c as f64)).collect();
+    let truth_f64: HashMap<usize, f64> = truth.iter().map(|(&i, &c)| (i, c as f64)).collect();
     let errors: Vec<f64> = stats::count_errors(&est_avg, &truth_f64)
         .into_iter()
         .map(|(_, e)| e)
@@ -51,10 +53,8 @@ fn ba_graph_k4_l1_below_five_percent() {
     let (l1, errors) = run_naive_vs_exact(&graph, 4, 8, 60_000);
     assert!(l1 < 0.05, "ℓ1 error {l1} exceeds the paper's 5% envelope");
     // The frequent classes must all be within ±50%.
-    let within = stats::fraction_within(
-        &errors.iter().copied().enumerate().collect::<Vec<_>>(),
-        0.5,
-    );
+    let within =
+        stats::fraction_within(&errors.iter().copied().enumerate().collect::<Vec<_>>(), 0.5);
     assert!(within >= 0.75, "only {within} of classes within ±50%");
 }
 
@@ -67,11 +67,16 @@ fn er_graph_k4_l1_below_five_percent() {
 
 #[test]
 fn k5_total_count_matches_exact() {
-    let graph = motivo::graph::generators::barabasi_albert(200, 3, 2);
+    // Calibration: the per-coloring estimate has ~10% relative std at this
+    // size, so the coloring average (not the sample count) controls the
+    // error; 8 colorings on n=300 lands well inside the 10% bar for the
+    // deterministic seeds below, where 6 colorings on n=200 sat at ~1.8σ
+    // and passed or failed on RNG-stream luck.
+    let graph = motivo::graph::generators::barabasi_albert(300, 3, 2);
     let exact = motivo::exact::count_exact(&graph, 5);
     let mut registry = GraphletRegistry::new(5);
     let mut acc = 0.0;
-    let colorings = 6;
+    let colorings = 8;
     for seed in 0..colorings {
         let urn = match build_urn(&graph, &BuildConfig::new(5).seed(seed)) {
             Ok(u) => u,
@@ -83,7 +88,10 @@ fn k5_total_count_matches_exact() {
     let avg = acc / colorings as f64;
     let truth = exact.total as f64;
     let rel = (avg - truth).abs() / truth;
-    assert!(rel < 0.10, "total 5-graphlets {avg:.0} vs exact {truth:.0} ({rel:.3})");
+    assert!(
+        rel < 0.10,
+        "total 5-graphlets {avg:.0} vs exact {truth:.0} ({rel:.3})"
+    );
 }
 
 #[test]
@@ -105,13 +113,16 @@ fn ags_accuracy_matches_naive_on_flat_graph() {
             Ok(u) => u,
             Err(_) => continue,
         };
-        let naive =
-            naive_estimates(&urn, &mut registry, 30_000, 0, &SampleConfig::seeded(seed));
+        let naive = naive_estimates(&urn, &mut registry, 30_000, 0, &SampleConfig::seeded(seed));
         naive_acc += naive.get(top_idx).map(|e| e.count).unwrap_or(0.0);
         let res = ags(
             &urn,
             &mut registry,
-            &AgsConfig { c_bar: 500, max_samples: 30_000, ..AgsConfig::default() },
+            &AgsConfig {
+                c_bar: 500,
+                max_samples: 30_000,
+                ..AgsConfig::default()
+            },
         );
         ags_acc += res.estimates.get(top_idx).map(|e| e.count).unwrap_or(0.0);
     }
@@ -119,7 +130,10 @@ fn ags_accuracy_matches_naive_on_flat_graph() {
     for (name, acc) in [("naive", naive_acc), ("ags", ags_acc)] {
         let avg = acc / colorings as f64;
         let rel = (avg - truth_f).abs() / truth_f;
-        assert!(rel < 0.15, "{name}: {avg:.0} vs {truth_f:.0} (rel {rel:.3})");
+        assert!(
+            rel < 0.15,
+            "{name}: {avg:.0} vs {truth_f:.0} (rel {rel:.3})"
+        );
     }
 }
 
@@ -183,7 +197,10 @@ fn biased_coloring_stays_unbiased() {
     }
     let avg = acc / colorings as f64;
     let rel = (avg - truth).abs() / truth;
-    assert!(rel < 0.25, "biased estimate {avg:.0} vs {truth:.0} (rel {rel:.3})");
+    assert!(
+        rel < 0.25,
+        "biased estimate {avg:.0} vs {truth:.0} (rel {rel:.3})"
+    );
 }
 
 #[test]

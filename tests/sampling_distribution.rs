@@ -39,7 +39,10 @@ fn per_shape_sampling_is_uniform() {
     let expected = trials as f64 / r_j as f64;
     for (copy, hits) in tally {
         let dev = (hits as f64 - expected).abs() / expected;
-        assert!(dev < 0.15, "copy {copy:?}: {hits} hits vs expected {expected:.1}");
+        assert!(
+            dev < 0.15,
+            "copy {copy:?}: {hits} hits vs expected {expected:.1}"
+        );
     }
 }
 
@@ -54,7 +57,10 @@ fn three_ways_to_count_agree() {
     let truth = exact.by_registry(&mut registry);
     let (&top, &top_count) = truth.iter().max_by_key(|(_, &c)| c).unwrap();
 
-    let naive_cfg = EnsembleConfig { runs: 8, ..EnsembleConfig::naive(k, 40_000) };
+    let naive_cfg = EnsembleConfig {
+        runs: 8,
+        ..EnsembleConfig::naive(k, 40_000)
+    };
     let naive = ensemble(&g, &mut registry, &naive_cfg).unwrap();
     let ags_cfg = EnsembleConfig {
         runs: 8,
@@ -74,7 +80,12 @@ fn three_ways_to_count_agree() {
         assert!(rel < 0.15, "{label}: top class {got:.0} vs exact {t:.0}");
         // The ensemble total tracks the exact total too.
         let rel_total = (res.total_count() - exact.total as f64).abs() / exact.total as f64;
-        assert!(rel_total < 0.15, "{label}: total {:.0} vs {}", res.total_count(), exact.total);
+        assert!(
+            rel_total < 0.15,
+            "{label}: total {:.0} vs {}",
+            res.total_count(),
+            exact.total
+        );
     }
 }
 
@@ -88,7 +99,11 @@ fn atlas_names_are_unique_per_class() {
         let mut uniq = names.clone();
         uniq.sort();
         uniq.dedup();
-        assert_eq!(uniq.len(), classes.len(), "name collision at k={k}: {names:?}");
+        assert_eq!(
+            uniq.len(),
+            classes.len(),
+            "name collision at k={k}: {names:?}"
+        );
     }
 }
 

@@ -1,0 +1,259 @@
+//! Integration tests of the urn store: end-to-end round-trips across
+//! process-like boundaries (fresh `UrnStore` instances over one
+//! directory), crash recovery from a torn journal, and LRU cache
+//! behaviour under a byte budget.
+
+use motivo::core::{BuildConfig, SampleConfig};
+use motivo::graphlet::GraphletRegistry;
+use motivo::store::{
+    BuildKey, BuildStatus, Journal, ManifestRecord, StoreOptions, StoreQuery, UrnId, UrnStore,
+};
+use std::path::PathBuf;
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("motivo-store-itest-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn roundtrip_two_graphs_across_reopen() {
+    let dir = workdir("roundtrip");
+    let ba = motivo::graph::generators::barabasi_albert(250, 3, 11);
+    let er = motivo::graph::generators::erdos_renyi(250, 700, 12);
+
+    // First instance: build both urns.
+    let (ba_id, er_id, ba_total, er_total) = {
+        let store = UrnStore::open(&dir).unwrap();
+        let ba_handle = store
+            .build_or_get(&ba, &BuildConfig::new(4).seed(3))
+            .unwrap();
+        let er_handle = store
+            .build_or_get(&er, &BuildConfig::new(4).seed(4))
+            .unwrap();
+        let ba_urn = ba_handle.wait().unwrap();
+        let er_urn = er_handle.wait().unwrap();
+        // Baseline estimates straight from the first instance.
+        let mut reg = GraphletRegistry::new(4);
+        let q = StoreQuery::new(&store);
+        let a = q
+            .naive_estimates(
+                ba_handle.id(),
+                &mut reg,
+                20_000,
+                1,
+                &SampleConfig::seeded(9),
+            )
+            .unwrap();
+        (
+            ba_handle.id(),
+            er_handle.id(),
+            (ba_urn.urn().total_treelets(), a.total_count()),
+            er_urn.urn().total_treelets(),
+        )
+    };
+
+    // Fresh instance over the same directory: everything is served from
+    // disk, nothing rebuilds.
+    let store = UrnStore::open(&dir).unwrap();
+    assert_eq!(store.recovery_report().interrupted_builds, 0);
+    let urns = store.list();
+    assert_eq!(urns.len(), 2);
+    assert!(urns.iter().all(|m| m.status == BuildStatus::Built));
+
+    // Identical build requests resolve instantly to the stored urns —
+    // poll() is Some(Ok) without ever touching the build worker.
+    let again = store
+        .build_or_get(&ba, &BuildConfig::new(4).seed(3))
+        .unwrap();
+    assert_eq!(again.id(), ba_id);
+    assert!(matches!(again.poll(), Some(Ok(id)) if id == ba_id));
+
+    // Queries serve from each urn; the BA urn reproduces the exact same
+    // estimate under the same sampling seed (proof it is the same urn).
+    let q = StoreQuery::new(&store);
+    let mut reg_ba = GraphletRegistry::new(4);
+    let mut reg_er = GraphletRegistry::new(4);
+    let a = q
+        .naive_estimates(ba_id, &mut reg_ba, 20_000, 1, &SampleConfig::seeded(9))
+        .unwrap();
+    let b = q
+        .naive_estimates(er_id, &mut reg_er, 20_000, 1, &SampleConfig::seeded(9))
+        .unwrap();
+    assert!((a.total_count() - ba_total.1).abs() < 1e-9);
+    assert!(b.total_count() > 0.0);
+    assert_eq!(store.get(ba_id).unwrap().urn().total_treelets(), ba_total.0);
+    assert_eq!(store.get(er_id).unwrap().urn().total_treelets(), er_total);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_truncated_mid_entry_recovers_and_rebuilds() {
+    let dir = workdir("crash");
+    let graph = motivo::graph::generators::barabasi_albert(200, 3, 5);
+
+    // A healthy store with one finished urn.
+    {
+        let store = UrnStore::open(&dir).unwrap();
+        let h = store
+            .build_or_get(&graph, &BuildConfig::new(4).seed(1))
+            .unwrap();
+        h.wait().unwrap();
+    }
+
+    // Simulate a crash mid-build: journal a BuildStarted with no outcome,
+    // leave a half-written urn directory behind, and tear the journal tail
+    // mid-frame as an interrupted append would.
+    let crashed = UrnId(1);
+    {
+        let mut journal = Journal::open(dir.join("journal.log")).unwrap().journal;
+        let key = BuildKey {
+            fingerprint: motivo::core::graph_fingerprint(&graph),
+            k: 5,
+            seed: 2,
+            lambda_bits: None,
+            zero_rooting: true,
+        };
+        journal
+            .append(&ManifestRecord::BuildStarted { id: crashed, key }.encode())
+            .unwrap();
+    }
+    let partial_dir = dir.join("urns").join(crashed.dir_name());
+    std::fs::create_dir_all(&partial_dir).unwrap();
+    std::fs::write(partial_dir.join("level-2.mtvt"), b"half-written garbage").unwrap();
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("journal.log"))
+            .unwrap();
+        // A frame header promising 64 bytes, followed by only 5.
+        f.write_all(&64u32.to_le_bytes()).unwrap();
+        f.write_all(&0x1234_5678u32.to_le_bytes()).unwrap();
+        f.write_all(b"crash").unwrap();
+    }
+
+    // Recovery: torn tail dropped, interrupted build failed and swept.
+    let store = UrnStore::open(&dir).unwrap();
+    let report = store.recovery_report();
+    assert_eq!(report.interrupted_builds, 1);
+    assert!(report.torn_journal_bytes > 0);
+    assert!(!partial_dir.exists(), "partial urn directory must be swept");
+    let urns = store.list();
+    assert_eq!(
+        urns.iter()
+            .filter(|m| m.status == BuildStatus::Built)
+            .count(),
+        1
+    );
+    assert_eq!(
+        urns.iter().find(|m| m.id == crashed).unwrap().status,
+        BuildStatus::Failed
+    );
+
+    // The store keeps working: the interrupted build can be redone under a
+    // fresh id, and queries serve from it.
+    let cfg = BuildConfig::new(5).seed(2);
+    let h = store.build_or_get(&graph, &cfg).unwrap();
+    assert_ne!(h.id(), crashed, "failed ids are not resurrected");
+    let urn = h.wait().unwrap();
+    assert_eq!(urn.urn().k(), 5);
+
+    // gc compacts the failure away; a reopen sees a clean manifest.
+    store.gc().unwrap();
+    drop(store);
+    let store = UrnStore::open(&dir).unwrap();
+    assert!(store.list().iter().all(|m| m.status == BuildStatus::Built));
+    assert_eq!(store.recovery_report().torn_journal_bytes, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lru_cache_respects_byte_budget_and_counts_hits() {
+    let dir = workdir("cache");
+    // Three small graphs → three urns of similar size.
+    let graphs: Vec<_> = (0..3)
+        .map(|i| motivo::graph::generators::barabasi_albert(150, 3, 20 + i))
+        .collect();
+
+    let ids: Vec<UrnId> = {
+        let store = UrnStore::open(&dir).unwrap();
+        let handles: Vec<_> = graphs
+            .iter()
+            .map(|g| store.build_or_get(g, &BuildConfig::new(4).seed(6)).unwrap())
+            .collect();
+        handles.iter().for_each(|h| {
+            h.wait().unwrap();
+        });
+        handles.iter().map(|h| h.id()).collect()
+    };
+
+    // Reopen with a budget that fits one urn (urn ≈ table + graph bytes).
+    let store = UrnStore::open(&dir).unwrap();
+    let one = store.get(ids[0]).unwrap().bytes();
+    drop(store);
+    let store = UrnStore::open_with(
+        &dir,
+        StoreOptions {
+            cache_bytes: one + one / 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = StoreQuery::new(&store);
+    let mut regs: Vec<GraphletRegistry> = (0..3).map(|_| GraphletRegistry::new(4)).collect();
+    let mut run = |i: usize, q: &StoreQuery<'_>| {
+        q.naive_estimates(ids[i], &mut regs[i], 2_000, 1, &SampleConfig::seeded(1))
+            .unwrap();
+    };
+
+    run(0, &q); // miss (cold)
+    run(0, &q); // hit
+    run(0, &q); // hit
+    run(1, &q); // miss; evicts urn 0 (budget fits one)
+    run(0, &q); // miss again (was evicted)
+    run(2, &q); // miss; evicts
+    let s0 = q.stats(ids[0]);
+    assert_eq!((s0.queries, s0.cache_hits, s0.cache_misses), (4, 2, 2));
+    let s1 = q.stats(ids[1]);
+    assert_eq!((s1.cache_hits, s1.cache_misses), (0, 1));
+    let total = q.total_stats();
+    assert_eq!(total.queries, 6);
+    assert_eq!(total.cache_hits + total.cache_misses, 6);
+    assert!(total.mean_latency() > std::time::Duration::ZERO);
+
+    let cache = store.cache_stats();
+    assert!(
+        cache.evictions >= 2,
+        "expected evictions under budget, got {cache:?}"
+    );
+    assert!(cache.resident_bytes <= one + one / 2);
+    assert_eq!(cache.resident_urns, 1);
+
+    // Explicit evict drops the resident urn without touching disk.
+    assert!(store.evict(ids[2]));
+    assert_eq!(store.cache_stats().resident_urns, 0);
+    assert!(store.get(ids[2]).is_ok());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn remove_deletes_urn_and_unknown_ids_error() {
+    let dir = workdir("remove");
+    let graph = motivo::graph::generators::barabasi_albert(120, 3, 2);
+    let store = UrnStore::open(&dir).unwrap();
+    let h = store
+        .build_or_get(&graph, &BuildConfig::new(3).seed(1))
+        .unwrap();
+    h.wait().unwrap();
+    let urn_dir = dir.join("urns").join(h.id().dir_name());
+    assert!(urn_dir.exists());
+    store.remove(h.id()).unwrap();
+    assert!(!urn_dir.exists());
+    assert!(store.get(h.id()).is_err());
+    assert!(store.remove(h.id()).is_err());
+    assert!(store.get(UrnId(999)).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

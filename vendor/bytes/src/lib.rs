@@ -1,0 +1,122 @@
+//! Offline stand-in for the `bytes` crate (see vendor/README.md).
+//!
+//! Implements exactly the subset motivo uses: little-endian integer/float
+//! reads and writes through [`Buf`] on `&[u8]` and [`BufMut`] on `Vec<u8>`.
+//! Semantics match the real crate: getters advance the cursor and panic on
+//! underflow, so callers guard with [`Buf::remaining`].
+
+/// Read side: a cursor over immutable bytes.
+pub trait Buf {
+    /// Bytes left between the cursor and the end.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes into `dst` and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_u128_le(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        self.copy_to_slice(&mut b);
+        u128::from_le_bytes(b)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Appends `src` verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(7);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(0x0123_4567_89AB_CDEF);
+        v.put_u128_le(u128::MAX - 3);
+        v.put_f64_le(-1.5e300);
+        v.put_slice(b"tail");
+        let mut r = &v[..];
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 16 + 8 + 4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_u128_le(), u128::MAX - 3);
+        assert_eq!(r.get_f64_le(), -1.5e300);
+        let mut tail = [0u8; 4];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1, 2];
+        r.get_u32_le();
+    }
+}

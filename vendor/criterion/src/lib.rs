@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate (see vendor/README.md).
+//!
+//! A minimal wall-clock harness with criterion's API shape: groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. No statistics — each
+//! benchmark runs `sample_size` samples and reports min/mean per
+//! iteration, which is enough to compare the paper's configurations
+//! locally.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Runs the measured closure and accumulates timings.
+pub struct Bencher {
+    samples: usize,
+    min: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` once per sample, keeping results out of the optimizer via
+    /// [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up iteration.
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.min = self.min.min(dt);
+            self.total += dt;
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            min: Duration::MAX,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    println!(
+        "{group}/{id}: mean {mean:?}, min {:?} ({} samples)",
+        b.min, b.iters
+    );
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Criterion parses CLI flags here; the stand-in accepts and ignores
+    /// them so `cargo bench -- <filter>` doesn't error.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone())
+            .sample_size(10)
+            .bench_function("", f);
+        self
+    }
+}
+
+/// Prevents the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions under one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sums");
+        group.sample_size(3);
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, sums);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

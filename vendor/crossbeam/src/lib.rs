@@ -1,0 +1,105 @@
+//! Offline stand-in for the `crossbeam` crate (see vendor/README.md).
+//!
+//! Maps the two facilities motivo uses onto std: `thread::scope` /
+//! `Scope::spawn(|scope| …)` onto `std::thread::scope` (child panics
+//! propagate on scope exit rather than through the returned `Result`, which
+//! callers `.expect()` anyway), and `channel::bounded` onto
+//! `std::sync::mpsc::sync_channel` (same blocking-when-full semantics;
+//! single consumer, which is how the build loop uses it).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`, wrapping std's scope so
+    /// spawned closures receive the `|scope|` argument crossbeam passes.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; every spawned thread is joined before
+    /// this returns. Always `Ok` — a panicking child propagates its panic
+    /// out of `std::thread::scope` instead of surfacing as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError};
+
+    /// crossbeam's bounded sender is clonable; std's `SyncSender` is too.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// A channel that blocks senders while `cap` messages are in flight.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn bounded_channel_fans_in() {
+        let (tx, rx) = crate::channel::bounded::<u32>(2);
+        crate::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(t).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<u32> = rx.into_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `serde` crate (see vendor/README.md).
+//!
+//! Instead of serde's visitor architecture, [`Serialize`] lowers a value
+//! into the self-describing [`Content`] tree, which `serde_json` then
+//! renders. Covers the types motivo's experiment harness serializes:
+//! numbers, strings, bools, sequences, maps, and `serde_json::Value`
+//! itself.
+
+/// A serialized value, structurally (what serde calls the data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    /// Signed integers.
+    Int(i128),
+    /// Unsigned integers that exceed `i128`.
+    UInt(u128),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key order is preserved (serde_json's `preserve_order` behaviour).
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can lower themselves into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        if *self <= i128::MAX as u128 {
+            Content::Int(*self as i128)
+        } else {
+            Content::UInt(*self)
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_structurally() {
+        assert_eq!(3u32.to_content(), Content::Int(3));
+        assert_eq!(u128::MAX.to_content(), Content::UInt(u128::MAX));
+        assert_eq!((-4i64).to_content(), Content::Int(-4));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("hi".to_content(), Content::Str("hi".into()));
+        assert_eq!(
+            vec![1u8, 2].to_content(),
+            Content::Seq(vec![Content::Int(1), Content::Int(2)])
+        );
+        assert_eq!(None::<u8>.to_content(), Content::Null);
+    }
+}

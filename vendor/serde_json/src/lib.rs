@@ -1,0 +1,225 @@
+//! Offline stand-in for the `serde_json` crate (see vendor/README.md).
+//!
+//! [`Value`], the [`json!`] macro, and [`to_string_pretty`] /
+//! [`to_string`] over anything implementing the vendored
+//! `serde::Serialize`. Output is valid JSON: strings are escaped,
+//! non-finite floats render as `null` (matching serde_json's lossy
+//! `Display` behaviour for the cases motivo writes).
+
+use serde::{Content, Serialize};
+
+/// A JSON document. Thin wrapper over the serde stand-in's [`Content`]
+/// tree so `Value` and every other `Serialize` type print identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Value(pub Content);
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+/// Lowers any `Serialize` value into a [`Value`] (what `json!` uses in
+/// value position; a blanket `From` would collide with the reflexive
+/// `From<Value> for Value`).
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    Value(v.to_content())
+}
+
+/// Serialization never fails for tree values; the type exists so call
+/// sites can keep serde_json's `Result` shape.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_repr(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".into();
+    }
+    // Keep integral floats distinguishable from ints, like serde_json.
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+fn write_content(c: &Content, out: &mut String, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::Int(i) => out.push_str(&i.to_string()),
+        Content::UInt(u) => out.push_str(&u.to_string()),
+        Content::Float(f) => out.push_str(&float_repr(*f)),
+        Content::Str(s) => escape_into(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_content(item, out, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_content(v, out, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, 0, false);
+    Ok(out)
+}
+
+/// Two-space indented JSON text.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, 0, true);
+    Ok(out)
+}
+
+#[doc(hidden)]
+pub use serde::Content as __Content;
+
+/// Builds a [`Value`] from JSON-looking syntax: objects with literal-string
+/// keys, arrays, `null`, and arbitrary `Serialize` expressions in value
+/// position (array/vec expressions serialize as JSON arrays).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value($crate::__Content::Null) };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value($crate::__Content::Seq(vec![
+            $( $crate::to_value(&$elem).0 ),*
+        ]))
+    };
+    ({ $($entries:tt)* }) => {
+        $crate::__json_object!(@acc [] $($entries)*)
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Object-body muncher for [`json!`]: peels `"key": value,` pairs into an
+/// accumulator so value expressions may span multiple tokens (`a.b()`,
+/// `if c { x } else { y }`), then emits one `vec![…]` of entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    (@acc [$($done:tt)*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::__json_object!(
+            @acc [$($done)* ($key, $crate::__Content::Null),] $($($rest)*)?
+        )
+    };
+    (@acc [$($done:tt)*] $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $crate::__json_object!(
+            @acc [$($done)* ($key, $crate::to_value(&$val).0),] $($($rest)*)?
+        )
+    };
+    (@acc [$(($k:expr, $v:expr),)*]) => {
+        $crate::Value($crate::__Content::Map(vec![$(($k.to_string(), $v)),*]))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_docs() {
+        let series = vec![json!({"x": 1}), json!({"x": 2})];
+        let v = json!({
+            "name": "er-flat",
+            "nodes": 800u32,
+            "ratio": 2.5,
+            "flags": [true, false],
+            "series": series,
+            "none": null,
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\"name\":\"er-flat\",\"nodes\":800,\"ratio\":2.5,\
+             \"flags\":[true,false],\"series\":[{\"x\":1},{\"x\":2}],\"none\":null}"
+        );
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = json!({"a": [1, 2]});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1,\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        assert_eq!(to_string(&v).unwrap(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+    }
+}
