@@ -1,0 +1,31 @@
+//! Criterion benchmark of the parallel sampling engine: naive estimation
+//! wall-clock at 1/2/4/8 workers on the benchmark graph. The per-thread
+//! results are bit-identical (seed-split shards), so this measures pure
+//! scaling, not different work.
+//!
+//! ```sh
+//! cargo bench -p motivo-bench --bench scaling
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motivo_core::{build_urn, sample_tally, BuildConfig, SampleConfig};
+use motivo_graph::generators;
+
+fn bench_scaling(c: &mut Criterion) {
+    let g = generators::barabasi_albert(20_000, 4, 11);
+    let urn = build_urn(&g, &BuildConfig::new(5).seed(3)).expect("build");
+    let samples = 100_000u64;
+
+    let mut group = c.benchmark_group("parallel-naive");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let cfg = SampleConfig::seeded(1).threads(threads);
+            b.iter(|| sample_tally(&urn, samples, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -43,12 +43,12 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments <ids...|all> [--scale N] [--quick] [--threads N] [--out DIR]\n\
-             ids: t1 t2 t3 t4 f2 f3 f4 f5 f6 f7 f8 f9 f10 l1"
+             ids: t1 t2 t3 t4 f2 f3 f4 f5 f6 f7 f8 f9 f10 l1 s1"
         );
         std::process::exit(2);
     }
     let all = [
-        "t1", "t2", "t3", "t4", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "l1",
+        "t1", "t2", "t3", "t4", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "l1", "s1",
     ];
     let run: Vec<&str> = if ids.iter().any(|i| i == "all") {
         all.to_vec()
@@ -67,6 +67,7 @@ fn main() {
             "f6" => f6(&ctx),
             "f7" => f7(&ctx),
             "f8" | "f9" | "f10" | "l1" => accuracy_experiments(&ctx, id),
+            "s1" => s1(&ctx),
             other => eprintln!("unknown experiment id: {other}"),
         }
     }
@@ -402,6 +403,7 @@ fn f5(ctx: &Ctx) {
                 buffering,
                 buffer_threshold: 512,
                 buffer_batch: 100,
+                ..SampleConfig::default()
             };
             let mut smp = Sampler::new(&urn, sc);
             timed_rate(|| {
@@ -657,4 +659,53 @@ fn accuracy_experiments(ctx: &Ctx, which: &str) {
         _ => {}
     }
     ctx.save_json(&format!("{which}_accuracy"), &artifacts);
+}
+
+/// S1: scaling of the parallel naive sampling engine — wall-clock and
+/// speedup at 1/2/4/8 workers on the benchmark graph. Thanks to the
+/// seed-split shard scheme the per-thread tallies are bit-identical, so
+/// the rows measure pure scheduling, not different sample streams.
+fn s1(ctx: &Ctx) {
+    let g = generators::barabasi_albert(20_000 * ctx.scale, 4, 11);
+    let k = 5;
+    let samples = if ctx.quick { 50_000 } else { 200_000 } * ctx.scale as u64;
+    let cfg = BuildConfig {
+        threads: ctx.threads,
+        ..BuildConfig::new(k)
+    }
+    .seed(3);
+    let urn = build_urn(&g, &cfg).expect("build");
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    let mut base_secs = 0.0;
+    let mut baseline_tally = None;
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let (tally, _) =
+            motivo_core::sample_tally(&urn, samples, &SampleConfig::seeded(1).threads(threads));
+        let secs = t0.elapsed().as_secs_f64();
+        match &baseline_tally {
+            None => {
+                base_secs = secs;
+                baseline_tally = Some(tally);
+            }
+            Some(base) => assert_eq!(base, &tally, "seed-split determinism violated"),
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", samples as f64 / secs),
+            format!("{:.2}x", base_secs / secs),
+        ]);
+        artifacts.push(json!({
+            "threads": threads, "samples": samples, "secs": secs,
+            "speedup": base_secs / secs,
+        }));
+    }
+    print_table(
+        "S1: parallel naive sampling scaling (bit-identical tallies per row)",
+        &["threads", "secs", "samples/s", "speedup"],
+        &rows,
+    );
+    ctx.save_json("s1_scaling", &artifacts);
 }

@@ -66,7 +66,7 @@ pub fn ground_truth(g: &Graph, k: u32, base_seed: u64) -> GroundTruth {
             Err(_) => continue,
         };
         let est = if r % 2 == 0 {
-            naive_estimates(&urn, &mut registry, budget, 0, &SampleConfig::seeded(r))
+            naive_estimates(&urn, &mut registry, budget, &SampleConfig::seeded(r))
         } else {
             ags(
                 &urn,

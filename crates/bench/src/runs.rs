@@ -59,8 +59,7 @@ pub fn naive_run(urn: &Urn<'_>, samples: u64, threads: usize, seed: u64) -> RunO
         urn,
         &mut registry,
         samples,
-        threads,
-        &SampleConfig::seeded(seed),
+        &SampleConfig::seeded(seed).threads(threads),
     );
     RunOutput::from_estimates(&est, &registry)
 }
@@ -73,6 +72,7 @@ pub fn ags_run(urn: &Urn<'_>, samples: u64, c_bar: u64, seed: u64) -> RunOutput 
         max_samples: samples,
         idle_limit: (samples / 4).max(10_000),
         sample: SampleConfig::seeded(seed),
+        ..AgsConfig::default()
     };
     let res = ags(urn, &mut registry, &cfg);
     RunOutput::from_estimates(&res.estimates, &registry)

@@ -26,13 +26,23 @@
 
 use crate::bounds::ags_cover_threshold;
 use crate::naive::{Estimates, GraphletEstimate};
+use crate::parallel::{merge_tallies, run_sharded, shard_sizes, split_seed, AGS_SHARD_SAMPLES};
 use crate::sample::{SampleConfig, Sampler};
 use crate::urn::Urn;
-use motivo_graphlet::{Graphlet, GraphletRegistry};
+use motivo_graphlet::{CanonicalCache, Graphlet, GraphletRegistry};
 use motivo_table::AliasTable;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// AGS configuration.
+///
+/// ```
+/// use motivo_core::AgsConfig;
+///
+/// // ε = 0.1, δ = 0.01 multiplicative guarantee over ≤ 100 classes.
+/// let cfg = AgsConfig::with_guarantee(0.1, 0.01, 100);
+/// assert!(cfg.c_bar >= 1000); // Theorem 4: c̄ ≥ (4/ε²) ln(2s/δ)
+/// ```
 #[derive(Clone, Debug)]
 pub struct AgsConfig {
     /// Covering threshold `c̄`: samples of a class before it is "deleted"
@@ -43,7 +53,14 @@ pub struct AgsConfig {
     /// Stop early when every discovered class is covered and no new class
     /// has appeared for this many samples.
     pub idle_limit: u64,
-    /// Embedding-sampler knobs.
+    /// Samples per coordinator epoch. Workers draw this many samples
+    /// against the frozen shape choice before the coordinator merges
+    /// tallies, re-checks coverage, and performs the greedy switch. Smaller
+    /// epochs react faster; larger epochs parallelize wider. Must not
+    /// depend on the thread count (it is part of the deterministic stream
+    /// layout).
+    pub epoch: u64,
+    /// Embedding-sampler knobs, including the `threads` worker count.
     pub sample: SampleConfig,
 }
 
@@ -53,6 +70,7 @@ impl Default for AgsConfig {
             c_bar: 1000,
             max_samples: 1_000_000,
             idle_limit: 50_000,
+            epoch: 2_048,
             sample: SampleConfig::default(),
         }
     }
@@ -66,6 +84,12 @@ impl AgsConfig {
             c_bar: ags_cover_threshold(eps, delta, s),
             ..AgsConfig::default()
         }
+    }
+
+    /// Sets the worker-thread count (`0` = all cores).
+    pub fn threads(mut self, threads: usize) -> AgsConfig {
+        self.sample.threads = threads;
+        self
     }
 }
 
@@ -82,8 +106,33 @@ pub struct AgsResult {
 }
 
 /// Runs AGS against an urn, growing `registry` with every class discovered.
+///
+/// The engine is **epoch-based**: workers draw fixed-size sample batches
+/// against the epoch's frozen shape choice `T_j` (one [`Sampler`] per
+/// logical shard on its own [`split_seed`] stream), and the coordinator
+/// merges the shard tallies in shard order, classifies new codes in
+/// ascending code order, re-checks coverage, and performs the greedy shape
+/// switch of §4 between epochs. The switch granularity moves from one
+/// sample to one epoch, but the set-cover semantics — and the Theorem 4/6
+/// estimator guarantees, which only depend on the per-shape usage counts —
+/// are preserved; see DESIGN.md §5.3. For a fixed seed the result is
+/// bit-identical at any `cfg.sample.threads`.
+///
+/// ```
+/// use motivo_core::{ags, build_urn, AgsConfig, BuildConfig};
+/// use motivo_graphlet::GraphletRegistry;
+///
+/// let g = motivo_graph::generators::complete_graph(16);
+/// let urn = build_urn(&g, &BuildConfig::new(4).seed(7)).unwrap();
+/// let mut registry = GraphletRegistry::new(4);
+/// let cfg = AgsConfig { max_samples: 4_000, idle_limit: 1_000, ..AgsConfig::default() };
+/// let res = ags(&urn, &mut registry, &cfg);
+/// assert!(res.estimates.total_count() > 0.0);
+/// assert_eq!(res.shape_usage.iter().sum::<u64>(), res.estimates.samples);
+/// ```
 pub fn ags(urn: &Urn<'_>, registry: &mut GraphletRegistry, cfg: &AgsConfig) -> AgsResult {
     assert_eq!(registry.k() as u32, urn.k(), "registry k must match urn k");
+    assert!(cfg.epoch > 0, "epoch must be positive");
     let start = Instant::now();
     let g = urn.graph();
     let k = urn.k();
@@ -104,7 +153,20 @@ pub fn ags(urn: &Urn<'_>, registry: &mut GraphletRegistry, cfg: &AgsConfig) -> A
         .expect("at least one shape");
     assert!(r[j] > 0, "urn is nonempty");
     let mut alias = AliasTable::from_u128(&urn.shape_vertex_totals(shapes[j]));
-    let mut sampler = Sampler::new(urn, cfg.sample.clone());
+
+    // RNG stream id of (epoch, shard): `epoch · stride + shard`. An epoch
+    // larger than `stride · AGS_SHARD_SAMPLES` samples would spill shard
+    // ids into the next epoch's stream range and silently duplicate RNG
+    // streams, so reject it outright (2³² samples per epoch is far beyond
+    // any sane configuration anyway).
+    const STREAMS_PER_EPOCH: u64 = 1 << 24;
+    assert!(
+        cfg.epoch <= STREAMS_PER_EPOCH * AGS_SHARD_SAMPLES,
+        "epoch of {} samples exceeds the RNG stream budget ({})",
+        cfg.epoch,
+        STREAMS_PER_EPOCH * AGS_SHARD_SAMPLES
+    );
+    let mut epoch_index = 0u64;
 
     while samples < cfg.max_samples {
         // Early exit: everything known is covered and discovery has dried up.
@@ -114,27 +176,61 @@ pub fn ags(urn: &Urn<'_>, registry: &mut GraphletRegistry, cfg: &AgsConfig) -> A
         {
             break;
         }
-        let verts = sampler.sample_copy_of_shape(shapes[j], &alias);
-        usage[j] += 1;
-        samples += 1;
-        let raw = Graphlet::from_rows(&g.induced_rows(&verts));
-        let idx = registry.classify(&raw);
-        if idx >= counts.len() {
-            counts.resize(registry.len(), 0);
-            covered.resize(registry.len(), false);
-            last_discovery = samples;
-        }
-        counts[idx] += 1;
-        if !covered[idx] && counts[idx] >= cfg.c_bar {
-            covered[idx] = true;
-            covered_count += 1;
-            // Greedy switch: minimize the covered-mass probability.
-            let new_j = best_shape(registry, &counts, &covered, &usage, &r, k);
-            if new_j != j {
-                j = new_j;
-                alias = AliasTable::from_u128(&urn.shape_vertex_totals(shapes[j]));
+
+        // Workers: draw this epoch's batch against the frozen shape.
+        let budget = cfg.epoch.min(cfg.max_samples - samples);
+        let sizes = shard_sizes(budget, AGS_SHARD_SAMPLES);
+        let shape = shapes[j];
+        let alias_ref = &alias;
+        let tallies = run_sharded(sizes.len(), cfg.sample.threads, |shard| {
+            let scfg = SampleConfig {
+                seed: split_seed(
+                    cfg.sample.seed,
+                    epoch_index * STREAMS_PER_EPOCH + shard as u64,
+                ),
+                ..cfg.sample.clone()
+            };
+            let mut sampler = Sampler::new(urn, scfg);
+            let mut cache = CanonicalCache::new();
+            let mut tally: HashMap<u128, u64> = HashMap::new();
+            for _ in 0..sizes[shard] {
+                let verts = sampler.sample_copy_of_shape(shape, alias_ref);
+                let raw = Graphlet::from_rows(&g.induced_rows(&verts));
+                *tally.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
             }
-            switches += 1;
+            tally
+        });
+        epoch_index += 1;
+        usage[j] += budget;
+        samples += budget;
+
+        // Coordinator: merge in shard order, classify in ascending code
+        // order (keeps registry indices deterministic), update coverage.
+        let mut by_code: Vec<(u128, u64)> = merge_tallies(tallies).into_iter().collect();
+        by_code.sort_unstable_by_key(|&(code, _)| code);
+        for (code, n) in by_code {
+            let raw = Graphlet::from_code(code).expect("valid canonical code");
+            let idx = registry.classify(&raw);
+            if idx >= counts.len() {
+                counts.resize(registry.len(), 0);
+                covered.resize(registry.len(), false);
+                last_discovery = samples;
+            }
+            counts[idx] += n;
+        }
+        // Greedy switch per newly covered class, in ascending class order —
+        // the serial rule at epoch granularity.
+        for idx in 0..counts.len() {
+            if !covered[idx] && counts[idx] >= cfg.c_bar {
+                covered[idx] = true;
+                covered_count += 1;
+                let new_j = best_shape(registry, &counts, &covered, &usage, &r, k);
+                if new_j != j {
+                    j = new_j;
+                    alias = AliasTable::from_u128(&urn.shape_vertex_totals(shapes[j]));
+                }
+                switches += 1;
+            }
         }
     }
 
@@ -263,6 +359,7 @@ mod tests {
                         max_samples: 1_000,
                         idle_limit: 300,
                         sample: SampleConfig::seeded(seed + 50),
+                        ..AgsConfig::default()
                     };
                     let res = ags(&urn, &mut registry, &ags_cfg);
                     acc += res.estimates.total_count();
@@ -305,19 +402,15 @@ mod tests {
         let urn = build_urn(&g, &cfg).unwrap();
 
         let mut reg_naive = GraphletRegistry::new(k as u8);
-        let naive = crate::naive::naive_estimates(
-            &urn,
-            &mut reg_naive,
-            budget,
-            1,
-            &SampleConfig::seeded(2),
-        );
+        let naive =
+            crate::naive::naive_estimates(&urn, &mut reg_naive, budget, &SampleConfig::seeded(2));
         let mut reg_ags = GraphletRegistry::new(k as u8);
         let ags_cfg = AgsConfig {
             c_bar: 500,
             max_samples: budget,
             idle_limit: 10_000,
             sample: SampleConfig::seeded(2),
+            ..AgsConfig::default()
         };
         let res = ags(&urn, &mut reg_ags, &ags_cfg);
 
@@ -345,6 +438,46 @@ mod tests {
                 .fold(f64::INFINITY, f64::min)
         };
         assert!(min_f(&res.estimates) < min_f(&naive));
+    }
+
+    /// The epoch engine is bit-identical across thread counts: shards and
+    /// their seeds depend only on the budget and the base seed.
+    #[test]
+    fn ags_is_bit_identical_across_threads() {
+        let g = generators::barabasi_albert(200, 3, 4);
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(4)
+        }
+        .seed(3);
+        let urn = build_urn(&g, &cfg).unwrap();
+        let run = |threads: usize| {
+            let mut registry = GraphletRegistry::new(4);
+            let acfg = AgsConfig {
+                c_bar: 200,
+                max_samples: 10_000,
+                idle_limit: 2_000,
+                sample: SampleConfig::seeded(9).threads(threads),
+                ..AgsConfig::default()
+            };
+            let res = ags(&urn, &mut registry, &acfg);
+            let classes: Vec<(usize, u64, u64)> = res
+                .estimates
+                .per_graphlet
+                .iter()
+                .map(|e| (e.index, e.occurrences, e.count.to_bits()))
+                .collect();
+            (
+                res.estimates.samples,
+                res.switches,
+                res.shape_usage,
+                classes,
+            )
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_eq!(base, run(threads), "AGS diverged at {threads} threads");
+        }
     }
 
     /// Importance weights are consistent: a class observed only via shape j
@@ -395,6 +528,7 @@ mod tests {
                 max_samples: 30_000,
                 idle_limit: 8_000,
                 sample: SampleConfig::seeded(seed + 4),
+                ..AgsConfig::default()
             };
             let res = ags(&urn, &mut registry, &ags_cfg);
             let path_idx = registry.classify(&motivo_graphlet::path(4));

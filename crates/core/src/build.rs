@@ -28,6 +28,16 @@ pub enum ColoringSpec {
 }
 
 /// Configuration of the build-up phase.
+///
+/// ```
+/// use motivo_core::{build_urn, BuildConfig};
+///
+/// let cfg = BuildConfig::new(4).seed(7).threads(2);
+/// let g = motivo_graph::generators::complete_graph(16);
+/// let urn = build_urn(&g, &cfg).unwrap();
+/// assert_eq!(urn.k(), 4);
+/// assert!(urn.total_treelets() > 0);
+/// ```
 #[derive(Clone, Debug)]
 pub struct BuildConfig {
     /// Graphlet size `k ∈ [2, 16]`.

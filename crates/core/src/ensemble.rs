@@ -15,10 +15,11 @@ use crate::ags::{ags, AgsConfig};
 use crate::build::{build_urn, BuildConfig};
 use crate::error::BuildError;
 use crate::naive::naive_estimates;
+use crate::parallel::{fan_out_width, resolved_threads, run_sharded};
 use crate::sample::SampleConfig;
 use crate::stats::percentile;
 use motivo_graph::Graph;
-use motivo_graphlet::GraphletRegistry;
+use motivo_graphlet::{Graphlet, GraphletRegistry};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -48,7 +49,10 @@ pub struct EnsembleConfig {
     pub runs: u64,
     /// Base RNG seed; run `i` uses `base_seed + i`.
     pub base_seed: u64,
-    /// Worker threads per run (0 = all cores).
+    /// Worker threads (`0` = all cores). Runs execute concurrently across
+    /// this many workers; when only one run can be in flight the threads go
+    /// to the run's build and sampling instead. Results are identical
+    /// either way — the knob only changes wall-clock.
     pub threads: usize,
     /// Estimator per run.
     pub estimator: Estimator,
@@ -132,82 +136,149 @@ impl EnsembleResult {
     }
 }
 
-/// Runs the full ensemble protocol. Classes discovered by any run are
-/// registered in `registry`; per-run estimates are aggregated per class.
+/// One run's contribution, produced inside a worker with a run-local
+/// registry so runs never contend on the caller's. Class estimates travel
+/// as canonical codes; the coordinator re-classifies them in run order.
+enum RunOutcome {
+    /// The coloring produced an empty urn (a legitimate zero estimate).
+    Empty,
+    /// The build itself failed.
+    Failed(BuildError),
+    /// A usable estimate.
+    Done {
+        /// `(canonical code, estimated count, occurrences)` in ascending
+        /// local-index order (deterministic; see `estimates_from_tally`).
+        per_class: Vec<(u128, f64, u64)>,
+        build: Duration,
+        sample: Duration,
+        samples: u64,
+    },
+}
+
+/// Runs the full ensemble protocol: the colorings are **independent by
+/// construction**, so they are estimated concurrently across
+/// `cfg.threads` workers (run `r` is a logical shard; results merge in run
+/// order, so output is bit-identical at any thread count). Classes
+/// discovered by any run are registered in `registry`; per-run estimates
+/// are aggregated per class.
 ///
 /// Returns an error only if *every* run fails to build (e.g. `k` too large
 /// for the graph); empty-urn colorings are counted and skipped, each
 /// contributing a zero estimate to the means.
+///
+/// ```
+/// use motivo_core::{ensemble, EnsembleConfig};
+/// use motivo_graphlet::GraphletRegistry;
+///
+/// let g = motivo_graph::generators::complete_graph(6);
+/// let mut registry = GraphletRegistry::new(3);
+/// let cfg = EnsembleConfig { runs: 8, ..EnsembleConfig::naive(3, 1_000) };
+/// let res = ensemble(&g, &mut registry, &cfg).unwrap();
+/// assert_eq!(res.effective_runs + res.empty_urns, 8);
+/// assert!(res.total_count() > 0.0); // ≈ 20 triangles on K6
+/// ```
 pub fn ensemble(
     g: &Graph,
     registry: &mut GraphletRegistry,
     cfg: &EnsembleConfig,
 ) -> Result<EnsembleResult, BuildError> {
     assert!(cfg.runs >= 1);
+    let k = cfg.build.k;
+    // Runs are the outer parallelism; the thread budget left over after
+    // fanning out across runs goes to each run's build and sampling (e.g.
+    // 2 runs on 8 threads → 4 inner threads each). Results do not depend
+    // on either knob, only wall-clock does.
+    let outer = fan_out_width(cfg.runs as usize, cfg.threads);
+    let inner = (resolved_threads(cfg.threads) / outer).max(1);
+    let outcomes = run_sharded(cfg.runs as usize, cfg.threads, |shard| {
+        let r = shard as u64;
+        let mut bcfg = cfg.build.clone();
+        bcfg.seed = cfg.base_seed + r;
+        bcfg.threads = inner;
+        let urn = match build_urn(g, &bcfg) {
+            Ok(u) => u,
+            Err(BuildError::EmptyUrn) => return RunOutcome::Empty,
+            Err(e) => return RunOutcome::Failed(e),
+        };
+        let mut local = GraphletRegistry::new(k as u8);
+        let sample_cfg = SampleConfig::seeded(cfg.base_seed + 7000 + r).threads(inner);
+        let est = match &cfg.estimator {
+            Estimator::Naive { samples } => {
+                naive_estimates(&urn, &mut local, *samples, &sample_cfg)
+            }
+            Estimator::Ags(acfg) => {
+                let mut acfg = acfg.clone();
+                acfg.sample = SampleConfig {
+                    seed: sample_cfg.seed,
+                    threads: inner,
+                    ..acfg.sample
+                };
+                ags(&urn, &mut local, &acfg).estimates
+            }
+            Estimator::Mixed { samples, c_bar } => {
+                if r.is_multiple_of(2) {
+                    naive_estimates(&urn, &mut local, *samples, &sample_cfg)
+                } else {
+                    let acfg = AgsConfig {
+                        c_bar: *c_bar,
+                        max_samples: *samples,
+                        sample: sample_cfg,
+                        ..AgsConfig::default()
+                    };
+                    ags(&urn, &mut local, &acfg).estimates
+                }
+            }
+        };
+        let per_class = est
+            .per_graphlet
+            .iter()
+            .map(|e| {
+                let code = local.info(e.index).graphlet.code();
+                (code, e.count, e.occurrences)
+            })
+            .collect();
+        RunOutcome::Done {
+            per_class,
+            build: urn.build_stats().total,
+            sample: est.elapsed,
+            samples: est.samples,
+        }
+    });
+
+    // Coordinator: fold outcomes in run order, classifying codes into the
+    // caller's registry (index assignment is therefore deterministic).
     let mut per_run: Vec<HashMap<usize, (f64, u64)>> = Vec::new();
     let mut build_time = Duration::ZERO;
     let mut sample_time = Duration::ZERO;
     let mut samples = 0u64;
     let mut empty_urns = 0u64;
     let mut last_err = None;
-    for r in 0..cfg.runs {
-        let mut bcfg = cfg.build.clone();
-        bcfg.seed = cfg.base_seed + r;
-        bcfg.threads = cfg.threads;
-        let urn = match build_urn(g, &bcfg) {
-            Ok(u) => u,
-            Err(BuildError::EmptyUrn) => {
+    for outcome in outcomes {
+        match outcome {
+            RunOutcome::Empty => {
                 empty_urns += 1;
                 per_run.push(HashMap::new());
-                continue;
             }
-            Err(e) => {
-                last_err = Some(e);
-                continue;
+            RunOutcome::Failed(e) => last_err = Some(e),
+            RunOutcome::Done {
+                per_class,
+                build,
+                sample,
+                samples: n,
+            } => {
+                build_time += build;
+                sample_time += sample;
+                samples += n;
+                let run_map: HashMap<usize, (f64, u64)> = per_class
+                    .into_iter()
+                    .map(|(code, count, occ)| {
+                        let graphlet = Graphlet::from_code(code).expect("valid canonical code");
+                        (registry.classify(&graphlet), (count, occ))
+                    })
+                    .collect();
+                per_run.push(run_map);
             }
-        };
-        build_time += urn.build_stats().total;
-        let est = match &cfg.estimator {
-            Estimator::Naive { samples } => naive_estimates(
-                &urn,
-                registry,
-                *samples,
-                cfg.threads,
-                &SampleConfig::seeded(cfg.base_seed + 7000 + r),
-            ),
-            Estimator::Ags(acfg) => {
-                let mut acfg = acfg.clone();
-                acfg.sample.seed = cfg.base_seed + 7000 + r;
-                ags(&urn, registry, &acfg).estimates
-            }
-            Estimator::Mixed { samples, c_bar } => {
-                if r % 2 == 0 {
-                    naive_estimates(
-                        &urn,
-                        registry,
-                        *samples,
-                        cfg.threads,
-                        &SampleConfig::seeded(cfg.base_seed + 7000 + r),
-                    )
-                } else {
-                    let acfg = AgsConfig {
-                        c_bar: *c_bar,
-                        max_samples: *samples,
-                        sample: SampleConfig::seeded(cfg.base_seed + 7000 + r),
-                        ..AgsConfig::default()
-                    };
-                    ags(&urn, registry, &acfg).estimates
-                }
-            }
-        };
-        sample_time += est.elapsed;
-        samples += est.samples;
-        let run_map: HashMap<usize, (f64, u64)> = est
-            .per_graphlet
-            .iter()
-            .map(|e| (e.index, (e.count, e.occurrences)))
-            .collect();
-        per_run.push(run_map);
+        }
     }
     if per_run.is_empty() {
         return Err(last_err.unwrap_or(BuildError::EmptyUrn));

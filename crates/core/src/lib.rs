@@ -18,12 +18,17 @@
 //! let graph = generators::barabasi_albert(500, 3, 7);
 //! let urn = build_urn(&graph, &BuildConfig::new(4).seed(1)).unwrap();
 //! let mut registry = GraphletRegistry::new(4);
-//! let estimates = naive_estimates(&urn, &mut registry, 50_000, 2, &SampleConfig::seeded(2));
+//! let estimates = naive_estimates(&urn, &mut registry, 50_000, &SampleConfig::seeded(2).threads(2));
 //! assert!(estimates.total_count() > 0.0);
 //! ```
 //!
-//! For skewed graphlet distributions, swap the last step for [`ags`] to get
-//! multiplicative accuracy on rare classes too.
+//! For skewed graphlet distributions, swap the last step for [`ags()`] to
+//! get multiplicative accuracy on rare classes too.
+//!
+//! Every estimator fans out across `threads` workers by cutting the work
+//! into logical shards with deterministically split RNG streams
+//! ([`parallel`]); for a fixed seed the results are bit-identical at any
+//! thread count.
 
 pub mod ags;
 pub mod bounds;
@@ -32,6 +37,7 @@ pub mod checksum;
 pub mod ensemble;
 pub mod error;
 pub mod naive;
+pub mod parallel;
 pub mod persist;
 pub mod sample;
 pub mod stats;

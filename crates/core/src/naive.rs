@@ -14,6 +14,7 @@
 //! Both are unbiased. The expected samples to *witness* `H_i` at all grow
 //! as `t/(c_i σ_i)` — the additive-error barrier AGS breaks.
 
+use crate::parallel::{merge_tallies, run_sharded, shard_sizes, split_seed, NAIVE_SHARD_SAMPLES};
 use crate::sample::{SampleConfig, Sampler};
 use crate::urn::Urn;
 use motivo_graphlet::{CanonicalCache, Graphlet, GraphletRegistry};
@@ -65,56 +66,48 @@ impl Estimates {
     }
 }
 
-/// Draws `samples` copies across `threads` threads and tallies canonical
-/// graphlet codes. Classification is thread-local (memoized canonicalizer);
-/// registry resolution happens afterwards, single-threaded.
+/// Draws `samples` copies across `cfg.threads` worker threads and tallies
+/// canonical graphlet codes. Classification is shard-local (memoized
+/// canonicalizer); registry resolution happens afterwards, single-threaded.
+///
+/// The workload is cut into logical shards of [`NAIVE_SHARD_SAMPLES`]
+/// samples; shard `i` runs its own [`Sampler`] on the RNG stream
+/// `split_seed(cfg.seed, i)` and shard tallies are merged in ascending
+/// shard order. Both the shard layout and the seeds depend only on
+/// `(samples, cfg.seed)`, so for a fixed seed the tally is **bit-identical
+/// at any thread count** — threads only change wall-clock.
 pub fn sample_tally(
     urn: &Urn<'_>,
     samples: u64,
-    threads: usize,
     cfg: &SampleConfig,
 ) -> (HashMap<u128, u64>, Duration) {
-    let threads = threads.max(1) as u64;
     let start = Instant::now();
     let g = urn.graph();
-    let tallies = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let share = samples / threads + u64::from(t < samples % threads);
-            let cfg = SampleConfig {
-                seed: cfg.seed.wrapping_add(t * 0x9E37),
-                ..cfg.clone()
-            };
-            handles.push(scope.spawn(move |_| {
-                let mut sampler = Sampler::new(urn, cfg);
-                let mut cache = CanonicalCache::new();
-                let mut tally: HashMap<u128, u64> = HashMap::new();
-                for _ in 0..share {
-                    let verts = sampler.sample_copy();
-                    let rows = g.induced_rows(&verts);
-                    let raw = Graphlet::from_rows(&rows);
-                    *tally.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
-                }
-                tally
-            }));
+    let sizes = shard_sizes(samples, NAIVE_SHARD_SAMPLES);
+    let tallies = run_sharded(sizes.len(), cfg.threads, |shard| {
+        let shard_cfg = SampleConfig {
+            seed: split_seed(cfg.seed, shard as u64),
+            ..cfg.clone()
+        };
+        let mut sampler = Sampler::new(urn, shard_cfg);
+        let mut cache = CanonicalCache::new();
+        let mut tally: HashMap<u128, u64> = HashMap::new();
+        for _ in 0..sizes[shard] {
+            let verts = sampler.sample_copy();
+            let rows = g.induced_rows(&verts);
+            let raw = Graphlet::from_rows(&rows);
+            *tally.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sampler thread panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("sampling scope panicked");
-
-    let mut merged: HashMap<u128, u64> = HashMap::new();
-    for t in tallies {
-        for (code, n) in t {
-            *merged.entry(code).or_insert(0) += n;
-        }
-    }
-    (merged, start.elapsed())
+        tally
+    });
+    (merge_tallies(tallies), start.elapsed())
 }
 
 /// Turns a canonical-code tally into per-class estimates.
+///
+/// Codes are classified in ascending order so that the registry indices a
+/// fresh registry assigns — and hence the whole [`Estimates`] value — are a
+/// pure function of the tally, not of hash-map iteration order.
 pub fn estimates_from_tally(
     urn: &Urn<'_>,
     registry: &mut GraphletRegistry,
@@ -124,8 +117,10 @@ pub fn estimates_from_tally(
 ) -> Estimates {
     let t = urn.total_treelets() as f64;
     let p_k = urn.p_colorful();
-    let mut per_graphlet = Vec::with_capacity(tally.len());
-    for (&code, &occ) in tally {
+    let mut sorted: Vec<(u128, u64)> = tally.iter().map(|(&c, &o)| (c, o)).collect();
+    sorted.sort_unstable_by_key(|&(c, _)| c);
+    let mut per_graphlet = Vec::with_capacity(sorted.len());
+    for (code, occ) in sorted {
         let g = Graphlet::from_code(code).expect("valid canonical code");
         let index = registry.classify(&g);
         let sigma = registry.info(index).spanning_trees as f64;
@@ -153,15 +148,28 @@ pub fn estimates_from_tally(
     }
 }
 
-/// End-to-end naive estimation: sample, classify, estimate.
+/// End-to-end naive estimation: sample, classify, estimate. Parallelism
+/// comes from `cfg.threads` (`0` = all cores); see [`sample_tally`] for the
+/// determinism guarantee.
+///
+/// ```
+/// use motivo_core::{build_urn, naive_estimates, BuildConfig, SampleConfig};
+/// use motivo_graphlet::GraphletRegistry;
+///
+/// let g = motivo_graph::generators::complete_graph(6);
+/// let urn = build_urn(&g, &BuildConfig::new(3).seed(1)).unwrap();
+/// let mut registry = GraphletRegistry::new(3);
+/// let est = naive_estimates(&urn, &mut registry, 5_000, &SampleConfig::seeded(2).threads(2));
+/// assert_eq!(est.samples, 5_000);
+/// assert!(est.total_count() > 0.0); // K6 is all triangles at k = 3
+/// ```
 pub fn naive_estimates(
     urn: &Urn<'_>,
     registry: &mut GraphletRegistry,
     samples: u64,
-    threads: usize,
     cfg: &SampleConfig,
 ) -> Estimates {
-    let (tally, elapsed) = sample_tally(urn, samples, threads, cfg);
+    let (tally, elapsed) = sample_tally(urn, samples, cfg);
     estimates_from_tally(urn, registry, &tally, samples, elapsed)
 }
 
@@ -195,7 +203,6 @@ mod tests {
                         &urn,
                         &mut registry,
                         500,
-                        1,
                         &SampleConfig::seeded(seed + 100),
                     );
                     acc += est.total_count();
@@ -221,7 +228,7 @@ mod tests {
             }
             .seed(seed);
             let urn = build_urn(&g, &cfg).unwrap();
-            let est = naive_estimates(&urn, &mut registry, 2_000, 1, &SampleConfig::seeded(seed));
+            let est = naive_estimates(&urn, &mut registry, 2_000, &SampleConfig::seeded(seed));
             assert_eq!(est.per_graphlet.len(), 1, "only the path class exists");
             acc += est.total_count();
         }
@@ -244,7 +251,12 @@ mod tests {
         .seed(7);
         let urn = build_urn(&g, &cfg).unwrap();
         let mut registry = GraphletRegistry::new(4);
-        let est = naive_estimates(&urn, &mut registry, 20_000, 2, &SampleConfig::seeded(3));
+        let est = naive_estimates(
+            &urn,
+            &mut registry,
+            20_000,
+            &SampleConfig::seeded(3).threads(2),
+        );
         let fsum: f64 = est.per_graphlet.iter().map(|e| e.frequency).sum();
         assert!((fsum - 1.0).abs() < 1e-9);
         assert!(est.total_count() > 0.0);
@@ -253,9 +265,10 @@ mod tests {
         assert_eq!(occ_sum, 20_000);
     }
 
-    /// Multi-threaded tallies agree with single-threaded in distribution.
+    /// Seed-split determinism: for a fixed seed, the tally is bit-identical
+    /// no matter how many OS threads execute the shards.
     #[test]
-    fn threading_is_sound() {
+    fn threading_is_bit_identical() {
         let g = generators::erdos_renyi(200, 600, 9);
         let cfg = BuildConfig {
             threads: 2,
@@ -263,20 +276,14 @@ mod tests {
         }
         .seed(2);
         let urn = build_urn(&g, &cfg).unwrap();
-        let (t1, _) = sample_tally(&urn, 30_000, 1, &SampleConfig::seeded(5));
-        let (t4, _) = sample_tally(&urn, 30_000, 4, &SampleConfig::seeded(6));
+        let tally =
+            |threads| sample_tally(&urn, 30_000, &SampleConfig::seeded(5).threads(threads)).0;
+        let t1 = tally(1);
         assert_eq!(t1.values().sum::<u64>(), 30_000);
-        assert_eq!(t4.values().sum::<u64>(), 30_000);
-        // Same dominant class with similar mass.
-        let top = |t: &HashMap<u128, u64>| {
-            t.iter()
-                .max_by_key(|(_, &n)| n)
-                .map(|(&c, &n)| (c, n))
-                .unwrap()
-        };
-        let (c1, n1) = top(&t1);
-        let (c4, n4) = top(&t4);
-        assert_eq!(c1, c4);
-        assert!((n1 as f64 - n4 as f64).abs() / 30_000.0 < 0.05);
+        for threads in [2, 4, 8] {
+            assert_eq!(t1, tally(threads), "tally diverged at {threads} threads");
+        }
+        // A different seed draws a genuinely different sample.
+        assert_ne!(t1, sample_tally(&urn, 30_000, &SampleConfig::seeded(6)).0);
     }
 }

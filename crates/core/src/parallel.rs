@@ -1,0 +1,199 @@
+//! Deterministic fan-out for the sampling phase.
+//!
+//! The build-up phase has been parallel since the seed (§3.3); this module
+//! gives the *sampling* side the same treatment without giving up
+//! reproducibility. The trick is to decouple the unit of parallelism from
+//! the OS thread: work is cut into **logical shards** whose number and
+//! seeds depend only on the workload and the base seed — never on how many
+//! threads happen to execute them. Threads pull shard indices from an
+//! atomic counter, each shard runs on a private RNG stream derived with
+//! [`split_seed`], and results are merged in ascending shard order. For a
+//! fixed seed the output is therefore bit-identical at 1, 2, or 64
+//! threads; the thread count only changes wall-clock.
+//!
+//! See DESIGN.md §5 ("Parallel sampling") for the full scheme and why it
+//! preserves the paper's estimator guarantees.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Samples per logical shard in the naive estimator. Small enough that a
+/// typical request (≥ 10⁵ samples) splits into dozens of shards for load
+/// balancing, large enough that per-shard sampler setup is noise.
+pub const NAIVE_SHARD_SAMPLES: u64 = 4_096;
+
+/// Samples per logical shard within one AGS epoch. Epochs are short (the
+/// coordinator wants to react to coverage quickly), so shards are too.
+pub const AGS_SHARD_SAMPLES: u64 = 256;
+
+/// Derives the RNG seed of logical stream `stream` from a base seed — the
+/// `seed ⊕ worker` split, hardened with a SplitMix64 finalizer so that
+/// consecutive stream indices land in unrelated parts of the seed space
+/// (xoshiro streams seeded from raw consecutive integers correlate).
+///
+/// ```
+/// use motivo_core::parallel::split_seed;
+/// assert_eq!(split_seed(7, 3), split_seed(7, 3)); // pure function
+/// assert_ne!(split_seed(7, 3), split_seed(7, 4)); // streams differ
+/// assert_ne!(split_seed(7, 3), split_seed(8, 3)); // seeds differ
+/// ```
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Resolves a `threads` knob: `0` means all available cores.
+pub fn resolved_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+}
+
+/// The number of OS threads [`run_sharded`] will actually use for
+/// `num_shards` shards under a `threads` knob — never more threads than
+/// shards. Callers splitting a thread budget between nested levels of
+/// parallelism should plan with this, not with their own arithmetic.
+pub fn fan_out_width(num_shards: usize, threads: usize) -> usize {
+    resolved_threads(threads).min(num_shards.max(1))
+}
+
+/// Sums per-shard canonical-code tallies into one map, folding **in shard
+/// order** — the shared merge step of the naive and AGS coordinators.
+pub fn merge_tallies(
+    tallies: Vec<std::collections::HashMap<u128, u64>>,
+) -> std::collections::HashMap<u128, u64> {
+    // Counts are exact integers, so any order would yield the same map;
+    // the fixed order keeps the determinism invariant obvious and
+    // future-proofs float-valued tallies.
+    let mut merged = std::collections::HashMap::new();
+    for t in tallies {
+        for (code, n) in t {
+            *merged.entry(code).or_insert(0) += n;
+        }
+    }
+    merged
+}
+
+/// Cuts `total` units of work into logical shards of at most `shard_size`;
+/// shard `i` covers `sizes[i]` units. Depends only on the workload, never
+/// on the executor.
+pub fn shard_sizes(total: u64, shard_size: u64) -> Vec<u64> {
+    debug_assert!(shard_size > 0);
+    let mut sizes = Vec::with_capacity((total / shard_size + 1) as usize);
+    let mut left = total;
+    while left > 0 {
+        let take = left.min(shard_size);
+        sizes.push(take);
+        left -= take;
+    }
+    sizes
+}
+
+/// Runs `job(shard)` for every `shard ∈ 0..num_shards` across at most
+/// `threads` OS threads and returns the results **in shard order**. Threads
+/// claim shards from a shared atomic counter (work stealing in its simplest
+/// form), so a slow shard never idles the rest; the output order — and
+/// therefore everything downstream — is independent of the schedule.
+pub fn run_sharded<T, F>(num_shards: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = fan_out_width(num_shards, threads);
+    if num_shards == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        return (0..num_shards).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // One slot per shard; a shard is claimed by exactly one worker, so the
+    // per-slot locks are never contended — they only exist to move results
+    // across the thread boundary.
+    let slots: Vec<std::sync::Mutex<Option<T>>> = (0..num_shards)
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let shard = next.fetch_add(1, Ordering::Relaxed);
+                if shard >= num_shards {
+                    break;
+                }
+                let out = job(shard);
+                *slots[shard].lock().expect("shard slot poisoned") = Some(out);
+            });
+        }
+    })
+    .expect("sampling worker panicked");
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("shard slot poisoned")
+                .expect("every shard claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_seed_is_a_pure_injective_looking_mix() {
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..10_000u64 {
+            assert!(seen.insert(split_seed(42, stream)), "collision at {stream}");
+        }
+        // Stream 0 is not the identity on the seed.
+        assert_ne!(split_seed(42, 0), 42);
+    }
+
+    #[test]
+    fn shard_sizes_cover_exactly() {
+        assert_eq!(shard_sizes(0, 10), Vec::<u64>::new());
+        assert_eq!(shard_sizes(25, 10), vec![10, 10, 5]);
+        assert_eq!(shard_sizes(10, 10), vec![10]);
+        for total in [1u64, 99, 4096, 4097, 100_000] {
+            let sizes = shard_sizes(total, NAIVE_SHARD_SAMPLES);
+            assert_eq!(sizes.iter().sum::<u64>(), total);
+            assert!(sizes.iter().all(|&s| s <= NAIVE_SHARD_SAMPLES));
+        }
+    }
+
+    #[test]
+    fn merge_tallies_sums_across_shards() {
+        let a = std::collections::HashMap::from([(1u128, 2u64), (2, 3)]);
+        let b = std::collections::HashMap::from([(2u128, 4u64), (3, 5)]);
+        let merged = merge_tallies(vec![a, b]);
+        assert_eq!(
+            merged,
+            std::collections::HashMap::from([(1u128, 2u64), (2, 7), (3, 5)])
+        );
+        assert!(merge_tallies(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn fan_out_width_never_exceeds_shards() {
+        assert_eq!(fan_out_width(3, 8), 3);
+        assert_eq!(fan_out_width(8, 3), 3);
+        assert_eq!(fan_out_width(0, 4), 1);
+        assert!(fan_out_width(100, 0) >= 1); // 0 = all cores
+    }
+
+    #[test]
+    fn run_sharded_returns_in_shard_order_at_any_width() {
+        let job = |s: usize| s * s;
+        let want: Vec<usize> = (0..33).map(job).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(run_sharded(33, threads, job), want);
+        }
+        assert_eq!(run_sharded(0, 4, job), Vec::<usize>::new());
+    }
+}

@@ -182,8 +182,8 @@ mod tests {
         // sampling seed.
         let mut ra = GraphletRegistry::new(4);
         let mut rb = GraphletRegistry::new(4);
-        let a = naive_estimates(&urn, &mut ra, 5_000, 1, &SampleConfig::seeded(1));
-        let b = naive_estimates(&back, &mut rb, 5_000, 1, &SampleConfig::seeded(1));
+        let a = naive_estimates(&urn, &mut ra, 5_000, &SampleConfig::seeded(1).threads(1));
+        let b = naive_estimates(&back, &mut rb, 5_000, &SampleConfig::seeded(1).threads(1));
         assert_eq!(a.per_graphlet.len(), b.per_graphlet.len());
         assert!((a.total_count() - b.total_count()).abs() < 1e-9);
         std::fs::remove_dir_all(&dir).ok();

@@ -27,10 +27,26 @@ use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 
 /// Sampler tuning knobs.
+///
+/// ```
+/// use motivo_core::SampleConfig;
+///
+/// let cfg = SampleConfig::seeded(7).threads(4);
+/// assert_eq!(cfg.seed, 7);
+/// assert_eq!(cfg.threads, 4);
+/// assert!(cfg.buffering); // §3.2 neighbor buffering defaults on
+/// ```
 #[derive(Clone, Debug)]
 pub struct SampleConfig {
-    /// RNG seed.
+    /// Base RNG seed. Parallel estimators split it into per-shard streams
+    /// with [`crate::parallel::split_seed`], so for a fixed seed results
+    /// are bit-identical at any thread count.
     pub seed: u64,
+    /// Worker threads for the parallel estimators (`0` = all cores). A
+    /// single [`Sampler`] is inherently sequential; this knob is consumed
+    /// by [`crate::naive_estimates`], [`crate::ags()`], and
+    /// [`crate::ensemble()`], which each drive one sampler per shard.
+    pub threads: usize,
     /// Enable neighbor buffering (§3.2). Disable only for the Fig. 5
     /// ablation.
     pub buffering: bool,
@@ -44,6 +60,7 @@ impl Default for SampleConfig {
     fn default() -> SampleConfig {
         SampleConfig {
             seed: 0,
+            threads: 0,
             buffering: true,
             buffer_threshold: 10_000,
             buffer_batch: 100,
@@ -59,6 +76,12 @@ impl SampleConfig {
             ..SampleConfig::default()
         }
     }
+
+    /// Sets the worker-thread count (`0` = all cores).
+    pub fn threads(mut self, threads: usize) -> SampleConfig {
+        self.threads = threads;
+        self
+    }
 }
 
 /// One pre-drawn decomposition outcome: the color split and the neighbor.
@@ -69,7 +92,18 @@ struct SplitDraw {
     u: u32,
 }
 
-/// Draws treelet copies from an urn. Cheap to create; keep one per thread.
+/// Draws treelet copies from an urn. Cheap to create; keep one per thread —
+/// the parallel estimators create one per logical shard.
+///
+/// ```
+/// use motivo_core::{build_urn, BuildConfig, SampleConfig, Sampler};
+///
+/// let g = motivo_graph::generators::complete_graph(6);
+/// let urn = build_urn(&g, &BuildConfig::new(3).seed(1)).unwrap();
+/// let mut sampler = Sampler::new(&urn, SampleConfig::seeded(2));
+/// let verts = sampler.sample_copy();
+/// assert_eq!(verts.len(), 3); // one colorful 3-treelet copy
+/// ```
 pub struct Sampler<'u, 'g> {
     urn: &'u Urn<'g>,
     cfg: SampleConfig,
@@ -407,6 +441,7 @@ mod tests {
                 buffering,
                 buffer_threshold: 8,
                 buffer_batch: 50,
+                ..SampleConfig::default()
             };
             let mut s = Sampler::new(&urn, sc);
             let mut t: Map<Vec<u32>, u64> = Map::new();
@@ -453,6 +488,7 @@ mod tests {
                 buffering,
                 buffer_threshold: 64,
                 buffer_batch: 100,
+                ..SampleConfig::default()
             };
             let mut s = Sampler::new(&urn, sc);
             for _ in 0..2_000 {

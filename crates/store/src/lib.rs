@@ -33,7 +33,7 @@
 //! let query = StoreQuery::new(&store);
 //! let mut registry = motivo_graphlet::GraphletRegistry::new(5);
 //! let est =
-//!     query.naive_estimates(handle.id(), &mut registry, 100_000, 0, &SampleConfig::seeded(2))?;
+//!     query.naive_estimates(handle.id(), &mut registry, 100_000, &SampleConfig::seeded(2))?;
 //! println!("~{:.3e} copies, {:?} cache", est.total_count(), store.cache_stats());
 //! # Ok::<(), motivo_store::StoreError>(())
 //! ```

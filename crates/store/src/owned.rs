@@ -88,8 +88,7 @@ mod tests {
             owned.urn(),
             &mut registry,
             2_000,
-            1,
-            &SampleConfig::seeded(1),
+            &SampleConfig::seeded(1).threads(1),
         );
         assert!(est.total_count() > 0.0);
     }

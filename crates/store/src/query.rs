@@ -1,18 +1,28 @@
 //! [`StoreQuery`]: the query front-end. Routes estimator calls through
 //! the store's cache and keeps per-urn serving statistics (hits, misses,
 //! latency), which is what a long-lived service wants to watch.
+//!
+//! Statistics are **sharded per urn and lock-free on the hot path**: each
+//! urn owns a cell of atomic counters behind an `Arc`, and the map from
+//! urn id to cell sits under an `RwLock` that queries only ever *read*
+//! (the write lock is taken once per urn, on its first query). Concurrent
+//! readers therefore never serialize behind one another — neither on the
+//! counters (atomic adds) nor on the map (shared read locks) — which is
+//! what lets one `StoreQuery` serve many sampling threads at full speed.
 
 use motivo_core::{ags, naive_estimates, AgsConfig, AgsResult, Estimates, SampleConfig};
 use motivo_graphlet::GraphletRegistry;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::error::StoreError;
 use crate::manifest::UrnId;
 use crate::store::UrnStore;
 
-/// Serving counters for one urn (or aggregated over all of them).
+/// Serving counters for one urn (or aggregated over all of them) — a
+/// consistent-enough snapshot of the live atomic cells.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Queries answered.
@@ -43,17 +53,73 @@ impl QueryStats {
     }
 }
 
-/// A query layer over one store. Thread-safe; borrows the store.
+/// The live counters of one urn. Updated with relaxed atomic adds — the
+/// counters are independent monotone sums, so no ordering between them is
+/// needed; a snapshot may be mid-update by at most one query per field.
+#[derive(Default)]
+struct StatsCell {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency_nanos: AtomicU64,
+}
+
+impl StatsCell {
+    fn record(&self, cache_hit: bool, elapsed: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> QueryStats {
+        QueryStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            total_latency: Duration::from_nanos(self.latency_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A query layer over one store. Thread-safe; borrows the store; cheap to
+/// share by reference across however many serving threads you run.
+///
+/// ```
+/// use motivo_core::{BuildConfig, SampleConfig};
+/// use motivo_graphlet::GraphletRegistry;
+/// use motivo_store::{StoreQuery, UrnStore};
+///
+/// let dir = std::env::temp_dir().join(format!("motivo-query-doc-{}", std::process::id()));
+/// let store = UrnStore::open(&dir).unwrap();
+/// let graph = motivo_graph::generators::complete_graph(6);
+/// let handle = store.build_or_get(&graph, &BuildConfig::new(3).seed(1)).unwrap();
+/// handle.wait().unwrap();
+/// let id = handle.id();
+///
+/// let query = StoreQuery::new(&store);
+/// let mut registry = GraphletRegistry::new(3);
+/// let est = query
+///     .naive_estimates(id, &mut registry, 2_000, &SampleConfig::seeded(2))
+///     .unwrap();
+/// assert_eq!(est.samples, 2_000);
+/// assert_eq!(query.stats(id).queries, 1);
+/// # drop(store); std::fs::remove_dir_all(&dir).ok();
+/// ```
 pub struct StoreQuery<'s> {
     store: &'s UrnStore,
-    stats: Mutex<HashMap<UrnId, QueryStats>>,
+    stats: RwLock<HashMap<UrnId, Arc<StatsCell>>>,
 }
 
 impl<'s> StoreQuery<'s> {
     pub fn new(store: &'s UrnStore) -> StoreQuery<'s> {
         StoreQuery {
             store,
-            stats: Mutex::new(HashMap::new()),
+            stats: RwLock::new(HashMap::new()),
         }
     }
 
@@ -62,44 +128,50 @@ impl<'s> StoreQuery<'s> {
         self.store
     }
 
+    /// The stats cell for `id` — read lock on the fast path, write lock
+    /// only the first time an urn is queried.
+    fn cell(&self, id: UrnId) -> Arc<StatsCell> {
+        if let Some(cell) = self.stats.read().expect("query stats poisoned").get(&id) {
+            return cell.clone();
+        }
+        self.stats
+            .write()
+            .expect("query stats poisoned")
+            .entry(id)
+            .or_default()
+            .clone()
+    }
+
     fn record<T>(
         &self,
         id: UrnId,
         run: impl FnOnce(&crate::owned::StoreUrn) -> T,
     ) -> Result<T, StoreError> {
         let t0 = Instant::now();
-        let was_cached = self.store.is_cached(id);
-        let urn = self.store.get(id)?;
+        // One traced fetch both serves the urn and attributes the hit/miss,
+        // so a load racing with another thread is counted exactly once.
+        let (urn, cache_hit) = self.store.get_traced(id)?;
         let out = run(&urn);
-        let mut stats = self.stats.lock().expect("query stats poisoned");
-        let entry = stats.entry(id).or_default();
-        entry.queries += 1;
-        if was_cached {
-            entry.cache_hits += 1;
-        } else {
-            entry.cache_misses += 1;
-        }
-        entry.total_latency += t0.elapsed();
+        self.cell(id).record(cache_hit, t0.elapsed());
         Ok(out)
     }
 
     /// Naive estimation (uniform treelet sampling) through the cache.
     /// `registry` grows with discovered classes, exactly as in
     /// [`motivo_core::naive_estimates`]; its `k` must match the urn's.
+    /// `cfg.threads` sets the sampling fan-out.
     pub fn naive_estimates(
         &self,
         id: UrnId,
         registry: &mut GraphletRegistry,
         samples: u64,
-        threads: usize,
         cfg: &SampleConfig,
     ) -> Result<Estimates, StoreError> {
-        self.record(id, |urn| {
-            naive_estimates(urn.urn(), registry, samples, threads, cfg)
-        })
+        self.record(id, |urn| naive_estimates(urn.urn(), registry, samples, cfg))
     }
 
-    /// Adaptive graphlet sampling through the cache.
+    /// Adaptive graphlet sampling through the cache. `cfg.sample.threads`
+    /// sets the per-epoch sampling fan-out.
     pub fn ags(
         &self,
         id: UrnId,
@@ -109,22 +181,23 @@ impl<'s> StoreQuery<'s> {
         self.record(id, |urn| ags(urn.urn(), registry, cfg))
     }
 
-    /// Counters for one urn.
+    /// Counters for one urn. Never blocks behind writers for long: takes
+    /// the map's read lock and snapshots the atomics.
     pub fn stats(&self, id: UrnId) -> QueryStats {
         self.stats
-            .lock()
+            .read()
             .expect("query stats poisoned")
             .get(&id)
-            .copied()
+            .map(|cell| cell.snapshot())
             .unwrap_or_default()
     }
 
     /// Counters summed over every urn served.
     pub fn total_stats(&self) -> QueryStats {
-        let stats = self.stats.lock().expect("query stats poisoned");
+        let stats = self.stats.read().expect("query stats poisoned");
         let mut total = QueryStats::default();
-        for s in stats.values() {
-            total.absorb(s);
+        for cell in stats.values() {
+            total.absorb(&cell.snapshot());
         }
         total
     }

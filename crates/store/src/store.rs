@@ -111,7 +111,14 @@ impl Inner {
     /// load runs with the state lock *released* — a cache miss on one urn
     /// must not stall cache hits, listings, or the build worker — so two
     /// racing misses may both load; the loser adopts the winner's entry.
-    fn get_urn(&self, id: UrnId) -> Result<Arc<StoreUrn>, StoreError> {
+    ///
+    /// The boolean reports whether *this call* was served straight from the
+    /// resident cache. It is the authoritative hit/miss attribution: a
+    /// racing loader that adopts the winner's entry still did the disk work
+    /// and still reports a miss, exactly once (the historical
+    /// check-`is_cached`-then-`get` pattern could count the same load as
+    /// both a hit and a miss across the two calls).
+    fn get_urn(&self, id: UrnId) -> Result<(Arc<StoreUrn>, bool), StoreError> {
         let (fingerprint, resident_graph) = {
             let mut state = self.state.lock().expect("store state poisoned");
             let meta = match state.manifest.urns.get(&id) {
@@ -122,7 +129,7 @@ impl Inner {
                 return Err(StoreError::NotBuilt(id));
             }
             if let Some(urn) = state.cache.get(id) {
-                return Ok(urn);
+                return Ok((urn, true));
             }
             (
                 meta.key.fingerprint,
@@ -145,13 +152,13 @@ impl Inner {
         let mut state = self.state.lock().expect("store state poisoned");
         state.graphs.entry(fingerprint).or_insert(graph);
         if let Some(existing) = state.cache.peek(id) {
-            return Ok(existing); // a racing loader published first
+            return Ok((existing, false)); // a racing loader published first
         }
         match state.manifest.urns.get(&id) {
             // Re-check: the urn may have been removed while we loaded.
             Some(m) if m.status == BuildStatus::Built => {
                 state.cache.insert(id, urn.clone());
-                Ok(urn)
+                Ok((urn, false))
             }
             Some(_) => Err(StoreError::NotBuilt(id)),
             None => Err(StoreError::UnknownUrn(id)),
@@ -324,6 +331,15 @@ impl UrnStore {
 
     /// Fetches a built urn through the cache.
     pub fn get(&self, id: UrnId) -> Result<Arc<StoreUrn>, StoreError> {
+        self.inner.get_urn(id).map(|(urn, _)| urn)
+    }
+
+    /// Like [`UrnStore::get`], but also reports whether this call was
+    /// served from the resident cache (`true`) or had to load the urn from
+    /// disk (`false`). The query layer uses this for hit/miss accounting —
+    /// unlike an [`UrnStore::is_cached`] probe followed by a `get`, the
+    /// attribution cannot race with concurrent loads or evictions.
+    pub fn get_traced(&self, id: UrnId) -> Result<(Arc<StoreUrn>, bool), StoreError> {
         self.inner.get_urn(id)
     }
 
@@ -553,6 +569,6 @@ impl BuildHandle {
             }
         }
         drop(state);
-        self.inner.get_urn(self.id)
+        self.inner.get_urn(self.id).map(|(urn, _)| urn)
     }
 }

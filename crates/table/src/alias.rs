@@ -1,4 +1,4 @@
-//! Vose's alias method for O(1) categorical sampling (§3.3, [24]).
+//! Vose's alias method for O(1) categorical sampling (§3.3, ref. \[24\]).
 //!
 //! The root vertex of every sample is drawn with probability proportional to
 //! the number of colorful k-treelets rooted at it; the alias table makes

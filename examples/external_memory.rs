@@ -45,7 +45,7 @@ fn main() {
     // `load_urn_external` would keep serving records from the files.
     let urn = motivo::core::load_urn(&graph, &dir).expect("reload");
     let mut registry = GraphletRegistry::new(k as u8);
-    let est = naive_estimates(&urn, &mut registry, 100_000, 0, &SampleConfig::seeded(2));
+    let est = naive_estimates(&urn, &mut registry, 100_000, &SampleConfig::seeded(2));
     println!(
         "\nreloaded urn: {} colorful treelets; sampled {} copies at {:.0}/s",
         urn.total_treelets(),

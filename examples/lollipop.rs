@@ -48,7 +48,7 @@ fn main() {
             }
         };
         let mut reg = GraphletRegistry::new(k as u8);
-        let naive = naive_estimates(&urn, &mut reg, budget, 0, &SampleConfig::seeded(seed));
+        let naive = naive_estimates(&urn, &mut reg, budget, &SampleConfig::seeded(seed));
         let idx = reg.classify(&path);
         if naive.get(idx).map(|e| e.occurrences).unwrap_or(0) > 0 {
             found_naive += 1;

@@ -34,7 +34,7 @@ fn main() {
     // Sampling phase: naive uniform sampling, all cores.
     let samples = 200_000;
     let mut registry = GraphletRegistry::new(k as u8);
-    let est = naive_estimates(&urn, &mut registry, samples, 0, &SampleConfig::seeded(1));
+    let est = naive_estimates(&urn, &mut registry, samples, &SampleConfig::seeded(1));
     println!(
         "sampling: {} samples in {:?} ({:.0}/s), {} distinct graphlet classes",
         est.samples,

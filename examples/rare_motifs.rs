@@ -64,7 +64,7 @@ fn main() {
 
     // Naive sampling with the full budget.
     let mut reg_naive = GraphletRegistry::new(k as u8);
-    let naive = naive_estimates(&urn, &mut reg_naive, budget, 0, &SampleConfig::seeded(5));
+    let naive = naive_estimates(&urn, &mut reg_naive, budget, &SampleConfig::seeded(5));
 
     // AGS with the same budget.
     let mut reg_ags = GraphletRegistry::new(k as u8);

@@ -55,10 +55,12 @@ fn main() {
                  count    <graph> -k K [--samples N] [--ags] [--runs R] [--biased L]\n\
                           [--threads T] [--seed S] [--top N] [--disk DIR]\n\
                  build    <graph> -k K --table DIR [--seed S] [--biased L] [--threads T]\n\
-                 sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--top N]\n\
+                 sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--threads T]\n\
+                          [--top N]\n\
                  store    build <graph> -k K --store DIR [--seed S] [--biased L] [--threads T]\n\
                  store    list --store DIR\n\
-                 store    query <urn-id> --store DIR [--samples N] [--ags] [--seed S] [--top N]\n\
+                 store    query <urn-id> --store DIR [--samples N] [--ags] [--seed S]\n\
+                          [--threads T] [--top N]\n\
                  store    gc --store DIR"
             );
             2
@@ -456,6 +458,7 @@ fn cmd_store_query(args: &[String]) -> i32 {
     };
     let samples: u64 = o.get("samples").unwrap_or(200_000);
     let seed: u64 = o.get("seed").unwrap_or(1);
+    let threads: usize = o.get("threads").unwrap_or(0);
     let top: usize = o.get("top").unwrap_or(25);
     let query = StoreQuery::new(&store);
     let mut registry = GraphletRegistry::new(meta.key.k as u8);
@@ -465,7 +468,7 @@ fn cmd_store_query(args: &[String]) -> i32 {
             &mut registry,
             &AgsConfig {
                 max_samples: samples,
-                sample: SampleConfig::seeded(seed),
+                sample: SampleConfig::seeded(seed).threads(threads),
                 ..AgsConfig::default()
             },
         ) {
@@ -473,7 +476,12 @@ fn cmd_store_query(args: &[String]) -> i32 {
             Err(e) => return fail(&format!("{e}")),
         }
     } else {
-        match query.naive_estimates(id, &mut registry, samples, 0, &SampleConfig::seeded(seed)) {
+        match query.naive_estimates(
+            id,
+            &mut registry,
+            samples,
+            &SampleConfig::seeded(seed).threads(threads),
+        ) {
             Ok(r) => r,
             Err(e) => return fail(&format!("{e}")),
         }
@@ -558,7 +566,7 @@ fn cmd_sample(args: &[String]) -> i32 {
             &mut registry,
             &AgsConfig {
                 max_samples: samples,
-                sample: SampleConfig::seeded(seed),
+                sample: SampleConfig::seeded(seed).threads(threads),
                 ..AgsConfig::default()
             },
         )
@@ -568,8 +576,7 @@ fn cmd_sample(args: &[String]) -> i32 {
             &urn,
             &mut registry,
             samples,
-            threads,
-            &SampleConfig::seeded(seed),
+            &SampleConfig::seeded(seed).threads(threads),
         )
     };
     println!(

@@ -21,9 +21,10 @@
 //! // 2. Build-up phase: color the graph, run the treelet DP, get the urn.
 //! let urn = build_urn(&graph, &BuildConfig::new(4).seed(1)).unwrap();
 //!
-//! // 3. Sampling phase: estimate every 4-graphlet count at once.
+//! // 3. Sampling phase: estimate every 4-graphlet count at once, across
+//! //    all cores (results are bit-identical at any thread count).
 //! let mut registry = GraphletRegistry::new(4);
-//! let est = naive_estimates(&urn, &mut registry, 10_000, 0, &SampleConfig::seeded(2));
+//! let est = naive_estimates(&urn, &mut registry, 10_000, &SampleConfig::seeded(2));
 //! for e in &est.per_graphlet {
 //!     println!(
 //!         "{:?}: ~{:.0} copies ({:.2}% of all)",

@@ -20,7 +20,7 @@ fn run_naive_vs_exact(graph: &Graph, k: u32, colorings: u64, samples: u64) -> (f
             Err(BuildError::EmptyUrn) => continue, // contributes zero
             Err(e) => panic!("build failed: {e}"),
         };
-        let est = naive_estimates(&urn, &mut registry, samples, 0, &SampleConfig::seeded(seed));
+        let est = naive_estimates(&urn, &mut registry, samples, &SampleConfig::seeded(seed));
         for e in &est.per_graphlet {
             *acc.entry(e.index).or_insert(0.0) += e.count;
         }
@@ -82,7 +82,7 @@ fn k5_total_count_matches_exact() {
             Ok(u) => u,
             Err(_) => continue,
         };
-        let est = naive_estimates(&urn, &mut registry, 40_000, 0, &SampleConfig::seeded(seed));
+        let est = naive_estimates(&urn, &mut registry, 40_000, &SampleConfig::seeded(seed));
         acc += est.total_count();
     }
     let avg = acc / colorings as f64;
@@ -113,7 +113,7 @@ fn ags_accuracy_matches_naive_on_flat_graph() {
             Ok(u) => u,
             Err(_) => continue,
         };
-        let naive = naive_estimates(&urn, &mut registry, 30_000, 0, &SampleConfig::seeded(seed));
+        let naive = naive_estimates(&urn, &mut registry, 30_000, &SampleConfig::seeded(seed));
         naive_acc += naive.get(top_idx).map(|e| e.count).unwrap_or(0.0);
         let res = ags(
             &urn,
@@ -153,8 +153,18 @@ fn disk_backed_pipeline_matches_memory() {
     // on discovery order, so compare by canonical code.
     let mut reg_a = GraphletRegistry::new(4);
     let mut reg_b = GraphletRegistry::new(4);
-    let a = naive_estimates(&urn_mem, &mut reg_a, 20_000, 1, &SampleConfig::seeded(1));
-    let b = naive_estimates(&urn_disk, &mut reg_b, 20_000, 1, &SampleConfig::seeded(1));
+    let a = naive_estimates(
+        &urn_mem,
+        &mut reg_a,
+        20_000,
+        &SampleConfig::seeded(1).threads(1),
+    );
+    let b = naive_estimates(
+        &urn_disk,
+        &mut reg_b,
+        20_000,
+        &SampleConfig::seeded(1).threads(1),
+    );
     assert_eq!(a.per_graphlet.len(), b.per_graphlet.len());
     let by_code = |est: &Estimates, reg: &GraphletRegistry| -> HashMap<u128, (u64, f64)> {
         est.per_graphlet
@@ -187,8 +197,7 @@ fn biased_coloring_stays_unbiased() {
         let cfg = BuildConfig::new(k).seed(seed).biased(lambda);
         match build_urn(&graph, &cfg) {
             Ok(urn) => {
-                let est =
-                    naive_estimates(&urn, &mut registry, 20_000, 0, &SampleConfig::seeded(seed));
+                let est = naive_estimates(&urn, &mut registry, 20_000, &SampleConfig::seeded(seed));
                 acc += est.total_count();
             }
             Err(BuildError::EmptyUrn) => {}

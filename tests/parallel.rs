@@ -1,0 +1,122 @@
+//! Cross-crate guarantees of the parallel sampling engine: for a fixed
+//! seed, every estimator returns bit-identical results no matter how many
+//! OS threads execute it — the logical-shard seed-splitting contract of
+//! `motivo::core::parallel`.
+
+use motivo::prelude::*;
+
+/// A compact, fully-ordered fingerprint of an estimate (f64s compared by
+/// bit pattern, not approximately).
+fn naive_fingerprint(est: &Estimates) -> Vec<(usize, u64, u64, u64)> {
+    est.per_graphlet
+        .iter()
+        .map(|e| {
+            (
+                e.index,
+                e.occurrences,
+                e.count.to_bits(),
+                e.frequency.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn naive_estimates_identical_at_1_2_8_threads() {
+    let g = motivo::graph::generators::barabasi_albert(400, 3, 5);
+    let urn = build_urn(&g, &BuildConfig::new(4).seed(1).threads(1)).unwrap();
+    let run = |threads: usize| {
+        let mut registry = GraphletRegistry::new(4);
+        let est = naive_estimates(
+            &urn,
+            &mut registry,
+            25_000,
+            &SampleConfig::seeded(3).threads(threads),
+        );
+        assert_eq!(est.samples, 25_000);
+        naive_fingerprint(&est)
+    };
+    let base = run(1);
+    assert!(!base.is_empty());
+    for threads in [2, 8] {
+        assert_eq!(base, run(threads), "naive diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn ensemble_identical_at_1_2_8_threads() {
+    let g = motivo::graph::generators::erdos_renyi(150, 450, 2);
+    let fingerprint = |res: &EnsembleResult| -> Vec<(usize, u64, u64, u64, u64, u64)> {
+        res.classes
+            .iter()
+            .map(|c| {
+                (
+                    c.index,
+                    c.seen_in,
+                    c.occurrences,
+                    c.mean.to_bits(),
+                    c.p10.to_bits(),
+                    c.p90.to_bits(),
+                )
+            })
+            .collect()
+    };
+    let run = |threads: usize, estimator: Estimator| {
+        let mut registry = GraphletRegistry::new(3);
+        let cfg = EnsembleConfig {
+            runs: 6,
+            base_seed: 4,
+            threads,
+            estimator,
+            build: BuildConfig::new(3),
+        };
+        let res = ensemble(&g, &mut registry, &cfg).unwrap();
+        (res.samples, fingerprint(&res))
+    };
+    for estimator in [
+        Estimator::Naive { samples: 5_000 },
+        Estimator::Ags(AgsConfig {
+            c_bar: 200,
+            max_samples: 5_000,
+            idle_limit: 1_000,
+            ..AgsConfig::default()
+        }),
+        Estimator::Mixed {
+            samples: 4_000,
+            c_bar: 200,
+        },
+    ] {
+        let base = run(1, estimator.clone());
+        assert!(!base.1.is_empty());
+        for threads in [2, 8] {
+            assert_eq!(
+                base,
+                run(threads, estimator.clone()),
+                "ensemble ({estimator:?}) diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The registry indices themselves are deterministic (classification is
+/// sorted by canonical code), so two identically-seeded runs agree on the
+/// full registry mapping, not just per-class values.
+#[test]
+fn registry_assignment_is_deterministic() {
+    let g = motivo::graph::generators::barabasi_albert(300, 3, 9);
+    let urn = build_urn(&g, &BuildConfig::new(4).seed(2)).unwrap();
+    let classes = |threads: usize| {
+        let mut registry = GraphletRegistry::new(4);
+        let est = naive_estimates(
+            &urn,
+            &mut registry,
+            10_000,
+            &SampleConfig::seeded(8).threads(threads),
+        );
+        est.per_graphlet
+            .iter()
+            .map(|e| (e.index, registry.info(e.index).graphlet.code()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(classes(1), classes(4));
+}

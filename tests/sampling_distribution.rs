@@ -121,8 +121,9 @@ fn buffered_tallies_match_unbuffered() {
             buffering,
             buffer_threshold: 256,
             buffer_batch: 100,
+            threads: 1,
         };
-        let est = naive_estimates(&urn, &mut reg, 40_000, 1, &cfg);
+        let est = naive_estimates(&urn, &mut reg, 40_000, &cfg);
         let m: HashMap<u128, f64> = est
             .per_graphlet
             .iter()

@@ -41,8 +41,7 @@ fn roundtrip_two_graphs_across_reopen() {
                 ba_handle.id(),
                 &mut reg,
                 20_000,
-                1,
-                &SampleConfig::seeded(9),
+                &SampleConfig::seeded(9).threads(1),
             )
             .unwrap();
         (
@@ -75,10 +74,20 @@ fn roundtrip_two_graphs_across_reopen() {
     let mut reg_ba = GraphletRegistry::new(4);
     let mut reg_er = GraphletRegistry::new(4);
     let a = q
-        .naive_estimates(ba_id, &mut reg_ba, 20_000, 1, &SampleConfig::seeded(9))
+        .naive_estimates(
+            ba_id,
+            &mut reg_ba,
+            20_000,
+            &SampleConfig::seeded(9).threads(1),
+        )
         .unwrap();
     let b = q
-        .naive_estimates(er_id, &mut reg_er, 20_000, 1, &SampleConfig::seeded(9))
+        .naive_estimates(
+            er_id,
+            &mut reg_er,
+            20_000,
+            &SampleConfig::seeded(9).threads(1),
+        )
         .unwrap();
     assert!((a.total_count() - ba_total.1).abs() < 1e-9);
     assert!(b.total_count() > 0.0);
@@ -204,8 +213,13 @@ fn lru_cache_respects_byte_budget_and_counts_hits() {
     let q = StoreQuery::new(&store);
     let mut regs: Vec<GraphletRegistry> = (0..3).map(|_| GraphletRegistry::new(4)).collect();
     let mut run = |i: usize, q: &StoreQuery<'_>| {
-        q.naive_estimates(ids[i], &mut regs[i], 2_000, 1, &SampleConfig::seeded(1))
-            .unwrap();
+        q.naive_estimates(
+            ids[i],
+            &mut regs[i],
+            2_000,
+            &SampleConfig::seeded(1).threads(1),
+        )
+        .unwrap();
     };
 
     run(0, &q); // miss (cold)
@@ -256,4 +270,68 @@ fn remove_deletes_urn_and_unknown_ids_error() {
     assert!(store.remove(h.id()).is_err());
     assert!(store.get(UrnId(999)).is_err());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Hammer one `StoreQuery` from many threads: every query must be counted
+/// exactly once, hits + misses must add up, and the per-urn cells must sum
+/// to the totals — no lost updates now that the stats are sharded atomics
+/// instead of one global mutex.
+#[test]
+fn concurrent_queries_lose_no_stat_updates() {
+    let dir = workdir("stress");
+    let g = motivo::graph::generators::barabasi_albert(200, 3, 21);
+    let store = UrnStore::open(&dir).unwrap();
+    let ids: Vec<UrnId> = (0..2)
+        .map(|seed| {
+            let h = store
+                .build_or_get(&g, &BuildConfig::new(3).seed(seed))
+                .unwrap();
+            h.wait().unwrap();
+            h.id()
+        })
+        .collect();
+
+    let query = StoreQuery::new(&store);
+    let workers = 8;
+    let per_worker = 25u64;
+    crossbeam::thread::scope(|scope| {
+        for w in 0..workers {
+            let query = &query;
+            let ids = &ids;
+            scope.spawn(move |_| {
+                let mut registry = GraphletRegistry::new(3);
+                for i in 0..per_worker {
+                    let id = ids[((w + i) % 2) as usize];
+                    query
+                        .naive_estimates(id, &mut registry, 200, &SampleConfig::seeded(w + i))
+                        .unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let total = query.total_stats();
+    assert_eq!(total.queries, workers * per_worker);
+    assert_eq!(total.cache_hits + total.cache_misses, total.queries);
+    let per_urn: Vec<_> = ids.iter().map(|&id| query.stats(id)).collect();
+    assert_eq!(
+        per_urn.iter().map(|s| s.queries).sum::<u64>(),
+        total.queries
+    );
+    assert_eq!(
+        per_urn.iter().map(|s| s.cache_hits).sum::<u64>(),
+        total.cache_hits
+    );
+    assert_eq!(
+        per_urn
+            .iter()
+            .map(|s| s.total_latency)
+            .sum::<std::time::Duration>(),
+        total.total_latency
+    );
+    // Both urns fit in the default cache: after the cold loads everything
+    // is a hit, so misses stay bounded by the racing cold loads.
+    assert!(total.cache_misses <= workers * 2);
+    assert!(total.mean_latency() > std::time::Duration::ZERO);
 }
