@@ -163,8 +163,12 @@ mod tests {
                     .map(|(&id, &c)| (cc.arena.to_succinct(id).code(), c as u128))
                     .collect();
                 cc_pairs.sort_unstable();
-                let mt_pairs: Vec<(u64, u128)> =
-                    mt.get(h, v).iter().map(|(ct, c)| (ct.code(), c)).collect();
+                let mt_pairs: Vec<(u64, u128)> = mt
+                    .get(h, v)
+                    .unwrap()
+                    .iter()
+                    .map(|(ct, c)| (ct.code(), c))
+                    .collect();
                 assert_eq!(cc_pairs, mt_pairs, "vertex {v} size {h}");
             }
         }

@@ -155,8 +155,13 @@ fn t2_t3_f3(ctx: &Ctx, which: &str) {
                 }
             };
             let mt = urn.build_stats();
+            // The same table sealed under the succinct codec: identical
+            // counts, fewer bytes — the memory trajectory the JSON
+            // artifacts track. Recoded from the built records, not rebuilt.
+            let succinct_bytes = succinct_table_bytes(&urn);
             let speedup = cc_time.as_secs_f64() / mt.total.as_secs_f64();
             let size_ratio = cc.stats.table_bytes as f64 / mt.table_bytes as f64;
+            let succinct_saving = 1.0 - succinct_bytes as f64 / mt.table_bytes as f64;
             rows.push(vec![
                 s.name.to_string(),
                 k.to_string(),
@@ -166,6 +171,8 @@ fn t2_t3_f3(ctx: &Ctx, which: &str) {
                 format!("{:.1}", cc.stats.table_bytes as f64 / (1 << 20) as f64),
                 format!("{:.1}", mt.table_bytes as f64 / (1 << 20) as f64),
                 format!("{size_ratio:.1}x"),
+                format!("{:.2}", succinct_bytes as f64 / (1 << 20) as f64),
+                format!("{:.0}%", 100.0 * succinct_saving),
             ]);
             artifacts.push(json!({
                 "graph": s.name, "k": k,
@@ -174,6 +181,8 @@ fn t2_t3_f3(ctx: &Ctx, which: &str) {
                 "speedup": speedup,
                 "cc_bytes": cc.stats.table_bytes,
                 "motivo_bytes": mt.table_bytes,
+                "motivo_bytes_succinct": succinct_bytes,
+                "succinct_saving": succinct_saving,
                 "size_ratio": size_ratio,
             }));
         }
@@ -194,6 +203,8 @@ fn t2_t3_f3(ctx: &Ctx, which: &str) {
             "CC MiB",
             "motivo MiB",
             "size ratio",
+            "succ MiB",
+            "succ saved",
         ],
         &rows,
     );
@@ -255,6 +266,21 @@ fn t4(ctx: &Ctx) {
         &rows,
     );
     ctx.save_json("t4_sampling_speed", &artifacts);
+}
+
+/// Encoded bytes the urn's count table would occupy under the succinct
+/// codec, computed by recoding the already-built records — the codec never
+/// changes counts, so a second build would only burn wall-clock.
+fn succinct_table_bytes(urn: &motivo_core::Urn<'_>) -> u64 {
+    let table = urn.table();
+    let mut bytes = 0u64;
+    for h in 1..=table.k() {
+        for v in table.level(h).vertices() {
+            let rec = table.get(h, v).expect("in-memory table");
+            bytes += rec.recode(motivo_core::RecordCodec::Succinct).byte_size() as u64;
+        }
+    }
+    bytes
 }
 
 /// Runs `f` repeatedly for ~1.5 s and returns calls per second.
@@ -516,22 +542,26 @@ fn f7(ctx: &Ctx) {
             let st = urn.build_stats();
             let s_per_medge = st.total.as_secs_f64() / (s.graph.num_edges() as f64 / 1e6);
             let bits_per_node = st.table_bytes as f64 * 8.0 / s.graph.num_nodes() as f64;
+            let succ_bits_per_node =
+                succinct_table_bytes(&urn) as f64 * 8.0 / s.graph.num_nodes() as f64;
             rows.push(vec![
                 s.name.to_string(),
                 k.to_string(),
                 format!("{s_per_medge:.2}"),
                 format!("{bits_per_node:.0}"),
+                format!("{succ_bits_per_node:.0}"),
             ]);
             artifacts.push(json!({
                 "graph": s.name, "k": k,
                 "seconds_per_million_edges": s_per_medge,
                 "bits_per_node": bits_per_node,
+                "bits_per_node_succinct": succ_bits_per_node,
             }));
         }
     }
     print_table(
         "F7: build-up cost scaling (seconds per M edges, table bits per node)",
-        &["graph", "k", "s/Medge", "bits/node"],
+        &["graph", "k", "s/Medge", "bits/node", "succ bits/node"],
         &rows,
     );
     ctx.save_json("f7_scaling", &artifacts);

@@ -40,8 +40,9 @@ pub fn succinct_checkmerge(g: &Graph, coloring: &Coloring, k: u32) -> CheckMerge
     let mut ops = 0u64;
     let mut checksum = 0u128;
     for v in 0..g.num_nodes() {
-        let v_pairs: Vec<Vec<(ColoredTreelet, u128)>> =
-            (1..k).map(|h1| table.get(h1, v).iter().collect()).collect();
+        let v_pairs: Vec<Vec<(ColoredTreelet, u128)>> = (1..k)
+            .map(|h1| table.get(h1, v).expect("in-memory table").iter().collect())
+            .collect();
         for &u in g.neighbors(v) {
             for h1 in 1..k {
                 let h2 = k - h1;
@@ -49,7 +50,7 @@ pub fn succinct_checkmerge(g: &Graph, coloring: &Coloring, k: u32) -> CheckMerge
                 if vp.is_empty() {
                     continue;
                 }
-                let ru = table.get(h2, u);
+                let ru = table.get(h2, u).expect("in-memory table");
                 for (ct2, c2) in ru.iter() {
                     for &(ct1, c1) in vp {
                         ops += 1;

@@ -7,9 +7,10 @@ use crate::error::BuildError;
 use crate::urn::Urn;
 use motivo_graph::{Coloring, Graph};
 use motivo_table::storage::{LevelStore, StorageKind};
-use motivo_table::{CountTable, Record, RecordBuilder};
+use motivo_table::{CountTable, Record, RecordBuilder, RecordCodec};
 use motivo_treelet::{ColoredTreelet, Treelet, TreeletFamily};
 use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -48,6 +49,10 @@ pub struct BuildConfig {
     pub coloring: ColoringSpec,
     /// Count-table backend (in-memory or greedy flushing to disk).
     pub storage: StorageKind,
+    /// Record representation every level is sealed under. The codec
+    /// changes bytes, never counts: for a fixed seed, every estimator is
+    /// bit-identical across codecs.
+    pub codec: RecordCodec,
     /// Store size-k treelets only at their color-0 root (§3.2). On by
     /// default; disable only for the Fig. 4 ablation.
     pub zero_rooting: bool,
@@ -67,6 +72,7 @@ impl BuildConfig {
             seed: 0,
             coloring: ColoringSpec::Uniform,
             storage: StorageKind::Memory,
+            codec: RecordCodec::Plain,
             zero_rooting: true,
             threads: 0,
             hub_split_threshold: 1 << 14,
@@ -88,6 +94,13 @@ impl BuildConfig {
     /// Selects the storage backend.
     pub fn storage(mut self, storage: StorageKind) -> BuildConfig {
         self.storage = storage;
+        self
+    }
+
+    /// Selects the record codec (succinct encoding = the paper's
+    /// main-memory win; plain = the fixed-width v1 layout).
+    pub fn codec(mut self, codec: RecordCodec) -> BuildConfig {
+        self.codec = codec;
         self
     }
 
@@ -179,19 +192,19 @@ pub fn build_table(
 
     // Level 1: one singleton record per vertex.
     let mut levels: Vec<Box<dyn LevelStore>> = Vec::with_capacity(k as usize);
-    let mut l1 = cfg.storage.create_level(1, n)?;
+    let mut l1 = cfg.storage.create_level(1, n, cfg.codec)?;
     for v in 0..n {
         let ct = ColoredTreelet::new(
             Treelet::SINGLETON,
             motivo_treelet::ColorSet::single(coloring.color(v)),
         );
-        l1.put(v, Record::from_counts(vec![(ct.code(), 1)]));
+        l1.put(v, Record::from_counts_in(cfg.codec, vec![(ct.code(), 1)]))?;
     }
     levels.push(l1);
 
     for h in 2..=k {
         let level_start = Instant::now();
-        let mut level = cfg.storage.create_level(h, n)?;
+        let mut level = cfg.storage.create_level(h, n, cfg.codec)?;
         // Vertices above the hub threshold are deferred to the edge-split
         // pass so no worker stalls on one giant adjacency list.
         let hubs: Vec<u32> = (0..n)
@@ -205,19 +218,33 @@ pub fn build_table(
             h,
             k,
             zero_rooting: cfg.zero_rooting,
+            codec: cfg.codec,
             beta: &beta,
             merge_ops: &merge_ops,
         };
 
-        let (tx, rx) = crossbeam::channel::bounded::<(u32, Record)>(4 * threads.max(1));
+        // Worker and collector failures are captured and surfaced after
+        // the scope: an I/O error fails the build instead of aborting the
+        // process. The `failed` flag makes every worker stop claiming
+        // vertices promptly after the first error — without it, the other
+        // workers would grind through the whole level before the error
+        // could be returned — while the channel keeps draining so no
+        // sender blocks.
+        let (tx, rx) = crossbeam::channel::bounded::<io::Result<(u32, Record)>>(4 * threads.max(1));
         let cursor = AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let mut failure: Option<io::Error> = None;
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
                 let ctx = &ctx;
                 let cursor = &cursor;
                 let is_hub = &is_hub;
+                let failed = &failed;
                 scope.spawn(move |_| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let v = cursor.fetch_add(1, Ordering::Relaxed);
                     if v >= n as usize {
                         break;
@@ -226,31 +253,56 @@ pub fn build_table(
                     if is_hub(v) {
                         continue;
                     }
-                    let rec = ctx.process_vertex(v, None);
-                    if !rec.is_empty() {
-                        tx.send((v, rec)).expect("collector alive");
+                    match ctx.process_vertex(v, None) {
+                        Ok(rec) => {
+                            if !rec.is_empty() {
+                                tx.send(Ok((v, rec))).expect("collector alive");
+                            }
+                        }
+                        Err(e) => {
+                            failed.store(true, Ordering::Relaxed);
+                            tx.send(Err(e)).expect("collector alive");
+                            break;
+                        }
                     }
                 });
             }
             drop(tx);
-            for (v, rec) in rx {
-                level.put(v, rec);
+            for msg in rx {
+                match msg {
+                    Ok((v, rec)) => {
+                        if failure.is_none() {
+                            if let Err(e) = level.put(v, rec) {
+                                failed.store(true, Ordering::Relaxed);
+                                failure = Some(e);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if failure.is_none() {
+                            failure = Some(e);
+                        }
+                    }
+                }
             }
         })
         .expect("build worker panicked");
+        if let Some(e) = failure {
+            return Err(BuildError::Io(e));
+        }
 
         // Edge-split pass: each hub's adjacency list is chunked across all
         // workers; partial accumulators are merged, then β-divided once.
         for &v in &hubs {
-            let rec = process_hub_vertex(&ctx, v, threads);
-            level.put(v, rec);
+            let rec = process_hub_vertex(&ctx, v, threads)?;
+            level.put(v, rec)?;
         }
 
         levels.push(level);
         per_level.push(level_start.elapsed());
     }
 
-    let table = CountTable::from_levels(levels);
+    let table = CountTable::from_levels(levels, cfg.codec);
     let stats = BuildStats {
         total: start.elapsed(),
         per_level,
@@ -269,6 +321,7 @@ struct LevelCtx<'a> {
     h: u32,
     k: u32,
     zero_rooting: bool,
+    codec: RecordCodec,
     beta: &'a HashMap<u32, u128>,
     merge_ops: &'a AtomicU64,
 }
@@ -278,30 +331,36 @@ impl LevelCtx<'_> {
     /// When `neighbor_range` is given, only that slice of the adjacency
     /// list contributes (hub splitting) and the β division is skipped — the
     /// caller divides after merging partials.
-    fn process_vertex(&self, v: u32, neighbor_range: Option<(usize, usize)>) -> Record {
-        let pairs = self.accumulate(v, neighbor_range);
-        match pairs {
+    fn process_vertex(&self, v: u32, neighbor_range: Option<(usize, usize)>) -> io::Result<Record> {
+        let pairs = self.accumulate(v, neighbor_range)?;
+        Ok(match pairs {
             None => Record::default(),
             Some(builder) => {
                 let mut pairs = builder.into_pairs();
                 divide_beta(&mut pairs, self.beta);
-                Record::from_counts(pairs)
+                Record::from_counts_in(self.codec, pairs)
             }
-        }
+        })
     }
 
-    /// The accumulation half (no β division). `None` when 0-rooting skips
-    /// the vertex entirely.
-    fn accumulate(&self, v: u32, neighbor_range: Option<(usize, usize)>) -> Option<RecordBuilder> {
+    /// The accumulation half (no β division). `Ok(None)` when 0-rooting
+    /// skips the vertex entirely; `Err` when a lower level's backing store
+    /// fails.
+    fn accumulate(
+        &self,
+        v: u32,
+        neighbor_range: Option<(usize, usize)>,
+    ) -> io::Result<Option<RecordBuilder>> {
         let h = self.h;
         if h == self.k && self.zero_rooting && self.coloring.color(v) != 0 {
-            return None;
+            return Ok(None);
         }
         // Prefetch v's smaller records once; they are reused for every
         // neighbor.
-        let v_pairs: Vec<Vec<(ColoredTreelet, u128)>> = (1..h)
-            .map(|h1| self.levels[h1 as usize - 1].get(v).iter().collect())
-            .collect();
+        let mut v_pairs: Vec<Vec<(ColoredTreelet, u128)>> = Vec::with_capacity(h as usize - 1);
+        for h1 in 1..h {
+            v_pairs.push(self.levels[h1 as usize - 1].get(v)?.iter().collect());
+        }
         let neighbors = self.g.neighbors(v);
         let neighbors = match neighbor_range {
             Some((lo, hi)) => &neighbors[lo..hi],
@@ -316,7 +375,7 @@ impl LevelCtx<'_> {
                 if vp.is_empty() {
                     continue;
                 }
-                let ru = self.levels[h2 as usize - 1].get(u);
+                let ru = self.levels[h2 as usize - 1].get(u)?;
                 if ru.is_empty() {
                     continue;
                 }
@@ -342,13 +401,13 @@ impl LevelCtx<'_> {
             }
         }
         self.merge_ops.fetch_add(ops, Ordering::Relaxed);
-        Some(builder)
+        Ok(Some(builder))
     }
 }
 
 /// Hub pass: split `v`'s adjacency list into `threads` chunks, accumulate
 /// partials concurrently, merge, then β-divide once (§3.3).
-fn process_hub_vertex(ctx: &LevelCtx<'_>, v: u32, threads: usize) -> Record {
+fn process_hub_vertex(ctx: &LevelCtx<'_>, v: u32, threads: usize) -> io::Result<Record> {
     let deg = ctx.g.degree(v);
     let chunks = threads.max(1);
     let chunk = deg.div_ceil(chunks);
@@ -370,20 +429,22 @@ fn process_hub_vertex(ctx: &LevelCtx<'_>, v: u32, threads: usize) -> Record {
     .expect("hub scope panicked");
 
     let mut merged: Option<RecordBuilder> = None;
-    for p in partials.into_iter().flatten() {
-        match &mut merged {
-            None => merged = Some(p),
-            Some(m) => m.absorb(p),
+    for p in partials {
+        if let Some(p) = p? {
+            match &mut merged {
+                None => merged = Some(p),
+                Some(m) => m.absorb(p),
+            }
         }
     }
-    match merged {
+    Ok(match merged {
         None => Record::default(),
         Some(builder) => {
             let mut pairs = builder.into_pairs();
             divide_beta(&mut pairs, ctx.beta);
-            Record::from_counts(pairs)
+            Record::from_counts_in(ctx.codec, pairs)
         }
-    }
+    })
 }
 
 /// Precomputed `β_T` for every shape in the family (sizes ≥ 2).
@@ -431,7 +492,7 @@ mod tests {
         let (table, _) = build_table(g, &coloring, &cfg).unwrap();
         for v in 0..n {
             for h in 1..=k {
-                let rec = table.get(h, v);
+                let rec = table.get(h, v).unwrap();
                 let got: Vec<(ColoredTreelet, u128)> = rec.iter().collect();
                 let want: Vec<(ColoredTreelet, u128)> = reference.per_vertex[v as usize]
                     .iter()
@@ -481,7 +542,7 @@ mod tests {
         let coloring = Coloring::fixed(colors.clone(), 3);
         let (table, _) = build_table(&g, &coloring, &cfg).unwrap();
         for v in 0..5 {
-            let empty = table.get(3, v).is_empty();
+            let empty = table.get(3, v).unwrap().is_empty();
             if colors[v as usize] == 0 {
                 assert!(!empty, "color-0 vertex {v} should have k-records");
             } else {
@@ -494,7 +555,7 @@ mod tests {
         }
         // Lower levels keep all rootings.
         for v in 0..5 {
-            assert!(!table.get(2, v).is_empty() || g.degree(v) == 0);
+            assert!(!table.get(2, v).unwrap().is_empty() || g.degree(v) == 0);
         }
     }
 
@@ -512,7 +573,7 @@ mod tests {
             ..BuildConfig::new(4)
         };
         let (table, _) = build_table(&g, &coloring, &cfg).unwrap();
-        let total: u128 = (0..4).map(|v| table.get(4, v).total()).sum();
+        let total: u128 = (0..4).map(|v| table.get(4, v).unwrap().total()).sum();
         assert_eq!(total, 16);
     }
 
@@ -534,8 +595,8 @@ mod tests {
         let (tb, _) = build_table(&g, &coloring, &split).unwrap();
         for v in 0..g.num_nodes() {
             for h in 1..=4 {
-                let a: Vec<_> = ta.get(h, v).iter().collect();
-                let b: Vec<_> = tb.get(h, v).iter().collect();
+                let a: Vec<_> = ta.get(h, v).unwrap().iter().collect();
+                let b: Vec<_> = tb.get(h, v).unwrap().iter().collect();
                 assert_eq!(a, b, "vertex {v} size {h}");
             }
         }
@@ -560,12 +621,48 @@ mod tests {
         let (tb, _) = build_table(&g, &coloring, &disk).unwrap();
         for v in 0..g.num_nodes() {
             for h in 1..=5 {
-                let a: Vec<_> = ta.get(h, v).iter().collect();
-                let b: Vec<_> = tb.get(h, v).iter().collect();
+                let a: Vec<_> = ta.get(h, v).unwrap().iter().collect();
+                let b: Vec<_> = tb.get(h, v).unwrap().iter().collect();
                 assert_eq!(a, b, "vertex {v} size {h}");
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The succinct codec must produce record-for-record identical counts:
+    /// the codec changes bytes, never counts — while shrinking the table.
+    #[test]
+    fn succinct_codec_matches_plain_counts_and_shrinks() {
+        let g = generators::barabasi_albert(150, 3, 9);
+        let coloring = Coloring::uniform(&g, 5, 4);
+        let plain_cfg = BuildConfig {
+            threads: 2,
+            ..BuildConfig::new(5)
+        };
+        let succ_cfg = BuildConfig {
+            threads: 2,
+            codec: RecordCodec::Succinct,
+            ..BuildConfig::new(5)
+        };
+        let (tp, sp) = build_table(&g, &coloring, &plain_cfg).unwrap();
+        let (ts, ss) = build_table(&g, &coloring, &succ_cfg).unwrap();
+        assert_eq!(ts.codec(), RecordCodec::Succinct);
+        for v in 0..g.num_nodes() {
+            for h in 1..=5 {
+                let a: Vec<_> = tp.get(h, v).unwrap().iter().collect();
+                let b: Vec<_> = ts.get(h, v).unwrap().iter().collect();
+                assert_eq!(a, b, "vertex {v} size {h}");
+            }
+        }
+        assert_eq!(sp.records, ss.records);
+        assert_eq!(sp.merge_ops, ss.merge_ops);
+        // The acceptance bar: ≥ 40% smaller on a k=5 build.
+        assert!(
+            ss.table_bytes * 10 <= sp.table_bytes * 6,
+            "succinct {} bytes vs plain {}",
+            ss.table_bytes,
+            sp.table_bytes
+        );
     }
 
     #[test]
@@ -590,7 +687,7 @@ mod tests {
             ..BuildConfig::new(3)
         };
         let (table, _) = build_table(&g, &coloring, &cfg).unwrap();
-        let rec = table.get(1, 0);
+        let rec = table.get(1, 0).unwrap();
         let (ct, c) = rec.iter().next().unwrap();
         assert_eq!(c, 1);
         assert_eq!(ct.colors(), ColorSet::single(2));

@@ -141,7 +141,7 @@ fn load_urn_inner<'g>(g: &'g Graph, dir: &Path, preload: bool) -> Result<Urn<'g>
             .map_err(BuildError::Io)?;
     let mut table = CountTable::open_dir(dir).map_err(BuildError::Io)?;
     if preload {
-        table = table.preload();
+        table = table.preload().map_err(BuildError::Io)?;
     }
     Urn::assemble(g, coloring, table, stats)
 }
@@ -186,6 +186,82 @@ mod tests {
         let b = naive_estimates(&back, &mut rb, 5_000, &SampleConfig::seeded(1).threads(1));
         assert_eq!(a.per_graphlet.len(), b.per_graphlet.len());
         assert!((a.total_count() - b.total_count()).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Succinct-codec urns persist, reload (preloaded and external), and
+    /// sample identically to their plain twins under the same seed.
+    #[test]
+    fn succinct_urn_roundtrip_and_codec_equivalence() {
+        use motivo_table::RecordCodec;
+        let g = generators::barabasi_albert(150, 3, 2);
+        let base = std::env::temp_dir().join("motivo-persist-test-codec");
+        std::fs::remove_dir_all(&base).ok();
+        let mut estimates = Vec::new();
+        for codec in RecordCodec::ALL {
+            let dir = base.join(codec.as_str());
+            let urn = build_urn(
+                &g,
+                &BuildConfig {
+                    threads: 2,
+                    codec,
+                    ..BuildConfig::new(4)
+                }
+                .seed(5),
+            )
+            .unwrap();
+            save_urn(&urn, &dir).unwrap();
+            let back = load_urn(&g, &dir).unwrap();
+            assert_eq!(back.table().codec(), codec);
+            assert_eq!(back.total_treelets(), urn.total_treelets());
+            let external = crate::persist::load_urn_external(&g, &dir).unwrap();
+            assert_eq!(external.total_treelets(), urn.total_treelets());
+            let mut registry = GraphletRegistry::new(4);
+            let est = naive_estimates(
+                &back,
+                &mut registry,
+                3_000,
+                &SampleConfig::seeded(3).threads(2),
+            );
+            estimates.push(est);
+        }
+        let (plain, succ) = (&estimates[0], &estimates[1]);
+        assert_eq!(plain.samples, succ.samples);
+        assert_eq!(plain.per_graphlet.len(), succ.per_graphlet.len());
+        for (a, b) in plain.per_graphlet.iter().zip(&succ.per_graphlet) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.count.to_bits(), b.count.to_bits(), "bit-identical");
+            assert_eq!(a.occurrences, b.occurrences);
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    /// A v1 `table.meta` written before the codec column still opens.
+    #[test]
+    fn v1_table_meta_still_loads() {
+        use bytes::BufMut;
+        let g = generators::complete_graph(8);
+        let dir = std::env::temp_dir().join("motivo-persist-test-tablev1");
+        std::fs::remove_dir_all(&dir).ok();
+        let urn = build_urn(
+            &g,
+            &BuildConfig {
+                threads: 1,
+                ..BuildConfig::new(3)
+            }
+            .seed(1),
+        )
+        .unwrap();
+        save_urn(&urn, &dir).unwrap();
+        // Rewrite table.meta as the pre-codec v1 layout (no codec byte).
+        let mut meta = Vec::new();
+        meta.put_slice(b"MTVT");
+        meta.put_u32_le(1);
+        meta.put_u32_le(3);
+        meta.put_u32_le(g.num_nodes());
+        std::fs::write(dir.join("table.meta"), meta).unwrap();
+        let back = load_urn(&g, &dir).unwrap();
+        assert_eq!(back.total_treelets(), urn.total_treelets());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -46,7 +46,7 @@ impl<'g> Urn<'g> {
         let mut r_shapes = vec![0u128; shapes.len()];
         let mut total: u128 = 0;
         for v in 0..n {
-            let rec = table.get(k, v);
+            let rec = table.get(k, v).map_err(BuildError::Io)?;
             let t = rec.total();
             occ_k[v as usize] = t;
             total += t;
@@ -101,9 +101,17 @@ impl<'g> Urn<'g> {
     }
 
     /// Record of vertex `v` at treelet size `h`.
+    ///
+    /// This is the samplers' hot path, so it stays infallible: a backing
+    /// I/O failure on an external-memory table panics here rather than
+    /// threading `Result` through every recursive embed step. Build-time
+    /// and persistence reads go through the fallible
+    /// [`motivo_table::CountTable::get`] instead.
     #[inline]
     pub fn record(&self, h: u32, v: u32) -> RecordHandle<'_> {
-        self.table.get(h, v)
+        self.table
+            .get(h, v)
+            .expect("count-table I/O failure while sampling")
     }
 
     /// `occ(v)`: colorful k-treelets rooted (0-rooted) at `v`.
@@ -151,7 +159,7 @@ impl<'g> Urn<'g> {
                 if self.occ_k[v as usize] == 0 {
                     0
                 } else {
-                    self.table.get(self.k, v).tree_total(shape)
+                    self.record(self.k, v).tree_total(shape)
                 }
             })
             .collect()

@@ -10,7 +10,7 @@
 
 use bytes::{Buf, BufMut};
 use motivo_core::checksum::crc32;
-use motivo_core::{BuildConfig, ColoringSpec};
+use motivo_core::{BuildConfig, ColoringSpec, RecordCodec};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
@@ -35,8 +35,11 @@ impl UrnId {
 }
 
 /// Everything that determines a build's output (the deduplication key):
-/// host graph, graphlet size, coloring distribution and seed, 0-rooting.
-/// Threads and storage backend affect only speed, so they are excluded.
+/// host graph, graphlet size, coloring distribution and seed, 0-rooting,
+/// and the record codec the table is sealed under. Threads and storage
+/// backend affect only speed, so they are excluded. The codec never
+/// changes counts, but it *is* the stored artifact's byte layout, so a
+/// plain and a succinct build of the same graph are distinct urns.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BuildKey {
     /// Fingerprint of the host graph ([`motivo_core::graph_fingerprint`]).
@@ -49,6 +52,8 @@ pub struct BuildKey {
     pub lambda_bits: Option<u64>,
     /// Whether size-k treelets were 0-rooted.
     pub zero_rooting: bool,
+    /// Record codec of the persisted count table.
+    pub codec: RecordCodec,
 }
 
 impl BuildKey {
@@ -66,6 +71,7 @@ impl BuildKey {
             seed: cfg.seed,
             lambda_bits,
             zero_rooting: cfg.zero_rooting,
+            codec: cfg.codec,
         })
     }
 
@@ -131,10 +137,14 @@ pub enum ManifestRecord {
 }
 
 const TAG_GRAPH_ADDED: u8 = 1;
-const TAG_BUILD_STARTED: u8 = 2;
+/// Legacy `BuildStarted` without the codec byte (pre-codec journals);
+/// decoded as [`RecordCodec::Plain`], never written anymore.
+const TAG_BUILD_STARTED_V1: u8 = 2;
 const TAG_BUILD_FINISHED: u8 = 3;
 const TAG_BUILD_FAILED: u8 = 4;
 const TAG_REMOVED: u8 = 5;
+/// `BuildStarted` carrying the record-codec tag.
+const TAG_BUILD_STARTED: u8 = 6;
 
 impl ManifestRecord {
     /// Serializes the record as a journal payload.
@@ -161,6 +171,7 @@ impl ManifestRecord {
                     }
                 }
                 out.put_u8(key.zero_rooting as u8);
+                out.put_u8(key.codec.tag());
             }
             ManifestRecord::BuildFinished {
                 id,
@@ -210,10 +221,11 @@ impl ManifestRecord {
                     edges: buf.get_u64_le(),
                 })
             }
-            TAG_BUILD_STARTED => {
-                // 28 fixed bytes + coloring tag + zero_rooting; the biased
-                // variant re-checks for its 8 extra λ bytes below.
-                need(&buf, 30)?;
+            tag @ (TAG_BUILD_STARTED | TAG_BUILD_STARTED_V1) => {
+                // 28 fixed bytes + coloring tag + zero_rooting (+ codec on
+                // the v2 tag); the biased variant re-checks for its 8
+                // extra λ bytes below.
+                need(&buf, if tag == TAG_BUILD_STARTED { 31 } else { 30 })?;
                 let id = UrnId(buf.get_u64_le());
                 let fingerprint = buf.get_u64_le();
                 let k = buf.get_u32_le();
@@ -221,12 +233,18 @@ impl ManifestRecord {
                 let lambda_bits = match buf.get_u8() {
                     0 => None,
                     1 => {
-                        need(&buf, 9)?;
+                        need(&buf, if tag == TAG_BUILD_STARTED { 10 } else { 9 })?;
                         Some(buf.get_u64_le())
                     }
                     _ => return Err(corrupt("bad coloring tag")),
                 };
                 let zero_rooting = buf.get_u8() != 0;
+                let codec = if tag == TAG_BUILD_STARTED {
+                    RecordCodec::from_tag(buf.get_u8()).ok_or_else(|| corrupt("bad codec tag"))?
+                } else {
+                    // Pre-codec journals only ever built plain tables.
+                    RecordCodec::Plain
+                };
                 ManifestRecord::BuildStarted {
                     id,
                     key: BuildKey {
@@ -235,6 +253,7 @@ impl ManifestRecord {
                         seed,
                         lambda_bits,
                         zero_rooting,
+                        codec,
                     },
                 }
             }
@@ -456,6 +475,7 @@ mod tests {
             seed: 7,
             lambda_bits: None,
             zero_rooting: true,
+            codec: RecordCodec::Plain,
         }
     }
 
@@ -476,6 +496,7 @@ mod tests {
                 key: BuildKey {
                     lambda_bits: Some(0.125f64.to_bits()),
                     zero_rooting: false,
+                    codec: RecordCodec::Succinct,
                     ..key(1, 4)
                 },
             },
@@ -500,8 +521,8 @@ mod tests {
         assert!(ManifestRecord::decode(&[99, 0, 0]).is_err());
         assert!(ManifestRecord::decode(&[TAG_BUILD_FAILED, 1, 2]).is_err());
         // A CRC-valid but short BuildStarted must error at every truncation
-        // point, not panic (uniform needs 30 bytes after the tag's frame;
-        // the 29-byte form ends exactly before zero_rooting).
+        // point, not panic (uniform needs 31 bytes after the tag's frame;
+        // the 30-byte form ends exactly before the codec byte).
         let full = ManifestRecord::BuildStarted {
             id: UrnId(7),
             key: key(1, 4),
@@ -512,6 +533,28 @@ mod tests {
                 ManifestRecord::decode(&full[..cut]).is_err(),
                 "cut at {cut} must be rejected"
             );
+        }
+        // An out-of-range codec byte is rejected too.
+        let mut bad_codec = full.clone();
+        *bad_codec.last_mut().unwrap() = 99;
+        assert!(ManifestRecord::decode(&bad_codec).is_err());
+    }
+
+    /// Journals written before the codec column used tag 2 without a
+    /// trailing codec byte; they decode as plain builds.
+    #[test]
+    fn legacy_build_started_decodes_as_plain() {
+        let modern = ManifestRecord::BuildStarted {
+            id: UrnId(9),
+            key: key(0xC0FFEE, 5),
+        };
+        let mut legacy = modern.encode();
+        legacy[0] = TAG_BUILD_STARTED_V1;
+        legacy.pop(); // drop the codec byte
+        assert_eq!(ManifestRecord::decode(&legacy).unwrap(), modern);
+        // Truncations of the legacy frame are still rejected.
+        for cut in 1..legacy.len() {
+            assert!(ManifestRecord::decode(&legacy[..cut]).is_err());
         }
     }
 

@@ -19,7 +19,9 @@ pub struct StoreUrn {
     urn: Urn<'static>,
     graph: Arc<Graph>,
     /// Resident footprint estimate (table payload + CSR bytes), the unit
-    /// of the cache's byte budget.
+    /// of the cache's byte budget. The table half is the *encoded* size
+    /// under the urn's record codec, so succinct tables consume
+    /// proportionally less of the LRU budget than plain ones.
     bytes: usize,
 }
 

@@ -70,7 +70,9 @@ impl RecordBuilder {
         self.map.into_iter().collect()
     }
 
-    /// Freezes into the compact sorted record, releasing the hash table.
+    /// Freezes into the compact sorted record (plain codec), releasing the
+    /// hash table. Callers that seal under another codec post-process the
+    /// pairs (e.g. the β division) and use [`Record::from_counts_in`].
     pub fn freeze(self) -> Record {
         Record::from_counts(self.into_pairs())
     }

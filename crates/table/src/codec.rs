@@ -1,0 +1,602 @@
+//! Pluggable record codecs — the paper's succinct count-table encoding.
+//!
+//! Motivo's headline memory win (§3.1 and the extended version's "succinct
+//! color coding") comes from *not* storing each record entry as a fixed
+//! `(u64 key, u128 cumulative count)` pair. Keys within a record are sorted,
+//! so consecutive keys are close and their differences fit in a byte or two;
+//! per-entry counts are mostly tiny. [`RecordCodec`] names the two
+//! representations a [`crate::Record`] can take:
+//!
+//! * [`RecordCodec::Plain`] — the original fixed-width layout (176 bits per
+//!   pair). Fast, simple, and the v1 on-disk format.
+//! * [`RecordCodec::Succinct`] — ascending keys stored as LEB128 varint
+//!   deltas plus LEB128 per-entry counts, with a sparse anchor every
+//!   [`ANCHOR_BLOCK`] entries so point queries stay logarithmic.
+//!
+//! The codec changes *bytes, never counts*: every query (`total`,
+//! `count_of`, `tree_total`, `select`, `select_in_tree`, iteration) returns
+//! bit-identical answers under either codec, so sampling from a succinct
+//! table is deterministic-equal to sampling from a plain one.
+//!
+//! ## The succinct stream
+//!
+//! Entries are grouped in blocks of [`ANCHOR_BLOCK`]. In the byte stream,
+//! the first entry of a block stores its *absolute* key as a varint; every
+//! other entry stores the strictly-positive delta from its predecessor.
+//! Each key is followed by the entry's (non-cumulative) count as a varint.
+//! For records spanning more than one block, three parallel anchor arrays —
+//! first key, cumulative count before the block, and byte offset of the
+//! block start — are kept decoded in memory. A query binary-searches the
+//! anchors (`O(log(n/B))`) and then decodes at most one block (`O(B)`),
+//! so nothing ever decompresses the whole record. Single-block records
+//! carry no anchors at all: the block trivially starts at offset 0.
+//!
+//! The set of codecs is sealed: `RecordCodec` is a plain enum, every match
+//! in the table/build/persist/store stack is exhaustive, and on-disk format
+//! tags are assigned here and nowhere else.
+
+use bytes::{Buf, BufMut};
+use std::fmt;
+use std::str::FromStr;
+
+/// Largest value a packed colored-treelet key may take (48 significant
+/// bits); decoded keys beyond this are rejected as corruption.
+const MAX_KEY: u64 = 0xFFFF_FFFF_FFFF;
+
+/// Entries per anchor block of the succinct encoding. 32 keeps the anchor
+/// overhead under one byte per entry while bounding every point query to
+/// one block decode.
+pub const ANCHOR_BLOCK: usize = 32;
+
+/// Which byte-level representation a record (and, uniformly, a whole count
+/// table) uses. This is the closed, sealed set of codecs — the on-disk
+/// format tag ([`RecordCodec::tag`]) is part of the `table.meta` v2 and
+/// store-manifest formats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RecordCodec {
+    /// Fixed-width layout: `u64` key plus `u128` cumulative count per
+    /// entry (24 bytes/pair). The v1 format; the default.
+    #[default]
+    Plain,
+    /// Varint key deltas + varint counts with sparse cumulative anchors
+    /// every [`ANCHOR_BLOCK`] entries (typically 4–8 bytes/pair).
+    Succinct,
+}
+
+impl RecordCodec {
+    /// Every codec, in tag order.
+    pub const ALL: [RecordCodec; 2] = [RecordCodec::Plain, RecordCodec::Succinct];
+
+    /// Stable one-byte format tag used by `table.meta` v2 and the store
+    /// manifest.
+    pub fn tag(self) -> u8 {
+        match self {
+            RecordCodec::Plain => 0,
+            RecordCodec::Succinct => 1,
+        }
+    }
+
+    /// Inverse of [`RecordCodec::tag`].
+    pub fn from_tag(tag: u8) -> Option<RecordCodec> {
+        match tag {
+            0 => Some(RecordCodec::Plain),
+            1 => Some(RecordCodec::Succinct),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name, as accepted by the CLI's `--codec` flag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecordCodec::Plain => "plain",
+            RecordCodec::Succinct => "succinct",
+        }
+    }
+}
+
+impl fmt::Display for RecordCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for RecordCodec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RecordCodec, String> {
+        match s {
+            "plain" => Ok(RecordCodec::Plain),
+            "succinct" => Ok(RecordCodec::Succinct),
+            other => Err(format!("unknown codec `{other}` (plain|succinct)")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LEB128 varints
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_varint_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn put_varint_u128(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn read_varint_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos)?;
+        *pos += 1;
+        let chunk = (b & 0x7F) as u64;
+        if shift >= 64 || (chunk << shift) >> shift != chunk {
+            return None; // overflow: more than 64 significant bits
+        }
+        v |= chunk << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+pub(crate) fn read_varint_u128(data: &[u8], pos: &mut usize) -> Option<u128> {
+    let mut v = 0u128;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos)?;
+        *pos += 1;
+        let chunk = (b & 0x7F) as u128;
+        if shift >= 128 || (chunk << shift) >> shift != chunk {
+            return None;
+        }
+        v |= chunk << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The succinct representation
+// ---------------------------------------------------------------------------
+
+/// Decode position within a succinct stream: everything needed to read
+/// entry `idx` and the cumulative count of all entries before it.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Cursor {
+    /// Entry index the cursor is about to read.
+    pub idx: usize,
+    /// Byte offset in the stream.
+    pub pos: usize,
+    /// Cumulative count of entries `0..idx`.
+    pub cum: u128,
+    /// Key of entry `idx - 1` (unused when `idx` starts a block).
+    pub prev: u64,
+}
+
+/// A sealed, immutable record in the succinct encoding. Constructed either
+/// from sorted pairs ([`SuccinctRepr::from_sorted`]) or by validating a
+/// decoded stream ([`SuccinctRepr::parse`]); all query methods assume the
+/// stream invariants and are panic-free on any value that passed one of
+/// those constructors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct SuccinctRepr {
+    len: u32,
+    total: u128,
+    /// First key of each block; empty for records of at most one block.
+    anchor_keys: Vec<u64>,
+    /// Cumulative count before each block.
+    anchor_cumul: Vec<u128>,
+    /// Byte offset of each block start in `data`.
+    anchor_offs: Vec<u32>,
+    data: Vec<u8>,
+}
+
+impl SuccinctRepr {
+    /// Builds from strictly-ascending `(key, count)` pairs with nonzero
+    /// counts (the post-`from_counts` invariant).
+    pub fn from_sorted(pairs: &[(u64, u128)]) -> SuccinctRepr {
+        let nblocks = pairs.len().div_ceil(ANCHOR_BLOCK);
+        let anchored = nblocks > 1;
+        let mut repr = SuccinctRepr {
+            len: pairs.len() as u32,
+            ..SuccinctRepr::default()
+        };
+        if anchored {
+            repr.anchor_keys.reserve(nblocks);
+            repr.anchor_cumul.reserve(nblocks);
+            repr.anchor_offs.reserve(nblocks);
+        }
+        let mut prev = 0u64;
+        for (i, &(key, count)) in pairs.iter().enumerate() {
+            debug_assert!(i == 0 || key > prev, "keys must be strictly ascending");
+            debug_assert!(count > 0, "zero counts must be dropped before freezing");
+            debug_assert!(key <= MAX_KEY, "key exceeds the 48-bit packing");
+            if i.is_multiple_of(ANCHOR_BLOCK) {
+                if anchored {
+                    repr.anchor_keys.push(key);
+                    repr.anchor_cumul.push(repr.total);
+                    repr.anchor_offs.push(repr.data.len() as u32);
+                }
+                put_varint_u64(&mut repr.data, key);
+            } else {
+                put_varint_u64(&mut repr.data, key - prev);
+            }
+            put_varint_u128(&mut repr.data, count);
+            repr.total = repr
+                .total
+                .checked_add(count)
+                .expect("record total overflows u128");
+            prev = key;
+        }
+        repr
+    }
+
+    /// Validates a stream of `len` entries and rebuilds the anchors.
+    /// Rejects truncated or trailing bytes, zero deltas/counts, overflow,
+    /// and keys beyond the 48-bit packing.
+    pub fn parse(len: u32, data: Vec<u8>) -> Option<SuccinctRepr> {
+        let n = len as usize;
+        let nblocks = n.div_ceil(ANCHOR_BLOCK);
+        let anchored = nblocks > 1;
+        let mut anchor_keys = Vec::new();
+        let mut anchor_cumul = Vec::new();
+        let mut anchor_offs = Vec::new();
+        let mut pos = 0usize;
+        let mut total = 0u128;
+        let mut prev = 0u64;
+        for i in 0..n {
+            let block_start = i.is_multiple_of(ANCHOR_BLOCK);
+            if block_start && anchored {
+                anchor_cumul.push(total);
+                anchor_offs.push(u32::try_from(pos).ok()?);
+            }
+            let key = if block_start {
+                let key = read_varint_u64(&data, &mut pos)?;
+                if i > 0 && key <= prev {
+                    return None;
+                }
+                key
+            } else {
+                let delta = read_varint_u64(&data, &mut pos)?;
+                if delta == 0 {
+                    return None;
+                }
+                prev.checked_add(delta)?
+            };
+            if key > MAX_KEY {
+                return None;
+            }
+            if block_start && anchored {
+                anchor_keys.push(key);
+            }
+            let count = read_varint_u128(&data, &mut pos)?;
+            if count == 0 {
+                return None;
+            }
+            total = total.checked_add(count)?;
+            prev = key;
+        }
+        if pos != data.len() {
+            return None; // trailing garbage
+        }
+        Some(SuccinctRepr {
+            len,
+            total,
+            anchor_keys,
+            anchor_cumul,
+            anchor_offs,
+            data,
+        })
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Heap bytes of the representation: stream plus anchor arrays.
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+            + self.anchor_keys.len() * 8
+            + self.anchor_cumul.len() * 16
+            + self.anchor_offs.len() * 4
+    }
+
+    /// The raw stream (appended verbatim by the encoder).
+    pub fn stream(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Reads the entry under `cur` and advances it.
+    #[inline]
+    fn entry_at(&self, cur: &mut Cursor) -> (u64, u128) {
+        let valid = "invariant: validated stream";
+        let key = if cur.idx.is_multiple_of(ANCHOR_BLOCK) {
+            read_varint_u64(&self.data, &mut cur.pos).expect(valid)
+        } else {
+            cur.prev + read_varint_u64(&self.data, &mut cur.pos).expect(valid)
+        };
+        let count = read_varint_u128(&self.data, &mut cur.pos).expect(valid);
+        cur.idx += 1;
+        cur.cum += count;
+        cur.prev = key;
+        (key, count)
+    }
+
+    /// Cursor at the start of the last block whose first key is `<= x`
+    /// (block 0 when every anchor key exceeds `x`, or when unanchored).
+    fn block_start_by_key(&self, x: u64) -> Cursor {
+        if self.anchor_keys.is_empty() {
+            return Cursor::default();
+        }
+        let b = self
+            .anchor_keys
+            .partition_point(|&k| k <= x)
+            .saturating_sub(1);
+        Cursor {
+            idx: b * ANCHOR_BLOCK,
+            pos: self.anchor_offs[b] as usize,
+            cum: self.anchor_cumul[b],
+            prev: 0,
+        }
+    }
+
+    /// Entry index one past the cursor's block (capped at `len`).
+    #[inline]
+    fn block_end(&self, cur: &Cursor) -> usize {
+        ((cur.idx / ANCHOR_BLOCK + 1) * ANCHOR_BLOCK).min(self.len())
+    }
+
+    /// Cursor positioned at the first entry with key `>= x` (or at `len`
+    /// when every key is smaller); `cum` is the count of entries before it.
+    pub fn cursor_at_key(&self, x: u64) -> Cursor {
+        if self.len == 0 {
+            return Cursor::default();
+        }
+        let mut cur = self.block_start_by_key(x);
+        let end = self.block_end(&cur);
+        while cur.idx < end {
+            let mut peek = cur;
+            let (key, _) = self.entry_at(&mut peek);
+            if key >= x {
+                break;
+            }
+            cur = peek;
+        }
+        cur
+    }
+
+    /// The count stored under `x`, or 0.
+    pub fn count_of(&self, x: u64) -> u128 {
+        if self.len == 0 {
+            return 0;
+        }
+        let mut cur = self.block_start_by_key(x);
+        let end = self.block_end(&cur);
+        while cur.idx < end {
+            let (key, count) = self.entry_at(&mut cur);
+            match key.cmp(&x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => return count,
+                std::cmp::Ordering::Greater => return 0,
+            }
+        }
+        0
+    }
+
+    /// The key whose cumulative range contains `r`, for `r ∈ 1..=total`.
+    pub fn select(&self, r: u128) -> u64 {
+        debug_assert!(r >= 1 && r <= self.total);
+        let mut cur = if self.anchor_cumul.is_empty() {
+            Cursor::default()
+        } else {
+            // `anchor_cumul[0] == 0 < r`, so the partition point is >= 1.
+            let b = self.anchor_cumul.partition_point(|&c| c < r) - 1;
+            Cursor {
+                idx: b * ANCHOR_BLOCK,
+                pos: self.anchor_offs[b] as usize,
+                cum: self.anchor_cumul[b],
+                prev: 0,
+            }
+        };
+        loop {
+            let (key, _) = self.entry_at(&mut cur);
+            if cur.cum >= r {
+                return key;
+            }
+        }
+    }
+
+    /// Iterates `(key, count)` for entries `cur.idx..end_idx`.
+    pub fn iter_from(&self, cur: Cursor, end_idx: usize) -> SuccinctIter<'_> {
+        SuccinctIter {
+            repr: self,
+            cur,
+            end: end_idx,
+        }
+    }
+
+    /// Iterates every `(key, count)` in key order.
+    pub fn iter(&self) -> SuccinctIter<'_> {
+        self.iter_from(Cursor::default(), self.len())
+    }
+}
+
+/// Streaming decoder over a slice of a succinct record.
+pub(crate) struct SuccinctIter<'a> {
+    repr: &'a SuccinctRepr,
+    cur: Cursor,
+    end: usize,
+}
+
+impl Iterator for SuccinctIter<'_> {
+    type Item = (u64, u128);
+
+    fn next(&mut self) -> Option<(u64, u128)> {
+        if self.cur.idx >= self.end {
+            return None;
+        }
+        Some(self.repr.entry_at(&mut self.cur))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.cur.idx;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SuccinctIter<'_> {}
+
+/// Writes a succinct record's serialized form: `len: u32 LE | stream`.
+pub(crate) fn encode_succinct<B: BufMut>(repr: &SuccinctRepr, buf: &mut B) {
+    buf.put_u32_le(repr.len() as u32);
+    buf.put_slice(repr.stream());
+}
+
+/// Reads a record serialized by [`encode_succinct`]. The stream is
+/// externally length-delimited (the level index frames each record), so
+/// everything remaining in `buf` must belong to this record.
+pub(crate) fn decode_succinct<B: Buf>(buf: &mut B) -> Option<SuccinctRepr> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le();
+    let mut data = vec![0u8; buf.remaining()];
+    buf.copy_to_slice(&mut data);
+    SuccinctRepr::parse(len, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0u128, 1, 127, 128, u64::MAX as u128 + 1, u128::MAX] {
+            let mut buf = Vec::new();
+            put_varint_u128(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint_u128(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 11 continuation bytes overflow a u64.
+        let over = vec![0xFF; 10];
+        let mut pos = 0;
+        assert_eq!(read_varint_u64(&over, &mut pos), None);
+        let mut pos = 0;
+        assert_eq!(read_varint_u64(&[0x80, 0x80], &mut pos), None); // truncated
+    }
+
+    fn pairs(n: u64) -> Vec<(u64, u128)> {
+        // Irregular gaps and counts, enough entries to span several blocks.
+        (0..n)
+            .map(|i| (i * i + 3 * i + 1, (i % 7 + 1) as u128 * (1 + i as u128)))
+            .collect()
+    }
+
+    #[test]
+    fn anchors_only_for_multi_block_records() {
+        let small = SuccinctRepr::from_sorted(&pairs(ANCHOR_BLOCK as u64));
+        assert!(small.anchor_keys.is_empty());
+        let big = SuccinctRepr::from_sorted(&pairs(ANCHOR_BLOCK as u64 + 1));
+        assert_eq!(big.anchor_keys.len(), 2);
+    }
+
+    #[test]
+    fn queries_match_reference_across_blocks() {
+        for n in [0u64, 1, 2, 31, 32, 33, 100, 257] {
+            let ps = pairs(n);
+            let repr = SuccinctRepr::from_sorted(&ps);
+            let total: u128 = ps.iter().map(|&(_, c)| c).sum();
+            assert_eq!(repr.total(), total, "n={n}");
+            assert_eq!(repr.len(), ps.len());
+            assert_eq!(repr.iter().collect::<Vec<_>>(), ps, "n={n}");
+            // Point lookups, hits and misses.
+            for &(k, c) in &ps {
+                assert_eq!(repr.count_of(k), c);
+                assert_eq!(repr.count_of(k + 1), 0, "gap after {k}");
+            }
+            assert_eq!(repr.count_of(0), 0);
+            // Selection partitions 1..=total exactly like the counts.
+            let mut cum = 0u128;
+            for &(k, c) in &ps {
+                assert_eq!(repr.select(cum + 1), k);
+                assert_eq!(repr.select(cum + c), k);
+                cum += c;
+            }
+            // cursor_at_key: index and cumulative-before for every boundary.
+            let mut cum = 0u128;
+            for (i, &(k, c)) in ps.iter().enumerate() {
+                let cur = repr.cursor_at_key(k);
+                assert_eq!((cur.idx, cur.cum), (i, cum), "key {k}");
+                let cur = repr.cursor_at_key(k + 1);
+                assert_eq!((cur.idx, cur.cum), (i + 1, cum + c));
+                cum += c;
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let repr = SuccinctRepr::from_sorted(&pairs(80));
+        let mut buf = Vec::new();
+        encode_succinct(&repr, &mut buf);
+        assert_eq!(decode_succinct(&mut &buf[..]).as_ref(), Some(&repr));
+        // Every truncation fails.
+        for cut in 0..buf.len() {
+            assert!(
+                decode_succinct(&mut &buf[..cut]).is_none(),
+                "cut at {cut} accepted"
+            );
+        }
+        // Trailing garbage fails.
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(decode_succinct(&mut &long[..]).is_none());
+        // A zero delta (duplicate key) fails: entry 1 starts right after the
+        // first absolute key + count; force its delta byte to 0.
+        let mut dup = buf.clone();
+        let mut pos = 0;
+        read_varint_u64(&repr.data, &mut pos).unwrap();
+        read_varint_u128(&repr.data, &mut pos).unwrap();
+        dup[4 + pos] = 0;
+        assert!(decode_succinct(&mut &dup[..]).is_none());
+    }
+}

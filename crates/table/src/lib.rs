@@ -15,17 +15,23 @@
 //! Counts are 128-bit, as in the paper (64-bit counts overflow: a single
 //! degree-2¹⁶ vertex roots ≈ 2⁸⁰ 6-stars).
 //!
-//! [`storage`] provides the two backends: in-memory, and the on-disk
-//! "greedy flushing" layout where each completed record leaves RAM
-//! immediately (§3.1). [`alias`] implements Vose's alias method used to
-//! draw the root vertex in `O(1)` (§3.3).
+//! [`codec`] defines the sealed set of record representations
+//! ([`RecordCodec`]): the fixed-width `Plain` layout above, and the
+//! paper's `Succinct` layout — varint key deltas plus varint counts with
+//! sparse cumulative anchors — which answers the same queries from a
+//! fraction of the bytes. [`storage`] provides the two backends:
+//! in-memory, and the on-disk "greedy flushing" layout where each
+//! completed record leaves RAM immediately (§3.1). [`alias`] implements
+//! Vose's alias method used to draw the root vertex in `O(1)` (§3.3).
 
 pub mod alias;
 pub mod builder;
+pub mod codec;
 pub mod record;
 pub mod storage;
 
 pub use alias::AliasTable;
 pub use builder::RecordBuilder;
+pub use codec::RecordCodec;
 pub use record::Record;
 pub use storage::{CountTable, DiskLevel, LevelStore, MemoryLevel, RecordHandle, StorageKind};

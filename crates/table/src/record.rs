@@ -1,151 +1,95 @@
-//! A single vertex's sorted count record with cumulative 128-bit counts.
+//! A single vertex's sorted count record, sealed under one of the
+//! [`RecordCodec`] representations.
+//!
+//! The *build-side* accumulator is [`crate::RecordBuilder`] (a hash map);
+//! freezing it yields a `Record`, which is immutable from then on. A record
+//! answers every query of §3.1 — totals, point counts, per-shape ranges,
+//! and cumulative selection — identically under either codec:
+//!
+//! * [`RecordCodec::Plain`] keeps the original layout: sorted `u64` keys
+//!   plus `u128` *cumulative* counts (the paper's 176 bits per pair), so
+//!   every query is a binary search.
+//! * [`RecordCodec::Succinct`] keeps the paper's compressed layout: varint
+//!   key deltas and varint counts with sparse cumulative anchors (see
+//!   [`crate::codec`]), so queries binary-search the anchors and decode at
+//!   most one block.
 
+use crate::codec::{decode_succinct, encode_succinct, RecordCodec, SuccinctIter, SuccinctRepr};
 use bytes::{Buf, BufMut};
 use motivo_treelet::{ColorSet, ColoredTreelet, Treelet};
 
-/// Sorted `(packed colored-treelet key, cumulative count)` pairs for one
-/// vertex and one treelet size (§3.1, "Motivo's count table").
+/// Sorted `(packed colored-treelet key, count)` pairs for one vertex and
+/// one treelet size (§3.1, "Motivo's count table"), sealed in the byte
+/// representation chosen at freeze time.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Record(Repr);
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Repr {
+    Plain(PlainRepr),
+    Succinct(SuccinctRepr),
+}
+
+impl Default for Record {
+    fn default() -> Record {
+        Record(Repr::Plain(PlainRepr::default()))
+    }
+}
+
+/// The fixed-width representation: keys plus cumulative counts.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-pub struct Record {
+struct PlainRepr {
     codes: Vec<u64>,
     cumul: Vec<u128>,
 }
 
-impl Record {
-    /// Builds a record from raw `(key, count)` pairs (any order, keys
-    /// unique, counts nonzero — zero counts are dropped).
-    pub fn from_counts(mut pairs: Vec<(u64, u128)>) -> Record {
-        pairs.retain(|&(_, c)| c > 0);
-        pairs.sort_unstable_by_key(|&(code, _)| code);
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "duplicate keys");
+impl PlainRepr {
+    /// Builds from strictly-ascending pairs with nonzero counts.
+    fn from_sorted(pairs: &[(u64, u128)]) -> PlainRepr {
         let mut codes = Vec::with_capacity(pairs.len());
         let mut cumul = Vec::with_capacity(pairs.len());
         let mut acc: u128 = 0;
-        for (code, c) in pairs {
+        for &(code, c) in pairs {
             acc = acc.checked_add(c).expect("record total overflows u128");
             codes.push(code);
             cumul.push(acc);
         }
-        Record { codes, cumul }
+        PlainRepr { codes, cumul }
     }
 
-    /// Number of stored pairs.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.codes.len()
-    }
-
-    /// Whether the record is empty.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
-    }
-
-    /// `occ(v)`: total treelet count at this vertex — the last cumulative
-    /// entry, `O(1)`.
-    #[inline]
-    pub fn total(&self) -> u128 {
+    fn total(&self) -> u128 {
         self.cumul.last().copied().unwrap_or(0)
     }
 
-    /// `occ(T_C, v)`: the count of one colored treelet — binary search plus
-    /// one subtraction.
-    pub fn count_of(&self, ct: ColoredTreelet) -> u128 {
-        match self.codes.binary_search(&ct.code()) {
+    fn count_of(&self, key: u64) -> u128 {
+        match self.codes.binary_search(&key) {
             Ok(i) => self.cumul[i] - if i == 0 { 0 } else { self.cumul[i - 1] },
             Err(_) => 0,
         }
     }
 
-    /// Iterates `(colored treelet, count)` in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (ColoredTreelet, u128)> + '_ {
-        self.codes.iter().enumerate().map(move |(i, &code)| {
-            let prev = if i == 0 { 0 } else { self.cumul[i - 1] };
-            (
-                ColoredTreelet::from_code(code).expect("invariant: valid key"),
-                self.cumul[i] - prev,
-            )
-        })
-    }
-
-    /// `iter(T, v)`: the sub-range of entries with uncolored shape `T`
-    /// (keys share the 32-bit tree prefix), as `(colors, count)` pairs.
-    pub fn iter_tree(&self, tree: Treelet) -> impl Iterator<Item = (ColorSet, u128)> + '_ {
-        let (lo, hi) = self.tree_range(tree);
-        (lo..hi).map(move |i| {
-            let prev = if i == 0 { 0 } else { self.cumul[i - 1] };
-            (
-                ColorSet((self.codes[i] & 0xFFFF) as u16),
-                self.cumul[i] - prev,
-            )
-        })
-    }
-
-    /// `occ(T, v)`: total count over all colorings of shape `T` — two binary
-    /// searches and one subtraction thanks to the cumulative layout.
-    pub fn tree_total(&self, tree: Treelet) -> u128 {
-        let (lo, hi) = self.tree_range(tree);
-        if lo == hi {
-            return 0;
-        }
-        let before = if lo == 0 { 0 } else { self.cumul[lo - 1] };
-        self.cumul[hi - 1] - before
-    }
-
-    fn tree_range(&self, tree: Treelet) -> (usize, usize) {
-        let lo = self
-            .codes
-            .partition_point(|&c| c < ColoredTreelet::range_start(tree));
-        let hi = self
-            .codes
-            .partition_point(|&c| c <= ColoredTreelet::range_end(tree));
+    /// `(lo, hi)` index range of keys in `[start, end]`.
+    fn key_range(&self, start: u64, end: u64) -> (usize, usize) {
+        let lo = self.codes.partition_point(|&c| c < start);
+        let hi = self.codes.partition_point(|&c| c <= end);
         (lo, hi)
     }
 
-    /// `sample(v)`: the entry whose cumulative range contains `r`, for
-    /// `r ∈ 1..=total()`. The caller draws `r` uniformly; the returned
-    /// treelet then has probability `c(T_C, v)/η_v`.
-    pub fn select(&self, r: u128) -> ColoredTreelet {
+    fn cumul_before(&self, i: usize) -> u128 {
+        if i == 0 {
+            0
+        } else {
+            self.cumul[i - 1]
+        }
+    }
+
+    fn select(&self, r: u128) -> u64 {
         debug_assert!(r >= 1 && r <= self.total());
         let i = self.cumul.partition_point(|&c| c < r);
-        ColoredTreelet::from_code(self.codes[i]).expect("invariant: valid key")
+        self.codes[i]
     }
 
-    /// Like [`Record::select`] but restricted to the entries of shape
-    /// `tree`, with `r ∈ 1..=tree_total(tree)` — the per-shape urn of AGS.
-    pub fn select_in_tree(&self, tree: Treelet, r: u128) -> ColoredTreelet {
-        let (lo, hi) = self.tree_range(tree);
-        debug_assert!(lo < hi);
-        let before = if lo == 0 { 0 } else { self.cumul[lo - 1] };
-        debug_assert!(r >= 1 && r <= self.cumul[hi - 1] - before);
-        let i = lo + self.cumul[lo..hi].partition_point(|&c| c - before < r);
-        ColoredTreelet::from_code(self.codes[i]).expect("invariant: valid key")
-    }
-
-    /// Bytes used by the in-memory representation (the paper's 176 bits per
-    /// pair: 48-bit key stored in a u64 plus a 128-bit cumulative count).
-    pub fn byte_size(&self) -> usize {
-        self.codes.len() * (8 + 16)
-    }
-
-    /// Serialized length in bytes.
-    pub fn encoded_len(&self) -> usize {
-        4 + self.codes.len() * (8 + 16)
-    }
-
-    /// Serializes as `len: u32 | codes: u64×len | cumul: u128×len` (LE).
-    pub fn encode<B: BufMut>(&self, buf: &mut B) {
-        buf.put_u32_le(self.codes.len() as u32);
-        for &c in &self.codes {
-            buf.put_u64_le(c);
-        }
-        for &c in &self.cumul {
-            buf.put_u128_le(c);
-        }
-    }
-
-    /// Deserializes a record written by [`Record::encode`].
-    pub fn decode<B: Buf>(buf: &mut B) -> Option<Record> {
+    fn decode<B: Buf>(buf: &mut B) -> Option<PlainRepr> {
         if buf.remaining() < 4 {
             return None;
         }
@@ -164,9 +108,292 @@ impl Record {
         if !codes.windows(2).all(|w| w[0] < w[1]) || !cumul.windows(2).all(|w| w[0] < w[1]) {
             return None;
         }
-        Some(Record { codes, cumul })
+        Some(PlainRepr { codes, cumul })
     }
 }
+
+impl Record {
+    /// Builds a record from raw `(key, count)` pairs (any order, keys
+    /// unique, counts nonzero — zero counts are dropped), sealed in the
+    /// [`RecordCodec::Plain`] representation.
+    pub fn from_counts(pairs: Vec<(u64, u128)>) -> Record {
+        Record::from_counts_in(RecordCodec::Plain, pairs)
+    }
+
+    /// Like [`Record::from_counts`] but sealed under `codec`.
+    pub fn from_counts_in(codec: RecordCodec, mut pairs: Vec<(u64, u128)>) -> Record {
+        pairs.retain(|&(_, c)| c > 0);
+        pairs.sort_unstable_by_key(|&(code, _)| code);
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "duplicate keys");
+        Record(match codec {
+            RecordCodec::Plain => Repr::Plain(PlainRepr::from_sorted(&pairs)),
+            RecordCodec::Succinct => Repr::Succinct(SuccinctRepr::from_sorted(&pairs)),
+        })
+    }
+
+    /// The representation this record is sealed under.
+    pub fn codec(&self) -> RecordCodec {
+        match &self.0 {
+            Repr::Plain(_) => RecordCodec::Plain,
+            Repr::Succinct(_) => RecordCodec::Succinct,
+        }
+    }
+
+    /// The same logical record sealed under `codec` (a clone when the
+    /// codec already matches). Counts are preserved exactly.
+    pub fn recode(&self, codec: RecordCodec) -> Record {
+        if self.codec() == codec {
+            return self.clone();
+        }
+        Record::from_counts_in(codec, self.raw_iter().collect())
+    }
+
+    /// Number of stored pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Plain(p) => p.codes.len(),
+            Repr::Succinct(s) => s.len(),
+        }
+    }
+
+    /// Whether the record is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `occ(v)`: total treelet count at this vertex, `O(1)`.
+    #[inline]
+    pub fn total(&self) -> u128 {
+        match &self.0 {
+            Repr::Plain(p) => p.total(),
+            Repr::Succinct(s) => s.total(),
+        }
+    }
+
+    /// `occ(T_C, v)`: the count of one colored treelet — a binary search
+    /// (plain: over all keys; succinct: over the anchors plus one block).
+    pub fn count_of(&self, ct: ColoredTreelet) -> u128 {
+        match &self.0 {
+            Repr::Plain(p) => p.count_of(ct.code()),
+            Repr::Succinct(s) => s.count_of(ct.code()),
+        }
+    }
+
+    /// Iterates `(key, count)` in key order — the codec-agnostic core of
+    /// the public iterators.
+    fn raw_iter(&self) -> RawIter<'_> {
+        match &self.0 {
+            Repr::Plain(p) => RawIter::Plain {
+                codes: &p.codes,
+                cumul: &p.cumul,
+                prev: 0,
+            },
+            Repr::Succinct(s) => RawIter::Succinct(s.iter()),
+        }
+    }
+
+    /// Iterates `(colored treelet, count)` in key order.
+    pub fn iter(&self) -> RecordIter<'_> {
+        RecordIter(self.raw_iter())
+    }
+
+    /// `iter(T, v)`: the sub-range of entries with uncolored shape `T`
+    /// (keys share the 32-bit tree prefix), as `(colors, count)` pairs.
+    pub fn iter_tree(&self, tree: Treelet) -> TreeIter<'_> {
+        let start = ColoredTreelet::range_start(tree);
+        let end = ColoredTreelet::range_end(tree);
+        TreeIter(match &self.0 {
+            Repr::Plain(p) => {
+                let (lo, hi) = p.key_range(start, end);
+                RawIter::Plain {
+                    codes: &p.codes[lo..hi],
+                    cumul: &p.cumul[lo..hi],
+                    prev: p.cumul_before(lo),
+                }
+            }
+            Repr::Succinct(s) => {
+                let lo = s.cursor_at_key(start);
+                let hi = s.cursor_at_key(end + 1).idx;
+                RawIter::Succinct(s.iter_from(lo, hi))
+            }
+        })
+    }
+
+    /// `occ(T, v)`: total count over all colorings of shape `T` — two
+    /// binary searches and one subtraction thanks to the cumulative layout
+    /// (plain) or the cumulative anchors (succinct).
+    pub fn tree_total(&self, tree: Treelet) -> u128 {
+        let start = ColoredTreelet::range_start(tree);
+        let end = ColoredTreelet::range_end(tree);
+        match &self.0 {
+            Repr::Plain(p) => {
+                let (lo, hi) = p.key_range(start, end);
+                if lo == hi {
+                    return 0;
+                }
+                p.cumul[hi - 1] - p.cumul_before(lo)
+            }
+            Repr::Succinct(s) => s.cursor_at_key(end + 1).cum - s.cursor_at_key(start).cum,
+        }
+    }
+
+    /// `sample(v)`: the entry whose cumulative range contains `r`, for
+    /// `r ∈ 1..=total()`. The caller draws `r` uniformly; the returned
+    /// treelet then has probability `c(T_C, v)/η_v`.
+    pub fn select(&self, r: u128) -> ColoredTreelet {
+        let key = match &self.0 {
+            Repr::Plain(p) => p.select(r),
+            Repr::Succinct(s) => s.select(r),
+        };
+        ColoredTreelet::from_code(key).expect("invariant: valid key")
+    }
+
+    /// Like [`Record::select`] but restricted to the entries of shape
+    /// `tree`, with `r ∈ 1..=tree_total(tree)` — the per-shape urn of AGS.
+    pub fn select_in_tree(&self, tree: Treelet, r: u128) -> ColoredTreelet {
+        debug_assert!(r >= 1 && r <= self.tree_total(tree));
+        let start = ColoredTreelet::range_start(tree);
+        let before = match &self.0 {
+            Repr::Plain(p) => {
+                let lo = p.codes.partition_point(|&c| c < start);
+                p.cumul_before(lo)
+            }
+            Repr::Succinct(s) => s.cursor_at_key(start).cum,
+        };
+        // Entries of one shape are contiguous, so selecting at the global
+        // cumulative rank `before + r` lands inside the shape's range.
+        self.select(before + r)
+    }
+
+    /// Bytes used by the in-memory representation: 24 per pair for plain
+    /// (the paper's 176 bits rounded to the `u64`/`u128` layout), the
+    /// stream plus anchors for succinct.
+    pub fn byte_size(&self) -> usize {
+        match &self.0 {
+            Repr::Plain(p) => p.codes.len() * (8 + 16),
+            Repr::Succinct(s) => s.byte_size(),
+        }
+    }
+
+    /// Bytes the *plain* representation of this record would take —
+    /// the baseline of the succinct codec's compression ratio.
+    pub fn plain_byte_size(&self) -> usize {
+        self.len() * (8 + 16)
+    }
+
+    /// Serialized length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match &self.0 {
+            Repr::Plain(p) => 4 + p.codes.len() * (8 + 16),
+            Repr::Succinct(s) => 4 + s.stream().len(),
+        }
+    }
+
+    /// Serializes the record. Plain: `len: u32 | codes: u64×len |
+    /// cumul: u128×len` (LE) — byte-identical to the v1 format. Succinct:
+    /// `len: u32 | varint stream`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        match &self.0 {
+            Repr::Plain(p) => {
+                buf.put_u32_le(p.codes.len() as u32);
+                for &c in &p.codes {
+                    buf.put_u64_le(c);
+                }
+                for &c in &p.cumul {
+                    buf.put_u128_le(c);
+                }
+            }
+            Repr::Succinct(s) => encode_succinct(s, buf),
+        }
+    }
+
+    /// Deserializes a record written by [`Record::encode`] under `codec`.
+    /// Succinct records are externally length-delimited: everything
+    /// remaining in `buf` must belong to this record.
+    pub fn decode<B: Buf>(codec: RecordCodec, buf: &mut B) -> Option<Record> {
+        Some(Record(match codec {
+            RecordCodec::Plain => Repr::Plain(PlainRepr::decode(buf)?),
+            RecordCodec::Succinct => Repr::Succinct(decode_succinct(buf)?),
+        }))
+    }
+}
+
+/// Codec-agnostic `(key, count)` iteration.
+enum RawIter<'a> {
+    Plain {
+        codes: &'a [u64],
+        cumul: &'a [u128],
+        prev: u128,
+    },
+    Succinct(SuccinctIter<'a>),
+}
+
+impl Iterator for RawIter<'_> {
+    type Item = (u64, u128);
+
+    fn next(&mut self) -> Option<(u64, u128)> {
+        match self {
+            RawIter::Plain { codes, cumul, prev } => {
+                let (&key, &cum) = (codes.first()?, cumul.first()?);
+                *codes = &codes[1..];
+                *cumul = &cumul[1..];
+                let count = cum - *prev;
+                *prev = cum;
+                Some((key, count))
+            }
+            RawIter::Succinct(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RawIter::Plain { codes, .. } => (codes.len(), Some(codes.len())),
+            RawIter::Succinct(it) => it.size_hint(),
+        }
+    }
+}
+
+/// Iterator over `(colored treelet, count)` pairs — see [`Record::iter`].
+pub struct RecordIter<'a>(RawIter<'a>);
+
+impl Iterator for RecordIter<'_> {
+    type Item = (ColoredTreelet, u128);
+
+    fn next(&mut self) -> Option<(ColoredTreelet, u128)> {
+        let (key, count) = self.0.next()?;
+        Some((
+            ColoredTreelet::from_code(key).expect("invariant: valid key"),
+            count,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl ExactSizeIterator for RecordIter<'_> {}
+
+/// Iterator over one shape's `(colors, count)` pairs — see
+/// [`Record::iter_tree`].
+pub struct TreeIter<'a>(RawIter<'a>);
+
+impl Iterator for TreeIter<'_> {
+    type Item = (ColorSet, u128);
+
+    fn next(&mut self) -> Option<(ColorSet, u128)> {
+        let (key, count) = self.0.next()?;
+        Some((ColorSet((key & 0xFFFF) as u16), count))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl ExactSizeIterator for TreeIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -177,95 +404,181 @@ mod tests {
         ColoredTreelet::new(tree, ColorSet(colors))
     }
 
-    fn sample_record() -> (Record, Vec<(ColoredTreelet, u128)>) {
+    fn sample_pairs() -> Vec<(ColoredTreelet, u128)> {
         let s3 = star_treelet(3);
         let p3 = path_treelet(3);
-        let pairs = vec![
+        vec![
             (ct(s3, 0b0111), 5u128),
             (ct(s3, 0b1011), 2),
             (ct(p3, 0b0111), 7),
             (ct(p3, 0b1110), 1),
-        ];
-        let rec = Record::from_counts(pairs.iter().map(|&(c, n)| (c.code(), n)).collect());
+        ]
+    }
+
+    fn sample_record_in(codec: RecordCodec) -> (Record, Vec<(ColoredTreelet, u128)>) {
+        let pairs = sample_pairs();
+        let rec =
+            Record::from_counts_in(codec, pairs.iter().map(|&(c, n)| (c.code(), n)).collect());
         (rec, pairs)
+    }
+
+    fn sample_record() -> (Record, Vec<(ColoredTreelet, u128)>) {
+        sample_record_in(RecordCodec::Plain)
     }
 
     #[test]
     fn totals_and_counts() {
-        let (rec, pairs) = sample_record();
-        assert_eq!(rec.total(), 15);
-        for (ct, n) in pairs {
-            assert_eq!(rec.count_of(ct), n);
+        for codec in RecordCodec::ALL {
+            let (rec, pairs) = sample_record_in(codec);
+            assert_eq!(rec.codec(), codec);
+            assert_eq!(rec.total(), 15);
+            for (ct, n) in pairs {
+                assert_eq!(rec.count_of(ct), n);
+            }
+            assert_eq!(rec.count_of(ct(star_treelet(3), 0b1101)), 0);
         }
-        assert_eq!(rec.count_of(ct(star_treelet(3), 0b1101)), 0);
     }
 
     #[test]
     fn iteration_matches_counts() {
-        let (rec, _) = sample_record();
-        let total: u128 = rec.iter().map(|(_, c)| c).sum();
-        assert_eq!(total, rec.total());
-        assert_eq!(rec.iter().count(), 4);
+        for codec in RecordCodec::ALL {
+            let (rec, _) = sample_record_in(codec);
+            let total: u128 = rec.iter().map(|(_, c)| c).sum();
+            assert_eq!(total, rec.total());
+            assert_eq!(rec.iter().count(), 4);
+        }
     }
 
     #[test]
     fn per_tree_queries() {
-        let (rec, _) = sample_record();
-        let s3 = star_treelet(3);
-        let p3 = path_treelet(3);
-        assert_eq!(rec.tree_total(s3), 7);
-        assert_eq!(rec.tree_total(p3), 8);
-        assert_eq!(rec.tree_total(path_treelet(4)), 0);
-        let colors: Vec<_> = rec.iter_tree(s3).collect();
-        assert_eq!(colors, vec![(ColorSet(0b0111), 5), (ColorSet(0b1011), 2)]);
+        for codec in RecordCodec::ALL {
+            let (rec, _) = sample_record_in(codec);
+            let s3 = star_treelet(3);
+            let p3 = path_treelet(3);
+            assert_eq!(rec.tree_total(s3), 7);
+            assert_eq!(rec.tree_total(p3), 8);
+            assert_eq!(rec.tree_total(path_treelet(4)), 0);
+            let colors: Vec<_> = rec.iter_tree(s3).collect();
+            assert_eq!(colors, vec![(ColorSet(0b0111), 5), (ColorSet(0b1011), 2)]);
+        }
     }
 
     #[test]
     fn selection_covers_exact_ranges() {
-        let (rec, _) = sample_record();
-        // Counts in key order: star/0b0111 → 5, star/0b1011 → 2, path/0b0111 → 7, path/0b1110 → 1.
-        let mut tally = std::collections::HashMap::new();
-        for r in 1..=rec.total() {
-            *tally.entry(rec.select(r).code()).or_insert(0u128) += 1;
-        }
-        for (ct, n) in rec.iter() {
-            assert_eq!(tally[&ct.code()], n);
+        for codec in RecordCodec::ALL {
+            let (rec, _) = sample_record_in(codec);
+            // Counts in key order: star/0b0111 → 5, star/0b1011 → 2,
+            // path/0b0111 → 7, path/0b1110 → 1.
+            let mut tally = std::collections::HashMap::new();
+            for r in 1..=rec.total() {
+                *tally.entry(rec.select(r).code()).or_insert(0u128) += 1;
+            }
+            for (ct, n) in rec.iter() {
+                assert_eq!(tally[&ct.code()], n);
+            }
         }
     }
 
     #[test]
     fn selection_within_tree() {
-        let (rec, _) = sample_record();
-        let p3 = path_treelet(3);
-        let mut tally = std::collections::HashMap::new();
-        for r in 1..=rec.tree_total(p3) {
-            let picked = rec.select_in_tree(p3, r);
-            assert_eq!(picked.tree(), p3);
-            *tally.entry(picked.colors().0).or_insert(0u128) += 1;
+        for codec in RecordCodec::ALL {
+            let (rec, _) = sample_record_in(codec);
+            let p3 = path_treelet(3);
+            let mut tally = std::collections::HashMap::new();
+            for r in 1..=rec.tree_total(p3) {
+                let picked = rec.select_in_tree(p3, r);
+                assert_eq!(picked.tree(), p3);
+                *tally.entry(picked.colors().0).or_insert(0u128) += 1;
+            }
+            assert_eq!(tally[&0b0111], 7);
+            assert_eq!(tally[&0b1110], 1);
         }
-        assert_eq!(tally[&0b0111], 7);
-        assert_eq!(tally[&0b1110], 1);
     }
 
     #[test]
     fn encode_decode_roundtrip() {
-        let (rec, _) = sample_record();
-        let mut buf = Vec::new();
-        rec.encode(&mut buf);
-        assert_eq!(buf.len(), rec.encoded_len());
-        let back = Record::decode(&mut &buf[..]).unwrap();
-        assert_eq!(back, rec);
-        // Corruption detected.
-        assert!(Record::decode(&mut &buf[..buf.len() - 1]).is_none());
+        for codec in RecordCodec::ALL {
+            let (rec, _) = sample_record_in(codec);
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            assert_eq!(buf.len(), rec.encoded_len());
+            let back = Record::decode(codec, &mut &buf[..]).unwrap();
+            assert_eq!(back, rec);
+            // Corruption detected.
+            assert!(Record::decode(codec, &mut &buf[..buf.len() - 1]).is_none());
+        }
     }
 
     #[test]
     fn zero_counts_dropped_and_empty_ok() {
-        let rec = Record::from_counts(vec![(123 << 16, 0)]);
-        assert!(rec.is_empty());
-        assert_eq!(rec.total(), 0);
-        let mut buf = Vec::new();
-        rec.encode(&mut buf);
-        assert_eq!(Record::decode(&mut &buf[..]).unwrap(), rec);
+        for codec in RecordCodec::ALL {
+            let rec = Record::from_counts_in(codec, vec![(123 << 16, 0)]);
+            assert!(rec.is_empty());
+            assert_eq!(rec.total(), 0);
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            assert_eq!(Record::decode(codec, &mut &buf[..]).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn recode_preserves_contents_and_shrinks() {
+        let (plain, pairs) = sample_record();
+        let succ = plain.recode(RecordCodec::Succinct);
+        assert_eq!(succ.codec(), RecordCodec::Succinct);
+        assert_eq!(
+            succ.iter().collect::<Vec<_>>(),
+            plain.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(succ.recode(RecordCodec::Plain), plain);
+        assert!(succ.byte_size() < plain.byte_size());
+        assert_eq!(plain.plain_byte_size(), pairs.len() * 24);
+        assert_eq!(succ.plain_byte_size(), plain.byte_size());
+    }
+
+    /// A record spanning several anchor blocks answers every query the
+    /// same under both codecs — the multi-block paths of the succinct side.
+    #[test]
+    fn codecs_agree_on_large_records() {
+        // Many colorings of two size-4 shapes: > 2 anchor blocks.
+        let s4 = star_treelet(4);
+        let p4 = path_treelet(4);
+        let mut pairs = Vec::new();
+        for (i, colors) in ColorSet::full(9).subsets_of_size(4).into_iter().enumerate() {
+            pairs.push((ColoredTreelet::new(s4, colors).code(), (i % 11 + 1) as u128));
+            pairs.push((
+                ColoredTreelet::new(p4, colors).code(),
+                (i % 5 + 1) as u128 * 3,
+            ));
+        }
+        assert!(pairs.len() > 3 * crate::codec::ANCHOR_BLOCK);
+        let plain = Record::from_counts(pairs.clone());
+        let succ = Record::from_counts_in(RecordCodec::Succinct, pairs.clone());
+        assert_eq!(plain.total(), succ.total());
+        assert_eq!(
+            plain.iter().collect::<Vec<_>>(),
+            succ.iter().collect::<Vec<_>>()
+        );
+        for &(code, _) in &pairs {
+            let ct = ColoredTreelet::from_code(code).unwrap();
+            assert_eq!(plain.count_of(ct), succ.count_of(ct));
+        }
+        for tree in [s4, p4, path_treelet(3)] {
+            assert_eq!(plain.tree_total(tree), succ.tree_total(tree));
+            assert_eq!(
+                plain.iter_tree(tree).collect::<Vec<_>>(),
+                succ.iter_tree(tree).collect::<Vec<_>>()
+            );
+        }
+        for r in (1..=plain.total()).step_by(7) {
+            assert_eq!(plain.select(r), succ.select(r));
+        }
+        for tree in [s4, p4] {
+            for r in (1..=plain.tree_total(tree)).step_by(5) {
+                assert_eq!(plain.select_in_tree(tree, r), succ.select_in_tree(tree, r));
+            }
+        }
+        // And the memory win is real even at this size.
+        assert!(succ.byte_size() * 2 < plain.byte_size());
     }
 }

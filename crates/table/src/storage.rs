@@ -11,10 +11,18 @@
 //! the file), observable and testable. The paper's second sort pass exists
 //! to make keys seekable; the explicit index achieves the same and is noted
 //! as a substitution in DESIGN.md.
+//!
+//! Every level and the assembled [`CountTable`] carry the [`RecordCodec`]
+//! their records are sealed under; `byte_size` reports the true encoded
+//! footprint, so the succinct codec's savings are visible all the way up
+//! to the store's LRU budget. All storage operations are fallible
+//! (`io::Result`): an I/O error propagates to the build/persist caller
+//! instead of aborting the process.
 
+use crate::codec::RecordCodec;
 use crate::record::Record;
 use std::fs::File;
-use std::io::{self, Write};
+use std::io;
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
 
@@ -41,12 +49,12 @@ impl Deref for RecordHandle<'_> {
 /// One level (treelet size) of the count table.
 pub trait LevelStore: Send + Sync {
     /// Stores the completed record of vertex `v` (called once per vertex).
-    fn put(&mut self, v: u32, rec: Record);
+    fn put(&mut self, v: u32, rec: Record) -> io::Result<()>;
 
     /// Fetches the record of `v`; an empty record if `v` stored none.
-    fn get(&self, v: u32) -> RecordHandle<'_>;
+    fn get(&self, v: u32) -> io::Result<RecordHandle<'_>>;
 
-    /// Total size of the level's payload in bytes.
+    /// Total size of the level's payload in bytes (encoded form).
     fn byte_size(&self) -> usize;
 
     /// Number of non-empty records.
@@ -59,40 +67,58 @@ pub trait LevelStore: Send + Sync {
     fn vertices(&self) -> Vec<u32>;
 }
 
-/// In-memory level: a dense vector of records.
+/// In-memory level: a dense vector of records sealed under one codec.
 pub struct MemoryLevel {
     records: Vec<Option<Record>>,
+    codec: RecordCodec,
     bytes: usize,
     count: usize,
 }
 
 impl MemoryLevel {
-    /// An empty level for `n` vertices.
-    pub fn new(n: u32) -> MemoryLevel {
+    /// An empty level for `n` vertices whose records are sealed under
+    /// `codec`.
+    pub fn new(n: u32, codec: RecordCodec) -> MemoryLevel {
         MemoryLevel {
             records: vec![None; n as usize],
+            codec,
             bytes: 0,
             count: 0,
         }
     }
+
+    /// Codec the level's records are sealed under.
+    pub fn codec(&self) -> RecordCodec {
+        self.codec
+    }
 }
 
 impl LevelStore for MemoryLevel {
-    fn put(&mut self, v: u32, rec: Record) {
+    fn put(&mut self, v: u32, rec: Record) -> io::Result<()> {
         if rec.is_empty() {
-            return;
+            return Ok(());
         }
+        // Re-seal a record arriving under the wrong codec, mirroring
+        // DiskLevel: otherwise the level's byte accounting (and the
+        // table's advertised codec) would silently disagree with its
+        // contents. The common same-codec case passes through untouched.
+        let rec = if rec.codec() == self.codec {
+            rec
+        } else {
+            rec.recode(self.codec)
+        };
         self.bytes += rec.byte_size();
         self.count += 1;
         debug_assert!(self.records[v as usize].is_none(), "record stored twice");
         self.records[v as usize] = Some(rec);
+        Ok(())
     }
 
-    fn get(&self, v: u32) -> RecordHandle<'_> {
-        match &self.records[v as usize] {
+    fn get(&self, v: u32) -> io::Result<RecordHandle<'_>> {
+        Ok(match &self.records[v as usize] {
             Some(r) => RecordHandle::Borrowed(r),
             None => RecordHandle::Owned(Record::default()),
-        }
+        })
     }
 
     fn byte_size(&self) -> usize {
@@ -115,10 +141,12 @@ impl LevelStore for MemoryLevel {
 }
 
 /// Disk level: records appended to a file at completion (greedy flushing),
-/// indexed by vertex for positioned reads.
+/// indexed by vertex for positioned reads. The level remembers the codec
+/// its records were encoded under; reads decode with it.
 pub struct DiskLevel {
     file: File,
     path: PathBuf,
+    codec: RecordCodec,
     /// `(offset, len)` per vertex; `len == 0` means no record.
     index: Vec<(u64, u32)>,
     write_offset: u64,
@@ -126,8 +154,9 @@ pub struct DiskLevel {
 }
 
 impl DiskLevel {
-    /// Creates the backing file at `path` for `n` vertices.
-    pub fn create<P: AsRef<Path>>(path: P, n: u32) -> io::Result<DiskLevel> {
+    /// Creates the backing file at `path` for `n` vertices whose records
+    /// are encoded under `codec`.
+    pub fn create<P: AsRef<Path>>(path: P, n: u32, codec: RecordCodec) -> io::Result<DiskLevel> {
         let path = path.as_ref().to_path_buf();
         let file = File::options()
             .read(true)
@@ -138,6 +167,7 @@ impl DiskLevel {
         Ok(DiskLevel {
             file,
             path,
+            codec,
             index: vec![(0, 0); n as usize],
             write_offset: 0,
             count: 0,
@@ -147,6 +177,11 @@ impl DiskLevel {
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Codec the level's records are encoded under.
+    pub fn codec(&self) -> RecordCodec {
+        self.codec
     }
 
     /// Persists the per-vertex index next to the data file (`<path>.idx`)
@@ -165,8 +200,9 @@ impl DiskLevel {
         std::fs::write(self.index_path(), buf)
     }
 
-    /// Reopens a level persisted by [`DiskLevel::persist_index`].
-    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<DiskLevel> {
+    /// Reopens a level persisted by [`DiskLevel::persist_index`], decoding
+    /// records under `codec` (recorded in the table's `table.meta`).
+    pub fn open<P: AsRef<Path>>(path: P, codec: RecordCodec) -> io::Result<DiskLevel> {
         use bytes::Buf;
         let path = path.as_ref().to_path_buf();
         let file = File::options().read(true).write(true).open(&path)?;
@@ -213,6 +249,7 @@ impl DiskLevel {
         Ok(DiskLevel {
             file,
             path,
+            codec,
             index,
             write_offset,
             count,
@@ -230,29 +267,48 @@ impl DiskLevel {
 }
 
 impl LevelStore for DiskLevel {
-    fn put(&mut self, v: u32, rec: Record) {
+    fn put(&mut self, v: u32, rec: Record) -> io::Result<()> {
         if rec.is_empty() {
-            return;
+            return Ok(());
         }
+        // Re-seal a record that arrives under the wrong codec: writing its
+        // bytes as-is would only surface as InvalidData at some later read,
+        // far from the faulty put. The common same-codec case passes
+        // through untouched.
+        let rec = if rec.codec() == self.codec {
+            rec
+        } else {
+            rec.recode(self.codec)
+        };
         let mut buf = Vec::with_capacity(rec.encoded_len());
         rec.encode(&mut buf);
-        self.file.write_all(&buf).expect("flush record to disk");
+        // Positioned write at the tracked offset, not the file cursor: a
+        // failed partial write then leaves offset and index untouched, so
+        // a caller that survives the error (the API is fallible now) can
+        // keep appending without desyncing the index.
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(&buf, self.write_offset)?;
         self.index[v as usize] = (self.write_offset, buf.len() as u32);
         self.write_offset += buf.len() as u64;
         self.count += 1;
+        Ok(())
     }
 
-    fn get(&self, v: u32) -> RecordHandle<'_> {
+    fn get(&self, v: u32) -> io::Result<RecordHandle<'_>> {
         let (off, len) = self.index[v as usize];
         if len == 0 {
-            return RecordHandle::Owned(Record::default());
+            return Ok(RecordHandle::Owned(Record::default()));
         }
         let mut buf = vec![0u8; len as usize];
         use std::os::unix::fs::FileExt;
-        self.file
-            .read_exact_at(&mut buf, off)
-            .expect("read record from disk");
-        RecordHandle::Owned(Record::decode(&mut &buf[..]).expect("valid record on disk"))
+        self.file.read_exact_at(&mut buf, off)?;
+        let rec = Record::decode(self.codec, &mut &buf[..]).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt record for vertex {v} in {}", self.path.display()),
+            )
+        })?;
+        Ok(RecordHandle::Owned(rec))
     }
 
     fn byte_size(&self) -> usize {
@@ -287,15 +343,22 @@ pub enum StorageKind {
 }
 
 impl StorageKind {
-    /// Creates an empty level for treelet size `h` over `n` vertices.
-    pub fn create_level(&self, h: u32, n: u32) -> io::Result<Box<dyn LevelStore>> {
+    /// Creates an empty level for treelet size `h` over `n` vertices,
+    /// storing records sealed under `codec`.
+    pub fn create_level(
+        &self,
+        h: u32,
+        n: u32,
+        codec: RecordCodec,
+    ) -> io::Result<Box<dyn LevelStore>> {
         match self {
-            StorageKind::Memory => Ok(Box::new(MemoryLevel::new(n))),
+            StorageKind::Memory => Ok(Box::new(MemoryLevel::new(n, codec))),
             StorageKind::Disk { dir } => {
                 std::fs::create_dir_all(dir)?;
                 Ok(Box::new(DiskLevel::create(
                     dir.join(format!("level-{h}.mtvt")),
                     n,
+                    codec,
                 )?))
             }
         }
@@ -305,15 +368,18 @@ impl StorageKind {
 /// The assembled per-size count tables for sizes `1..=k`.
 pub struct CountTable {
     k: u32,
+    codec: RecordCodec,
     levels: Vec<Box<dyn LevelStore>>,
 }
 
 impl CountTable {
-    /// Assembles a table from per-size levels (index 0 = size 1).
-    pub fn from_levels(levels: Vec<Box<dyn LevelStore>>) -> CountTable {
+    /// Assembles a table from per-size levels (index 0 = size 1), all
+    /// holding records sealed under `codec`.
+    pub fn from_levels(levels: Vec<Box<dyn LevelStore>>, codec: RecordCodec) -> CountTable {
         assert!(!levels.is_empty());
         CountTable {
             k: levels.len() as u32,
+            codec,
             levels,
         }
     }
@@ -323,9 +389,14 @@ impl CountTable {
         self.k
     }
 
+    /// The codec every record in this table is sealed under.
+    pub fn codec(&self) -> RecordCodec {
+        self.codec
+    }
+
     /// Record of vertex `v` at treelet size `h`.
     #[inline]
-    pub fn get(&self, h: u32, v: u32) -> RecordHandle<'_> {
+    pub fn get(&self, h: u32, v: u32) -> io::Result<RecordHandle<'_>> {
         self.levels[h as usize - 1].get(v)
     }
 
@@ -334,7 +405,8 @@ impl CountTable {
         self.levels[h as usize - 1].as_ref()
     }
 
-    /// Total payload bytes across all levels.
+    /// Total payload bytes across all levels (encoded form — what the
+    /// codec actually costs in memory or on disk).
     pub fn byte_size(&self) -> usize {
         self.levels.iter().map(|l| l.byte_size()).sum()
     }
@@ -347,7 +419,8 @@ impl CountTable {
     /// Persists the whole table into `dir` (one data + index file pair per
     /// level, plus `table.meta`), so it can be reopened with
     /// [`CountTable::open_dir`]. In-memory levels are written out;
-    /// disk-backed levels re-export into the target directory.
+    /// disk-backed levels re-export into the target directory. Records are
+    /// re-sealed under the table's codec if a level disagrees.
     pub fn save_dir<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -360,9 +433,9 @@ impl CountTable {
             // source handle keeps the old inode across the rename.
             let tmp = dir.join(format!("level-{h}.mtvt.new"));
             let fin = dir.join(format!("level-{h}.mtvt"));
-            let mut disk = DiskLevel::create(&tmp, n)?;
+            let mut disk = DiskLevel::create(&tmp, n, self.codec)?;
             for v in level.vertices() {
-                disk.put(v, (*level.get(v)).clone());
+                disk.put(v, level.get(v)?.recode(self.codec))?;
             }
             disk.persist_index()?;
             std::fs::rename(&tmp, &fin)?;
@@ -374,55 +447,78 @@ impl CountTable {
         use bytes::BufMut;
         let mut meta = Vec::new();
         meta.put_slice(b"MTVT");
-        meta.put_u32_le(1);
+        meta.put_u32_le(TABLE_META_VERSION);
         meta.put_u32_le(self.k);
         meta.put_u32_le(n);
+        meta.put_u8(self.codec.tag());
         std::fs::write(dir.join("table.meta"), meta)
     }
 
     /// Converts every level into an in-memory level. This is the "enough
     /// memory is available" fast path of the paper's memory-mapped reads
     /// (§3.3): after preloading, record access never touches the disk.
-    pub fn preload(self) -> CountTable {
-        let levels = self
-            .levels
-            .into_iter()
-            .map(|lvl| {
-                let mut mem = MemoryLevel::new(lvl.num_vertices());
-                for v in lvl.vertices() {
-                    mem.put(v, (*lvl.get(v)).clone());
-                }
-                Box::new(mem) as Box<dyn LevelStore>
-            })
-            .collect();
-        CountTable { k: self.k, levels }
+    pub fn preload(self) -> io::Result<CountTable> {
+        let mut levels: Vec<Box<dyn LevelStore>> = Vec::with_capacity(self.levels.len());
+        for lvl in self.levels {
+            let mut mem = MemoryLevel::new(lvl.num_vertices(), self.codec);
+            for v in lvl.vertices() {
+                mem.put(v, (*lvl.get(v)?).clone())?;
+            }
+            levels.push(Box::new(mem));
+        }
+        Ok(CountTable {
+            k: self.k,
+            codec: self.codec,
+            levels,
+        })
     }
 
-    /// Reopens a table persisted by [`CountTable::save_dir`].
+    /// Reopens a table persisted by [`CountTable::save_dir`]. Reads both
+    /// the v2 format (with a codec tag) and the pre-codec v1 format, whose
+    /// records are always plain.
     pub fn open_dir<P: AsRef<Path>>(dir: P) -> io::Result<CountTable> {
         use bytes::Buf;
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
         let dir = dir.as_ref();
         let raw = std::fs::read(dir.join("table.meta"))?;
         let mut buf = &raw[..];
         if buf.remaining() < 16 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated meta"));
+            return Err(bad("truncated meta"));
         }
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
-        if &magic != b"MTVT" || buf.get_u32_le() != 1 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad table meta"));
+        if &magic != b"MTVT" {
+            return Err(bad("bad table meta"));
+        }
+        let version = buf.get_u32_le();
+        if !(1..=TABLE_META_VERSION).contains(&version) {
+            return Err(bad("unsupported table meta version"));
+        }
+        if version == 2 && buf.remaining() < 9 {
+            return Err(bad("truncated meta"));
         }
         let k = buf.get_u32_le();
         let _n = buf.get_u32_le();
+        let codec = if version == 2 {
+            RecordCodec::from_tag(buf.get_u8()).ok_or_else(|| bad("unknown codec tag"))?
+        } else {
+            // v1 predates the codec column: every record is plain.
+            RecordCodec::Plain
+        };
         let mut levels: Vec<Box<dyn LevelStore>> = Vec::with_capacity(k as usize);
         for h in 1..=k {
             levels.push(Box::new(DiskLevel::open(
                 dir.join(format!("level-{h}.mtvt")),
+                codec,
             )?));
         }
-        Ok(CountTable::from_levels(levels))
+        Ok(CountTable::from_levels(levels, codec))
     }
 }
+
+/// Current `table.meta` format version. v1 had no codec tag (plain
+/// records); v2 appends one byte with [`RecordCodec::tag`].
+pub const TABLE_META_VERSION: u32 = 2;
 
 #[cfg(test)]
 mod tests {
@@ -430,95 +526,158 @@ mod tests {
     use motivo_treelet::{path_treelet, star_treelet, ColorSet, ColoredTreelet};
 
     fn record(seed: u64) -> Record {
+        record_in(RecordCodec::Plain, seed)
+    }
+
+    fn record_in(codec: RecordCodec, seed: u64) -> Record {
         let s3 = star_treelet(3);
         let p3 = path_treelet(3);
-        Record::from_counts(vec![
-            (
-                ColoredTreelet::new(s3, ColorSet(0b0111)).code(),
-                seed as u128 + 1,
-            ),
-            (
-                ColoredTreelet::new(p3, ColorSet(0b1101)).code(),
-                2 * seed as u128 + 3,
-            ),
-        ])
+        Record::from_counts_in(
+            codec,
+            vec![
+                (
+                    ColoredTreelet::new(s3, ColorSet(0b0111)).code(),
+                    seed as u128 + 1,
+                ),
+                (
+                    ColoredTreelet::new(p3, ColorSet(0b1101)).code(),
+                    2 * seed as u128 + 3,
+                ),
+            ],
+        )
     }
 
     #[test]
     fn memory_level_roundtrip() {
-        let mut lvl = MemoryLevel::new(10);
-        lvl.put(3, record(5));
-        lvl.put(7, record(9));
-        lvl.put(1, Record::default()); // empty: dropped
+        let mut lvl = MemoryLevel::new(10, RecordCodec::Plain);
+        lvl.put(3, record(5)).unwrap();
+        lvl.put(7, record(9)).unwrap();
+        lvl.put(1, Record::default()).unwrap(); // empty: dropped
         assert_eq!(lvl.record_count(), 2);
-        assert_eq!(lvl.get(3).total(), record(5).total());
-        assert!(lvl.get(0).is_empty());
-        assert!(lvl.get(1).is_empty());
+        assert_eq!(lvl.get(3).unwrap().total(), record(5).total());
+        assert!(lvl.get(0).unwrap().is_empty());
+        assert!(lvl.get(1).unwrap().is_empty());
     }
 
     #[test]
     fn disk_level_matches_memory() {
-        let dir = std::env::temp_dir().join("motivo-table-test-disk");
-        std::fs::create_dir_all(&dir).unwrap();
-        let mut disk = DiskLevel::create(dir.join("lvl.mtvt"), 20).unwrap();
-        let mut mem = MemoryLevel::new(20);
-        for v in [0u32, 5, 19, 7] {
-            disk.put(v, record(v as u64));
-            mem.put(v, record(v as u64));
+        for codec in RecordCodec::ALL {
+            let dir = std::env::temp_dir().join(format!("motivo-table-test-disk-{codec}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut disk = DiskLevel::create(dir.join("lvl.mtvt"), 20, codec).unwrap();
+            let mut mem = MemoryLevel::new(20, codec);
+            for v in [0u32, 5, 19, 7] {
+                disk.put(v, record_in(codec, v as u64)).unwrap();
+                mem.put(v, record_in(codec, v as u64)).unwrap();
+            }
+            for v in 0..20 {
+                let (d, m) = (disk.get(v).unwrap(), mem.get(v).unwrap());
+                assert_eq!(d.total(), m.total(), "vertex {v}");
+                assert_eq!(d.len(), m.len());
+                let dp: Vec<_> = d.iter().collect();
+                let mp: Vec<_> = m.iter().collect();
+                assert_eq!(dp, mp);
+            }
+            assert_eq!(disk.record_count(), 4);
+            assert!(disk.byte_size() > 0);
+            std::fs::remove_dir_all(&dir).ok();
         }
-        for v in 0..20 {
-            let (d, m) = (disk.get(v), mem.get(v));
-            assert_eq!(d.total(), m.total(), "vertex {v}");
-            assert_eq!(d.len(), m.len());
-            let dp: Vec<_> = d.iter().collect();
-            let mp: Vec<_> = m.iter().collect();
-            assert_eq!(dp, mp);
-        }
-        assert_eq!(disk.record_count(), 4);
-        assert!(disk.byte_size() > 0);
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn count_table_assembly() {
         let kind = StorageKind::Memory;
-        let mut l1 = kind.create_level(1, 5).unwrap();
-        let mut l2 = kind.create_level(2, 5).unwrap();
-        l1.put(0, record(1));
-        l2.put(4, record(2));
-        let table = CountTable::from_levels(vec![l1, l2]);
+        let mut l1 = kind.create_level(1, 5, RecordCodec::Plain).unwrap();
+        let mut l2 = kind.create_level(2, 5, RecordCodec::Plain).unwrap();
+        l1.put(0, record(1)).unwrap();
+        l2.put(4, record(2)).unwrap();
+        let table = CountTable::from_levels(vec![l1, l2], RecordCodec::Plain);
         assert_eq!(table.k(), 2);
-        assert_eq!(table.get(1, 0).total(), record(1).total());
-        assert_eq!(table.get(2, 4).total(), record(2).total());
-        assert!(table.get(2, 0).is_empty());
+        assert_eq!(table.codec(), RecordCodec::Plain);
+        assert_eq!(table.get(1, 0).unwrap().total(), record(1).total());
+        assert_eq!(table.get(2, 4).unwrap().total(), record(2).total());
+        assert!(table.get(2, 0).unwrap().is_empty());
         assert_eq!(table.record_count(), 2);
         assert!(table.byte_size() > 0);
     }
 
     #[test]
     fn save_and_reopen_roundtrip() {
-        let dir = std::env::temp_dir().join("motivo-table-test-save");
+        for codec in RecordCodec::ALL {
+            let dir = std::env::temp_dir().join(format!("motivo-table-test-save-{codec}"));
+            std::fs::remove_dir_all(&dir).ok();
+            let kind = StorageKind::Memory;
+            let mut l1 = kind.create_level(1, 8, codec).unwrap();
+            let mut l2 = kind.create_level(2, 8, codec).unwrap();
+            for v in [0u32, 3, 7] {
+                l1.put(v, record_in(codec, v as u64)).unwrap();
+            }
+            l2.put(5, record_in(codec, 42)).unwrap();
+            let table = CountTable::from_levels(vec![l1, l2], codec);
+            table.save_dir(&dir).unwrap();
+            let back = CountTable::open_dir(&dir).unwrap();
+            assert_eq!(back.k(), 2);
+            assert_eq!(back.codec(), codec);
+            for h in 1..=2u32 {
+                for v in 0..8u32 {
+                    let (a, b) = (table.get(h, v).unwrap(), back.get(h, v).unwrap());
+                    assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+                }
+            }
+            assert_eq!(back.record_count(), 4);
+            // Reopened level knows its vertex set.
+            assert_eq!(back.level(1).vertices(), vec![0, 3, 7]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// A pre-codec v1 `table.meta` (no codec byte) opens as plain.
+    #[test]
+    fn v1_meta_opens_as_plain() {
+        use bytes::BufMut;
+        let dir = std::env::temp_dir().join("motivo-table-test-v1meta");
         std::fs::remove_dir_all(&dir).ok();
         let kind = StorageKind::Memory;
-        let mut l1 = kind.create_level(1, 8).unwrap();
-        let mut l2 = kind.create_level(2, 8).unwrap();
-        for v in [0u32, 3, 7] {
-            l1.put(v, record(v as u64));
+        let mut l1 = kind.create_level(1, 4, RecordCodec::Plain).unwrap();
+        l1.put(2, record(6)).unwrap();
+        let table = CountTable::from_levels(vec![l1], RecordCodec::Plain);
+        table.save_dir(&dir).unwrap();
+        // Rewrite the meta as v1: header says 1, no codec byte.
+        let mut meta = Vec::new();
+        meta.put_slice(b"MTVT");
+        meta.put_u32_le(1);
+        meta.put_u32_le(1); // k
+        meta.put_u32_le(4); // n
+        std::fs::write(dir.join("table.meta"), meta).unwrap();
+        let back = CountTable::open_dir(&dir).unwrap();
+        assert_eq!(back.codec(), RecordCodec::Plain);
+        assert_eq!(
+            back.get(1, 2).unwrap().iter().collect::<Vec<_>>(),
+            record(6).iter().collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Saving a plain-built table under a succinct-tagged table re-seals
+    /// every record, and the reopened table serves identical contents.
+    #[test]
+    fn save_dir_recodes_to_table_codec() {
+        let dir = std::env::temp_dir().join("motivo-table-test-recode");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut l1 = MemoryLevel::new(6, RecordCodec::Succinct);
+        for v in 0..6 {
+            l1.put(v, record(v as u64 + 1)).unwrap(); // plain records
         }
-        l2.put(5, record(42));
-        let table = CountTable::from_levels(vec![l1, l2]);
+        let table = CountTable::from_levels(vec![Box::new(l1)], RecordCodec::Succinct);
         table.save_dir(&dir).unwrap();
         let back = CountTable::open_dir(&dir).unwrap();
-        assert_eq!(back.k(), 2);
-        for h in 1..=2u32 {
-            for v in 0..8u32 {
-                let (a, b) = (table.get(h, v), back.get(h, v));
-                assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
-            }
+        assert_eq!(back.codec(), RecordCodec::Succinct);
+        for v in 0..6 {
+            assert_eq!(
+                back.get(1, v).unwrap().iter().collect::<Vec<_>>(),
+                record(v as u64 + 1).iter().collect::<Vec<_>>()
+            );
         }
-        assert_eq!(back.record_count(), 4);
-        // Reopened level knows its vertex set.
-        assert_eq!(back.level(1).vertices(), vec![0, 3, 7]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -527,15 +686,38 @@ mod tests {
         let dir = std::env::temp_dir().join("motivo-table-test-badidx");
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
-        let mut lvl = DiskLevel::create(dir.join("l.mtvt"), 4).unwrap();
-        lvl.put(1, record(3));
+        let mut lvl = DiskLevel::create(dir.join("l.mtvt"), 4, RecordCodec::Plain).unwrap();
+        lvl.put(1, record(3)).unwrap();
         lvl.persist_index().unwrap();
         // Truncate the index.
         let idx = dir.join("l.mtvt.idx");
         let data = std::fs::read(&idx).unwrap();
         std::fs::write(&idx, &data[..data.len() - 4]).unwrap();
-        assert!(DiskLevel::open(dir.join("l.mtvt")).is_err());
+        assert!(DiskLevel::open(dir.join("l.mtvt"), RecordCodec::Plain).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A truncated data file turns `get` into an `Err`, not a panic — the
+    /// fallible `LevelStore` contract.
+    #[test]
+    fn corrupt_data_file_is_an_error_not_a_panic() {
+        for codec in RecordCodec::ALL {
+            let dir = std::env::temp_dir().join(format!("motivo-table-test-baddata-{codec}"));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            let data_path = dir.join("l.mtvt");
+            {
+                let mut lvl = DiskLevel::create(&data_path, 4, codec).unwrap();
+                lvl.put(1, record_in(codec, 3)).unwrap();
+                lvl.persist_index().unwrap();
+            }
+            // Truncate the data file after the level was persisted.
+            let data = std::fs::read(&data_path).unwrap();
+            std::fs::write(&data_path, &data[..data.len() - 1]).unwrap();
+            let lvl = DiskLevel::open(&data_path, codec).unwrap();
+            assert!(lvl.get(1).is_err(), "truncated record must error");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]
@@ -543,10 +725,32 @@ mod tests {
         let dir = std::env::temp_dir().join("motivo-table-test-kind");
         std::fs::remove_dir_all(&dir).ok();
         let kind = StorageKind::Disk { dir: dir.clone() };
-        let mut lvl = kind.create_level(3, 4).unwrap();
-        lvl.put(2, record(8));
+        let mut lvl = kind.create_level(3, 4, RecordCodec::Succinct).unwrap();
+        lvl.put(2, record_in(RecordCodec::Succinct, 8)).unwrap();
         assert!(dir.join("level-3.mtvt").exists());
-        assert_eq!(lvl.get(2).len(), 2);
+        assert_eq!(lvl.get(2).unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The succinct codec's table-level footprint is a large fraction
+    /// smaller than plain on identical contents.
+    #[test]
+    fn succinct_table_is_smaller() {
+        let make = |codec: RecordCodec| {
+            let mut lvl = MemoryLevel::new(64, codec);
+            for v in 0..64u32 {
+                lvl.put(v, record_in(codec, v as u64)).unwrap();
+            }
+            CountTable::from_levels(vec![Box::new(lvl)], codec)
+        };
+        let plain = make(RecordCodec::Plain);
+        let succ = make(RecordCodec::Succinct);
+        assert_eq!(plain.record_count(), succ.record_count());
+        assert!(
+            succ.byte_size() * 10 < plain.byte_size() * 6,
+            "succinct {} vs plain {}",
+            succ.byte_size(),
+            plain.byte_size()
+        );
     }
 }

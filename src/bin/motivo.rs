@@ -21,6 +21,7 @@ use motivo::core::{
 use motivo::graph::{generators, io, Graph};
 use motivo::graphlet::{name, GraphletRegistry};
 use motivo::store::{BuildStatus, StoreQuery, UrnId, UrnStore};
+use motivo::table::{CountTable, RecordCodec};
 use std::process::exit;
 
 fn main() {
@@ -44,20 +45,24 @@ fn main() {
         Some("build") => cmd_build(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
+        Some("table") => cmd_table(&args[1..]),
         _ => {
             eprintln!(
-                "usage: motivo <generate|convert|info|exact|count|build|sample|store> [args]\n\
+                "usage: motivo <generate|convert|info|exact|count|build|sample|store|table> [args]\n\
                  \n\
                  generate --model ba|er|hub|yelp|lollipop --nodes N [--param P] [--seed S] --out FILE\n\
                  convert  <edges.txt> <out.mtvg>\n\
                  info     <graph>\n\
                  exact    <graph> -k K [--top N]\n\
                  count    <graph> -k K [--samples N] [--ags] [--runs R] [--biased L]\n\
-                          [--threads T] [--seed S] [--top N] [--disk DIR]\n\
+                          [--threads T] [--seed S] [--top N] [--disk DIR] [--codec plain|succinct]\n\
                  build    <graph> -k K --table DIR [--seed S] [--biased L] [--threads T]\n\
+                          [--codec plain|succinct]\n\
                  sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--threads T]\n\
                           [--top N]\n\
+                 table    stats <dir>\n\
                  store    build <graph> -k K --store DIR [--seed S] [--biased L] [--threads T]\n\
+                          [--codec plain|succinct]\n\
                  store    list --store DIR\n\
                  store    query <urn-id> --store DIR [--samples N] [--ags] [--seed S]\n\
                           [--threads T] [--top N]\n\
@@ -119,6 +124,14 @@ fn load_graph(path: &str) -> Result<Graph, String> {
 fn fail(msg: &str) -> i32 {
     eprintln!("error: {msg}");
     1
+}
+
+/// Reads `--codec plain|succinct` (default plain).
+fn parse_codec(o: &Opts) -> Result<RecordCodec, String> {
+    match o.flags.get("codec") {
+        None => Ok(RecordCodec::Plain),
+        Some(s) => s.parse(),
+    }
 }
 
 fn cmd_generate(args: &[String]) -> i32 {
@@ -259,6 +272,10 @@ fn cmd_count(args: &[String]) -> i32 {
     if let Some(dir) = o.flags.get("disk") {
         build = build.storage(motivo::table::storage::StorageKind::Disk { dir: dir.into() });
     }
+    match parse_codec(&o) {
+        Ok(codec) => build = build.codec(codec),
+        Err(e) => return fail(&e),
+    }
     let estimator = if o.has("ags") {
         Estimator::Ags(AgsConfig {
             max_samples: samples,
@@ -334,16 +351,21 @@ fn cmd_build(args: &[String]) -> i32 {
     if let Some(lambda) = o.get::<f64>("biased") {
         cfg = cfg.biased(lambda);
     }
+    match parse_codec(&o) {
+        Ok(codec) => cfg = cfg.codec(codec),
+        Err(e) => return fail(&e),
+    }
     let urn = match motivo::core::build_urn(&g, &cfg) {
         Ok(u) => u,
         Err(e) => return fail(&format!("{e}")),
     };
     let st = urn.build_stats();
     println!(
-        "built urn: {} colorful {k}-treelets, {:.2}s, {:.1} MiB table",
+        "built urn: {} colorful {k}-treelets, {:.2}s, {:.1} MiB table ({} codec)",
         urn.total_treelets(),
         st.total.as_secs_f64(),
-        st.table_bytes as f64 / (1 << 20) as f64
+        st.table_bytes as f64 / (1 << 20) as f64,
+        cfg.codec
     );
     if let Err(e) = save_urn(&urn, table) {
         return fail(&format!("cannot persist urn: {e}"));
@@ -395,6 +417,10 @@ fn cmd_store_build(args: &[String]) -> i32 {
     if let Some(lambda) = o.get::<f64>("biased") {
         cfg = cfg.biased(lambda);
     }
+    match parse_codec(&o) {
+        Ok(codec) => cfg = cfg.codec(codec),
+        Err(e) => return fail(&e),
+    }
     let handle = match store.build_or_get(&g, &cfg) {
         Ok(h) => h,
         Err(e) => return fail(&format!("{e}")),
@@ -422,15 +448,16 @@ fn cmd_store_list(args: &[String]) -> i32 {
     };
     let urns = store.list();
     println!(
-        "{:>8}  {:>2}  {:>10}  {:>8}  {:>12}  {:>16}",
-        "urn", "k", "seed", "status", "bytes", "graph"
+        "{:>8}  {:>2}  {:>10}  {:>8}  {:>8}  {:>12}  {:>16}",
+        "urn", "k", "seed", "codec", "status", "bytes", "graph"
     );
     for m in &urns {
         println!(
-            "{:>8}  {:>2}  {:>10}  {:>8}  {:>12}  {:>16x}",
+            "{:>8}  {:>2}  {:>10}  {:>8}  {:>8}  {:>12}  {:>16x}",
             m.id.to_string(),
             m.key.k,
             m.key.seed,
+            m.key.codec.to_string(),
             match m.status {
                 BuildStatus::Pending => "pending",
                 BuildStatus::Built => "built",
@@ -536,6 +563,71 @@ fn cmd_store_gc(args: &[String]) -> i32 {
         }
         Err(e) => fail(&format!("{e}")),
     }
+}
+
+fn cmd_table(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("stats") => cmd_table_stats(&args[1..]),
+        _ => fail("usage: table stats <dir>"),
+    }
+}
+
+/// Per-level record counts, encoded bytes, and the plain-vs-succinct
+/// compression ratio of a persisted count table (a `--table`/urn dir).
+fn cmd_table_stats(args: &[String]) -> i32 {
+    let o = Opts::parse(args, &[]);
+    let Some(dir) = o.positional.first() else {
+        return fail("usage: table stats <dir>");
+    };
+    let table = match CountTable::open_dir(dir) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot open table {dir}: {e}")),
+    };
+    println!(
+        "table {dir}: k={}, codec={}, {} records",
+        table.k(),
+        table.codec(),
+        table.record_count()
+    );
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>6}",
+        "level", "records", "entries", "encoded B", "plain B", "ratio"
+    );
+    let (mut entries_total, mut plain_total) = (0u64, 0u64);
+    for h in 1..=table.k() {
+        let level = table.level(h);
+        let mut entries = 0u64;
+        for v in level.vertices() {
+            match table.get(h, v) {
+                Ok(rec) => entries += rec.len() as u64,
+                Err(e) => return fail(&format!("level {h} vertex {v}: {e}")),
+            }
+        }
+        // The plain layout costs 24 bytes per entry plus a 4-byte length
+        // prefix per stored record on disk.
+        let plain = entries * 24 + level.record_count() as u64 * 4;
+        entries_total += entries;
+        plain_total += plain;
+        println!(
+            "{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>6.3}",
+            h,
+            level.record_count(),
+            entries,
+            level.byte_size(),
+            plain,
+            level.byte_size() as f64 / plain.max(1) as f64
+        );
+    }
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>6.3}",
+        "total",
+        table.record_count(),
+        entries_total,
+        table.byte_size(),
+        plain_total,
+        table.byte_size() as f64 / plain_total.max(1) as f64
+    );
+    0
 }
 
 fn cmd_sample(args: &[String]) -> i32 {

@@ -73,5 +73,6 @@ pub mod prelude {
     pub use crate::graphlet::{Graphlet, GraphletRegistry};
     pub use crate::store::{StoreError, StoreQuery, UrnId, UrnStore};
     pub use crate::table::storage::StorageKind;
+    pub use crate::table::RecordCodec;
     pub use crate::treelet::{ColorSet, ColoredTreelet, Treelet};
 }

@@ -135,6 +135,72 @@ fn build_then_sample_from_persisted_urn() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `build --codec succinct` persists a v2 table, `table stats` reports its
+/// compression ratio, and `sample` serves from it transparently.
+#[test]
+fn succinct_build_table_stats_and_sample() {
+    let dir = workdir("codec");
+    let g = dir.join("g.mtvg");
+    run(motivo()
+        .args([
+            "generate", "--model", "ba", "--nodes", "400", "--param", "3", "--seed", "8",
+        ])
+        .arg("--out")
+        .arg(&g));
+    let plain = dir.join("urn-plain");
+    let succ = dir.join("urn-succinct");
+    for (codec, urn) in [("plain", &plain), ("succinct", &succ)] {
+        let out = run(motivo()
+            .arg("build")
+            .arg(&g)
+            .args(["-k", "5", "--seed", "3", "--codec", codec, "--table"])
+            .arg(urn));
+        assert!(out.contains(&format!("({codec} codec)")), "{out}");
+    }
+
+    // table stats reports the codec and a sub-60% ratio for succinct.
+    let out = run(motivo().args(["table", "stats"]).arg(&succ));
+    assert!(out.contains("codec=succinct"), "{out}");
+    assert!(out.contains("ratio"), "{out}");
+    let total_line = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("total"))
+        .expect("total row");
+    let ratio: f64 = total_line
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(ratio <= 0.60, "succinct/plain ratio {ratio} above 60%");
+    let out = run(motivo().args(["table", "stats"]).arg(&plain));
+    assert!(out.contains("codec=plain"), "{out}");
+
+    // Sampling from both persisted urns with one seed is identical output.
+    let sample = |urn: &std::path::Path| {
+        run(motivo()
+            .arg("sample")
+            .arg(&g)
+            .arg("--table")
+            .arg(urn)
+            .args(["--samples", "20000", "--seed", "4", "--threads", "2"]))
+    };
+    let (sp, ss) = (sample(&plain), sample(&succ));
+    // Strip the timing line (wall clock differs); the estimates must match.
+    let tail = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+    assert_eq!(tail(&sp), tail(&ss), "codec changed sampled estimates");
+    // An invalid codec fails cleanly.
+    let out = motivo()
+        .arg("build")
+        .arg(&g)
+        .args(["-k", "4", "--codec", "bogus", "--table"])
+        .arg(dir.join("x"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn store_build_list_query_gc_flow() {
     let dir = workdir("store");

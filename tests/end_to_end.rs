@@ -181,6 +181,94 @@ fn disk_backed_pipeline_matches_memory() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The succinct codec changes bytes, never counts: with a fixed seed every
+/// estimator (naive, AGS, ensemble) must be **bit-identical** across
+/// codecs, while the k=5 table shrinks by at least 40%.
+#[test]
+fn succinct_codec_is_bit_identical_and_forty_percent_smaller() {
+    let graph = motivo::graph::generators::barabasi_albert(600, 4, 7);
+    let k = 5u32;
+    let mut urns = Vec::new();
+    for codec in RecordCodec::ALL {
+        let urn = build_urn(&graph, &BuildConfig::new(k).seed(3).codec(codec)).unwrap();
+        urns.push(urn);
+    }
+    let (plain, succ) = (&urns[0], &urns[1]);
+
+    // The urn-level aggregates are exactly equal.
+    assert_eq!(plain.total_treelets(), succ.total_treelets());
+    assert_eq!(plain.shape_totals(), succ.shape_totals());
+
+    // Acceptance bar: ≥ 40% fewer bytes on a k=5 benchmark graph.
+    let (pb, sb) = (
+        plain.build_stats().table_bytes,
+        succ.build_stats().table_bytes,
+    );
+    assert!(
+        sb * 10 <= pb * 6,
+        "succinct table {sb} B must be ≤ 60% of plain {pb} B"
+    );
+
+    // Naive estimates: bit-identical per class, multi-threaded.
+    let mut reg_p = GraphletRegistry::new(k as u8);
+    let mut reg_s = GraphletRegistry::new(k as u8);
+    let np = naive_estimates(
+        plain,
+        &mut reg_p,
+        20_000,
+        &SampleConfig::seeded(5).threads(2),
+    );
+    let ns = naive_estimates(
+        succ,
+        &mut reg_s,
+        20_000,
+        &SampleConfig::seeded(5).threads(2),
+    );
+    assert_eq!(np.per_graphlet.len(), ns.per_graphlet.len());
+    for (a, b) in np.per_graphlet.iter().zip(&ns.per_graphlet) {
+        assert_eq!(reg_p.info(a.index).graphlet, reg_s.info(b.index).graphlet);
+        assert_eq!(a.occurrences, b.occurrences);
+        assert_eq!(a.count.to_bits(), b.count.to_bits(), "bit-identical counts");
+    }
+
+    // AGS: same switches, same estimates, bit for bit.
+    let cfg = AgsConfig {
+        c_bar: 300,
+        max_samples: 10_000,
+        sample: SampleConfig::seeded(9).threads(2),
+        ..AgsConfig::default()
+    };
+    let ap = ags(plain, &mut reg_p, &cfg);
+    let asucc = ags(succ, &mut reg_s, &cfg);
+    assert_eq!(ap.estimates.samples, asucc.estimates.samples);
+    for (a, b) in ap
+        .estimates
+        .per_graphlet
+        .iter()
+        .zip(&asucc.estimates.per_graphlet)
+    {
+        assert_eq!(a.occurrences, b.occurrences);
+        assert_eq!(a.count.to_bits(), b.count.to_bits());
+    }
+    drop(urns);
+
+    // Ensemble: full multi-coloring runs agree bit for bit too.
+    let mut totals = Vec::new();
+    for codec in RecordCodec::ALL {
+        let mut registry = GraphletRegistry::new(k as u8);
+        let cfg = EnsembleConfig {
+            runs: 3,
+            base_seed: 11,
+            threads: 2,
+            estimator: Estimator::Naive { samples: 5_000 },
+            build: BuildConfig::new(k).codec(codec),
+        };
+        let res = ensemble(&graph, &mut registry, &cfg).unwrap();
+        totals.push(res.total_count().to_bits());
+    }
+    assert_eq!(totals[0], totals[1], "ensemble bit-identical across codecs");
+}
+
 #[test]
 fn biased_coloring_stays_unbiased() {
     // Biased coloring changes p_k but the estimator corrects for it; the

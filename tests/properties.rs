@@ -100,7 +100,7 @@ proptest! {
         let reference = SmallCounts::build(&rows, &colors, k);
         for v in 0..n {
             for h in 1..=k {
-                let got: Vec<(ColoredTreelet, u128)> = table.get(h, v).iter().collect();
+                let got: Vec<(ColoredTreelet, u128)> = table.get(h, v).unwrap().iter().collect();
                 let want: Vec<(ColoredTreelet, u128)> = reference.per_vertex[v as usize]
                     .iter()
                     .filter(|(ct, _)| ct.size() == h)

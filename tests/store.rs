@@ -123,6 +123,7 @@ fn journal_truncated_mid_entry_recovers_and_rebuilds() {
             seed: 2,
             lambda_bits: None,
             zero_rooting: true,
+            codec: motivo::table::RecordCodec::Plain,
         };
         journal
             .append(&ManifestRecord::BuildStarted { id: crashed, key }.encode())
@@ -334,4 +335,79 @@ fn concurrent_queries_lose_no_stat_updates() {
     // is a hit, so misses stay bounded by the racing cold loads.
     assert!(total.cache_misses <= workers * 2);
     assert!(total.mean_latency() > std::time::Duration::ZERO);
+}
+
+/// Plain and succinct builds of one graph are distinct urns (the codec is
+/// part of the build key), both survive a reopen with their codec intact,
+/// and the succinct one budgets fewer LRU bytes for identical counts.
+#[test]
+fn codec_is_part_of_the_build_key_and_survives_reopen() {
+    use motivo::table::RecordCodec;
+    let dir = workdir("codec");
+    let graph = motivo::graph::generators::barabasi_albert(300, 3, 17);
+
+    let (plain_id, succ_id) = {
+        let store = UrnStore::open(&dir).unwrap();
+        let plain = store
+            .build_or_get(&graph, &BuildConfig::new(4).seed(1))
+            .unwrap();
+        let succ = store
+            .build_or_get(
+                &graph,
+                &BuildConfig::new(4).seed(1).codec(RecordCodec::Succinct),
+            )
+            .unwrap();
+        plain.wait().unwrap();
+        succ.wait().unwrap();
+        assert_ne!(plain.id(), succ.id(), "codec must separate build keys");
+        // Re-requesting either codec reuses its urn.
+        let again = store
+            .build_or_get(
+                &graph,
+                &BuildConfig::new(4).seed(1).codec(RecordCodec::Succinct),
+            )
+            .unwrap();
+        assert_eq!(again.id(), succ.id());
+        (plain.id(), succ.id())
+    };
+
+    // A fresh process sees both, codec preserved, and serves identical
+    // estimates from either for a fixed seed.
+    let store = UrnStore::open(&dir).unwrap();
+    let urns = store.list();
+    assert_eq!(
+        urns.iter().find(|m| m.id == plain_id).unwrap().key.codec,
+        RecordCodec::Plain
+    );
+    let succ_meta = urns.iter().find(|m| m.id == succ_id).unwrap();
+    assert_eq!(succ_meta.key.codec, RecordCodec::Succinct);
+    let plain_meta = urns.iter().find(|m| m.id == plain_id).unwrap();
+    assert!(
+        succ_meta.table_bytes * 10 <= plain_meta.table_bytes * 6,
+        "succinct {} B vs plain {} B",
+        succ_meta.table_bytes,
+        plain_meta.table_bytes
+    );
+
+    let a = store.get(plain_id).unwrap();
+    let b = store.get(succ_id).unwrap();
+    assert_eq!(a.urn().total_treelets(), b.urn().total_treelets());
+    assert!(
+        b.bytes() < a.bytes(),
+        "succinct urn must budget fewer cache bytes"
+    );
+    let mut reg_a = GraphletRegistry::new(4);
+    let mut reg_b = GraphletRegistry::new(4);
+    let query = StoreQuery::new(&store);
+    let ea = query
+        .naive_estimates(plain_id, &mut reg_a, 5_000, &SampleConfig::seeded(2))
+        .unwrap();
+    let eb = query
+        .naive_estimates(succ_id, &mut reg_b, 5_000, &SampleConfig::seeded(2))
+        .unwrap();
+    for (x, y) in ea.per_graphlet.iter().zip(&eb.per_graphlet) {
+        assert_eq!(x.occurrences, y.occurrences);
+        assert_eq!(x.count.to_bits(), y.count.to_bits());
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
