@@ -43,12 +43,13 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments <ids...|all> [--scale N] [--quick] [--threads N] [--out DIR]\n\
-             ids: t1 t2 t3 t4 f2 f3 f4 f5 f6 f7 f8 f9 f10 l1 s1"
+             ids: t1 t2 t3 t4 f2 f3 f4 f5 f6 f7 f8 f9 f10 l1 s1 ci"
         );
         std::process::exit(2);
     }
     let all = [
         "t1", "t2", "t3", "t4", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "l1", "s1",
+        "ci",
     ];
     let run: Vec<&str> = if ids.iter().any(|i| i == "all") {
         all.to_vec()
@@ -68,6 +69,7 @@ fn main() {
             "f7" => f7(&ctx),
             "f8" | "f9" | "f10" | "l1" => accuracy_experiments(&ctx, id),
             "s1" => s1(&ctx),
+            "ci" => ci(&ctx),
             other => eprintln!("unknown experiment id: {other}"),
         }
     }
@@ -738,4 +740,86 @@ fn s1(ctx: &Ctx) {
         &rows,
     );
     ctx.save_json("s1_scaling", &artifacts);
+}
+
+/// CI: the per-commit perf smoke run — a tiny graph, bounded to seconds,
+/// asserting seed-split determinism (1/2/4 threads must tally
+/// bit-identically) and recording the build-time and memory trajectory
+/// (`bits_per_node_succinct` from the codec work) as `BENCH_ci.json`, the
+/// artifact CI uploads on every commit so the trend is kept, not lost.
+fn ci(ctx: &Ctx) {
+    let g = generators::barabasi_albert(2_000 * ctx.scale, 3, 7);
+    let k = 4;
+    let samples = 50_000u64 * ctx.scale as u64;
+
+    let t0 = Instant::now();
+    let urn = build_urn(
+        &g,
+        &BuildConfig {
+            threads: ctx.threads,
+            ..BuildConfig::new(k)
+        }
+        .seed(3),
+    )
+    .expect("ci build");
+    let build_secs = t0.elapsed().as_secs_f64();
+    let st = urn.build_stats();
+
+    // Determinism gate: the seed-split shard scheme must make the tally a
+    // pure function of (samples, seed), independent of thread count.
+    let mut baseline = None;
+    let mut sample_secs = 0.0;
+    for threads in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let (tally, _) =
+            motivo_core::sample_tally(&urn, samples, &SampleConfig::seeded(1).threads(threads));
+        match &baseline {
+            None => {
+                sample_secs = t0.elapsed().as_secs_f64();
+                baseline = Some(tally);
+            }
+            Some(base) => assert_eq!(
+                base, &tally,
+                "seed-split determinism violated at {threads} threads"
+            ),
+        }
+    }
+
+    let bits_per_node = st.table_bytes as f64 * 8.0 / g.num_nodes() as f64;
+    let succinct_bytes = succinct_table_bytes(&urn);
+    let bits_per_node_succinct = succinct_bytes as f64 * 8.0 / g.num_nodes() as f64;
+    print_table(
+        "CI: perf smoke (deterministic tallies asserted at 1/2/4 threads)",
+        &["metric", "value"],
+        &[
+            vec!["build secs".into(), format!("{build_secs:.3}")],
+            vec!["sample secs (1 thread)".into(), format!("{sample_secs:.3}")],
+            vec![
+                "samples/s".into(),
+                format!("{:.0}", samples as f64 / sample_secs),
+            ],
+            vec!["bits/node plain".into(), format!("{bits_per_node:.0}")],
+            vec![
+                "bits/node succinct".into(),
+                format!("{bits_per_node_succinct:.0}"),
+            ],
+        ],
+    );
+    ctx.save_json(
+        "BENCH_ci",
+        &json!({
+            "graph_nodes": g.num_nodes(),
+            "graph_edges": g.num_edges(),
+            "k": k,
+            "samples": samples,
+            "build_secs": build_secs,
+            "sample_secs": sample_secs,
+            "samples_per_sec": samples as f64 / sample_secs,
+            "table_bytes_plain": st.table_bytes,
+            "table_bytes_succinct": succinct_bytes,
+            "bits_per_node_plain": bits_per_node,
+            "bits_per_node_succinct": bits_per_node_succinct,
+            "determinism": "ok",
+        }),
+    );
 }

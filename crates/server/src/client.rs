@@ -1,0 +1,105 @@
+//! A small blocking client for the wire protocol — what `motivo client`
+//! and the integration tests drive. One request in flight at a time; for
+//! pipelining, open several clients or speak [`crate::proto`] directly.
+
+use serde_json::Value;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto;
+
+/// Client-side failures: transport errors, or a server `error` envelope.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or framing failure.
+    Io(std::io::Error),
+    /// The response frame wasn't valid JSON.
+    BadResponse(String),
+    /// The server answered with an error envelope (kind, message).
+    Server { kind: String, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::BadResponse(msg) => write!(f, "malformed response: {msg}"),
+            ClientError::Server { kind, message } => write!(f, "server error [{kind}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running `motivo serve`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // A vanished server should fail the call, not hang it forever.
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request document and returns the full response envelope
+    /// (`{"id": …, "ok": …}` or `{"id": …, "error": …}`), without
+    /// interpreting it.
+    pub fn roundtrip(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let text =
+            serde_json::to_string(request).map_err(|e| ClientError::BadResponse(e.to_string()))?;
+        self.roundtrip_raw(&text).and_then(|raw| {
+            serde_json::from_str(&raw).map_err(|e| ClientError::BadResponse(e.to_string()))
+        })
+    }
+
+    /// Like [`Client::roundtrip`], but over raw JSON text in both
+    /// directions (what `motivo client` uses — the request is the user's
+    /// own bytes, the response is printed verbatim).
+    pub fn roundtrip_raw(&mut self, request: &str) -> Result<String, ClientError> {
+        proto::write_frame(&mut self.stream, request.as_bytes())?;
+        let payload = proto::read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;
+        String::from_utf8(payload).map_err(|_| ClientError::BadResponse("not UTF-8".into()))
+    }
+
+    /// Sends one request and unwraps the envelope: the `ok` payload, or
+    /// [`ClientError::Server`] carrying the error kind and message.
+    pub fn request(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let envelope = self.roundtrip(request)?;
+        if let Some(ok) = envelope.get("ok") {
+            return Ok(ok);
+        }
+        match envelope.get("error") {
+            Some(err) => Err(ClientError::Server {
+                kind: err
+                    .get("kind")
+                    .and_then(|k| k.as_str().map(str::to_string))
+                    .unwrap_or_else(|| "Unknown".into()),
+                message: err
+                    .get("message")
+                    .and_then(|m| m.as_str().map(str::to_string))
+                    .unwrap_or_default(),
+            }),
+            None => Err(ClientError::BadResponse(
+                "envelope has neither `ok` nor `error`".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # motivo-server
+//!
+//! A std-only, multi-threaded TCP daemon serving motif-count queries over
+//! a shared [`motivo_store::UrnStore`] — the step from a fast
+//! single-process counter to a serving system. The store already gives us
+//! durable urns, an LRU cache, a background build worker, and a
+//! thread-safe query layer; this crate puts a network front on them:
+//!
+//! - **Wire protocol** ([`proto`]): length-prefixed JSON frames. Request
+//!   types `Ping`, `ListUrns`, `NaiveEstimates`, `Ags`, `Sample`,
+//!   `Stats`, `Build`, `Shutdown`; responses carry `ok` payloads or
+//!   structured errors, matched to pipelined requests by an echoed `id`.
+//! - **Serving core** ([`server`]): an accept loop, per-connection frame
+//!   readers, and a fixed-size worker pool fed by a bounded queue. A full
+//!   queue answers `Busy` (backpressure, not buffering); a `Shutdown`
+//!   request stops accepting, drains every accepted request, and flushes
+//!   serving statistics into the store directory.
+//! - **Client** ([`client`]): the blocking client behind `motivo client`
+//!   and the integration tests.
+//!
+//! Determinism is preserved across the wire: a request carrying a seed
+//! produces byte-identical estimate payloads to the equivalent in-process
+//! [`motivo_store::StoreQuery`] call, at any worker-pool size (see
+//! DESIGN.md §6).
+//!
+//! ```no_run
+//! use motivo_server::{Client, ServeOptions, Server};
+//! use motivo_store::UrnStore;
+//! use serde_json::json;
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(UrnStore::open("motif-store")?);
+//! let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default())?;
+//! let mut client = Client::connect(server.addr())?;
+//! let urns = client.request(&json!({"type": "ListUrns"})).unwrap();
+//! println!("{}", serde_json::to_string_pretty(&urns)?);
+//! client.request(&json!({"type": "Shutdown"})).unwrap();
+//! let report = server.join();
+//! println!("served {} requests", report.requests);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorKind, Request};
+pub use server::{ServeOptions, ServeReport, Server};

@@ -1,0 +1,453 @@
+//! The wire protocol: length-prefixed JSON frames, request parsing, and
+//! response payload serialization (documented in DESIGN.md §6).
+//!
+//! Every frame is a `u32le` byte length followed by that many bytes of
+//! UTF-8 JSON. Requests are objects with a `"type"` discriminant and an
+//! optional `"id"` the server echoes back verbatim, so a pipelining client
+//! can match out-of-order responses to requests. Responses carry either
+//! `"ok"` (the payload) or `"error"` (`{"kind", "message"}`).
+//!
+//! **Determinism:** payloads never embed wall-clock or other
+//! run-dependent values, and every collection is serialized in a canonical
+//! order (classes ascending by registry index, tallies ascending by
+//! canonical code). A request carrying a seed therefore produces
+//! byte-identical payload text to the equivalent in-process
+//! [`motivo_store::StoreQuery`] call, at any worker-pool size.
+
+use motivo_core::{AgsResult, Estimates, RecordCodec};
+use motivo_graphlet::{name, Graphlet, GraphletRegistry};
+use motivo_store::{BuildStatus, CacheStats, QueryStats, StoreError, UrnId, UrnMeta};
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+/// Hard cap on one frame's payload; a peer announcing more is corrupt (or
+/// hostile) and gets its connection dropped instead of an allocation.
+pub const MAX_FRAME: usize = 8 << 20;
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary (the peer hung up between requests).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one length-prefixed frame and flushes it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// A parsed request. Field defaults (`samples` 100 000, `seed` 0,
+/// `threads` 0 = all cores) follow the CLI's.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline by the connection reader, so it
+    /// works even when the worker queue is saturated.
+    Ping,
+    /// Every urn the store's manifest knows.
+    ListUrns,
+    /// Naive (uniform treelet) estimation against a built urn.
+    NaiveEstimates {
+        urn: UrnId,
+        samples: u64,
+        seed: u64,
+        threads: usize,
+    },
+    /// Adaptive graphlet sampling against a built urn.
+    Ags {
+        urn: UrnId,
+        max_samples: u64,
+        c_bar: Option<u64>,
+        epoch: Option<u64>,
+        idle_limit: Option<u64>,
+        seed: u64,
+        threads: usize,
+    },
+    /// Raw graphlet occurrences: a canonical-code tally of sampled copies.
+    Sample {
+        urn: UrnId,
+        samples: u64,
+        seed: u64,
+        threads: usize,
+    },
+    /// Serving counters, per urn or (with no `"urn"`) aggregated.
+    Stats { urn: Option<UrnId> },
+    /// Enqueue a build on the store's background worker. `graph` is a path
+    /// readable by the *server*. With `"wait": true` the response is held
+    /// until the build finishes (this occupies one pool worker).
+    Build {
+        graph: String,
+        k: u32,
+        seed: u64,
+        lambda: Option<f64>,
+        codec: RecordCodec,
+        wait: bool,
+    },
+    /// Graceful shutdown: stop accepting, drain in-flight requests, flush
+    /// store stats, exit. Answered inline like `Ping`.
+    Shutdown,
+}
+
+fn get_u64(v: &Value, key: &str, default: u64) -> Result<u64, String> {
+    Ok(get_opt_u64(v, key)?.unwrap_or(default))
+}
+
+fn get_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn get_urn(v: &Value) -> Result<UrnId, String> {
+    let f = v.get("urn").ok_or("`urn` is required")?;
+    if let Some(n) = f.as_u64() {
+        return Ok(UrnId(n));
+    }
+    // Accept the printed form too ("urn-3"), as the CLI does.
+    f.as_str()
+        .and_then(|s| s.strip_prefix("urn-").unwrap_or(s).parse().ok())
+        .map(UrnId)
+        .ok_or_else(|| "`urn` must be an id number or \"urn-N\"".to_string())
+}
+
+impl Request {
+    /// Parses a request document (the caller extracts the echoed `"id"`
+    /// itself, so parse failures can still carry it).
+    pub fn parse(v: &Value) -> Result<Request, String> {
+        let ty = v
+            .get("type")
+            .and_then(|t| t.as_str().map(str::to_string))
+            .ok_or("request must carry a string `type`")?;
+        let seed = get_u64(v, "seed", 0)?;
+        let threads = get_u64(v, "threads", 0)? as usize;
+        let req = match ty.as_str() {
+            "Ping" => Request::Ping,
+            "ListUrns" => Request::ListUrns,
+            "NaiveEstimates" => Request::NaiveEstimates {
+                urn: get_urn(v)?,
+                samples: get_u64(v, "samples", 100_000)?,
+                seed,
+                threads,
+            },
+            "Ags" => Request::Ags {
+                urn: get_urn(v)?,
+                max_samples: get_u64(v, "max_samples", 100_000)?,
+                c_bar: get_opt_u64(v, "c_bar")?,
+                epoch: get_opt_u64(v, "epoch")?,
+                idle_limit: get_opt_u64(v, "idle_limit")?,
+                seed,
+                threads,
+            },
+            "Sample" => Request::Sample {
+                urn: get_urn(v)?,
+                samples: get_u64(v, "samples", 100_000)?,
+                seed,
+                threads,
+            },
+            "Stats" => Request::Stats {
+                urn: if v.get("urn").is_some() {
+                    Some(get_urn(v)?)
+                } else {
+                    None
+                },
+            },
+            "Build" => Request::Build {
+                graph: v
+                    .get("graph")
+                    .and_then(|g| g.as_str().map(str::to_string))
+                    .ok_or("`graph` (a server-side path) is required")?,
+                k: get_u64(v, "k", 0).and_then(|k| {
+                    if (2..=16).contains(&k) {
+                        Ok(k as u32)
+                    } else {
+                        Err("`k` must be in [2, 16]".to_string())
+                    }
+                })?,
+                seed,
+                lambda: match v.get("lambda") {
+                    None => None,
+                    Some(l) => Some(l.as_f64().ok_or("`lambda` must be a number")?),
+                },
+                codec: match v.get("codec") {
+                    None => RecordCodec::Plain,
+                    Some(c) => c
+                        .as_str()
+                        .ok_or_else(|| "`codec` must be a string".to_string())
+                        .and_then(str::parse)?,
+                },
+                wait: match v.get("wait") {
+                    None => false,
+                    Some(w) => w.as_bool().ok_or("`wait` must be a boolean")?,
+                },
+            },
+            "Shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown request type `{other}`")),
+        };
+        Ok(req)
+    }
+}
+
+/// Machine-matchable error categories of the wire protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The worker queue was full; retry later (backpressure, not failure).
+    Busy,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+    /// The request didn't parse or failed validation.
+    BadRequest,
+    /// No urn with the requested id.
+    UnknownUrn,
+    /// The urn exists but is not (yet) built.
+    NotBuilt,
+    /// Any other store-side failure.
+    Store,
+}
+
+impl ErrorKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Busy => "Busy",
+            ErrorKind::ShuttingDown => "ShuttingDown",
+            ErrorKind::BadRequest => "BadRequest",
+            ErrorKind::UnknownUrn => "UnknownUrn",
+            ErrorKind::NotBuilt => "NotBuilt",
+            ErrorKind::Store => "Store",
+        }
+    }
+
+    /// Maps a store error onto the wire categories.
+    pub fn of_store(e: &StoreError) -> ErrorKind {
+        match e {
+            StoreError::UnknownUrn(_) => ErrorKind::UnknownUrn,
+            StoreError::NotBuilt(_) => ErrorKind::NotBuilt,
+            _ => ErrorKind::Store,
+        }
+    }
+}
+
+/// A success envelope: `{"id": …, "ok": payload}`.
+pub fn ok_response(id: &Value, payload: Value) -> Value {
+    json!({"id": id.clone(), "ok": payload})
+}
+
+/// An error envelope: `{"id": …, "error": {"kind", "message"}}`.
+pub fn error_response(id: &Value, kind: ErrorKind, message: &str) -> Value {
+    let error = json!({"kind": kind.as_str(), "message": message});
+    json!({"id": id.clone(), "error": error})
+}
+
+/// Serializes an estimate set. Classes are emitted ascending by registry
+/// index — with the fresh per-request registry the server uses, that order
+/// (and hence the whole payload) is a pure function of the tally, which is
+/// what makes responses byte-identical to in-process calls.
+pub fn estimates_json(est: &Estimates, registry: &GraphletRegistry) -> Value {
+    let classes: Vec<Value> = est
+        .per_graphlet
+        .iter()
+        .map(|e| {
+            json!({
+                "graphlet": name(&registry.info(e.index).graphlet),
+                "occurrences": e.occurrences,
+                "colorful": e.colorful,
+                "count": e.count,
+                "frequency": e.frequency,
+            })
+        })
+        .collect();
+    json!({
+        "k": est.k,
+        "samples": est.samples,
+        "total_count": est.total_count(),
+        "classes": classes,
+    })
+}
+
+/// Serializes an AGS outcome (estimates plus the adaptive-run counters).
+pub fn ags_json(res: &AgsResult, registry: &GraphletRegistry) -> Value {
+    json!({
+        "estimates": estimates_json(&res.estimates, registry),
+        "switches": res.switches,
+        "covered": res.covered,
+        "shape_usage": res.shape_usage.clone(),
+    })
+}
+
+/// Serializes a canonical-code tally, ascending by code (deterministic —
+/// hash-map iteration order never leaks into the payload).
+pub fn tally_json(tally: &HashMap<u128, u64>, samples: u64) -> Value {
+    let mut rows: Vec<(u128, u64)> = tally.iter().map(|(&c, &n)| (c, n)).collect();
+    rows.sort_unstable_by_key(|&(c, _)| c);
+    let classes: Vec<Value> = rows
+        .into_iter()
+        .map(|(code, occurrences)| {
+            let graphlet = Graphlet::from_code(code).expect("tally codes are canonical");
+            json!({
+                "code": format!("{code:#x}"),
+                "graphlet": name(&graphlet),
+                "occurrences": occurrences,
+            })
+        })
+        .collect();
+    json!({"samples": samples, "classes": classes})
+}
+
+/// Serializes one manifest entry.
+pub fn urn_json(m: &UrnMeta) -> Value {
+    json!({
+        "id": m.id.to_string(),
+        "k": m.key.k,
+        "seed": m.key.seed,
+        "codec": m.key.codec.to_string(),
+        "lambda": m.key.lambda(),
+        "status": match m.status {
+            BuildStatus::Pending => "pending",
+            BuildStatus::Built => "built",
+            BuildStatus::Failed => "failed",
+        },
+        "table_bytes": m.table_bytes,
+        "records": m.records,
+        "fingerprint": format!("{:016x}", m.key.fingerprint),
+    })
+}
+
+/// Serializes serving counters.
+pub fn query_stats_json(s: &QueryStats) -> Value {
+    json!({
+        "queries": s.queries,
+        "cache_hits": s.cache_hits,
+        "cache_misses": s.cache_misses,
+        "total_latency_ns": s.total_latency.as_nanos() as u64,
+    })
+}
+
+/// Serializes cache counters.
+pub fn cache_stats_json(s: &CacheStats) -> Value {
+    json!({
+        "hits": s.hits,
+        "misses": s.misses,
+        "evictions": s.evictions,
+        "resident_bytes": s.resident_bytes,
+        "resident_urns": s.resident_urns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::from_str;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"type\":\"Ping\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(&b"{\"type\":\"Ping\"}"[..])
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(7); // header + half the payload
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn requests_parse_with_defaults() {
+        let req = Request::parse(&from_str(r#"{"type":"ListUrns"}"#).unwrap()).unwrap();
+        assert_eq!(req, Request::ListUrns);
+
+        let v = from_str(r#"{"id":7,"type":"NaiveEstimates","urn":"urn-3","seed":9}"#).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        let req = Request::parse(&v).unwrap();
+        assert_eq!(
+            req,
+            Request::NaiveEstimates {
+                urn: UrnId(3),
+                samples: 100_000,
+                seed: 9,
+                threads: 0,
+            }
+        );
+
+        let v = from_str(r#"{"type":"Build","graph":"g.mtvg","k":5,"codec":"succinct"}"#).unwrap();
+        let req = Request::parse(&v).unwrap();
+        assert_eq!(
+            req,
+            Request::Build {
+                graph: "g.mtvg".into(),
+                k: 5,
+                seed: 0,
+                lambda: None,
+                codec: RecordCodec::Succinct,
+                wait: false,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        for (doc, needle) in [
+            (r#"{"no_type":1}"#, "type"),
+            (r#"{"type":"Teleport"}"#, "unknown request type"),
+            (r#"{"type":"NaiveEstimates"}"#, "`urn`"),
+            (r#"{"type":"NaiveEstimates","urn":-3}"#, "`urn`"),
+            (r#"{"type":"Sample","urn":0,"samples":"many"}"#, "`samples`"),
+            (r#"{"type":"Build","graph":"g","k":1}"#, "`k`"),
+            (r#"{"type":"Build","k":4}"#, "`graph`"),
+            (
+                r#"{"type":"Build","graph":"g","k":4,"codec":"zip"}"#,
+                "codec",
+            ),
+        ] {
+            let err = Request::parse(&from_str(doc).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn envelopes_have_the_documented_shape() {
+        let ok = ok_response(&json!(3), json!({"x": 1}));
+        assert_eq!(
+            serde_json::to_string(&ok).unwrap(),
+            r#"{"id":3,"ok":{"x":1}}"#
+        );
+        let err = error_response(&json!(null), ErrorKind::Busy, "queue full");
+        let text = serde_json::to_string(&err).unwrap();
+        assert!(text.contains(r#""kind":"Busy""#), "{text}");
+    }
+}

@@ -1,0 +1,639 @@
+//! The daemon: a TCP accept loop feeding a fixed-size worker pool through
+//! a bounded queue, serving the wire protocol of [`crate::proto`] over a
+//! shared [`UrnStore`] + [`StoreQuery`].
+//!
+//! Threading model (all scoped — the serve loop owns every thread it
+//! spawns):
+//!
+//! ```text
+//! serve thread ── accept loop
+//!   ├─ worker × N ── { lock(rx); recv() } → handle job → write response
+//!   └─ reader  × conn ── read frame → parse → try_send(job) ┐
+//!                         │ inline: Ping, Shutdown,         │ bounded
+//!                         │ Busy / ShuttingDown replies     ▼ queue
+//!                         └────────────────────────── crossbeam bounded(N)
+//! ```
+//!
+//! **Backpressure:** the queue is bounded; when it is full the reader
+//! answers `Busy` immediately instead of buffering, so overload degrades
+//! into fast rejections rather than unbounded memory growth.
+//!
+//! **Graceful shutdown:** a `Shutdown` request (or [`Server::shutdown`])
+//! sets the signal and pokes the listener. The accept loop stops, readers
+//! answer `ShuttingDown` to new requests and exit, workers drain every job
+//! already accepted into the queue — a request that was not rejected with
+//! `Busy` always gets its real response — and the serve thread flushes the
+//! store's serving statistics to `server-stats.json` before returning.
+//!
+//! **Determinism:** request handlers build a fresh [`GraphletRegistry`]
+//! per request and never put run-dependent values in payloads, so a seeded
+//! request's payload is byte-identical to the equivalent in-process
+//! [`StoreQuery`] call at any pool size (the PR 2 seed-splitting guarantee
+//! carried across the wire).
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use motivo_core::{AgsConfig, BuildConfig, SampleConfig};
+use motivo_graph::io as graph_io;
+use motivo_graphlet::GraphletRegistry;
+use motivo_store::{BuildStatus, StoreError, StoreQuery, UrnStore};
+use serde_json::{json, Value};
+use std::io::Read;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proto::{self, ErrorKind, Request};
+
+/// How often blocked readers re-check the shutdown signal.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Per-write timeout so one stalled client cannot wedge a pool worker.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server tuning knobs. The all-zeros `Default` means "resolve from the
+/// machine": workers from the core count, queue depth from the workers.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Worker-pool size (`0` = available cores, at least 2).
+    pub workers: usize,
+    /// Bounded queue depth before requests bounce as `Busy`
+    /// (`0` = `4 × workers`).
+    pub queue_depth: usize,
+}
+
+impl ServeOptions {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .max(2)
+        }
+    }
+
+    fn resolved_queue_depth(&self, workers: usize) -> usize {
+        if self.queue_depth > 0 {
+            self.queue_depth
+        } else {
+            workers * 4
+        }
+    }
+}
+
+/// What a serve loop did, returned by [`Server::join`].
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Frames parsed as requests (including ones answered `Busy`).
+    pub requests: u64,
+    /// Requests bounced by backpressure.
+    pub busy_rejections: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Where the shutdown stat flush landed, if it succeeded.
+    pub stats_path: Option<PathBuf>,
+}
+
+/// The shutdown signal: a flag plus a self-connect poke that unblocks the
+/// accept loop exactly once.
+struct Signal {
+    flag: AtomicBool,
+    poke_addr: SocketAddr,
+}
+
+impl Signal {
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop; an error just means it wasn't blocked.
+            let _ = TcpStream::connect_timeout(&self.poke_addr, Duration::from_secs(1));
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    busy: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// One accepted request, queued for the pool.
+struct Job {
+    /// The client's `"id"`, echoed into the response.
+    id: Value,
+    req: Request,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// A running daemon. Dropping the handle shuts it down and joins it.
+pub struct Server {
+    addr: SocketAddr,
+    signal: Arc<Signal>,
+    main: Option<JoinHandle<ServeReport>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port — read it back with
+    /// [`Server::addr`]) and starts serving `store` on a background
+    /// thread.
+    pub fn bind(
+        store: Arc<UrnStore>,
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Poke a loopback route even when bound to a wildcard address.
+        let poke_ip = if addr.ip().is_unspecified() {
+            IpAddr::V4(Ipv4Addr::LOCALHOST)
+        } else {
+            addr.ip()
+        };
+        let signal = Arc::new(Signal {
+            flag: AtomicBool::new(false),
+            poke_addr: SocketAddr::new(poke_ip, addr.port()),
+        });
+        let loop_signal = signal.clone();
+        let main = std::thread::Builder::new()
+            .name("motivo-serve".into())
+            .spawn(move || serve_loop(store, listener, loop_signal, opts))?;
+        Ok(Server {
+            addr,
+            signal,
+            main: Some(main),
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.signal.trigger();
+    }
+
+    /// Blocks until the serve loop exits — on a wire `Shutdown` request or
+    /// a [`Server::shutdown`] call — and returns its report.
+    pub fn join(mut self) -> ServeReport {
+        let main = self.main.take().expect("join called once");
+        main.join().expect("serve loop panicked")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(main) = self.main.take() {
+            self.signal.trigger();
+            let _ = main.join();
+        }
+    }
+}
+
+fn serve_loop(
+    store: Arc<UrnStore>,
+    listener: TcpListener,
+    signal: Arc<Signal>,
+    opts: ServeOptions,
+) -> ServeReport {
+    let workers = opts.resolved_workers();
+    let queue_depth = opts.resolved_queue_depth(workers);
+    let query = StoreQuery::new(&store);
+    let counters = Counters::default();
+
+    std::thread::scope(|s| {
+        let (tx, rx) = channel::bounded::<Job>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            let rx = rx.clone();
+            let (query, store) = (&query, &store);
+            std::thread::Builder::new()
+                .name(format!("motivo-serve-worker-{i}"))
+                .spawn_scoped(s, move || worker_loop(&rx, query, store))
+                .expect("spawn worker");
+        }
+
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) => {
+                    if signal.is_set() {
+                        break;
+                    }
+                    eprintln!("motivo-serve: accept failed: {e}");
+                    std::thread::sleep(POLL_INTERVAL);
+                    continue;
+                }
+            };
+            if signal.is_set() {
+                break; // likely the shutdown poke itself
+            }
+            counters.connections.fetch_add(1, Ordering::Relaxed);
+            let tx = tx.clone();
+            let (signal, counters) = (&signal, &counters);
+            std::thread::Builder::new()
+                .name("motivo-serve-conn".into())
+                .spawn_scoped(s, move || connection_loop(stream, tx, signal, counters))
+                .expect("spawn connection reader");
+        }
+        drop(tx); // workers drain the accepted backlog, then exit
+    });
+
+    // Every worker and reader has exited; flush serving stats.
+    let per_urn: Vec<Value> = query
+        .per_urn_stats()
+        .iter()
+        .map(|(id, st)| json!({"id": id.to_string(), "stats": proto::query_stats_json(st)}))
+        .collect();
+    let report_requests = counters.requests.load(Ordering::Relaxed);
+    let report_busy = counters.busy.load(Ordering::Relaxed);
+    let report_connections = counters.connections.load(Ordering::Relaxed);
+    let body = json!({
+        "requests": report_requests,
+        "busy_rejections": report_busy,
+        "connections": report_connections,
+        "total": proto::query_stats_json(&query.total_stats()),
+        "per_urn": per_urn,
+        "cache": proto::cache_stats_json(&store.cache_stats()),
+    });
+    let text = serde_json::to_string_pretty(&body).expect("stats serialize");
+    let stats_path = match store.flush_stats(text.as_bytes()) {
+        Ok(path) => Some(path),
+        Err(e) => {
+            eprintln!("motivo-serve: stat flush failed: {e}");
+            None
+        }
+    };
+
+    ServeReport {
+        requests: report_requests,
+        busy_rejections: report_busy,
+        connections: report_connections,
+        stats_path,
+    }
+}
+
+/// Fills `buf` from `r`, re-checking the shutdown signal on every read
+/// timeout. `Ok(false)` means the read should stop without a frame: clean
+/// EOF at a frame boundary, or shutdown while blocked.
+fn read_full(
+    r: &mut TcpStream,
+    buf: &mut [u8],
+    at_boundary: bool,
+    signal: &Signal,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_boundary {
+                    Ok(false)
+                } else {
+                    Err(std::io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if signal.is_set() {
+                    // Drain policy: a request is "accepted" once its whole
+                    // frame arrived; a partially transmitted frame at
+                    // shutdown is abandoned with the connection.
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, honoring the shutdown signal while blocked.
+fn read_frame_interruptible(
+    r: &mut TcpStream,
+    signal: &Signal,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    if !read_full(r, &mut len, true, signal)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > proto::MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "frame of {len} bytes exceeds the {}-byte cap",
+                proto::MAX_FRAME
+            ),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_full(r, &mut payload, false, signal)? {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}
+
+fn respond(writer: &Mutex<TcpStream>, response: &Value) {
+    let text = serde_json::to_string(response).expect("response serialize");
+    let mut stream = writer.lock().expect("connection writer poisoned");
+    if let Err(e) = proto::write_frame(&mut *stream, text.as_bytes()) {
+        // The client is gone or stalled past the write timeout; responses
+        // to a dead connection are droppable by definition.
+        eprintln!("motivo-serve: response write failed: {e}");
+    }
+}
+
+/// Per-connection reader: parses frames, answers `Ping`/`Shutdown` and all
+/// error paths inline, and queues real work — never blocking on the queue,
+/// so a saturated pool turns into `Busy` replies instead of latency.
+fn connection_loop(stream: TcpStream, tx: Sender<Job>, signal: &Signal, counters: &Counters) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => {
+            let _ = w.set_write_timeout(Some(WRITE_TIMEOUT));
+            Arc::new(Mutex::new(w))
+        }
+        Err(_) => return,
+    };
+    let mut reader = stream;
+
+    loop {
+        let payload = match read_frame_interruptible(&mut reader, signal) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(_) => return, // torn frame / oversize / connection error
+        };
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        handle_frame(&payload, &writer, &tx, signal, counters);
+        // A reader must not outlive the shutdown signal just because its
+        // client keeps sending (Pings and garbage included): its queue
+        // sender would keep the workers from ever seeing the channel
+        // close, stalling the drain forever. Answer the frame in hand,
+        // then exit — workers still answer this connection's accepted
+        // requests through the shared writer.
+        if signal.is_set() {
+            return;
+        }
+    }
+}
+
+/// Handles one frame: answers `Ping`/`Shutdown` and every error inline,
+/// queues real work without ever blocking on the queue.
+fn handle_frame(
+    payload: &[u8],
+    writer: &Arc<Mutex<TcpStream>>,
+    tx: &Sender<Job>,
+    signal: &Signal,
+    counters: &Counters,
+) {
+    let doc = match std::str::from_utf8(payload)
+        .map_err(|_| "frame is not UTF-8".to_string())
+        .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(msg) => {
+            return respond(
+                writer,
+                &proto::error_response(&json!(null), ErrorKind::BadRequest, &msg),
+            );
+        }
+    };
+    let id = doc.get("id").unwrap_or(json!(null));
+    let req = match Request::parse(&doc) {
+        Ok(req) => req,
+        Err(msg) => {
+            return respond(
+                writer,
+                &proto::error_response(&id, ErrorKind::BadRequest, &msg),
+            );
+        }
+    };
+
+    match req {
+        // Answered inline: must work even with a saturated queue.
+        Request::Ping => respond(writer, &proto::ok_response(&id, json!({"pong": true}))),
+        Request::Shutdown => {
+            respond(
+                writer,
+                &proto::ok_response(&id, json!({"shutting_down": true})),
+            );
+            signal.trigger();
+        }
+        req => {
+            if signal.is_set() {
+                return respond(
+                    writer,
+                    &proto::error_response(
+                        &id,
+                        ErrorKind::ShuttingDown,
+                        "server is draining; no new work accepted",
+                    ),
+                );
+            }
+            match tx.try_send(Job {
+                id: id.clone(),
+                req,
+                writer: writer.clone(),
+            }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(job)) => {
+                    counters.busy.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        writer,
+                        &proto::error_response(
+                            &job.id,
+                            ErrorKind::Busy,
+                            "worker queue is full; retry later",
+                        ),
+                    );
+                }
+                Err(TrySendError::Disconnected(job)) => {
+                    respond(
+                        writer,
+                        &proto::error_response(
+                            &job.id,
+                            ErrorKind::ShuttingDown,
+                            "worker pool has shut down",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pool worker: multi-consumer over the bounded queue (receivers are
+/// single-consumer in std, so workers take turns holding the lock while
+/// blocked in `recv`). Exits when every sender is gone **and** the queue
+/// is empty — that ordering is the drain guarantee.
+fn worker_loop(rx: &Mutex<Receiver<Job>>, query: &StoreQuery<'_>, store: &UrnStore) {
+    loop {
+        let job = match rx.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed and drained
+        };
+        let response = match handle_request(&job.req, query, store) {
+            Ok(payload) => proto::ok_response(&job.id, payload),
+            Err((kind, msg)) => proto::error_response(&job.id, kind, &msg),
+        };
+        respond(&job.writer, &response);
+    }
+}
+
+fn store_err(e: StoreError) -> (ErrorKind, String) {
+    (ErrorKind::of_store(&e), e.to_string())
+}
+
+/// Executes one queued request against the shared query layer.
+fn handle_request(
+    req: &Request,
+    query: &StoreQuery<'_>,
+    store: &UrnStore,
+) -> Result<Value, (ErrorKind, String)> {
+    match req {
+        Request::Ping | Request::Shutdown => unreachable!("handled inline by the reader"),
+        Request::ListUrns => {
+            let urns: Vec<Value> = store.list().iter().map(proto::urn_json).collect();
+            Ok(json!({"urns": urns, "graphs": store.graphs().len()}))
+        }
+        Request::NaiveEstimates {
+            urn,
+            samples,
+            seed,
+            threads,
+        } => {
+            let meta = store
+                .meta(*urn)
+                .ok_or_else(|| store_err(StoreError::UnknownUrn(*urn)))?;
+            let mut registry = GraphletRegistry::new(meta.key.k as u8);
+            let est = query
+                .naive_estimates(
+                    *urn,
+                    &mut registry,
+                    *samples,
+                    &SampleConfig::seeded(*seed).threads(*threads),
+                )
+                .map_err(store_err)?;
+            Ok(proto::estimates_json(&est, &registry))
+        }
+        Request::Ags {
+            urn,
+            max_samples,
+            c_bar,
+            epoch,
+            idle_limit,
+            seed,
+            threads,
+        } => {
+            let meta = store
+                .meta(*urn)
+                .ok_or_else(|| store_err(StoreError::UnknownUrn(*urn)))?;
+            let mut cfg = AgsConfig {
+                max_samples: *max_samples,
+                sample: SampleConfig::seeded(*seed).threads(*threads),
+                ..AgsConfig::default()
+            };
+            if let Some(c_bar) = c_bar {
+                cfg.c_bar = *c_bar;
+            }
+            if let Some(epoch) = epoch {
+                if *epoch == 0 {
+                    return Err((ErrorKind::BadRequest, "`epoch` must be positive".into()));
+                }
+                cfg.epoch = *epoch;
+            }
+            if let Some(idle_limit) = idle_limit {
+                cfg.idle_limit = *idle_limit;
+            }
+            let mut registry = GraphletRegistry::new(meta.key.k as u8);
+            let res = query.ags(*urn, &mut registry, &cfg).map_err(store_err)?;
+            Ok(proto::ags_json(&res, &registry))
+        }
+        Request::Sample {
+            urn,
+            samples,
+            seed,
+            threads,
+        } => {
+            let tally = query
+                .sample_tally(
+                    *urn,
+                    *samples,
+                    &SampleConfig::seeded(*seed).threads(*threads),
+                )
+                .map_err(store_err)?;
+            Ok(proto::tally_json(&tally, *samples))
+        }
+        Request::Stats { urn } => match urn {
+            Some(urn) => Ok(json!({
+                "id": urn.to_string(),
+                "stats": proto::query_stats_json(&query.stats(*urn)),
+            })),
+            None => {
+                let per_urn: Vec<Value> = query
+                    .per_urn_stats()
+                    .iter()
+                    .map(|(id, st)| {
+                        json!({"id": id.to_string(), "stats": proto::query_stats_json(st)})
+                    })
+                    .collect();
+                Ok(json!({
+                    "total": proto::query_stats_json(&query.total_stats()),
+                    "per_urn": per_urn,
+                    "cache": proto::cache_stats_json(&store.cache_stats()),
+                }))
+            }
+        },
+        Request::Build {
+            graph,
+            k,
+            seed,
+            lambda,
+            codec,
+            wait,
+        } => {
+            let loaded = if graph.ends_with(".mtvg") {
+                graph_io::load_binary(graph)
+            } else {
+                graph_io::load_edge_list(graph)
+            };
+            let g = loaded.map_err(|e| {
+                (
+                    ErrorKind::BadRequest,
+                    format!("cannot load graph {graph}: {e}"),
+                )
+            })?;
+            let mut cfg = BuildConfig::new(*k).seed(*seed).codec(*codec);
+            if let Some(lambda) = lambda {
+                cfg = cfg.biased(*lambda);
+            }
+            let handle = store.build_or_get(&g, &cfg).map_err(store_err)?;
+            if *wait {
+                handle.wait().map_err(store_err)?;
+            }
+            let status = match store.meta(handle.id()).map(|m| m.status) {
+                Some(BuildStatus::Built) => "built",
+                Some(BuildStatus::Failed) => "failed",
+                _ => "pending",
+            };
+            Ok(json!({"urn": handle.id().to_string(), "status": status}))
+        }
+    }
+}

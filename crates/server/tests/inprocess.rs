@@ -1,0 +1,368 @@
+//! In-process end-to-end tests of the daemon: protocol correctness,
+//! backpressure, determinism against the query layer, and graceful
+//! shutdown — all against a real TCP socket on an ephemeral port.
+
+use motivo_core::{BuildConfig, SampleConfig};
+use motivo_graphlet::GraphletRegistry;
+use motivo_server::{proto, Client, ClientError, ServeOptions, Server};
+use motivo_store::{StoreQuery, UrnId, UrnStore};
+use serde_json::json;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("motivo-server-test-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Opens a store at `dir` with one built k=4 urn and returns it.
+fn seeded_store(dir: &PathBuf) -> Arc<UrnStore> {
+    let graph = motivo_graph::generators::barabasi_albert(200, 3, 5);
+    let store = UrnStore::open(dir).unwrap();
+    let handle = store
+        .build_or_get(&graph, &BuildConfig::new(4).seed(2))
+        .unwrap();
+    handle.wait().unwrap();
+    Arc::new(store)
+}
+
+#[test]
+fn serves_queries_and_matches_in_process_bytes() {
+    let dir = workdir("roundtrip");
+    let store = seeded_store(&dir);
+
+    // The in-process truth, serialized exactly as the server does.
+    let expected = {
+        let query = StoreQuery::new(&store);
+        let mut registry = GraphletRegistry::new(4);
+        let est = query
+            .naive_estimates(
+                UrnId(0),
+                &mut registry,
+                10_000,
+                &SampleConfig::seeded(3).threads(2),
+            )
+            .unwrap();
+        serde_json::to_string(&proto::estimates_json(&est, &registry)).unwrap()
+    };
+
+    let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Ping.
+    let pong = client.request(&json!({"type": "Ping"})).unwrap();
+    assert_eq!(pong.get("pong").unwrap().as_bool(), Some(true));
+
+    // ListUrns sees the built urn.
+    let urns = client.request(&json!({"type": "ListUrns"})).unwrap();
+    let rows = urns.get("urns").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get("status").unwrap().as_str(), Some("built"));
+    assert_eq!(rows[0].get("id").unwrap().as_str(), Some("urn-0"));
+
+    // NaiveEstimates over the wire is byte-identical to in-process.
+    let ok = client
+        .request(&json!({"type": "NaiveEstimates", "urn": 0, "samples": 10_000, "seed": 3, "threads": 2}))
+        .unwrap();
+    assert_eq!(serde_json::to_string(&ok).unwrap(), expected);
+
+    // Sample returns a canonical-code tally whose occurrences sum to the
+    // sample count.
+    let ok = client
+        .request(&json!({"type": "Sample", "urn": 0, "samples": 2_000, "seed": 1}))
+        .unwrap();
+    let total: u64 = ok
+        .get("classes")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c.get("occurrences").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(total, 2_000);
+
+    // Ags runs and reports adaptive counters.
+    let ok = client
+        .request(
+            &json!({"type": "Ags", "urn": 0, "max_samples": 4_000, "idle_limit": 1_000, "seed": 5}),
+        )
+        .unwrap();
+    assert!(
+        ok.get("estimates")
+            .unwrap()
+            .get("samples")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+
+    // Stats saw the queries above.
+    let ok = client.request(&json!({"type": "Stats"})).unwrap();
+    assert!(
+        ok.get("total")
+            .unwrap()
+            .get("queries")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 3
+    );
+
+    // Errors are structured.
+    let err = client
+        .request(&json!({"type": "NaiveEstimates", "urn": 99, "samples": 10}))
+        .unwrap_err();
+    match err {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "UnknownUrn"),
+        other => panic!("unexpected error {other}"),
+    }
+    let err = client.request(&json!({"type": "Teleport"})).unwrap_err();
+    match err {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "BadRequest"),
+        other => panic!("unexpected error {other}"),
+    }
+
+    // Shutdown over the wire; the report accounts for everything.
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let report = server.join();
+    assert!(report.requests >= 7, "{report:?}");
+    assert_eq!(report.busy_rejections, 0);
+    let stats_path = report.stats_path.expect("stats flushed");
+    let stats: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats_path).unwrap()).unwrap();
+    assert!(
+        stats
+            .get("total")
+            .unwrap()
+            .get("queries")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 3
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Request ids are echoed, so a pipelining client can match out-of-order
+/// responses; requests with a seed stay deterministic under pipelining.
+#[test]
+fn pipelined_requests_match_by_id() {
+    let dir = workdir("pipeline");
+    let store = seeded_store(&dir);
+    let server = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 4,
+            queue_depth: 64,
+        },
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Fire 8 requests before reading any response.
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    for i in 0..8u64 {
+        let req = json!({"id": i, "type": "NaiveEstimates", "urn": 0, "samples": 1_000, "seed": i});
+        motivo_server::proto::write_frame(
+            &mut raw,
+            serde_json::to_string(&req).unwrap().as_bytes(),
+        )
+        .unwrap();
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut payloads = std::collections::HashMap::new();
+    for _ in 0..8 {
+        let frame = motivo_server::proto::read_frame(&mut raw).unwrap().unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+        let id = v.get("id").unwrap().as_u64().unwrap();
+        assert!(seen.insert(id), "duplicate response for id {id}");
+        payloads.insert(id, serde_json::to_string(&v.get("ok").unwrap()).unwrap());
+    }
+    assert_eq!(seen.len(), 8);
+
+    // Re-requesting any seed through a fresh client gives identical bytes.
+    for i in [0u64, 3, 7] {
+        let ok = client
+            .request(&json!({"type": "NaiveEstimates", "urn": 0, "samples": 1_000, "seed": i}))
+            .unwrap();
+        assert_eq!(
+            &serde_json::to_string(&ok).unwrap(),
+            payloads.get(&i).unwrap()
+        );
+    }
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A queue of depth 1 with slow jobs must answer `Busy`, not buffer.
+#[test]
+fn overload_answers_busy() {
+    let dir = workdir("busy");
+    let store = seeded_store(&dir);
+    let server = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            queue_depth: 1,
+        },
+    )
+    .unwrap();
+
+    // Saturate: one slow request occupies the worker, one fills the queue,
+    // then a burst must bounce. Fire them all pipelined on one connection.
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    let slow = json!({"id": "slow", "type": "NaiveEstimates", "urn": 0, "samples": 150_000, "seed": 1, "threads": 1});
+    motivo_server::proto::write_frame(&mut raw, serde_json::to_string(&slow).unwrap().as_bytes())
+        .unwrap();
+    let burst = 16;
+    for i in 0..burst {
+        let req = json!({"id": i, "type": "NaiveEstimates", "urn": 0, "samples": 150_000, "seed": 1, "threads": 1});
+        motivo_server::proto::write_frame(
+            &mut raw,
+            serde_json::to_string(&req).unwrap().as_bytes(),
+        )
+        .unwrap();
+    }
+    let mut busy = 0u64;
+    let mut ok = 0;
+    for _ in 0..burst + 1 {
+        let frame = motivo_server::proto::read_frame(&mut raw).unwrap().unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+        if v.get("ok").is_some() {
+            ok += 1;
+        } else {
+            let kind = v
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            assert_eq!(kind, "Busy");
+            busy += 1;
+        }
+    }
+    assert!(busy > 0, "burst never hit backpressure");
+    assert!(ok >= 1, "accepted requests must still be served");
+
+    server.shutdown();
+    let report = server.join();
+    assert_eq!(report.busy_rejections, busy);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shutdown drains: requests accepted before the signal all get real
+/// responses, requests after it get `ShuttingDown`.
+#[test]
+fn graceful_shutdown_drains_accepted_requests() {
+    let dir = workdir("drain");
+    let store = seeded_store(&dir);
+    let server = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            queue_depth: 32,
+        },
+    )
+    .unwrap();
+
+    // Fill the pool with slow-ish jobs from several connections.
+    let mut conns: Vec<std::net::TcpStream> = (0..6)
+        .map(|_| std::net::TcpStream::connect(server.addr()).unwrap())
+        .collect();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let req = json!({"id": i, "type": "NaiveEstimates", "urn": 0, "samples": 60_000, "seed": 1, "threads": 1});
+        motivo_server::proto::write_frame(conn, serde_json::to_string(&req).unwrap().as_bytes())
+            .unwrap();
+    }
+    // Give the readers a moment to accept the frames into the queue.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    server.shutdown();
+
+    // Every accepted request still completes with a real payload.
+    for conn in conns.iter_mut() {
+        let frame = motivo_server::proto::read_frame(conn)
+            .unwrap()
+            .expect("response before close");
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+        assert!(
+            v.get("ok").is_some(),
+            "accepted request dropped at shutdown: {v:?}"
+        );
+    }
+
+    let report = server.join();
+    assert!(report.requests >= 6);
+    assert!(report.stats_path.is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A hostile deeply nested frame must be a `BadRequest`, not a parser
+/// stack overflow (which would abort the whole daemon).
+#[test]
+fn deeply_nested_frame_is_rejected_not_fatal() {
+    let dir = workdir("deep");
+    let store = seeded_store(&dir);
+    let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default()).unwrap();
+
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    let bomb = "[".repeat(100_000);
+    motivo_server::proto::write_frame(&mut raw, bomb.as_bytes()).unwrap();
+    let frame = motivo_server::proto::read_frame(&mut raw).unwrap().unwrap();
+    let v: serde_json::Value = serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+    let kind = v.get("error").unwrap().get("kind").unwrap();
+    assert_eq!(kind.as_str(), Some("BadRequest"));
+
+    // The server survived and still answers.
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.request(&json!({"type": "Ping"})).unwrap();
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A client that keeps pipelining after `Shutdown` must not stall the
+/// drain: its reader answers the frame in hand and closes the connection,
+/// and `join()` returns promptly.
+#[test]
+fn shutdown_is_not_stalled_by_a_chatty_client() {
+    let dir = workdir("chatty");
+    let store = seeded_store(&dir);
+    let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default()).unwrap();
+
+    let addr = server.addr();
+    let spammer = std::thread::spawn(move || {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        // Keep sending Pings until the server hangs up on us.
+        loop {
+            if motivo_server::proto::write_frame(&mut raw, br#"{"type":"Ping"}"#).is_err() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let t0 = std::time::Instant::now();
+    server.shutdown();
+    server.join();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(10),
+        "drain stalled behind a chatty client: {:?}",
+        t0.elapsed()
+    );
+    spammer.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,7 +10,9 @@
 //! counters (atomic adds) nor on the map (shared read locks) — which is
 //! what lets one `StoreQuery` serve many sampling threads at full speed.
 
-use motivo_core::{ags, naive_estimates, AgsConfig, AgsResult, Estimates, SampleConfig};
+use motivo_core::{
+    ags, naive_estimates, sample_tally, AgsConfig, AgsResult, Estimates, SampleConfig,
+};
 use motivo_graphlet::GraphletRegistry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -181,6 +183,20 @@ impl<'s> StoreQuery<'s> {
         self.record(id, |urn| ags(urn.urn(), registry, cfg))
     }
 
+    /// Raw canonical-code tally through the cache: `samples` treelet
+    /// copies, tallied per canonical graphlet code. This is the
+    /// registry-free half of [`StoreQuery::naive_estimates`] — what a
+    /// server exposes as "graphlet occurrences" without committing to any
+    /// particular class indexing.
+    pub fn sample_tally(
+        &self,
+        id: UrnId,
+        samples: u64,
+        cfg: &SampleConfig,
+    ) -> Result<HashMap<u128, u64>, StoreError> {
+        self.record(id, |urn| sample_tally(urn.urn(), samples, cfg).0)
+    }
+
     /// Counters for one urn. Never blocks behind writers for long: takes
     /// the map's read lock and snapshots the atomics.
     pub fn stats(&self, id: UrnId) -> QueryStats {
@@ -190,6 +206,19 @@ impl<'s> StoreQuery<'s> {
             .get(&id)
             .map(|cell| cell.snapshot())
             .unwrap_or_default()
+    }
+
+    /// Per-urn counters for every urn this query layer has served,
+    /// ascending by id — the snapshot a shutting-down server flushes to
+    /// disk ([`crate::UrnStore::flush_stats`]).
+    pub fn per_urn_stats(&self) -> Vec<(UrnId, QueryStats)> {
+        let stats = self.stats.read().expect("query stats poisoned");
+        let mut rows: Vec<(UrnId, QueryStats)> = stats
+            .iter()
+            .map(|(&id, cell)| (id, cell.snapshot()))
+            .collect();
+        rows.sort_unstable_by_key(|&(id, _)| id);
+        rows
     }
 
     /// Counters summed over every urn served.

@@ -343,6 +343,12 @@ impl UrnStore {
         self.inner.get_urn(id)
     }
 
+    /// The manifest entry for one urn, if it exists.
+    pub fn meta(&self, id: UrnId) -> Option<UrnMeta> {
+        let state = self.inner.state.lock().expect("store state poisoned");
+        state.manifest.urns.get(&id).cloned()
+    }
+
     /// Every urn the manifest knows, ascending by id.
     pub fn list(&self) -> Vec<UrnMeta> {
         let state = self.inner.state.lock().expect("store state poisoned");
@@ -384,6 +390,25 @@ impl UrnStore {
             Err(e) => return Err(StoreError::Io(e)),
         }
         Ok(())
+    }
+
+    /// Writes a serving-stats sidecar (`server-stats.json`) into the store
+    /// directory, atomically (temp file + rename). The store does not
+    /// interpret the body — the server composes it from
+    /// [`crate::StoreQuery::per_urn_stats`] and [`UrnStore::cache_stats`]
+    /// at shutdown — but owning the write here keeps every file under the
+    /// store directory written by the store itself.
+    pub fn flush_stats(&self, body: &[u8]) -> Result<PathBuf, StoreError> {
+        let path = self.inner.dir.join("server-stats.json");
+        let tmp = path.with_extension("json.new");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
     }
 
     /// Cache counters.

@@ -1,5 +1,5 @@
-//! The `motivo` command-line tool — build, sample, and count motifs from
-//! the shell, mirroring how the paper's C++ tool is driven.
+//! The `motivo` command-line tool — build, sample, count, and serve
+//! motifs from the shell, mirroring how the paper's C++ tool is driven.
 //!
 //! ```sh
 //! motivo generate --model ba --nodes 10000 --param 4 --out g.mtvg
@@ -12,7 +12,13 @@
 //! motivo convert edges.txt g.mtvg
 //! motivo store build g.mtvg -k 5 --store repo     # managed repository
 //! motivo store query urn-0 --store repo --samples 100000
+//! motivo serve --store repo --addr 127.0.0.1:7070 --workers 4
+//! motivo client 127.0.0.1:7070 '{"type":"ListUrns"}'
 //! ```
+//!
+//! Every subcommand validates its flags: an unknown flag, a flag missing
+//! its value, or an unparseable value is a one-line `error:` on stderr and
+//! a nonzero exit, never a panic.
 
 use motivo::core::{
     ags, ensemble, load_urn, naive_estimates, save_urn, AgsConfig, BuildConfig, EnsembleConfig,
@@ -20,9 +26,33 @@ use motivo::core::{
 };
 use motivo::graph::{generators, io, Graph};
 use motivo::graphlet::{name, GraphletRegistry};
+use motivo::server::{Client, ServeOptions, Server};
 use motivo::store::{BuildStatus, StoreQuery, UrnId, UrnStore};
 use motivo::table::{CountTable, RecordCodec};
 use std::process::exit;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|sample|store|table|serve|client> [args]\n\
+     \n\
+     generate --model ba|er|hub|yelp|lollipop --nodes N [--param P] [--seed S] --out FILE\n\
+     convert  <edges.txt> <out.mtvg>\n\
+     info     <graph>\n\
+     exact    <graph> -k K [--top N]\n\
+     count    <graph> -k K [--samples N] [--ags] [--runs R] [--biased L]\n\
+              [--threads T] [--seed S] [--top N] [--disk DIR] [--codec plain|succinct]\n\
+     build    <graph> -k K --table DIR [--seed S] [--biased L] [--threads T]\n\
+              [--codec plain|succinct]\n\
+     sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--threads T]\n\
+              [--top N]\n\
+     table    stats <dir>\n\
+     store    build <graph> -k K --store DIR [--seed S] [--biased L] [--threads T]\n\
+              [--codec plain|succinct]\n\
+     store    list --store DIR\n\
+     store    query <urn-id> --store DIR [--samples N] [--ags] [--seed S]\n\
+              [--threads T] [--top N]\n\
+     store    gc --store DIR\n\
+     serve    --store DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
+     client   <addr> <request-json>";
 
 fn main() {
     // Piping into `head` closes stdout early; die quietly instead of
@@ -36,7 +66,7 @@ fn main() {
         exit(101);
     }));
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match args.first().map(String::as_str) {
+    let run = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -46,65 +76,75 @@ fn main() {
         Some("sample") => cmd_sample(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("table") => cmd_table(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => {
-            eprintln!(
-                "usage: motivo <generate|convert|info|exact|count|build|sample|store|table> [args]\n\
-                 \n\
-                 generate --model ba|er|hub|yelp|lollipop --nodes N [--param P] [--seed S] --out FILE\n\
-                 convert  <edges.txt> <out.mtvg>\n\
-                 info     <graph>\n\
-                 exact    <graph> -k K [--top N]\n\
-                 count    <graph> -k K [--samples N] [--ags] [--runs R] [--biased L]\n\
-                          [--threads T] [--seed S] [--top N] [--disk DIR] [--codec plain|succinct]\n\
-                 build    <graph> -k K --table DIR [--seed S] [--biased L] [--threads T]\n\
-                          [--codec plain|succinct]\n\
-                 sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--threads T]\n\
-                          [--top N]\n\
-                 table    stats <dir>\n\
-                 store    build <graph> -k K --store DIR [--seed S] [--biased L] [--threads T]\n\
-                          [--codec plain|succinct]\n\
-                 store    list --store DIR\n\
-                 store    query <urn-id> --store DIR [--samples N] [--ags] [--seed S]\n\
-                          [--threads T] [--top N]\n\
-                 store    gc --store DIR"
-            );
-            2
+            eprintln!("{USAGE}");
+            exit(2);
         }
     };
-    exit(code);
+    match run {
+        Ok(()) => exit(0),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            exit(1);
+        }
+    }
 }
 
-/// Tiny flag parser: positional args plus `--flag value` / `--flag` pairs.
+/// Tiny strict flag parser: positional args plus `--flag value` /
+/// `--flag` pairs, validated against the subcommand's declared flags so a
+/// typo is an error instead of a silently ignored knob.
 struct Opts {
     positional: Vec<String>,
     flags: std::collections::HashMap<String, String>,
 }
 
 impl Opts {
-    fn parse(args: &[String], boolean_flags: &[&str]) -> Opts {
+    fn parse(
+        args: &[String],
+        value_flags: &[&str],
+        boolean_flags: &[&str],
+    ) -> Result<Opts, String> {
         let mut positional = Vec::new();
         let mut flags = std::collections::HashMap::new();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
-                if boolean_flags.contains(&name) {
+            let flag = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix('-').filter(|f| !f.is_empty()));
+            match flag {
+                Some(name) if boolean_flags.contains(&name) => {
                     flags.insert(name.to_string(), "true".into());
-                } else {
-                    let v = it.next().cloned().unwrap_or_default();
-                    flags.insert(name.to_string(), v);
                 }
-            } else if let Some(name) = a.strip_prefix('-') {
-                let v = it.next().cloned().unwrap_or_default();
-                flags.insert(name.to_string(), v);
-            } else {
-                positional.push(a.clone());
+                Some(name) if value_flags.contains(&name) => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag {a} requires a value"))?;
+                    flags.insert(name.to_string(), v.clone());
+                }
+                Some(_) => return Err(format!("unknown flag {a}")),
+                None => positional.push(a.clone()),
             }
         }
-        Opts { positional, flags }
+        Ok(Opts { positional, flags })
     }
 
-    fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
-        self.flags.get(name).and_then(|v| v.parse().ok())
+    /// A typed flag value; unparseable values are a hard error, absent
+    /// flags are `None`.
+    fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: `{v}`")),
+        }
+    }
+
+    /// A typed flag value with a default.
+    fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        Ok(self.get(name)?.unwrap_or(default))
     }
 
     fn has(&self, name: &str) -> bool {
@@ -121,11 +161,6 @@ fn load_graph(path: &str) -> Result<Graph, String> {
     loaded.map_err(|e| format!("cannot load graph {path}: {e}"))
 }
 
-fn fail(msg: &str) -> i32 {
-    eprintln!("error: {msg}");
-    1
-}
-
 /// Reads `--codec plain|succinct` (default plain).
 fn parse_codec(o: &Opts) -> Result<RecordCodec, String> {
     match o.flags.get("codec") {
@@ -134,66 +169,56 @@ fn parse_codec(o: &Opts) -> Result<RecordCodec, String> {
     }
 }
 
-fn cmd_generate(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
-    let model: String = o.get("model").unwrap_or_else(|| "ba".into());
-    let n: u32 = o.get("nodes").unwrap_or(10_000);
-    let seed: u64 = o.get("seed").unwrap_or(1);
-    let param: u32 = o.get("param").unwrap_or(3);
-    let out: String = match o.get("out") {
-        Some(p) => p,
-        None => return fail("--out FILE required"),
-    };
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["model", "nodes", "seed", "param", "out"], &[])?;
+    let model: String = o.get_or("model", "ba".into())?;
+    let n: u32 = o.get_or("nodes", 10_000)?;
+    let seed: u64 = o.get_or("seed", 1)?;
+    let param: u32 = o.get_or("param", 3)?;
+    let out: String = o.get("out")?.ok_or("--out FILE required")?;
     let g = match model.as_str() {
         "ba" => generators::barabasi_albert(n, param, seed),
         "er" => generators::erdos_renyi(n, (n as usize) * param as usize, seed),
         "hub" => generators::star_heavy(n, param, 0.5, seed),
         "yelp" => generators::yelp_like(n / 100 + 1, param.max(10), n as usize / 50, seed),
         "lollipop" => generators::lollipop(n, param),
-        other => return fail(&format!("unknown model {other}")),
+        other => return Err(format!("unknown model {other}")),
     };
-    if let Err(e) = io::save_binary(&g, &out) {
-        return fail(&format!("cannot write {out}: {e}"));
-    }
+    io::save_binary(&g, &out).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "wrote {} ({} nodes, {} edges)",
         out,
         g.num_nodes(),
         g.num_edges()
     );
-    0
+    Ok(())
 }
 
-fn cmd_convert(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[], &[])?;
     let [input, output] = &o.positional[..] else {
-        return fail("usage: convert <edges.txt> <out.mtvg>");
+        return Err("usage: convert <edges.txt> <out.mtvg>".into());
     };
-    let g = match io::load_edge_list(input) {
-        Ok(g) => g,
-        Err(e) => return fail(&format!("cannot read {input}: {e}")),
-    };
-    if let Err(e) = io::save_binary(&g, output) {
-        return fail(&format!("cannot write {output}: {e}"));
-    }
+    let g = io::load_edge_list(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    io::save_binary(&g, output).map_err(|e| format!("cannot write {output}: {e}"))?;
     println!(
         "wrote {} ({} nodes, {} edges)",
         output,
         g.num_nodes(),
         g.num_edges()
     );
-    0
+    Ok(())
 }
 
-fn cmd_info(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[], &[])?;
     let Some(path) = o.positional.first() else {
-        return fail("usage: info <graph>");
+        return Err("usage: info <graph>".into());
     };
-    let g = match load_graph(path) {
-        Ok(g) => g,
-        Err(e) => return fail(&e),
-    };
+    let g = load_graph(path)?;
+    if g.num_nodes() == 0 {
+        return Err(format!("graph {path} has no nodes"));
+    }
     let mut degs: Vec<usize> = (0..g.num_nodes()).map(|v| g.degree(v)).collect();
     degs.sort_unstable();
     let pct = |p: f64| degs[((degs.len() - 1) as f64 * p) as usize];
@@ -209,22 +234,17 @@ fn cmd_info(args: &[String]) -> i32 {
     println!("max degree   {}", g.max_degree());
     println!("connected    {}", g.is_connected());
     println!("csr bytes    {}", g.byte_size());
-    0
+    Ok(())
 }
 
-fn cmd_exact(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
+fn cmd_exact(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["k", "top"], &[])?;
     let Some(path) = o.positional.first() else {
-        return fail("usage: exact <graph> -k K [--top N]");
+        return Err("usage: exact <graph> -k K [--top N]".into());
     };
-    let Some(k) = o.get::<u8>("k") else {
-        return fail("-k K required");
-    };
-    let g = match load_graph(path) {
-        Ok(g) => g,
-        Err(e) => return fail(&e),
-    };
-    let top: usize = o.get("top").unwrap_or(20);
+    let k: u8 = o.get("k")?.ok_or("-k K required")?;
+    let g = load_graph(path)?;
+    let top: usize = o.get_or("top", 20)?;
     let t0 = std::time::Instant::now();
     let exact = motivo::exact::count_exact(&g, k);
     println!(
@@ -244,38 +264,36 @@ fn cmd_exact(args: &[String]) -> i32 {
             100.0 * count as f64 / exact.total as f64
         );
     }
-    0
+    Ok(())
 }
 
-fn cmd_count(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &["ags"]);
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &[
+            "k", "samples", "runs", "seed", "threads", "top", "biased", "disk", "codec",
+        ],
+        &["ags"],
+    )?;
     let Some(path) = o.positional.first() else {
-        return fail("usage: count <graph> -k K [--samples N] [--ags] [--runs R] ...");
+        return Err("usage: count <graph> -k K [--samples N] [--ags] [--runs R] ...".into());
     };
-    let Some(k) = o.get::<u32>("k") else {
-        return fail("-k K required");
-    };
-    let g = match load_graph(path) {
-        Ok(g) => g,
-        Err(e) => return fail(&e),
-    };
-    let samples: u64 = o.get("samples").unwrap_or(200_000);
-    let runs: u64 = o.get("runs").unwrap_or(10);
-    let seed: u64 = o.get("seed").unwrap_or(0);
-    let threads: usize = o.get("threads").unwrap_or(0);
-    let top: usize = o.get("top").unwrap_or(25);
+    let k: u32 = o.get("k")?.ok_or("-k K required")?;
+    let g = load_graph(path)?;
+    let samples: u64 = o.get_or("samples", 200_000)?;
+    let runs: u64 = o.get_or("runs", 10)?;
+    let seed: u64 = o.get_or("seed", 0)?;
+    let threads: usize = o.get_or("threads", 0)?;
+    let top: usize = o.get_or("top", 25)?;
 
     let mut build = BuildConfig::new(k);
-    if let Some(lambda) = o.get::<f64>("biased") {
+    if let Some(lambda) = o.get::<f64>("biased")? {
         build = build.biased(lambda);
     }
     if let Some(dir) = o.flags.get("disk") {
         build = build.storage(motivo::table::storage::StorageKind::Disk { dir: dir.into() });
     }
-    match parse_codec(&o) {
-        Ok(codec) => build = build.codec(codec),
-        Err(e) => return fail(&e),
-    }
+    build = build.codec(parse_codec(&o)?);
     let estimator = if o.has("ags") {
         Estimator::Ags(AgsConfig {
             max_samples: samples,
@@ -292,10 +310,7 @@ fn cmd_count(args: &[String]) -> i32 {
         build,
     };
     let mut registry = GraphletRegistry::new(k as u8);
-    let res = match ensemble(&g, &mut registry, &cfg) {
-        Ok(r) => r,
-        Err(e) => return fail(&format!("{e}")),
-    };
+    let res = ensemble(&g, &mut registry, &cfg).map_err(|e| e.to_string())?;
     println!(
         "{} runs ({} empty urns) · build {:.2}s · sampling {:.2}s · {} samples",
         res.effective_runs,
@@ -328,37 +343,28 @@ fn cmd_count(args: &[String]) -> i32 {
     if res.classes.len() > top {
         println!("… and {} more classes", res.classes.len() - top);
     }
-    0
+    Ok(())
 }
 
-fn cmd_build(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &["k", "table", "seed", "threads", "biased", "codec"],
+        &[],
+    )?;
     let Some(path) = o.positional.first() else {
-        return fail("usage: build <graph> -k K --table DIR [--seed S]");
+        return Err("usage: build <graph> -k K --table DIR [--seed S]".into());
     };
-    let Some(k) = o.get::<u32>("k") else {
-        return fail("-k K required");
-    };
-    let Some(table) = o.flags.get("table") else {
-        return fail("--table DIR required");
-    };
-    let g = match load_graph(path) {
-        Ok(g) => g,
-        Err(e) => return fail(&e),
-    };
-    let mut cfg = BuildConfig::new(k).seed(o.get("seed").unwrap_or(0));
-    cfg.threads = o.get("threads").unwrap_or(0);
-    if let Some(lambda) = o.get::<f64>("biased") {
+    let k: u32 = o.get("k")?.ok_or("-k K required")?;
+    let table: String = o.get("table")?.ok_or("--table DIR required")?;
+    let g = load_graph(path)?;
+    let mut cfg = BuildConfig::new(k).seed(o.get_or("seed", 0)?);
+    cfg.threads = o.get_or("threads", 0)?;
+    if let Some(lambda) = o.get::<f64>("biased")? {
         cfg = cfg.biased(lambda);
     }
-    match parse_codec(&o) {
-        Ok(codec) => cfg = cfg.codec(codec),
-        Err(e) => return fail(&e),
-    }
-    let urn = match motivo::core::build_urn(&g, &cfg) {
-        Ok(u) => u,
-        Err(e) => return fail(&format!("{e}")),
-    };
+    cfg = cfg.codec(parse_codec(&o)?);
+    let urn = motivo::core::build_urn(&g, &cfg).map_err(|e| e.to_string())?;
     let st = urn.build_stats();
     println!(
         "built urn: {} colorful {k}-treelets, {:.2}s, {:.1} MiB table ({} codec)",
@@ -367,20 +373,18 @@ fn cmd_build(args: &[String]) -> i32 {
         st.table_bytes as f64 / (1 << 20) as f64,
         cfg.codec
     );
-    if let Err(e) = save_urn(&urn, table) {
-        return fail(&format!("cannot persist urn: {e}"));
-    }
+    save_urn(&urn, &table).map_err(|e| format!("cannot persist urn: {e}"))?;
     println!("persisted to {table}");
-    0
+    Ok(())
 }
 
-fn cmd_store(args: &[String]) -> i32 {
+fn cmd_store(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("build") => cmd_store_build(&args[1..]),
         Some("list") => cmd_store_list(&args[1..]),
         Some("query") => cmd_store_query(&args[1..]),
         Some("gc") => cmd_store_gc(&args[1..]),
-        _ => fail("usage: store <build|list|query|gc> --store DIR [args]"),
+        _ => Err("usage: store <build|list|query|gc> --store DIR [args]".into()),
     }
 }
 
@@ -396,40 +400,27 @@ fn parse_urn_id(s: &str) -> Option<UrnId> {
     s.strip_prefix("urn-").unwrap_or(s).parse().ok().map(UrnId)
 }
 
-fn cmd_store_build(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
+fn cmd_store_build(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &["k", "store", "seed", "threads", "biased", "codec"],
+        &[],
+    )?;
     let Some(path) = o.positional.first() else {
-        return fail("usage: store build <graph> -k K --store DIR [--seed S]");
+        return Err("usage: store build <graph> -k K --store DIR [--seed S]".into());
     };
-    let Some(k) = o.get::<u32>("k") else {
-        return fail("-k K required");
-    };
-    let g = match load_graph(path) {
-        Ok(g) => g,
-        Err(e) => return fail(&e),
-    };
-    let store = match open_store(&o) {
-        Ok(s) => s,
-        Err(e) => return fail(&e),
-    };
-    let mut cfg = BuildConfig::new(k).seed(o.get("seed").unwrap_or(0));
-    cfg.threads = o.get("threads").unwrap_or(0);
-    if let Some(lambda) = o.get::<f64>("biased") {
+    let k: u32 = o.get("k")?.ok_or("-k K required")?;
+    let g = load_graph(path)?;
+    let store = open_store(&o)?;
+    let mut cfg = BuildConfig::new(k).seed(o.get_or("seed", 0)?);
+    cfg.threads = o.get_or("threads", 0)?;
+    if let Some(lambda) = o.get::<f64>("biased")? {
         cfg = cfg.biased(lambda);
     }
-    match parse_codec(&o) {
-        Ok(codec) => cfg = cfg.codec(codec),
-        Err(e) => return fail(&e),
-    }
-    let handle = match store.build_or_get(&g, &cfg) {
-        Ok(h) => h,
-        Err(e) => return fail(&format!("{e}")),
-    };
+    cfg = cfg.codec(parse_codec(&o)?);
+    let handle = store.build_or_get(&g, &cfg).map_err(|e| e.to_string())?;
     let already = handle.poll().is_some();
-    let urn = match handle.wait() {
-        Ok(u) => u,
-        Err(e) => return fail(&format!("{e}")),
-    };
+    let urn = handle.wait().map_err(|e| e.to_string())?;
     println!(
         "{} {}: {} colorful {k}-treelets, {:.1} MiB table",
         if already { "reused" } else { "built" },
@@ -437,15 +428,12 @@ fn cmd_store_build(args: &[String]) -> i32 {
         urn.urn().total_treelets(),
         urn.urn().table().byte_size() as f64 / (1 << 20) as f64
     );
-    0
+    Ok(())
 }
 
-fn cmd_store_list(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
-    let store = match open_store(&o) {
-        Ok(s) => s,
-        Err(e) => return fail(&e),
-    };
+fn cmd_store_list(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["store"], &[])?;
+    let store = open_store(&o)?;
     let urns = store.list();
     println!(
         "{:>8}  {:>2}  {:>10}  {:>8}  {:>8}  {:>12}  {:>16}",
@@ -468,50 +456,50 @@ fn cmd_store_list(args: &[String]) -> i32 {
         );
     }
     println!("{} urns, {} graphs", urns.len(), store.graphs().len());
-    0
+    Ok(())
 }
 
-fn cmd_store_query(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &["ags"]);
-    let Some(id) = o.positional.first().and_then(|s| parse_urn_id(s)) else {
-        return fail("usage: store query <urn-id> --store DIR [--samples N] [--ags]");
-    };
-    let store = match open_store(&o) {
-        Ok(s) => s,
-        Err(e) => return fail(&e),
-    };
-    let Some(meta) = store.list().into_iter().find(|m| m.id == id) else {
-        return fail(&format!("unknown urn {id}"));
-    };
-    let samples: u64 = o.get("samples").unwrap_or(200_000);
-    let seed: u64 = o.get("seed").unwrap_or(1);
-    let threads: usize = o.get("threads").unwrap_or(0);
-    let top: usize = o.get("top").unwrap_or(25);
+fn cmd_store_query(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &["store", "samples", "seed", "threads", "top"],
+        &["ags"],
+    )?;
+    let id = o
+        .positional
+        .first()
+        .and_then(|s| parse_urn_id(s))
+        .ok_or("usage: store query <urn-id> --store DIR [--samples N] [--ags]")?;
+    let store = open_store(&o)?;
+    let meta = store.meta(id).ok_or_else(|| format!("unknown urn {id}"))?;
+    let samples: u64 = o.get_or("samples", 200_000)?;
+    let seed: u64 = o.get_or("seed", 1)?;
+    let threads: usize = o.get_or("threads", 0)?;
+    let top: usize = o.get_or("top", 25)?;
     let query = StoreQuery::new(&store);
     let mut registry = GraphletRegistry::new(meta.key.k as u8);
     let est = if o.has("ags") {
-        match query.ags(
-            id,
-            &mut registry,
-            &AgsConfig {
-                max_samples: samples,
-                sample: SampleConfig::seeded(seed).threads(threads),
-                ..AgsConfig::default()
-            },
-        ) {
-            Ok(r) => r.estimates,
-            Err(e) => return fail(&format!("{e}")),
-        }
+        query
+            .ags(
+                id,
+                &mut registry,
+                &AgsConfig {
+                    max_samples: samples,
+                    sample: SampleConfig::seeded(seed).threads(threads),
+                    ..AgsConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?
+            .estimates
     } else {
-        match query.naive_estimates(
-            id,
-            &mut registry,
-            samples,
-            &SampleConfig::seeded(seed).threads(threads),
-        ) {
-            Ok(r) => r,
-            Err(e) => return fail(&format!("{e}")),
-        }
+        query
+            .naive_estimates(
+                id,
+                &mut registry,
+                samples,
+                &SampleConfig::seeded(seed).threads(threads),
+            )
+            .map_err(|e| e.to_string())?
     };
     let qs = query.stats(id);
     println!(
@@ -537,15 +525,12 @@ fn cmd_store_query(args: &[String]) -> i32 {
             e.occurrences
         );
     }
-    0
+    Ok(())
 }
 
-fn cmd_store_gc(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
-    let store = match open_store(&o) {
-        Ok(s) => s,
-        Err(e) => return fail(&e),
-    };
+fn cmd_store_gc(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["store"], &[])?;
+    let store = open_store(&o)?;
     let rec = store.recovery_report();
     if rec.interrupted_builds > 0 || rec.torn_journal_bytes > 0 {
         println!(
@@ -553,36 +538,29 @@ fn cmd_store_gc(args: &[String]) -> i32 {
             rec.interrupted_builds, rec.torn_journal_bytes
         );
     }
-    match store.gc() {
-        Ok(r) => {
-            println!(
-                "gc: {} orphan urn dirs, {} orphan graphs, {} journal bytes compacted",
-                r.orphan_dirs_removed, r.orphan_graphs_removed, r.journal_bytes_compacted
-            );
-            0
-        }
-        Err(e) => fail(&format!("{e}")),
-    }
+    let r = store.gc().map_err(|e| e.to_string())?;
+    println!(
+        "gc: {} orphan urn dirs, {} orphan graphs, {} journal bytes compacted",
+        r.orphan_dirs_removed, r.orphan_graphs_removed, r.journal_bytes_compacted
+    );
+    Ok(())
 }
 
-fn cmd_table(args: &[String]) -> i32 {
+fn cmd_table(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("stats") => cmd_table_stats(&args[1..]),
-        _ => fail("usage: table stats <dir>"),
+        _ => Err("usage: table stats <dir>".into()),
     }
 }
 
 /// Per-level record counts, encoded bytes, and the plain-vs-succinct
 /// compression ratio of a persisted count table (a `--table`/urn dir).
-fn cmd_table_stats(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &[]);
+fn cmd_table_stats(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[], &[])?;
     let Some(dir) = o.positional.first() else {
-        return fail("usage: table stats <dir>");
+        return Err("usage: table stats <dir>".into());
     };
-    let table = match CountTable::open_dir(dir) {
-        Ok(t) => t,
-        Err(e) => return fail(&format!("cannot open table {dir}: {e}")),
-    };
+    let table = CountTable::open_dir(dir).map_err(|e| format!("cannot open table {dir}: {e}"))?;
     println!(
         "table {dir}: k={}, codec={}, {} records",
         table.k(),
@@ -598,10 +576,10 @@ fn cmd_table_stats(args: &[String]) -> i32 {
         let level = table.level(h);
         let mut entries = 0u64;
         for v in level.vertices() {
-            match table.get(h, v) {
-                Ok(rec) => entries += rec.len() as u64,
-                Err(e) => return fail(&format!("level {h} vertex {v}: {e}")),
-            }
+            let rec = table
+                .get(h, v)
+                .map_err(|e| format!("level {h} vertex {v}: {e}"))?;
+            entries += rec.len() as u64;
         }
         // The plain layout costs 24 bytes per entry plus a 4-byte length
         // prefix per stored record on disk.
@@ -627,29 +605,25 @@ fn cmd_table_stats(args: &[String]) -> i32 {
         plain_total,
         table.byte_size() as f64 / plain_total.max(1) as f64
     );
-    0
+    Ok(())
 }
 
-fn cmd_sample(args: &[String]) -> i32 {
-    let o = Opts::parse(args, &["ags"]);
+fn cmd_sample(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &["table", "samples", "seed", "threads", "top"],
+        &["ags"],
+    )?;
     let Some(path) = o.positional.first() else {
-        return fail("usage: sample <graph> --table DIR [--samples N] [--ags]");
+        return Err("usage: sample <graph> --table DIR [--samples N] [--ags]".into());
     };
-    let Some(table) = o.flags.get("table") else {
-        return fail("--table DIR required");
-    };
-    let g = match load_graph(path) {
-        Ok(g) => g,
-        Err(e) => return fail(&e),
-    };
-    let urn = match load_urn(&g, table) {
-        Ok(u) => u,
-        Err(e) => return fail(&format!("cannot load urn: {e}")),
-    };
-    let samples: u64 = o.get("samples").unwrap_or(200_000);
-    let seed: u64 = o.get("seed").unwrap_or(1);
-    let threads: usize = o.get("threads").unwrap_or(0);
-    let top: usize = o.get("top").unwrap_or(25);
+    let table: String = o.get("table")?.ok_or("--table DIR required")?;
+    let g = load_graph(path)?;
+    let urn = load_urn(&g, &table).map_err(|e| format!("cannot load urn: {e}"))?;
+    let samples: u64 = o.get_or("samples", 200_000)?;
+    let seed: u64 = o.get_or("seed", 1)?;
+    let threads: usize = o.get_or("threads", 0)?;
+    let top: usize = o.get_or("top", 25)?;
     let k = urn.k();
     let mut registry = GraphletRegistry::new(k as u8);
     let est = if o.has("ags") {
@@ -693,5 +667,64 @@ fn cmd_sample(args: &[String]) -> i32 {
             e.occurrences
         );
     }
-    0
+    Ok(())
+}
+
+/// Runs the query daemon until a wire `Shutdown` request arrives.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["store", "addr", "workers", "queue"], &[])?;
+    let store = open_store(&o)?;
+    let addr: String = o.get_or("addr", "127.0.0.1:7070".into())?;
+    let opts = ServeOptions {
+        workers: o.get_or("workers", 4)?,
+        queue_depth: o.get_or("queue", 0)?,
+    };
+    let server = Server::bind(Arc::new(store), addr.as_str(), opts)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    // Scripts and tests read this line to learn the ephemeral port.
+    println!("listening on {}", server.addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    let report = server.join();
+    println!(
+        "served {} requests on {} connections ({} busy rejections)",
+        report.requests, report.connections, report.busy_rejections
+    );
+    if let Some(path) = report.stats_path {
+        println!("stats flushed to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Sends one raw JSON request to a running daemon and pretty-prints the
+/// response envelope; exits nonzero if the server answered an error.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[], &[])?;
+    let [addr, request] = &o.positional[..] else {
+        return Err("usage: client <addr> <request-json>".into());
+    };
+    // Validate locally so typos fail with a parse message, not a server
+    // roundtrip.
+    serde_json::from_str(request).map_err(|e| format!("request is not valid JSON: {e}"))?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let envelope = client.roundtrip_raw(request).map_err(|e| e.to_string())?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&envelope).map_err(|e| format!("malformed response: {e}"))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&parsed).map_err(|e| e.to_string())?
+    );
+    if let Some(err) = parsed.get("error") {
+        let kind = err
+            .get("kind")
+            .and_then(|k| k.as_str().map(str::to_string))
+            .unwrap_or_else(|| "Unknown".into());
+        let message = err
+            .get("message")
+            .and_then(|m| m.as_str().map(str::to_string))
+            .unwrap_or_default();
+        return Err(format!("server answered [{kind}]: {message}"));
+    }
+    Ok(())
 }

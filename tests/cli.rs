@@ -259,8 +259,82 @@ fn store_build_list_query_gc_flow() {
 #[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = motivo().arg("bogus").output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+/// Bad input — unknown flags, flags missing their value, unparseable
+/// values, missing files, bad urn ids — exits 1 with a one-line `error:`
+/// on stderr, never a panic with a backtrace.
+#[test]
+fn bad_input_exits_nonzero_with_one_line_error() {
+    let dir = workdir("badinput");
+    let g = dir.join("g.mtvg");
+    run(motivo()
+        .args([
+            "generate", "--model", "er", "--nodes", "120", "--param", "2",
+        ])
+        .arg("--out")
+        .arg(&g));
+
+    let g_str = g.to_str().unwrap();
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        // Unknown flags are rejected, not silently ignored.
+        (
+            vec!["count", g_str, "-k", "4", "--bogus", "1"],
+            "unknown flag --bogus",
+        ),
+        (vec!["generate", "--nodse", "100"], "unknown flag --nodse"),
+        (
+            vec!["serve", "--store", "x", "--loud"],
+            "unknown flag --loud",
+        ),
+        // A value flag at the end of the line has no value.
+        (vec!["count", g_str, "-k"], "requires a value"),
+        // Unparseable values are an error, not a silent default.
+        (
+            vec!["count", g_str, "-k", "4", "--samples", "abc"],
+            "invalid value for --samples",
+        ),
+        (
+            vec!["generate", "--nodes", "many", "--out", "x.mtvg"],
+            "invalid value for --nodes",
+        ),
+        (
+            vec!["exact", g_str, "-k", "banana"],
+            "invalid value for --k",
+        ),
+        // Missing files fail cleanly.
+        (vec!["info", "no-such-graph.mtvg"], "cannot load graph"),
+        (
+            vec!["sample", "no-such.mtvg", "--table", "nope"],
+            "cannot load graph",
+        ),
+        // Malformed client requests fail before any connection attempt.
+        (vec!["client", "127.0.0.1:1", "{not json"], "not valid JSON"),
+        // Bad urn ids and codecs.
+        (vec!["store", "query", "urn-x"], "usage: store query"),
+        (
+            vec!["build", g_str, "-k", "4", "--codec", "zip", "--table", "t"],
+            "unknown codec",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = motivo().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{args:?} must exit 1");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: stderr was {stderr:?}");
+        assert!(
+            !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+            "{args:?} panicked: {stderr:?}"
+        );
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "{args:?}: expected a one-line error, got {stderr:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

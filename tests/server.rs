@@ -1,0 +1,196 @@
+//! End-to-end tests of `motivo serve`: the real binary on an ephemeral
+//! port, ≥ 32 concurrent clients mixing query types, responses
+//! byte-identical to in-process [`StoreQuery`] calls for a fixed seed, and
+//! a graceful shutdown that drains every accepted request.
+
+use motivo::core::{BuildConfig, SampleConfig};
+use motivo::graphlet::GraphletRegistry;
+use motivo::prelude::{Client, StoreQuery, UrnId, UrnStore};
+use motivo::server::proto;
+use serde_json::json;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn motivo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_motivo"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("motivo-serve-test-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds a store with one k=4 urn and returns the expected in-process
+/// serialization of a seeded `NaiveEstimates` request against it. The
+/// store is closed again before the daemon opens it — one process at a
+/// time owns the journal.
+fn seed_store(dir: &PathBuf, samples: u64, seed: u64) -> String {
+    let graph = motivo::graph::generators::barabasi_albert(250, 3, 5);
+    let store = UrnStore::open(dir).unwrap();
+    let handle = store
+        .build_or_get(&graph, &BuildConfig::new(4).seed(2))
+        .unwrap();
+    handle.wait().unwrap();
+    let query = StoreQuery::new(&store);
+    let mut registry = GraphletRegistry::new(4);
+    let est = query
+        .naive_estimates(
+            UrnId(0),
+            &mut registry,
+            samples,
+            &SampleConfig::seeded(seed).threads(2),
+        )
+        .unwrap();
+    serde_json::to_string(&proto::estimates_json(&est, &registry)).unwrap()
+}
+
+/// Spawns `motivo serve` on an ephemeral port and reads the bound address
+/// off its first stdout line.
+fn spawn_server(store_dir: &PathBuf, workers: u32, queue: u32) -> (Child, String) {
+    let mut child = motivo()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(["--workers", &workers.to_string()])
+        .args(["--queue", &queue.to_string()])
+        .arg("--store")
+        .arg(store_dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn motivo serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("server printed its address")
+        .expect("readable stdout");
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line {first:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// ≥ 32 concurrent clients mixing every query type; the seeded estimate
+/// responses are byte-identical to the in-process call.
+#[test]
+fn concurrent_clients_get_in_process_bytes() {
+    let dir = workdir("concurrent");
+    let expected = seed_store(&dir, 5_000, 3);
+    let (mut child, addr) = spawn_server(&dir, 4, 256);
+
+    let clients = 32;
+    std::thread::scope(|s| {
+        let (expected, addr) = (&expected, &addr);
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr.as_str()).unwrap();
+                    match i % 4 {
+                        // The determinism check: every one of these, from
+                        // any client at any time, matches the in-process
+                        // bytes exactly.
+                        0 => {
+                            let ok = client
+                                .request(&json!({
+                                    "type": "NaiveEstimates", "urn": 0,
+                                    "samples": 5_000, "seed": 3, "threads": 2,
+                                }))
+                                .unwrap();
+                            assert_eq!(&serde_json::to_string(&ok).unwrap(), expected);
+                        }
+                        1 => {
+                            let ok = client.request(&json!({"type": "ListUrns"})).unwrap();
+                            let rows = ok.get("urns").unwrap().as_array().unwrap();
+                            assert_eq!(rows.len(), 1);
+                        }
+                        2 => {
+                            let ok = client
+                                .request(&json!({
+                                    "type": "Sample", "urn": 0, "samples": 1_000, "seed": i,
+                                }))
+                                .unwrap();
+                            let total: u64 = ok
+                                .get("classes")
+                                .unwrap()
+                                .as_array()
+                                .unwrap()
+                                .iter()
+                                .map(|c| c.get("occurrences").unwrap().as_u64().unwrap())
+                                .sum();
+                            assert_eq!(total, 1_000);
+                        }
+                        _ => {
+                            let ok = client.request(&json!({"type": "Stats"})).unwrap();
+                            assert!(ok.get("cache").is_some());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    // Shut down over the wire; the daemon exits 0 and flushes stats.
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "serve exited {status:?}");
+    assert!(dir.join("server-stats.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Graceful shutdown drains: requests accepted (not `Busy`-rejected)
+/// before the signal all receive real responses; none are dropped.
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let dir = workdir("drain");
+    seed_store(&dir, 1_000, 1);
+    let (mut child, addr) = spawn_server(&dir, 2, 64);
+
+    // Park a sampling request on each of 8 connections, then shut down
+    // while they are queued/in flight.
+    let mut conns: Vec<std::net::TcpStream> = (0..8)
+        .map(|_| std::net::TcpStream::connect(addr.as_str()).unwrap())
+        .collect();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let req = json!({
+            "id": i, "type": "NaiveEstimates", "urn": 0,
+            "samples": 40_000, "seed": 1, "threads": 1,
+        });
+        proto::write_frame(conn, serde_json::to_string(&req).unwrap().as_bytes()).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+
+    // Every accepted request completes with a real payload — and because
+    // they share a seed, all with the *same* payload.
+    let mut payloads = std::collections::HashSet::new();
+    for conn in conns.iter_mut() {
+        let frame = proto::read_frame(conn)
+            .unwrap()
+            .expect("a response, not a dropped connection");
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+        let ok = v
+            .get("ok")
+            .unwrap_or_else(|| panic!("accepted request answered with {v:?} instead of a payload"));
+        payloads.insert(serde_json::to_string(&ok).unwrap());
+    }
+    assert_eq!(
+        payloads.len(),
+        1,
+        "same seed ⇒ same bytes, even at shutdown"
+    );
+
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "serve exited {status:?}");
+
+    // After shutdown the port is closed.
+    assert!(std::net::TcpStream::connect(addr.as_str()).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -51,9 +51,11 @@ pub mod thread {
 }
 
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, SendError};
+    pub use std::sync::mpsc::{Receiver, SendError, TrySendError};
 
     /// crossbeam's bounded sender is clonable; std's `SyncSender` is too.
+    /// `try_send` returns [`TrySendError::Full`] when `cap` messages are
+    /// in flight, which is what the server's backpressure path keys on.
     pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
 
     /// A channel that blocks senders while `cap` messages are in flight.

@@ -1,10 +1,11 @@
 //! Offline stand-in for the `serde_json` crate (see vendor/README.md).
 //!
-//! [`Value`], the [`json!`] macro, and [`to_string_pretty`] /
-//! [`to_string`] over anything implementing the vendored
-//! `serde::Serialize`. Output is valid JSON: strings are escaped,
-//! non-finite floats render as `null` (matching serde_json's lossy
-//! `Display` behaviour for the cases motivo writes).
+//! [`Value`], the [`json!`] macro, [`to_string_pretty`] / [`to_string`]
+//! over anything implementing the vendored `serde::Serialize`, and
+//! [`from_str`], a full JSON parser (needed by `motivo-server`'s wire
+//! protocol, which speaks JSON in both directions). Output is valid JSON:
+//! strings are escaped, non-finite floats render as `null` (matching
+//! serde_json's lossy `Display` behaviour for the cases motivo writes).
 
 use serde::{Content, Serialize};
 
@@ -19,6 +20,81 @@ impl Serialize for Value {
     }
 }
 
+impl Value {
+    /// Object member lookup; `None` for non-objects and absent keys.
+    /// When a parsed document carried duplicate keys, the **last** one
+    /// wins, as in serde_json — a reader that disagreed with real
+    /// serde_json clients about `{"a":1,"a":2}` would be a differential
+    /// parsing hazard.
+    pub fn get(&self, key: &str) -> Option<Value> {
+        match &self.0 {
+            Content::Map(entries) => entries
+                .iter()
+                .rfind(|(k, _)| k == key)
+                .map(|(_, v)| Value(v.clone())),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a JSON string.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.0 {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match &self.0 {
+            Content::Int(i) => u64::try_from(*i).ok(),
+            Content::UInt(u) => u64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match &self.0 {
+            Content::Int(i) => i64::try_from(*i).ok(),
+            Content::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen, like serde_json's `as_f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match &self.0 {
+            Content::Float(f) => Some(*f),
+            Content::Int(i) => Some(*i as f64),
+            Content::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match &self.0 {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self.0, Content::Null)
+    }
+
+    /// The elements, if this is an array (clones each element into its own
+    /// [`Value`]; the stand-in favours a simple API over zero-copy views).
+    pub fn as_array(&self) -> Option<Vec<Value>> {
+        match &self.0 {
+            Content::Seq(items) => Some(items.iter().cloned().map(Value).collect()),
+            _ => None,
+        }
+    }
+}
+
 /// Lowers any `Serialize` value into a [`Value`] (what `json!` uses in
 /// value position; a blanket `From` would collide with the reflexive
 /// `From<Value> for Value`).
@@ -26,14 +102,24 @@ pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
     Value(v.to_content())
 }
 
-/// Serialization never fails for tree values; the type exists so call
-/// sites can keep serde_json's `Result` shape.
+/// Serialization never fails for tree values; parsing can. The message
+/// carries the byte offset and what the parser expected there.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error(String);
+
+impl Error {
+    fn at(pos: usize, msg: &str) -> Error {
+        Error(format!("invalid JSON at byte {pos}: {msg}"))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("json serialization error")
+        if self.0.is_empty() {
+            f.write_str("json serialization error")
+        } else {
+            f.write_str(&self.0)
+        }
     }
 }
 
@@ -138,6 +224,214 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Parses one JSON document. Trailing non-whitespace is an error, as in
+/// serde_json's `from_str`; nesting beyond [`MAX_PARSE_DEPTH`] is an
+/// error too (real serde_json has the same guard — without it a small
+/// hostile document of `[[[[…` overflows the parser's stack). Duplicate
+/// object keys are all stored and [`Value::get`] returns the last,
+/// matching serde_json. Numbers parse as integers when they carry no
+/// fraction or exponent, as floats otherwise.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let content = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::at(pos, "trailing characters after document"));
+    }
+    Ok(Value(content))
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::at(*pos, &format!("expected `{lit}`")))
+    }
+}
+
+/// Nesting cap of the recursive-descent parser, as in real serde_json.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Content, Error> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(Error::at(*pos, "nesting exceeds the depth limit"));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::at(*pos, "unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|_| Content::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Content::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Content::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Content::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Content::Seq(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Content::Seq(items));
+                    }
+                    _ => return Err(Error::at(*pos, "expected `,` or `]` in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Content::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos, depth + 1)?;
+                entries.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Content::Map(entries));
+                    }
+                    _ => return Err(Error::at(*pos, "expected `,` or `}` in object")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(_) => Err(Error::at(*pos, "expected a JSON value")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::at(*pos, "expected `\"`"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        // Surrogate pairs: a high surrogate must be
+                        // followed by an escaped low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if b.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err(Error::at(*pos, "lone high surrogate"));
+                            }
+                            let low = parse_hex4(b, *pos + 3)?;
+                            *pos += 6;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(Error::at(*pos, "invalid low surrogate"));
+                            }
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(code)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => return Err(Error::at(*pos, "invalid \\u escape")),
+                        }
+                    }
+                    _ => return Err(Error::at(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => return Err(Error::at(*pos, "control character in string")),
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid; find the next char boundary).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).expect("input was a str"));
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, Error> {
+    let chunk = b
+        .get(at..at + 4)
+        .ok_or_else(|| Error::at(at, "truncated \\u escape"))?;
+    let s = std::str::from_utf8(chunk).map_err(|_| Error::at(at, "bad \\u escape"))?;
+    u32::from_str_radix(s, 16).map_err(|_| Error::at(at, "bad \\u escape"))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii");
+    if is_float {
+        text.parse::<f64>()
+            .map(Content::Float)
+            .map_err(|_| Error::at(start, "malformed number"))
+    } else {
+        // Integers beyond i128 degrade to f64, like serde_json's u64→f64
+        // overflow behaviour.
+        match text.parse::<i128>() {
+            Ok(i) => Ok(Content::Int(i)),
+            Err(_) => text
+                .parse::<f64>()
+                .map(Content::Float)
+                .map_err(|_| Error::at(start, "malformed number")),
+        }
+    }
+}
+
 #[doc(hidden)]
 pub use serde::Content as __Content;
 
@@ -221,5 +515,98 @@ mod tests {
     fn integral_floats_keep_a_decimal_point() {
         assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
         assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrips_serialized_documents() {
+        let nested = json!({"s": "a\"b\\c\nd", "empty": Vec::<u8>::new(), "none": None::<u8>});
+        let flags = json!([true, false, None::<u8>]);
+        let v = json!({
+            "name": "er-flat",
+            "nodes": 800u32,
+            "ratio": -2.5,
+            "big": 0.001,
+            "flags": flags,
+            "nested": nested,
+        });
+        let text = to_string(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        // And pretty text parses to the same tree.
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accessors_read_members() {
+        let v = from_str(r#"{"type":"Build","k":5,"wait":true,"x":[1,2],"f":0.5}"#).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("Build"));
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("wait").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("x").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.get("k").unwrap().as_f64(), Some(5.0), "ints widen");
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = from_str(r#""a\u0041\n\t\"\\ \u00e9 \ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\n\t\"\\ é 😀"));
+        // Raw UTF-8 passes through too.
+        assert_eq!(from_str("\"héllo\"").unwrap().as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "1 2",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "[1,]",
+            "{,}",
+            "--3",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+            "\u{1}",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} must be rejected");
+        }
+        // Errors name the offset.
+        let err = from_str("[1, oops]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    /// A hostile `[[[[…` document must be rejected by the depth guard,
+    /// not overflow the parser's stack (a stack overflow aborts the whole
+    /// process — fatal for a server parsing untrusted frames).
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep_ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(from_str(&deep_ok).is_ok());
+        let too_deep = "[".repeat(100_000);
+        let err = from_str(&too_deep).unwrap_err();
+        assert!(err.to_string().contains("depth"), "{err}");
+        // Objects count against the same budget.
+        let nested_obj = "{\"a\":".repeat(200) + "1" + &"}".repeat(200);
+        assert!(from_str(&nested_obj).is_err());
+    }
+
+    /// Duplicate keys: the last one wins, as in real serde_json — a
+    /// server must not read `{"a":1,"a":2}` differently than its clients.
+    #[test]
+    fn duplicate_keys_keep_the_last_value() {
+        let v = from_str(r#"{"a":1,"b":0,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("b").unwrap().as_u64(), Some(0));
     }
 }
