@@ -1,0 +1,70 @@
+//! CI perf-regression gate (see `motivo_bench::gate`): compares a fresh
+//! `BENCH_ci.json` against the committed baseline and exits nonzero with
+//! a readable per-field diff when the commit regresses.
+//!
+//! ```sh
+//! cargo run --release -p motivo-bench --bin bench_gate -- \
+//!     BENCH_baseline.json bench-artifacts/BENCH_ci.json [--tolerance 3.0]
+//! ```
+
+use motivo_bench::gate::{compare, DEFAULT_TOLERANCE};
+use serde_json::Value;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1.0)
+                    .ok_or("--tolerance expects a factor >= 1.0")?;
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = &paths[..] else {
+        return Err("usage: bench_gate <baseline.json> <fresh.json> [--tolerance X]".into());
+    };
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let report = compare(&baseline, &fresh, tolerance);
+    println!("perf gate: {fresh_path} vs baseline {baseline_path} (tolerance {tolerance:.1}x)");
+    for line in &report.lines {
+        println!("  {line}");
+    }
+    if report.passed() {
+        println!("perf gate PASSED");
+    } else {
+        println!(
+            "perf gate FAILED ({} of {} fields):",
+            report.failures.len(),
+            report.lines.len()
+        );
+        for failure in &report.failures {
+            println!("  {failure}");
+        }
+        println!("(deterministic drift or an intended perf change? see README \"Refreshing the perf baseline\")");
+    }
+    Ok(report.passed())
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

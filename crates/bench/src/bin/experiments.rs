@@ -744,9 +744,13 @@ fn s1(ctx: &Ctx) {
 
 /// CI: the per-commit perf smoke run — a tiny graph, bounded to seconds,
 /// asserting seed-split determinism (1/2/4 threads must tally
-/// bit-identically) and recording the build-time and memory trajectory
-/// (`bits_per_node_succinct` from the codec work) as `BENCH_ci.json`, the
-/// artifact CI uploads on every commit so the trend is kept, not lost.
+/// bit-identically) and recording the build-time, memory
+/// (`bits_per_node_succinct` from the codec work), and serving-throughput
+/// trajectory (`serve_qps`/`cache_hit_qps` over a loopback daemon) as
+/// `BENCH_ci.json`. CI diffs that artifact against the committed
+/// `BENCH_baseline.json` (`bench_gate`): deterministic fields — including
+/// `tally_checksum` — must match exactly, timing fields within a generous
+/// tolerance.
 fn ci(ctx: &Ctx) {
     let g = generators::barabasi_albert(2_000 * ctx.scale, 3, 7);
     let k = 4;
@@ -784,6 +788,23 @@ fn ci(ctx: &Ctx) {
             ),
         }
     }
+    // A content fingerprint of the deterministic tally: CRC32 over the
+    // (code, count) pairs ascending by code. Any sampling change that
+    // alters a single count changes this checksum, and the perf gate
+    // compares it exactly against the committed baseline.
+    let tally_checksum = {
+        let tally = baseline.as_ref().expect("tally recorded");
+        let mut rows: Vec<(u128, u64)> = tally.iter().map(|(&c, &n)| (c, n)).collect();
+        rows.sort_unstable_by_key(|&(c, _)| c);
+        let mut crc = motivo_core::checksum::Crc32::new();
+        for (code, count) in rows {
+            crc.update(&code.to_le_bytes());
+            crc.update(&count.to_le_bytes());
+        }
+        format!("{:08x}", crc.finish())
+    };
+
+    let (serve_qps, cache_hit_qps) = ci_serving_rates(&g, ctx);
 
     let bits_per_node = st.table_bytes as f64 * 8.0 / g.num_nodes() as f64;
     let succinct_bytes = succinct_table_bytes(&urn);
@@ -803,6 +824,12 @@ fn ci(ctx: &Ctx) {
                 "bits/node succinct".into(),
                 format!("{bits_per_node_succinct:.0}"),
             ],
+            vec!["tally checksum".into(), tally_checksum.clone()],
+            vec!["serve qps (cold)".into(), format!("{serve_qps:.0}")],
+            vec![
+                "serve qps (cache hit)".into(),
+                format!("{cache_hit_qps:.0}"),
+            ],
         ],
     );
     ctx.save_json(
@@ -819,7 +846,100 @@ fn ci(ctx: &Ctx) {
             "table_bytes_succinct": succinct_bytes,
             "bits_per_node_plain": bits_per_node,
             "bits_per_node_succinct": bits_per_node_succinct,
+            "tally_checksum": tally_checksum,
+            "serve_qps": serve_qps,
+            "cache_hit_qps": cache_hit_qps,
             "determinism": "ok",
         }),
     );
+}
+
+/// Serving throughput over a real loopback daemon: `serve_qps` drives
+/// distinct-seed requests (every one a cache miss running the estimator),
+/// `cache_hit_qps` repeats one seeded request (after warmup, every one a
+/// cache replay). Single blocking client, so both numbers are
+/// latency-bound round-trip rates — the trajectory metric the perf gate
+/// watches, not a saturation benchmark.
+fn ci_serving_rates(g: &motivo_graph::Graph, ctx: &Ctx) -> (f64, f64) {
+    use motivo_server::{Client, ServeOptions, Server};
+    use motivo_store::UrnStore;
+    use serde_json::Value;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("motivo-bench-ci-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Arc::new(UrnStore::open(&dir).expect("open bench store"));
+    let handle = store
+        .build_or_get(
+            g,
+            &BuildConfig {
+                threads: ctx.threads,
+                ..BuildConfig::new(4)
+            }
+            .seed(3),
+        )
+        .expect("enqueue ci build");
+    handle.wait().expect("ci store build");
+
+    let server = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            queue_depth: 64,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind loopback server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let request = |client: &mut Client, seed: u64| {
+        let ok = client
+            .request(&json!({
+                "type": "NaiveEstimates", "urn": 0, "samples": 2_000, "seed": seed,
+            }))
+            .expect("serve request");
+        serde_json::to_string(&ok).expect("serialize")
+    };
+
+    // Warmup (load the urn, JIT the path) — and pin the hit-phase payload.
+    let expected = request(&mut client, 1_000_000);
+
+    let cold_rounds = 48u64;
+    let t0 = Instant::now();
+    for seed in 0..cold_rounds {
+        request(&mut client, seed);
+    }
+    let serve_qps = cold_rounds as f64 / t0.elapsed().as_secs_f64();
+
+    let hit_rounds = 256u64;
+    let t0 = Instant::now();
+    for _ in 0..hit_rounds {
+        let payload = request(&mut client, 1_000_000);
+        // A hard assert — CI runs this with --release, and a cache
+        // replaying wrong bytes must fail the smoke job, not time it.
+        assert_eq!(payload, expected, "cached replay diverged from cold bytes");
+    }
+    let cache_hit_qps = hit_rounds as f64 / t0.elapsed().as_secs_f64();
+
+    // The hit phase must actually have hit: one miss for the warmup seed,
+    // plus one per cold-phase seed.
+    let stats = client
+        .request(&json!({"type": "Stats"}))
+        .expect("stats request");
+    let hits = stats
+        .get("query_cache")
+        .and_then(|qc: Value| qc.get("hits"))
+        .and_then(|h| h.as_u64())
+        .expect("query_cache.hits in Stats");
+    assert!(
+        hits >= hit_rounds,
+        "cache hit phase did not hit the cache ({hits} hits)"
+    );
+
+    client
+        .request(&json!({"type": "Shutdown"}))
+        .expect("shutdown");
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+    (serve_qps, cache_hit_qps)
 }

@@ -1,0 +1,268 @@
+//! The CI perf-regression gate: compares a fresh `BENCH_ci.json` against
+//! the committed `BENCH_baseline.json` (repo root) and decides whether
+//! the commit may merge.
+//!
+//! Two field classes, two rules:
+//!
+//! - **Deterministic fields** ([`EXACT_FIELDS`]) are pure functions of
+//!   the seeded workload — table bytes, bits/node, the tally checksum.
+//!   They must match the baseline *exactly*; any drift means the build or
+//!   sampling pipeline changed its observable behaviour and the baseline
+//!   must be refreshed deliberately (see README "Refreshing the perf
+//!   baseline"), never absorbed silently.
+//! - **Timing fields** ([`TIMING_FIELDS`]) are machine-dependent — build
+//!   seconds, samples/s, serving QPS. They fail only beyond a generous
+//!   ratio tolerance ([`DEFAULT_TOLERANCE`]×, either direction), wide
+//!   enough to absorb runner noise but not a 5× serving regression.
+//!
+//! A field missing from either side is a failure: the baseline and the
+//! experiment must agree on the schema, so adding a metric forces a
+//! baseline refresh in the same commit.
+
+use serde_json::Value;
+
+/// Fields that must match the baseline byte-for-byte (compared on their
+/// canonical serialization, so `2` and `2.0` stay distinct, as they are
+/// to a JSON reader).
+pub const EXACT_FIELDS: &[&str] = &[
+    "graph_nodes",
+    "graph_edges",
+    "k",
+    "samples",
+    "table_bytes_plain",
+    "table_bytes_succinct",
+    "bits_per_node_plain",
+    "bits_per_node_succinct",
+    "tally_checksum",
+    "determinism",
+];
+
+/// Fields compared as ratios under the tolerance.
+pub const TIMING_FIELDS: &[&str] = &[
+    "build_secs",
+    "sample_secs",
+    "samples_per_sec",
+    "serve_qps",
+    "cache_hit_qps",
+];
+
+/// Default timing tolerance: a fresh value may be up to this factor
+/// slower *or* faster than the baseline.
+pub const DEFAULT_TOLERANCE: f64 = 3.0;
+
+/// Noise floor for duration fields (`*_secs`): on the tiny smoke
+/// workload a build takes ~tens of milliseconds, where the ratio of two
+/// samples measures scheduler noise, not the code. Durations are clamped
+/// up to this floor before the ratio test, so the gate only engages once
+/// a duration is large enough to mean something (a real regression blows
+/// far past the floor).
+pub const SECS_NOISE_FLOOR: f64 = 0.05;
+
+/// The comparison verdict: human-readable per-field lines plus the
+/// failures that should gate the merge (empty = pass).
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// One line per compared field, pass or fail.
+    pub lines: Vec<String>,
+    /// The subset describing failures.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn fail(&mut self, line: String) {
+        self.lines.push(format!("FAIL  {line}"));
+        self.failures.push(line);
+    }
+
+    fn ok(&mut self, line: String) {
+        self.lines.push(format!("  ok  {line}"));
+    }
+}
+
+fn field_text(doc: &Value, key: &str) -> Option<String> {
+    doc.get(key)
+        .map(|v| serde_json::to_string(&v).expect("serialize"))
+}
+
+/// Compares `fresh` against `baseline`: exact fields must serialize
+/// identically, timing fields must stay within `tolerance`× in either
+/// direction. Missing fields fail.
+pub fn compare(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    for &key in EXACT_FIELDS {
+        match (field_text(baseline, key), field_text(fresh, key)) {
+            (Some(b), Some(f)) if b == f => {
+                report.ok(format!("{key:<24} {b} == {f}"));
+            }
+            (Some(b), Some(f)) => {
+                report.fail(format!(
+                    "{key:<24} deterministic field drifted: baseline {b}, fresh {f}"
+                ));
+            }
+            (b, _) => {
+                report.fail(format!(
+                    "{key:<24} missing from {} (refresh the baseline?)",
+                    if b.is_none() { "baseline" } else { "fresh run" }
+                ));
+            }
+        }
+    }
+    for &key in TIMING_FIELDS {
+        let b = baseline.get(key).and_then(|v| v.as_f64());
+        let f = fresh.get(key).and_then(|v| v.as_f64());
+        match (b, f) {
+            (Some(b), Some(f)) if b > 0.0 && f > 0.0 => {
+                let (b, f) = if key.ends_with("_secs") {
+                    (b.max(SECS_NOISE_FLOOR), f.max(SECS_NOISE_FLOOR))
+                } else {
+                    (b, f)
+                };
+                let ratio = f / b;
+                if ratio <= tolerance && ratio >= 1.0 / tolerance {
+                    report.ok(format!(
+                        "{key:<24} baseline {b:.4}, fresh {f:.4}, ratio {ratio:.2} (limit {tolerance:.1}x)"
+                    ));
+                } else {
+                    report.fail(format!(
+                        "{key:<24} baseline {b:.4}, fresh {f:.4}, ratio {ratio:.2} exceeds {tolerance:.1}x"
+                    ));
+                }
+            }
+            (Some(b), Some(f)) => {
+                report.fail(format!(
+                    "{key:<24} non-positive timing (baseline {b}, fresh {f})"
+                ));
+            }
+            (b, _) => {
+                report.fail(format!(
+                    "{key:<24} missing from {} (refresh the baseline?)",
+                    if b.is_none() { "baseline" } else { "fresh run" }
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::{from_str, json};
+
+    fn doc() -> Value {
+        json!({
+            "graph_nodes": 2000, "graph_edges": 5991, "k": 4, "samples": 50000,
+            "table_bytes_plain": 1000000, "table_bytes_succinct": 300000,
+            "bits_per_node_plain": 4000.0, "bits_per_node_succinct": 1200.0,
+            "tally_checksum": "a1b2c3d4", "determinism": "ok",
+            "build_secs": 1.0, "sample_secs": 0.5, "samples_per_sec": 100000.0,
+            "serve_qps": 800.0, "cache_hit_qps": 5000.0,
+        })
+    }
+
+    /// Rebuilds the document through text, as the gate binary reads files.
+    fn reparse(v: &Value) -> Value {
+        from_str(&serde_json::to_string(v).unwrap()).unwrap()
+    }
+
+    fn with(base: &Value, key: &str, value: Value) -> Value {
+        let mut text = serde_json::to_string(base).unwrap();
+        let old = format!(
+            "\"{key}\":{}",
+            serde_json::to_string(&base.get(key).unwrap()).unwrap()
+        );
+        let new = format!("\"{key}\":{}", serde_json::to_string(&value).unwrap());
+        assert!(text.contains(&old), "{old} not in {text}");
+        text = text.replace(&old, &new);
+        from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let (b, f) = (reparse(&doc()), reparse(&doc()));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.lines.len(), EXACT_FIELDS.len() + TIMING_FIELDS.len());
+    }
+
+    #[test]
+    fn doctored_deterministic_field_fails_with_readable_diff() {
+        let b = reparse(&doc());
+        let f = with(&b, "bits_per_node_succinct", json!(999.5));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        let msg = &report.failures[0];
+        assert!(msg.contains("bits_per_node_succinct"), "{msg}");
+        assert!(msg.contains("1200.0") && msg.contains("999.5"), "{msg}");
+
+        // The tally checksum is load-bearing too: a sampling change that
+        // altered counts must not merge green.
+        let f = with(&b, "tally_checksum", json!("deadbeef"));
+        assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn timing_within_tolerance_passes_beyond_fails() {
+        let b = reparse(&doc());
+        // 2.9x slower build: inside the 3x band.
+        let f = with(&b, "build_secs", json!(2.9));
+        assert!(compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // 2.9x *faster* serving: also fine.
+        let f = with(&b, "serve_qps", json!(2300.0));
+        assert!(compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // A 5x serving regression fails.
+        let f = with(&b, "serve_qps", json!(160.0));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("serve_qps"));
+        assert!(report.failures[0].contains("exceeds"), "{report:?}");
+        // Tolerance is a parameter: the same ratio passes at 10x.
+        assert!(compare(&b, &f, 10.0).passed());
+    }
+
+    /// Millisecond-scale durations (the smoke build on a fast runner)
+    /// are noise: the floor keeps two noise samples from failing the
+    /// gate, while a real regression past the floor still fails.
+    #[test]
+    fn tiny_durations_are_clamped_to_the_noise_floor() {
+        let b = reparse(&with(&doc(), "build_secs", json!(0.017)));
+        // 0.017s → 0.049s is a 2.9x raw ratio of pure noise: passes.
+        let f = with(&b, "build_secs", json!(0.049));
+        assert!(compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // A genuine blowup past the floor (0.017s → 0.2s) still fails:
+        // 0.2 / max(0.017, floor) = 4x.
+        let f = with(&b, "build_secs", json!(0.2));
+        assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // Rates are not clamped: qps fields keep the raw ratio test.
+        let f = with(&b, "serve_qps", json!(0.02));
+        assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn missing_fields_fail_both_directions() {
+        let b = reparse(&doc());
+        let strip = |v: &Value, key: &str| {
+            let text = serde_json::to_string(v).unwrap();
+            let needle = format!(
+                "\"{key}\":{},",
+                serde_json::to_string(&v.get(key).unwrap()).unwrap()
+            );
+            from_str(&text.replace(&needle, "")).unwrap()
+        };
+        let f = strip(&b, "serve_qps");
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("missing from fresh run"));
+        let report = compare(&f, &b, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("missing from baseline"));
+        // An exact field missing fails too.
+        let f = strip(&b, "tally_checksum");
+        assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
+    }
+}

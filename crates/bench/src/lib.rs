@@ -13,6 +13,7 @@
 //! `results/`.
 
 pub mod checkmerge;
+pub mod gate;
 pub mod ground;
 pub mod runs;
 

@@ -13,9 +13,11 @@ use std::path::Path;
 const MAGIC: &[u8; 4] = b"MTVG";
 const VERSION: u32 = 1;
 
-/// Parses a whitespace-separated edge list (`u v` per line, `#`/`%` comments
-/// skipped). Vertices are the ids appearing in the file; `n` is one plus the
-/// maximum id.
+/// Parses a whitespace-separated edge list (`u v` per line — spaces or
+/// tabs — with `#`/`%` comment lines skipped). Tokens after the two
+/// endpoints are ignored, so SNAP-style weighted/timestamped lists load
+/// cleanly. Vertices are the ids appearing in the file; `n` is one plus
+/// the maximum id.
 pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Graph> {
     let reader = BufReader::new(reader);
     let mut edges: Vec<(u32, u32)> = Vec::new();
@@ -47,6 +49,29 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Graph> {
 /// Reads an edge-list file from disk.
 pub fn load_edge_list<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
     read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes the canonical edge-list text form: one `u v` line per
+/// undirected edge with `u < v`, ascending — a normal form, so two equal
+/// graphs always serialize to identical text (what the
+/// text→binary→text roundtrip test relies on).
+pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> io::Result<()> {
+    // Streamed through a buffer, not materialized: the text form of a
+    // large graph can run to gigabytes.
+    let mut w = std::io::BufWriter::new(w);
+    for v in 0..g.num_nodes() {
+        for &u in g.neighbors(v) {
+            if u > v {
+                writeln!(w, "{v} {u}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Writes the canonical edge-list text form to a file.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> io::Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
 }
 
 /// Serializes to the binary format.
@@ -101,14 +126,20 @@ pub fn read_binary<R: Read>(mut r: R) -> io::Result<Graph> {
     if offsets[0] != 0 || offsets[n] != m2 {
         return Err(bad_data("corrupt offsets".into()));
     }
+    // Validate the whole offsets array *before* slicing by it: monotone
+    // with both ends pinned implies every slice below is in bounds. (A
+    // single out-of-range offset mid-array used to reach the slice and
+    // panic instead of erroring.)
+    for v in 0..n {
+        if offsets[v] > offsets[v + 1] {
+            return Err(bad_data("non-monotone offsets".into()));
+        }
+    }
     let mut neighbors = Vec::with_capacity(m2);
     for _ in 0..m2 {
         neighbors.push(buf.get_u32_le());
     }
     for v in 0..n {
-        if offsets[v] > offsets[v + 1] {
-            return Err(bad_data("non-monotone offsets".into()));
-        }
         for &u in &neighbors[offsets[v]..offsets[v + 1]] {
             if u as usize >= n {
                 return Err(bad_data("neighbor out of range".into()));
@@ -154,6 +185,27 @@ mod tests {
         assert!(read_edge_list("0 x\n".as_bytes()).is_err());
         assert!(read_edge_list("".as_bytes()).is_err());
         assert!(read_edge_list("5\n".as_bytes()).is_err());
+        // A comment-only file has no edges either.
+        assert!(read_edge_list("# a\n% b\n".as_bytes()).is_err());
+        // Negative ids are not silently wrapped.
+        assert!(read_edge_list("-1 2\n".as_bytes()).is_err());
+    }
+
+    /// Real-world edge lists mix separators and annotations: tab-separated
+    /// endpoints, `%` comment lines (Matrix Market habit), and trailing
+    /// tokens (weights/timestamps) after the two endpoints.
+    #[test]
+    fn edge_list_accepts_tabs_percent_comments_and_trailing_tokens() {
+        let text = "% matrix-market style header\n0\t1\n1\t2\t0.75\n# hash comment\n2 0 1634256000 extra\n\t3\t2\t\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2) && g.has_edge(2, 3));
+        // Identical to the plain-space spelling of the same graph.
+        assert_eq!(
+            g,
+            read_edge_list("0 1\n1 2\n2 0\n3 2\n".as_bytes()).unwrap()
+        );
     }
 
     #[test]
@@ -177,6 +229,86 @@ mod tests {
         let mut trunc = buf.clone();
         trunc.pop();
         assert!(read_binary(&trunc[..]).is_err());
+    }
+
+    /// Offsets into the header region of a binary graph buffer: `[24, 32)`
+    /// holds `offsets[index]` (after magic, version, n, m2).
+    fn offset_slot(index: usize) -> std::ops::Range<usize> {
+        let start = 24 + index * 8;
+        start..start + 8
+    }
+
+    /// A header promising more half-edges than the buffer carries must be
+    /// a clean error (the length check), not a short read or a panic.
+    #[test]
+    fn binary_rejects_truncated_neighbor_array() {
+        let g = generators::cycle_graph(8);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Drop the last neighbor's 4 bytes but keep the header intact.
+        let cut = buf.len() - 4;
+        assert!(read_binary(&buf[..cut]).is_err());
+        // Inflate m2 instead: the offsets/neighbors regions no longer add
+        // up to the remaining length.
+        let mut inflated = buf.clone();
+        let m2 = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        inflated[16..24].copy_from_slice(&(m2 + 1).to_le_bytes());
+        assert!(read_binary(&inflated[..]).is_err());
+    }
+
+    /// Corrupt offsets arrays — decreasing neighbors ranges, or a single
+    /// offset pointing past the neighbor array — must be rejected, not
+    /// slice out of bounds.
+    #[test]
+    fn binary_rejects_non_monotone_offsets() {
+        let g = generators::cycle_graph(8);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let m2 = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+
+        // Swap two interior offsets so the array decreases.
+        let mut swapped = buf.clone();
+        let (a, b) = (offset_slot(2), offset_slot(3));
+        let (va, vb) = (buf[a.clone()].to_vec(), buf[b.clone()].to_vec());
+        assert_ne!(va, vb, "cycle graph offsets strictly increase");
+        swapped[a].copy_from_slice(&vb);
+        swapped[b].copy_from_slice(&va);
+        let err = read_binary(&swapped[..]).unwrap_err();
+        assert!(err.to_string().contains("non-monotone"), "{err}");
+
+        // One offset beyond m2 (still monotone up to it): previously a
+        // panic in the neighbor slice, now a clean error.
+        let mut oob = buf.clone();
+        oob[offset_slot(1)].copy_from_slice(&(m2 + 100).to_le_bytes());
+        assert!(read_binary(&oob[..]).is_err());
+    }
+
+    /// Text → binary → text is the identity on canonical edge-list text,
+    /// and `write_edge_list` is a normal form (messy spellings of the same
+    /// graph converge to one serialization).
+    #[test]
+    fn text_binary_text_roundtrip_is_identity() {
+        let canonical = "0 1\n0 2\n1 2\n1 3\n2 4\n3 4\n";
+        let g = read_edge_list(canonical.as_bytes()).unwrap();
+        let mut binary = Vec::new();
+        write_binary(&g, &mut binary).unwrap();
+        let h = read_binary(&binary[..]).unwrap();
+        let mut text = Vec::new();
+        write_edge_list(&h, &mut text).unwrap();
+        assert_eq!(String::from_utf8(text).unwrap(), canonical);
+
+        // A messy spelling (tabs, comments, duplicates, trailing tokens,
+        // reversed endpoints) normalizes to the same canonical text.
+        let messy = "# messy\n2\t1\n1 0 9.5\n4 2\n% dup\n1 2\n3 1\n4 3 t\n0 2\n";
+        let mut text = Vec::new();
+        write_edge_list(&read_edge_list(messy.as_bytes()).unwrap(), &mut text).unwrap();
+        assert_eq!(String::from_utf8(text).unwrap(), canonical);
+
+        // And on a generated graph, text roundtrip preserves equality.
+        let g = generators::barabasi_albert(200, 3, 5);
+        let mut text = Vec::new();
+        write_edge_list(&g, &mut text).unwrap();
+        assert_eq!(read_edge_list(&text[..]).unwrap(), g);
     }
 
     #[test]

@@ -55,6 +55,9 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         // A vanished server should fail the call, not hang it forever.
         stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        // Request frames are small; waiting for Nagle to coalesce them
+        // just adds a delayed-ACK round trip to every query.
+        stream.set_nodelay(true)?;
         Ok(Client { stream })
     }
 

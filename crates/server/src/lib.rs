@@ -8,13 +8,20 @@
 //!
 //! - **Wire protocol** ([`proto`]): length-prefixed JSON frames. Request
 //!   types `Ping`, `ListUrns`, `NaiveEstimates`, `Ags`, `Sample`,
-//!   `Stats`, `Build`, `Shutdown`; responses carry `ok` payloads or
-//!   structured errors, matched to pipelined requests by an echoed `id`.
+//!   `Stats`, `Build`, `Batch`, `Shutdown`; responses carry `ok` payloads
+//!   or structured errors, matched to pipelined requests by an echoed
+//!   `id`. A `Batch` carries a list of sub-requests through one frame and
+//!   one worker slot, answered in request order with per-sub-request
+//!   envelopes.
 //! - **Serving core** ([`server`]): an accept loop, per-connection frame
 //!   readers, and a fixed-size worker pool fed by a bounded queue. A full
 //!   queue answers `Busy` (backpressure, not buffering); a `Shutdown`
 //!   request stops accepting, drains every accepted request, and flushes
 //!   serving statistics into the store directory.
+//! - **Result cache** ([`cache`]): a byte-budgeted LRU over exact
+//!   response payload bytes, keyed by the canonical request — exact
+//!   because seeded responses are byte-deterministic — with singleflight
+//!   dedup so N concurrent identical requests run the estimator once.
 //! - **Client** ([`client`]): the blocking client behind `motivo client`
 //!   and the integration tests.
 //!
@@ -40,10 +47,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cache;
 pub mod client;
 pub mod proto;
 pub mod server;
 
+pub use cache::{QueryCache, QueryCacheStats, Served};
 pub use client::{Client, ClientError};
 pub use proto::{ErrorKind, Request};
-pub use server::{ServeOptions, ServeReport, Server};
+pub use server::{ServeOptions, ServeReport, Server, DEFAULT_CACHE_BYTES};

@@ -25,6 +25,10 @@ use std::io::{Read, Write};
 /// hostile) and gets its connection dropped instead of an allocation.
 pub const MAX_FRAME: usize = 8 << 20;
 
+/// Hard cap on sub-requests per `Batch` frame: bounds the memory one
+/// worker slot can be asked to hold, like [`MAX_FRAME`] bounds one frame.
+pub const MAX_BATCH: usize = 1024;
+
 /// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
 /// boundary (the peer hung up between requests).
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
@@ -46,10 +50,15 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-/// Writes one length-prefixed frame and flushes it.
+/// Writes one length-prefixed frame and flushes it. Header and payload go
+/// out as **one** write: on an unbuffered socket, two small writes make
+/// two packets, and Nagle's algorithm + delayed ACK turn every
+/// request/response round-trip into a multi-millisecond stall.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -99,6 +108,12 @@ pub enum Request {
         codec: RecordCodec,
         wait: bool,
     },
+    /// A list of sub-requests carried through one frame and one
+    /// worker-pool slot. Sub-documents are kept raw and parsed when the
+    /// batch executes, so one malformed sub-request becomes a
+    /// per-sub-request error envelope instead of failing the whole batch.
+    /// Responses come back in request order.
+    Batch(Vec<Value>),
     /// Graceful shutdown: stop accepting, drain in-flight requests, flush
     /// store stats, exit. Answered inline like `Ping`.
     Shutdown,
@@ -200,10 +215,92 @@ impl Request {
                     Some(w) => w.as_bool().ok_or("`wait` must be a boolean")?,
                 },
             },
+            "Batch" => {
+                let subs = v
+                    .get("requests")
+                    .ok_or("`requests` (an array of sub-requests) is required")?;
+                let subs = subs
+                    .as_array()
+                    .ok_or("`requests` must be an array of request documents")?;
+                if subs.len() > MAX_BATCH {
+                    return Err(format!(
+                        "batch of {} sub-requests exceeds the {MAX_BATCH}-request cap",
+                        subs.len()
+                    ));
+                }
+                Request::Batch(subs)
+            }
             "Shutdown" => Request::Shutdown,
             other => return Err(format!("unknown request type `{other}`")),
         };
         Ok(req)
+    }
+
+    /// The canonical cache key of a deterministic request, or `None` for
+    /// request types whose responses depend on mutable server state
+    /// (`ListUrns`, `Stats`, `Build`, …). `content_id` is the urn's
+    /// build-key content identity (graph fingerprint + k + seed + bias +
+    /// 0-rooting + codec, [`motivo_store::BuildKey::content_id`]),
+    /// binding the key to the urn's *content* so a store whose ids were
+    /// ever reassigned — even to a different build of the same graph —
+    /// cannot replay a stale payload.
+    ///
+    /// The key is the request's canonical serialization minus the echoed
+    /// `id` — fixed field order, defaults materialized — so semantically
+    /// identical frames (`{"seed":3,"type":"Sample",…}` vs
+    /// `{"type":"Sample",…,"seed":3}`) share an entry. `threads` is
+    /// deliberately **excluded**: seeded responses are byte-identical at
+    /// any thread count (DESIGN.md §6.4), so requests differing only in
+    /// `threads` are the same cache line — the determinism invariant
+    /// working as a performance feature.
+    pub fn cache_key(&self, content_id: u64) -> Option<String> {
+        let fp = format!("{content_id:016x}");
+        let doc = match self {
+            Request::NaiveEstimates {
+                urn,
+                samples,
+                seed,
+                threads: _,
+            } => json!({
+                "type": "NaiveEstimates", "fp": fp, "urn": urn.0,
+                "samples": samples, "seed": seed,
+            }),
+            Request::Ags {
+                urn,
+                max_samples,
+                c_bar,
+                epoch,
+                idle_limit,
+                seed,
+                threads: _,
+            } => json!({
+                "type": "Ags", "fp": fp, "urn": urn.0,
+                "max_samples": max_samples, "c_bar": c_bar, "epoch": epoch,
+                "idle_limit": idle_limit, "seed": seed,
+            }),
+            Request::Sample {
+                urn,
+                samples,
+                seed,
+                threads: _,
+            } => json!({
+                "type": "Sample", "fp": fp, "urn": urn.0,
+                "samples": samples, "seed": seed,
+            }),
+            _ => return None,
+        };
+        Some(serde_json::to_string(&doc).expect("key serialize"))
+    }
+
+    /// The urn a cacheable request targets ([`Request::cache_key`] needs
+    /// its content id); `None` for uncacheable request types.
+    pub fn cached_urn(&self) -> Option<UrnId> {
+        match self {
+            Request::NaiveEstimates { urn, .. }
+            | Request::Ags { urn, .. }
+            | Request::Sample { urn, .. } => Some(*urn),
+            _ => None,
+        }
     }
 }
 
@@ -255,6 +352,24 @@ pub fn ok_response(id: &Value, payload: Value) -> Value {
 pub fn error_response(id: &Value, kind: ErrorKind, message: &str) -> Value {
     let error = json!({"kind": kind.as_str(), "message": message});
     json!({"id": id.clone(), "error": error})
+}
+
+/// Splices a success envelope from already-serialized parts, producing
+/// the exact bytes `to_string(&ok_response(id, payload))` would — this is
+/// how a cached payload is framed without re-parsing it (asserted
+/// byte-for-byte in this module's tests).
+pub fn ok_envelope_text(id_text: &str, payload_text: &str) -> String {
+    format!("{{\"id\":{id_text},\"ok\":{payload_text}}}")
+}
+
+/// Serializes an error envelope directly to text (the splicing
+/// counterpart of [`ok_envelope_text`], for per-sub-request batch errors).
+pub fn error_envelope_text(id_text: &str, kind: ErrorKind, message: &str) -> String {
+    let error = json!({"kind": kind.as_str(), "message": message});
+    format!(
+        "{{\"id\":{id_text},\"error\":{}}}",
+        serde_json::to_string(&error).expect("error serialize")
+    )
 }
 
 /// Serializes an estimate set. Classes are emitted ascending by registry
@@ -352,6 +467,19 @@ pub fn cache_stats_json(s: &CacheStats) -> Value {
     })
 }
 
+/// Serializes the query-result cache counters (hits/misses/singleflight
+/// coalescing — `misses` counts estimator runs through the cache).
+pub fn query_cache_stats_json(s: &crate::cache::QueryCacheStats) -> Value {
+    json!({
+        "hits": s.hits,
+        "misses": s.misses,
+        "coalesced": s.coalesced,
+        "evictions": s.evictions,
+        "resident_bytes": s.resident_bytes,
+        "resident_entries": s.resident_entries,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +564,85 @@ mod tests {
         ] {
             let err = Request::parse(&from_str(doc).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn batch_parses_and_keeps_subrequests_raw() {
+        let v = from_str(
+            r#"{"id":1,"type":"Batch","requests":[{"type":"Ping"},{"type":"Nope"},{"bad":0}]}"#,
+        )
+        .unwrap();
+        let Request::Batch(subs) = Request::parse(&v).unwrap() else {
+            panic!("expected Batch");
+        };
+        // Sub-documents are raw: the malformed ones parse later, into
+        // per-sub-request error envelopes.
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0].get("type").unwrap().as_str(), Some("Ping"));
+
+        let err = Request::parse(&from_str(r#"{"type":"Batch"}"#).unwrap()).unwrap_err();
+        assert!(err.contains("requests"), "{err}");
+        let err =
+            Request::parse(&from_str(r#"{"type":"Batch","requests":3}"#).unwrap()).unwrap_err();
+        assert!(err.contains("array"), "{err}");
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected() {
+        let doc = format!(
+            r#"{{"type":"Batch","requests":[{}]}}"#,
+            vec![r#"{"type":"Ping"}"#; MAX_BATCH + 1].join(",")
+        );
+        let err = Request::parse(&from_str(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn cache_keys_are_canonical_and_ignore_threads_and_id() {
+        let parse = |doc: &str| Request::parse(&from_str(doc).unwrap()).unwrap();
+        // Field order, echoed id, and thread count don't change the key.
+        let a = parse(r#"{"id":1,"type":"Sample","urn":0,"samples":500,"seed":3,"threads":1}"#);
+        let b =
+            parse(r#"{"id":2,"seed":3,"samples":500,"urn":"urn-0","type":"Sample","threads":8}"#);
+        assert_eq!(a.cache_key(0xabcd), b.cache_key(0xabcd));
+        // Different seed, samples, urn, or fingerprint: different keys.
+        let c = parse(r#"{"type":"Sample","urn":0,"samples":500,"seed":4}"#);
+        assert_ne!(a.cache_key(0xabcd), c.cache_key(0xabcd));
+        assert_ne!(a.cache_key(0xabcd), a.cache_key(0xabce));
+        // Ags optional knobs are materialized into the key.
+        let d = parse(r#"{"type":"Ags","urn":0,"max_samples":100,"seed":1}"#);
+        let e = parse(r#"{"type":"Ags","urn":0,"max_samples":100,"seed":1,"epoch":64}"#);
+        assert_ne!(d.cache_key(1), e.cache_key(1));
+        // Mutable-state requests are not cacheable.
+        assert_eq!(parse(r#"{"type":"ListUrns"}"#).cache_key(1), None);
+        assert_eq!(parse(r#"{"type":"Stats"}"#).cache_key(1), None);
+        assert_eq!(
+            parse(r#"{"type":"Batch","requests":[]}"#).cache_key(1),
+            None
+        );
+    }
+
+    /// The splicing fast path must produce the exact bytes the `Value`
+    /// path would — otherwise a cached response would differ from a cold
+    /// one, breaking the cache-exactness guarantee.
+    #[test]
+    fn spliced_envelopes_match_value_serialization() {
+        for (id, payload) in [
+            (json!(3), json!({"x": 1})),
+            (json!(null), json!([1, 2, 3])),
+            (json!("req-7"), json!({"nested": json!({"deep": true})})),
+        ] {
+            let id_text = serde_json::to_string(&id).unwrap();
+            let payload_text = serde_json::to_string(&payload).unwrap();
+            assert_eq!(
+                ok_envelope_text(&id_text, &payload_text),
+                serde_json::to_string(&ok_response(&id, payload)).unwrap()
+            );
+            assert_eq!(
+                error_envelope_text(&id_text, ErrorKind::Busy, "queue full"),
+                serde_json::to_string(&error_response(&id, ErrorKind::Busy, "queue full")).unwrap()
+            );
         }
     }
 

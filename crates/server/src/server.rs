@@ -30,6 +30,13 @@
 //! request's payload is byte-identical to the equivalent in-process
 //! [`StoreQuery`] call at any pool size (the PR 2 seed-splitting guarantee
 //! carried across the wire).
+//!
+//! **Serving throughput:** workers answer through an `Engine` that puts
+//! a [`QueryCache`] in front of the estimators — an exact result cache
+//! (determinism makes replayed bytes indistinguishable from recomputed
+//! ones) with singleflight dedup of concurrent identical requests — and
+//! expands `Batch` frames into per-sub-request envelopes in request
+//! order, all within the one queue slot the batch occupied.
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use motivo_core::{AgsConfig, BuildConfig, SampleConfig};
@@ -45,6 +52,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::cache::{QueryCache, QueryCacheStats};
 use crate::proto::{self, ErrorKind, Request};
 
 /// How often blocked readers re-check the shutdown signal.
@@ -52,15 +60,35 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// Per-write timeout so one stalled client cannot wedge a pool worker.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Server tuning knobs. The all-zeros `Default` means "resolve from the
-/// machine": workers from the core count, queue depth from the workers.
-#[derive(Clone, Debug, Default)]
+/// Default query-result cache budget (`ServeOptions::default`): enough
+/// for tens of thousands of typical estimate payloads.
+pub const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
+
+/// Server tuning knobs. The zeroed `Default` for the pool knobs means
+/// "resolve from the machine": workers from the core count, queue depth
+/// from the workers. The cache budget defaults to
+/// [`DEFAULT_CACHE_BYTES`]; there `0` means "no result caching"
+/// (singleflight dedup of concurrent identical requests stays active).
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Worker-pool size (`0` = available cores, at least 2).
     pub workers: usize,
     /// Bounded queue depth before requests bounce as `Busy`
     /// (`0` = `4 × workers`).
     pub queue_depth: usize,
+    /// Byte budget of the deterministic query-result cache
+    /// (`0` = disabled).
+    pub cache_bytes: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: 0,
+            queue_depth: 0,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+        }
+    }
 }
 
 impl ServeOptions {
@@ -93,6 +121,9 @@ pub struct ServeReport {
     pub busy_rejections: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Final counters of the query-result cache (`misses` = estimator
+    /// runs that went through it).
+    pub query_cache: QueryCacheStats,
     /// Where the shutdown stat flush landed, if it succeeded.
     pub stats_path: Option<PathBuf>,
 }
@@ -206,7 +237,11 @@ fn serve_loop(
 ) -> ServeReport {
     let workers = opts.resolved_workers();
     let queue_depth = opts.resolved_queue_depth(workers);
-    let query = StoreQuery::new(&store);
+    let engine = Engine {
+        query: StoreQuery::new(&store),
+        store: &store,
+        cache: QueryCache::new(opts.cache_bytes),
+    };
     let counters = Counters::default();
 
     std::thread::scope(|s| {
@@ -214,10 +249,10 @@ fn serve_loop(
         let rx = Arc::new(Mutex::new(rx));
         for i in 0..workers {
             let rx = rx.clone();
-            let (query, store) = (&query, &store);
+            let engine = &engine;
             std::thread::Builder::new()
                 .name(format!("motivo-serve-worker-{i}"))
-                .spawn_scoped(s, move || worker_loop(&rx, query, store))
+                .spawn_scoped(s, move || worker_loop(&rx, engine))
                 .expect("spawn worker");
         }
 
@@ -236,6 +271,9 @@ fn serve_loop(
             if signal.is_set() {
                 break; // likely the shutdown poke itself
             }
+            // Response frames must not sit in Nagle's buffer waiting for
+            // an ACK; serving latency is the product here.
+            stream.set_nodelay(true).ok();
             counters.connections.fetch_add(1, Ordering::Relaxed);
             let tx = tx.clone();
             let (signal, counters) = (&signal, &counters);
@@ -248,7 +286,8 @@ fn serve_loop(
     });
 
     // Every worker and reader has exited; flush serving stats.
-    let per_urn: Vec<Value> = query
+    let per_urn: Vec<Value> = engine
+        .query
         .per_urn_stats()
         .iter()
         .map(|(id, st)| json!({"id": id.to_string(), "stats": proto::query_stats_json(st)}))
@@ -256,13 +295,15 @@ fn serve_loop(
     let report_requests = counters.requests.load(Ordering::Relaxed);
     let report_busy = counters.busy.load(Ordering::Relaxed);
     let report_connections = counters.connections.load(Ordering::Relaxed);
+    let query_cache = engine.cache.stats();
     let body = json!({
         "requests": report_requests,
         "busy_rejections": report_busy,
         "connections": report_connections,
-        "total": proto::query_stats_json(&query.total_stats()),
+        "total": proto::query_stats_json(&engine.query.total_stats()),
         "per_urn": per_urn,
         "cache": proto::cache_stats_json(&store.cache_stats()),
+        "query_cache": proto::query_cache_stats_json(&query_cache),
     });
     let text = serde_json::to_string_pretty(&body).expect("stats serialize");
     let stats_path = match store.flush_stats(text.as_bytes()) {
@@ -277,6 +318,7 @@ fn serve_loop(
         requests: report_requests,
         busy_rejections: report_busy,
         connections: report_connections,
+        query_cache,
         stats_path,
     }
 }
@@ -349,7 +391,13 @@ fn read_frame_interruptible(
 }
 
 fn respond(writer: &Mutex<TcpStream>, response: &Value) {
-    let text = serde_json::to_string(response).expect("response serialize");
+    respond_text(
+        writer,
+        &serde_json::to_string(response).expect("response serialize"),
+    );
+}
+
+fn respond_text(writer: &Mutex<TcpStream>, text: &str) {
     let mut stream = writer.lock().expect("connection writer poisoned");
     if let Err(e) = proto::write_frame(&mut *stream, text.as_bytes()) {
         // The client is gone or stalled past the write timeout; responses
@@ -483,17 +531,13 @@ fn handle_frame(
 /// single-consumer in std, so workers take turns holding the lock while
 /// blocked in `recv`). Exits when every sender is gone **and** the queue
 /// is empty — that ordering is the drain guarantee.
-fn worker_loop(rx: &Mutex<Receiver<Job>>, query: &StoreQuery<'_>, store: &UrnStore) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, engine: &Engine<'_>) {
     loop {
         let job = match rx.lock().expect("job queue poisoned").recv() {
             Ok(job) => job,
             Err(_) => return, // channel closed and drained
         };
-        let response = match handle_request(&job.req, query, store) {
-            Ok(payload) => proto::ok_response(&job.id, payload),
-            Err((kind, msg)) => proto::error_response(&job.id, kind, &msg),
-        };
-        respond(&job.writer, &response);
+        respond_text(&job.writer, &engine.answer(&job.id, &job.req));
     }
 }
 
@@ -501,139 +545,330 @@ fn store_err(e: StoreError) -> (ErrorKind, String) {
     (ErrorKind::of_store(&e), e.to_string())
 }
 
-/// Executes one queued request against the shared query layer.
-fn handle_request(
-    req: &Request,
-    query: &StoreQuery<'_>,
-    store: &UrnStore,
-) -> Result<Value, (ErrorKind, String)> {
-    match req {
-        Request::Ping | Request::Shutdown => unreachable!("handled inline by the reader"),
-        Request::ListUrns => {
-            let urns: Vec<Value> = store.list().iter().map(proto::urn_json).collect();
-            Ok(json!({"urns": urns, "graphs": store.graphs().len()}))
+/// Byte budget for one batch's assembled `responses` payload: the frame
+/// cap minus slack for the outer envelope and for the short per-sub
+/// error envelopes that replace sub-responses once the budget is spent
+/// (≤ `MAX_BATCH` of them, ~150 bytes each).
+const BATCH_PAYLOAD_BUDGET: usize = proto::MAX_FRAME - (512 << 10);
+
+/// Assembles `{"responses":[…]}` from at most `count` sub-response
+/// texts, spending at most ~`budget` bytes on real sub-responses. Once
+/// the budget is exhausted the iterator is **not** advanced further —
+/// sub-requests that could not be answered are not executed — and every
+/// remaining slot gets a `BadRequest` envelope telling the client to
+/// split the batch. Without this cap a legal batch of large payloads
+/// could assemble a frame beyond [`proto::MAX_FRAME`], which the
+/// client's own `read_frame` would reject after all the work was done.
+fn assemble_batch(count: usize, mut parts: impl Iterator<Item = String>, budget: usize) -> String {
+    let mut out = String::from("{\"responses\":[");
+    let mut used = 0usize;
+    for i in 0..count {
+        if i > 0 {
+            out.push(',');
         }
-        Request::NaiveEstimates {
-            urn,
-            samples,
-            seed,
-            threads,
-        } => {
-            let meta = store
-                .meta(*urn)
-                .ok_or_else(|| store_err(StoreError::UnknownUrn(*urn)))?;
-            let mut registry = GraphletRegistry::new(meta.key.k as u8);
-            let est = query
-                .naive_estimates(
-                    *urn,
-                    &mut registry,
-                    *samples,
-                    &SampleConfig::seeded(*seed).threads(*threads),
-                )
-                .map_err(store_err)?;
-            Ok(proto::estimates_json(&est, &registry))
-        }
-        Request::Ags {
-            urn,
-            max_samples,
-            c_bar,
-            epoch,
-            idle_limit,
-            seed,
-            threads,
-        } => {
-            let meta = store
-                .meta(*urn)
-                .ok_or_else(|| store_err(StoreError::UnknownUrn(*urn)))?;
-            let mut cfg = AgsConfig {
-                max_samples: *max_samples,
-                sample: SampleConfig::seeded(*seed).threads(*threads),
-                ..AgsConfig::default()
-            };
-            if let Some(c_bar) = c_bar {
-                cfg.c_bar = *c_bar;
+        let part = if used <= budget { parts.next() } else { None };
+        match part {
+            Some(part) if used + part.len() <= budget => {
+                used += part.len();
+                out.push_str(&part);
             }
-            if let Some(epoch) = epoch {
-                if *epoch == 0 {
-                    return Err((ErrorKind::BadRequest, "`epoch` must be positive".into()));
-                }
-                cfg.epoch = *epoch;
-            }
-            if let Some(idle_limit) = idle_limit {
-                cfg.idle_limit = *idle_limit;
-            }
-            let mut registry = GraphletRegistry::new(meta.key.k as u8);
-            let res = query.ags(*urn, &mut registry, &cfg).map_err(store_err)?;
-            Ok(proto::ags_json(&res, &registry))
-        }
-        Request::Sample {
-            urn,
-            samples,
-            seed,
-            threads,
-        } => {
-            let tally = query
-                .sample_tally(
-                    *urn,
-                    *samples,
-                    &SampleConfig::seeded(*seed).threads(*threads),
-                )
-                .map_err(store_err)?;
-            Ok(proto::tally_json(&tally, *samples))
-        }
-        Request::Stats { urn } => match urn {
-            Some(urn) => Ok(json!({
-                "id": urn.to_string(),
-                "stats": proto::query_stats_json(&query.stats(*urn)),
-            })),
-            None => {
-                let per_urn: Vec<Value> = query
-                    .per_urn_stats()
-                    .iter()
-                    .map(|(id, st)| {
-                        json!({"id": id.to_string(), "stats": proto::query_stats_json(st)})
-                    })
-                    .collect();
-                Ok(json!({
-                    "total": proto::query_stats_json(&query.total_stats()),
-                    "per_urn": per_urn,
-                    "cache": proto::cache_stats_json(&store.cache_stats()),
-                }))
-            }
-        },
-        Request::Build {
-            graph,
-            k,
-            seed,
-            lambda,
-            codec,
-            wait,
-        } => {
-            let loaded = if graph.ends_with(".mtvg") {
-                graph_io::load_binary(graph)
-            } else {
-                graph_io::load_edge_list(graph)
-            };
-            let g = loaded.map_err(|e| {
-                (
+            // Either over budget (the just-computed oversized part is
+            // dropped; if cacheable it was cached, so a split retry is
+            // cheap) or the budget was already spent.
+            _ => {
+                used = budget + 1;
+                out.push_str(&proto::error_envelope_text(
+                    "null",
                     ErrorKind::BadRequest,
-                    format!("cannot load graph {graph}: {e}"),
-                )
-            })?;
-            let mut cfg = BuildConfig::new(*k).seed(*seed).codec(*codec);
-            if let Some(lambda) = lambda {
-                cfg = cfg.biased(*lambda);
+                    &format!(
+                        "batch response exceeds the frame budget at sub-request {i}; \
+                         split the batch"
+                    ),
+                ));
             }
-            let handle = store.build_or_get(&g, &cfg).map_err(store_err)?;
-            if *wait {
-                handle.wait().map_err(store_err)?;
-            }
-            let status = match store.meta(handle.id()).map(|m| m.status) {
-                Some(BuildStatus::Built) => "built",
-                Some(BuildStatus::Failed) => "failed",
-                _ => "pending",
-            };
-            Ok(json!({"urn": handle.id().to_string(), "status": status}))
         }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The request-execution layer one serve loop shares across its workers:
+/// the store's query front-end plus the deterministic result cache
+/// (DESIGN.md §6.5). Responses travel as *text* from here on — a cached
+/// payload is spliced into its envelope byte-for-byte, never re-parsed,
+/// which is what makes warm responses provably identical to cold ones.
+struct Engine<'s> {
+    query: StoreQuery<'s>,
+    store: &'s UrnStore,
+    cache: QueryCache,
+}
+
+impl Engine<'_> {
+    /// Answers one queued request, returning the full response envelope
+    /// as wire-ready text.
+    fn answer(&self, id: &Value, req: &Request) -> String {
+        let id_text = serde_json::to_string(id).expect("id serialize");
+        match req {
+            Request::Batch(subs) => {
+                // One frame, one worker slot, N sub-responses in request
+                // order — each with its own ok/error envelope. Assembly
+                // is budgeted: a payload the client's own frame cap would
+                // reject must not be built (or computed) at all.
+                let payload = assemble_batch(
+                    subs.len(),
+                    subs.iter().map(|doc| self.answer_sub(doc)),
+                    BATCH_PAYLOAD_BUDGET,
+                );
+                proto::ok_envelope_text(&id_text, &payload)
+            }
+            req => match self.answer_single(req) {
+                Ok(payload) => proto::ok_envelope_text(&id_text, &payload),
+                Err((kind, msg)) => proto::error_envelope_text(&id_text, kind, &msg),
+            },
+        }
+    }
+
+    /// Answers one raw sub-request of a batch: parse failures and
+    /// disallowed types become this sub-request's error envelope (its own
+    /// `id` echoed), leaving its siblings untouched.
+    fn answer_sub(&self, doc: &Value) -> String {
+        let sub_id = doc.get("id").unwrap_or(json!(null));
+        let id_text = serde_json::to_string(&sub_id).expect("id serialize");
+        match Request::parse(doc) {
+            Err(msg) => proto::error_envelope_text(&id_text, ErrorKind::BadRequest, &msg),
+            Ok(Request::Ping) => proto::ok_envelope_text(&id_text, r#"{"pong":true}"#),
+            Ok(Request::Shutdown) | Ok(Request::Batch(_)) => proto::error_envelope_text(
+                &id_text,
+                ErrorKind::BadRequest,
+                "this request type is not allowed inside a batch",
+            ),
+            Ok(req) => match self.answer_single(&req) {
+                Ok(payload) => proto::ok_envelope_text(&id_text, &payload),
+                Err((kind, msg)) => proto::error_envelope_text(&id_text, kind, &msg),
+            },
+        }
+    }
+
+    /// Produces one request's payload text, through the result cache when
+    /// the request is deterministic: an LRU hit replays the exact bytes,
+    /// a concurrent duplicate coalesces onto the in-flight leader, and
+    /// only a true miss runs the estimator.
+    fn answer_single(&self, req: &Request) -> Result<Arc<str>, (ErrorKind, String)> {
+        let key = req
+            .cached_urn()
+            .and_then(|urn| self.query.content_id(urn))
+            .and_then(|cid| req.cache_key(cid));
+        match key {
+            Some(key) => self.cache.serve(&key, || self.compute(req)).0,
+            // Unknown urn or uncacheable type: compute directly (the
+            // handler produces the right error for the former).
+            None => self.compute(req).map(Arc::from),
+        }
+    }
+
+    fn compute(&self, req: &Request) -> Result<String, (ErrorKind, String)> {
+        self.handle(req)
+            .map(|v| serde_json::to_string(&v).expect("payload serialize"))
+    }
+
+    /// Executes one request against the store and query layer.
+    fn handle(&self, req: &Request) -> Result<Value, (ErrorKind, String)> {
+        let (query, store) = (&self.query, self.store);
+        match req {
+            Request::Ping | Request::Shutdown => unreachable!("handled inline by the reader"),
+            Request::Batch(_) => unreachable!("expanded by Engine::answer"),
+            Request::ListUrns => {
+                let urns: Vec<Value> = store.list().iter().map(proto::urn_json).collect();
+                Ok(json!({"urns": urns, "graphs": store.graphs().len()}))
+            }
+            Request::NaiveEstimates {
+                urn,
+                samples,
+                seed,
+                threads,
+            } => {
+                let meta = store
+                    .meta(*urn)
+                    .ok_or_else(|| store_err(StoreError::UnknownUrn(*urn)))?;
+                let mut registry = GraphletRegistry::new(meta.key.k as u8);
+                let est = query
+                    .naive_estimates(
+                        *urn,
+                        &mut registry,
+                        *samples,
+                        &SampleConfig::seeded(*seed).threads(*threads),
+                    )
+                    .map_err(store_err)?;
+                Ok(proto::estimates_json(&est, &registry))
+            }
+            Request::Ags {
+                urn,
+                max_samples,
+                c_bar,
+                epoch,
+                idle_limit,
+                seed,
+                threads,
+            } => {
+                let meta = store
+                    .meta(*urn)
+                    .ok_or_else(|| store_err(StoreError::UnknownUrn(*urn)))?;
+                let mut cfg = AgsConfig {
+                    max_samples: *max_samples,
+                    sample: SampleConfig::seeded(*seed).threads(*threads),
+                    ..AgsConfig::default()
+                };
+                if let Some(c_bar) = c_bar {
+                    cfg.c_bar = *c_bar;
+                }
+                if let Some(epoch) = epoch {
+                    if *epoch == 0 {
+                        return Err((ErrorKind::BadRequest, "`epoch` must be positive".into()));
+                    }
+                    cfg.epoch = *epoch;
+                }
+                if let Some(idle_limit) = idle_limit {
+                    cfg.idle_limit = *idle_limit;
+                }
+                let mut registry = GraphletRegistry::new(meta.key.k as u8);
+                let res = query.ags(*urn, &mut registry, &cfg).map_err(store_err)?;
+                Ok(proto::ags_json(&res, &registry))
+            }
+            Request::Sample {
+                urn,
+                samples,
+                seed,
+                threads,
+            } => {
+                let tally = query
+                    .sample_tally(
+                        *urn,
+                        *samples,
+                        &SampleConfig::seeded(*seed).threads(*threads),
+                    )
+                    .map_err(store_err)?;
+                Ok(proto::tally_json(&tally, *samples))
+            }
+            Request::Stats { urn } => match urn {
+                Some(urn) => Ok(json!({
+                    "id": urn.to_string(),
+                    "stats": proto::query_stats_json(&query.stats(*urn)),
+                })),
+                None => {
+                    let per_urn: Vec<Value> = query
+                        .per_urn_stats()
+                        .iter()
+                        .map(|(id, st)| {
+                            json!({"id": id.to_string(), "stats": proto::query_stats_json(st)})
+                        })
+                        .collect();
+                    Ok(json!({
+                        "total": proto::query_stats_json(&query.total_stats()),
+                        "per_urn": per_urn,
+                        "cache": proto::cache_stats_json(&store.cache_stats()),
+                        "query_cache": proto::query_cache_stats_json(&self.cache.stats()),
+                    }))
+                }
+            },
+            Request::Build {
+                graph,
+                k,
+                seed,
+                lambda,
+                codec,
+                wait,
+            } => {
+                let loaded = if graph.ends_with(".mtvg") {
+                    graph_io::load_binary(graph)
+                } else {
+                    graph_io::load_edge_list(graph)
+                };
+                let g = loaded.map_err(|e| {
+                    (
+                        ErrorKind::BadRequest,
+                        format!("cannot load graph {graph}: {e}"),
+                    )
+                })?;
+                let mut cfg = BuildConfig::new(*k).seed(*seed).codec(*codec);
+                if let Some(lambda) = lambda {
+                    cfg = cfg.biased(*lambda);
+                }
+                let handle = store.build_or_get(&g, &cfg).map_err(store_err)?;
+                if *wait {
+                    handle.wait().map_err(store_err)?;
+                }
+                let status = match store.meta(handle.id()).map(|m| m.status) {
+                    Some(BuildStatus::Built) => "built",
+                    Some(BuildStatus::Failed) => "failed",
+                    _ => "pending",
+                };
+                Ok(json!({"urn": handle.id().to_string(), "status": status}))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_batch_joins_within_budget() {
+        let parts = vec![r#"{"ok":1}"#.to_string(), r#"{"ok":2}"#.to_string()];
+        let out = assemble_batch(2, parts.into_iter(), 1 << 20);
+        assert_eq!(out, r#"{"responses":[{"ok":1},{"ok":2}]}"#);
+        assert_eq!(
+            assemble_batch(0, std::iter::empty(), 1 << 20),
+            r#"{"responses":[]}"#
+        );
+    }
+
+    /// Once the budget is spent, remaining slots become error envelopes
+    /// and — crucially — the iterator is never advanced again, so
+    /// unanswerable sub-requests are not executed.
+    #[test]
+    fn assemble_batch_stops_executing_past_the_budget() {
+        let big = format!(r#"{{"ok":"{}"}}"#, "x".repeat(100));
+        let parts: Vec<String> = vec![big.clone(), big.clone(), big];
+        let mut pulled = 0usize;
+        let out = assemble_batch(
+            4,
+            parts.into_iter().inspect(|_| {
+                pulled += 1;
+                assert!(pulled <= 2, "sub-request executed past the budget");
+            }),
+            150,
+        );
+        // Part 0 fits; part 1 busts the budget (dropped); parts 2 and 3
+        // are never pulled. Slots 1..4 carry the split-the-batch error.
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let rs = v.get("responses").unwrap().as_array().unwrap();
+        assert_eq!(rs.len(), 4);
+        assert!(rs[0].get("ok").is_some());
+        for (i, r) in rs.iter().enumerate().skip(1) {
+            let err = r.get("error").unwrap_or_else(|| panic!("slot {i}: {r:?}"));
+            assert_eq!(err.get("kind").unwrap().as_str(), Some("BadRequest"));
+            assert!(
+                err.get("message")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .contains("split the batch"),
+                "{r:?}"
+            );
+        }
+        assert_eq!(pulled, 2);
+    }
+
+    /// The worst case — every slot an error envelope — still fits the
+    /// frame cap with the slack chosen for `BATCH_PAYLOAD_BUDGET`.
+    #[test]
+    fn assemble_batch_worst_case_fits_the_frame() {
+        let out = assemble_batch(proto::MAX_BATCH, std::iter::empty(), BATCH_PAYLOAD_BUDGET);
+        assert!(
+            out.len() < proto::MAX_FRAME - (64 << 10),
+            "{} bytes",
+            out.len()
+        );
     }
 }

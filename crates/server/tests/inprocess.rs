@@ -158,6 +158,7 @@ fn pipelined_requests_match_by_id() {
         ServeOptions {
             workers: 4,
             queue_depth: 64,
+            ..ServeOptions::default()
         },
     )
     .unwrap();
@@ -212,6 +213,7 @@ fn overload_answers_busy() {
         ServeOptions {
             workers: 1,
             queue_depth: 1,
+            ..ServeOptions::default()
         },
     )
     .unwrap();
@@ -273,6 +275,7 @@ fn graceful_shutdown_drains_accepted_requests() {
         ServeOptions {
             workers: 2,
             queue_depth: 32,
+            ..ServeOptions::default()
         },
     )
     .unwrap();
@@ -364,5 +367,233 @@ fn shutdown_is_not_stalled_by_a_chatty_client() {
         t0.elapsed()
     );
     spammer.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cache exactness: for a seeded request the cold (miss) response bytes,
+/// the warm (cached) response bytes, and the in-process [`StoreQuery`]
+/// serialization are all identical — determinism makes the cache exact.
+#[test]
+fn cache_replays_exact_cold_bytes() {
+    let dir = workdir("cache-exact");
+    let store = seeded_store(&dir);
+
+    let expected = {
+        let query = StoreQuery::new(&store);
+        let mut registry = GraphletRegistry::new(4);
+        let est = query
+            .naive_estimates(UrnId(0), &mut registry, 5_000, &SampleConfig::seeded(7))
+            .unwrap();
+        serde_json::to_string(&proto::estimates_json(&est, &registry)).unwrap()
+    };
+
+    let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = json!({"type": "NaiveEstimates", "urn": 0, "samples": 5_000, "seed": 7});
+    let cold = serde_json::to_string(&client.request(&req).unwrap()).unwrap();
+    let warm = serde_json::to_string(&client.request(&req).unwrap()).unwrap();
+    assert_eq!(cold, expected, "cold response == in-process bytes");
+    assert_eq!(warm, expected, "warm (cached) response == in-process bytes");
+
+    // Stats prove the second answer came from the cache; `threads` is not
+    // part of the key, so a third request differing only in threads is a
+    // hit too (byte-identical by the determinism invariant).
+    let req_threads =
+        json!({"type": "NaiveEstimates", "urn": 0, "samples": 5_000, "seed": 7, "threads": 2});
+    let third = serde_json::to_string(&client.request(&req_threads).unwrap()).unwrap();
+    assert_eq!(third, expected);
+    let stats = client.request(&json!({"type": "Stats"})).unwrap();
+    let qc = stats.get("query_cache").unwrap();
+    assert_eq!(qc.get("misses").unwrap().as_u64(), Some(1), "{stats:?}");
+    assert_eq!(qc.get("hits").unwrap().as_u64(), Some(2), "{stats:?}");
+    // Only the miss reached the estimator.
+    assert_eq!(
+        stats.get("total").unwrap().get("queries").unwrap().as_u64(),
+        Some(1)
+    );
+
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let report = server.join();
+    assert_eq!(report.query_cache.misses, 1);
+    assert_eq!(report.query_cache.hits, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Singleflight: 32 concurrent identical seeded requests produce exactly
+/// one estimator run (counter-checked three ways) and 32 byte-identical
+/// payloads.
+#[test]
+fn singleflight_coalesces_32_identical_requests() {
+    let dir = workdir("singleflight");
+    let store = seeded_store(&dir);
+    let server = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 8,
+            queue_depth: 64,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+
+    let clients = 32;
+    let payloads: Vec<String> = std::thread::scope(|s| {
+        let addr = server.addr();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let ok = client
+                        .request(&json!({
+                            "type": "NaiveEstimates", "urn": 0,
+                            "samples": 40_000, "seed": 11,
+                        }))
+                        .unwrap();
+                    serde_json::to_string(&ok).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(payloads.len(), clients);
+    assert!(
+        payloads.iter().all(|p| p == &payloads[0]),
+        "all 32 payloads identical"
+    );
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let stats = client.request(&json!({"type": "Stats"})).unwrap();
+    let qc = stats.get("query_cache").unwrap();
+    let (misses, hits, coalesced) = (
+        qc.get("misses").unwrap().as_u64().unwrap(),
+        qc.get("hits").unwrap().as_u64().unwrap(),
+        qc.get("coalesced").unwrap().as_u64().unwrap(),
+    );
+    assert_eq!(misses, 1, "exactly one estimator run led the flight");
+    assert_eq!(hits + coalesced, 31, "everyone else reused it: {qc:?}");
+    // The estimator-side counter agrees: one query reached the store.
+    assert_eq!(
+        stats.get("total").unwrap().get("queries").unwrap().as_u64(),
+        Some(1)
+    );
+
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let report = server.join();
+    assert_eq!(report.query_cache.misses, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A `Batch` frame executes its sub-requests in order through one worker
+/// slot: per-sub-request envelopes (own ids echoed), one malformed
+/// sub-request failing alone, and cached payloads byte-identical to the
+/// single-request path.
+#[test]
+fn batch_answers_in_order_with_per_subrequest_envelopes() {
+    let dir = workdir("batch");
+    let store = seeded_store(&dir);
+    let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // The single-request truth for the first sub-request.
+    let single = client
+        .request(&json!({"type": "NaiveEstimates", "urn": 0, "samples": 3_000, "seed": 5}))
+        .unwrap();
+    let single_text = serde_json::to_string(&single).unwrap();
+
+    let subs = vec![
+        json!({"id": "a", "type": "NaiveEstimates", "urn": 0, "samples": 3_000, "seed": 5}),
+        json!({"id": "b", "type": "Teleport"}),
+        json!({"type": "Sample", "urn": 0, "samples": 500, "seed": 1}),
+        json!({"type": "Ping"}),
+        json!({"id": "no", "type": "Shutdown"}),
+    ];
+    let ok = client
+        .request(&json!({"type": "Batch", "requests": subs}))
+        .unwrap();
+    let responses = ok.get("responses").unwrap().as_array().unwrap();
+    assert_eq!(responses.len(), 5, "responses in request order");
+
+    // Sub 0: served from the cache, byte-identical to the single request.
+    assert_eq!(responses[0].get("id").unwrap().as_str(), Some("a"));
+    assert_eq!(
+        serde_json::to_string(&responses[0].get("ok").unwrap()).unwrap(),
+        single_text
+    );
+    // Sub 1: malformed, fails alone with its id echoed.
+    assert_eq!(responses[1].get("id").unwrap().as_str(), Some("b"));
+    assert_eq!(
+        responses[1]
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("BadRequest")
+    );
+    // Sub 2: a real tally.
+    let total: u64 = responses[2]
+        .get("ok")
+        .unwrap()
+        .get("classes")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c.get("occurrences").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(total, 500);
+    // Sub 3: Ping answers inside a batch.
+    assert_eq!(
+        responses[3]
+            .get("ok")
+            .unwrap()
+            .get("pong")
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    // Sub 4: Shutdown is not allowed inside a batch — and did not fire.
+    assert_eq!(
+        responses[4]
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("BadRequest")
+    );
+    client.request(&json!({"type": "Ping"})).unwrap();
+
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `cache_bytes: 0` disables residency (every request recomputes) while
+/// determinism still makes the recomputed bytes identical.
+#[test]
+fn disabled_cache_recomputes_identical_bytes() {
+    let dir = workdir("nocache");
+    let store = seeded_store(&dir);
+    let server = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            queue_depth: 16,
+            cache_bytes: 0,
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = json!({"type": "NaiveEstimates", "urn": 0, "samples": 2_000, "seed": 3});
+    let a = serde_json::to_string(&client.request(&req).unwrap()).unwrap();
+    let b = serde_json::to_string(&client.request(&req).unwrap()).unwrap();
+    assert_eq!(a, b, "determinism holds without the cache");
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let report = server.join();
+    assert_eq!(report.query_cache.misses, 2, "both requests recomputed");
+    assert_eq!(report.query_cache.resident_bytes, 0);
     std::fs::remove_dir_all(&dir).ok();
 }

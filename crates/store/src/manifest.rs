@@ -72,12 +72,43 @@ impl BuildKey {
             lambda_bits,
             zero_rooting: cfg.zero_rooting,
             codec: cfg.codec,
+            // (content_id below must fold every field added here)
         })
     }
 
     /// The biased-coloring `λ`, if any.
     pub fn lambda(&self) -> Option<f64> {
         self.lambda_bits.map(f64::from_bits)
+    }
+
+    /// A single 64-bit **content identity** folding every build input —
+    /// graph fingerprint, `k`, coloring seed, bias, 0-rooting, codec —
+    /// through a SplitMix64 fold. Two keys agree on it iff they agree on
+    /// every field (up to 64-bit mixing collisions), which is what a
+    /// serving-layer result cache must bind its entries to: the graph
+    /// fingerprint alone would let two different builds of one graph
+    /// (different `k` or seed) collide (DESIGN.md §6.5).
+    pub fn content_id(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut z = h ^ v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(0, self.fingerprint);
+        h = mix(h, self.k as u64);
+        h = mix(h, self.seed);
+        // Distinguish "uniform" from any biased λ, including λ = +0.0.
+        h = mix(h, self.lambda_bits.map_or(0, |b| b.wrapping_add(1)));
+        h = mix(h, self.zero_rooting as u64);
+        h = mix(
+            h,
+            match self.codec {
+                RecordCodec::Plain => 0,
+                RecordCodec::Succinct => 1,
+            },
+        );
+        h
     }
 }
 

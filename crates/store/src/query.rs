@@ -130,6 +130,24 @@ impl<'s> StoreQuery<'s> {
         self.store
     }
 
+    /// The manifest entry of `id`, if the store knows it — the query-side
+    /// passthrough serving layers use so they never reach around the
+    /// query front-end to the store.
+    pub fn meta(&self, id: UrnId) -> Option<crate::manifest::UrnMeta> {
+        self.store.meta(id)
+    }
+
+    /// The build-key content identity of `id`
+    /// ([`crate::manifest::BuildKey::content_id`]): graph fingerprint +
+    /// k + coloring seed + bias + 0-rooting + codec, folded to 64 bits.
+    /// This is what a result-cache key must bind to — urn *ids* are
+    /// store-local handles, but two urns with one content id hold
+    /// identical tables and therefore serve byte-identical seeded
+    /// responses.
+    pub fn content_id(&self, id: UrnId) -> Option<u64> {
+        self.store.meta(id).map(|m| m.key.content_id())
+    }
+
     /// The stats cell for `id` — read lock on the fast path, write lock
     /// only the first time an urn is queried.
     fn cell(&self, id: UrnId) -> Arc<StatsCell> {

@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or(0),
     );
 
-    // The determinism guarantee across the wire: same seed, same bytes.
+    // The determinism guarantee across the wire: same seed, same bytes —
+    // and because the server knows that, the repeat is a cache replay of
+    // the exact payload, not a second estimator run.
     let again = client.request(&json!({
         "type": "NaiveEstimates", "urn": 0, "samples": 20_000, "seed": 3, "threads": 2,
     }))?;
@@ -53,7 +55,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serde_json::to_string(&again)?,
         "a seeded request is byte-identical at any thread count"
     );
-    println!("re-request with the same seed: byte-identical ✓");
+    let stats = client.request(&json!({"type": "Stats"}))?;
+    let qc = stats.get("query_cache").expect("cache counters");
+    println!(
+        "re-request with the same seed: byte-identical ✓ (cache: {} miss, {} hit)",
+        qc.get("misses").and_then(|v| v.as_u64()).unwrap_or(0),
+        qc.get("hits").and_then(|v| v.as_u64()).unwrap_or(0),
+    );
+
+    // Batching: several sub-requests through one frame and one worker
+    // slot, answered in order with per-sub-request envelopes.
+    let subs = vec![
+        json!({"id": "est", "type": "NaiveEstimates", "urn": 0, "samples": 20_000, "seed": 3}),
+        json!({"id": "tally", "type": "Sample", "urn": 0, "samples": 5_000, "seed": 1}),
+        json!({"id": "oops", "type": "NaiveEstimates", "urn": 99}),
+    ];
+    let batch = client.request(&json!({"type": "Batch", "requests": subs}))?;
+    let responses = batch
+        .get("responses")
+        .expect("responses")
+        .as_array()
+        .unwrap();
+    assert_eq!(responses.len(), 3, "in request order");
+    assert_eq!(
+        serde_json::to_string(&responses[0].get("ok").expect("cached estimate"))?,
+        serde_json::to_string(&est)?,
+        "the batched estimate replays the cached bytes"
+    );
+    println!(
+        "batch of 3: ok, ok, {} ✓",
+        responses[2]
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str().map(str::to_string))
+            .unwrap_or_default()
+    );
 
     // Raw frames work too — this is all `motivo client` does.
     let mut raw = std::net::TcpStream::connect(server.addr())?;

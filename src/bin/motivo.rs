@@ -12,8 +12,10 @@
 //! motivo convert edges.txt g.mtvg
 //! motivo store build g.mtvg -k 5 --store repo     # managed repository
 //! motivo store query urn-0 --store repo --samples 100000
-//! motivo serve --store repo --addr 127.0.0.1:7070 --workers 4
+//! motivo serve --store repo --addr 127.0.0.1:7070 --workers 4 --cache-bytes 67108864
 //! motivo client 127.0.0.1:7070 '{"type":"ListUrns"}'
+//! echo '[{"type":"Ping"},{"type":"Sample","urn":0,"samples":1000,"seed":1}]' \
+//!   | motivo client 127.0.0.1:7070 - --batch
 //! ```
 //!
 //! Every subcommand validates its flags: an unknown flag, a flag missing
@@ -52,7 +54,8 @@ const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|samp
               [--threads T] [--top N]\n\
      store    gc --store DIR\n\
      serve    --store DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
-     client   <addr> <request-json>";
+              [--cache-bytes N]\n\
+     client   <addr> <request-json|-> [--batch]";
 
 fn main() {
     // Piping into `head` closes stdout early; die quietly instead of
@@ -672,12 +675,17 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
 
 /// Runs the query daemon until a wire `Shutdown` request arrives.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["store", "addr", "workers", "queue"], &[])?;
+    let o = Opts::parse(
+        args,
+        &["store", "addr", "workers", "queue", "cache-bytes"],
+        &[],
+    )?;
     let store = open_store(&o)?;
     let addr: String = o.get_or("addr", "127.0.0.1:7070".into())?;
     let opts = ServeOptions {
         workers: o.get_or("workers", 4)?,
         queue_depth: o.get_or("queue", 0)?,
+        cache_bytes: o.get_or("cache-bytes", motivo::server::DEFAULT_CACHE_BYTES)?,
     };
     let server = Server::bind(Arc::new(store), addr.as_str(), opts)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -698,17 +706,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 /// Sends one raw JSON request to a running daemon and pretty-prints the
 /// response envelope; exits nonzero if the server answered an error.
+/// `-` reads the request from stdin; `--batch` wraps a JSON array of
+/// sub-requests into one `Batch` frame.
 fn cmd_client(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &[], &[])?;
+    let o = Opts::parse(args, &[], &["batch"])?;
     let [addr, request] = &o.positional[..] else {
-        return Err("usage: client <addr> <request-json>".into());
+        return Err("usage: client <addr> <request-json|-> [--batch]".into());
+    };
+    let raw = if request == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read request from stdin: {e}"))?;
+        buf
+    } else {
+        request.clone()
     };
     // Validate locally so typos fail with a parse message, not a server
     // roundtrip.
-    serde_json::from_str(request).map_err(|e| format!("request is not valid JSON: {e}"))?;
+    let doc = serde_json::from_str(&raw).map_err(|e| format!("request is not valid JSON: {e}"))?;
+    let request_text = if o.has("batch") {
+        if doc.as_array().is_none() {
+            return Err("--batch expects a JSON array of request documents".into());
+        }
+        serde_json::to_string(&serde_json::json!({"type": "Batch", "requests": doc}))
+            .map_err(|e| e.to_string())?
+    } else {
+        raw
+    };
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let envelope = client.roundtrip_raw(request).map_err(|e| e.to_string())?;
+    let envelope = client
+        .roundtrip_raw(&request_text)
+        .map_err(|e| e.to_string())?;
     let parsed: serde_json::Value =
         serde_json::from_str(&envelope).map_err(|e| format!("malformed response: {e}"))?;
     println!(

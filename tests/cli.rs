@@ -337,6 +337,53 @@ fn bad_input_exits_nonzero_with_one_line_error() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `client -` reads the request from stdin; malformed input exits 1 with
+/// a one-line error before any connection attempt (so no server needed).
+#[test]
+fn client_stdin_malformed_input_fails_cleanly() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let cases: Vec<(Vec<&str>, &str, &str)> = vec![
+        // Bad JSON on stdin.
+        (
+            vec!["client", "127.0.0.1:1", "-"],
+            "{not json",
+            "not valid JSON",
+        ),
+        // Valid JSON, but --batch needs an array.
+        (
+            vec!["client", "127.0.0.1:1", "-", "--batch"],
+            r#"{"type":"Ping"}"#,
+            "expects a JSON array",
+        ),
+        // Empty stdin is not a request.
+        (vec!["client", "127.0.0.1:1", "-"], "", "not valid JSON"),
+    ];
+    for (args, stdin, needle) in cases {
+        let mut child = motivo()
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(stdin.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{args:?} must exit 1");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: stderr was {stderr:?}");
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "{args:?}: expected a one-line error, got {stderr:?}"
+        );
+    }
+}
+
 #[test]
 fn missing_required_flag_fails() {
     let dir = workdir("missing");

@@ -143,6 +143,113 @@ fn concurrent_clients_get_in_process_bytes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The CLI client end-to-end against the real daemon: `-` reads the
+/// request from stdin, `--batch` wraps a JSON array into one `Batch`
+/// frame, and repeated seeded requests replay cached bytes (the
+/// `--cache-bytes` flag is honored).
+#[test]
+fn cli_client_stdin_and_batch_roundtrip() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = workdir("cli-batch");
+    let expected = seed_store(&dir, 2_000, 9);
+    let mut child = motivo()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(["--cache-bytes", "1048576"])
+        .arg("--store")
+        .arg(&dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn motivo serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = lines
+        .next()
+        .unwrap()
+        .unwrap()
+        .strip_prefix("listening on ")
+        .expect("address line")
+        .to_string();
+
+    let pipe_client = |args: &[&str], stdin: &str| {
+        let mut c = motivo()
+            .arg("client")
+            .arg(&addr)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        c.stdin.take().unwrap().write_all(stdin.as_bytes()).unwrap();
+        let out = c.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "client {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // A single request from stdin.
+    let out = pipe_client(&["-"], r#"{"type":"Ping"}"#);
+    assert!(out.contains("\"pong\": true"), "{out}");
+
+    // A batch from stdin: three sub-requests, answered in order, the
+    // malformed one failing alone.
+    let batch = r#"[
+        {"id": 1, "type": "NaiveEstimates", "urn": 0, "samples": 2000, "seed": 9},
+        {"id": 2, "type": "Teleport"},
+        {"id": 3, "type": "NaiveEstimates", "urn": 0, "samples": 2000, "seed": 9, "threads": 2}
+    ]"#;
+    let out = pipe_client(&["-", "--batch"], batch);
+    let envelope: serde_json::Value = serde_json::from_str(&out).unwrap();
+    let responses = envelope
+        .get("ok")
+        .unwrap()
+        .get("responses")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(responses.len(), 3);
+    // Sub 1 and 3 (differing only in threads) both match the in-process
+    // bytes — the second from the cache.
+    for idx in [0usize, 2] {
+        assert_eq!(
+            serde_json::to_string(&responses[idx].get("ok").unwrap()).unwrap(),
+            expected,
+            "sub-response {idx}"
+        );
+    }
+    assert_eq!(
+        responses[1]
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("BadRequest")
+    );
+
+    // Stats over the wire confirm the cache replay.
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    let stats = client.request(&json!({"type": "Stats"})).unwrap();
+    let qc = stats.get("query_cache").unwrap();
+    assert_eq!(qc.get("misses").unwrap().as_u64(), Some(1), "{stats:?}");
+    assert!(qc.get("hits").unwrap().as_u64().unwrap() >= 1, "{stats:?}");
+
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let status = child.wait().expect("server exit");
+    assert!(status.success());
+    // The flushed stats file carries the cache section now.
+    let flushed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("server-stats.json")).unwrap())
+            .unwrap();
+    assert!(flushed.get("query_cache").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Graceful shutdown drains: requests accepted (not `Busy`-rejected)
 /// before the signal all receive real responses; none are dropped.
 #[test]
