@@ -804,7 +804,7 @@ fn ci(ctx: &Ctx) {
         format!("{:08x}", crc.finish())
     };
 
-    let (serve_qps, cache_hit_qps) = ci_serving_rates(&g, ctx);
+    let serving = ci_serving_rates(&g, ctx);
 
     let bits_per_node = st.table_bytes as f64 * 8.0 / g.num_nodes() as f64;
     let succinct_bytes = succinct_table_bytes(&urn);
@@ -825,10 +825,24 @@ fn ci(ctx: &Ctx) {
                 format!("{bits_per_node_succinct:.0}"),
             ],
             vec!["tally checksum".into(), tally_checksum.clone()],
-            vec!["serve qps (cold)".into(), format!("{serve_qps:.0}")],
+            vec![
+                "serve qps (cold)".into(),
+                format!("{:.0}", serving.serve_qps),
+            ],
             vec![
                 "serve qps (cache hit)".into(),
-                format!("{cache_hit_qps:.0}"),
+                format!("{:.0}", serving.cache_hit_qps),
+            ],
+            vec![
+                "serve p50/p99 (cold)".into(),
+                format!("{}us / {}us", serving.serve_p50_us, serving.serve_p99_us),
+            ],
+            vec![
+                "serve p50/p99 (cache hit)".into(),
+                format!(
+                    "{}us / {}us",
+                    serving.cache_hit_p50_us, serving.cache_hit_p99_us
+                ),
             ],
         ],
     );
@@ -847,11 +861,28 @@ fn ci(ctx: &Ctx) {
             "bits_per_node_plain": bits_per_node,
             "bits_per_node_succinct": bits_per_node_succinct,
             "tally_checksum": tally_checksum,
-            "serve_qps": serve_qps,
-            "cache_hit_qps": cache_hit_qps,
+            "serve_qps": serving.serve_qps,
+            "cache_hit_qps": serving.cache_hit_qps,
+            "serve_p50_us": serving.serve_p50_us,
+            "serve_p99_us": serving.serve_p99_us,
+            "cache_hit_p50_us": serving.cache_hit_p50_us,
+            "cache_hit_p99_us": serving.cache_hit_p99_us,
             "determinism": "ok",
         }),
     );
+}
+
+/// What the loopback serving phase measured: round-trip rates plus
+/// client-observed latency quantiles (microseconds, from a
+/// `motivo_obs::Histogram` per phase — the same estimator the server's
+/// own metrics use, so baseline numbers stay comparable across layers).
+struct CiServing {
+    serve_qps: f64,
+    cache_hit_qps: f64,
+    serve_p50_us: u64,
+    serve_p99_us: u64,
+    cache_hit_p50_us: u64,
+    cache_hit_p99_us: u64,
 }
 
 /// Serving throughput over a real loopback daemon: `serve_qps` drives
@@ -859,8 +890,11 @@ fn ci(ctx: &Ctx) {
 /// `cache_hit_qps` repeats one seeded request (after warmup, every one a
 /// cache replay). Single blocking client, so both numbers are
 /// latency-bound round-trip rates — the trajectory metric the perf gate
-/// watches, not a saturation benchmark.
-fn ci_serving_rates(g: &motivo_graph::Graph, ctx: &Ctx) -> (f64, f64) {
+/// watches, not a saturation benchmark. Per-request round trips are also
+/// recorded into latency histograms, and their p50/p99 feed the gate's
+/// quantile fields (noise-floored there, so only real tail blowups gate).
+fn ci_serving_rates(g: &motivo_graph::Graph, ctx: &Ctx) -> CiServing {
+    use motivo_obs::Histogram;
     use motivo_server::{Client, ServeOptions, Server};
     use motivo_store::UrnStore;
     use serde_json::Value;
@@ -904,17 +938,23 @@ fn ci_serving_rates(g: &motivo_graph::Graph, ctx: &Ctx) -> (f64, f64) {
     // Warmup (load the urn, JIT the path) — and pin the hit-phase payload.
     let expected = request(&mut client, 1_000_000);
 
+    let cold_hist = Histogram::new();
     let cold_rounds = 48u64;
     let t0 = Instant::now();
     for seed in 0..cold_rounds {
+        let r0 = Instant::now();
         request(&mut client, seed);
+        cold_hist.record_duration(r0.elapsed());
     }
     let serve_qps = cold_rounds as f64 / t0.elapsed().as_secs_f64();
 
+    let hit_hist = Histogram::new();
     let hit_rounds = 256u64;
     let t0 = Instant::now();
     for _ in 0..hit_rounds {
+        let r0 = Instant::now();
         let payload = request(&mut client, 1_000_000);
+        hit_hist.record_duration(r0.elapsed());
         // A hard assert — CI runs this with --release, and a cache
         // replaying wrong bytes must fail the smoke job, not time it.
         assert_eq!(payload, expected, "cached replay diverged from cold bytes");
@@ -941,5 +981,13 @@ fn ci_serving_rates(g: &motivo_graph::Graph, ctx: &Ctx) -> (f64, f64) {
         .expect("shutdown");
     server.join();
     std::fs::remove_dir_all(&dir).ok();
-    (serve_qps, cache_hit_qps)
+    let (cold, hit) = (cold_hist.snapshot(), hit_hist.snapshot());
+    CiServing {
+        serve_qps,
+        cache_hit_qps,
+        serve_p50_us: cold.quantile(0.5) / 1_000,
+        serve_p99_us: cold.quantile(0.99) / 1_000,
+        cache_hit_p50_us: hit.quantile(0.5) / 1_000,
+        cache_hit_p99_us: hit.quantile(0.99) / 1_000,
+    }
 }

@@ -14,6 +14,11 @@
 //!   seconds, samples/s, serving QPS. They fail only beyond a generous
 //!   ratio tolerance ([`DEFAULT_TOLERANCE`]×, either direction), wide
 //!   enough to absorb runner noise but not a 5× serving regression.
+//!   Latency quantiles ([`QUANTILE_FIELDS`], microseconds) follow the
+//!   same ratio rule with their own noise floor ([`US_NOISE_FLOOR`]):
+//!   sub-50ms quantiles on the smoke workload measure scheduler jitter,
+//!   not the code, so both sides are clamped up to the floor first —
+//!   tail latencies only gate once they are big enough to mean something.
 //!
 //! A field missing from either side is a failure: the baseline and the
 //! experiment must agree on the schema, so adding a metric forces a
@@ -46,6 +51,18 @@ pub const TIMING_FIELDS: &[&str] = &[
     "cache_hit_qps",
 ];
 
+/// Serving latency quantiles, in microseconds, compared as ratios under
+/// the tolerance after clamping both sides up to [`US_NOISE_FLOOR`].
+/// Unlike [`TIMING_FIELDS`], zero is a legal value here (a cache hit can
+/// serve in under a microsecond) — the clamp makes it a pass, not an
+/// error.
+pub const QUANTILE_FIELDS: &[&str] = &[
+    "serve_p50_us",
+    "serve_p99_us",
+    "cache_hit_p50_us",
+    "cache_hit_p99_us",
+];
+
 /// Default timing tolerance: a fresh value may be up to this factor
 /// slower *or* faster than the baseline.
 pub const DEFAULT_TOLERANCE: f64 = 3.0;
@@ -57,6 +74,11 @@ pub const DEFAULT_TOLERANCE: f64 = 3.0;
 /// a duration is large enough to mean something (a real regression blows
 /// far past the floor).
 pub const SECS_NOISE_FLOOR: f64 = 0.05;
+
+/// Noise floor for latency quantile fields (`*_us`): 50ms. Below it a
+/// quantile ratio measures runner jitter; a real tail regression (the
+/// kind worth gating) lands far beyond it.
+pub const US_NOISE_FLOOR: f64 = 50_000.0;
 
 /// The comparison verdict: human-readable per-field lines plus the
 /// failures that should gate the merge (empty = pass).
@@ -145,6 +167,36 @@ pub fn compare(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
             }
         }
     }
+    for &key in QUANTILE_FIELDS {
+        let b = baseline.get(key).and_then(|v| v.as_f64());
+        let f = fresh.get(key).and_then(|v| v.as_f64());
+        match (b, f) {
+            (Some(b), Some(f)) if b >= 0.0 && f >= 0.0 => {
+                let (b, f) = (b.max(US_NOISE_FLOOR), f.max(US_NOISE_FLOOR));
+                let ratio = f / b;
+                if ratio <= tolerance && ratio >= 1.0 / tolerance {
+                    report.ok(format!(
+                        "{key:<24} baseline {b:.0}us, fresh {f:.0}us, ratio {ratio:.2} (limit {tolerance:.1}x)"
+                    ));
+                } else {
+                    report.fail(format!(
+                        "{key:<24} baseline {b:.0}us, fresh {f:.0}us, ratio {ratio:.2} exceeds {tolerance:.1}x"
+                    ));
+                }
+            }
+            (Some(b), Some(f)) => {
+                report.fail(format!(
+                    "{key:<24} negative quantile (baseline {b}, fresh {f})"
+                ));
+            }
+            (b, _) => {
+                report.fail(format!(
+                    "{key:<24} missing from {} (refresh the baseline?)",
+                    if b.is_none() { "baseline" } else { "fresh run" }
+                ));
+            }
+        }
+    }
     report
 }
 
@@ -161,6 +213,8 @@ mod tests {
             "tally_checksum": "a1b2c3d4", "determinism": "ok",
             "build_secs": 1.0, "sample_secs": 0.5, "samples_per_sec": 100000.0,
             "serve_qps": 800.0, "cache_hit_qps": 5000.0,
+            "serve_p50_us": 60000.0, "serve_p99_us": 80000.0,
+            "cache_hit_p50_us": 150.0, "cache_hit_p99_us": 900.0,
         })
     }
 
@@ -186,7 +240,10 @@ mod tests {
         let (b, f) = (reparse(&doc()), reparse(&doc()));
         let report = compare(&b, &f, DEFAULT_TOLERANCE);
         assert!(report.passed(), "{:?}", report.failures);
-        assert_eq!(report.lines.len(), EXACT_FIELDS.len() + TIMING_FIELDS.len());
+        assert_eq!(
+            report.lines.len(),
+            EXACT_FIELDS.len() + TIMING_FIELDS.len() + QUANTILE_FIELDS.len()
+        );
     }
 
     #[test]
@@ -240,6 +297,37 @@ mod tests {
         assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
         // Rates are not clamped: qps fields keep the raw ratio test.
         let f = with(&b, "serve_qps", json!(0.02));
+        assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
+    }
+
+    /// A doctored 10x p99 regression fails the gate (the acceptance
+    /// check behind `bench_gate`'s exit 1), while sub-floor quantile
+    /// jitter — including a legal zero — passes.
+    #[test]
+    fn doctored_p99_regression_fails_subfloor_jitter_passes() {
+        let b = reparse(&doc());
+        // 80ms → 800ms p99: 10x past the floor, gated.
+        let f = with(&b, "serve_p99_us", json!(800000.0));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("serve_p99_us"), "{report:?}");
+        assert!(report.failures[0].contains("exceeds"), "{report:?}");
+        // p50 regressions gate the same way.
+        let f = with(&b, "serve_p50_us", json!(600000.0));
+        assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // Cache-hit quantiles live under the 50ms floor: a 30x swing
+        // there is jitter, and clamping makes it pass.
+        let f = with(&b, "cache_hit_p99_us", json!(27000.0));
+        assert!(compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // Zero is legal for a quantile (sub-microsecond cache hit).
+        let f = with(&b, "cache_hit_p50_us", json!(0.0));
+        assert!(compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // But a missing quantile is a schema drift, and fails.
+        let text = serde_json::to_string(&b)
+            .unwrap()
+            .replace("\"serve_p99_us\":80000.0,", "");
+        let f: Value = from_str(&text).unwrap();
         assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
     }
 

@@ -167,8 +167,11 @@ pub fn ags(urn: &Urn<'_>, registry: &mut GraphletRegistry, cfg: &AgsConfig) -> A
         STREAMS_PER_EPOCH * AGS_SHARD_SAMPLES
     );
     let mut epoch_index = 0u64;
+    let epoch_counter = cfg.sample.obs.counter("ags.epochs");
+    let epoch_hist = cfg.sample.obs.histogram("ags.epoch");
 
     while samples < cfg.max_samples {
+        let epoch_start = std::time::Instant::now();
         // Early exit: everything known is covered and discovery has dried up.
         if covered_count > 0
             && covered_count == registry.len()
@@ -231,6 +234,12 @@ pub fn ags(urn: &Urn<'_>, registry: &mut GraphletRegistry, cfg: &AgsConfig) -> A
                 }
                 switches += 1;
             }
+        }
+        if let Some(c) = &epoch_counter {
+            c.inc();
+        }
+        if let Some(h) = &epoch_hist {
+            h.record_duration(epoch_start.elapsed());
         }
     }
 

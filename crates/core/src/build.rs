@@ -6,6 +6,7 @@
 use crate::error::BuildError;
 use crate::urn::Urn;
 use motivo_graph::{Coloring, Graph};
+use motivo_obs::{Histogram, Obs};
 use motivo_table::storage::{LevelStore, StorageKind};
 use motivo_table::{CountTable, Record, RecordBuilder, RecordCodec};
 use motivo_treelet::{ColoredTreelet, Treelet, TreeletFamily};
@@ -62,6 +63,10 @@ pub struct BuildConfig {
     /// workers instead of being handled by one (the "last remaining
     /// vertices" refinement, §3.3).
     pub hub_split_threshold: usize,
+    /// Observability handle. Disabled by default; when attached, the
+    /// build emits per-level spans and a codec-encode latency histogram.
+    /// Pure side channel: never affects the table contents.
+    pub obs: Obs,
 }
 
 impl BuildConfig {
@@ -76,6 +81,7 @@ impl BuildConfig {
             zero_rooting: true,
             threads: 0,
             hub_split_threshold: 1 << 14,
+            obs: Obs::none(),
         }
     }
 
@@ -113,6 +119,12 @@ impl BuildConfig {
     /// Sets the number of worker threads (`0` = all cores).
     pub fn threads(mut self, threads: usize) -> BuildConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches an observability handle.
+    pub fn with_obs(mut self, obs: Obs) -> BuildConfig {
+        self.obs = obs;
         self
     }
 
@@ -187,6 +199,8 @@ pub fn build_table(
     let family = TreeletFamily::new(k);
     let beta = beta_table(&family);
     let start = Instant::now();
+    let _build_span = cfg.obs.span("build.table");
+    let encode_hist = cfg.obs.histogram("build.encode");
     let mut per_level = Vec::with_capacity(k as usize - 1);
     let merge_ops = AtomicU64::new(0);
 
@@ -204,6 +218,7 @@ pub fn build_table(
 
     for h in 2..=k {
         let level_start = Instant::now();
+        let _level_span = cfg.obs.span(format!("build.level{h}"));
         let mut level = cfg.storage.create_level(h, n, cfg.codec)?;
         // Vertices above the hub threshold are deferred to the edge-split
         // pass so no worker stalls on one giant adjacency list.
@@ -221,6 +236,7 @@ pub fn build_table(
             codec: cfg.codec,
             beta: &beta,
             merge_ops: &merge_ops,
+            encode_hist: encode_hist.as_deref(),
         };
 
         // Worker and collector failures are captured and surfaced after
@@ -324,6 +340,8 @@ struct LevelCtx<'a> {
     codec: RecordCodec,
     beta: &'a HashMap<u32, u128>,
     merge_ops: &'a AtomicU64,
+    /// Codec-encode latency sink, when observability is attached.
+    encode_hist: Option<&'a Histogram>,
 }
 
 impl LevelCtx<'_> {
@@ -338,9 +356,23 @@ impl LevelCtx<'_> {
             Some(builder) => {
                 let mut pairs = builder.into_pairs();
                 divide_beta(&mut pairs, self.beta);
-                Record::from_counts_in(self.codec, pairs)
+                self.encode(pairs)
             }
         })
+    }
+
+    /// Seals accumulated pairs under the level codec, timing the encode
+    /// when observability is attached.
+    fn encode(&self, pairs: Vec<(u64, u128)>) -> Record {
+        match self.encode_hist {
+            Some(hist) => {
+                let t = Instant::now();
+                let rec = Record::from_counts_in(self.codec, pairs);
+                hist.record_duration(t.elapsed());
+                rec
+            }
+            None => Record::from_counts_in(self.codec, pairs),
+        }
     }
 
     /// The accumulation half (no β division). `Ok(None)` when 0-rooting
@@ -442,7 +474,7 @@ fn process_hub_vertex(ctx: &LevelCtx<'_>, v: u32, threads: usize) -> io::Result<
         Some(builder) => {
             let mut pairs = builder.into_pairs();
             divide_beta(&mut pairs, ctx.beta);
-            Record::from_counts_in(ctx.codec, pairs)
+            ctx.encode(pairs)
         }
     })
 }

@@ -84,7 +84,10 @@ pub fn sample_tally(
     let start = Instant::now();
     let g = urn.graph();
     let sizes = shard_sizes(samples, NAIVE_SHARD_SAMPLES);
+    let shard_hist = cfg.obs.histogram("sample.shard");
+    let shard_hist = shard_hist.as_deref();
     let tallies = run_sharded(sizes.len(), cfg.threads, |shard| {
+        let shard_start = Instant::now();
         let shard_cfg = SampleConfig {
             seed: split_seed(cfg.seed, shard as u64),
             ..cfg.clone()
@@ -97,6 +100,9 @@ pub fn sample_tally(
             let rows = g.induced_rows(&verts);
             let raw = Graphlet::from_rows(&rows);
             *tally.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
+        }
+        if let Some(hist) = shard_hist {
+            hist.record_duration(shard_start.elapsed());
         }
         tally
     });

@@ -20,6 +20,7 @@
 //! (§3.2).
 
 use crate::urn::Urn;
+use motivo_obs::Obs;
 use motivo_table::AliasTable;
 use motivo_treelet::{ColorSet, ColoredTreelet, Treelet};
 use rand::rngs::SmallRng;
@@ -54,6 +55,10 @@ pub struct SampleConfig {
     pub buffer_threshold: usize,
     /// Batch size (paper: 100).
     pub buffer_batch: usize,
+    /// Observability handle. Disabled by default; when attached, the
+    /// parallel estimators report per-shard tally time and AGS epoch
+    /// metrics. Pure side channel: never affects sampled results.
+    pub obs: Obs,
 }
 
 impl Default for SampleConfig {
@@ -64,6 +69,7 @@ impl Default for SampleConfig {
             buffering: true,
             buffer_threshold: 10_000,
             buffer_batch: 100,
+            obs: Obs::none(),
         }
     }
 }
@@ -80,6 +86,12 @@ impl SampleConfig {
     /// Sets the worker-thread count (`0` = all cores).
     pub fn threads(mut self, threads: usize) -> SampleConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches an observability handle.
+    pub fn with_obs(mut self, obs: Obs) -> SampleConfig {
+        self.obs = obs;
         self
     }
 }

@@ -1,0 +1,81 @@
+//! Atomic sidecar writes: temp file + fsync + rename.
+//!
+//! Every JSON sidecar the workspace persists (store stats, metric
+//! snapshots, server stats) goes through [`atomic_write`], so a crash at
+//! any point leaves either the previous good file or the new one — never
+//! a truncated hybrid. The temp file lives in the same directory as the
+//! target (rename must not cross filesystems) and is hidden behind a
+//! leading dot so directory scans skip it.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: the content lands in a sibling
+/// temp file, is fsynced, and only then renamed over the target.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(".{}.tmp", name.to_string_lossy()));
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("motivo-obs-fs-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let target = dir.join("snap.json");
+        atomic_write(&target, b"{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"{\"v\":1}");
+        atomic_write(&target, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"{\"v\":2}");
+        // No temp litter left behind.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["snap.json"]);
+    }
+
+    #[test]
+    fn interrupted_write_never_shadows_a_good_snapshot() {
+        let dir = tmp_dir("crash");
+        let target = dir.join("snap.json");
+        atomic_write(&target, b"{\"good\":true}").unwrap();
+
+        // Simulate a crash mid-write: a partial temp file exists but the
+        // rename never happened.
+        let tmp = dir.join(".snap.json.tmp");
+        std::fs::write(&tmp, b"{\"tru").unwrap();
+
+        // The published file still reads back complete.
+        assert_eq!(std::fs::read(&target).unwrap(), b"{\"good\":true}");
+
+        // The next successful write replaces both the target and the
+        // stale temp file.
+        atomic_write(&target, b"{\"good\":2}").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"{\"good\":2}");
+        assert!(!tmp.exists());
+    }
+}

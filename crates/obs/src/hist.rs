@@ -1,0 +1,403 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Values are nanoseconds. The bucket layout is fixed and shared by every
+//! histogram, which is what makes merges trivially associative:
+//!
+//! - bucket 0 holds everything below 2^10 ns (~1µs) — the "underflow"
+//!   bucket for operations too fast to care about;
+//! - each octave `o ∈ 10..=36` (1µs .. 2^37 ns ≈ 137s) is split into 4
+//!   linear sub-buckets of width `2^(o-2)`, so a bucket's width is at most
+//!   a quarter of its lower bound;
+//! - values at or above 2^37 ns saturate into the top bucket.
+//!
+//! That is `1 + 27*4 = 109` buckets. A quantile estimate is the midpoint
+//! of the bucket containing the true quantile (clamped to the observed
+//! max), so for in-range values the estimate lands in the *same bucket*
+//! as the true order statistic and the relative error is bounded by half
+//! a bucket width: ≤ 12.5%.
+//!
+//! `record` is two relaxed `fetch_add`s plus a `fetch_max` — cheap enough
+//! for per-request and per-sample hot paths — and every read is a
+//! wait-free snapshot of the relaxed counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// First octave with real buckets: values below `2^MIN_OCTAVE` ns share
+/// the underflow bucket.
+const MIN_OCTAVE: u32 = 10;
+/// Last octave; values at or above `2^(MAX_OCTAVE+1)` ns saturate.
+const MAX_OCTAVE: u32 = 36;
+/// Linear sub-buckets per octave.
+const SUBS: u32 = 4;
+
+/// Total bucket count: one underflow bucket plus 4 per octave.
+pub const NUM_BUCKETS: usize = 1 + ((MAX_OCTAVE - MIN_OCTAVE + 1) * SUBS) as usize;
+
+/// Smallest value that saturates into the top bucket (2^37 ns ≈ 137s).
+const SATURATE_NS: u64 = 1 << (MAX_OCTAVE + 1);
+
+/// Maps a nanosecond value to its bucket index.
+pub fn bucket_index(ns: u64) -> usize {
+    if ns < (1 << MIN_OCTAVE) {
+        return 0;
+    }
+    let v = ns.min(SATURATE_NS - 1);
+    let o = 63 - v.leading_zeros(); // MIN_OCTAVE..=MAX_OCTAVE
+    let sub = ((v >> (o - 2)) & 0b11) as u32;
+    (1 + (o - MIN_OCTAVE) * SUBS + sub) as usize
+}
+
+/// Inclusive lower bound of a bucket, in ns.
+pub fn bucket_lower(idx: usize) -> u64 {
+    assert!(idx < NUM_BUCKETS);
+    if idx == 0 {
+        return 0;
+    }
+    let i = (idx - 1) as u32;
+    let o = MIN_OCTAVE + i / SUBS;
+    let sub = (i % SUBS) as u64;
+    (1u64 << o) + sub * (1u64 << (o - 2))
+}
+
+/// Exclusive upper bound of a bucket, in ns (the top bucket reports the
+/// saturation threshold; recorded values above it are only visible via
+/// the exact tracked max).
+pub fn bucket_upper(idx: usize) -> u64 {
+    assert!(idx < NUM_BUCKETS);
+    if idx == NUM_BUCKETS - 1 {
+        SATURATE_NS
+    } else {
+        bucket_lower(idx + 1)
+    }
+}
+
+/// A merge-able, thread-safe latency histogram (see module docs for the
+/// bucket math).
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    /// Total of all recorded values, ns (saturating).
+    sum: AtomicU64,
+    /// Exact maximum recorded value, ns.
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds). Lock-free; safe from any thread.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`Duration`].
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Adds every count from `other` into `self`. Merging is associative
+    /// and commutative because the bucket layout is global.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Wait-free copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimated `q`-quantile in ns (see [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count())
+            .field("p50_ns", &s.quantile(0.5))
+            .field("max_ns", &s.max)
+            .finish()
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], safe to compare and serialize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (length [`NUM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total of recorded values, ns.
+    pub sum: u64,
+    /// Exact maximum recorded value, ns.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value in ns (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Estimated `q`-quantile in ns: the midpoint of the bucket holding
+    /// the `ceil(q*n)`-th smallest value, clamped to the observed max.
+    /// The estimate falls in the same bucket as the true order statistic,
+    /// which bounds the relative error at 12.5% for in-range values.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        if target == n {
+            return self.max; // the top order statistic is tracked exactly
+        }
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let lo = bucket_lower(idx);
+                let hi = bucket_upper(idx);
+                let mid = lo + (hi - lo) / 2;
+                return mid.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s counts into `self` (snapshot-level merge).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // Underflow bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(1023), 0);
+        // First real octave: [1024, 2048) in 4 sub-buckets of width 256.
+        assert_eq!(bucket_index(1024), 1);
+        assert_eq!(bucket_index(1279), 1);
+        assert_eq!(bucket_index(1280), 2);
+        assert_eq!(bucket_index(1791), 3);
+        assert_eq!(bucket_index(1792), 4);
+        assert_eq!(bucket_index(2047), 4);
+        // Next octave starts a fresh run of 4.
+        assert_eq!(bucket_index(2048), 5);
+        // Top bucket and saturation.
+        assert_eq!(bucket_index(SATURATE_NS - 1), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(SATURATE_NS), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bounds_are_consistent_with_indexing() {
+        for idx in 0..NUM_BUCKETS {
+            let lo = bucket_lower(idx);
+            let hi = bucket_upper(idx);
+            assert!(lo < hi, "bucket {idx}: {lo} !< {hi}");
+            assert_eq!(bucket_index(lo), idx, "lower bound of {idx}");
+            assert_eq!(bucket_index(hi - 1), idx, "upper bound of {idx}");
+            if idx + 1 < NUM_BUCKETS {
+                assert_eq!(bucket_index(hi), idx + 1, "start of {}", idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(us * 1000); // 1µs..1ms uniformly
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // True p50 = 500_000ns, p99 = 990_000ns; bucket error ≤ 12.5%.
+        assert!((437_500..=562_500).contains(&p50), "p50 = {p50}");
+        assert!((866_250..=1_113_750).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1_000_000); // clamped to exact max
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_losing_counts() {
+        let h = Histogram::new();
+        h.record(SATURATE_NS);
+        h.record(1 << 50);
+        h.record(u64::MAX / 4);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.buckets[NUM_BUCKETS - 1], 3);
+        assert_eq!(s.max, u64::MAX / 4);
+        // Quantile of an all-saturated histogram never exceeds the max.
+        assert!(h.quantile(0.5) <= s.max);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::empty());
+    }
+
+    fn filled(values: &[u64]) -> Histogram {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a: Vec<u64> = (0..200).map(|i| 1000 + i * 7919).collect();
+        let b: Vec<u64> = (0..150).map(|i| 500 + i * 104_729).collect();
+        let c: Vec<u64> = (0..90).map(|i| i * 1_299_709).collect();
+
+        // (a+b)+c
+        let left = filled(&a);
+        left.merge_from(&filled(&b));
+        left.merge_from(&filled(&c));
+        // a+(b+c)
+        let bc = filled(&b);
+        bc.merge_from(&filled(&c));
+        let right = filled(&a);
+        right.merge_from(&bc);
+        // (c+a)+b
+        let comm = filled(&c);
+        comm.merge_from(&filled(&a));
+        comm.merge_from(&filled(&b));
+
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let oracle = filled(&all).snapshot();
+        assert_eq!(left.snapshot(), oracle);
+        assert_eq!(right.snapshot(), oracle);
+        assert_eq!(comm.snapshot(), oracle);
+    }
+
+    #[test]
+    fn eight_threads_lose_no_counts() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 100_000;
+        let h = Histogram::new();
+        let expected_sum: u64 = (0..THREADS)
+            .flat_map(|t| (0..PER_THREAD).map(move |i| t * 1_000_003 + i * 997))
+            .sum();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * 1_000_003 + i * 997);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count(), THREADS * PER_THREAD);
+        assert_eq!(s.sum, expected_sum);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Quantile estimates land in the same bucket as the true order
+        /// statistic from a sorted-vector oracle, which bounds relative
+        /// error at 12.5% for in-range values.
+        #[test]
+        fn quantile_matches_sorted_oracle(
+            values in proptest::collection::vec(1u64..(1u64 << 38), 1..400),
+            qi in 0u32..=100,
+        ) {
+            let q = qi as f64 / 100.0;
+            let h = filled(&values);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let n = sorted.len() as u64;
+            let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let oracle = sorted[(target - 1) as usize];
+            let est = h.quantile(q);
+            prop_assert_eq!(
+                bucket_index(est),
+                bucket_index(oracle),
+                "q={} est={} oracle={}",
+                q,
+                est,
+                oracle
+            );
+            if (1024..SATURATE_NS).contains(&oracle) {
+                let err = est.abs_diff(oracle);
+                prop_assert!(
+                    err * 8 <= oracle,
+                    "relative error above 12.5%: est={} oracle={}",
+                    est,
+                    oracle
+                );
+            }
+        }
+    }
+}

@@ -8,11 +8,11 @@
 //!
 //! - **Wire protocol** ([`proto`]): length-prefixed JSON frames. Request
 //!   types `Ping`, `ListUrns`, `NaiveEstimates`, `Ags`, `Sample`,
-//!   `Stats`, `Build`, `Batch`, `Shutdown`; responses carry `ok` payloads
-//!   or structured errors, matched to pipelined requests by an echoed
-//!   `id`. A `Batch` carries a list of sub-requests through one frame and
-//!   one worker slot, answered in request order with per-sub-request
-//!   envelopes.
+//!   `Stats`, `Metrics`, `Build`, `Batch`, `Shutdown`; responses carry
+//!   `ok` payloads or structured errors, matched to pipelined requests by
+//!   an echoed `id`. A `Batch` carries a list of sub-requests through one
+//!   frame and one worker slot, answered in request order with
+//!   per-sub-request envelopes.
 //! - **Serving core** ([`server`]): an accept loop, per-connection frame
 //!   readers, and a fixed-size worker pool fed by a bounded queue. A full
 //!   queue answers `Busy` (backpressure, not buffering); a `Shutdown`
@@ -24,6 +24,13 @@
 //!   dedup so N concurrent identical requests run the estimator once.
 //! - **Client** ([`client`]): the blocking client behind `motivo client`
 //!   and the integration tests.
+//! - **Metrics** ([`metrics`]): per-request-kind counters, error counts,
+//!   and latency histograms (plus the queue-wait vs service-time split),
+//!   registered in the store's [`motivo_obs::Registry`] next to its
+//!   LRU/journal counters and the core's build spans. A `Metrics` request
+//!   returns the quantile table and a Prometheus-style text rendering;
+//!   `ServeOptions::snapshot_secs` adds periodic JSON snapshots under the
+//!   store directory.
 //!
 //! Determinism is preserved across the wire: a request carrying a seed
 //! produces byte-identical estimate payloads to the equivalent in-process
@@ -49,10 +56,12 @@
 
 pub mod cache;
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use cache::{QueryCache, QueryCacheStats, Served};
 pub use client::{Client, ClientError};
+pub use metrics::{KindStats, ServerMetrics};
 pub use proto::{ErrorKind, Request};
 pub use server::{ServeOptions, ServeReport, Server, DEFAULT_CACHE_BYTES};

@@ -97,6 +97,10 @@ pub enum Request {
     },
     /// Serving counters, per urn or (with no `"urn"`) aggregated.
     Stats { urn: Option<UrnId> },
+    /// The server's metrics registry: per-request-kind counters and
+    /// latency quantiles, plus a Prometheus-style text rendering of every
+    /// counter/gauge/histogram in the store's [`motivo_obs::Registry`].
+    Metrics,
     /// Enqueue a build on the store's background worker. `graph` is a path
     /// readable by the *server*. With `"wait": true` the response is held
     /// until the build finishes (this occupies one pool worker).
@@ -186,6 +190,7 @@ impl Request {
                     None
                 },
             },
+            "Metrics" => Request::Metrics,
             "Build" => Request::Build {
                 graph: v
                     .get("graph")
@@ -290,6 +295,25 @@ impl Request {
             _ => return None,
         };
         Some(serde_json::to_string(&doc).expect("key serialize"))
+    }
+
+    /// The request's kind name — the `"type"` discriminant it parsed
+    /// from. This is the label the server's per-kind metrics
+    /// (`server.requests.<kind>`, `server.latency.<kind>`, …) hang off,
+    /// so the set of values is closed and stable.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "Ping",
+            Request::ListUrns => "ListUrns",
+            Request::NaiveEstimates { .. } => "NaiveEstimates",
+            Request::Ags { .. } => "Ags",
+            Request::Sample { .. } => "Sample",
+            Request::Stats { .. } => "Stats",
+            Request::Metrics => "Metrics",
+            Request::Build { .. } => "Build",
+            Request::Batch(_) => "Batch",
+            Request::Shutdown => "Shutdown",
+        }
     }
 
     /// The urn a cacheable request targets ([`Request::cache_key`] needs
@@ -446,13 +470,18 @@ pub fn urn_json(m: &UrnMeta) -> Value {
     })
 }
 
-/// Serializes serving counters.
+/// Serializes serving counters, latency quantiles included (log-bucket
+/// histogram estimates — see `motivo_obs::Histogram`; `max_us` is exact).
 pub fn query_stats_json(s: &QueryStats) -> Value {
     json!({
         "queries": s.queries,
         "cache_hits": s.cache_hits,
         "cache_misses": s.cache_misses,
         "total_latency_ns": s.total_latency.as_nanos() as u64,
+        "p50_us": s.p50_latency.as_micros() as u64,
+        "p90_us": s.p90_latency.as_micros() as u64,
+        "p99_us": s.p99_latency.as_micros() as u64,
+        "max_us": s.max_latency.as_micros() as u64,
     })
 }
 
@@ -617,6 +646,7 @@ mod tests {
         // Mutable-state requests are not cacheable.
         assert_eq!(parse(r#"{"type":"ListUrns"}"#).cache_key(1), None);
         assert_eq!(parse(r#"{"type":"Stats"}"#).cache_key(1), None);
+        assert_eq!(parse(r#"{"type":"Metrics"}"#).cache_key(1), None);
         assert_eq!(
             parse(r#"{"type":"Batch","requests":[]}"#).cache_key(1),
             None

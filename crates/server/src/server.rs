@@ -50,9 +50,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 use crate::cache::{QueryCache, QueryCacheStats};
+use crate::metrics::{KindStats, ServerMetrics};
 use crate::proto::{self, ErrorKind, Request};
 
 /// How often blocked readers re-check the shutdown signal.
@@ -79,6 +80,10 @@ pub struct ServeOptions {
     /// Byte budget of the deterministic query-result cache
     /// (`0` = disabled).
     pub cache_bytes: u64,
+    /// Seconds between periodic metrics snapshots written to
+    /// `<store>/metrics-<unix-millis>.json` (`0` = periodic snapshots
+    /// off). A final snapshot is always written at shutdown.
+    pub snapshot_secs: u64,
 }
 
 impl Default for ServeOptions {
@@ -87,6 +92,7 @@ impl Default for ServeOptions {
             workers: 0,
             queue_depth: 0,
             cache_bytes: DEFAULT_CACHE_BYTES,
+            snapshot_secs: 0,
         }
     }
 }
@@ -124,8 +130,13 @@ pub struct ServeReport {
     /// Final counters of the query-result cache (`misses` = estimator
     /// runs that went through it).
     pub query_cache: QueryCacheStats,
+    /// Per-request-kind counters and latency quantiles (ascending by
+    /// kind name; kinds that never saw a request are omitted).
+    pub per_kind: Vec<KindStats>,
     /// Where the shutdown stat flush landed, if it succeeded.
     pub stats_path: Option<PathBuf>,
+    /// Where the final metrics snapshot landed, if it succeeded.
+    pub metrics_path: Option<PathBuf>,
 }
 
 /// The shutdown signal: a flag plus a self-connect poke that unblocks the
@@ -161,6 +172,9 @@ struct Job {
     id: Value,
     req: Request,
     writer: Arc<Mutex<TcpStream>>,
+    /// When the reader queued this job — the queue-wait side of the
+    /// `server.queue_wait` / `server.service` latency split.
+    enqueued: Instant,
 }
 
 /// A running daemon. Dropping the handle shuts it down and joins it.
@@ -237,10 +251,12 @@ fn serve_loop(
 ) -> ServeReport {
     let workers = opts.resolved_workers();
     let queue_depth = opts.resolved_queue_depth(workers);
+    let metrics = ServerMetrics::new(store.obs().clone());
     let engine = Engine {
         query: StoreQuery::new(&store),
         store: &store,
         cache: QueryCache::new(opts.cache_bytes),
+        metrics: &metrics,
     };
     let counters = Counters::default();
 
@@ -254,6 +270,25 @@ fn serve_loop(
                 .name(format!("motivo-serve-worker-{i}"))
                 .spawn_scoped(s, move || worker_loop(&rx, engine))
                 .expect("spawn worker");
+        }
+        if opts.snapshot_secs > 0 {
+            let (store, metrics, signal) = (&store, &metrics, &signal);
+            let period = Duration::from_secs(opts.snapshot_secs);
+            std::thread::Builder::new()
+                .name("motivo-serve-snapshot".into())
+                .spawn_scoped(s, move || {
+                    let mut last = Instant::now();
+                    while !signal.is_set() {
+                        std::thread::sleep(POLL_INTERVAL);
+                        if last.elapsed() >= period {
+                            last = Instant::now();
+                            if let Err(e) = write_metrics_snapshot(store, metrics) {
+                                eprintln!("motivo-serve: metrics snapshot failed: {e}");
+                            }
+                        }
+                    }
+                })
+                .expect("spawn snapshot writer");
         }
 
         loop {
@@ -276,10 +311,12 @@ fn serve_loop(
             stream.set_nodelay(true).ok();
             counters.connections.fetch_add(1, Ordering::Relaxed);
             let tx = tx.clone();
-            let (signal, counters) = (&signal, &counters);
+            let (signal, counters, metrics) = (&signal, &counters, &metrics);
             std::thread::Builder::new()
                 .name("motivo-serve-conn".into())
-                .spawn_scoped(s, move || connection_loop(stream, tx, signal, counters))
+                .spawn_scoped(s, move || {
+                    connection_loop(stream, tx, signal, counters, metrics)
+                })
                 .expect("spawn connection reader");
         }
         drop(tx); // workers drain the accepted backlog, then exit
@@ -296,12 +333,18 @@ fn serve_loop(
     let report_busy = counters.busy.load(Ordering::Relaxed);
     let report_connections = counters.connections.load(Ordering::Relaxed);
     let query_cache = engine.cache.stats();
+    let per_kind = metrics.kind_stats();
+    let per_kind_json: Vec<Value> = per_kind
+        .iter()
+        .map(crate::metrics::kind_stats_json)
+        .collect();
     let body = json!({
         "requests": report_requests,
         "busy_rejections": report_busy,
         "connections": report_connections,
         "total": proto::query_stats_json(&engine.query.total_stats()),
         "per_urn": per_urn,
+        "per_kind": per_kind_json,
         "cache": proto::cache_stats_json(&store.cache_stats()),
         "query_cache": proto::query_cache_stats_json(&query_cache),
     });
@@ -313,14 +356,38 @@ fn serve_loop(
             None
         }
     };
+    let metrics_path = match write_metrics_snapshot(&store, &metrics) {
+        Ok(path) => Some(path),
+        Err(e) => {
+            eprintln!("motivo-serve: metrics snapshot failed: {e}");
+            None
+        }
+    };
 
     ServeReport {
         requests: report_requests,
         busy_rejections: report_busy,
         connections: report_connections,
         query_cache,
+        per_kind,
         stats_path,
+        metrics_path,
     }
+}
+
+/// Writes the registry's JSON snapshot to `<store>/metrics-<millis>.json`
+/// (atomic temp-file + rename, like every store sidecar). The timestamp
+/// names the file so successive snapshots are retained, not overwritten.
+fn write_metrics_snapshot(
+    store: &UrnStore,
+    metrics: &ServerMetrics,
+) -> Result<PathBuf, StoreError> {
+    let millis = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let body = metrics.registry().snapshot_json();
+    store.write_sidecar(&format!("metrics-{millis}.json"), body.as_bytes())
 }
 
 /// Fills `buf` from `r`, re-checking the shutdown signal on every read
@@ -409,7 +476,13 @@ fn respond_text(writer: &Mutex<TcpStream>, text: &str) {
 /// Per-connection reader: parses frames, answers `Ping`/`Shutdown` and all
 /// error paths inline, and queues real work — never blocking on the queue,
 /// so a saturated pool turns into `Busy` replies instead of latency.
-fn connection_loop(stream: TcpStream, tx: Sender<Job>, signal: &Signal, counters: &Counters) {
+fn connection_loop(
+    stream: TcpStream,
+    tx: Sender<Job>,
+    signal: &Signal,
+    counters: &Counters,
+    metrics: &ServerMetrics,
+) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
@@ -429,7 +502,7 @@ fn connection_loop(stream: TcpStream, tx: Sender<Job>, signal: &Signal, counters
             Err(_) => return, // torn frame / oversize / connection error
         };
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        handle_frame(&payload, &writer, &tx, signal, counters);
+        handle_frame(&payload, &writer, &tx, signal, counters, metrics);
         // A reader must not outlive the shutdown signal just because its
         // client keeps sending (Pings and garbage included): its queue
         // sender would keep the workers from ever seeing the channel
@@ -443,13 +516,16 @@ fn connection_loop(stream: TcpStream, tx: Sender<Job>, signal: &Signal, counters
 }
 
 /// Handles one frame: answers `Ping`/`Shutdown` and every error inline,
-/// queues real work without ever blocking on the queue.
+/// queues real work without ever blocking on the queue. Every frame lands
+/// in exactly one `server.requests.<kind>` counter — frames that never
+/// parse into a request count under the pseudo-kind `Invalid`.
 fn handle_frame(
     payload: &[u8],
     writer: &Arc<Mutex<TcpStream>>,
     tx: &Sender<Job>,
     signal: &Signal,
     counters: &Counters,
+    metrics: &ServerMetrics,
 ) {
     let doc = match std::str::from_utf8(payload)
         .map_err(|_| "frame is not UTF-8".to_string())
@@ -457,6 +533,9 @@ fn handle_frame(
     {
         Ok(doc) => doc,
         Err(msg) => {
+            let invalid = metrics.kind("Invalid");
+            invalid.requests.inc();
+            invalid.errors.inc();
             return respond(
                 writer,
                 &proto::error_response(&json!(null), ErrorKind::BadRequest, &msg),
@@ -467,25 +546,37 @@ fn handle_frame(
     let req = match Request::parse(&doc) {
         Ok(req) => req,
         Err(msg) => {
+            let invalid = metrics.kind("Invalid");
+            invalid.requests.inc();
+            invalid.errors.inc();
             return respond(
                 writer,
                 &proto::error_response(&id, ErrorKind::BadRequest, &msg),
             );
         }
     };
+    let kind = req.kind();
+    metrics.kind(kind).requests.inc();
 
     match req {
         // Answered inline: must work even with a saturated queue.
-        Request::Ping => respond(writer, &proto::ok_response(&id, json!({"pong": true}))),
+        Request::Ping => {
+            let t0 = Instant::now();
+            respond(writer, &proto::ok_response(&id, json!({"pong": true})));
+            metrics.record_inline(kind, t0.elapsed());
+        }
         Request::Shutdown => {
+            let t0 = Instant::now();
             respond(
                 writer,
                 &proto::ok_response(&id, json!({"shutting_down": true})),
             );
+            metrics.record_inline(kind, t0.elapsed());
             signal.trigger();
         }
         req => {
             if signal.is_set() {
+                metrics.kind(kind).errors.inc();
                 return respond(
                     writer,
                     &proto::error_response(
@@ -499,10 +590,12 @@ fn handle_frame(
                 id: id.clone(),
                 req,
                 writer: writer.clone(),
+                enqueued: Instant::now(),
             }) {
                 Ok(()) => {}
                 Err(TrySendError::Full(job)) => {
                     counters.busy.fetch_add(1, Ordering::Relaxed);
+                    metrics.kind(kind).errors.inc();
                     respond(
                         writer,
                         &proto::error_response(
@@ -513,6 +606,7 @@ fn handle_frame(
                     );
                 }
                 Err(TrySendError::Disconnected(job)) => {
+                    metrics.kind(kind).errors.inc();
                     respond(
                         writer,
                         &proto::error_response(
@@ -537,7 +631,18 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, engine: &Engine<'_>) {
             Ok(job) => job,
             Err(_) => return, // channel closed and drained
         };
-        respond_text(&job.writer, &engine.answer(&job.id, &job.req));
+        engine
+            .metrics
+            .queue_wait
+            .record_duration(job.enqueued.elapsed());
+        let t0 = Instant::now();
+        let (text, is_error) = engine.answer(&job.id, &job.req);
+        // Service time is compute time: the response write is excluded so
+        // one stalled client can't skew every kind's latency histogram.
+        engine
+            .metrics
+            .record_served(job.req.kind(), t0.elapsed(), is_error);
+        respond_text(&job.writer, &text);
     }
 }
 
@@ -601,12 +706,15 @@ struct Engine<'s> {
     query: StoreQuery<'s>,
     store: &'s UrnStore,
     cache: QueryCache,
+    metrics: &'s ServerMetrics,
 }
 
 impl Engine<'_> {
     /// Answers one queued request, returning the full response envelope
-    /// as wire-ready text.
-    fn answer(&self, id: &Value, req: &Request) -> String {
+    /// as wire-ready text plus whether it carries an error (what the
+    /// worker feeds `server.errors.<kind>`; a batch envelope itself is
+    /// never an error — its sub-requests fail individually).
+    fn answer(&self, id: &Value, req: &Request) -> (String, bool) {
         let id_text = serde_json::to_string(id).expect("id serialize");
         match req {
             Request::Batch(subs) => {
@@ -619,11 +727,11 @@ impl Engine<'_> {
                     subs.iter().map(|doc| self.answer_sub(doc)),
                     BATCH_PAYLOAD_BUDGET,
                 );
-                proto::ok_envelope_text(&id_text, &payload)
+                (proto::ok_envelope_text(&id_text, &payload), false)
             }
             req => match self.answer_single(req) {
-                Ok(payload) => proto::ok_envelope_text(&id_text, &payload),
-                Err((kind, msg)) => proto::error_envelope_text(&id_text, kind, &msg),
+                Ok(payload) => (proto::ok_envelope_text(&id_text, &payload), false),
+                Err((kind, msg)) => (proto::error_envelope_text(&id_text, kind, &msg), true),
             },
         }
     }
@@ -749,6 +857,9 @@ impl Engine<'_> {
                     .map_err(store_err)?;
                 Ok(proto::tally_json(&tally, *samples))
             }
+            // Not deterministic (timings, uptime) — and correctly
+            // uncacheable: `Request::cache_key` returns `None` for it.
+            Request::Metrics => Ok(self.metrics.metrics_json()),
             Request::Stats { urn } => match urn {
                 Some(urn) => Ok(json!({
                     "id": urn.to_string(),

@@ -583,6 +583,7 @@ fn disabled_cache_recomputes_identical_bytes() {
             workers: 2,
             queue_depth: 16,
             cache_bytes: 0,
+            ..ServeOptions::default()
         },
     )
     .unwrap();
@@ -595,5 +596,201 @@ fn disabled_cache_recomputes_identical_bytes() {
     let report = server.join();
     assert_eq!(report.query_cache.misses, 2, "both requests recomputed");
     assert_eq!(report.query_cache.resident_bytes, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `Metrics` histogram counts equal the requests a client actually
+/// issued, kind by kind — the acceptance check of the observability
+/// layer. Error responses count as requests *and* errors.
+#[test]
+fn metrics_counts_match_issued_requests() {
+    let dir = workdir("metrics");
+    let store = seeded_store(&dir);
+    let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for _ in 0..2 {
+        client.request(&json!({"type": "Ping"})).unwrap();
+    }
+    for seed in 0..5u64 {
+        client
+            .request(&json!({"type": "NaiveEstimates", "urn": 0, "samples": 1_000, "seed": seed}))
+            .unwrap();
+    }
+    for seed in 0..3u64 {
+        client
+            .request(&json!({"type": "Sample", "urn": 0, "samples": 500, "seed": seed}))
+            .unwrap();
+    }
+    client.request(&json!({"type": "Stats"})).unwrap();
+    // One failing request: counted as a NaiveEstimates request and error.
+    client
+        .request(&json!({"type": "NaiveEstimates", "urn": 99, "samples": 10}))
+        .unwrap_err();
+
+    let ok = client.request(&json!({"type": "Metrics"})).unwrap();
+    let row = |kind: &str| {
+        ok.get("kinds")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|r| r.get("kind").unwrap().as_str() == Some(kind))
+            .unwrap_or_else(|| panic!("no {kind} row"))
+            .clone()
+    };
+    let count = |kind: &str| row(kind).get("count").unwrap().as_u64().unwrap();
+    let errors = |kind: &str| row(kind).get("errors").unwrap().as_u64().unwrap();
+    assert_eq!(count("Ping"), 2);
+    assert_eq!(count("NaiveEstimates"), 6);
+    assert_eq!(errors("NaiveEstimates"), 1);
+    assert_eq!(count("Sample"), 3);
+    assert_eq!(errors("Sample"), 0);
+    assert_eq!(count("Stats"), 1);
+    // The Metrics request itself was counted before its handler ran.
+    assert_eq!(count("Metrics"), 1);
+    // Quantiles are ordered and bounded by the exact max.
+    let ne = row("NaiveEstimates");
+    let q = |k: &str| ne.get(k).unwrap().as_u64().unwrap();
+    assert!(q("p50_us") <= q("p90_us") && q("p90_us") <= q("p99_us"));
+    assert!(q("p99_us") <= q("max_us").max(1));
+    // The queue-wait/service split saw every pooled request (Pings are
+    // answered inline and excluded). The Metrics job itself has recorded
+    // its queue wait but is still mid-service while it renders this.
+    let service = ok
+        .get("service")
+        .unwrap()
+        .get("count")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let waits = ok
+        .get("queue_wait")
+        .unwrap()
+        .get("count")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(waits, 11, "5+3 queries, Stats, the error, and Metrics");
+    assert_eq!(service, 10, "everything but the in-flight Metrics job");
+    // The Prometheus text covers the whole stack, store counters included.
+    let text = ok.get("text").unwrap().as_str().unwrap().to_string();
+    for needle in [
+        "motivo_server_requests_naiveestimates 6",
+        "motivo_server_latency_sample_us_count 3",
+        "motivo_store_lru_hits",
+        "quantile=\"0.99\"",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let report = server.join();
+    // The report carries the same per-kind rows...
+    let ne_report = report
+        .per_kind
+        .iter()
+        .find(|r| r.kind == "NaiveEstimates")
+        .unwrap();
+    assert_eq!((ne_report.count, ne_report.errors), (6, 1));
+    // ...as does the flushed server-stats.json.
+    let stats: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(report.stats_path.unwrap()).unwrap())
+            .unwrap();
+    let per_kind = stats.get("per_kind").unwrap().as_array().unwrap();
+    assert!(per_kind
+        .iter()
+        .any(|r| r.get("kind").unwrap().as_str() == Some("Sample")
+            && r.get("count").unwrap().as_u64() == Some(3)));
+    // The final metrics snapshot landed next to it, as valid JSON.
+    let metrics_path = report.metrics_path.expect("final snapshot written");
+    assert!(metrics_path
+        .file_name()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .starts_with("metrics-"));
+    let snap: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert!(snap.get("histograms").is_some(), "{snap:?}");
+    assert!(snap.get("counters").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Instrumentation is a side channel: with the result cache disabled so
+/// every request recomputes, seeded responses stay byte-identical at 1,
+/// 2, and 8 sampling threads.
+#[test]
+fn instrumented_responses_stay_deterministic_across_threads() {
+    let dir = workdir("obs-determinism");
+    let store = seeded_store(&dir);
+    let server = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            cache_bytes: 0, // force a real recompute per request
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut bodies = Vec::new();
+    for threads in [1u64, 2, 8] {
+        let reqs = [
+            json!({"type": "NaiveEstimates", "urn": 0, "samples": 3_000, "seed": 11, "threads": threads}),
+            json!({"type": "Ags", "urn": 0, "max_samples": 3_000, "seed": 11, "threads": threads}),
+        ];
+        for req in reqs {
+            let ok = client.request(&req).unwrap();
+            bodies.push(serde_json::to_string(&ok).unwrap());
+        }
+    }
+    for i in 1..3 {
+        assert_eq!(bodies[0], bodies[2 * i], "NaiveEstimates diverged");
+        assert_eq!(bodies[1], bodies[2 * i + 1], "Ags diverged");
+    }
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Periodic snapshots: with `snapshot_secs: 1` a long-enough serve window
+/// leaves at least one periodic file *plus* the final shutdown snapshot.
+#[test]
+fn periodic_metrics_snapshots_are_written() {
+    let dir = workdir("snapshots");
+    let store = seeded_store(&dir);
+    let server = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            snapshot_secs: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.request(&json!({"type": "Ping"})).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(1400));
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let report = server.join();
+    assert!(report.metrics_path.is_some());
+    let snapshots: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_str().unwrap_or("");
+            name.starts_with("metrics-") && name.ends_with(".json")
+        })
+        .collect();
+    assert!(snapshots.len() >= 2, "periodic + final, got {snapshots:?}");
+    // No temp litter from the atomic writes.
+    assert!(!std::fs::read_dir(&dir).unwrap().any(|e| e
+        .unwrap()
+        .file_name()
+        .to_str()
+        .unwrap_or("")
+        .ends_with(".tmp")));
     std::fs::remove_dir_all(&dir).ok();
 }

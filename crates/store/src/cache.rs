@@ -3,6 +3,7 @@
 //! `Arc`s, so eviction never invalidates an urn a query is still using —
 //! it only drops the cache's reference.
 
+use motivo_obs::{Counter, Registry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -37,6 +38,16 @@ pub struct UrnCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Mirrors of the counters above in an [`motivo_obs::Registry`]
+    /// (`store.lru.*`), when one is attached.
+    obs: Option<CacheObs>,
+}
+
+struct CacheObs {
+    hits: Counter,
+    misses: Counter,
+    admissions: Counter,
+    evictions: Counter,
 }
 
 impl UrnCache {
@@ -50,7 +61,20 @@ impl UrnCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            obs: None,
         }
+    }
+
+    /// Mirrors hit/miss/admission/eviction counts into `registry` under
+    /// `store.lru.*`.
+    pub fn with_obs(mut self, registry: &Registry) -> UrnCache {
+        self.obs = Some(CacheObs {
+            hits: registry.counter("store.lru.hits"),
+            misses: registry.counter("store.lru.misses"),
+            admissions: registry.counter("store.lru.admissions"),
+            evictions: registry.counter("store.lru.evictions"),
+        });
+        self
     }
 
     /// The configured budget.
@@ -66,10 +90,16 @@ impl UrnCache {
             Some(e) => {
                 e.last_used = self.tick;
                 self.hits += 1;
+                if let Some(obs) = &self.obs {
+                    obs.hits.inc();
+                }
                 Some(e.urn.clone())
             }
             None => {
                 self.misses += 1;
+                if let Some(obs) = &self.obs {
+                    obs.misses.inc();
+                }
                 None
             }
         }
@@ -101,6 +131,9 @@ impl UrnCache {
                 last_used: self.tick,
             },
         );
+        if let Some(obs) = &self.obs {
+            obs.admissions.inc();
+        }
         while self.resident_bytes() > self.budget_bytes {
             let coldest = self
                 .entries
@@ -112,6 +145,9 @@ impl UrnCache {
                 Some(eid) => {
                     self.entries.remove(&eid);
                     self.evictions += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.evictions.inc();
+                    }
                 }
                 None => break, // only the new entry left; keep it
             }

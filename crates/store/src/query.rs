@@ -14,6 +14,7 @@ use motivo_core::{
     ags, naive_estimates, sample_tally, AgsConfig, AgsResult, Estimates, SampleConfig,
 };
 use motivo_graphlet::GraphletRegistry;
+use motivo_obs::{Histogram, HistogramSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -35,14 +36,35 @@ pub struct QueryStats {
     pub cache_misses: u64,
     /// Total wall-clock spent answering (load + sampling).
     pub total_latency: Duration,
+    /// Median per-query latency (log-bucket histogram estimate, ≤ 12.5%
+    /// relative error — see `motivo_obs::Histogram`).
+    pub p50_latency: Duration,
+    /// 90th-percentile latency (same estimator).
+    pub p90_latency: Duration,
+    /// 99th-percentile latency (same estimator).
+    pub p99_latency: Duration,
+    /// Exact maximum observed latency.
+    pub max_latency: Duration,
 }
 
 impl QueryStats {
-    fn absorb(&mut self, other: &QueryStats) {
-        self.queries += other.queries;
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
-        self.total_latency += other.total_latency;
+    fn from_counts(
+        queries: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        total_latency: Duration,
+        hist: &HistogramSnapshot,
+    ) -> QueryStats {
+        QueryStats {
+            queries,
+            cache_hits,
+            cache_misses,
+            total_latency,
+            p50_latency: Duration::from_nanos(hist.quantile(0.5)),
+            p90_latency: Duration::from_nanos(hist.quantile(0.9)),
+            p99_latency: Duration::from_nanos(hist.quantile(0.99)),
+            max_latency: Duration::from_nanos(hist.max),
+        }
     }
 
     /// Mean latency per query.
@@ -64,6 +86,10 @@ struct StatsCell {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     latency_nanos: AtomicU64,
+    /// Per-urn latency distribution: a lock-free log-bucket histogram, so
+    /// `per_urn_stats` reports p50/p99 instead of just a mean. Same
+    /// relaxed-atomic discipline as the counters above.
+    latency_hist: Histogram,
 }
 
 impl StatsCell {
@@ -76,15 +102,17 @@ impl StatsCell {
         }
         self.latency_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.latency_hist.record_duration(elapsed);
     }
 
     fn snapshot(&self) -> QueryStats {
-        QueryStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            total_latency: Duration::from_nanos(self.latency_nanos.load(Ordering::Relaxed)),
-        }
+        QueryStats::from_counts(
+            self.queries.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+            Duration::from_nanos(self.latency_nanos.load(Ordering::Relaxed)),
+            &self.latency_hist.snapshot(),
+        )
     }
 }
 
@@ -239,13 +267,21 @@ impl<'s> StoreQuery<'s> {
         rows
     }
 
-    /// Counters summed over every urn served.
+    /// Counters summed over every urn served. Latency quantiles come from
+    /// merging the per-urn histograms (merge is exact: the bucket layout
+    /// is global), not from averaging per-urn quantiles.
     pub fn total_stats(&self) -> QueryStats {
         let stats = self.stats.read().expect("query stats poisoned");
-        let mut total = QueryStats::default();
+        let (mut queries, mut hits, mut misses) = (0u64, 0u64, 0u64);
+        let mut latency = Duration::ZERO;
+        let mut hist = HistogramSnapshot::empty();
         for cell in stats.values() {
-            total.absorb(&cell.snapshot());
+            queries += cell.queries.load(Ordering::Relaxed);
+            hits += cell.cache_hits.load(Ordering::Relaxed);
+            misses += cell.cache_misses.load(Ordering::Relaxed);
+            latency += Duration::from_nanos(cell.latency_nanos.load(Ordering::Relaxed));
+            hist.merge(&cell.latency_hist.snapshot());
         }
-        total
+        QueryStats::from_counts(queries, hits, misses, latency, &hist)
     }
 }

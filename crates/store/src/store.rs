@@ -15,6 +15,7 @@
 
 use motivo_core::{build_urn, graph_fingerprint, load_urn, save_urn, BuildConfig};
 use motivo_graph::{io as graph_io, Graph};
+use motivo_obs::{Counter, Histogram, Obs, Registry};
 use motivo_table::storage::StorageKind;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -76,6 +77,10 @@ struct State {
     /// Loaded host graphs by fingerprint (separate from the urn cache:
     /// several urns share one graph).
     graphs: HashMap<u64, Arc<Graph>>,
+    /// `store.journal.appends` counter.
+    journal_appends: Counter,
+    /// `store.journal.append` latency histogram.
+    journal_append_hist: Arc<Histogram>,
 }
 
 impl State {
@@ -84,7 +89,10 @@ impl State {
     /// fails — readers must not see an urn stuck pending — and the error
     /// is reported to the caller.
     fn commit(&mut self, rec: &ManifestRecord) -> Result<(), StoreError> {
+        let t0 = Instant::now();
         let res = self.journal.append(&rec.encode());
+        self.journal_appends.inc();
+        self.journal_append_hist.record_duration(t0.elapsed());
         self.manifest.apply(rec);
         res
     }
@@ -94,6 +102,11 @@ struct Inner {
     dir: PathBuf,
     state: Mutex<State>,
     built: Condvar,
+    /// The store's metric registry: journal, cache, build, and query
+    /// metrics all land here, and a server wrapping this store registers
+    /// its per-request metrics in the same registry so one `Metrics`
+    /// rendering covers the full stack.
+    obs: Arc<Registry>,
 }
 
 impl Inner {
@@ -223,15 +236,19 @@ impl UrnStore {
             torn_journal_bytes: replay.truncated_bytes,
         };
 
+        let obs = Arc::new(Registry::new());
         let inner = Arc::new(Inner {
             dir,
             state: Mutex::new(State {
                 manifest,
                 journal,
-                cache: UrnCache::new(opts.cache_bytes),
+                cache: UrnCache::new(opts.cache_bytes).with_obs(&obs),
                 graphs: HashMap::new(),
+                journal_appends: obs.counter("store.journal.appends"),
+                journal_append_hist: obs.histogram("store.journal.append"),
             }),
             built: Condvar::new(),
+            obs,
         });
 
         let (tx, rx) = mpsc::channel();
@@ -253,6 +270,14 @@ impl UrnStore {
     /// What recovery found when this store was opened.
     pub fn recovery_report(&self) -> RecoveryReport {
         self.recovery
+    }
+
+    /// The store's metric registry. Journal appends, LRU admissions and
+    /// evictions, and background build/persist spans report here; attach
+    /// it to sampling configs (or a server) to fold the whole stack's
+    /// metrics into one rendering.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.inner.obs
     }
 
     /// The store's root directory.
@@ -399,15 +424,16 @@ impl UrnStore {
     /// at shutdown — but owning the write here keeps every file under the
     /// store directory written by the store itself.
     pub fn flush_stats(&self, body: &[u8]) -> Result<PathBuf, StoreError> {
-        let path = self.inner.dir.join("server-stats.json");
-        let tmp = path.with_extension("json.new");
-        {
-            use std::io::Write;
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(body)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, &path)?;
+        self.write_sidecar("server-stats.json", body)
+    }
+
+    /// Writes an arbitrary sidecar file into the store directory through
+    /// the shared atomic temp-file+rename helper ([`motivo_obs::atomic_write`]).
+    /// Used for `server-stats.json` and the periodic `metrics-<ts>.json`
+    /// snapshots; a crash mid-write never shadows a previous good file.
+    pub fn write_sidecar(&self, name: &str, body: &[u8]) -> Result<PathBuf, StoreError> {
+        let path = self.inner.dir.join(name);
+        motivo_obs::atomic_write(&path, body)?;
         Ok(path)
     }
 
@@ -517,6 +543,7 @@ fn worker_loop(inner: Arc<Inner>, rx: mpsc::Receiver<Job>, build_threads: usize)
         // every future request for the same key. Catch, record a failure,
         // and keep draining the queue.
         let dir_for_build = dir.clone();
+        let obs = Obs::enabled(inner.obs.clone());
         let outcome: Result<(u64, u64), StoreError> =
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
                 std::fs::create_dir_all(&dir_for_build)?;
@@ -525,8 +552,18 @@ fn worker_loop(inner: Arc<Inner>, rx: mpsc::Receiver<Job>, build_threads: usize)
                     dir: dir_for_build.clone(),
                 };
                 cfg.threads = build_threads;
-                let urn = build_urn(graph.as_ref(), &cfg)?;
-                save_urn(&urn, &dir_for_build)?;
+                // Build-phase spans and the encode histogram land in the
+                // store's registry (a side channel only — the urn bytes
+                // are identical with or without it).
+                cfg.obs = obs.clone();
+                let urn = {
+                    let _span = obs.span("store.build");
+                    build_urn(graph.as_ref(), &cfg)?
+                };
+                {
+                    let _span = obs.span("store.persist");
+                    save_urn(&urn, &dir_for_build)?;
+                }
                 let st = urn.build_stats();
                 Ok((st.table_bytes as u64, st.records as u64))
             })) {

@@ -34,7 +34,7 @@ use motivo::table::{CountTable, RecordCodec};
 use std::process::exit;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|sample|store|table|serve|client> [args]\n\
+const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|sample|store|table|serve|client|stats> [args]\n\
      \n\
      generate --model ba|er|hub|yelp|lollipop --nodes N [--param P] [--seed S] --out FILE\n\
      convert  <edges.txt> <out.mtvg>\n\
@@ -54,8 +54,9 @@ const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|samp
               [--threads T] [--top N]\n\
      store    gc --store DIR\n\
      serve    --store DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
-              [--cache-bytes N]\n\
-     client   <addr> <request-json|-> [--batch]";
+              [--cache-bytes N] [--snapshot-secs N]\n\
+     client   <addr> <request-json|-> [--batch]\n\
+     stats    <addr> [--raw]";
 
 fn main() {
     // Piping into `head` closes stdout early; die quietly instead of
@@ -81,6 +82,7 @@ fn main() {
         Some("table") => cmd_table(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             exit(2);
@@ -677,7 +679,14 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
         args,
-        &["store", "addr", "workers", "queue", "cache-bytes"],
+        &[
+            "store",
+            "addr",
+            "workers",
+            "queue",
+            "cache-bytes",
+            "snapshot-secs",
+        ],
         &[],
     )?;
     let store = open_store(&o)?;
@@ -686,6 +695,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         workers: o.get_or("workers", 4)?,
         queue_depth: o.get_or("queue", 0)?,
         cache_bytes: o.get_or("cache-bytes", motivo::server::DEFAULT_CACHE_BYTES)?,
+        snapshot_secs: o.get_or("snapshot-secs", 0)?,
     };
     let server = Server::bind(Arc::new(store), addr.as_str(), opts)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -756,6 +766,82 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             .and_then(|m| m.as_str().map(str::to_string))
             .unwrap_or_default();
         return Err(format!("server answered [{kind}]: {message}"));
+    }
+    Ok(())
+}
+
+/// Sends a `Metrics` request to a running daemon and pretty-prints the
+/// per-request-kind table (count, qps, latency quantiles, errors).
+/// `--raw` dumps the server's Prometheus-style text body instead.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[], &["raw"])?;
+    let [addr] = &o.positional[..] else {
+        return Err("usage: stats <addr> [--raw]".into());
+    };
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let ok = client
+        .request(&serde_json::json!({"type": "Metrics"}))
+        .map_err(|e| format!("Metrics request failed: {e}"))?;
+    let field =
+        |v: &serde_json::Value, key: &str| v.get(key).and_then(|f| f.as_u64()).unwrap_or_default();
+    if o.has("raw") {
+        let text = ok
+            .get("text")
+            .and_then(|t| t.as_str().map(str::to_string))
+            .ok_or("response carries no `text` body")?;
+        print!("{text}");
+        return Ok(());
+    }
+    let uptime = ok
+        .get("uptime_secs")
+        .and_then(|u| u.as_f64())
+        .unwrap_or_default();
+    println!("uptime: {uptime:.1}s");
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "kind", "count", "qps", "p50_us", "p90_us", "p99_us", "max_us", "errors"
+    );
+    let kinds = ok
+        .get("kinds")
+        .and_then(|k| k.as_array())
+        .ok_or("response carries no `kinds` table")?;
+    // Rows arrive sorted by kind name; re-sort by count descending so the
+    // hottest request type tops the table.
+    let mut rows = kinds;
+    rows.sort_by_key(|r| std::cmp::Reverse(field(r, "count")));
+    for row in &rows {
+        let count = field(row, "count");
+        let qps = if uptime > 0.0 {
+            count as f64 / uptime
+        } else {
+            0.0
+        };
+        println!(
+            "{:<16} {:>8} {:>9.2} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            row.get("kind")
+                .and_then(|k| k.as_str().map(str::to_string))
+                .unwrap_or_else(|| "?".into()),
+            count,
+            qps,
+            field(row, "p50_us"),
+            field(row, "p90_us"),
+            field(row, "p99_us"),
+            field(row, "max_us"),
+            field(row, "errors"),
+        );
+    }
+    for key in ["queue_wait", "service"] {
+        if let Some(h) = ok.get(key) {
+            println!(
+                "{key}: count {} mean {}us p50 {}us p99 {}us max {}us",
+                field(&h, "count"),
+                field(&h, "mean_us"),
+                field(&h, "p50_us"),
+                field(&h, "p99_us"),
+                field(&h, "max_us"),
+            );
+        }
     }
     Ok(())
 }

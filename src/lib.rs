@@ -53,12 +53,14 @@
 //! | [`baseline`] | the pointer-based CC port the paper compares against |
 //! | [`store`] | crash-safe urn repository: journal, LRU cache, query service |
 //! | [`server`] | TCP query daemon over a store: worker pool, backpressure, wire client |
+//! | [`obs`] | metrics & tracing: counters, latency histograms, spans, Prometheus text |
 
 pub use cc_baseline as baseline;
 pub use motivo_core as core;
 pub use motivo_exact as exact;
 pub use motivo_graph as graph;
 pub use motivo_graphlet as graphlet;
+pub use motivo_obs as obs;
 pub use motivo_server as server;
 pub use motivo_store as store;
 pub use motivo_table as table;
@@ -73,6 +75,7 @@ pub mod prelude {
     };
     pub use crate::graph::{ColorDistribution, Coloring, Graph};
     pub use crate::graphlet::{Graphlet, GraphletRegistry};
+    pub use crate::obs::{Histogram, Registry};
     pub use crate::server::{Client, ClientError, ServeOptions, ServeReport, Server};
     pub use crate::store::{StoreError, StoreQuery, UrnId, UrnStore};
     pub use crate::table::storage::StorageKind;

@@ -398,3 +398,55 @@ fn missing_required_flag_fails() {
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `motivo stats <addr>` renders the per-kind latency table from a live
+/// daemon, and `--raw` dumps the Prometheus-style text body.
+#[test]
+fn stats_command_reports_per_kind_latencies() {
+    use std::io::BufRead;
+
+    let dir = workdir("stats");
+    let g = dir.join("g.mtvg");
+    run(motivo()
+        .args([
+            "generate", "--model", "ba", "--nodes", "200", "--param", "3", "--seed", "5",
+        ])
+        .arg("--out")
+        .arg(&g));
+    let store = dir.join("store");
+    let mut build = motivo();
+    build.args(["store", "build"]).arg(&g).args(["-k", "4"]);
+    run(build.arg("--store").arg(&store));
+
+    let mut serve = motivo()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .arg("--store")
+        .arg(&store)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut lines = std::io::BufReader::new(serve.stdout.take().unwrap()).lines();
+    let first = lines.next().expect("serve banner").unwrap();
+    let addr = first
+        .strip_prefix("listening on ")
+        .expect(&first)
+        .to_string();
+
+    for seed in 0..3 {
+        let req = format!(r#"{{"type":"Sample","urn":0,"samples":500,"seed":{seed}}}"#);
+        run(motivo().args(["client", &addr, &req]));
+    }
+    let table = run(motivo().args(["stats", &addr]));
+    assert!(table.contains("uptime:"), "{table}");
+    assert!(table.contains("Sample"), "{table}");
+    assert!(table.contains("p99_us"), "{table}");
+    assert!(table.contains("service: count"), "{table}");
+    let raw = run(motivo().args(["stats", &addr, "--raw"]));
+    assert!(raw.contains("motivo_server_requests_sample 3"), "{raw}");
+    assert!(raw.contains("# TYPE"), "{raw}");
+
+    run(motivo().args(["client", &addr, r#"{"type":"Shutdown"}"#]));
+    let status = serve.wait().expect("serve exits");
+    assert!(status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

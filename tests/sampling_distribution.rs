@@ -122,6 +122,7 @@ fn buffered_tallies_match_unbuffered() {
             buffer_threshold: 256,
             buffer_batch: 100,
             threads: 1,
+            ..SampleConfig::default()
         };
         let est = naive_estimates(&urn, &mut reg, 40_000, &cfg);
         let m: HashMap<u128, f64> = est
