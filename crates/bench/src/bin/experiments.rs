@@ -805,6 +805,7 @@ fn ci(ctx: &Ctx) {
     };
 
     let serving = ci_serving_rates(&g, ctx);
+    let repl = ci_replication(&g, ctx);
 
     let bits_per_node = st.table_bytes as f64 * 8.0 / g.num_nodes() as f64;
     let succinct_bytes = succinct_table_bytes(&urn);
@@ -844,6 +845,14 @@ fn ci(ctx: &Ctx) {
                     serving.cache_hit_p50_us, serving.cache_hit_p99_us
                 ),
             ],
+            vec![
+                "replica catch-up secs (2 replicas)".into(),
+                format!("{:.3}", repl.replica_catchup_secs),
+            ],
+            vec![
+                "replicated read qps".into(),
+                format!("{:.0}", repl.replicated_read_qps),
+            ],
         ],
     );
     ctx.save_json(
@@ -867,6 +876,8 @@ fn ci(ctx: &Ctx) {
             "serve_p99_us": serving.serve_p99_us,
             "cache_hit_p50_us": serving.cache_hit_p50_us,
             "cache_hit_p99_us": serving.cache_hit_p99_us,
+            "replica_catchup_secs": repl.replica_catchup_secs,
+            "replicated_read_qps": repl.replicated_read_qps,
             "determinism": "ok",
         }),
     );
@@ -989,5 +1000,162 @@ fn ci_serving_rates(g: &motivo_graph::Graph, ctx: &Ctx) -> CiServing {
         serve_p99_us: cold.quantile(0.99) / 1_000,
         cache_hit_p50_us: hit.quantile(0.5) / 1_000,
         cache_hit_p99_us: hit.quantile(0.99) / 1_000,
+    }
+}
+
+/// What the replication phase measured.
+struct CiReplication {
+    replica_catchup_secs: f64,
+    replicated_read_qps: f64,
+}
+
+/// Replicated serving over loopback: a leader plus two empty replicas.
+/// `replica_catchup_secs` is the wall-clock for both replicas to
+/// bootstrap the sealed urn off the leader and report caught-up;
+/// `replicated_read_qps` then drives distinct-seed estimate reads
+/// round-robin across the replicas, asserting every response is
+/// byte-identical to the leader's for the same seed (the determinism
+/// guarantee replication rests on). Single blocking client per server, so
+/// the rate is a latency-bound round trip, comparable to `serve_qps`.
+fn ci_replication(g: &motivo_graph::Graph, ctx: &Ctx) -> CiReplication {
+    use motivo_server::{Client, ServeOptions, Server};
+    use motivo_store::UrnStore;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let base = std::env::temp_dir().join(format!("motivo-bench-repl-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let leader_dir = base.join("leader");
+    std::fs::create_dir_all(&leader_dir).expect("leader dir");
+    let store = Arc::new(UrnStore::open(&leader_dir).expect("open leader store"));
+    let handle = store
+        .build_or_get(
+            g,
+            &BuildConfig {
+                threads: ctx.threads,
+                ..BuildConfig::new(4)
+            }
+            .seed(3),
+        )
+        .expect("enqueue leader build");
+    handle.wait().expect("leader build");
+    let leader = Server::bind(
+        store,
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            queue_depth: 64,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind leader");
+
+    let spawn_replica = |i: usize| {
+        let dir = base.join(format!("replica-{i}"));
+        std::fs::create_dir_all(&dir).expect("replica dir");
+        let store =
+            Arc::new(UrnStore::open_replica(&dir, Default::default()).expect("open replica store"));
+        Server::bind(
+            store,
+            "127.0.0.1:0",
+            ServeOptions {
+                workers: 2,
+                queue_depth: 64,
+                replica_of: Some(leader.addr().to_string()),
+                repl_poll_ms: 25,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("bind replica")
+    };
+    let replicas = [spawn_replica(0), spawn_replica(1)];
+
+    // Catch-up: both replicas from empty to caught-up with the urn built,
+    // observed through their own `ReplStatus`.
+    let t0 = Instant::now();
+    let mut clients: Vec<Client> = replicas
+        .iter()
+        .map(|r| Client::connect(r.addr()).expect("connect replica"))
+        .collect();
+    for client in &mut clients {
+        loop {
+            let status = client
+                .request(&json!({"type": "ReplStatus"}))
+                .expect("repl status");
+            let caught = status
+                .get("sync")
+                .map(|s| {
+                    s.get("connected").and_then(|v| v.as_bool()) == Some(true)
+                        && s.get("caught_up").and_then(|v| v.as_bool()) == Some(true)
+                })
+                .unwrap_or(false);
+            if caught {
+                let urns = client
+                    .request(&json!({"type": "ListUrns"}))
+                    .expect("list urns");
+                let built = urns
+                    .get("urns")
+                    .and_then(|u| u.as_array())
+                    .map(|rows| {
+                        rows.iter()
+                            .filter(|r| {
+                                r.get("status")
+                                    .map(|s| s.as_str() == Some("built"))
+                                    .unwrap_or(false)
+                            })
+                            .count()
+                    })
+                    .unwrap_or(0);
+                if built == 1 {
+                    break;
+                }
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(120),
+                "replica catch-up timed out"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let replica_catchup_secs = t0.elapsed().as_secs_f64();
+
+    // Replicated reads: the leader's bytes are the reference; each seed's
+    // response from a replica must match them exactly.
+    let mut leader_client = Client::connect(leader.addr()).expect("connect leader");
+    let request = |client: &mut Client, seed: u64| {
+        let ok = client
+            .request(&json!({
+                "type": "NaiveEstimates", "urn": 0, "samples": 2_000, "seed": seed,
+            }))
+            .expect("replicated read");
+        serde_json::to_string(&ok).expect("serialize")
+    };
+    let rounds = 48u64;
+    let expected: Vec<String> = (0..rounds)
+        .map(|s| request(&mut leader_client, s))
+        .collect();
+    let t0 = Instant::now();
+    for seed in 0..rounds {
+        let got = request(&mut clients[(seed % 2) as usize], seed);
+        assert_eq!(
+            got, expected[seed as usize],
+            "replica bytes diverged from leader at seed {seed}"
+        );
+    }
+    let replicated_read_qps = rounds as f64 / t0.elapsed().as_secs_f64();
+
+    drop(clients);
+    drop(leader_client);
+    for r in replicas {
+        // Replicas refuse a wire `Shutdown` (read-only); stop in-process.
+        r.shutdown();
+        r.join();
+    }
+    leader.shutdown();
+    leader.join();
+    std::fs::remove_dir_all(&base).ok();
+    CiReplication {
+        replica_catchup_secs,
+        replicated_read_qps,
     }
 }

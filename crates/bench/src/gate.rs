@@ -49,6 +49,8 @@ pub const TIMING_FIELDS: &[&str] = &[
     "samples_per_sec",
     "serve_qps",
     "cache_hit_qps",
+    "replica_catchup_secs",
+    "replicated_read_qps",
 ];
 
 /// Serving latency quantiles, in microseconds, compared as ratios under
@@ -213,6 +215,7 @@ mod tests {
             "tally_checksum": "a1b2c3d4", "determinism": "ok",
             "build_secs": 1.0, "sample_secs": 0.5, "samples_per_sec": 100000.0,
             "serve_qps": 800.0, "cache_hit_qps": 5000.0,
+            "replica_catchup_secs": 0.8, "replicated_read_qps": 700.0,
             "serve_p50_us": 60000.0, "serve_p99_us": 80000.0,
             "cache_hit_p50_us": 150.0, "cache_hit_p99_us": 900.0,
         })

@@ -31,6 +31,14 @@
 //!   returns the quantile table and a Prometheus-style text rendering;
 //!   `ServeOptions::snapshot_secs` adds periodic JSON snapshots under the
 //!   store directory.
+//! - **Replication** ([`repl`]): leader/replica serving over the same
+//!   wire protocol. A server started with `ServeOptions::replica_of`
+//!   tails the leader's journal into a read-only local store (mutations
+//!   answer `ReadOnly`), bootstraps from its manifest snapshot, fetches
+//!   sealed urn files it is missing, and — because responses are
+//!   byte-deterministic — serves **identical** bytes to the leader once
+//!   caught up. `ReplStatus` reports role, offsets, and per-replica lag;
+//!   `Promote` turns a replica into a leader (see DESIGN.md §8).
 //!
 //! Determinism is preserved across the wire: a request carrying a seed
 //! produces byte-identical estimate payloads to the equivalent in-process
@@ -58,10 +66,11 @@ pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod proto;
+pub mod repl;
 pub mod server;
 
 pub use cache::{QueryCache, QueryCacheStats, Served};
 pub use client::{Client, ClientError};
 pub use metrics::{KindStats, ServerMetrics};
-pub use proto::{ErrorKind, Request};
+pub use proto::{ErrorKind, ReplTarget, Request};
 pub use server::{ServeOptions, ServeReport, Server, DEFAULT_CACHE_BYTES};

@@ -25,7 +25,7 @@ use std::time::Duration;
 
 /// The closed set of kind labels: every wire request type, plus
 /// `Invalid` for frames that never parsed into a request.
-pub const KINDS: [&str; 11] = [
+pub const KINDS: [&str; 17] = [
     "Ags",
     "Batch",
     "Build",
@@ -34,6 +34,12 @@ pub const KINDS: [&str; 11] = [
     "Metrics",
     "NaiveEstimates",
     "Ping",
+    "Promote",
+    "ReplFetch",
+    "ReplFile",
+    "ReplFiles",
+    "ReplManifest",
+    "ReplStatus",
     "Sample",
     "Shutdown",
     "Stats",

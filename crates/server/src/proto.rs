@@ -119,8 +119,53 @@ pub enum Request {
     /// Responses come back in request order.
     Batch(Vec<Value>),
     /// Graceful shutdown: stop accepting, drain in-flight requests, flush
-    /// store stats, exit. Answered inline like `Ping`.
+    /// store stats, exit. Answered inline like `Ping`. Refused with
+    /// [`ErrorKind::ReadOnly`] on a replica — a replica's lifecycle belongs
+    /// to its operator (or a `Promote`), not to arbitrary wire peers.
     Shutdown,
+    /// Replication pull (replica → leader): journal frames from `offset`
+    /// onward. `prefix_crc` is the CRC32 of the replica's own journal
+    /// bytes and `log_id` the CRC32 of the manifest snapshot it
+    /// bootstrapped from; the leader flags the fetch `stale` unless both
+    /// prove the replica's log is a byte prefix of the same lineage.
+    ReplFetch {
+        replica: String,
+        offset: u64,
+        prefix_crc: u32,
+        log_id: u32,
+    },
+    /// Replication bootstrap: the leader's raw `MANIFEST` snapshot bytes.
+    ReplManifest,
+    /// Replication file inventory (name/len/crc per file) for one urn
+    /// directory or one cached graph, so a replica fetches only what it is
+    /// missing. `replica` (optional) attributes the traffic in `ReplStatus`.
+    ReplFiles {
+        target: ReplTarget,
+        replica: Option<String>,
+    },
+    /// One chunk of a sealed urn or graph file, hex-encoded.
+    ReplFile {
+        target: ReplTarget,
+        name: String,
+        offset: u64,
+        replica: Option<String>,
+    },
+    /// Replication health: role, journal offset, log id, and (on a
+    /// leader) per-replica lag; (on a replica) sync-loop status.
+    ReplStatus,
+    /// Turn a replica into a leader: clear the read-only gate, sweep
+    /// builds the dead leader left unfinished, stop the sync loop.
+    /// `BadRequest` on a server that is already a leader.
+    Promote,
+}
+
+/// What a [`Request::ReplFiles`]/[`Request::ReplFile`] request addresses:
+/// one urn's directory of sealed table files, or one graph cached by
+/// fingerprint in the store's `graphs/` directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplTarget {
+    Urn(UrnId),
+    Graph(u64),
 }
 
 fn get_u64(v: &Value, key: &str, default: u64) -> Result<u64, String> {
@@ -147,6 +192,34 @@ fn get_urn(v: &Value) -> Result<UrnId, String> {
         .and_then(|s| s.strip_prefix("urn-").unwrap_or(s).parse().ok())
         .map(UrnId)
         .ok_or_else(|| "`urn` must be an id number or \"urn-N\"".to_string())
+}
+
+fn get_u32(v: &Value, key: &str) -> Result<u32, String> {
+    get_u64(v, key, 0)?
+        .try_into()
+        .map_err(|_| format!("`{key}` must fit in 32 bits"))
+}
+
+fn get_repl_target(v: &Value) -> Result<ReplTarget, String> {
+    match (v.get("urn"), v.get("graph")) {
+        (Some(_), None) => Ok(ReplTarget::Urn(get_urn(v)?)),
+        (None, Some(g)) => g
+            .as_str()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .map(ReplTarget::Graph)
+            .ok_or_else(|| "`graph` must be a 16-hex-digit fingerprint".to_string()),
+        _ => Err("exactly one of `urn` or `graph` is required".to_string()),
+    }
+}
+
+fn get_opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("`{key}` must be a string")),
+    }
 }
 
 impl Request {
@@ -236,6 +309,31 @@ impl Request {
                 Request::Batch(subs)
             }
             "Shutdown" => Request::Shutdown,
+            "ReplFetch" => Request::ReplFetch {
+                replica: v
+                    .get("replica")
+                    .and_then(|r| r.as_str().map(str::to_string))
+                    .ok_or("`replica` (the replica's name) is required")?,
+                offset: get_u64(v, "offset", 0)?,
+                prefix_crc: get_u32(v, "prefix_crc")?,
+                log_id: get_u32(v, "log_id")?,
+            },
+            "ReplManifest" => Request::ReplManifest,
+            "ReplFiles" => Request::ReplFiles {
+                target: get_repl_target(v)?,
+                replica: get_opt_str(v, "replica")?,
+            },
+            "ReplFile" => Request::ReplFile {
+                target: get_repl_target(v)?,
+                name: v
+                    .get("name")
+                    .and_then(|n| n.as_str().map(str::to_string))
+                    .ok_or("`name` (the file name) is required")?,
+                offset: get_u64(v, "offset", 0)?,
+                replica: get_opt_str(v, "replica")?,
+            },
+            "ReplStatus" => Request::ReplStatus,
+            "Promote" => Request::Promote,
             other => return Err(format!("unknown request type `{other}`")),
         };
         Ok(req)
@@ -313,6 +411,12 @@ impl Request {
             Request::Build { .. } => "Build",
             Request::Batch(_) => "Batch",
             Request::Shutdown => "Shutdown",
+            Request::ReplFetch { .. } => "ReplFetch",
+            Request::ReplManifest => "ReplManifest",
+            Request::ReplFiles { .. } => "ReplFiles",
+            Request::ReplFile { .. } => "ReplFile",
+            Request::ReplStatus => "ReplStatus",
+            Request::Promote => "Promote",
         }
     }
 
@@ -341,6 +445,9 @@ pub enum ErrorKind {
     UnknownUrn,
     /// The urn exists but is not (yet) built.
     NotBuilt,
+    /// The server is a read-only replica; send mutations to its leader
+    /// (or promote it first).
+    ReadOnly,
     /// Any other store-side failure.
     Store,
 }
@@ -353,6 +460,7 @@ impl ErrorKind {
             ErrorKind::BadRequest => "BadRequest",
             ErrorKind::UnknownUrn => "UnknownUrn",
             ErrorKind::NotBuilt => "NotBuilt",
+            ErrorKind::ReadOnly => "ReadOnly",
             ErrorKind::Store => "Store",
         }
     }
@@ -362,6 +470,7 @@ impl ErrorKind {
         match e {
             StoreError::UnknownUrn(_) => ErrorKind::UnknownUrn,
             StoreError::NotBuilt(_) => ErrorKind::NotBuilt,
+            StoreError::ReadOnly => ErrorKind::ReadOnly,
             _ => ErrorKind::Store,
         }
     }
@@ -574,6 +683,70 @@ mod tests {
                 wait: false,
             }
         );
+    }
+
+    #[test]
+    fn replication_requests_parse() {
+        let parse = |doc: &str| Request::parse(&from_str(doc).unwrap()).unwrap();
+        assert_eq!(
+            parse(r#"{"type":"ReplFetch","replica":"r1","offset":96,"prefix_crc":7,"log_id":12}"#),
+            Request::ReplFetch {
+                replica: "r1".into(),
+                offset: 96,
+                prefix_crc: 7,
+                log_id: 12,
+            }
+        );
+        assert_eq!(parse(r#"{"type":"ReplManifest"}"#), Request::ReplManifest);
+        assert_eq!(
+            parse(r#"{"type":"ReplFiles","urn":3}"#),
+            Request::ReplFiles {
+                target: ReplTarget::Urn(UrnId(3)),
+                replica: None,
+            }
+        );
+        assert_eq!(
+            parse(
+                r#"{"type":"ReplFile","graph":"00ff00ff00ff00ff","name":"level-2.mtvt","offset":1024,"replica":"r2"}"#
+            ),
+            Request::ReplFile {
+                target: ReplTarget::Graph(0x00ff00ff00ff00ff),
+                name: "level-2.mtvt".into(),
+                offset: 1024,
+                replica: Some("r2".into()),
+            }
+        );
+        assert_eq!(parse(r#"{"type":"ReplStatus"}"#), Request::ReplStatus);
+        assert_eq!(parse(r#"{"type":"Promote"}"#), Request::Promote);
+        // Replication responses depend on mutable server state: never cached.
+        for doc in [
+            r#"{"type":"ReplManifest"}"#,
+            r#"{"type":"ReplStatus"}"#,
+            r#"{"type":"ReplFiles","urn":0}"#,
+        ] {
+            assert_eq!(parse(doc).cache_key(1), None, "{doc}");
+        }
+    }
+
+    #[test]
+    fn bad_replication_requests_are_rejected() {
+        for (doc, needle) in [
+            (r#"{"type":"ReplFetch","offset":0}"#, "`replica`"),
+            (
+                r#"{"type":"ReplFetch","replica":"r","prefix_crc":4294967296}"#,
+                "32 bits",
+            ),
+            (r#"{"type":"ReplFiles"}"#, "exactly one"),
+            (
+                r#"{"type":"ReplFiles","urn":0,"graph":"00"}"#,
+                "exactly one",
+            ),
+            (r#"{"type":"ReplFiles","graph":"zz"}"#, "fingerprint"),
+            (r#"{"type":"ReplFile","urn":0}"#, "`name`"),
+        ] {
+            let err = Request::parse(&from_str(doc).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Deterministic exponential backoff for the replica's reconnect loop.
+//! No jitter: a replica fleet is small (single digits), the leader is
+//! one process, and deterministic delays keep the fault-injection tests
+//! reproducible. The sequence is `base, 2·base, 4·base, … cap` and
+//! resets to `base` after any successful connection.
+
+use std::time::Duration;
+
+/// An exponential backoff schedule.
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    next: Duration,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and doubling up to `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            next: base,
+        }
+    }
+
+    /// The delay to sleep before the next attempt; doubles the one after.
+    pub fn next_delay(&mut self) -> Duration {
+        let d = self.next;
+        self.next = (self.next * 2).min(self.cap);
+        d
+    }
+
+    /// Back to `base` (call on success).
+    pub fn reset(&mut self) {
+        self.next = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_to_the_cap_and_resets() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(5));
+        let delays: Vec<u64> = (0..8).map(|_| b.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, [100, 200, 400, 800, 1600, 3200, 5000, 5000]);
+        b.reset();
+        assert_eq!(b.next_delay().as_millis(), 100);
+        assert_eq!(b.next_delay().as_millis(), 200);
+    }
+}

@@ -1,0 +1,129 @@
+//! The leader's view of its replicas. Nothing registers a replica
+//! explicitly: the first `ReplFetch` naming it creates its row, every
+//! later one refreshes it. The registry is bookkeeping, not membership —
+//! a replica that stops fetching simply goes stale (its `last_seen` age
+//! keeps growing in `ReplStatus`), and a promoted ex-replica fetching
+//! from a new leader shows up there under its own name.
+//!
+//! Each replica's byte lag (leader journal length minus the replica's
+//! acknowledged offset) is mirrored into a `repl.lag.<name>` gauge in
+//! the store's [`motivo_obs::Registry`], so lag lands in the same
+//! `Metrics` response and snapshot files as every other serving metric.
+
+use motivo_obs::Registry;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One replica's accounting row.
+#[derive(Clone, Debug)]
+pub struct ReplicaInfo {
+    /// Journal offset acknowledged by its latest fetch.
+    pub offset: u64,
+    /// Leader-journal bytes it had not yet fetched at that point.
+    pub lag: u64,
+    /// `ReplFetch` requests served to it.
+    pub fetches: u64,
+    /// `ReplFile` chunks served to it — the counter the no-refetch test
+    /// watches: a replica resuming from a durable offset must not move it.
+    pub files_served: u64,
+    /// When it last fetched anything.
+    pub last_seen: Instant,
+}
+
+/// All replicas a leader has heard from, by name.
+pub struct ReplRegistry {
+    inner: Mutex<BTreeMap<String, ReplicaInfo>>,
+    obs: Arc<Registry>,
+}
+
+impl ReplRegistry {
+    /// An empty registry publishing lag gauges into `obs`.
+    pub fn new(obs: Arc<Registry>) -> ReplRegistry {
+        ReplRegistry {
+            inner: Mutex::new(BTreeMap::new()),
+            obs,
+        }
+    }
+
+    fn row<'a>(map: &'a mut BTreeMap<String, ReplicaInfo>, name: &str) -> &'a mut ReplicaInfo {
+        map.entry(name.to_string()).or_insert_with(|| ReplicaInfo {
+            offset: 0,
+            lag: 0,
+            fetches: 0,
+            files_served: 0,
+            last_seen: Instant::now(),
+        })
+    }
+
+    /// Records a `ReplFetch` from `name` at `offset` against a journal
+    /// currently `leader_len` bytes long.
+    pub fn on_fetch(&self, name: &str, offset: u64, leader_len: u64) {
+        let lag = leader_len.saturating_sub(offset);
+        let mut map = self.inner.lock().expect("repl registry poisoned");
+        let row = Self::row(&mut map, name);
+        row.offset = offset;
+        row.lag = lag;
+        row.fetches += 1;
+        row.last_seen = Instant::now();
+        drop(map);
+        self.obs.gauge(&format!("repl.lag.{name}")).set(lag);
+    }
+
+    /// Records a `ReplFile` chunk served to `name` (when the request
+    /// carried a name — anonymous fetches are served but unattributed).
+    pub fn on_file(&self, name: Option<&str>) {
+        let Some(name) = name else { return };
+        let mut map = self.inner.lock().expect("repl registry poisoned");
+        let row = Self::row(&mut map, name);
+        row.files_served += 1;
+        row.last_seen = Instant::now();
+    }
+
+    /// The `ReplStatus` rows: one object per replica, ascending by name.
+    pub fn snapshot_json(&self) -> Vec<Value> {
+        let map = self.inner.lock().expect("repl registry poisoned");
+        map.iter()
+            .map(|(name, r)| {
+                json!({
+                    "name": name,
+                    "offset": r.offset,
+                    "lag": r.lag,
+                    "fetches": r.fetches,
+                    "files_served": r.files_served,
+                    "last_seen_ms": r.last_seen.elapsed().as_millis() as u64,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetches_create_rows_and_publish_lag() {
+        let obs = Arc::new(Registry::new());
+        let reg = ReplRegistry::new(obs.clone());
+        reg.on_fetch("r1", 0, 96);
+        reg.on_fetch("r1", 96, 96);
+        reg.on_fetch("r2", 32, 96);
+        reg.on_file(Some("r2"));
+        reg.on_file(Some("r2"));
+        reg.on_file(None); // anonymous: served, not attributed
+
+        let rows = reg.snapshot_json();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("r1"));
+        assert_eq!(rows[0].get("offset").unwrap().as_u64(), Some(96));
+        assert_eq!(rows[0].get("lag").unwrap().as_u64(), Some(0));
+        assert_eq!(rows[0].get("fetches").unwrap().as_u64(), Some(2));
+        assert_eq!(rows[1].get("lag").unwrap().as_u64(), Some(64));
+        assert_eq!(rows[1].get("files_served").unwrap().as_u64(), Some(2));
+
+        assert_eq!(obs.gauge("repl.lag.r1").get(), 0);
+        assert_eq!(obs.gauge("repl.lag.r2").get(), 64);
+    }
+}

@@ -1,0 +1,402 @@
+//! The replica's sync loop: one thread inside a replica server that
+//! keeps its read-only store converging toward the leader.
+//!
+//! Each session connects, heals (fetches any file the local manifest
+//! references but the disk lacks — a crash can land between a file fetch
+//! and the journal append that needed it), then tails the leader:
+//!
+//! 1. send `ReplFetch` with the local `(offset, prefix_crc, log_id)`
+//!    cursor ([`motivo_store::UrnStore::replication_cursor`]);
+//! 2. if the leader flags the cursor `stale` (it gc-compacted, or this
+//!    replica's log is from another lineage), re-bootstrap: install its
+//!    `ReplManifest` snapshot, then heal files again — files already on
+//!    disk with matching length+crc are **not** refetched, so a
+//!    bootstrap after gc moves metadata, not tables;
+//! 3. otherwise, for each returned journal frame: fetch the files the
+//!    record will reference *first* (`BuildFinished` → the urn's sealed
+//!    tables, `GraphAdded` → the cached graph), then append+apply it.
+//!    Files-before-journal is the crash-safety order — if the process
+//!    dies mid-fetch the journal hasn't advanced, and the re-fetch after
+//!    restart skips everything already on disk.
+//!
+//! Connection errors tear the session down and retry under
+//! [`super::backoff::Backoff`]; a `Promote` (or server shutdown) stops
+//! the loop at its next check.
+
+use crate::client::Client;
+use crate::repl::backoff::Backoff;
+use crate::repl::protocol::{field_bytes, field_u64, hex_decode};
+use crate::repl::ReplShared;
+use motivo_core::checksum::crc32;
+use motivo_store::{BuildStatus, FileMeta, ManifestRecord, StoreError, UrnId, UrnStore};
+use serde_json::{json, Value};
+use std::time::Duration;
+
+/// How a replica server reaches its leader.
+pub struct SyncOptions {
+    /// The leader's `host:port`.
+    pub leader: String,
+    /// This replica's name in the leader's registry (its own serve
+    /// address, so `ReplStatus` on the leader reads like a topology map).
+    pub name: String,
+    /// Delay between fetches once caught up.
+    pub poll: Duration,
+}
+
+/// The sync loop's self-reported state, served by `ReplStatus` on the
+/// replica.
+#[derive(Clone, Debug, Default)]
+pub struct SyncStatus {
+    /// A session to the leader is currently up.
+    pub connected: bool,
+    /// The last fetch found nothing left to pull.
+    pub caught_up: bool,
+    /// Local durable journal offset after the last apply.
+    pub offset: u64,
+    /// The leader's journal length at the last fetch.
+    pub leader_len: u64,
+    /// Snapshot installs (1 for a clean start; +1 per gc re-bootstrap).
+    pub bootstraps: u64,
+    /// `ReplFetch` round-trips made.
+    pub fetches: u64,
+    /// Files actually downloaded (heals that found everything present
+    /// don't move this — the no-refetch invariant, observable here).
+    pub files_fetched: u64,
+    /// Journal records applied locally.
+    pub records_applied: u64,
+    /// The most recent session-ending error, kept after reconnect until
+    /// a session succeeds.
+    pub last_error: Option<String>,
+}
+
+/// Serializes the status for `ReplStatus`.
+pub fn sync_status_json(s: &SyncStatus) -> Value {
+    json!({
+        "connected": s.connected,
+        "caught_up": s.caught_up,
+        "offset": s.offset,
+        "leader_len": s.leader_len,
+        "bootstraps": s.bootstraps,
+        "fetches": s.fetches,
+        "files_fetched": s.files_fetched,
+        "records_applied": s.records_applied,
+        "last_error": s.last_error,
+    })
+}
+
+fn estore(e: StoreError) -> String {
+    format!("store: {e}")
+}
+
+fn with_status(shared: &ReplShared, f: impl FnOnce(&mut SyncStatus)) {
+    let mut st = shared.sync.lock().expect("sync status poisoned");
+    f(&mut st);
+}
+
+fn sleep_unless_stopped(total: Duration, stopped: &dyn Fn() -> bool) {
+    let slice = Duration::from_millis(20);
+    let mut left = total;
+    while !stopped() && !left.is_zero() {
+        let d = left.min(slice);
+        std::thread::sleep(d);
+        left -= d;
+    }
+}
+
+/// Runs until `stopped` reports true (server shutdown or promotion).
+/// Never returns early on error: every failure is recorded in
+/// [`SyncStatus::last_error`] and retried under exponential backoff.
+pub fn sync_loop(
+    store: &UrnStore,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+    stop: &dyn Fn() -> bool,
+) {
+    let mut backoff = Backoff::new(Duration::from_millis(100), Duration::from_secs(5));
+    let stopped = || stop() || shared.sync_stopped();
+    while !stopped() {
+        match sync_session(store, shared, opts, &stopped, &mut backoff) {
+            Ok(()) => break, // a session only ends cleanly when stopped
+            Err(e) => {
+                with_status(shared, |st| {
+                    st.connected = false;
+                    st.caught_up = false;
+                    st.last_error = Some(e);
+                });
+                sleep_unless_stopped(backoff.next_delay(), &stopped);
+            }
+        }
+    }
+    with_status(shared, |st| {
+        st.connected = false;
+    });
+}
+
+fn sync_session(
+    store: &UrnStore,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+    stopped: &dyn Fn() -> bool,
+    backoff: &mut Backoff,
+) -> Result<(), String> {
+    let mut client =
+        Client::connect(&opts.leader).map_err(|e| format!("connect {}: {e}", opts.leader))?;
+    // Heal before tailing: a crash mid-bootstrap or mid-fetch may have
+    // left manifest entries whose files never fully landed.
+    ensure_all_files(&mut client, store, shared, opts)?;
+    backoff.reset();
+    with_status(shared, |st| {
+        st.connected = true;
+        st.last_error = None;
+    });
+    loop {
+        if stopped() {
+            return Ok(());
+        }
+        let caught_up = poll_once(&mut client, store, shared, opts)?;
+        if caught_up {
+            sleep_unless_stopped(opts.poll, stopped);
+        }
+    }
+}
+
+/// One fetch/apply round; returns whether the replica is caught up.
+fn poll_once(
+    client: &mut Client,
+    store: &UrnStore,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+) -> Result<bool, String> {
+    let (offset, prefix_crc) = store.replication_cursor().map_err(estore)?;
+    let log_id = store.log_id().map_err(estore)?;
+    let resp = client
+        .request(&json!({
+            "type": "ReplFetch",
+            "replica": opts.name,
+            "offset": offset,
+            "prefix_crc": prefix_crc,
+            "log_id": log_id,
+        }))
+        .map_err(|e| format!("ReplFetch: {e}"))?;
+    with_status(shared, |st| st.fetches += 1);
+
+    if resp.get("stale").and_then(|v| v.as_bool()).unwrap_or(false) {
+        bootstrap(client, store, shared, opts)?;
+        return Ok(false);
+    }
+
+    let leader_len = field_u64(&resp, "leader_len")?;
+    let payloads = resp
+        .get("payloads")
+        .and_then(|v| v.as_array())
+        .ok_or("leader response missing `payloads`")?;
+    for p in &payloads {
+        let hex = p.as_str().ok_or("journal payload must be a hex string")?;
+        let bytes = hex_decode(hex)?;
+        let rec = ManifestRecord::decode(&bytes).map_err(estore)?;
+        ensure_record_files(client, store, shared, opts, &rec)?;
+        store
+            .apply_replicated(std::slice::from_ref(&bytes))
+            .map_err(estore)?;
+        with_status(shared, |st| st.records_applied += 1);
+    }
+
+    let new_offset = store.replication_offset();
+    let caught_up = new_offset >= leader_len;
+    with_status(shared, |st| {
+        st.offset = new_offset;
+        st.leader_len = leader_len;
+        st.caught_up = caught_up;
+    });
+    Ok(caught_up)
+}
+
+/// Installs the leader's manifest snapshot (resetting the local journal
+/// to offset 0) and heals files against the new manifest. Urn ids are
+/// stable across gc, so tables already fetched survive a re-bootstrap.
+fn bootstrap(
+    client: &mut Client,
+    store: &UrnStore,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+) -> Result<(), String> {
+    let resp = client
+        .request(&json!({"type": "ReplManifest"}))
+        .map_err(|e| format!("ReplManifest: {e}"))?;
+    let bytes = field_bytes(&resp, "manifest")?;
+    store.install_manifest(&bytes).map_err(estore)?;
+    with_status(shared, |st| {
+        st.bootstraps += 1;
+        st.offset = 0;
+    });
+    ensure_all_files(client, store, shared, opts)
+}
+
+/// Fetches every file the local manifest references but the local disk
+/// lacks (or holds with the wrong length/crc). Files already present and
+/// matching are skipped — asserted by the resume tests via the leader's
+/// `files_served` counter.
+fn ensure_all_files(
+    client: &mut Client,
+    store: &UrnStore,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+) -> Result<(), String> {
+    for g in store.graphs() {
+        ensure_graph_file(client, store, shared, opts, g.fingerprint)?;
+    }
+    for m in store.list() {
+        if m.status == BuildStatus::Built {
+            ensure_urn_files(client, store, shared, opts, m.id)?;
+        }
+    }
+    Ok(())
+}
+
+/// Fetches what one journal record is about to reference.
+fn ensure_record_files(
+    client: &mut Client,
+    store: &UrnStore,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+    rec: &ManifestRecord,
+) -> Result<(), String> {
+    match rec {
+        ManifestRecord::GraphAdded(g) => {
+            ensure_graph_file(client, store, shared, opts, g.fingerprint)
+        }
+        ManifestRecord::BuildFinished { id, .. } => {
+            ensure_urn_files(client, store, shared, opts, *id)
+        }
+        _ => Ok(()),
+    }
+}
+
+fn parse_files(resp: &Value) -> Result<Vec<FileMeta>, String> {
+    let rows = resp
+        .get("files")
+        .and_then(|v| v.as_array())
+        .ok_or("leader response missing `files`")?;
+    rows.iter()
+        .map(|r| {
+            let name = r.get("name").ok_or("file row missing `name`")?;
+            let name = name.as_str().ok_or("file row missing `name`")?.to_string();
+            Ok(FileMeta {
+                name,
+                len: field_u64(r, "len")?,
+                crc: field_u64(r, "crc")? as u32,
+            })
+        })
+        .collect()
+}
+
+fn ensure_urn_files(
+    client: &mut Client,
+    store: &UrnStore,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+    id: UrnId,
+) -> Result<(), String> {
+    let resp = client
+        .request(&json!({"type": "ReplFiles", "urn": id.0, "replica": opts.name}))
+        .map_err(|e| format!("ReplFiles urn-{}: {e}", id.0))?;
+    let leader_files = parse_files(&resp)?;
+    let local = store.urn_file_list(id).map_err(estore)?;
+    for meta in leader_files {
+        if local
+            .iter()
+            .any(|l| l.name == meta.name && l.len == meta.len && l.crc == meta.crc)
+        {
+            continue;
+        }
+        let bytes = fetch_file(client, shared, opts, ("urn", json!(id.0)), &meta)?;
+        store
+            .install_urn_file(id, &meta.name, &bytes)
+            .map_err(estore)?;
+    }
+    Ok(())
+}
+
+fn ensure_graph_file(
+    client: &mut Client,
+    store: &UrnStore,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+    fingerprint: u64,
+) -> Result<(), String> {
+    let fp = format!("{fingerprint:016x}");
+    let resp = client
+        .request(&json!({"type": "ReplFiles", "graph": fp, "replica": opts.name}))
+        .map_err(|e| format!("ReplFiles graph {fp}: {e}"))?;
+    // Zero rows: the leader has no cached graph file (graphs are an
+    // optimization for re-builds, not required to serve) — nothing to do.
+    let Some(meta) = parse_files(&resp)?.into_iter().next() else {
+        return Ok(());
+    };
+    let local = store.graph_file_meta(fingerprint).map_err(estore)?;
+    if local.is_some_and(|l| l.len == meta.len && l.crc == meta.crc) {
+        return Ok(());
+    }
+    let bytes = fetch_file(client, shared, opts, ("graph", json!(fp)), &meta)?;
+    store
+        .install_graph_file(fingerprint, &bytes)
+        .map_err(estore)?;
+    Ok(())
+}
+
+/// Downloads one file in chunks and verifies its length and crc against
+/// the inventory row before handing it back for an atomic install.
+fn fetch_file(
+    client: &mut Client,
+    shared: &ReplShared,
+    opts: &SyncOptions,
+    target: (&str, Value),
+    meta: &FileMeta,
+) -> Result<Vec<u8>, String> {
+    let mut bytes: Vec<u8> = Vec::with_capacity(meta.len as usize);
+    loop {
+        let doc = if target.0 == "urn" {
+            json!({
+                "type": "ReplFile",
+                "urn": target.1.clone(),
+                "name": meta.name,
+                "offset": bytes.len() as u64,
+                "replica": opts.name,
+            })
+        } else {
+            json!({
+                "type": "ReplFile",
+                "graph": target.1.clone(),
+                "name": meta.name,
+                "offset": bytes.len() as u64,
+                "replica": opts.name,
+            })
+        };
+        let resp = client
+            .request(&doc)
+            .map_err(|e| format!("ReplFile {}: {e}", meta.name))?;
+        let data = field_bytes(&resp, "data")?;
+        let total = field_u64(&resp, "total")?;
+        if data.is_empty() && (bytes.len() as u64) < total {
+            return Err(format!("ReplFile {}: empty chunk before EOF", meta.name));
+        }
+        bytes.extend_from_slice(&data);
+        if bytes.len() as u64 >= total {
+            break;
+        }
+    }
+    if bytes.len() as u64 != meta.len || crc32(&bytes) != meta.crc {
+        // The leader's file changed under us (a gc, a re-build): fail the
+        // session; the reconnect heal sees the new inventory.
+        return Err(format!(
+            "ReplFile {}: fetched {} bytes crc {:#010x}, inventory said {} bytes crc {:#010x}",
+            meta.name,
+            bytes.len(),
+            crc32(&bytes),
+            meta.len,
+            meta.crc
+        ));
+    }
+    with_status(shared, |st| st.files_fetched += 1);
+    Ok(bytes)
+}

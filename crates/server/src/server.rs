@@ -54,7 +54,8 @@ use std::time::{Duration, Instant, SystemTime};
 
 use crate::cache::{QueryCache, QueryCacheStats};
 use crate::metrics::{KindStats, ServerMetrics};
-use crate::proto::{self, ErrorKind, Request};
+use crate::proto::{self, ErrorKind, ReplTarget, Request};
+use crate::repl::{self, protocol::hex_encode, ReplShared};
 
 /// How often blocked readers re-check the shutdown signal.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -84,6 +85,15 @@ pub struct ServeOptions {
     /// `<store>/metrics-<unix-millis>.json` (`0` = periodic snapshots
     /// off). A final snapshot is always written at shutdown.
     pub snapshot_secs: u64,
+    /// Serve as a read-only **replica** of the leader at this address:
+    /// spawn a sync thread tailing its journal, refuse `Build` and wire
+    /// `Shutdown` with `ReadOnly` until a `Promote` request arrives. The
+    /// store should have been opened with
+    /// [`motivo_store::UrnStore::open_replica`].
+    pub replica_of: Option<String>,
+    /// Milliseconds between replication polls once caught up
+    /// (`0` = 100 ms). Only meaningful with `replica_of`.
+    pub repl_poll_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -93,6 +103,8 @@ impl Default for ServeOptions {
             queue_depth: 0,
             cache_bytes: DEFAULT_CACHE_BYTES,
             snapshot_secs: 0,
+            replica_of: None,
+            repl_poll_ms: 0,
         }
     }
 }
@@ -252,11 +264,16 @@ fn serve_loop(
     let workers = opts.resolved_workers();
     let queue_depth = opts.resolved_queue_depth(workers);
     let metrics = ServerMetrics::new(store.obs().clone());
+    let repl = match &opts.replica_of {
+        Some(leader) => ReplShared::replica(leader.clone(), store.obs().clone()),
+        None => ReplShared::leader(store.obs().clone()),
+    };
     let engine = Engine {
         query: StoreQuery::new(&store),
         store: &store,
         cache: QueryCache::new(opts.cache_bytes),
         metrics: &metrics,
+        repl: &repl,
     };
     let counters = Counters::default();
 
@@ -290,6 +307,27 @@ fn serve_loop(
                 })
                 .expect("spawn snapshot writer");
         }
+        if let Some(leader) = opts.replica_of.clone() {
+            let (store, repl, signal) = (&store, &repl, &signal);
+            let poll = Duration::from_millis(if opts.repl_poll_ms > 0 {
+                opts.repl_poll_ms
+            } else {
+                100
+            });
+            // The replica names itself after its own serve address, so the
+            // leader's `ReplStatus` reads like a topology map.
+            let name = listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "replica".into());
+            std::thread::Builder::new()
+                .name("motivo-serve-sync".into())
+                .spawn_scoped(s, move || {
+                    let sync_opts = repl::replica::SyncOptions { leader, name, poll };
+                    repl::replica::sync_loop(store, repl, &sync_opts, &|| signal.is_set());
+                })
+                .expect("spawn replication sync");
+        }
 
         loop {
             let stream = match listener.accept() {
@@ -311,11 +349,11 @@ fn serve_loop(
             stream.set_nodelay(true).ok();
             counters.connections.fetch_add(1, Ordering::Relaxed);
             let tx = tx.clone();
-            let (signal, counters, metrics) = (&signal, &counters, &metrics);
+            let (signal, counters, metrics, repl) = (&signal, &counters, &metrics, &repl);
             std::thread::Builder::new()
                 .name("motivo-serve-conn".into())
                 .spawn_scoped(s, move || {
-                    connection_loop(stream, tx, signal, counters, metrics)
+                    connection_loop(stream, tx, signal, counters, metrics, repl)
                 })
                 .expect("spawn connection reader");
         }
@@ -482,6 +520,7 @@ fn connection_loop(
     signal: &Signal,
     counters: &Counters,
     metrics: &ServerMetrics,
+    repl: &ReplShared,
 ) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
@@ -502,7 +541,7 @@ fn connection_loop(
             Err(_) => return, // torn frame / oversize / connection error
         };
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        handle_frame(&payload, &writer, &tx, signal, counters, metrics);
+        handle_frame(&payload, &writer, &tx, signal, counters, metrics, repl);
         // A reader must not outlive the shutdown signal just because its
         // client keeps sending (Pings and garbage included): its queue
         // sender would keep the workers from ever seeing the channel
@@ -526,6 +565,7 @@ fn handle_frame(
     signal: &Signal,
     counters: &Counters,
     metrics: &ServerMetrics,
+    repl: &ReplShared,
 ) {
     let doc = match std::str::from_utf8(payload)
         .map_err(|_| "frame is not UTF-8".to_string())
@@ -567,12 +607,27 @@ fn handle_frame(
         }
         Request::Shutdown => {
             let t0 = Instant::now();
-            respond(
-                writer,
-                &proto::ok_response(&id, json!({"shutting_down": true})),
-            );
+            if repl.is_replica() {
+                // A replica's lifecycle belongs to its operator: any wire
+                // peer reaching a read replica must not be able to take it
+                // down. Promotion lifts this along with the write gate.
+                metrics.kind(kind).errors.inc();
+                respond(
+                    writer,
+                    &proto::error_response(
+                        &id,
+                        ErrorKind::ReadOnly,
+                        "replica refuses wire shutdown; promote it first or stop its process",
+                    ),
+                );
+            } else {
+                respond(
+                    writer,
+                    &proto::ok_response(&id, json!({"shutting_down": true})),
+                );
+                signal.trigger();
+            }
             metrics.record_inline(kind, t0.elapsed());
-            signal.trigger();
         }
         req => {
             if signal.is_set() {
@@ -707,6 +762,7 @@ struct Engine<'s> {
     store: &'s UrnStore,
     cache: QueryCache,
     metrics: &'s ServerMetrics,
+    repl: &'s ReplShared,
 }
 
 impl Engine<'_> {
@@ -914,6 +970,98 @@ impl Engine<'_> {
                     _ => "pending",
                 };
                 Ok(json!({"urn": handle.id().to_string(), "status": status}))
+            }
+            Request::ReplFetch {
+                replica,
+                offset,
+                prefix_crc,
+                log_id,
+            } => {
+                let seg = store
+                    .journal_segment(*offset, *prefix_crc, motivo_store::SEGMENT_MAX_BYTES)
+                    .map_err(store_err)?;
+                // A prefix mismatch and a lineage (gc) mismatch both mean
+                // the same thing to the replica: re-bootstrap.
+                let stale = seg.stale || seg.log_id != *log_id;
+                self.repl
+                    .registry
+                    .on_fetch(replica, *offset, seg.leader_len);
+                let payloads: Vec<Value> = if stale {
+                    Vec::new()
+                } else {
+                    seg.payloads.iter().map(|p| json!(hex_encode(p))).collect()
+                };
+                Ok(json!({
+                    "payloads": payloads,
+                    "leader_len": seg.leader_len,
+                    "log_id": seg.log_id,
+                    "stale": stale,
+                }))
+            }
+            Request::ReplManifest => {
+                let bytes = store.manifest_bytes().map_err(store_err)?;
+                Ok(json!({
+                    "manifest": hex_encode(&bytes),
+                    "log_id": store.log_id().map_err(store_err)?,
+                }))
+            }
+            Request::ReplFiles { target, replica: _ } => {
+                let files = match target {
+                    ReplTarget::Urn(id) => store.urn_file_list(*id).map_err(store_err)?,
+                    ReplTarget::Graph(fp) => store
+                        .graph_file_meta(*fp)
+                        .map_err(store_err)?
+                        .into_iter()
+                        .collect(),
+                };
+                let rows: Vec<Value> = files
+                    .iter()
+                    .map(|f| json!({"name": f.name, "len": f.len, "crc": f.crc}))
+                    .collect();
+                Ok(json!({"files": rows}))
+            }
+            Request::ReplFile {
+                target,
+                name,
+                offset,
+                replica,
+            } => {
+                let (data, total) = match target {
+                    ReplTarget::Urn(id) => store
+                        .read_urn_file(*id, name, *offset, motivo_store::FILE_CHUNK_BYTES)
+                        .map_err(store_err)?,
+                    ReplTarget::Graph(fp) => store
+                        .read_graph_file(*fp, *offset, motivo_store::FILE_CHUNK_BYTES)
+                        .map_err(store_err)?,
+                };
+                self.repl.registry.on_file(replica.as_deref());
+                Ok(json!({"data": hex_encode(&data), "total": total}))
+            }
+            Request::ReplStatus => {
+                let sync = self.repl.sync.lock().expect("sync status poisoned");
+                Ok(json!({
+                    "role": if self.repl.is_replica() { "replica" } else { "leader" },
+                    "offset": store.replication_offset(),
+                    "log_id": store.log_id().map_err(store_err)?,
+                    "leader": self.repl.leader,
+                    "replicas": self.repl.registry.snapshot_json(),
+                    "sync": repl::replica::sync_status_json(&sync),
+                }))
+            }
+            Request::Promote => {
+                if !self.repl.is_replica() {
+                    return Err((
+                        ErrorKind::BadRequest,
+                        "this server is already a leader".into(),
+                    ));
+                }
+                let swept = store.promote().map_err(store_err)?;
+                // Order matters: the store accepts writes before the role
+                // flips, never the reverse — a request racing the
+                // promotion sees `ReadOnly`, not a half-promoted server.
+                self.repl.set_leader();
+                self.repl.stop_sync();
+                Ok(json!({"promoted": true, "swept": swept}))
             }
         }
     }

@@ -25,6 +25,9 @@ pub enum StoreError {
     UnsupportedColoring,
     /// The background build worker is gone (store is shutting down).
     WorkerGone,
+    /// The store is a read-only replica; mutations must go to the leader
+    /// (or wait for a `promote`).
+    ReadOnly,
 }
 
 impl fmt::Display for StoreError {
@@ -42,6 +45,9 @@ impl fmt::Display for StoreError {
                 write!(f, "fixed colorings cannot be stored; use Uniform or Biased")
             }
             StoreError::WorkerGone => write!(f, "build worker has shut down"),
+            StoreError::ReadOnly => {
+                write!(f, "store is a read-only replica; send writes to the leader")
+            }
         }
     }
 }

@@ -44,7 +44,9 @@ pub mod journal;
 pub mod manifest;
 pub mod owned;
 pub mod query;
+pub mod replication;
 pub mod store;
+pub mod testing;
 
 pub use cache::CacheStats;
 pub use error::StoreError;
@@ -52,4 +54,5 @@ pub use journal::Journal;
 pub use manifest::{BuildKey, BuildStatus, GraphMeta, ManifestRecord, UrnId, UrnMeta};
 pub use owned::StoreUrn;
 pub use query::{QueryStats, StoreQuery};
+pub use replication::{FileMeta, JournalSegment, FILE_CHUNK_BYTES, SEGMENT_MAX_BYTES};
 pub use store::{BuildHandle, GcReport, RecoveryReport, StoreOptions, UrnStore};

@@ -453,13 +453,20 @@ pub fn write_snapshot(path: &Path, state: &ManifestState) -> Result<(), StoreErr
 /// Loads a snapshot written by [`write_snapshot`]; `Ok(None)` if the file
 /// doesn't exist (a fresh store).
 pub fn load_snapshot(path: &Path) -> Result<Option<ManifestState>, StoreError> {
-    let corrupt = |msg: &str| StoreError::Corrupt(format!("MANIFEST: {msg}"));
     let raw = match std::fs::read(path) {
         Ok(raw) => raw,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(StoreError::Io(e)),
     };
-    let mut buf = &raw[..];
+    decode_snapshot(&raw).map(Some)
+}
+
+/// Parses snapshot bytes (the body of a `MANIFEST` file) — the validation
+/// half of [`load_snapshot`], also used to vet a snapshot fetched over the
+/// replication stream before it is installed.
+pub fn decode_snapshot(raw: &[u8]) -> Result<ManifestState, StoreError> {
+    let corrupt = |msg: &str| StoreError::Corrupt(format!("MANIFEST: {msg}"));
+    let mut buf = raw;
     if buf.remaining() < 12 {
         return Err(corrupt("truncated header"));
     }
@@ -492,7 +499,7 @@ pub fn load_snapshot(path: &Path) -> Result<Option<ManifestState>, StoreError> {
         buf.copy_to_slice(&mut payload);
         state.apply(&ManifestRecord::decode(&payload)?);
     }
-    Ok(Some(state))
+    Ok(state)
 }
 
 #[cfg(test)]

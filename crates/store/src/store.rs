@@ -19,6 +19,7 @@ use motivo_obs::{Counter, Histogram, Obs, Registry};
 use motivo_table::storage::StorageKind;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -70,17 +71,17 @@ pub struct RecoveryReport {
     pub torn_journal_bytes: u64,
 }
 
-struct State {
-    manifest: ManifestState,
-    journal: Journal,
-    cache: UrnCache,
+pub(crate) struct State {
+    pub(crate) manifest: ManifestState,
+    pub(crate) journal: Journal,
+    pub(crate) cache: UrnCache,
     /// Loaded host graphs by fingerprint (separate from the urn cache:
     /// several urns share one graph).
-    graphs: HashMap<u64, Arc<Graph>>,
+    pub(crate) graphs: HashMap<u64, Arc<Graph>>,
     /// `store.journal.appends` counter.
-    journal_appends: Counter,
+    pub(crate) journal_appends: Counter,
     /// `store.journal.append` latency histogram.
-    journal_append_hist: Arc<Histogram>,
+    pub(crate) journal_append_hist: Arc<Histogram>,
 }
 
 impl State {
@@ -88,7 +89,7 @@ impl State {
     /// in-memory manifest. The in-memory state advances even if the append
     /// fails — readers must not see an urn stuck pending — and the error
     /// is reported to the caller.
-    fn commit(&mut self, rec: &ManifestRecord) -> Result<(), StoreError> {
+    pub(crate) fn commit(&mut self, rec: &ManifestRecord) -> Result<(), StoreError> {
         let t0 = Instant::now();
         let res = self.journal.append(&rec.encode());
         self.journal_appends.inc();
@@ -98,23 +99,28 @@ impl State {
     }
 }
 
-struct Inner {
-    dir: PathBuf,
-    state: Mutex<State>,
-    built: Condvar,
+pub(crate) struct Inner {
+    pub(crate) dir: PathBuf,
+    pub(crate) state: Mutex<State>,
+    pub(crate) built: Condvar,
     /// The store's metric registry: journal, cache, build, and query
     /// metrics all land here, and a server wrapping this store registers
     /// its per-request metrics in the same registry so one `Metrics`
     /// rendering covers the full stack.
-    obs: Arc<Registry>,
+    pub(crate) obs: Arc<Registry>,
+    /// Set on replica stores: every local mutation path refuses with
+    /// [`StoreError::ReadOnly`]; the only writer is
+    /// [`UrnStore::apply_replicated`], which mirrors the leader's journal
+    /// byte-for-byte. Cleared by [`UrnStore::promote`].
+    pub(crate) read_only: AtomicBool,
 }
 
 impl Inner {
-    fn urn_dir(&self, id: UrnId) -> PathBuf {
+    pub(crate) fn urn_dir(&self, id: UrnId) -> PathBuf {
         self.dir.join("urns").join(id.dir_name())
     }
 
-    fn graph_path(&self, fingerprint: u64) -> PathBuf {
+    pub(crate) fn graph_path(&self, fingerprint: u64) -> PathBuf {
         self.dir
             .join("graphs")
             .join(format!("{fingerprint:016x}.mtvg"))
@@ -191,7 +197,7 @@ enum Job {
 /// A crash-safe repository of built urns with a background build worker
 /// and an LRU serving cache.
 pub struct UrnStore {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
     tx: mpsc::Sender<Job>,
     worker: Option<JoinHandle<()>>,
     recovery: RecoveryReport,
@@ -206,7 +212,25 @@ impl UrnStore {
     /// Opens the store, replaying the journal and garbage-collecting any
     /// build that a previous process left unfinished.
     pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<UrnStore, StoreError> {
-        let dir = dir.as_ref().to_path_buf();
+        UrnStore::open_impl(dir.as_ref(), opts, false)
+    }
+
+    /// Opens the store as a **read-only replica**: journal replay and
+    /// torn-tail truncation happen exactly as on a leader, but the
+    /// crash-recovery sweep of `Pending` urns is skipped — on a replica a
+    /// `BuildStarted` without its finish record is normal mid-stream
+    /// state, not an interrupted build, and sweeping it would append
+    /// records the leader never wrote, breaking the invariant that the
+    /// replica's journal is a byte-identical prefix of the leader's.
+    /// Every local mutation path ([`UrnStore::build_or_get`],
+    /// [`UrnStore::remove`], [`UrnStore::gc`]) refuses with
+    /// [`StoreError::ReadOnly`] until [`UrnStore::promote`] is called.
+    pub fn open_replica(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<UrnStore, StoreError> {
+        UrnStore::open_impl(dir.as_ref(), opts, true)
+    }
+
+    fn open_impl(dir: &Path, opts: StoreOptions, replica: bool) -> Result<UrnStore, StoreError> {
+        let dir = dir.to_path_buf();
         std::fs::create_dir_all(dir.join("urns"))?;
         std::fs::create_dir_all(dir.join("graphs"))?;
 
@@ -218,13 +242,18 @@ impl UrnStore {
         }
 
         // Crash recovery: a Pending urn means a build was interrupted.
-        // Sweep its half-written directory and record the failure.
-        let interrupted: Vec<UrnId> = manifest
-            .urns
-            .values()
-            .filter(|m| m.status == BuildStatus::Pending)
-            .map(|m| m.id)
-            .collect();
+        // Sweep its half-written directory and record the failure. (On a
+        // replica this is deferred to `promote` — see `open_replica`.)
+        let interrupted: Vec<UrnId> = if replica {
+            Vec::new()
+        } else {
+            manifest
+                .urns
+                .values()
+                .filter(|m| m.status == BuildStatus::Pending)
+                .map(|m| m.id)
+                .collect()
+        };
         for &id in &interrupted {
             std::fs::remove_dir_all(dir.join("urns").join(id.dir_name())).ok();
             let rec = ManifestRecord::BuildFailed { id };
@@ -249,6 +278,7 @@ impl UrnStore {
             }),
             built: Condvar::new(),
             obs,
+            read_only: AtomicBool::new(replica),
         });
 
         let (tx, rx) = mpsc::channel();
@@ -270,6 +300,37 @@ impl UrnStore {
     /// What recovery found when this store was opened.
     pub fn recovery_report(&self) -> RecoveryReport {
         self.recovery
+    }
+
+    /// Whether this store is a read-only replica (opened with
+    /// [`UrnStore::open_replica`] and not yet promoted).
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Promotes a replica to a leader: clears the read-only flag, then
+    /// runs the crash-recovery sweep that [`UrnStore::open_replica`]
+    /// deferred — any urn still `Pending` was a build the dead leader
+    /// never finished, so it is failed (journaled) and its half-fetched
+    /// directory is removed. Returns how many such builds were swept.
+    /// Idempotent; a no-op (0) on a store that is already a leader.
+    pub fn promote(&self) -> Result<usize, StoreError> {
+        self.inner.read_only.store(false, Ordering::SeqCst);
+        let mut state = self.inner.state.lock().expect("store state poisoned");
+        let interrupted: Vec<UrnId> = state
+            .manifest
+            .urns
+            .values()
+            .filter(|m| m.status == BuildStatus::Pending)
+            .map(|m| m.id)
+            .collect();
+        for &id in &interrupted {
+            std::fs::remove_dir_all(self.inner.urn_dir(id)).ok();
+            state.commit(&ManifestRecord::BuildFailed { id })?;
+        }
+        drop(state);
+        self.inner.built.notify_all();
+        Ok(interrupted.len())
     }
 
     /// The store's metric registry. Journal appends, LRU admissions and
@@ -294,6 +355,9 @@ impl UrnStore {
         graph: &Graph,
         cfg: &BuildConfig,
     ) -> Result<BuildHandle, StoreError> {
+        if self.is_read_only() {
+            return Err(StoreError::ReadOnly);
+        }
         let fingerprint = graph_fingerprint(graph);
         let key = BuildKey::derive(fingerprint, cfg)?;
         let mut state = self.inner.state.lock().expect("store state poisoned");
@@ -403,6 +467,9 @@ impl UrnStore {
 
     /// Deletes an urn: journaled, dropped from cache, directory removed.
     pub fn remove(&self, id: UrnId) -> Result<(), StoreError> {
+        if self.is_read_only() {
+            return Err(StoreError::ReadOnly);
+        }
         let mut state = self.inner.state.lock().expect("store state poisoned");
         if !state.manifest.urns.contains_key(&id) {
             return Err(StoreError::UnknownUrn(id));
@@ -446,6 +513,9 @@ impl UrnStore {
     /// Garbage-collects the directory: sweeps orphan urn dirs and graph
     /// files, then compacts the journal into a fresh MANIFEST snapshot.
     pub fn gc(&self) -> Result<GcReport, StoreError> {
+        if self.is_read_only() {
+            return Err(StoreError::ReadOnly);
+        }
         let mut state = self.inner.state.lock().expect("store state poisoned");
         let mut report = GcReport::default();
 

@@ -1,0 +1,150 @@
+//! Test support: I/O fault injection for crash and replication tests.
+//!
+//! Production code never calls into this module; it exists so the
+//! integration suites (`tests/store.rs`, `tests/replication.rs`) and the
+//! crate's own unit tests share one honest way to simulate the two
+//! failure shapes that matter to a journaled store:
+//!
+//! - a **failing write** ([`FaultyLevelStore`]): the Nth `put` into a
+//!   count-table level errors, as a full disk or yanked volume would —
+//!   proving write paths propagate the error instead of recording a
+//!   half-written artifact as good;
+//! - a **torn append** ([`torn_journal_append`]): a journal frame whose
+//!   tail never reached the disk, as a crash mid-`append` leaves behind —
+//!   proving recovery truncates back to the last durable record (the
+//!   offset a replica resumes from).
+
+use bytes::BufMut;
+use motivo_core::checksum::crc32;
+use motivo_table::{LevelStore, Record, RecordHandle};
+use std::io;
+use std::path::Path;
+
+/// A [`LevelStore`] wrapper that injects an I/O error on the Nth write
+/// (1-based) and every write after it. Reads pass through untouched, so a
+/// test can verify that everything written *before* the fault is still
+/// served correctly.
+pub struct FaultyLevelStore<S: LevelStore> {
+    inner: S,
+    writes: u64,
+    fail_from: u64,
+}
+
+impl<S: LevelStore> FaultyLevelStore<S> {
+    /// Wraps `inner`, failing the `n`-th write and all later ones
+    /// (`n = 1` fails the very first write; `n = u64::MAX` never fails).
+    pub fn fail_from(inner: S, n: u64) -> FaultyLevelStore<S> {
+        FaultyLevelStore {
+            inner,
+            writes: 0,
+            fail_from: n,
+        }
+    }
+
+    /// How many writes were attempted (failed ones included).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl<S: LevelStore> LevelStore for FaultyLevelStore<S> {
+    fn put(&mut self, v: u32, rec: Record) -> io::Result<()> {
+        self.writes += 1;
+        if self.writes >= self.fail_from {
+            return Err(io::Error::other(format!(
+                "injected write fault on write {}",
+                self.writes
+            )));
+        }
+        self.inner.put(v, rec)
+    }
+
+    fn get(&self, v: u32) -> io::Result<RecordHandle<'_>> {
+        self.inner.get(v)
+    }
+
+    fn byte_size(&self) -> usize {
+        self.inner.byte_size()
+    }
+
+    fn record_count(&self) -> usize {
+        self.inner.record_count()
+    }
+
+    fn num_vertices(&self) -> u32 {
+        self.inner.num_vertices()
+    }
+
+    fn vertices(&self) -> Vec<u32> {
+        self.inner.vertices()
+    }
+}
+
+/// Appends a **torn** journal frame to the file at `path`: a frame for
+/// `payload` is built exactly as [`crate::Journal::append`] would
+/// (`len:u32le crc:u32le payload`), but only its first `keep` bytes are
+/// written — clamped so at least the last byte is always missing. This is
+/// what a crash between `write_all` and `sync_data` can leave on disk;
+/// `Journal::open` must truncate it away and resume at the previous
+/// frame boundary.
+pub fn torn_journal_append(path: &Path, payload: &[u8], keep: usize) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_u32_le(crc32(payload));
+    frame.put_slice(payload);
+    let keep = keep.min(frame.len() - 1);
+    let mut existing = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    existing.extend_from_slice(&frame[..keep]);
+    std::fs::write(path, &existing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+    use motivo_table::{CountTable, MemoryLevel, RecordCodec};
+
+    #[test]
+    fn faulty_level_fails_from_the_nth_write_onward() {
+        let mut level = FaultyLevelStore::fail_from(MemoryLevel::new(8, RecordCodec::Plain), 3);
+        let rec = |v: u32| {
+            let mut b = motivo_table::RecordBuilder::new();
+            b.add((v as u64 + 1) << 16 | 0b0011, v as u128 + 1);
+            b.freeze()
+        };
+        level.put(0, rec(0)).unwrap();
+        level.put(1, rec(1)).unwrap();
+        assert!(level.put(2, rec(2)).is_err(), "third write must fail");
+        assert!(level.put(3, rec(3)).is_err(), "and it stays failed");
+        assert_eq!(level.writes(), 4);
+        // What landed before the fault is intact and servable.
+        assert_eq!(level.record_count(), 2);
+        let table = CountTable::from_levels(vec![Box::new(level)], RecordCodec::Plain);
+        assert_eq!(table.level(1).record_count(), 2);
+    }
+
+    #[test]
+    fn torn_append_is_truncated_on_reopen() {
+        let dir = std::env::temp_dir().join("motivo-store-testing-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-append.log");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut j = Journal::open(&path).unwrap().journal;
+            j.append(b"durable").unwrap();
+        }
+        let durable_len = std::fs::metadata(&path).unwrap().len();
+        // Tear at every prefix length of a would-be second frame: none may
+        // survive recovery, and the durable frame always must.
+        for keep in 0..(8 + 5) {
+            torn_journal_append(&path, b"later", keep).unwrap();
+            let replay = Journal::open(&path).unwrap();
+            assert_eq!(replay.entries, vec![b"durable".to_vec()], "keep={keep}");
+            assert_eq!(replay.journal.len_bytes(), durable_len, "keep={keep}");
+        }
+    }
+}

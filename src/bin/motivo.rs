@@ -34,7 +34,7 @@ use motivo::table::{CountTable, RecordCodec};
 use std::process::exit;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|sample|store|table|serve|client|stats> [args]\n\
+const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|sample|store|table|serve|client|stats|promote|repl> [args]\n\
      \n\
      generate --model ba|er|hub|yelp|lollipop --nodes N [--param P] [--seed S] --out FILE\n\
      convert  <edges.txt> <out.mtvg>\n\
@@ -55,8 +55,11 @@ const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|samp
      store    gc --store DIR\n\
      serve    --store DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
               [--cache-bytes N] [--snapshot-secs N]\n\
+              [--replica-of HOST:PORT] [--poll-ms N]\n\
      client   <addr> <request-json|-> [--batch]\n\
-     stats    <addr> [--raw]";
+     stats    <addr> [--raw]\n\
+     promote  <addr>\n\
+     repl     status <addr>";
 
 fn main() {
     // Piping into `head` closes stdout early; die quietly instead of
@@ -83,6 +86,8 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("promote") => cmd_promote(&args[1..]),
+        Some("repl") => cmd_repl(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             exit(2);
@@ -675,7 +680,10 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the query daemon until a wire `Shutdown` request arrives.
+/// Runs the query daemon until a wire `Shutdown` request arrives. With
+/// `--replica-of` the store opens read-only and a sync thread tails the
+/// leader; the server then refuses `Build` and wire `Shutdown` with a
+/// `ReadOnly` error until a `Promote` request arrives.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
         args,
@@ -686,16 +694,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "queue",
             "cache-bytes",
             "snapshot-secs",
+            "replica-of",
+            "poll-ms",
         ],
         &[],
     )?;
-    let store = open_store(&o)?;
+    let replica_of: Option<String> = o.get("replica-of")?;
+    let store = if replica_of.is_some() {
+        let dir = o.flags.get("store").ok_or("--store DIR required")?;
+        UrnStore::open_replica(dir, Default::default())
+            .map_err(|e| format!("cannot open replica store {dir}: {e}"))?
+    } else {
+        open_store(&o)?
+    };
     let addr: String = o.get_or("addr", "127.0.0.1:7070".into())?;
     let opts = ServeOptions {
         workers: o.get_or("workers", 4)?,
         queue_depth: o.get_or("queue", 0)?,
         cache_bytes: o.get_or("cache-bytes", motivo::server::DEFAULT_CACHE_BYTES)?,
         snapshot_secs: o.get_or("snapshot-secs", 0)?,
+        replica_of,
+        repl_poll_ms: o.get_or("poll-ms", 0)?,
     };
     let server = Server::bind(Arc::new(store), addr.as_str(), opts)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -840,6 +859,102 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
                 field(&h, "p50_us"),
                 field(&h, "p99_us"),
                 field(&h, "max_us"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Promotes a replica to leader: it starts accepting writes (and wire
+/// `Shutdown`) and stops syncing from its old leader.
+fn cmd_promote(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[], &[])?;
+    let [addr] = &o.positional[..] else {
+        return Err("usage: promote <addr>".into());
+    };
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let ok = client
+        .request(&serde_json::json!({"type": "Promote"}))
+        .map_err(|e| format!("Promote request failed: {e}"))?;
+    let swept = ok.get("swept").and_then(|s| s.as_u64()).unwrap_or(0);
+    println!("promoted {addr} to leader ({swept} interrupted builds swept)");
+    Ok(())
+}
+
+/// Prints a server's replication status: its role and offsets, plus
+/// per-replica lag on a leader or sync-loop progress on a replica.
+fn cmd_repl(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("status") => cmd_repl_status(&args[1..]),
+        _ => Err("usage: repl status <addr>".into()),
+    }
+}
+
+fn cmd_repl_status(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[], &[])?;
+    let [addr] = &o.positional[..] else {
+        return Err("usage: repl status <addr>".into());
+    };
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let ok = client
+        .request(&serde_json::json!({"type": "ReplStatus"}))
+        .map_err(|e| format!("ReplStatus request failed: {e}"))?;
+    let field =
+        |v: &serde_json::Value, key: &str| v.get(key).and_then(|f| f.as_u64()).unwrap_or_default();
+    let role = ok
+        .get("role")
+        .and_then(|r| r.as_str().map(str::to_string))
+        .unwrap_or_else(|| "?".into());
+    println!(
+        "{addr}: {role}, journal offset {}, log id {:#010x}",
+        field(&ok, "offset"),
+        field(&ok, "log_id")
+    );
+    if let Some(leader) = ok.get("leader").filter(|l| !l.is_null()) {
+        println!("leader: {}", leader.as_str().unwrap_or("?"));
+    }
+    if role == "replica" {
+        if let Some(sync) = ok.get("sync") {
+            let flag = |key: &str| sync.get(key).and_then(|b| b.as_bool()).unwrap_or_default();
+            println!(
+                "sync: connected {} caught_up {} offset {}/{} · {} fetches, {} records, \
+                 {} files, {} bootstraps",
+                flag("connected"),
+                flag("caught_up"),
+                field(&sync, "offset"),
+                field(&sync, "leader_len"),
+                field(&sync, "fetches"),
+                field(&sync, "records_applied"),
+                field(&sync, "files_fetched"),
+                field(&sync, "bootstraps"),
+            );
+            if let Some(err) = sync.get("last_error").filter(|e| !e.is_null()) {
+                println!("last error: {}", err.as_str().unwrap_or("?"));
+            }
+        }
+    }
+    let replicas = ok
+        .get("replicas")
+        .and_then(|r| r.as_array())
+        .unwrap_or_default();
+    if !replicas.is_empty() {
+        println!(
+            "{:<24} {:>12} {:>10} {:>8} {:>8} {:>12}",
+            "replica", "offset", "lag", "fetches", "files", "last_seen_ms"
+        );
+        for r in &replicas {
+            println!(
+                "{:<24} {:>12} {:>10} {:>8} {:>8} {:>12}",
+                r.get("name")
+                    .and_then(|n| n.as_str().map(str::to_string))
+                    .unwrap_or_else(|| "?".into()),
+                field(r, "offset"),
+                field(r, "lag"),
+                field(r, "fetches"),
+                field(r, "files_served"),
+                field(r, "last_seen_ms"),
             );
         }
     }

@@ -52,7 +52,7 @@
 //! | [`exact`] | exact ESU enumeration (ground truth) |
 //! | [`baseline`] | the pointer-based CC port the paper compares against |
 //! | [`store`] | crash-safe urn repository: journal, LRU cache, query service |
-//! | [`server`] | TCP query daemon over a store: worker pool, backpressure, wire client |
+//! | [`server`] | TCP query daemon over a store: worker pool, backpressure, wire client, leader/replica replication |
 //! | [`obs`] | metrics & tracing: counters, latency histograms, spans, Prometheus text |
 
 pub use cc_baseline as baseline;

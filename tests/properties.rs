@@ -1,9 +1,12 @@
 //! Cross-crate property tests (proptest): the invariants that hold for
 //! *every* input, not just the hand-picked unit cases.
 
+use motivo::core::checksum::crc32;
 use motivo::graphlet::spanning::SmallCounts;
 use motivo::prelude::*;
+use motivo::store::{BuildKey, GraphMeta, Journal, ManifestRecord, SEGMENT_MAX_BYTES};
 use proptest::prelude::*;
+use std::path::PathBuf;
 
 /// Random parent array of a rooted tree on `n ≤ 10` nodes.
 fn parents_strategy() -> impl Strategy<Value = Vec<u8>> {
@@ -180,5 +183,223 @@ proptest! {
         let total: u128 = sigma.iter().map(|&s| s as u128).sum();
         let kirchhoff = motivo::graphlet::kirchhoff::spanning_tree_count(&g);
         prop_assert_eq!(total, k as u128 * kirchhoff);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication protocol: the journal IS the replication log, so these pin the
+// three invariants the replica's correctness rests on — frames roundtrip for
+// every record type, corrupted frames are rejected without poisoning the
+// intact prefix, and resuming from any durable offset replays exactly the
+// suffix a full replay would.
+
+/// An arbitrary manifest record, covering every variant the replication
+/// stream can carry.
+fn manifest_record_strategy() -> impl Strategy<Value = ManifestRecord> {
+    (
+        0u8..5,
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (1u32..=16, any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(tag, (a, b, c), (k, with_lambda, zero_rooting))| match tag {
+                0 => ManifestRecord::GraphAdded(GraphMeta {
+                    fingerprint: a,
+                    nodes: b as u32,
+                    edges: c,
+                }),
+                1 => ManifestRecord::BuildStarted {
+                    id: UrnId(a),
+                    key: BuildKey {
+                        fingerprint: b,
+                        k,
+                        seed: c,
+                        lambda_bits: if with_lambda { Some(a ^ b) } else { None },
+                        zero_rooting,
+                        codec: if c & 1 == 0 {
+                            RecordCodec::Plain
+                        } else {
+                            RecordCodec::Succinct
+                        },
+                    },
+                },
+                2 => ManifestRecord::BuildFinished {
+                    id: UrnId(a),
+                    table_bytes: b,
+                    records: c,
+                    // Exactly representable, so it roundtrips through the
+                    // f64-LE encoding under `PartialEq`.
+                    build_secs: (b % 1_000_000) as f64 / 1024.0,
+                },
+                3 => ManifestRecord::BuildFailed { id: UrnId(a) },
+                _ => ManifestRecord::Removed { id: UrnId(a) },
+            },
+        )
+}
+
+/// Scratch path under the temp dir; each property test owns one name, so
+/// parallel test threads never collide.
+fn prop_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("motivo-prop-replication");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Writes `records` into a fresh journal at `path`, returning the raw file
+/// bytes and each frame's end offset (the durable-offset boundaries).
+fn write_record_journal(
+    path: &std::path::Path,
+    records: &[ManifestRecord],
+) -> (Vec<u8>, Vec<usize>) {
+    std::fs::remove_file(path).ok();
+    let mut journal = Journal::open(path).unwrap().journal;
+    let mut ends = Vec::with_capacity(records.len());
+    let mut at = 0usize;
+    for r in records {
+        let payload = r.encode();
+        journal.append(&payload).unwrap();
+        at += 8 + payload.len();
+        ends.push(at);
+    }
+    drop(journal);
+    let raw = std::fs::read(path).unwrap();
+    assert_eq!(raw.len(), at, "frame layout is len:u32 crc:u32 payload");
+    (raw, ends)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every record type survives encode → decode bit-exactly, and a
+    /// journal replays the exact frame stream it appended.
+    #[test]
+    fn replication_frames_roundtrip(
+        records in proptest::collection::vec(manifest_record_strategy(), 1..12),
+    ) {
+        for r in &records {
+            prop_assert_eq!(&ManifestRecord::decode(&r.encode()).unwrap(), r);
+        }
+        let path = prop_path("roundtrip.log");
+        let (raw, ends) = write_record_journal(&path, &records);
+        prop_assert_eq!(*ends.last().unwrap(), raw.len());
+        let replay = Journal::open(&path).unwrap();
+        prop_assert_eq!(replay.truncated_bytes, 0);
+        prop_assert_eq!(replay.entries.len(), records.len());
+        for (entry, r) in replay.entries.iter().zip(&records) {
+            prop_assert_eq!(&ManifestRecord::decode(entry).unwrap(), r);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncated, bit-flipped, and length-corrupted frames are rejected:
+    /// replay surfaces exactly the intact prefix — never a corrupted or
+    /// later frame — and the reopened journal is healed.
+    #[test]
+    fn corrupt_frames_never_replay(
+        records in proptest::collection::vec(manifest_record_strategy(), 1..10),
+        corrupt in (0u8..3, any::<u64>(), 0u8..8),
+    ) {
+        let path = prop_path("corrupt.log");
+        let (raw, ends) = write_record_journal(&path, &records);
+        let (mode, pos_seed, bit) = corrupt;
+        let frame_of = |p: usize| ends.iter().position(|&e| p < e).unwrap();
+        let intact = match mode {
+            0 => {
+                // Torn tail: the file stops mid-frame (or mid-header).
+                let cut = (pos_seed % raw.len() as u64) as usize;
+                std::fs::write(&path, &raw[..cut]).unwrap();
+                ends.iter().filter(|&&e| e <= cut).count()
+            }
+            1 => {
+                // A single flipped bit anywhere in the stream.
+                let p = (pos_seed % raw.len() as u64) as usize;
+                let mut bytes = raw.clone();
+                bytes[p] ^= 1 << bit;
+                std::fs::write(&path, &bytes).unwrap();
+                frame_of(p)
+            }
+            _ => {
+                // One frame's length header off by 1..=4096.
+                let j = (pos_seed % records.len() as u64) as usize;
+                let start = if j == 0 { 0 } else { ends[j - 1] };
+                let mut bytes = raw.clone();
+                let len = u32::from_le_bytes(bytes[start..start + 4].try_into().unwrap());
+                let delta = 1 + (pos_seed % 4096) as u32;
+                bytes[start..start + 4]
+                    .copy_from_slice(&len.wrapping_add(delta).to_le_bytes());
+                std::fs::write(&path, &bytes).unwrap();
+                j
+            }
+        };
+        let replay = Journal::open(&path).unwrap();
+        prop_assert_eq!(replay.entries.len(), intact);
+        for (entry, r) in replay.entries.iter().zip(&records) {
+            prop_assert_eq!(&ManifestRecord::decode(entry).unwrap(), r);
+        }
+        // The open truncated the corrupt tail; a reopen is clean.
+        let reopened = Journal::open(&path).unwrap();
+        prop_assert_eq!(reopened.truncated_bytes, 0);
+        prop_assert_eq!(reopened.entries.len(), intact);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Offset-resume equivalence: a segment served from any frame boundary
+    /// `k` equals the full-replay suffix past `k`; mid-frame offsets and
+    /// divergent prefix CRCs are refused as stale, never served.
+    #[test]
+    fn journal_segment_resume_equivalence(
+        graphs in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>()), 1..10),
+        pick in (any::<u64>(), any::<u64>()),
+    ) {
+        // GraphAdded-only journals: `UrnStore::open` replays them without
+        // recovery side effects that would append to the log.
+        let records: Vec<ManifestRecord> = graphs
+            .iter()
+            .map(|&(f, n, e)| ManifestRecord::GraphAdded(GraphMeta {
+                fingerprint: f,
+                nodes: n as u32,
+                edges: e,
+            }))
+            .collect();
+        let dir = prop_path("segment-store");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let (raw, ends) = write_record_journal(&dir.join("journal.log"), &records);
+        let store = UrnStore::open(&dir).unwrap();
+        let full = store.journal_segment(0, crc32(&[]), SEGMENT_MAX_BYTES).unwrap();
+        prop_assert!(!full.stale);
+        prop_assert_eq!(full.payloads.len(), records.len());
+        prop_assert_eq!(full.leader_len, raw.len() as u64);
+        let mut boundaries = vec![0usize];
+        boundaries.extend(&ends);
+        let idx = (pick.0 % boundaries.len() as u64) as usize;
+        let at = boundaries[idx];
+        let seg = store
+            .journal_segment(at as u64, crc32(&raw[..at]), SEGMENT_MAX_BYTES)
+            .unwrap();
+        prop_assert!(!seg.stale);
+        prop_assert_eq!(&seg.payloads[..], &full.payloads[idx..]);
+        prop_assert_eq!(seg.leader_len, full.leader_len);
+        // A mid-frame offset is stale even with a matching prefix CRC.
+        if raw.len() > 1 {
+            let off = 1 + (pick.1 % (raw.len() as u64 - 1)) as usize;
+            if !boundaries.contains(&off) {
+                let torn = store
+                    .journal_segment(off as u64, crc32(&raw[..off]), SEGMENT_MAX_BYTES)
+                    .unwrap();
+                prop_assert!(torn.stale);
+            }
+        }
+        // So is a boundary offset under the wrong prefix CRC (a replica
+        // whose log diverged from this leader's lineage).
+        if at > 0 {
+            let bad = store
+                .journal_segment(at as u64, crc32(&raw[..at]) ^ 1, SEGMENT_MAX_BYTES)
+                .unwrap();
+            prop_assert!(bad.stale);
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,398 @@
+//! Fault-injection tests of replicated serving: real `motivo` binaries on
+//! ephemeral ports, a leader streaming its journal to replicas, and the
+//! faults DESIGN.md §8 promises to survive — replicas killed mid-stream,
+//! leaders dying and restarting with torn journal tails, and promotion
+//! after leader death. All waits are bounded polls (`support::poll_until`),
+//! never fixed sleeps.
+
+mod support;
+
+use motivo::prelude::{Client, ClientError};
+use motivo::store::testing::torn_journal_append;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::time::Duration;
+use support::{poll_until, raw_request, seed_store, spawn_server_with, workdir};
+
+/// Spawns a replica of `leader_addr` over `dir` with a fast poll.
+fn spawn_replica(dir: &PathBuf, leader_addr: &str) -> (std::process::Child, String) {
+    spawn_server_with(
+        dir,
+        &[
+            "--replica-of",
+            leader_addr,
+            "--poll-ms",
+            "25",
+            "--workers",
+            "2",
+        ],
+    )
+}
+
+/// Polls `addr` until its sync loop reports caught-up over a live
+/// connection *and* it lists `urns` built urns; returns the final
+/// `ReplStatus` payload.
+fn wait_caught_up(addr: &str, urns: usize) -> Value {
+    poll_until(
+        &format!("replica {addr} to catch up with {urns} urn(s)"),
+        Duration::from_secs(60),
+        || {
+            let mut client = Client::connect(addr).ok()?;
+            let status = client.request(&json!({"type": "ReplStatus"})).ok()?;
+            let sync = status.get("sync")?;
+            let ready = sync.get("connected").and_then(|v| v.as_bool()) == Some(true)
+                && sync.get("caught_up").and_then(|v| v.as_bool()) == Some(true);
+            let listed = client.request(&json!({"type": "ListUrns"})).ok()?;
+            let built = listed
+                .get("urns")
+                .and_then(|u| u.as_array())
+                .map(|rows| {
+                    rows.iter()
+                        .filter(|r| {
+                            r.get("status").map(|s| s.as_str() == Some("built")) == Some(true)
+                        })
+                        .count()
+                })
+                .unwrap_or(0);
+            (ready && built == urns).then_some(status)
+        },
+    )
+}
+
+fn sync_field(status: &Value, key: &str) -> u64 {
+    status
+        .get("sync")
+        .and_then(|s| s.get(key))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("no sync.{key} in {status:?}"))
+}
+
+/// Asserts a request against `addr` is refused with the `ReadOnly` kind.
+fn assert_read_only(addr: &str, body: &Value) {
+    let mut client = Client::connect(addr).unwrap();
+    match client.request(body) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "ReadOnly", "{body:?}"),
+        other => panic!("{body:?} against a replica returned {other:?}, not ReadOnly"),
+    }
+}
+
+/// An empty replica converges against a live leader and then serves
+/// **byte-identical** responses — asserted on the raw response frames,
+/// not re-parsed JSON — while refusing every mutation with `ReadOnly`.
+#[test]
+fn empty_replica_converges_and_serves_identical_bytes() {
+    let leader_dir = workdir("repl-converge-leader");
+    let replica_dir = workdir("repl-converge-replica");
+    let scratch = workdir("repl-converge-scratch");
+    let expected = seed_store(&leader_dir, 5_000, 3);
+    let (mut leader, leader_addr) = spawn_server_with(&leader_dir, &["--workers", "2"]);
+    let (mut replica, replica_addr) = spawn_replica(&replica_dir, &leader_addr);
+
+    wait_caught_up(&replica_addr, 1);
+
+    // The determinism ⇒ exact-replica claim, on the wire: the raw frame
+    // bytes from leader and replica are equal, and both carry the
+    // in-process payload.
+    let req = json!({
+        "id": 11, "type": "NaiveEstimates", "urn": 0,
+        "samples": 5_000, "seed": 3, "threads": 2,
+    });
+    let from_leader = raw_request(&leader_addr, &req);
+    let from_replica = raw_request(&replica_addr, &req);
+    assert_eq!(
+        from_leader, from_replica,
+        "response frames must be identical"
+    );
+    let envelope: Value = serde_json::from_str(&from_replica).unwrap();
+    let ok = envelope.get("ok").expect("an ok envelope");
+    assert_eq!(serde_json::to_string(&ok).unwrap(), expected);
+
+    // The leader's registry saw this replica and served it files.
+    let mut client = Client::connect(leader_addr.as_str()).unwrap();
+    let status = client.request(&json!({"type": "ReplStatus"})).unwrap();
+    assert_eq!(status.get("role").unwrap().as_str(), Some("leader"));
+    let rows = status.get("replicas").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 1, "{status:?}");
+    assert!(rows[0].get("files_served").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(rows[0].get("lag").unwrap().as_u64(), Some(0));
+
+    // Mutations are refused until promotion — including wire shutdown.
+    // (The build's graph file is real: the refusal must come from the
+    // store's write gate, not from a failed load.)
+    let edges = scratch.join("denied.txt");
+    let g = motivo::graph::generators::barabasi_albert(80, 2, 1);
+    motivo::graph::io::save_edge_list(&g, &edges).unwrap();
+    assert_read_only(&replica_addr, &json!({"type": "Shutdown"}));
+    assert_read_only(
+        &replica_addr,
+        &json!({"type": "Build", "graph": edges.to_str().unwrap(), "k": 3}),
+    );
+
+    // A replica's lifecycle belongs to its operator: kill it directly.
+    replica.kill().unwrap();
+    replica.wait().unwrap();
+    let mut client = Client::connect(leader_addr.as_str()).unwrap();
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    assert!(leader.wait().unwrap().success());
+    for dir in [&leader_dir, &replica_dir, &scratch] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// A replica killed outright resumes from its durable journal offset:
+/// the restarted process applies only the records it missed and never
+/// re-fetches sealed urn files it already holds.
+#[test]
+fn killed_replica_resumes_from_durable_offset_without_refetch() {
+    let leader_dir = workdir("repl-resume-leader");
+    let replica_dir = workdir("repl-resume-replica");
+    let scratch = workdir("repl-resume-scratch");
+    seed_store(&leader_dir, 1_000, 1);
+    let (mut leader, leader_addr) = spawn_server_with(&leader_dir, &["--workers", "2"]);
+    let (mut replica, replica_addr) = spawn_replica(&replica_dir, &leader_addr);
+
+    let status = wait_caught_up(&replica_addr, 1);
+    let first_offset = sync_field(&status, "offset");
+    let first_files = sync_field(&status, "files_fetched");
+    assert!(first_offset > 0);
+    assert!(first_files >= 1, "the urn's tables were fetched");
+
+    // Fault: SIGKILL mid-stream. No flush, no goodbye.
+    replica.kill().unwrap();
+    replica.wait().unwrap();
+
+    // The leader moves on: a second urn built over the wire.
+    let g2 = motivo::graph::generators::erdos_renyi(150, 400, 7);
+    let edges = scratch.join("second.txt");
+    motivo::graph::io::save_edge_list(&g2, &edges).unwrap();
+    let mut client = Client::connect(leader_addr.as_str()).unwrap();
+    let built = client
+        .request(&json!({
+            "type": "Build", "graph": edges.to_str().unwrap(),
+            "k": 3, "seed": 4, "wait": true,
+        }))
+        .unwrap();
+    assert_eq!(built.get("status").unwrap().as_str(), Some("built"));
+    let urn2_files = client
+        .request(&json!({"type": "ReplFiles", "urn": 1}))
+        .unwrap()
+        .get("files")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .len() as u64;
+    assert!(urn2_files >= 1);
+
+    // Restart over the same store directory. Torn-tail recovery lands the
+    // journal back on its last durable offset; the sync loop resumes from
+    // there instead of replaying (or re-bootstrapping) the world.
+    let (mut replica, replica_addr) = spawn_replica(&replica_dir, &leader_addr);
+    let status = wait_caught_up(&replica_addr, 2);
+    assert_eq!(
+        sync_field(&status, "bootstraps"),
+        0,
+        "resume must not reinstall the manifest: {status:?}"
+    );
+    assert!(
+        sync_field(&status, "offset") > first_offset,
+        "the new session extends the durable offset"
+    );
+    // Only the second build's records crossed the wire (GraphAdded +
+    // BuildStarted + BuildFinished) — nothing from before the kill.
+    assert!(
+        sync_field(&status, "records_applied") <= 3,
+        "resume replayed old records: {status:?}"
+    );
+    // No-refetch invariant: the heal diffed urn-0's files by length+crc
+    // and skipped them; only urn-1's tables (plus its cached host graph)
+    // moved.
+    assert!(
+        sync_field(&status, "files_fetched") <= urn2_files + 1,
+        "resume re-fetched files it already held: {status:?}"
+    );
+
+    // Both urns answer byte-identically to the leader after the resume.
+    for (urn, seed) in [(0u64, 1u64), (1, 4)] {
+        let req = json!({
+            "id": 5, "type": "Sample", "urn": urn, "samples": 500, "seed": seed,
+        });
+        assert_eq!(
+            raw_request(&leader_addr, &req),
+            raw_request(&replica_addr, &req),
+            "urn {urn}"
+        );
+    }
+
+    replica.kill().unwrap();
+    replica.wait().unwrap();
+    let mut client = Client::connect(leader_addr.as_str()).unwrap();
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    assert!(leader.wait().unwrap().success());
+    for dir in [&leader_dir, &replica_dir, &scratch] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// The leader dies and restarts with a **torn journal tail** (an append
+/// interrupted mid-frame). Recovery truncates the tail; the replica —
+/// whose offset only ever covered durable frames — reconnects under
+/// backoff and stays byte-identical.
+#[test]
+fn leader_restart_with_torn_tail_keeps_replica_convergent() {
+    let leader_dir = workdir("repl-torn-leader");
+    let replica_dir = workdir("repl-torn-replica");
+    seed_store(&leader_dir, 1_000, 2);
+
+    // The leader must come back on the *same* address: reserve a port.
+    let port = support::pick_port();
+    let fixed_addr = format!("127.0.0.1:{port}");
+    let leader_args = ["--addr", fixed_addr.as_str(), "--workers", "2"];
+    let (mut leader, leader_addr) = spawn_server_with(&leader_dir, &leader_args);
+    let (mut replica, replica_addr) = spawn_replica(&replica_dir, &leader_addr);
+    wait_caught_up(&replica_addr, 1);
+
+    let mut client = Client::connect(leader_addr.as_str()).unwrap();
+    let status = client.request(&json!({"type": "ReplStatus"})).unwrap();
+    let durable_offset = status.get("offset").unwrap().as_u64().unwrap();
+    drop(client);
+
+    // Fault: kill the leader, then forge the crash it could have died in —
+    // a frame whose header promises more bytes than ever hit the disk.
+    leader.kill().unwrap();
+    leader.wait().unwrap();
+    torn_journal_append(
+        &leader_dir.join("journal.log"),
+        b"record torn apart mid-append",
+        9,
+    )
+    .unwrap();
+
+    // The replica notices its leader is gone and says so.
+    poll_until(
+        "the replica to report its leader unreachable",
+        Duration::from_secs(30),
+        || {
+            let mut client = Client::connect(replica_addr.as_str()).ok()?;
+            let status = client.request(&json!({"type": "ReplStatus"})).ok()?;
+            let sync = status.get("sync")?;
+            (sync.get("connected").and_then(|v| v.as_bool()) == Some(false)
+                && !sync.get("last_error")?.is_null())
+            .then_some(())
+        },
+    );
+
+    // Restart on the same address: recovery drops the torn tail, landing
+    // exactly on the offset the replica holds.
+    let (mut leader, leader_addr) = spawn_server_with(&leader_dir, &leader_args);
+    let mut client = Client::connect(leader_addr.as_str()).unwrap();
+    let status = client.request(&json!({"type": "ReplStatus"})).unwrap();
+    assert_eq!(
+        status.get("offset").unwrap().as_u64(),
+        Some(durable_offset),
+        "torn tail must be truncated on recovery"
+    );
+    drop(client);
+
+    // The replica reconnects under backoff and is still byte-identical.
+    let status = wait_caught_up(&replica_addr, 1);
+    assert_eq!(sync_field(&status, "offset"), durable_offset);
+    assert_eq!(sync_field(&status, "bootstraps"), 0, "{status:?}");
+    let req = json!({
+        "id": 3, "type": "NaiveEstimates", "urn": 0,
+        "samples": 1_000, "seed": 2, "threads": 2,
+    });
+    assert_eq!(
+        raw_request(&leader_addr, &req),
+        raw_request(&replica_addr, &req)
+    );
+
+    replica.kill().unwrap();
+    replica.wait().unwrap();
+    let mut client = Client::connect(leader_addr.as_str()).unwrap();
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    assert!(leader.wait().unwrap().success());
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&replica_dir).ok();
+}
+
+/// The leader dies for good; `motivo promote` turns the surviving replica
+/// into a leader that accepts builds and (only now) wire shutdowns.
+#[test]
+fn promotion_serves_writes_after_leader_death() {
+    let leader_dir = workdir("repl-promote-leader");
+    let replica_dir = workdir("repl-promote-replica");
+    let scratch = workdir("repl-promote-scratch");
+    seed_store(&leader_dir, 1_000, 6);
+    let (mut leader, leader_addr) = spawn_server_with(&leader_dir, &["--workers", "2"]);
+    let (mut replica, replica_addr) = spawn_replica(&replica_dir, &leader_addr);
+    wait_caught_up(&replica_addr, 1);
+
+    leader.kill().unwrap();
+    leader.wait().unwrap();
+
+    // Still a replica: writes and shutdowns bounce.
+    let g2 = motivo::graph::generators::barabasi_albert(150, 3, 9);
+    let edges = scratch.join("after-failover.txt");
+    motivo::graph::io::save_edge_list(&g2, &edges).unwrap();
+    assert_read_only(&replica_addr, &json!({"type": "Shutdown"}));
+    assert_read_only(
+        &replica_addr,
+        &json!({"type": "Build", "graph": edges.to_str().unwrap(), "k": 3}),
+    );
+
+    // Manual failover through the CLI.
+    let out = support::motivo()
+        .args(["promote", &replica_addr])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "promote failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("promoted"));
+
+    // Promoting a leader twice is an error, not a no-op.
+    let mut client = Client::connect(replica_addr.as_str()).unwrap();
+    match client.request(&json!({"type": "Promote"})) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "BadRequest"),
+        other => panic!("second promote returned {other:?}"),
+    }
+    let status = client.request(&json!({"type": "ReplStatus"})).unwrap();
+    assert_eq!(status.get("role").unwrap().as_str(), Some("leader"));
+    drop(client);
+
+    // The operator's view agrees.
+    let out = support::motivo()
+        .args(["repl", "status", &replica_addr])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("leader"));
+
+    // The promoted store takes writes: a fresh build over the wire…
+    let mut client = Client::connect(replica_addr.as_str()).unwrap();
+    let built = client
+        .request(&json!({
+            "type": "Build", "graph": edges.to_str().unwrap(),
+            "k": 3, "seed": 8, "wait": true,
+        }))
+        .unwrap();
+    assert_eq!(built.get("status").unwrap().as_str(), Some("built"));
+    let sampled = client
+        .request(&json!({"type": "Sample", "urn": 1, "samples": 200, "seed": 8}))
+        .unwrap();
+    assert!(!sampled
+        .get("classes")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+
+    // …and, now a leader, honors wire shutdown with a clean exit.
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    assert!(replica.wait().unwrap().success());
+    for dir in [&leader_dir, &replica_dir, &scratch] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -3,74 +3,13 @@
 //! byte-identical to in-process [`StoreQuery`] calls for a fixed seed, and
 //! a graceful shutdown that drains every accepted request.
 
-use motivo::core::{BuildConfig, SampleConfig};
-use motivo::graphlet::GraphletRegistry;
-use motivo::prelude::{Client, StoreQuery, UrnId, UrnStore};
+mod support;
+
+use motivo::prelude::Client;
 use motivo::server::proto;
 use serde_json::json;
 use std::io::{BufRead, BufReader};
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
-
-fn motivo() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_motivo"))
-}
-
-fn workdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("motivo-serve-test-{name}"));
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// Builds a store with one k=4 urn and returns the expected in-process
-/// serialization of a seeded `NaiveEstimates` request against it. The
-/// store is closed again before the daemon opens it — one process at a
-/// time owns the journal.
-fn seed_store(dir: &PathBuf, samples: u64, seed: u64) -> String {
-    let graph = motivo::graph::generators::barabasi_albert(250, 3, 5);
-    let store = UrnStore::open(dir).unwrap();
-    let handle = store
-        .build_or_get(&graph, &BuildConfig::new(4).seed(2))
-        .unwrap();
-    handle.wait().unwrap();
-    let query = StoreQuery::new(&store);
-    let mut registry = GraphletRegistry::new(4);
-    let est = query
-        .naive_estimates(
-            UrnId(0),
-            &mut registry,
-            samples,
-            &SampleConfig::seeded(seed).threads(2),
-        )
-        .unwrap();
-    serde_json::to_string(&proto::estimates_json(&est, &registry)).unwrap()
-}
-
-/// Spawns `motivo serve` on an ephemeral port and reads the bound address
-/// off its first stdout line.
-fn spawn_server(store_dir: &PathBuf, workers: u32, queue: u32) -> (Child, String) {
-    let mut child = motivo()
-        .args(["serve", "--addr", "127.0.0.1:0"])
-        .args(["--workers", &workers.to_string()])
-        .args(["--queue", &queue.to_string()])
-        .arg("--store")
-        .arg(store_dir)
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn motivo serve");
-    let stdout = child.stdout.take().expect("piped stdout");
-    let mut lines = BufReader::new(stdout).lines();
-    let first = lines
-        .next()
-        .expect("server printed its address")
-        .expect("readable stdout");
-    let addr = first
-        .strip_prefix("listening on ")
-        .unwrap_or_else(|| panic!("unexpected first line {first:?}"))
-        .to_string();
-    (child, addr)
-}
+use support::{motivo, ping_barrier, seed_store, spawn_server, workdir};
 
 /// ≥ 32 concurrent clients mixing every query type; the seeded estimate
 /// responses are byte-identical to the in-process call.
@@ -270,19 +209,26 @@ fn shutdown_drains_accepted_requests() {
         });
         proto::write_frame(conn, serde_json::to_string(&req).unwrap().as_bytes()).unwrap();
     }
-    std::thread::sleep(std::time::Duration::from_millis(300));
+    // A ping barrier per connection instead of a fixed sleep: the pong
+    // proves the parked request ahead of it was accepted into the queue,
+    // so the shutdown below provably races the drain, not the readers.
+    let mut early: Vec<Vec<serde_json::Value>> = conns.iter_mut().map(ping_barrier).collect();
     let mut client = Client::connect(addr.as_str()).unwrap();
     client.request(&json!({"type": "Shutdown"})).unwrap();
 
     // Every accepted request completes with a real payload — and because
     // they share a seed, all with the *same* payload.
     let mut payloads = std::collections::HashSet::new();
-    for conn in conns.iter_mut() {
-        let frame = proto::read_frame(conn)
-            .unwrap()
-            .expect("a response, not a dropped connection");
-        let v: serde_json::Value =
-            serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+    for (conn, early) in conns.iter_mut().zip(early.iter_mut()) {
+        let v = match early.pop() {
+            Some(v) => v, // answered before the barrier's pong
+            None => {
+                let frame = proto::read_frame(conn)
+                    .unwrap()
+                    .expect("a response, not a dropped connection");
+                serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap()
+            }
+        };
         let ok = v
             .get("ok")
             .unwrap_or_else(|| panic!("accepted request answered with {v:?} instead of a payload"));

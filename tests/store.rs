@@ -132,17 +132,13 @@ fn journal_truncated_mid_entry_recovers_and_rebuilds() {
     let partial_dir = dir.join("urns").join(crashed.dir_name());
     std::fs::create_dir_all(&partial_dir).unwrap();
     std::fs::write(partial_dir.join("level-2.mtvt"), b"half-written garbage").unwrap();
-    {
-        use std::io::Write;
-        let mut f = std::fs::OpenOptions::new()
-            .append(true)
-            .open(dir.join("journal.log"))
-            .unwrap();
-        // A frame header promising 64 bytes, followed by only 5.
-        f.write_all(&64u32.to_le_bytes()).unwrap();
-        f.write_all(&0x1234_5678u32.to_le_bytes()).unwrap();
-        f.write_all(b"crash").unwrap();
-    }
+    // A frame interrupted mid-append: only 13 of its bytes hit the disk.
+    motivo::store::testing::torn_journal_append(
+        &dir.join("journal.log"),
+        b"a record that never fully landed",
+        13,
+    )
+    .unwrap();
 
     // Recovery: torn tail dropped, interrupted build failed and swept.
     let store = UrnStore::open(&dir).unwrap();
