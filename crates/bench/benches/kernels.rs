@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks of the two sampling-phase kernels the perf
+//! gate watches in isolation (DESIGN.md §5.5): the batched succinct
+//! block decoder (entries/s through shape sweeps, which refill a
+//! decoded-block arena one anchor block at a time) and the branchless
+//! alias walk (draws/s via `sample_many`).
+//!
+//! The workloads are the shared [`motivo_bench::kernels`] fixtures, so
+//! these numbers are directly comparable to the
+//! `decode_entries_per_sec` / `alias_draws_per_sec` fields the `ci`
+//! experiment writes into `BENCH_ci.json`.
+//!
+//! ```sh
+//! cargo bench -p motivo-bench --bench kernels
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use motivo_bench::kernels::{alias_workload, decode_workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_block_decode(c: &mut Criterion) {
+    let (record, trees) = decode_workload(4);
+    let mut group = c.benchmark_group("block-decode");
+    // Streaming: the split-draw sweep — every shape's run of the record.
+    group.bench_function(BenchmarkId::new("iter_tree", record.len()), |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &tree in &trees {
+                for (colors, count) in record.iter_tree(tree) {
+                    acc = acc.wrapping_add(colors.0 as u128).wrapping_add(count);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    // Random access: anchor seek + partial block decode per select.
+    group.bench_function(BenchmarkId::new("select", record.len()), |b| {
+        let total = record.total();
+        let mut r = 1u128;
+        b.iter(|| {
+            let ct = record.select(r);
+            r = r.wrapping_mul(6_364_136_223_846_793_005) % total + 1;
+            black_box(ct)
+        })
+    });
+    group.finish();
+}
+
+fn bench_alias_draws(c: &mut Criterion) {
+    let table = alias_workload();
+    let mut group = c.benchmark_group("alias");
+    group.bench_function(BenchmarkId::new("sample_many", table.len()), |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut out = vec![0u32; 1024];
+        b.iter(|| {
+            table.sample_many(&mut rng, &mut out);
+            black_box(out[0])
+        })
+    });
+    group.bench_function(BenchmarkId::new("sample", table.len()), |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_decode, bench_alias_draws);
+criterion_main!(benches);

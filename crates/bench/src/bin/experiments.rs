@@ -804,6 +804,11 @@ fn ci(ctx: &Ctx) {
         format!("{:08x}", crc.finish())
     };
 
+    // Isolated kernel rates (shared with the `kernels` criterion bench)
+    // so a block-decode or alias-walk regression cannot hide inside the
+    // mixed `samples_per_sec` number.
+    let decode_entries_per_sec = motivo_bench::kernels::decode_entries_per_sec();
+    let alias_draws_per_sec = motivo_bench::kernels::alias_draws_per_sec();
     let serving = ci_serving_rates(&g, ctx);
     let repl = ci_replication(&g, ctx);
 
@@ -826,6 +831,11 @@ fn ci(ctx: &Ctx) {
                 format!("{bits_per_node_succinct:.0}"),
             ],
             vec!["tally checksum".into(), tally_checksum.clone()],
+            vec![
+                "decode entries/s".into(),
+                format!("{decode_entries_per_sec:.0}"),
+            ],
+            vec!["alias draws/s".into(), format!("{alias_draws_per_sec:.0}")],
             vec![
                 "serve qps (cold)".into(),
                 format!("{:.0}", serving.serve_qps),
@@ -870,6 +880,8 @@ fn ci(ctx: &Ctx) {
             "bits_per_node_plain": bits_per_node,
             "bits_per_node_succinct": bits_per_node_succinct,
             "tally_checksum": tally_checksum,
+            "decode_entries_per_sec": decode_entries_per_sec,
+            "alias_draws_per_sec": alias_draws_per_sec,
             "serve_qps": serving.serve_qps,
             "cache_hit_qps": serving.cache_hit_qps,
             "serve_p50_us": serving.serve_p50_us,

@@ -47,6 +47,8 @@ pub const TIMING_FIELDS: &[&str] = &[
     "build_secs",
     "sample_secs",
     "samples_per_sec",
+    "decode_entries_per_sec",
+    "alias_draws_per_sec",
     "serve_qps",
     "cache_hit_qps",
     "replica_catchup_secs",
@@ -214,6 +216,7 @@ mod tests {
             "bits_per_node_plain": 4000.0, "bits_per_node_succinct": 1200.0,
             "tally_checksum": "a1b2c3d4", "determinism": "ok",
             "build_secs": 1.0, "sample_secs": 0.5, "samples_per_sec": 100000.0,
+            "decode_entries_per_sec": 50000000.0, "alias_draws_per_sec": 80000000.0,
             "serve_qps": 800.0, "cache_hit_qps": 5000.0,
             "replica_catchup_secs": 0.8, "replicated_read_qps": 700.0,
             "serve_p50_us": 60000.0, "serve_p99_us": 80000.0,
@@ -332,6 +335,31 @@ mod tests {
             .replace("\"serve_p99_us\":80000.0,", "");
         let f: Value = from_str(&text).unwrap();
         assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed());
+    }
+
+    /// The isolated sampling-kernel rates gate like any other timing
+    /// field: ratio-tested both directions, and absent means schema
+    /// drift (a run predating the kernel metrics cannot pass against a
+    /// baseline that has them).
+    #[test]
+    fn kernel_rate_fields_gate_like_other_timings() {
+        let b = reparse(&doc());
+        // 5x decode-throughput collapse fails.
+        let f = with(&b, "decode_entries_per_sec", json!(10000000.0));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("decode_entries_per_sec"));
+        // 2x alias-draw jitter stays inside the band.
+        let f = with(&b, "alias_draws_per_sec", json!(40000000.0));
+        assert!(compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // Dropping a kernel field from the fresh run fails the gate.
+        let text = serde_json::to_string(&b)
+            .unwrap()
+            .replace("\"alias_draws_per_sec\":80000000.0,", "");
+        let f: Value = from_str(&text).unwrap();
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("missing from fresh run"));
     }
 
     #[test]

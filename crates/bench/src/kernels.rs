@@ -1,0 +1,113 @@
+//! Isolated sampling-kernel workloads for the perf gate (DESIGN.md §5.5).
+//!
+//! The end-to-end `samples_per_sec` metric mixes the succinct block
+//! decoder, the alias walk, graph access, and tallying; a regression in
+//! one kernel can hide there behind an improvement in another. These
+//! fixed synthetic workloads pin each kernel alone, and are shared by
+//! the `kernels` criterion bench and the `ci` experiment (which reports
+//! `decode_entries_per_sec` / `alias_draws_per_sec` into `BENCH_ci.json`
+//! for the gate).
+
+use motivo_table::{AliasTable, Record, RecordCodec};
+use motivo_treelet::{all_treelets, ColorSet, ColoredTreelet, Treelet};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// A record shaped like a dense top-level treelet row: every colored
+/// k-treelet over 16 colors (all shapes × all `C(16, k)` color sets),
+/// with deterministic skewed counts spanning several LEB128 widths. At
+/// `k = 4` that is 7280 entries — hundreds of anchor blocks.
+pub fn decode_workload(k: u32) -> (Record, Vec<Treelet>) {
+    let trees = all_treelets(k);
+    let mut pairs: Vec<(u64, u128)> = Vec::new();
+    for &tree in &trees {
+        for mask in 0u32..1 << 16 {
+            if mask.count_ones() == k {
+                let i = pairs.len() as u128;
+                let bump = if pairs.len().is_multiple_of(31) {
+                    100_000
+                } else {
+                    1
+                };
+                let ct = ColoredTreelet::new(tree, ColorSet(mask as u16));
+                pairs.push((ct.code(), 1 + (i % 13) * bump));
+            }
+        }
+    }
+    (Record::from_counts_in(RecordCodec::Succinct, pairs), trees)
+}
+
+/// Entries/s streamed through the batched succinct block decoder:
+/// full-shape sweeps via [`Record::iter_tree`], the exact call the
+/// sampler's split draw makes (no per-entry key validation, block-arena
+/// refills amortized across each anchor block).
+pub fn decode_entries_per_sec() -> f64 {
+    let (record, trees) = decode_workload(4);
+    let entries = record.len() as f64;
+    timed_rate(|| {
+        let mut acc = 0u128;
+        for &tree in &trees {
+            for (colors, count) in record.iter_tree(tree) {
+                acc = acc.wrapping_add(colors.0 as u128).wrapping_add(count);
+            }
+        }
+        std::hint::black_box(acc);
+    }) * entries
+}
+
+/// A skewed 65 536-way categorical — root-vertex-weight shaped.
+pub fn alias_workload() -> AliasTable {
+    let weights: Vec<u128> = (0..65_536u128).map(|i| 1 + i * i % 997).collect();
+    AliasTable::from_u128(&weights)
+}
+
+/// Draws/s through the branchless alias walk, batched 1024 at a time
+/// ([`AliasTable::sample_many`]).
+pub fn alias_draws_per_sec() -> f64 {
+    let table = alias_workload();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut out = vec![0u32; 1024];
+    let batch = out.len() as f64;
+    timed_rate(|| {
+        table.sample_many(&mut rng, &mut out);
+        std::hint::black_box(out[0]);
+    }) * batch
+}
+
+/// Runs `f` repeatedly for ~1.5 s and returns calls per second.
+fn timed_rate(mut f: impl FnMut()) -> f64 {
+    let budget = Duration::from_millis(1500);
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < budget {
+        f();
+        calls += 1;
+    }
+    calls as f64 / start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_workload_is_dense_and_sorted() {
+        let (record, trees) = decode_workload(4);
+        assert_eq!(trees.len(), 4, "rooted trees on 4 nodes");
+        // 1820 = C(16, 4) color sets per shape; the shape sweeps must
+        // cover every entry exactly once.
+        assert_eq!(record.len(), trees.len() * 1820);
+        let swept: usize = trees.iter().map(|&t| record.iter_tree(t).count()).sum();
+        assert_eq!(swept, record.len());
+    }
+
+    #[test]
+    fn alias_workload_draws_in_range() {
+        let table = alias_workload();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = vec![0u32; 64];
+        table.sample_many(&mut rng, &mut out);
+        assert!(out.iter().all(|&v| (v as usize) < table.len()));
+    }
+}

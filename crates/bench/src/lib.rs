@@ -15,6 +15,7 @@
 pub mod checkmerge;
 pub mod gate;
 pub mod ground;
+pub mod kernels;
 pub mod runs;
 
 use serde::Serialize;

@@ -28,10 +28,10 @@ use crate::bounds::ags_cover_threshold;
 use crate::naive::{Estimates, GraphletEstimate};
 use crate::parallel::{merge_tallies, run_sharded, shard_sizes, split_seed, AGS_SHARD_SAMPLES};
 use crate::sample::{SampleConfig, Sampler};
+use crate::tally::SoaTally;
 use crate::urn::Urn;
-use motivo_graphlet::{CanonicalCache, Graphlet, GraphletRegistry};
+use motivo_graphlet::{Graphlet, GraphletRegistry};
 use motivo_table::AliasTable;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// AGS configuration.
@@ -194,14 +194,17 @@ pub fn ags(urn: &Urn<'_>, registry: &mut GraphletRegistry, cfg: &AgsConfig) -> A
                 ..cfg.sample.clone()
             };
             let mut sampler = Sampler::new(urn, scfg);
-            let mut cache = CanonicalCache::new();
-            let mut tally: HashMap<u128, u64> = HashMap::new();
+            // Same shard-local arenas as the naive loop: reused vertex and
+            // row buffers plus a structure-of-arrays tally.
+            let mut tally = SoaTally::new(urn.k() as u8);
+            let mut verts: Vec<u32> = Vec::with_capacity(urn.k() as usize);
+            let mut rows: Vec<u16> = Vec::with_capacity(urn.k() as usize);
             for _ in 0..sizes[shard] {
-                let verts = sampler.sample_copy_of_shape(shape, alias_ref);
-                let raw = Graphlet::from_rows(&g.induced_rows(&verts));
-                *tally.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
+                sampler.sample_copy_of_shape_into(shape, alias_ref, &mut verts);
+                g.induced_rows_into(&verts, &mut rows);
+                tally.add(&Graphlet::from_rows(&rows));
             }
-            tally
+            tally.into_tally()
         });
         epoch_index += 1;
         usage[j] += budget;

@@ -41,6 +41,7 @@ pub mod parallel;
 pub mod persist;
 pub mod sample;
 pub mod stats;
+pub mod tally;
 pub mod urn;
 
 pub use ags::{ags, AgsConfig, AgsResult};
@@ -50,5 +51,6 @@ pub use error::BuildError;
 pub use motivo_table::RecordCodec;
 pub use naive::{estimates_from_tally, naive_estimates, sample_tally, Estimates, GraphletEstimate};
 pub use persist::{graph_fingerprint, load_urn, load_urn_external, save_urn};
-pub use sample::{SampleConfig, Sampler};
+pub use sample::{SampleConfig, Sampler, SAMPLING_ALLOCS_COUNTER};
+pub use tally::SoaTally;
 pub use urn::Urn;

@@ -16,8 +16,9 @@
 
 use crate::parallel::{merge_tallies, run_sharded, shard_sizes, split_seed, NAIVE_SHARD_SAMPLES};
 use crate::sample::{SampleConfig, Sampler};
+use crate::tally::SoaTally;
 use crate::urn::Urn;
-use motivo_graphlet::{CanonicalCache, Graphlet, GraphletRegistry};
+use motivo_graphlet::{Graphlet, GraphletRegistry};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -93,18 +94,21 @@ pub fn sample_tally(
             ..cfg.clone()
         };
         let mut sampler = Sampler::new(urn, shard_cfg);
-        let mut cache = CanonicalCache::new();
-        let mut tally: HashMap<u128, u64> = HashMap::new();
+        // Shard-local arenas: one vertex buffer, one adjacency-row buffer,
+        // and a structure-of-arrays tally, all reused across every sample
+        // of the shard (no per-sample allocation or canonical-map probing).
+        let mut tally = SoaTally::new(urn.k() as u8);
+        let mut verts: Vec<u32> = Vec::with_capacity(urn.k() as usize);
+        let mut rows: Vec<u16> = Vec::with_capacity(urn.k() as usize);
         for _ in 0..sizes[shard] {
-            let verts = sampler.sample_copy();
-            let rows = g.induced_rows(&verts);
-            let raw = Graphlet::from_rows(&rows);
-            *tally.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
+            sampler.sample_copy_into(&mut verts);
+            g.induced_rows_into(&verts, &mut rows);
+            tally.add(&Graphlet::from_rows(&rows));
         }
         if let Some(hist) = shard_hist {
             hist.record_duration(shard_start.elapsed());
         }
-        tally
+        tally.into_tally()
     });
     (merge_tallies(tallies), start.elapsed())
 }

@@ -20,12 +20,29 @@
 //! (§3.2).
 
 use crate::urn::Urn;
-use motivo_obs::Obs;
+use motivo_obs::{Counter, Obs};
 use motivo_table::AliasTable;
 use motivo_treelet::{ColorSet, ColoredTreelet, Treelet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
+
+/// Name of the debug counter counting scratch-arena reallocations; after a
+/// short warm-up the steady-state sampling loop should not bump it at all.
+/// Registered only when [`SampleConfig::obs`] is enabled; surfaced through
+/// the server's `Metrics` request alongside every other counter.
+pub const SAMPLING_ALLOCS_COUNTER: &str = "sampling_allocs";
+
+/// Bumps the `sampling_allocs` counter when a push at `len` into a buffer
+/// of capacity `cap` is about to reallocate.
+#[inline]
+fn note_grow(allocs: &Option<Counter>, len: usize, cap: usize) {
+    if len == cap {
+        if let Some(c) = allocs {
+            c.inc();
+        }
+    }
+}
 
 /// Sampler tuning knobs.
 ///
@@ -104,6 +121,81 @@ struct SplitDraw {
     u: u32,
 }
 
+/// A split whose color sets and threshold are drawn but whose neighbor is
+/// still waiting on the sweep-2 prefix sums.
+struct Pending {
+    c_prime: ColorSet,
+    c_second: ColorSet,
+    r2: u128,
+    u: Option<u32>,
+}
+
+/// Reusable arenas for [`Sampler::draw_split_batch`]. The per-mask tables
+/// are dense arrays indexed by `ColorSet` mask (at most `1 << k` entries),
+/// reset between draws by walking the touched lists; the growable buffers
+/// keep their capacity across draws. After a short warm-up the steady-state
+/// split draw performs no heap allocation and no hashing — every structure
+/// the old implementation rebuilt per draw (two hash maps, a candidate
+/// vector, group lists, cursors) lives here instead.
+struct SplitScratch {
+    /// `S[C'']` totals, dense by mask. An entry is live iff nonzero:
+    /// record counts are strictly positive, so zero means untouched.
+    second_totals: Vec<u128>,
+    /// Masks with a nonzero entry in `second_totals`, for O(live) reset.
+    touched: Vec<u16>,
+    /// Candidate splits `(C', C'', weight)` in record iteration order.
+    cands: Vec<(ColorSet, ColorSet, u128)>,
+    /// Thresholds of the current batch awaiting neighbor assignment.
+    pending: Vec<Pending>,
+    /// Indices into `pending` grouped by `C''` mask, dense by mask.
+    groups: Vec<Vec<usize>>,
+    /// Masks with a nonempty group, for O(live) reset.
+    group_masks: Vec<u16>,
+    /// Per-mask `(prefix sum, next threshold)` cursors for sweep 2.
+    cursors: Vec<(u128, usize)>,
+    /// Sweep-1 entries `(u, mask, count)` that passed the color filter, in
+    /// sweep order — sweep 2 replays these instead of re-fetching every
+    /// neighbor record and re-searching its tree range.
+    entries: Vec<(u32, u16, u128)>,
+    /// Finished draws of the most recent batch.
+    draws: Vec<SplitDraw>,
+}
+
+impl SplitScratch {
+    /// Arenas sized for `num_colors`-bit masks (`k` colors in practice).
+    fn new(num_colors: u32) -> SplitScratch {
+        let masks = 1usize << num_colors;
+        SplitScratch {
+            second_totals: vec![0; masks],
+            touched: Vec::new(),
+            cands: Vec::new(),
+            pending: Vec::new(),
+            groups: vec![Vec::new(); masks],
+            group_masks: Vec::new(),
+            cursors: vec![(0, 0); masks],
+            entries: Vec::new(),
+            draws: Vec::new(),
+        }
+    }
+
+    /// Clears every live entry left by the previous draw. O(touched), not
+    /// O(masks): only entries on the touched lists are walked.
+    fn reset(&mut self) {
+        for &m in &self.touched {
+            self.second_totals[m as usize] = 0;
+        }
+        self.touched.clear();
+        for &m in &self.group_masks {
+            self.groups[m as usize].clear();
+        }
+        self.group_masks.clear();
+        self.cands.clear();
+        self.pending.clear();
+        self.entries.clear();
+        self.draws.clear();
+    }
+}
+
 /// Draws treelet copies from an urn. Cheap to create; keep one per thread —
 /// the parallel estimators create one per logical shard.
 ///
@@ -122,6 +214,10 @@ pub struct Sampler<'u, 'g> {
     rng: SmallRng,
     /// Buffered split draws keyed by `(vertex, colored treelet)`.
     buffers: HashMap<(u32, u64), VecDeque<SplitDraw>>,
+    /// Reusable arenas for the split draw; see [`SplitScratch`].
+    scratch: SplitScratch,
+    /// `sampling_allocs` debug counter (None when obs is disabled).
+    allocs: Option<Counter>,
     /// Total neighbor sweeps performed (two per unbuffered split draw);
     /// exposed for the Fig. 5 diagnostics.
     sweeps: u64,
@@ -132,11 +228,15 @@ impl<'u, 'g> Sampler<'u, 'g> {
     /// Creates a sampler over `urn`.
     pub fn new(urn: &'u Urn<'g>, cfg: SampleConfig) -> Sampler<'u, 'g> {
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let scratch = SplitScratch::new(urn.k());
+        let allocs = cfg.obs.counter(SAMPLING_ALLOCS_COUNTER);
         Sampler {
             urn,
             cfg,
             rng,
             buffers: HashMap::new(),
+            scratch,
+            allocs,
             sweeps: 0,
             samples: 0,
         }
@@ -145,18 +245,39 @@ impl<'u, 'g> Sampler<'u, 'g> {
     /// Draws one colorful k-treelet copy uniformly at random from the urn;
     /// returns its vertices (k distinct vertices, DFS order of the treelet).
     pub fn sample_copy(&mut self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.urn.k() as usize);
+        self.sample_copy_into(&mut out);
+        out
+    }
+
+    /// Like [`Sampler::sample_copy`], but writes the vertices into a
+    /// caller-provided buffer (cleared first) so tally loops can reuse one
+    /// allocation across all samples.
+    pub fn sample_copy_into(&mut self, out: &mut Vec<u32>) {
         let k = self.urn.k();
         let v = self.urn.root_alias().sample(&mut self.rng) as u32;
         let rec = self.urn.record(k, v);
         let r = self.rng.gen_range(1..=rec.total());
         let ct = rec.select(r);
-        self.finish_embed(v, ct)
+        self.finish_embed_into(v, ct, out);
     }
 
     /// Draws one copy uniformly among the copies of rooted shape `shape` —
     /// the `sample(T)` primitive of AGS (§4). `alias` must be built over
     /// [`Urn::shape_vertex_totals`] for the same shape.
     pub fn sample_copy_of_shape(&mut self, shape: Treelet, alias: &AliasTable) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.urn.k() as usize);
+        self.sample_copy_of_shape_into(shape, alias, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`Sampler::sample_copy_of_shape`].
+    pub fn sample_copy_of_shape_into(
+        &mut self,
+        shape: Treelet,
+        alias: &AliasTable,
+        out: &mut Vec<u32>,
+    ) {
         let k = self.urn.k();
         let v = alias.sample(&mut self.rng) as u32;
         let rec = self.urn.record(k, v);
@@ -164,13 +285,19 @@ impl<'u, 'g> Sampler<'u, 'g> {
         debug_assert!(total > 0, "alias weight nonzero implies entries");
         let r = self.rng.gen_range(1..=total);
         let ct = rec.select_in_tree(shape, r);
-        self.finish_embed(v, ct)
+        self.finish_embed_into(v, ct, out);
     }
 
-    fn finish_embed(&mut self, v: u32, ct: ColoredTreelet) -> Vec<u32> {
+    fn finish_embed_into(&mut self, v: u32, ct: ColoredTreelet, out: &mut Vec<u32>) {
         let k = self.urn.k();
-        let mut out = Vec::with_capacity(k as usize);
-        self.embed(v, ct, &mut out);
+        out.clear();
+        if out.capacity() < k as usize {
+            // The k pushes below will reallocate the caller's buffer.
+            if let Some(c) = &self.allocs {
+                c.inc();
+            }
+        }
+        self.embed(v, ct, out);
         debug_assert_eq!(out.len(), k as usize);
         debug_assert!(
             {
@@ -181,7 +308,6 @@ impl<'u, 'g> Sampler<'u, 'g> {
             "colorful copies must be vertex-disjoint"
         );
         self.samples += 1;
-        out
     }
 
     /// `(samples, neighbor sweeps)` so far — buffering drives sweeps per
@@ -208,7 +334,8 @@ impl<'u, 'g> Sampler<'u, 'g> {
         let buffered =
             self.cfg.buffering && self.urn.graph().degree(v) >= self.cfg.buffer_threshold;
         if !buffered {
-            return self.draw_split_batch(v, ct, 1)[0];
+            self.draw_split_batch(v, ct, 1);
+            return self.scratch.draws[0];
         }
         let key = (v, ct.code());
         if let Some(q) = self.buffers.get_mut(&key) {
@@ -216,8 +343,8 @@ impl<'u, 'g> Sampler<'u, 'g> {
                 return d;
             }
         }
-        let batch = self.draw_split_batch(v, ct, self.cfg.buffer_batch.max(1));
-        let mut q: VecDeque<SplitDraw> = batch.into();
+        self.draw_split_batch(v, ct, self.cfg.buffer_batch.max(1));
+        let mut q: VecDeque<SplitDraw> = self.scratch.draws.drain(..).collect();
         let first = q.pop_front().expect("batch nonempty");
         if self.buffers.len() > 4096 {
             self.buffers.clear(); // crude bound; hub keys are few in practice
@@ -226,42 +353,103 @@ impl<'u, 'g> Sampler<'u, 'g> {
         first
     }
 
-    /// Draws `count` i.i.d. split outcomes with exactly two neighbor sweeps
-    /// regardless of `count` — the buffered strategy of §3.2.
-    fn draw_split_batch(&mut self, v: u32, ct: ColoredTreelet, count: usize) -> Vec<SplitDraw> {
+    /// Draws `count` i.i.d. split outcomes into `self.scratch.draws` with
+    /// exactly two neighbor sweeps regardless of `count` — the buffered
+    /// strategy of §3.2, running entirely on the reusable [`SplitScratch`]
+    /// arenas: dense mask-indexed tables replace the per-call hash maps, so
+    /// the steady state allocates nothing and hashes nothing.
+    ///
+    /// The RNG call sequence and every value it produces are identical to
+    /// the original map-based formulation: the dense tables are only ever
+    /// read back by key (never iterated), and candidate order is the record
+    /// iteration order either way.
+    fn draw_split_batch(&mut self, v: u32, ct: ColoredTreelet, count: usize) {
         let (t_prime, t_second) = ct.tree().decomp();
         let (h1, h2) = (t_prime.size(), t_second.size());
         let colors = ct.colors();
-        let g = self.urn.graph();
+        let urn = self.urn;
+        let g = urn.graph();
+        self.scratch.reset();
+        let SplitScratch {
+            second_totals,
+            touched,
+            cands,
+            pending,
+            groups,
+            group_masks,
+            cursors,
+            entries,
+            draws,
+        } = &mut self.scratch;
 
         // Sweep 1: S[C''] = Σ_{u ∼ v} c(T''_{C''}, u) for viable C''.
+        //
+        // When `T''` is the singleton, `u`'s level-1 record is exactly
+        // `[({color(u)}, 1)]` by construction (see the level-1 seeding in
+        // `build_urn`), so the sweep reduces to counting neighbor colors —
+        // no record fetch, no range search, same values in the same order.
         self.sweeps += 1;
-        let mut second_totals: HashMap<u16, u128> = HashMap::new();
-        for &u in g.neighbors(v) {
-            let ru = self.urn.record(h2, u);
-            for (cs, cnt) in ru.iter_tree(t_second) {
+        let coloring = urn.coloring();
+        if h2 == 1 {
+            for &u in g.neighbors(v) {
+                let cs = ColorSet::single(coloring.color(u));
                 if cs.is_subset_of(colors) {
-                    *second_totals.entry(cs.0).or_insert(0) += cnt;
+                    let slot = &mut second_totals[cs.0 as usize];
+                    if *slot == 0 {
+                        note_grow(&self.allocs, touched.len(), touched.capacity());
+                        touched.push(cs.0);
+                    }
+                    *slot += 1;
+                }
+            }
+        } else {
+            // Filtered entries are also staged for sweep 2 to replay:
+            // sweep 2 only ever acts on masks drawn into `groups`, all of
+            // which are color subsets, so replaying the filtered list in
+            // sweep order visits exactly the entries sweep 2 would.
+            for &u in g.neighbors(v) {
+                let ru = urn.record(h2, u);
+                for (cs, cnt) in ru.iter_tree(t_second) {
+                    if cs.is_subset_of(colors) {
+                        note_grow(&self.allocs, entries.len(), entries.capacity());
+                        entries.push((u, cs.0, cnt));
+                        let slot = &mut second_totals[cs.0 as usize];
+                        if *slot == 0 {
+                            note_grow(&self.allocs, touched.len(), touched.capacity());
+                            touched.push(cs.0);
+                        }
+                        *slot += cnt;
+                    }
                 }
             }
         }
 
         // Candidate splits weighted by c(T'_{C'}, v) · S[C \ C'].
-        let rv = self.urn.record(h1, v);
-        let mut cands: Vec<(ColorSet, ColorSet, u128)> = Vec::new();
+        // `T'` singleton gets the same level-1 shortcut as the sweep.
         let mut total: u128 = 0;
-        for (cp, cv) in rv.iter_tree(t_prime) {
+        let push_cand = |cp: ColorSet,
+                         cv: u128,
+                         total: &mut u128,
+                         cands: &mut Vec<(ColorSet, ColorSet, u128)>| {
             if !cp.is_subset_of(colors) {
-                continue;
+                return;
             }
             let cs = colors.minus(cp);
             debug_assert_eq!(cs.len(), h2);
-            if let Some(&su) = second_totals.get(&cs.0) {
-                if su > 0 {
-                    let w = cv.checked_mul(su).expect("split weight overflows u128");
-                    total += w;
-                    cands.push((cp, cs, w));
-                }
+            let su = second_totals[cs.0 as usize];
+            if su > 0 {
+                let w = cv.checked_mul(su).expect("split weight overflows u128");
+                *total += w;
+                note_grow(&self.allocs, cands.len(), cands.capacity());
+                cands.push((cp, cs, w));
+            }
+        };
+        if h1 == 1 {
+            push_cand(ColorSet::single(coloring.color(v)), 1, &mut total, cands);
+        } else {
+            let rv = urn.record(h1, v);
+            for (cp, cv) in rv.iter_tree(t_prime) {
+                push_cand(cp, cv, &mut total, cands);
             }
         }
         assert!(
@@ -270,77 +458,142 @@ impl<'u, 'g> Sampler<'u, 'g> {
         );
 
         // Draw the splits; collect per-C'' thresholds for the u selection.
-        struct Pending {
-            c_prime: ColorSet,
-            c_second: ColorSet,
-            r2: u128,
-            u: Option<u32>,
+        for _ in 0..count {
+            let mut r = self.rng.gen_range(1..=total);
+            let &(cp, cs, _) = cands
+                .iter()
+                .find(|&&(_, _, w)| {
+                    if r <= w {
+                        true
+                    } else {
+                        r -= w;
+                        false
+                    }
+                })
+                .expect("r within total");
+            let su = second_totals[cs.0 as usize];
+            note_grow(&self.allocs, pending.len(), pending.capacity());
+            pending.push(Pending {
+                c_prime: cp,
+                c_second: cs,
+                r2: self.rng.gen_range(1..=su),
+                u: None,
+            });
         }
-        let mut pending: Vec<Pending> = (0..count)
-            .map(|_| {
-                let mut r = self.rng.gen_range(1..=total);
-                let &(cp, cs, _) = cands
-                    .iter()
-                    .find(|&&(_, _, w)| {
-                        if r <= w {
-                            true
-                        } else {
-                            r -= w;
-                            false
-                        }
-                    })
-                    .expect("r within total");
-                let su = second_totals[&cs.0];
-                Pending {
-                    c_prime: cp,
-                    c_second: cs,
-                    r2: self.rng.gen_range(1..=su),
-                    u: None,
-                }
-            })
-            .collect();
 
-        // Group thresholds by C'' and sort them, so one sweep assigns all.
-        let mut groups: HashMap<u16, Vec<usize>> = HashMap::new();
-        for (i, p) in pending.iter().enumerate() {
-            groups.entry(p.c_second.0).or_default().push(i);
-        }
-        for idxs in groups.values_mut() {
-            idxs.sort_unstable_by_key(|&i| pending[i].r2);
-        }
-        let mut cursors: HashMap<u16, (u128, usize)> =
-            groups.keys().map(|&c| (c, (0u128, 0usize))).collect();
-
-        // Sweep 2: prefix sums per C'' assign every threshold its u.
+        // Single-draw fast path (the common, unbuffered case): one
+        // threshold means no grouping, no sort, no cursors — just walk the
+        // sweep-2 prefix sum for the drawn C'' until it crosses r2.
         self.sweeps += 1;
-        let mut unassigned = pending.len();
-        'sweep: for &u in g.neighbors(v) {
-            let ru = self.urn.record(h2, u);
-            for (cs, cnt) in ru.iter_tree(t_second) {
-                if let Some(idxs) = groups.get(&cs.0) {
-                    let (cum, pos) = cursors.get_mut(&cs.0).expect("group cursor");
-                    *cum += cnt;
-                    while *pos < idxs.len() && pending[idxs[*pos]].r2 <= *cum {
-                        pending[idxs[*pos]].u = Some(u);
-                        *pos += 1;
-                        unassigned -= 1;
+        if count == 1 {
+            let p = &mut pending[0];
+            let target = p.c_second.0;
+            let mut cum: u128 = 0;
+            if h2 == 1 {
+                // Level-1 shortcut again: each neighbor contributes 1 iff
+                // its color singleton is the drawn C''.
+                for &u in g.neighbors(v) {
+                    if ColorSet::single(coloring.color(u)).0 == target {
+                        cum += 1;
+                        if p.r2 <= cum {
+                            p.u = Some(u);
+                            break;
+                        }
+                    }
+                }
+            } else {
+                for &(u, m, cnt) in entries.iter() {
+                    if m == target {
+                        cum += cnt;
+                        if p.r2 <= cum {
+                            p.u = Some(u);
+                            break;
+                        }
                     }
                 }
             }
-            if unassigned == 0 {
-                break 'sweep;
+            let p = &pending[0];
+            draws.push(SplitDraw {
+                c_prime: p.c_prime,
+                c_second: p.c_second,
+                u: p.u.expect("threshold within total must assign"),
+            });
+            return;
+        }
+
+        // Group thresholds by C'' and sort them, so one sweep assigns all.
+        for (i, p) in pending.iter().enumerate() {
+            let m = p.c_second.0;
+            let idxs = &mut groups[m as usize];
+            if idxs.is_empty() {
+                note_grow(&self.allocs, group_masks.len(), group_masks.capacity());
+                group_masks.push(m);
+                cursors[m as usize] = (0, 0);
+            }
+            note_grow(&self.allocs, idxs.len(), idxs.capacity());
+            idxs.push(i);
+        }
+        for &m in group_masks.iter() {
+            groups[m as usize].sort_unstable_by_key(|&i| pending[i].r2);
+        }
+
+        // Sweep 2: prefix sums per C'' assign every threshold its u. The
+        // singleton case walks neighbor colors; everything else replays the
+        // staged sweep-1 entries. Breaking as soon as `unassigned` hits
+        // zero is equivalent to the per-neighbor early exit — the remaining
+        // iterations could not assign anything either way.
+        let mut unassigned = pending.len();
+        if h2 == 1 {
+            'sweep: for &u in g.neighbors(v) {
+                let cs = ColorSet::single(coloring.color(u));
+                let idxs = &groups[cs.0 as usize];
+                if idxs.is_empty() {
+                    continue;
+                }
+                let (cum, pos) = &mut cursors[cs.0 as usize];
+                *cum += 1;
+                while *pos < idxs.len() && pending[idxs[*pos]].r2 <= *cum {
+                    pending[idxs[*pos]].u = Some(u);
+                    *pos += 1;
+                    unassigned -= 1;
+                    if unassigned == 0 {
+                        break 'sweep;
+                    }
+                }
+            }
+        } else {
+            'replay: for &(u, m, cnt) in entries.iter() {
+                let idxs = &groups[m as usize];
+                if idxs.is_empty() {
+                    continue;
+                }
+                let (cum, pos) = &mut cursors[m as usize];
+                *cum += cnt;
+                while *pos < idxs.len() && pending[idxs[*pos]].r2 <= *cum {
+                    pending[idxs[*pos]].u = Some(u);
+                    *pos += 1;
+                    unassigned -= 1;
+                    if unassigned == 0 {
+                        break 'replay;
+                    }
+                }
             }
         }
         debug_assert_eq!(unassigned, 0, "thresholds within totals must all assign");
 
-        pending
-            .into_iter()
-            .map(|p| SplitDraw {
+        if draws.capacity() < pending.len() {
+            // The pushes below will reallocate the draws buffer.
+            if let Some(c) = &self.allocs {
+                c.inc();
+            }
+        }
+        for p in pending.iter() {
+            draws.push(SplitDraw {
                 c_prime: p.c_prime,
                 c_second: p.c_second,
                 u: p.u.expect("assigned in sweep 2"),
-            })
-            .collect()
+            });
+        }
     }
 }
 
@@ -518,6 +771,59 @@ mod tests {
             with * 2 < without,
             "buffering should cut sweeps at least 2x: {with} vs {without}"
         );
+    }
+
+    /// The `sampling_allocs` debug counter: arena growth happens during
+    /// warm-up, then the steady state runs allocation-free — the counter
+    /// must stop moving once the scratch buffers have seen the workload.
+    #[test]
+    fn steady_state_sampling_does_not_allocate() {
+        use motivo_obs::{Obs, Registry};
+        use std::sync::Arc;
+
+        let g = generators::star_heavy(500, 3, 0.6, 5);
+        let cfg = BuildConfig {
+            threads: 2,
+            ..BuildConfig::new(4)
+        }
+        .seed(6);
+        let urn = build_urn(&g, &cfg).unwrap();
+        let registry = Arc::new(Registry::new());
+        let sc = SampleConfig {
+            buffering: false,
+            ..SampleConfig::seeded(2)
+        }
+        .with_obs(Obs::enabled(registry.clone()));
+        let mut s = Sampler::new(&urn, sc);
+        let counter = registry.counter(SAMPLING_ALLOCS_COUNTER);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            s.sample_copy_into(&mut out);
+        }
+        let after_warmup = counter.get();
+        for _ in 0..5_000 {
+            s.sample_copy_into(&mut out);
+        }
+        assert_eq!(
+            counter.get(),
+            after_warmup,
+            "sampling allocated after warm-up"
+        );
+        // And the counter is genuinely wired: a cold sampler grows its
+        // arenas at least once on this workload.
+        let mut cold = Sampler::new(
+            &urn,
+            SampleConfig {
+                buffering: false,
+                ..SampleConfig::seeded(2)
+            }
+            .with_obs(Obs::enabled(registry.clone())),
+        );
+        let before = counter.get();
+        for _ in 0..200 {
+            cold.sample_copy_into(&mut out);
+        }
+        assert!(counter.get() > before, "warm-up never touched the counter");
     }
 
     /// Shape-restricted sampling only returns copies of the requested shape.

@@ -1,0 +1,208 @@
+//! Structure-of-arrays tallying of sampled graphlets.
+//!
+//! The naive and AGS shard loops classify every sample: raw induced
+//! adjacency → canonical code → per-code count. Doing that with a memoized
+//! canonicalizer plus a `HashMap<u128, u64>` costs two SipHash probes of a
+//! 16-byte key per sample. [`SoaTally`] replaces both with an index lookup:
+//! distinct *raw* patterns get consecutive slots, and parallel arrays hold
+//! each slot's canonical code (computed once, at slot creation) and count.
+//!
+//! For `k ≤ 6` the raw adjacency fits `k(k−1)/2 ≤ 15` bits, so the
+//! raw-bits → slot map is a dense array of at most `2¹⁵` entries and the
+//! hot path is two array indexes. Larger `k` falls back to a hash map
+//! keyed by the raw bits, with a cheap multiply-rotate hasher instead of
+//! SipHash — still one probe per sample instead of two.
+//!
+//! Folding back into the canonical `HashMap<u128, u64>` happens once per
+//! shard (merging raw slots that share a canonical form), so the merged
+//! result is bit-identical to the per-sample map the old loop built.
+
+use motivo_graphlet::Graphlet;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Largest `k` whose raw adjacency patterns are indexed densely
+/// (`1 << (k(k−1)/2)` slots; 32768 at `k = 6`).
+const DENSE_MAX_K: u8 = 6;
+
+/// A multiply-rotate hasher for the `k ≥ 7` raw-bits fallback: a fraction
+/// of the cost of the default SipHash and ample for uniformly distributed
+/// adjacency bit patterns. Not DoS-resistant — only ever used on
+/// shard-local scratch maps, never on attacker-controlled keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FxHasher::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Structure-of-arrays tally of canonical graphlet codes, indexed by raw
+/// adjacency pattern. See the module docs for the layout.
+pub struct SoaTally {
+    k: u8,
+    /// Raw bits → slot + 1 (0 = unseen); dense path, empty when `k > 6`.
+    dense: Vec<u32>,
+    /// Raw bits → slot; fallback path, unused when `k ≤ 6`.
+    sparse: HashMap<u128, u32, FxBuildHasher>,
+    /// Canonical code of each slot's raw pattern.
+    codes: Vec<u128>,
+    /// Samples landing on each slot.
+    counts: Vec<u64>,
+}
+
+impl SoaTally {
+    /// An empty tally for `k`-vertex graphlets.
+    pub fn new(k: u8) -> SoaTally {
+        let dense = if k <= DENSE_MAX_K {
+            vec![0u32; 1 << (k as usize * (k as usize - 1) / 2)]
+        } else {
+            Vec::new()
+        };
+        SoaTally {
+            k,
+            dense,
+            sparse: HashMap::default(),
+            codes: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Counts one sampled raw graphlet. Canonicalization runs only the
+    /// first time each distinct raw pattern appears.
+    #[inline]
+    pub fn add(&mut self, raw: &Graphlet) {
+        debug_assert_eq!(raw.k(), self.k);
+        let bits = raw.bits();
+        let slot = if !self.dense.is_empty() {
+            let cell = self.dense[bits as usize];
+            if cell != 0 {
+                (cell - 1) as usize
+            } else {
+                let slot = self.new_slot(raw);
+                self.dense[bits as usize] = slot as u32 + 1;
+                slot
+            }
+        } else if let Some(&s) = self.sparse.get(&bits) {
+            s as usize
+        } else {
+            let slot = self.new_slot(raw);
+            self.sparse.insert(bits, slot as u32);
+            slot
+        };
+        self.counts[slot] += 1;
+    }
+
+    fn new_slot(&mut self, raw: &Graphlet) -> usize {
+        self.codes.push(raw.canonical().code());
+        self.counts.push(0);
+        self.counts.len() - 1
+    }
+
+    /// Number of distinct raw patterns seen.
+    pub fn distinct_raw(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Folds the slots into the canonical per-code tally, merging raw
+    /// patterns that share a canonical form. The result is exactly the map
+    /// a per-sample `tally.entry(canonical_code).or_insert(0) += 1` loop
+    /// would have produced.
+    pub fn into_tally(self) -> HashMap<u128, u64> {
+        let mut out: HashMap<u128, u64> = HashMap::with_capacity(self.codes.len());
+        for (code, count) in self.codes.into_iter().zip(self.counts) {
+            *out.entry(code).or_insert(0) += count;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_graphlet::CanonicalCache;
+
+    /// Dense and fold must agree with the reference per-sample map over a
+    /// sweep of all raw 4-vertex patterns, repeated with varying counts.
+    #[test]
+    fn dense_tally_matches_reference_map() {
+        let mut soa = SoaTally::new(4);
+        let mut cache = CanonicalCache::new();
+        let mut reference: HashMap<u128, u64> = HashMap::new();
+        for round in 0..3u64 {
+            for bits in 0u128..64 {
+                let raw = Graphlet::from_parts(4, bits).expect("valid bits");
+                for _ in 0..(bits as u64 % 5 + round + 1) {
+                    soa.add(&raw);
+                    *reference.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
+                }
+            }
+        }
+        assert_eq!(soa.distinct_raw(), 64);
+        assert_eq!(soa.into_tally(), reference);
+    }
+
+    /// The `k ≥ 7` sparse fallback produces the same fold.
+    #[test]
+    fn sparse_tally_matches_reference_map() {
+        let mut soa = SoaTally::new(7);
+        let mut cache = CanonicalCache::new();
+        let mut reference: HashMap<u128, u64> = HashMap::new();
+        for i in 0u128..200 {
+            // A spread of 21-bit patterns (k = 7 has 21 pair slots).
+            let bits = (i * 0x9e37) & ((1 << 21) - 1);
+            let raw = Graphlet::from_parts(7, bits).expect("valid bits");
+            soa.add(&raw);
+            *reference.entry(cache.canonical_code(&raw)).or_insert(0) += 1;
+        }
+        assert_eq!(soa.into_tally(), reference);
+    }
+
+    /// Raw patterns with the same canonical form merge into one entry.
+    #[test]
+    fn isomorphic_raw_patterns_merge() {
+        // Single-edge 3-vertex graphlets: three raw patterns, one class.
+        let mut soa = SoaTally::new(3);
+        for bits in [0b001u128, 0b010, 0b100] {
+            soa.add(&Graphlet::from_parts(3, bits).expect("valid bits"));
+        }
+        assert_eq!(soa.distinct_raw(), 3);
+        let tally = soa.into_tally();
+        assert_eq!(tally.len(), 1);
+        assert_eq!(tally.values().copied().sum::<u64>(), 3);
+    }
+}

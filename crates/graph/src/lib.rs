@@ -130,8 +130,18 @@ impl Graph {
     /// 16 distinct vertices). Row `i` has bit `j` set iff
     /// `verts[i] ~ verts[j]` in the graph.
     pub fn induced_rows(&self, verts: &[u32]) -> Vec<u16> {
+        let mut rows = Vec::with_capacity(verts.len());
+        self.induced_rows_into(verts, &mut rows);
+        rows
+    }
+
+    /// Like [`Graph::induced_rows`], but writes into a caller-provided
+    /// buffer (cleared first) so hot sampling loops can reuse one
+    /// allocation across samples.
+    pub fn induced_rows_into(&self, verts: &[u32], rows: &mut Vec<u16>) {
         assert!(verts.len() <= 16);
-        let mut rows = vec![0u16; verts.len()];
+        rows.clear();
+        rows.resize(verts.len(), 0);
         for i in 0..verts.len() {
             for j in i + 1..verts.len() {
                 if self.has_edge(verts[i], verts[j]) {
@@ -140,7 +150,6 @@ impl Graph {
                 }
             }
         }
-        rows
     }
 
     /// Whether the graph is connected (vacuously true when `n ≤ 1`).

@@ -117,8 +117,8 @@ impl SpanRing {
     }
 }
 
-/// A scoped timer for one phase: created by [`Registry::span`]
-/// (`crate::Registry::span`), it records into the ring *and* into the
+/// A scoped timer for one phase: created by [`crate::Registry::span`],
+/// it records into the ring *and* into the
 /// phase's `span.<label>` histogram when dropped.
 pub struct SpanGuard {
     ring: SpanRing,

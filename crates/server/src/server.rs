@@ -42,6 +42,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use motivo_core::{AgsConfig, BuildConfig, SampleConfig};
 use motivo_graph::io as graph_io;
 use motivo_graphlet::GraphletRegistry;
+use motivo_obs::Obs;
 use motivo_store::{BuildStatus, StoreError, StoreQuery, UrnStore};
 use serde_json::{json, Value};
 use std::io::Read;
@@ -860,7 +861,9 @@ impl Engine<'_> {
                         *urn,
                         &mut registry,
                         *samples,
-                        &SampleConfig::seeded(*seed).threads(*threads),
+                        &SampleConfig::seeded(*seed)
+                            .threads(*threads)
+                            .with_obs(Obs::enabled(store.obs().clone())),
                     )
                     .map_err(store_err)?;
                 Ok(proto::estimates_json(&est, &registry))
@@ -879,7 +882,9 @@ impl Engine<'_> {
                     .ok_or_else(|| store_err(StoreError::UnknownUrn(*urn)))?;
                 let mut cfg = AgsConfig {
                     max_samples: *max_samples,
-                    sample: SampleConfig::seeded(*seed).threads(*threads),
+                    sample: SampleConfig::seeded(*seed)
+                        .threads(*threads)
+                        .with_obs(Obs::enabled(store.obs().clone())),
                     ..AgsConfig::default()
                 };
                 if let Some(c_bar) = c_bar {
@@ -908,7 +913,9 @@ impl Engine<'_> {
                     .sample_tally(
                         *urn,
                         *samples,
-                        &SampleConfig::seeded(*seed).threads(*threads),
+                        &SampleConfig::seeded(*seed)
+                            .threads(*threads)
+                            .with_obs(Obs::enabled(store.obs().clone())),
                     )
                     .map_err(store_err)?;
                 Ok(proto::tally_json(&tally, *samples))

@@ -6,28 +6,63 @@
 //! treelet counts; the conversion to `f64` loses at most 2⁻⁵³ relative mass
 //! per vertex, which is far below sampling noise (documented substitution —
 //! the paper's implementation does the same via `double`s).
+//!
+//! The walk is branchless: each draw reads one interleaved
+//! `(prob, alias)` slot — a single cache line — and resolves the
+//! keep-or-alias choice with arithmetic select instead of a data-dependent
+//! branch the predictor cannot learn. The RNG stream is exactly the
+//! classic two-draw walk (`gen_range(0..n)` then `gen::<f64>()`), so
+//! results are bit-identical to the textbook formulation; see DESIGN.md
+//! §5.5 for why the tempting one-draw variant was rejected.
 
 use rand::Rng;
+
+/// One category's share of its column: the probability of keeping the
+/// column index, and the alias to jump to otherwise. Interleaved so a
+/// draw touches one 16-byte slot instead of two parallel arrays.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    prob: f64,
+    alias: u32,
+}
 
 /// An alias table over `0..n` with fixed weights.
 #[derive(Clone, Debug)]
 pub struct AliasTable {
-    prob: Vec<f64>,
-    alias: Vec<u32>,
+    slots: Vec<Slot>,
 }
 
 impl AliasTable {
     /// Builds from nonnegative weights; at least one must be positive.
     pub fn new(weights: &[f64]) -> AliasTable {
-        assert!(!weights.is_empty(), "alias table needs at least one weight");
-        let n = weights.len();
-        assert!(n <= u32::MAX as usize);
-        let total: f64 = weights.iter().sum();
         assert!(
-            total > 0.0 && weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
             "weights must be nonnegative and finite with positive sum"
         );
-        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        AliasTable::build(weights.len(), |i| weights[i])
+    }
+
+    /// Builds from `u128` counts (e.g. per-vertex treelet totals). The
+    /// conversion to `f64` happens inside the build pass — no temporary
+    /// `Vec<f64>` is materialized.
+    pub fn from_u128(weights: &[u128]) -> AliasTable {
+        // `w as f64` is always finite and nonnegative, so the `new`
+        // preconditions hold by construction.
+        AliasTable::build(weights.len(), |i| weights[i] as f64)
+    }
+
+    /// Shared build: `weight(i)` is read twice (sum pass, fill pass) in
+    /// index order, so the float operations — and therefore the resulting
+    /// table — are identical whichever public constructor ran.
+    fn build(n: usize, weight: impl Fn(usize) -> f64) -> AliasTable {
+        assert!(n > 0, "alias table needs at least one weight");
+        assert!(n <= u32::MAX as usize);
+        let total: f64 = (0..n).map(&weight).sum();
+        assert!(
+            total > 0.0,
+            "weights must be nonnegative and finite with positive sum"
+        );
+        let mut prob: Vec<f64> = (0..n).map(|i| weight(i) * n as f64 / total).collect();
         let mut alias = vec![0u32; n];
         let mut small: Vec<u32> = Vec::new();
         let mut large: Vec<u32> = Vec::new();
@@ -52,33 +87,42 @@ impl AliasTable {
         for &i in small.iter().chain(large.iter()) {
             prob[i as usize] = 1.0;
         }
-        AliasTable { prob, alias }
-    }
-
-    /// Builds from `u128` counts (e.g. per-vertex treelet totals).
-    pub fn from_u128(weights: &[u128]) -> AliasTable {
-        let as_f64: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
-        AliasTable::new(&as_f64)
+        let slots = prob
+            .into_iter()
+            .zip(alias)
+            .map(|(prob, alias)| Slot { prob, alias })
+            .collect();
+        AliasTable { slots }
     }
 
     /// Number of categories.
     pub fn len(&self) -> usize {
-        self.prob.len()
+        self.slots.len()
     }
 
     /// Whether the table is empty (never true for a constructed table).
     pub fn is_empty(&self) -> bool {
-        self.prob.is_empty()
+        self.slots.is_empty()
     }
 
     /// Draws one index in `O(1)`.
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let i = rng.gen_range(0..self.prob.len());
-        if rng.gen::<f64>() < self.prob[i] {
-            i
-        } else {
-            self.alias[i] as usize
+        let i = rng.gen_range(0..self.slots.len());
+        let slot = self.slots[i];
+        // Arithmetic select: `take` is 0 (keep `i`) or 1 (jump to the
+        // alias); wrapping arithmetic keeps it branch-free for any pair.
+        let take = (rng.gen::<f64>() >= slot.prob) as usize;
+        i.wrapping_add(take.wrapping_mul((slot.alias as usize).wrapping_sub(i)))
+    }
+
+    /// Draws `out.len()` indices, producing exactly the sequence that
+    /// `out.len()` successive [`AliasTable::sample`] calls would — a
+    /// batched entry point that keeps the slot array hot and amortizes
+    /// call overhead. Indices fit `u32` because `len() <= u32::MAX`.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng) as u32;
         }
     }
 }
@@ -136,5 +180,74 @@ mod tests {
     #[should_panic(expected = "positive sum")]
     fn rejects_all_zero() {
         AliasTable::new(&[0.0, 0.0]);
+    }
+
+    /// `from_u128` and `new` over the converted weights draw identical
+    /// sequences — the in-build conversion changes no float operation.
+    #[test]
+    fn from_u128_matches_converted_new() {
+        let counts: Vec<u128> = (0..257).map(|i| (i as u128 * 7919) % 1023).collect();
+        let as_f64: Vec<f64> = counts.iter().map(|&w| w as f64).collect();
+        let a = AliasTable::from_u128(&counts);
+        let b = AliasTable::new(&as_f64);
+        let mut ra = SmallRng::seed_from_u64(11);
+        let mut rb = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+        }
+    }
+
+    /// One positive weight among zeros always draws that index.
+    #[test]
+    fn single_positive_among_zeros() {
+        let table = AliasTable::from_u128(&[0, 0, 0, 9, 0, 0]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert_eq!(table.sample(&mut rng), 3);
+        }
+    }
+
+    /// All-equal weights stay uniform through the branchless walk.
+    #[test]
+    fn all_equal_weights_are_uniform() {
+        let table = AliasTable::from_u128(&[7; 8]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut hits = [0u64; 8];
+        let trials = 80_000;
+        for _ in 0..trials {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let observed = h as f64 / trials as f64;
+            assert!(
+                (observed - 0.125).abs() < 0.01,
+                "category {i}: observed {observed}"
+            );
+        }
+    }
+
+    /// A one-category `u128` table is total and constant.
+    #[test]
+    fn from_u128_single_category() {
+        let table = AliasTable::from_u128(&[u128::MAX]);
+        assert_eq!(table.len(), 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    /// `sample_many` reproduces the exact sequence of repeated `sample`
+    /// calls — same RNG stream, same indices.
+    #[test]
+    fn sample_many_matches_repeated_sample() {
+        let table = AliasTable::from_u128(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let mut ra = SmallRng::seed_from_u64(13);
+        let mut rb = SmallRng::seed_from_u64(13);
+        let mut batch = [0u32; 1000];
+        table.sample_many(&mut ra, &mut batch);
+        for &got in batch.iter() {
+            assert_eq!(got as usize, table.sample(&mut rb));
+        }
     }
 }

@@ -176,22 +176,63 @@ pub(crate) fn read_varint_u128(data: &[u8], pos: &mut usize) -> Option<u128> {
     }
 }
 
+/// Reads one varint from a stream that already passed
+/// [`SuccinctRepr::parse`]. The overwhelmingly common one-byte encoding
+/// (values `< 128`) is decoded inline; longer encodings fall back to the
+/// full loop from the unadvanced position.
+#[inline(always)]
+fn read_varint_u64_trusted(data: &[u8], pos: &mut usize) -> u64 {
+    let b = data[*pos];
+    if b < 0x80 {
+        *pos += 1;
+        return b as u64;
+    }
+    read_varint_u64(data, pos).expect("invariant: validated stream")
+}
+
+/// `u128` twin of [`read_varint_u64_trusted`].
+#[inline(always)]
+fn read_varint_u128_trusted(data: &[u8], pos: &mut usize) -> u128 {
+    let b = data[*pos];
+    if b < 0x80 {
+        *pos += 1;
+        return b as u128;
+    }
+    read_varint_u128(data, pos).expect("invariant: validated stream")
+}
+
 // ---------------------------------------------------------------------------
 // The succinct representation
 // ---------------------------------------------------------------------------
 
-/// Decode position within a succinct stream: everything needed to read
-/// entry `idx` and the cumulative count of all entries before it.
-#[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct Cursor {
-    /// Entry index the cursor is about to read.
-    pub idx: usize,
-    /// Byte offset in the stream.
-    pub pos: usize,
-    /// Cumulative count of entries `0..idx`.
-    pub cum: u128,
-    /// Key of entry `idx - 1` (unused when `idx` starts a block).
-    pub prev: u64,
+/// One anchor block, fully materialized: absolute keys (deltas already
+/// prefix-summed) and per-entry counts, decoded in a single pass. All
+/// point queries and iteration work over these flat arrays instead of
+/// chasing a per-entry varint call chain.
+#[derive(Clone, Debug)]
+pub(crate) struct DecodedBlock {
+    /// Absolute keys of the block's entries (`[..len]` valid).
+    keys: [u64; ANCHOR_BLOCK],
+    /// Per-entry (non-cumulative) counts (`[..len]` valid).
+    counts: [u128; ANCHOR_BLOCK],
+    /// Global index of the block's first entry.
+    first_idx: usize,
+    /// Decoded entries (a full `ANCHOR_BLOCK` except for the last block).
+    len: usize,
+    /// Byte offset one past the block — where the next block starts.
+    end_pos: usize,
+}
+
+impl DecodedBlock {
+    fn new() -> DecodedBlock {
+        DecodedBlock {
+            keys: [0; ANCHOR_BLOCK],
+            counts: [0; ANCHOR_BLOCK],
+            first_idx: 0,
+            len: 0,
+            end_pos: 0,
+        }
+    }
 }
 
 /// A sealed, immutable record in the succinct encoding. Constructed either
@@ -333,63 +374,60 @@ impl SuccinctRepr {
         &self.data
     }
 
-    /// Reads the entry under `cur` and advances it.
-    #[inline]
-    fn entry_at(&self, cur: &mut Cursor) -> (u64, u128) {
-        let valid = "invariant: validated stream";
-        let key = if cur.idx.is_multiple_of(ANCHOR_BLOCK) {
-            read_varint_u64(&self.data, &mut cur.pos).expect(valid)
-        } else {
-            cur.prev + read_varint_u64(&self.data, &mut cur.pos).expect(valid)
-        };
-        let count = read_varint_u128(&self.data, &mut cur.pos).expect(valid);
-        cur.idx += 1;
-        cur.cum += count;
-        cur.prev = key;
-        (key, count)
+    /// Decodes the block whose first entry is `first_idx` (stream offset
+    /// `pos`) into `out`, materializing absolute keys and counts in one
+    /// pass — the deltas are prefix-summed here, so no caller ever walks
+    /// a per-entry `read_varint` chain again.
+    fn decode_block_into(&self, first_idx: usize, pos: usize, out: &mut DecodedBlock) {
+        let n = (self.len() - first_idx).min(ANCHOR_BLOCK);
+        let data = &self.data[..];
+        let mut p = pos;
+        let mut prev = 0u64;
+        for j in 0..n {
+            let d = read_varint_u64_trusted(data, &mut p);
+            // The block's first entry stores an absolute key; the rest
+            // store deltas. `prev` is 0 at j == 0, so the sum is uniform.
+            let key = prev + d;
+            out.keys[j] = key;
+            out.counts[j] = read_varint_u128_trusted(data, &mut p);
+            prev = key;
+        }
+        out.first_idx = first_idx;
+        out.len = n;
+        out.end_pos = p;
     }
 
-    /// Cursor at the start of the last block whose first key is `<= x`
-    /// (block 0 when every anchor key exceeds `x`, or when unanchored).
-    fn block_start_by_key(&self, x: u64) -> Cursor {
+    /// Start `(first_idx, stream offset)` of the last block whose first
+    /// key is `<= x` (block 0 when every anchor key exceeds `x`, or when
+    /// unanchored).
+    fn block_start_by_key(&self, x: u64) -> (usize, usize) {
         if self.anchor_keys.is_empty() {
-            return Cursor::default();
+            return (0, 0);
         }
         let b = self
             .anchor_keys
             .partition_point(|&k| k <= x)
             .saturating_sub(1);
-        Cursor {
-            idx: b * ANCHOR_BLOCK,
-            pos: self.anchor_offs[b] as usize,
-            cum: self.anchor_cumul[b],
-            prev: 0,
-        }
+        (b * ANCHOR_BLOCK, self.anchor_offs[b] as usize)
     }
 
-    /// Entry index one past the cursor's block (capped at `len`).
-    #[inline]
-    fn block_end(&self, cur: &Cursor) -> usize {
-        ((cur.idx / ANCHOR_BLOCK + 1) * ANCHOR_BLOCK).min(self.len())
-    }
-
-    /// Cursor positioned at the first entry with key `>= x` (or at `len`
-    /// when every key is smaller); `cum` is the count of entries before it.
-    pub fn cursor_at_key(&self, x: u64) -> Cursor {
+    /// Index of the first entry with key `>= x` (or `len` when every key
+    /// is smaller), paired with the cumulative count of entries before it.
+    pub fn index_of_key_ge(&self, x: u64) -> (usize, u128) {
         if self.len == 0 {
-            return Cursor::default();
+            return (0, 0);
         }
-        let mut cur = self.block_start_by_key(x);
-        let end = self.block_end(&cur);
-        while cur.idx < end {
-            let mut peek = cur;
-            let (key, _) = self.entry_at(&mut peek);
-            if key >= x {
-                break;
-            }
-            cur = peek;
-        }
-        cur
+        let (first_idx, pos) = self.block_start_by_key(x);
+        let cum_before = if self.anchor_cumul.is_empty() {
+            0
+        } else {
+            self.anchor_cumul[first_idx / ANCHOR_BLOCK]
+        };
+        let mut block = DecodedBlock::new();
+        self.decode_block_into(first_idx, pos, &mut block);
+        let j = block.keys[..block.len].partition_point(|&k| k < x);
+        let cum = cum_before + block.counts[..j].iter().sum::<u128>();
+        (first_idx + j, cum)
     }
 
     /// The count stored under `x`, or 0.
@@ -397,76 +435,110 @@ impl SuccinctRepr {
         if self.len == 0 {
             return 0;
         }
-        let mut cur = self.block_start_by_key(x);
-        let end = self.block_end(&cur);
-        while cur.idx < end {
-            let (key, count) = self.entry_at(&mut cur);
-            match key.cmp(&x) {
-                std::cmp::Ordering::Less => continue,
-                std::cmp::Ordering::Equal => return count,
-                std::cmp::Ordering::Greater => return 0,
-            }
+        let (first_idx, pos) = self.block_start_by_key(x);
+        let mut block = DecodedBlock::new();
+        self.decode_block_into(first_idx, pos, &mut block);
+        match block.keys[..block.len].binary_search(&x) {
+            Ok(j) => block.counts[j],
+            Err(_) => 0,
         }
-        0
     }
 
     /// The key whose cumulative range contains `r`, for `r ∈ 1..=total`.
     pub fn select(&self, r: u128) -> u64 {
         debug_assert!(r >= 1 && r <= self.total);
-        let mut cur = if self.anchor_cumul.is_empty() {
-            Cursor::default()
+        let (mut first_idx, mut pos, mut cum) = if self.anchor_cumul.is_empty() {
+            (0, 0, 0u128)
         } else {
             // `anchor_cumul[0] == 0 < r`, so the partition point is >= 1.
             let b = self.anchor_cumul.partition_point(|&c| c < r) - 1;
-            Cursor {
-                idx: b * ANCHOR_BLOCK,
-                pos: self.anchor_offs[b] as usize,
-                cum: self.anchor_cumul[b],
-                prev: 0,
-            }
+            (
+                b * ANCHOR_BLOCK,
+                self.anchor_offs[b] as usize,
+                self.anchor_cumul[b],
+            )
         };
+        let mut block = DecodedBlock::new();
         loop {
-            let (key, _) = self.entry_at(&mut cur);
-            if cur.cum >= r {
-                return key;
+            self.decode_block_into(first_idx, pos, &mut block);
+            for j in 0..block.len {
+                cum += block.counts[j];
+                if cum >= r {
+                    return block.keys[j];
+                }
             }
+            first_idx += ANCHOR_BLOCK;
+            pos = block.end_pos;
         }
     }
 
-    /// Iterates `(key, count)` for entries `cur.idx..end_idx`.
-    pub fn iter_from(&self, cur: Cursor, end_idx: usize) -> SuccinctIter<'_> {
-        SuccinctIter {
+    /// Iterates `(key, count)` for entries `start_idx..end_idx`.
+    pub fn iter_from(&self, start_idx: usize, end_idx: usize) -> SuccinctIter<'_> {
+        let end = end_idx.min(self.len());
+        let mut it = SuccinctIter {
             repr: self,
-            cur,
-            end: end_idx,
+            block: DecodedBlock::new(),
+            j: 0,
+            idx: start_idx,
+            end,
+        };
+        if start_idx < end {
+            let b = start_idx / ANCHOR_BLOCK;
+            let pos = if self.anchor_offs.is_empty() {
+                0
+            } else {
+                self.anchor_offs[b] as usize
+            };
+            self.decode_block_into(b * ANCHOR_BLOCK, pos, &mut it.block);
+            it.j = start_idx - b * ANCHOR_BLOCK;
         }
+        it
     }
 
     /// Iterates every `(key, count)` in key order.
     pub fn iter(&self) -> SuccinctIter<'_> {
-        self.iter_from(Cursor::default(), self.len())
+        self.iter_from(0, self.len())
     }
 }
 
-/// Streaming decoder over a slice of a succinct record.
+/// Streaming decoder over a slice of a succinct record: holds one
+/// materialized [`DecodedBlock`] and refills it block-at-a-time as the
+/// walk crosses an anchor boundary.
 pub(crate) struct SuccinctIter<'a> {
     repr: &'a SuccinctRepr,
-    cur: Cursor,
+    block: DecodedBlock,
+    /// In-block offset of the next entry to yield.
+    j: usize,
+    /// Global index of the next entry.
+    idx: usize,
     end: usize,
 }
 
 impl Iterator for SuccinctIter<'_> {
     type Item = (u64, u128);
 
+    #[inline]
     fn next(&mut self) -> Option<(u64, u128)> {
-        if self.cur.idx >= self.end {
+        if self.idx >= self.end {
             return None;
         }
-        Some(self.repr.entry_at(&mut self.cur))
+        if self.j >= self.block.len {
+            // A short block is always the record's last, so running past
+            // one implies `idx >= end` above — refills only see full
+            // blocks behind them.
+            let first = self.block.first_idx + ANCHOR_BLOCK;
+            let pos = self.block.end_pos;
+            self.repr.decode_block_into(first, pos, &mut self.block);
+            self.j = 0;
+        }
+        let out = (self.block.keys[self.j], self.block.counts[self.j]);
+        self.j += 1;
+        self.idx += 1;
+        Some(out)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.end - self.cur.idx;
+        let n = self.end.saturating_sub(self.idx);
         (n, Some(n))
     }
 }
@@ -561,14 +633,183 @@ mod tests {
                 assert_eq!(repr.select(cum + c), k);
                 cum += c;
             }
-            // cursor_at_key: index and cumulative-before for every boundary.
+            // index_of_key_ge: index and cumulative-before for every boundary.
             let mut cum = 0u128;
             for (i, &(k, c)) in ps.iter().enumerate() {
-                let cur = repr.cursor_at_key(k);
-                assert_eq!((cur.idx, cur.cum), (i, cum), "key {k}");
-                let cur = repr.cursor_at_key(k + 1);
-                assert_eq!((cur.idx, cur.cum), (i + 1, cum + c));
+                assert_eq!(repr.index_of_key_ge(k), (i, cum), "key {k}");
+                assert_eq!(repr.index_of_key_ge(k + 1), (i + 1, cum + c));
                 cum += c;
+            }
+            // Sliced iteration stays consistent with the full walk for
+            // every in-block and anchor-boundary start.
+            for lo in 0..ps.len() {
+                let got: Vec<_> = repr.iter_from(lo, ps.len()).collect();
+                assert_eq!(got, ps[lo..], "n={n} lo={lo}");
+            }
+        }
+    }
+
+    /// Decodes a validated stream entry-by-entry with the raw varint
+    /// readers — the pre-batching reference the block decoder must match.
+    fn per_entry_reference(len: usize, data: &[u8]) -> Vec<(u64, u128)> {
+        let mut out = Vec::with_capacity(len);
+        let mut pos = 0;
+        let mut prev = 0u64;
+        for i in 0..len {
+            let v = read_varint_u64(data, &mut pos).expect("validated stream");
+            let key = if i.is_multiple_of(ANCHOR_BLOCK) {
+                v
+            } else {
+                prev + v
+            };
+            let count = read_varint_u128(data, &mut pos).expect("validated stream");
+            out.push((key, count));
+            prev = key;
+        }
+        assert_eq!(pos, data.len());
+        out
+    }
+
+    /// Validates a stream exactly as the format spec dictates, using only
+    /// the per-entry varint readers — an independent twin of `parse` for
+    /// corruption-rejection parity checks.
+    fn per_entry_validate(len: usize, data: &[u8]) -> bool {
+        let mut pos = 0;
+        let mut total = 0u128;
+        let mut prev = 0u64;
+        for i in 0..len {
+            let key = if i.is_multiple_of(ANCHOR_BLOCK) {
+                match read_varint_u64(data, &mut pos) {
+                    Some(k) if i == 0 || k > prev => k,
+                    _ => return false,
+                }
+            } else {
+                match read_varint_u64(data, &mut pos) {
+                    Some(d) if d > 0 => match prev.checked_add(d) {
+                        Some(k) => k,
+                        None => return false,
+                    },
+                    _ => return false,
+                }
+            };
+            if key > MAX_KEY {
+                return false;
+            }
+            match read_varint_u128(data, &mut pos) {
+                Some(c) if c > 0 => match total.checked_add(c) {
+                    Some(t) => total = t,
+                    None => return false,
+                },
+                _ => return false,
+            }
+            prev = key;
+        }
+        pos == data.len()
+    }
+
+    mod batched_decoder_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Strictly-ascending `(key, count)` pairs whose length sweeps
+        /// single-block, exact-boundary, and multi-block records.
+        fn pairs_strategy() -> impl Strategy<Value = Vec<(u64, u128)>> {
+            let len = (0usize..6).prop_flat_map(|sel| match sel {
+                0 => (0usize..3).boxed(),
+                1 => Just(ANCHOR_BLOCK - 1).boxed(),
+                2 => Just(ANCHOR_BLOCK).boxed(),
+                3 => Just(ANCHOR_BLOCK + 1).boxed(),
+                4 => Just(2 * ANCHOR_BLOCK).boxed(),
+                _ => (3usize..5 * ANCHOR_BLOCK).boxed(),
+            });
+            // Counts mix the one-byte varint fast path (tiny values) with
+            // multi-chunk encodings (beyond u64).
+            len.prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(1u64..2000, n),
+                    proptest::collection::vec(
+                        (any::<bool>(), 1u128..200, (1u128 << 70)..(1u128 << 90))
+                            .prop_map(|(big, small, huge)| if big { huge } else { small }),
+                        n,
+                    ),
+                )
+            })
+            .prop_map(|(gaps, counts)| {
+                let mut key = 0u64;
+                gaps.into_iter()
+                    .zip(counts)
+                    .map(|(gap, c)| {
+                        key += gap;
+                        (key, c)
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            /// The batched block decoder yields exactly the sequence the
+            /// per-entry varint walk produces, from every start index.
+            #[test]
+            fn batched_decode_matches_per_entry_walk(ps in pairs_strategy()) {
+                let repr = SuccinctRepr::from_sorted(&ps);
+                let reference = per_entry_reference(ps.len(), &repr.data);
+                prop_assert_eq!(&reference, &ps);
+                let batched: Vec<_> = repr.iter().collect();
+                prop_assert_eq!(&batched, &reference);
+                // Anchor-boundary and mid-block starts agree too.
+                for lo in [0, 1, ANCHOR_BLOCK - 1, ANCHOR_BLOCK, ANCHOR_BLOCK + 1] {
+                    let lo = lo.min(ps.len());
+                    let got: Vec<_> = repr.iter_from(lo, ps.len()).collect();
+                    prop_assert_eq!(&got[..], &reference[lo..]);
+                }
+            }
+
+            /// Point queries over the batched decoder agree with naive
+            /// scans of the reference sequence.
+            #[test]
+            fn batched_queries_match_reference(ps in pairs_strategy()) {
+                let repr = SuccinctRepr::from_sorted(&ps);
+                let keys: std::collections::BTreeSet<u64> =
+                    ps.iter().map(|&(k, _)| k).collect();
+                let mut cum = 0u128;
+                for (i, &(k, c)) in ps.iter().enumerate() {
+                    prop_assert_eq!(repr.count_of(k), c);
+                    if !keys.contains(&(k + 1)) {
+                        prop_assert_eq!(repr.count_of(k + 1), 0);
+                    }
+                    prop_assert_eq!(repr.index_of_key_ge(k), (i, cum));
+                    prop_assert_eq!(repr.select(cum + 1), k);
+                    cum += c;
+                    prop_assert_eq!(repr.select(cum), k);
+                }
+            }
+
+            /// Truncations and random byte corruptions are rejected (or
+            /// accepted, with identical content) by `parse` exactly when
+            /// the per-entry reference validator says so.
+            #[test]
+            fn corruption_rejection_matches_per_entry_validator(
+                ps in pairs_strategy(),
+                cut_pmil in 0u64..=1000,
+                do_poke in any::<bool>(),
+                at in 0usize..4096,
+                byte in 0u8..=255,
+            ) {
+                let repr = SuccinctRepr::from_sorted(&ps);
+                let mut data = repr.data.clone();
+                let cut = (data.len() as u64 * cut_pmil / 1000) as usize;
+                data.truncate(cut);
+                if do_poke && !data.is_empty() {
+                    let at = at % data.len();
+                    data[at] = byte;
+                }
+                let reference_ok = per_entry_validate(ps.len(), &data);
+                let parsed = SuccinctRepr::parse(ps.len() as u32, data.clone());
+                prop_assert_eq!(parsed.is_some(), reference_ok);
+                if let Some(p) = parsed {
+                    let batched: Vec<_> = p.iter().collect();
+                    prop_assert_eq!(batched, per_entry_reference(ps.len(), &data));
+                }
             }
         }
     }

@@ -214,8 +214,8 @@ impl Record {
                 }
             }
             Repr::Succinct(s) => {
-                let lo = s.cursor_at_key(start);
-                let hi = s.cursor_at_key(end + 1).idx;
+                let (lo, _) = s.index_of_key_ge(start);
+                let (hi, _) = s.index_of_key_ge(end + 1);
                 RawIter::Succinct(s.iter_from(lo, hi))
             }
         })
@@ -235,7 +235,7 @@ impl Record {
                 }
                 p.cumul[hi - 1] - p.cumul_before(lo)
             }
-            Repr::Succinct(s) => s.cursor_at_key(end + 1).cum - s.cursor_at_key(start).cum,
+            Repr::Succinct(s) => s.index_of_key_ge(end + 1).1 - s.index_of_key_ge(start).1,
         }
     }
 
@@ -260,7 +260,7 @@ impl Record {
                 let lo = p.codes.partition_point(|&c| c < start);
                 p.cumul_before(lo)
             }
-            Repr::Succinct(s) => s.cursor_at_key(start).cum,
+            Repr::Succinct(s) => s.index_of_key_ge(start).1,
         };
         // Entries of one shape are contiguous, so selecting at the global
         // cumulative rank `before + r` lands inside the shape's range.
@@ -321,6 +321,12 @@ impl Record {
 }
 
 /// Codec-agnostic `(key, count)` iteration.
+///
+/// The `Succinct` arm is much larger than `Plain`: it carries the
+/// decoded-block arena inline. That is deliberate — iterators are
+/// created per record visit on the sampling hot path, and boxing the
+/// arena would turn every visit into a heap allocation.
+#[allow(clippy::large_enum_variant)]
 enum RawIter<'a> {
     Plain {
         codes: &'a [u64],

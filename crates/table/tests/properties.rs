@@ -220,3 +220,52 @@ proptest! {
         }
     }
 }
+
+/// Cross-codec identity exactly at the anchor-block boundaries the batched
+/// block decoder refills across: one entry short of a block, a full block,
+/// one over, and the two-block boundary.
+#[test]
+fn codecs_agree_at_anchor_block_boundaries() {
+    use motivo_table::codec::ANCHOR_BLOCK;
+    let keys: Vec<ColoredTreelet> = {
+        let mut v = Vec::new();
+        for h in 2..=5u32 {
+            for &t in all_treelets(h).iter() {
+                for colors in ColorSet::full(8).subsets_of_size(h) {
+                    v.push(ColoredTreelet::new(t, colors));
+                }
+            }
+        }
+        v.sort_by_key(|k| k.code());
+        v
+    };
+    for n in [
+        ANCHOR_BLOCK - 1,
+        ANCHOR_BLOCK,
+        ANCHOR_BLOCK + 1,
+        2 * ANCHOR_BLOCK,
+        2 * ANCHOR_BLOCK + 1,
+    ] {
+        let pairs: Vec<(ColoredTreelet, u128)> = keys
+            .iter()
+            .step_by(3)
+            .take(n)
+            .enumerate()
+            .map(|(i, &k)| (k, (i as u128 % 9) + 1))
+            .collect();
+        assert_eq!(pairs.len(), n, "key pool too small for n={n}");
+        let plain = build(RecordCodec::Plain, &pairs);
+        let succ = build(RecordCodec::Succinct, &pairs);
+        assert_eq!(
+            plain.iter().collect::<Vec<_>>(),
+            succ.iter().collect::<Vec<_>>(),
+            "n={n}"
+        );
+        for r in 1..=plain.total() {
+            assert_eq!(plain.select(r), succ.select(r), "n={n} r={r}");
+        }
+        for &(k, c) in &pairs {
+            assert_eq!(succ.count_of(k), c, "n={n}");
+        }
+    }
+}
