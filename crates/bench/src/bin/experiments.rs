@@ -277,12 +277,32 @@ fn succinct_table_bytes(urn: &motivo_core::Urn<'_>) -> u64 {
     let table = urn.table();
     let mut bytes = 0u64;
     for h in 1..=table.k() {
-        for v in table.level(h).vertices() {
-            let rec = table.get(h, v).expect("in-memory table");
+        for item in table.level(h).scan() {
+            let (_, rec) = item.expect("in-memory table");
             bytes += rec.recode(motivo_core::RecordCodec::Succinct).byte_size() as u64;
         }
     }
     bytes
+}
+
+/// Process-wide resident-set high-water mark (`VmHWM`) in bytes, or 0
+/// where `/proc` is unavailable. Monotone over the process lifetime, so
+/// it only bounds a phase's peak if that phase runs before anything
+/// memory-hungry.
+fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 /// Runs `f` repeatedly for ~1.5 s and returns calls per second.
@@ -756,6 +776,32 @@ fn ci(ctx: &Ctx) {
     let k = 4;
     let samples = 50_000u64 * ctx.scale as u64;
 
+    // Out-of-core gate. A deliberately tiny memtable budget forces the
+    // build through the spill+merge path (≥ 2 runs asserted), and the
+    // result must be record-identical to the unbudgeted in-memory build
+    // below. This phase runs first so the process RSS high-water mark
+    // (`VmHWM`) still reflects the budgeted build rather than the
+    // in-memory table built afterwards.
+    let oom_dir = std::env::temp_dir().join("motivo-bench-ci-oom");
+    std::fs::remove_dir_all(&oom_dir).ok();
+    std::fs::create_dir_all(&oom_dir).expect("oom scratch dir");
+    let budgeted = build_urn(
+        &g,
+        &BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(k)
+        }
+        .seed(3)
+        .build_mem_bytes(&oom_dir, 32 * 1024),
+    )
+    .expect("budgeted ci build");
+    let build_spill_runs = budgeted.build_stats().spill_runs;
+    assert!(
+        build_spill_runs >= 2,
+        "budget too generous: only {build_spill_runs} spill runs"
+    );
+    let peak_rss_bytes_per_edge = peak_rss_bytes() as f64 / g.num_edges() as f64;
+
     let t0 = Instant::now();
     let urn = build_urn(
         &g,
@@ -768,6 +814,27 @@ fn ci(ctx: &Ctx) {
     .expect("ci build");
     let build_secs = t0.elapsed().as_secs_f64();
     let st = urn.build_stats();
+
+    // The budgeted build must agree with the in-memory one entry for
+    // entry — the spill/merge machinery may never change what is counted.
+    for h in 1..=k {
+        let (mem, blk) = (urn.table().level(h), budgeted.table().level(h));
+        assert_eq!(
+            mem.record_count(),
+            blk.record_count(),
+            "budgeted build record count diverged at level {h}"
+        );
+        for item in blk.scan() {
+            let (v, rec) = item.expect("budgeted level scan");
+            let reference = urn.table().get(h, v).expect("in-memory get");
+            assert!(
+                reference.iter().eq(rec.iter()),
+                "budgeted build diverged at level {h} vertex {v}"
+            );
+        }
+    }
+    drop(budgeted);
+    std::fs::remove_dir_all(&oom_dir).ok();
 
     // Determinism gate: the seed-split shard scheme must make the tally a
     // pure function of (samples, seed), independent of thread count.
@@ -831,6 +898,11 @@ fn ci(ctx: &Ctx) {
                 format!("{bits_per_node_succinct:.0}"),
             ],
             vec!["tally checksum".into(), tally_checksum.clone()],
+            vec!["build spill runs".into(), format!("{build_spill_runs}")],
+            vec![
+                "peak RSS bytes/edge".into(),
+                format!("{peak_rss_bytes_per_edge:.0}"),
+            ],
             vec![
                 "decode entries/s".into(),
                 format!("{decode_entries_per_sec:.0}"),
@@ -880,6 +952,8 @@ fn ci(ctx: &Ctx) {
             "bits_per_node_plain": bits_per_node,
             "bits_per_node_succinct": bits_per_node_succinct,
             "tally_checksum": tally_checksum,
+            "build_spill_runs": build_spill_runs,
+            "peak_rss_bytes_per_edge": peak_rss_bytes_per_edge,
             "decode_entries_per_sec": decode_entries_per_sec,
             "alias_draws_per_sec": alias_draws_per_sec,
             "serve_qps": serving.serve_qps,

@@ -39,11 +39,13 @@ pub const EXACT_FIELDS: &[&str] = &[
     "bits_per_node_plain",
     "bits_per_node_succinct",
     "tally_checksum",
+    "build_spill_runs",
     "determinism",
 ];
 
 /// Fields compared as ratios under the tolerance.
 pub const TIMING_FIELDS: &[&str] = &[
+    "peak_rss_bytes_per_edge",
     "build_secs",
     "sample_secs",
     "samples_per_sec",
@@ -214,7 +216,8 @@ mod tests {
             "graph_nodes": 2000, "graph_edges": 5991, "k": 4, "samples": 50000,
             "table_bytes_plain": 1000000, "table_bytes_succinct": 300000,
             "bits_per_node_plain": 4000.0, "bits_per_node_succinct": 1200.0,
-            "tally_checksum": "a1b2c3d4", "determinism": "ok",
+            "tally_checksum": "a1b2c3d4", "build_spill_runs": 6, "determinism": "ok",
+            "peak_rss_bytes_per_edge": 9000.0,
             "build_secs": 1.0, "sample_secs": 0.5, "samples_per_sec": 100000.0,
             "decode_entries_per_sec": 50000000.0, "alias_draws_per_sec": 80000000.0,
             "serve_qps": 800.0, "cache_hit_qps": 5000.0,
@@ -360,6 +363,45 @@ mod tests {
         let report = compare(&b, &f, DEFAULT_TOLERANCE);
         assert!(!report.passed());
         assert!(report.failures[0].contains("missing from fresh run"));
+    }
+
+    /// The out-of-core fields gate with their class: `build_spill_runs`
+    /// is deterministic (a single-threaded build under a fixed budget
+    /// always spills the same number of runs), `peak_rss_bytes_per_edge`
+    /// is machine-dependent and ratio-tested.
+    #[test]
+    fn oom_fields_gate_exact_spills_and_ratio_rss() {
+        let b = reparse(&doc());
+        // One extra spill run means the budget accounting changed: exact.
+        let f = with(&b, "build_spill_runs", json!(7));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            report.failures[0].contains("build_spill_runs"),
+            "{report:?}"
+        );
+        assert!(report.failures[0].contains("drifted"), "{report:?}");
+        // A 5x RSS blowup per edge fails; 2x runner variance passes.
+        let f = with(&b, "peak_rss_bytes_per_edge", json!(45000.0));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(
+            report.failures[0].contains("peak_rss_bytes_per_edge"),
+            "{report:?}"
+        );
+        let f = with(&b, "peak_rss_bytes_per_edge", json!(18000.0));
+        assert!(compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // Either field missing from the fresh run is schema drift.
+        for strip in [
+            "\"build_spill_runs\":6,",
+            "\"peak_rss_bytes_per_edge\":9000.0,",
+        ] {
+            let text = serde_json::to_string(&b).unwrap().replace(strip, "");
+            assert_ne!(text, serde_json::to_string(&b).unwrap(), "{strip}");
+            let f: Value = from_str(&text).unwrap();
+            assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed(), "{strip}");
+        }
     }
 
     #[test]

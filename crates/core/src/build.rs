@@ -103,6 +103,22 @@ impl BuildConfig {
         self
     }
 
+    /// Bounds peak build memory: block storage under `dir` with a
+    /// memtable budget of `bytes` per level (`0` = unbudgeted). The
+    /// out-of-core path behind the CLI's `--build-mem-bytes`; the result
+    /// is bit-identical to an unbudgeted in-memory build.
+    pub fn build_mem_bytes(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        bytes: usize,
+    ) -> BuildConfig {
+        self.storage = StorageKind::Block {
+            dir: dir.into(),
+            mem_budget: bytes,
+        };
+        self
+    }
+
     /// Selects the record codec (succinct encoding = the paper's
     /// main-memory win; plain = the fixed-width v1 layout).
     pub fn codec(mut self, codec: RecordCodec) -> BuildConfig {
@@ -153,6 +169,12 @@ pub struct BuildStats {
     pub table_bytes: usize,
     /// Non-empty records stored.
     pub records: usize,
+    /// Budget-triggered memtable spills across all levels (block storage
+    /// only; 0 for unbudgeted or non-block builds).
+    pub spill_runs: u64,
+    /// High-water mark of any level's build memtable in bytes (block
+    /// storage only).
+    pub peak_mem_bytes: u64,
 }
 
 /// Runs the build-up phase and assembles the urn.
@@ -214,6 +236,9 @@ pub fn build_table(
         );
         l1.put(v, Record::from_counts_in(cfg.codec, vec![(ct.code(), 1)]))?;
     }
+    // Seal before higher levels read it: block-backed levels compact
+    // their memtable and spill runs into the final block file here.
+    l1.seal()?;
     levels.push(l1);
 
     for h in 2..=k {
@@ -314,6 +339,7 @@ pub fn build_table(
             level.put(v, rec)?;
         }
 
+        level.seal()?;
         levels.push(level);
         per_level.push(level_start.elapsed());
     }
@@ -325,6 +351,8 @@ pub fn build_table(
         merge_ops: merge_ops.load(Ordering::Relaxed),
         table_bytes: table.byte_size(),
         records: table.record_count(),
+        spill_runs: table.total_spill_runs(),
+        peak_mem_bytes: table.peak_mem_bytes(),
     };
     Ok((table, stats))
 }
@@ -658,6 +686,67 @@ mod tests {
                 assert_eq!(a, b, "vertex {v} size {h}");
             }
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Block storage with a tiny memtable budget (forcing several spill +
+    /// merge rounds per level) must agree record-for-record with the
+    /// in-memory build on both codecs — the out-of-core acceptance bar.
+    #[test]
+    fn budgeted_block_storage_agrees_with_memory() {
+        let g = generators::barabasi_albert(120, 3, 2);
+        let coloring = Coloring::uniform(&g, 5, 1);
+        for codec in RecordCodec::ALL {
+            let dir = std::env::temp_dir().join(format!("motivo-core-block-test-{codec}"));
+            std::fs::remove_dir_all(&dir).ok();
+            let mem = BuildConfig {
+                threads: 2,
+                codec,
+                ..BuildConfig::new(5)
+            };
+            // 4 KiB budget on a level holding tens of KiB: many spills.
+            let block = BuildConfig {
+                threads: 2,
+                codec,
+                ..BuildConfig::new(5)
+            }
+            .build_mem_bytes(&dir, 4 * 1024);
+            let (ta, _) = build_table(&g, &coloring, &mem).unwrap();
+            let (tb, sb) = build_table(&g, &coloring, &block).unwrap();
+            assert!(
+                sb.spill_runs >= 2,
+                "{codec}: want ≥2 spill rounds, got {}",
+                sb.spill_runs
+            );
+            assert!(sb.peak_mem_bytes > 0 && sb.peak_mem_bytes <= 8 * 1024);
+            for v in 0..g.num_nodes() {
+                for h in 1..=5 {
+                    let a: Vec<_> = ta.get(h, v).unwrap().iter().collect();
+                    let b: Vec<_> = tb.get(h, v).unwrap().iter().collect();
+                    assert_eq!(a, b, "{codec}: vertex {v} size {h}");
+                }
+            }
+            assert_eq!(ta.record_count(), tb.record_count());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// An unbudgeted block build spills nothing and reports its history.
+    #[test]
+    fn unbudgeted_block_storage_has_no_spills() {
+        let g = generators::barabasi_albert(80, 3, 5);
+        let coloring = Coloring::uniform(&g, 4, 2);
+        let dir = std::env::temp_dir().join("motivo-core-block-nospill");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = BuildConfig {
+            threads: 1,
+            ..BuildConfig::new(4)
+        }
+        .build_mem_bytes(&dir, 0);
+        let (table, stats) = build_table(&g, &coloring, &cfg).unwrap();
+        assert_eq!(stats.spill_runs, 0);
+        assert_eq!(table.total_spill_runs(), 0);
+        assert!(stats.peak_mem_bytes > 0, "memtable peak still tracked");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -46,8 +46,9 @@ pub fn save_urn(urn: &Urn<'_>, dir: impl AsRef<Path>) -> io::Result<()> {
     urn.table().save_dir(dir)?;
     urn.coloring()
         .save(std::fs::File::create(dir.join("coloring.mtvc"))?)?;
-    // Build stats + graph fingerprint, CRC-protected (v2; v1 had no
-    // checksum and is still readable).
+    // Build stats + graph fingerprint, CRC-protected (v3; v2 lacked the
+    // out-of-core build history, v1 additionally had no checksum — both
+    // remain readable).
     let st = urn.build_stats();
     let mut payload = Vec::new();
     payload.put_u64_le(graph_fingerprint(urn.graph()));
@@ -59,9 +60,11 @@ pub fn save_urn(urn: &Urn<'_>, dir: impl AsRef<Path>) -> io::Result<()> {
     for d in &st.per_level {
         payload.put_f64_le(d.as_secs_f64());
     }
+    payload.put_u64_le(st.spill_runs);
+    payload.put_u64_le(st.peak_mem_bytes);
     let mut meta = Vec::with_capacity(12 + payload.len());
     meta.put_slice(b"MTVU");
-    meta.put_u32_le(2);
+    meta.put_u32_le(3);
     meta.put_u32_le(crc32(&payload));
     meta.put_slice(&payload);
     std::fs::write(dir.join("urn.meta"), meta)
@@ -91,11 +94,12 @@ fn load_urn_inner<'g>(g: &'g Graph, dir: &Path, preload: bool) -> Result<Urn<'g>
     if &magic != b"MTVU" {
         return Err(BuildError::Io(bad("bad urn meta header")));
     }
-    match buf.get_u32_le() {
+    let version = buf.get_u32_le();
+    match version {
         // v1: no checksum (pre-CRC files remain loadable).
         1 => {}
-        // v2: CRC32 over everything after the 12-byte header.
-        2 => {
+        // v2/v3: CRC32 over everything after the 12-byte header.
+        2 | 3 => {
             if buf.remaining() < 4 {
                 return Err(BuildError::Io(bad("truncated urn meta")));
             }
@@ -122,18 +126,27 @@ fn load_urn_inner<'g>(g: &'g Graph, dir: &Path, preload: bool) -> Result<Urn<'g>
     let table_bytes = buf.get_u64_le() as usize;
     let records = buf.get_u64_le() as usize;
     let levels = buf.get_u32_le() as usize;
-    if buf.remaining() != levels * 8 {
+    // v3 appends the out-of-core build history after the per-level times.
+    let tail = if version >= 3 { 16 } else { 0 };
+    if buf.remaining() != levels * 8 + tail {
         return Err(BuildError::Io(bad("urn meta length mismatch")));
     }
     let per_level = (0..levels)
         .map(|_| Duration::from_secs_f64(buf.get_f64_le()))
         .collect();
+    let (spill_runs, peak_mem_bytes) = if version >= 3 {
+        (buf.get_u64_le(), buf.get_u64_le())
+    } else {
+        (0, 0)
+    };
     let stats = BuildStats {
         total,
         per_level,
         merge_ops,
         table_bytes,
         records,
+        spill_runs,
+        peak_mem_bytes,
     };
 
     let coloring =
@@ -253,7 +266,26 @@ mod tests {
         )
         .unwrap();
         save_urn(&urn, &dir).unwrap();
-        // Rewrite table.meta as the pre-codec v1 layout (no codec byte).
+        // Convert the table files back to the v1-era layout by hand: one
+        // DiskLevel data + index pair per level (records are plain — the
+        // build above used the default codec), then a v1 table.meta.
+        {
+            use motivo_table::LevelStore;
+            let table = motivo_table::CountTable::open_dir(&dir).unwrap();
+            for h in 1..=3u32 {
+                let mut dl = motivo_table::DiskLevel::create(
+                    dir.join(format!("level-{h}.mtvt")),
+                    g.num_nodes(),
+                    motivo_table::RecordCodec::Plain,
+                )
+                .unwrap();
+                for item in table.level(h).scan() {
+                    let (v, rec) = item.unwrap();
+                    dl.put(v, (*rec).clone()).unwrap();
+                }
+                dl.persist_index().unwrap();
+            }
+        }
         let mut meta = Vec::new();
         meta.put_slice(b"MTVT");
         meta.put_u32_le(1);
@@ -329,12 +361,13 @@ mod tests {
         )
         .unwrap();
         save_urn(&urn, &dir).unwrap();
-        // Rewrite the meta as a v1 file: header says 1, no CRC word.
+        // Rewrite the meta as a v1 file: header says 1, no CRC word, and
+        // no v3 build-history tail (the final 16 payload bytes).
         let raw = std::fs::read(dir.join("urn.meta")).unwrap();
         let mut v1 = Vec::new();
         v1.put_slice(b"MTVU");
         v1.put_u32_le(1);
-        v1.put_slice(&raw[12..]);
+        v1.put_slice(&raw[12..raw.len() - 16]);
         std::fs::write(dir.join("urn.meta"), v1).unwrap();
         let back = load_urn(&g, &dir).unwrap();
         assert_eq!(back.total_treelets(), urn.total_treelets());

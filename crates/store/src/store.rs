@@ -618,8 +618,19 @@ fn worker_loop(inner: Arc<Inner>, rx: mpsc::Receiver<Job>, build_threads: usize)
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
                 std::fs::create_dir_all(&dir_for_build)?;
                 let mut cfg = cfg;
-                cfg.storage = StorageKind::Disk {
-                    dir: dir_for_build.clone(),
+                // The build always lands in the urn's own directory, but a
+                // caller-requested memory budget (out-of-core block build)
+                // is preserved — only the directory is rewritten. The
+                // budget stays out of BuildKey: budgeted and unbudgeted
+                // builds produce byte-identical tables.
+                cfg.storage = match cfg.storage {
+                    StorageKind::Block { mem_budget, .. } => StorageKind::Block {
+                        dir: dir_for_build.clone(),
+                        mem_budget,
+                    },
+                    _ => StorageKind::Disk {
+                        dir: dir_for_build.clone(),
+                    },
                 };
                 cfg.threads = build_threads;
                 // Build-phase spans and the encode histogram land in the

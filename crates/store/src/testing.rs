@@ -71,12 +71,20 @@ impl<S: LevelStore> LevelStore for FaultyLevelStore<S> {
         self.inner.record_count()
     }
 
+    fn seal(&mut self) -> io::Result<()> {
+        self.inner.seal()
+    }
+
     fn num_vertices(&self) -> u32 {
         self.inner.num_vertices()
     }
 
-    fn vertices(&self) -> Vec<u32> {
-        self.inner.vertices()
+    fn scan(&self) -> motivo_table::LevelScan<'_> {
+        self.inner.scan()
+    }
+
+    fn profile(&self) -> motivo_table::LevelProfile {
+        self.inner.profile()
     }
 }
 
@@ -125,6 +133,40 @@ mod tests {
         assert_eq!(level.record_count(), 2);
         let table = CountTable::from_levels(vec![Box::new(level)], RecordCodec::Plain);
         assert_eq!(table.level(1).record_count(), 2);
+    }
+
+    /// Fault injection composes with the block backend: writes before the
+    /// fault survive sealing (spills included) and are served back; the
+    /// fault itself surfaces as an error, never a silent half-level.
+    #[test]
+    fn faulty_block_level_serves_pre_fault_records_after_seal() {
+        let dir = std::env::temp_dir().join("motivo-store-testing-block");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let inner = motivo_table::BlockLevel::create(
+            dir.join("l.mtvb"),
+            16,
+            RecordCodec::Plain,
+            64, // tiny budget: the surviving puts spill at least once
+        )
+        .unwrap();
+        let mut level = FaultyLevelStore::fail_from(inner, 5);
+        let rec = |v: u32| {
+            let mut b = motivo_table::RecordBuilder::new();
+            b.add((v as u64 + 1) << 16 | 0b0011, v as u128 + 1);
+            b.freeze()
+        };
+        for v in 0..4u32 {
+            level.put(v, rec(v)).unwrap();
+        }
+        assert!(level.put(4, rec(4)).is_err(), "fifth write must fail");
+        level.seal().unwrap();
+        assert_eq!(level.record_count(), 4);
+        for v in 0..4u32 {
+            assert_eq!(level.get(v).unwrap().total(), rec(v).total());
+        }
+        assert!(level.get(4).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,834 @@
+//! Sorted immutable block storage for one table level.
+//!
+//! A sealed [`BlockLevel`] is a single file of ~16 KB *blocks*, each
+//! holding consecutive vertices' encoded records with delta-compressed
+//! vertex ids, followed by a per-block index (`first vertex, entry count,
+//! offset, length`) and a checksummed footer. Reads are `O(log blocks)`
+//! binary search over the index plus one positioned block read and an
+//! in-block linear scan — the `O(log n + B)` contract of DESIGN.md §1.5.
+//!
+//! The build path is LSM-shaped: [`LevelStore::put`] appends to a
+//! byte-budgeted memtable; when the budget would be exceeded the memtable
+//! is sorted and spilled to a run file (see [`crate::merge`]); sealing
+//! k-way-merges every run plus the in-memory tail into the final block
+//! file. Peak build memory is therefore bounded by the budget no matter
+//! how large the level grows.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! block*   — entries: varint Δvertex | varint payload_len | payload
+//! index    — per block: u32 first_v | u32 entries | u64 offset | u32 len
+//! footer   — u32 n | u32 records | u64 payload_bytes | u32 blocks
+//!            | u32 crc32(index) | "MTVB"                       (28 bytes)
+//! ```
+//!
+//! The first entry of a block has Δ = 0 from the indexed `first_v`;
+//! later entries delta from their predecessor. Payloads are exactly the
+//! bytes [`Record::encode`] produces, so block storage composes with both
+//! codecs unchanged.
+
+use crate::codec::{read_varint_u64, RecordCodec};
+use crate::merge::{crc32, MergeIter, RunReader, RunWriter};
+use crate::record::Record;
+use crate::storage::{LevelProfile, LevelScan, LevelStore, RecordHandle};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Soft cap on a block's body: a block closes once it would grow past
+/// this. A single oversized record still gets a (larger) block of its own.
+pub const BLOCK_TARGET_BYTES: usize = 16 * 1024;
+
+const FOOTER_LEN: u64 = 28;
+const INDEX_ENTRY_LEN: u64 = 20;
+const BLOCK_MAGIC: &[u8; 4] = b"MTVB";
+
+/// Memtable accounting charge per buffered entry beyond the payload
+/// itself (the `(u32, Vec<u8>)` bookkeeping).
+const ENTRY_OVERHEAD: usize = 32;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BlockMeta {
+    first_v: u32,
+    entries: u32,
+    offset: u64,
+    len: u32,
+}
+
+/// Streams ascending `(vertex, encoded record)` pairs into a block file.
+pub struct BlockWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    n: u32,
+    index: Vec<BlockMeta>,
+    cur: Vec<u8>,
+    cur_first: u32,
+    cur_last: u32,
+    cur_entries: u32,
+    offset: u64,
+    records: u32,
+    payload_bytes: u64,
+    last_v: Option<u32>,
+    codec: RecordCodec,
+}
+
+impl BlockWriter {
+    pub fn create<P: AsRef<Path>>(path: P, n: u32, codec: RecordCodec) -> io::Result<BlockWriter> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(BlockWriter {
+            out: BufWriter::new(file),
+            path,
+            n,
+            index: Vec::new(),
+            cur: Vec::with_capacity(BLOCK_TARGET_BYTES),
+            cur_first: 0,
+            cur_last: 0,
+            cur_entries: 0,
+            offset: 0,
+            records: 0,
+            payload_bytes: 0,
+            last_v: None,
+            codec,
+        })
+    }
+
+    /// Appends one record's encoded bytes. Vertices must arrive strictly
+    /// ascending — the writer is fed by sorted memtables or the merge.
+    pub fn add_encoded(&mut self, v: u32, payload: &[u8]) -> io::Result<()> {
+        if self.last_v.is_some_and(|p| v <= p) {
+            return Err(invalid(format!(
+                "block writer fed out of order: {v} after {:?}",
+                self.last_v
+            )));
+        }
+        self.last_v = Some(v);
+        // Close the open block if this entry would push it past target.
+        if self.cur_entries > 0 && self.cur.len() + payload.len() + 10 > BLOCK_TARGET_BYTES {
+            self.flush_block()?;
+        }
+        let delta = if self.cur_entries == 0 {
+            self.cur_first = v;
+            0
+        } else {
+            (v - self.cur_last) as u64
+        };
+        crate::codec::put_varint_u64(&mut self.cur, delta);
+        crate::codec::put_varint_u64(&mut self.cur, payload.len() as u64);
+        self.cur.extend_from_slice(payload);
+        self.cur_last = v;
+        self.cur_entries += 1;
+        self.records += 1;
+        self.payload_bytes += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Encodes and appends a record (re-sealing it under the writer's
+    /// codec if needed).
+    pub fn add(&mut self, v: u32, rec: &Record) -> io::Result<()> {
+        if rec.is_empty() {
+            return Ok(());
+        }
+        let recoded;
+        let rec = if rec.codec() == self.codec {
+            rec
+        } else {
+            recoded = rec.recode(self.codec);
+            &recoded
+        };
+        let mut payload = Vec::with_capacity(rec.encoded_len());
+        rec.encode(&mut payload);
+        self.add_encoded(v, &payload)
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        self.out.write_all(&self.cur)?;
+        self.index.push(BlockMeta {
+            first_v: self.cur_first,
+            entries: self.cur_entries,
+            offset: self.offset,
+            len: self.cur.len() as u32,
+        });
+        self.offset += self.cur.len() as u64;
+        self.cur.clear();
+        self.cur_entries = 0;
+        Ok(())
+    }
+
+    /// Writes the index and footer; returns the sealed read handle.
+    pub fn finish(mut self) -> io::Result<SealedBlocks> {
+        if self.cur_entries > 0 {
+            self.flush_block()?;
+        }
+        let mut idx = Vec::with_capacity(self.index.len() * INDEX_ENTRY_LEN as usize);
+        for m in &self.index {
+            idx.extend_from_slice(&m.first_v.to_le_bytes());
+            idx.extend_from_slice(&m.entries.to_le_bytes());
+            idx.extend_from_slice(&m.offset.to_le_bytes());
+            idx.extend_from_slice(&m.len.to_le_bytes());
+        }
+        self.out.write_all(&idx)?;
+        self.out.write_all(&self.n.to_le_bytes())?;
+        self.out.write_all(&self.records.to_le_bytes())?;
+        self.out.write_all(&self.payload_bytes.to_le_bytes())?;
+        self.out
+            .write_all(&(self.index.len() as u32).to_le_bytes())?;
+        self.out.write_all(&crc32(&idx).to_le_bytes())?;
+        self.out.write_all(BLOCK_MAGIC)?;
+        self.out.flush()?;
+        let file = self.out.into_inner().map_err(|e| e.into_error())?;
+        Ok(SealedBlocks {
+            file,
+            path: self.path,
+            codec: self.codec,
+            n: self.n,
+            index: self.index,
+            records: self.records,
+            payload_bytes: self.payload_bytes,
+        })
+    }
+}
+
+/// Read handle over a finished block file.
+pub struct SealedBlocks {
+    file: File,
+    path: PathBuf,
+    codec: RecordCodec,
+    n: u32,
+    index: Vec<BlockMeta>,
+    records: u32,
+    payload_bytes: u64,
+}
+
+impl SealedBlocks {
+    /// Opens and validates a block file: footer magic, index checksum,
+    /// and contiguous in-bounds block extents. Any truncation or
+    /// corruption is rejected here, before a single record is served.
+    pub fn open<P: AsRef<Path>>(path: P, codec: RecordCodec) -> io::Result<SealedBlocks> {
+        use std::os::unix::fs::FileExt;
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < FOOTER_LEN {
+            return Err(invalid("block file shorter than its footer"));
+        }
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        file.read_exact_at(&mut footer, file_len - FOOTER_LEN)?;
+        if &footer[24..28] != BLOCK_MAGIC {
+            return Err(invalid("bad block file magic"));
+        }
+        let n = u32::from_le_bytes(footer[0..4].try_into().unwrap());
+        let records = u32::from_le_bytes(footer[4..8].try_into().unwrap());
+        let payload_bytes = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let nblocks = u32::from_le_bytes(footer[16..20].try_into().unwrap()) as u64;
+        let index_crc = u32::from_le_bytes(footer[20..24].try_into().unwrap());
+        let index_len = nblocks * INDEX_ENTRY_LEN;
+        if file_len < FOOTER_LEN + index_len {
+            return Err(invalid("block index extends past file start"));
+        }
+        let data_len = file_len - FOOTER_LEN - index_len;
+        let mut idx = vec![0u8; index_len as usize];
+        file.read_exact_at(&mut idx, data_len)?;
+        if crc32(&idx) != index_crc {
+            return Err(invalid("block index fails its checksum"));
+        }
+        let mut index = Vec::with_capacity(nblocks as usize);
+        let mut expect_offset = 0u64;
+        let mut prev_first: Option<u32> = None;
+        for chunk in idx.chunks_exact(INDEX_ENTRY_LEN as usize) {
+            let m = BlockMeta {
+                first_v: u32::from_le_bytes(chunk[0..4].try_into().unwrap()),
+                entries: u32::from_le_bytes(chunk[4..8].try_into().unwrap()),
+                offset: u64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+                len: u32::from_le_bytes(chunk[16..20].try_into().unwrap()),
+            };
+            if m.offset != expect_offset || m.entries == 0 {
+                return Err(invalid("block index entries not contiguous"));
+            }
+            if prev_first.is_some_and(|p| m.first_v <= p) {
+                return Err(invalid("block index not sorted by vertex"));
+            }
+            prev_first = Some(m.first_v);
+            expect_offset += m.len as u64;
+            index.push(m);
+        }
+        if expect_offset != data_len {
+            return Err(invalid("block data region length mismatch"));
+        }
+        Ok(SealedBlocks {
+            file,
+            path,
+            codec,
+            n,
+            index,
+            records,
+            payload_bytes,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn read_block(&self, m: &BlockMeta) -> io::Result<Vec<u8>> {
+        use std::os::unix::fs::FileExt;
+        let mut body = vec![0u8; m.len as usize];
+        self.file.read_exact_at(&mut body, m.offset)?;
+        Ok(body)
+    }
+
+    /// Walks a block body, calling `f(vertex, payload)` per entry until it
+    /// returns `false`.
+    fn walk(
+        &self,
+        m: &BlockMeta,
+        body: &[u8],
+        mut f: impl FnMut(u32, &[u8]) -> bool,
+    ) -> io::Result<()> {
+        let mut pos = 0usize;
+        let mut v = m.first_v;
+        for i in 0..m.entries {
+            let delta = read_varint_u64(body, &mut pos)
+                .ok_or_else(|| invalid("corrupt block entry delta"))?;
+            let len = read_varint_u64(body, &mut pos)
+                .ok_or_else(|| invalid("corrupt block entry length"))?
+                as usize;
+            if pos + len > body.len() {
+                return Err(invalid("block entry payload overruns block"));
+            }
+            if i > 0 {
+                v = v
+                    .checked_add(delta as u32)
+                    .ok_or_else(|| invalid("block vertex overflow"))?;
+            }
+            if !f(v, &body[pos..pos + len]) {
+                return Ok(());
+            }
+            pos += len;
+        }
+        Ok(())
+    }
+
+    fn decode(&self, v: u32, payload: &[u8]) -> io::Result<Record> {
+        Record::decode(self.codec, &mut &payload[..]).ok_or_else(|| {
+            invalid(format!(
+                "corrupt record for vertex {v} in {}",
+                self.path.display()
+            ))
+        })
+    }
+
+    fn get(&self, v: u32) -> io::Result<RecordHandle<'_>> {
+        let at = self.index.partition_point(|m| m.first_v <= v);
+        if at == 0 {
+            return Ok(RecordHandle::Owned(Record::default()));
+        }
+        let m = self.index[at - 1];
+        let body = self.read_block(&m)?;
+        let mut hit: Option<Vec<u8>> = None;
+        self.walk(&m, &body, |ev, payload| {
+            if ev == v {
+                hit = Some(payload.to_vec());
+                false
+            } else {
+                ev < v
+            }
+        })?;
+        Ok(match hit {
+            Some(payload) => RecordHandle::Owned(self.decode(v, &payload)?),
+            None => RecordHandle::Owned(Record::default()),
+        })
+    }
+
+    /// Streams `(vertex, record)` ascending, reading one block at a time.
+    fn scan(&self) -> LevelScan<'_> {
+        let mut next_block = 0usize;
+        let mut pending = Vec::new().into_iter();
+        Box::new(std::iter::from_fn(move || loop {
+            if let Some((v, rec)) = pending.next() {
+                return Some(Ok((v, RecordHandle::Owned(rec))));
+            }
+            if next_block >= self.index.len() {
+                return None;
+            }
+            let m = self.index[next_block];
+            next_block += 1;
+            let body = match self.read_block(&m) {
+                Ok(b) => b,
+                Err(e) => return Some(Err(e)),
+            };
+            let mut entries: Vec<(u32, Record)> = Vec::with_capacity(m.entries as usize);
+            let mut decode_err = None;
+            let walked = self.walk(&m, &body, |v, payload| match self.decode(v, payload) {
+                Ok(rec) => {
+                    entries.push((v, rec));
+                    true
+                }
+                Err(e) => {
+                    decode_err = Some(e);
+                    false
+                }
+            });
+            if let Err(e) = walked {
+                return Some(Err(e));
+            }
+            if let Some(e) = decode_err {
+                return Some(Err(e));
+            }
+            pending = entries.into_iter();
+        }))
+    }
+}
+
+#[derive(Default)]
+struct Building {
+    mem: Vec<(u32, Vec<u8>)>,
+    mem_bytes: usize,
+    runs: Vec<PathBuf>,
+    spill_runs: u32,
+    peak_mem_bytes: u64,
+    records: u32,
+    payload_bytes: u64,
+}
+
+enum State {
+    Building(Building),
+    Sealed {
+        blocks: SealedBlocks,
+        spill_runs: u32,
+        peak_mem_bytes: u64,
+    },
+}
+
+/// One table level backed by sorted immutable blocks, built through a
+/// byte-budgeted memtable with spill-and-merge (module docs).
+pub struct BlockLevel {
+    path: PathBuf,
+    codec: RecordCodec,
+    n: u32,
+    mem_budget: usize,
+    state: State,
+}
+
+impl BlockLevel {
+    /// Creates a build-mode level writing to `path`. `mem_budget == 0`
+    /// means unbudgeted (a single sorted run in memory, no spills).
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        n: u32,
+        codec: RecordCodec,
+        mem_budget: usize,
+    ) -> io::Result<BlockLevel> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(BlockLevel {
+            path,
+            codec,
+            n,
+            mem_budget: if mem_budget == 0 {
+                usize::MAX
+            } else {
+                mem_budget
+            },
+            state: State::Building(Building::default()),
+        })
+    }
+
+    /// Opens a sealed block file written by a previous build or
+    /// [`crate::CountTable::save_dir`].
+    pub fn open<P: AsRef<Path>>(path: P, codec: RecordCodec) -> io::Result<BlockLevel> {
+        let blocks = SealedBlocks::open(&path, codec)?;
+        Ok(BlockLevel {
+            path: path.as_ref().to_path_buf(),
+            codec,
+            n: blocks.n,
+            mem_budget: usize::MAX,
+            state: State::Sealed {
+                blocks,
+                spill_runs: 0,
+                peak_mem_bytes: 0,
+            },
+        })
+    }
+
+    /// Path of the backing block file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Codec the level's records are encoded under.
+    pub fn codec(&self) -> RecordCodec {
+        self.codec
+    }
+
+    fn run_path(&self, i: u32) -> PathBuf {
+        let mut os = self.path.clone().into_os_string();
+        os.push(format!(".run{i}"));
+        PathBuf::from(os)
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        let run_path = {
+            let State::Building(b) = &self.state else {
+                unreachable!("spill outside build")
+            };
+            self.run_path(b.spill_runs)
+        };
+        let State::Building(b) = &mut self.state else {
+            unreachable!()
+        };
+        b.mem.sort_unstable_by_key(|e| e.0);
+        let mut w = RunWriter::create(&run_path)?;
+        for (v, payload) in &b.mem {
+            w.push(*v, payload)?;
+        }
+        b.runs.push(w.finish()?);
+        b.spill_runs += 1;
+        b.mem.clear();
+        b.mem_bytes = 0;
+        Ok(())
+    }
+}
+
+impl LevelStore for BlockLevel {
+    fn put(&mut self, v: u32, rec: Record) -> io::Result<()> {
+        if rec.is_empty() {
+            return Ok(());
+        }
+        let codec = self.codec;
+        let budget = self.mem_budget;
+        let State::Building(b) = &mut self.state else {
+            return Err(invalid("put on a sealed block level"));
+        };
+        let rec = if rec.codec() == codec {
+            rec
+        } else {
+            rec.recode(codec)
+        };
+        let mut payload = Vec::with_capacity(rec.encoded_len());
+        rec.encode(&mut payload);
+        let cost = payload.len() + ENTRY_OVERHEAD;
+        if !b.mem.is_empty() && b.mem_bytes + cost > budget {
+            self.spill()?;
+        }
+        let State::Building(b) = &mut self.state else {
+            unreachable!()
+        };
+        b.mem_bytes += cost;
+        b.peak_mem_bytes = b.peak_mem_bytes.max(b.mem_bytes as u64);
+        b.records += 1;
+        b.payload_bytes += payload.len() as u64;
+        b.mem.push((v, payload));
+        Ok(())
+    }
+
+    /// Merges every spilled run plus the in-memory tail into the final
+    /// block file. Idempotent: sealing a sealed level is a no-op.
+    fn seal(&mut self) -> io::Result<()> {
+        let State::Building(_) = &self.state else {
+            return Ok(());
+        };
+        let placeholder = State::Building(Building::default());
+        let State::Building(mut b) = std::mem::replace(&mut self.state, placeholder) else {
+            unreachable!()
+        };
+        b.mem.sort_unstable_by_key(|e| e.0);
+        let mut writer = BlockWriter::create(&self.path, self.n, self.codec)?;
+        if b.runs.is_empty() {
+            for (v, payload) in &b.mem {
+                writer.add_encoded(*v, payload)?;
+            }
+        } else {
+            let mut runs: Vec<Box<dyn Iterator<Item = crate::merge::RunItem>>> =
+                Vec::with_capacity(b.runs.len() + 1);
+            for p in &b.runs {
+                runs.push(Box::new(RunReader::open(p)?));
+            }
+            runs.push(Box::new(b.mem.into_iter().map(Ok)));
+            for item in MergeIter::new(runs)? {
+                let (v, payload) = item?;
+                writer.add_encoded(v, &payload)?;
+            }
+        }
+        let blocks = writer.finish()?;
+        for p in &b.runs {
+            std::fs::remove_file(p).ok();
+        }
+        self.state = State::Sealed {
+            blocks,
+            spill_runs: b.spill_runs,
+            peak_mem_bytes: b.peak_mem_bytes,
+        };
+        Ok(())
+    }
+
+    fn get(&self, v: u32) -> io::Result<RecordHandle<'_>> {
+        match &self.state {
+            State::Sealed { blocks, .. } => blocks.get(v),
+            State::Building(_) => Err(invalid("get on an unsealed block level")),
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        match &self.state {
+            State::Sealed { blocks, .. } => blocks.payload_bytes as usize,
+            State::Building(b) => b.payload_bytes as usize,
+        }
+    }
+
+    fn record_count(&self) -> usize {
+        match &self.state {
+            State::Sealed { blocks, .. } => blocks.records as usize,
+            State::Building(b) => b.records as usize,
+        }
+    }
+
+    fn num_vertices(&self) -> u32 {
+        self.n
+    }
+
+    fn scan(&self) -> LevelScan<'_> {
+        match &self.state {
+            State::Sealed { blocks, .. } => blocks.scan(),
+            State::Building(_) => Box::new(std::iter::once(Err(invalid(
+                "scan on an unsealed block level",
+            )))),
+        }
+    }
+
+    fn profile(&self) -> LevelProfile {
+        match &self.state {
+            State::Sealed {
+                blocks,
+                spill_runs,
+                peak_mem_bytes,
+            } => LevelProfile {
+                blocks: blocks.index.len() as u32,
+                spill_runs: *spill_runs,
+                peak_mem_bytes: *peak_mem_bytes,
+            },
+            State::Building(b) => LevelProfile {
+                blocks: 0,
+                spill_runs: b.spill_runs,
+                peak_mem_bytes: b.peak_mem_bytes,
+            },
+        }
+    }
+}
+
+impl Drop for BlockLevel {
+    fn drop(&mut self) {
+        // An abandoned build leaves no run files behind.
+        if let State::Building(b) = &self.state {
+            for p in &b.runs {
+                std::fs::remove_file(p).ok();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motivo_treelet::{path_treelet, star_treelet, ColorSet, ColoredTreelet};
+
+    fn record_in(codec: RecordCodec, seed: u64) -> Record {
+        let s3 = star_treelet(3);
+        let p3 = path_treelet(3);
+        Record::from_counts_in(
+            codec,
+            vec![
+                (
+                    ColoredTreelet::new(s3, ColorSet(0b0111)).code(),
+                    seed as u128 + 1,
+                ),
+                (
+                    ColoredTreelet::new(p3, ColorSet(0b1101)).code(),
+                    2 * seed as u128 + 3,
+                ),
+            ],
+        )
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("motivo-block-test-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn unbudgeted_build_roundtrips_and_matches_memory() {
+        for codec in RecordCodec::ALL {
+            let dir = tmp(&format!("rt-{codec}"));
+            let mut blk = BlockLevel::create(dir.join("l.mtvb"), 40, codec, 0).unwrap();
+            let mut mem = crate::MemoryLevel::new(40, codec);
+            for v in [3u32, 0, 17, 39, 9] {
+                blk.put(v, record_in(codec, v as u64)).unwrap();
+                mem.put(v, record_in(codec, v as u64)).unwrap();
+            }
+            assert!(blk.get(3).is_err(), "reads before seal must fail");
+            blk.seal().unwrap();
+            blk.seal().unwrap(); // idempotent
+            for v in 0..40u32 {
+                let (a, b) = (blk.get(v).unwrap(), mem.get(v).unwrap());
+                assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+            }
+            assert_eq!(blk.record_count(), 5);
+            assert_eq!(blk.profile().spill_runs, 0);
+            assert!(blk.profile().blocks >= 1);
+            let ids: Vec<u32> = blk.scan().map(|r| r.unwrap().0).collect();
+            assert_eq!(ids, vec![0, 3, 9, 17, 39]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_serves_identical_records() {
+        for codec in RecordCodec::ALL {
+            let dir = tmp(&format!("spill-{codec}"));
+            // ~100 B budget on ~60 B entries: spills every other put.
+            let mut blk = BlockLevel::create(dir.join("l.mtvb"), 200, codec, 100).unwrap();
+            let mut mem = crate::MemoryLevel::new(200, codec);
+            // Unsorted arrival order exercises run-sorting and the merge.
+            for v in (0..200u32).map(|i| (i * 73) % 200) {
+                blk.put(v, record_in(codec, v as u64)).unwrap();
+                mem.put(v, record_in(codec, v as u64)).unwrap();
+            }
+            let spills_before = blk.profile().spill_runs;
+            assert!(spills_before >= 2, "want ≥2 spills, got {spills_before}");
+            assert!(blk.profile().peak_mem_bytes <= 200, "budget respected");
+            blk.seal().unwrap();
+            assert_eq!(blk.profile().spill_runs, spills_before);
+            for v in 0..200u32 {
+                assert_eq!(
+                    blk.get(v).unwrap().iter().collect::<Vec<_>>(),
+                    mem.get(v).unwrap().iter().collect::<Vec<_>>(),
+                    "vertex {v}"
+                );
+            }
+            // Run files are cleaned up after the merge.
+            let runs: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains(".run"))
+                .collect();
+            assert!(runs.is_empty(), "leftover runs: {runs:?}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn budgeted_and_unbudgeted_block_files_are_byte_identical() {
+        let dir = tmp("identical");
+        for codec in RecordCodec::ALL {
+            let a_path = dir.join(format!("a-{codec}.mtvb"));
+            let b_path = dir.join(format!("b-{codec}.mtvb"));
+            let mut a = BlockLevel::create(&a_path, 300, codec, 0).unwrap();
+            let mut b = BlockLevel::create(&b_path, 300, codec, 128).unwrap();
+            for v in (0..300u32).rev() {
+                a.put(v, record_in(codec, v as u64 * 7)).unwrap();
+                b.put(v, record_in(codec, v as u64 * 7)).unwrap();
+            }
+            a.seal().unwrap();
+            b.seal().unwrap();
+            assert!(b.profile().spill_runs >= 2);
+            let (fa, fb) = (
+                std::fs::read(&a_path).unwrap(),
+                std::fs::read(&b_path).unwrap(),
+            );
+            assert_eq!(fa, fb, "{codec}: spilled build must be byte-identical");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_matches_and_torn_files_are_rejected() {
+        let dir = tmp("reopen");
+        let path = dir.join("l.mtvb");
+        let mut blk = BlockLevel::create(&path, 50, RecordCodec::Succinct, 0).unwrap();
+        for v in 0..50u32 {
+            blk.put(v, record_in(RecordCodec::Succinct, v as u64))
+                .unwrap();
+        }
+        blk.seal().unwrap();
+        let back = BlockLevel::open(&path, RecordCodec::Succinct).unwrap();
+        assert_eq!(back.record_count(), 50);
+        for v in 0..50u32 {
+            assert_eq!(
+                back.get(v).unwrap().iter().collect::<Vec<_>>(),
+                blk.get(v).unwrap().iter().collect::<Vec<_>>()
+            );
+        }
+        drop(back);
+        let full = std::fs::read(&path).unwrap();
+        for cut in [1usize, 10, full.len() / 2] {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            assert!(
+                BlockLevel::open(&path, RecordCodec::Succinct).is_err(),
+                "truncated by {cut} must be rejected"
+            );
+        }
+        // Flip one index byte: checksum must catch it.
+        let mut flipped = full.clone();
+        let idx_start = flipped.len() - 28 - 20; // one block min
+        flipped[idx_start] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(BlockLevel::open(&path, RecordCodec::Succinct).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_block_levels_split_and_search() {
+        // Big records force several blocks; lookups must hit the right one.
+        let dir = tmp("multiblock");
+        let codec = RecordCodec::Plain;
+        let mut blk = BlockLevel::create(dir.join("l.mtvb"), 5000, codec, 0).unwrap();
+        let big: Vec<(u64, u128)> = {
+            use motivo_treelet::all_treelets;
+            let mut keys = Vec::new();
+            for h in 2..=4u32 {
+                for &t in all_treelets(h).iter() {
+                    for colors in ColorSet::full(6).subsets_of_size(h) {
+                        keys.push(ColoredTreelet::new(t, colors).code());
+                    }
+                }
+            }
+            keys.sort_unstable();
+            keys.dedup();
+            keys.into_iter().take(60).map(|k| (k, 5u128)).collect()
+        };
+        assert_eq!(big.len(), 60);
+        for v in (0..5000u32).step_by(3) {
+            blk.put(v, Record::from_counts_in(codec, big.clone()))
+                .unwrap();
+        }
+        blk.seal().unwrap();
+        assert!(
+            blk.profile().blocks > 10,
+            "blocks: {}",
+            blk.profile().blocks
+        );
+        for v in [0u32, 1, 2, 3, 2499, 2500, 4998, 4999] {
+            let rec = blk.get(v).unwrap();
+            if v % 3 == 0 {
+                assert_eq!(rec.len(), big.len(), "vertex {v}");
+            } else {
+                assert!(rec.is_empty(), "vertex {v}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,19 +19,29 @@
 //! ([`RecordCodec`]): the fixed-width `Plain` layout above, and the
 //! paper's `Succinct` layout — varint key deltas plus varint counts with
 //! sparse cumulative anchors — which answers the same queries from a
-//! fraction of the bytes. [`storage`] provides the two backends:
-//! in-memory, and the on-disk "greedy flushing" layout where each
-//! completed record leaves RAM immediately (§3.1). [`alias`] implements
-//! Vose's alias method used to draw the root vertex in `O(1)` (§3.3).
+//! fraction of the bytes. [`storage`] provides the backends: in-memory,
+//! the on-disk "greedy flushing" layout where each completed record
+//! leaves RAM immediately (§3.1), and [`block`] — sorted immutable ~16 KB
+//! blocks built through a byte-budgeted memtable with spill-and-merge
+//! ([`merge`]), bounding peak build memory for out-of-core builds.
+//! [`alias`] implements Vose's alias method used to draw the root vertex
+//! in `O(1)` (§3.3).
 
 pub mod alias;
+pub mod block;
 pub mod builder;
 pub mod codec;
+pub mod merge;
 pub mod record;
 pub mod storage;
 
 pub use alias::AliasTable;
+pub use block::{BlockLevel, BlockWriter, BLOCK_TARGET_BYTES};
 pub use builder::RecordBuilder;
 pub use codec::RecordCodec;
+pub use merge::{MergeIter, RunReader, RunWriter};
 pub use record::Record;
-pub use storage::{CountTable, DiskLevel, LevelStore, MemoryLevel, RecordHandle, StorageKind};
+pub use storage::{
+    CountTable, DiskLevel, LevelProfile, LevelScan, LevelStore, MemoryLevel, RecordHandle,
+    StorageKind,
+};

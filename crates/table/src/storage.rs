@@ -46,6 +46,24 @@ impl Deref for RecordHandle<'_> {
     }
 }
 
+/// A streaming pass over a level: `(vertex, record)` pairs in ascending
+/// vertex order, skipping empty records. Replaces the old
+/// `vertices() -> Vec<u32>` API, which allocated a fresh vector per call
+/// and forced a second lookup per vertex.
+pub type LevelScan<'a> = Box<dyn Iterator<Item = io::Result<(u32, RecordHandle<'a>)>> + 'a>;
+
+/// Build-shape telemetry of one level, surfaced by `motivo table stats`
+/// and the bench gate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelProfile {
+    /// Number of storage blocks (0 for non-block backends).
+    pub blocks: u32,
+    /// Budget-triggered memtable spills during the build.
+    pub spill_runs: u32,
+    /// High-water mark of the build memtable in bytes.
+    pub peak_mem_bytes: u64,
+}
+
 /// One level (treelet size) of the count table.
 pub trait LevelStore: Send + Sync {
     /// Stores the completed record of vertex `v` (called once per vertex).
@@ -53,6 +71,13 @@ pub trait LevelStore: Send + Sync {
 
     /// Fetches the record of `v`; an empty record if `v` stored none.
     fn get(&self, v: u32) -> io::Result<RecordHandle<'_>>;
+
+    /// Marks the level complete: no more puts will arrive. Backends that
+    /// stage writes (the block level's memtable and spill runs) compact
+    /// here; for everything else this is a no-op. Idempotent.
+    fn seal(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 
     /// Total size of the level's payload in bytes (encoded form).
     fn byte_size(&self) -> usize;
@@ -63,8 +88,15 @@ pub trait LevelStore: Send + Sync {
     /// Number of vertices the level was sized for.
     fn num_vertices(&self) -> u32;
 
-    /// Vertices with a non-empty record, ascending.
-    fn vertices(&self) -> Vec<u32>;
+    /// Streams non-empty `(vertex, record)` pairs in ascending vertex
+    /// order.
+    fn scan(&self) -> LevelScan<'_>;
+
+    /// Build-shape telemetry; defaults to all-zeros for backends without
+    /// blocks or spills.
+    fn profile(&self) -> LevelProfile {
+        LevelProfile::default()
+    }
 }
 
 /// In-memory level: a dense vector of records sealed under one codec.
@@ -133,10 +165,11 @@ impl LevelStore for MemoryLevel {
         self.records.len() as u32
     }
 
-    fn vertices(&self) -> Vec<u32> {
-        (0..self.records.len() as u32)
-            .filter(|&v| self.records[v as usize].is_some())
-            .collect()
+    fn scan(&self) -> LevelScan<'_> {
+        Box::new(self.records.iter().enumerate().filter_map(|(v, r)| {
+            r.as_ref()
+                .map(|rec| Ok((v as u32, RecordHandle::Borrowed(rec))))
+        }))
     }
 }
 
@@ -323,10 +356,12 @@ impl LevelStore for DiskLevel {
         self.index.len() as u32
     }
 
-    fn vertices(&self) -> Vec<u32> {
-        (0..self.index.len() as u32)
-            .filter(|&v| self.index[v as usize].1 > 0)
-            .collect()
+    fn scan(&self) -> LevelScan<'_> {
+        Box::new(
+            (0..self.index.len() as u32)
+                .filter(|&v| self.index[v as usize].1 > 0)
+                .map(|v| self.get(v).map(|h| (v, h))),
+        )
     }
 }
 
@@ -339,6 +374,15 @@ pub enum StorageKind {
     Disk {
         /// Directory for the level files (created if missing).
         dir: PathBuf,
+    },
+    /// Sorted-block levels in `dir/level-<h>.mtvb`, built through a
+    /// byte-budgeted memtable with spill-and-merge (DESIGN.md §1.5), so
+    /// peak build memory is bounded regardless of graph size.
+    Block {
+        /// Directory for the block files (created if missing).
+        dir: PathBuf,
+        /// Memtable budget in bytes per level; `0` means unbudgeted.
+        mem_budget: usize,
     },
 }
 
@@ -361,6 +405,15 @@ impl StorageKind {
                     codec,
                 )?))
             }
+            StorageKind::Block { dir, mem_budget } => {
+                std::fs::create_dir_all(dir)?;
+                Ok(Box::new(crate::block::BlockLevel::create(
+                    dir.join(format!("level-{h}.mtvb")),
+                    n,
+                    codec,
+                    *mem_budget,
+                )?))
+            }
         }
     }
 }
@@ -370,18 +423,47 @@ pub struct CountTable {
     k: u32,
     codec: RecordCodec,
     levels: Vec<Box<dyn LevelStore>>,
+    /// Budget-triggered memtable spills per level during the build
+    /// (index 0 = size 1); all zeros for non-block backends.
+    spill_runs: Vec<u32>,
+    /// High-water mark of any level's build memtable, in bytes.
+    peak_mem_bytes: u64,
 }
 
 impl CountTable {
     /// Assembles a table from per-size levels (index 0 = size 1), all
-    /// holding records sealed under `codec`.
+    /// holding records sealed under `codec`. Build history (spills, peak
+    /// memtable) is collected from the levels' [`LevelStore::profile`].
     pub fn from_levels(levels: Vec<Box<dyn LevelStore>>, codec: RecordCodec) -> CountTable {
         assert!(!levels.is_empty());
+        let spill_runs = levels.iter().map(|l| l.profile().spill_runs).collect();
+        let peak_mem_bytes = levels
+            .iter()
+            .map(|l| l.profile().peak_mem_bytes)
+            .max()
+            .unwrap_or(0);
         CountTable {
             k: levels.len() as u32,
             codec,
             levels,
+            spill_runs,
+            peak_mem_bytes,
         }
+    }
+
+    /// Budget-triggered memtable spills per level during the build.
+    pub fn spill_runs(&self) -> &[u32] {
+        &self.spill_runs
+    }
+
+    /// Total budget-triggered spills across all levels.
+    pub fn total_spill_runs(&self) -> u64 {
+        self.spill_runs.iter().map(|&s| s as u64).sum()
+    }
+
+    /// High-water mark of any level's build memtable, in bytes.
+    pub fn peak_mem_bytes(&self) -> u64 {
+        self.peak_mem_bytes
     }
 
     /// The treelet size bound `k`.
@@ -416,11 +498,12 @@ impl CountTable {
         self.levels.iter().map(|l| l.record_count()).sum()
     }
 
-    /// Persists the whole table into `dir` (one data + index file pair per
-    /// level, plus `table.meta`), so it can be reopened with
-    /// [`CountTable::open_dir`]. In-memory levels are written out;
-    /// disk-backed levels re-export into the target directory. Records are
-    /// re-sealed under the table's codec if a level disagrees.
+    /// Persists the whole table into `dir` (one sorted-block file per
+    /// level, plus `table.meta` v3), so it can be reopened with
+    /// [`CountTable::open_dir`]. Every level streams through
+    /// [`LevelStore::scan`] into a block writer; records are re-sealed
+    /// under the table's codec if a level disagrees. Stale v2 level files
+    /// (`level-<h>.mtvt` + `.idx`) left by an older writer are removed.
     pub fn save_dir<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -428,21 +511,22 @@ impl CountTable {
         for (i, level) in self.levels.iter().enumerate() {
             let h = i as u32 + 1;
             // Write through a temp name, then rename: the source level may
-            // be disk-backed *in this very directory*, and creating the
+            // be block-backed *in this very directory*, and creating the
             // final file directly would truncate it mid-copy. The open
             // source handle keeps the old inode across the rename.
-            let tmp = dir.join(format!("level-{h}.mtvt.new"));
-            let fin = dir.join(format!("level-{h}.mtvt"));
-            let mut disk = DiskLevel::create(&tmp, n, self.codec)?;
-            for v in level.vertices() {
-                disk.put(v, level.get(v)?.recode(self.codec))?;
+            let tmp = dir.join(format!("level-{h}.mtvb.new"));
+            let fin = dir.join(format!("level-{h}.mtvb"));
+            let mut writer = crate::block::BlockWriter::create(&tmp, n, self.codec)?;
+            for item in level.scan() {
+                let (v, rec) = item?;
+                writer.add(v, &rec)?;
             }
-            disk.persist_index()?;
+            writer.finish()?;
             std::fs::rename(&tmp, &fin)?;
-            std::fs::rename(
-                dir.join(format!("level-{h}.mtvt.new.idx")),
-                dir.join(format!("level-{h}.mtvt.idx")),
-            )?;
+            // Clean up files from the pre-block v2 layout so the directory
+            // has a single source of truth.
+            std::fs::remove_file(dir.join(format!("level-{h}.mtvt"))).ok();
+            std::fs::remove_file(dir.join(format!("level-{h}.mtvt.idx"))).ok();
         }
         use bytes::BufMut;
         let mut meta = Vec::new();
@@ -451,6 +535,10 @@ impl CountTable {
         meta.put_u32_le(self.k);
         meta.put_u32_le(n);
         meta.put_u8(self.codec.tag());
+        meta.put_u64_le(self.peak_mem_bytes);
+        for i in 0..self.k as usize {
+            meta.put_u32_le(self.spill_runs.get(i).copied().unwrap_or(0));
+        }
         std::fs::write(dir.join("table.meta"), meta)
     }
 
@@ -459,10 +547,11 @@ impl CountTable {
     /// (§3.3): after preloading, record access never touches the disk.
     pub fn preload(self) -> io::Result<CountTable> {
         let mut levels: Vec<Box<dyn LevelStore>> = Vec::with_capacity(self.levels.len());
-        for lvl in self.levels {
+        for lvl in &self.levels {
             let mut mem = MemoryLevel::new(lvl.num_vertices(), self.codec);
-            for v in lvl.vertices() {
-                mem.put(v, (*lvl.get(v)?).clone())?;
+            for item in lvl.scan() {
+                let (v, rec) = item?;
+                mem.put(v, (*rec).clone())?;
             }
             levels.push(Box::new(mem));
         }
@@ -470,11 +559,14 @@ impl CountTable {
             k: self.k,
             codec: self.codec,
             levels,
+            spill_runs: self.spill_runs,
+            peak_mem_bytes: self.peak_mem_bytes,
         })
     }
 
-    /// Reopens a table persisted by [`CountTable::save_dir`]. Reads both
-    /// the v2 format (with a codec tag) and the pre-codec v1 format, whose
+    /// Reopens a table persisted by [`CountTable::save_dir`]. Reads the
+    /// sorted-block v3 format, the v2 format (per-level data + index file
+    /// pairs, with a codec tag), and the pre-codec v1 format, whose
     /// records are always plain.
     pub fn open_dir<P: AsRef<Path>>(dir: P) -> io::Result<CountTable> {
         use bytes::Buf;
@@ -494,31 +586,56 @@ impl CountTable {
         if !(1..=TABLE_META_VERSION).contains(&version) {
             return Err(bad("unsupported table meta version"));
         }
-        if version == 2 && buf.remaining() < 9 {
+        if version >= 2 && buf.remaining() < 9 {
             return Err(bad("truncated meta"));
         }
         let k = buf.get_u32_le();
         let _n = buf.get_u32_le();
-        let codec = if version == 2 {
+        let codec = if version >= 2 {
             RecordCodec::from_tag(buf.get_u8()).ok_or_else(|| bad("unknown codec tag"))?
         } else {
             // v1 predates the codec column: every record is plain.
             RecordCodec::Plain
         };
+        let (peak_mem_bytes, spill_runs) = if version >= 3 {
+            if buf.remaining() != 8 + 4 * k as usize {
+                return Err(bad("truncated meta build history"));
+            }
+            let peak = buf.get_u64_le();
+            let spills = (0..k).map(|_| buf.get_u32_le()).collect();
+            (peak, spills)
+        } else {
+            (0, vec![0; k as usize])
+        };
         let mut levels: Vec<Box<dyn LevelStore>> = Vec::with_capacity(k as usize);
         for h in 1..=k {
-            levels.push(Box::new(DiskLevel::open(
-                dir.join(format!("level-{h}.mtvt")),
-                codec,
-            )?));
+            if version >= 3 {
+                levels.push(Box::new(crate::block::BlockLevel::open(
+                    dir.join(format!("level-{h}.mtvb")),
+                    codec,
+                )?));
+            } else {
+                levels.push(Box::new(DiskLevel::open(
+                    dir.join(format!("level-{h}.mtvt")),
+                    codec,
+                )?));
+            }
         }
-        Ok(CountTable::from_levels(levels, codec))
+        Ok(CountTable {
+            k,
+            codec,
+            levels,
+            spill_runs,
+            peak_mem_bytes,
+        })
     }
 }
 
 /// Current `table.meta` format version. v1 had no codec tag (plain
-/// records); v2 appends one byte with [`RecordCodec::tag`].
-pub const TABLE_META_VERSION: u32 = 2;
+/// records); v2 appended one byte with [`RecordCodec::tag`]; v3 switches
+/// levels to sorted-block files (`level-<h>.mtvb`) and appends the build
+/// history: `peak_mem_bytes: u64`, then `k × spill_runs: u32`.
+pub const TABLE_META_VERSION: u32 = 3;
 
 #[cfg(test)]
 mod tests {
@@ -625,24 +742,30 @@ mod tests {
                 }
             }
             assert_eq!(back.record_count(), 4);
-            // Reopened level knows its vertex set.
-            assert_eq!(back.level(1).vertices(), vec![0, 3, 7]);
+            // Reopened level knows its vertex set (streamed, ascending).
+            let ids: Vec<u32> = back
+                .level(1)
+                .scan()
+                .map(|r| r.map(|(v, _)| v))
+                .collect::<io::Result<_>>()
+                .unwrap();
+            assert_eq!(ids, vec![0, 3, 7]);
             std::fs::remove_dir_all(&dir).ok();
         }
     }
 
-    /// A pre-codec v1 `table.meta` (no codec byte) opens as plain.
+    /// A pre-codec v1 `table.meta` (no codec byte, `.mtvt` level files)
+    /// opens as plain.
     #[test]
     fn v1_meta_opens_as_plain() {
         use bytes::BufMut;
         let dir = std::env::temp_dir().join("motivo-table-test-v1meta");
         std::fs::remove_dir_all(&dir).ok();
-        let kind = StorageKind::Memory;
-        let mut l1 = kind.create_level(1, 4, RecordCodec::Plain).unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Write the old layout by hand: a DiskLevel pair plus a v1 meta.
+        let mut l1 = DiskLevel::create(dir.join("level-1.mtvt"), 4, RecordCodec::Plain).unwrap();
         l1.put(2, record(6)).unwrap();
-        let table = CountTable::from_levels(vec![l1], RecordCodec::Plain);
-        table.save_dir(&dir).unwrap();
-        // Rewrite the meta as v1: header says 1, no codec byte.
+        l1.persist_index().unwrap();
         let mut meta = Vec::new();
         meta.put_slice(b"MTVT");
         meta.put_u32_le(1);
@@ -656,6 +779,52 @@ mod tests {
             record(6).iter().collect::<Vec<_>>()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A v2 directory (per-level `.mtvt` + `.idx` pairs, codec byte in the
+    /// meta) still opens under the v3 reader, and re-saving it migrates
+    /// the directory to block files, removing the stale v2 pair.
+    #[test]
+    fn v2_dir_opens_and_resave_migrates_to_v3() {
+        use bytes::BufMut;
+        for codec in RecordCodec::ALL {
+            let dir = std::env::temp_dir().join(format!("motivo-table-test-v2meta-{codec}"));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut l1 = DiskLevel::create(dir.join("level-1.mtvt"), 6, codec).unwrap();
+            for v in [1u32, 4] {
+                l1.put(v, record_in(codec, v as u64)).unwrap();
+            }
+            l1.persist_index().unwrap();
+            let mut meta = Vec::new();
+            meta.put_slice(b"MTVT");
+            meta.put_u32_le(2);
+            meta.put_u32_le(1); // k
+            meta.put_u32_le(6); // n
+            meta.put_u8(codec.tag());
+            std::fs::write(dir.join("table.meta"), meta).unwrap();
+
+            let back = CountTable::open_dir(&dir).unwrap();
+            assert_eq!(back.codec(), codec);
+            assert_eq!(back.record_count(), 2);
+            assert_eq!(
+                back.get(1, 4).unwrap().iter().collect::<Vec<_>>(),
+                record_in(codec, 4).iter().collect::<Vec<_>>()
+            );
+
+            // Re-save: the directory converts to the v3 block layout.
+            back.save_dir(&dir).unwrap();
+            assert!(dir.join("level-1.mtvb").exists());
+            assert!(!dir.join("level-1.mtvt").exists());
+            assert!(!dir.join("level-1.mtvt.idx").exists());
+            let v3 = CountTable::open_dir(&dir).unwrap();
+            assert_eq!(v3.record_count(), 2);
+            assert_eq!(
+                v3.get(1, 1).unwrap().iter().collect::<Vec<_>>(),
+                record_in(codec, 1).iter().collect::<Vec<_>>()
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     /// Saving a plain-built table under a succinct-tagged table re-seals

@@ -269,3 +269,138 @@ fn codecs_agree_at_anchor_block_boundaries() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// K-way merge: the streaming MergeIter that compacts spilled sorted runs
+// into block levels must behave exactly like the obvious reference —
+// concatenate the runs in spill order, stable-sort by vertex, keep the
+// last occurrence of each vertex (later runs supersede earlier ones).
+// ---------------------------------------------------------------------------
+
+use motivo_table::merge::mem_run;
+use motivo_table::{MergeIter, RunReader, RunWriter};
+
+/// One sorted run: ascending unique vertices with small opaque payloads.
+/// Runs may be empty — a build can spill, then see no further records.
+fn run_strategy() -> impl Strategy<Value = Vec<(u32, Vec<u8>)>> {
+    proptest::collection::btree_map(
+        0u32..48,
+        proptest::collection::vec(any::<u8>(), 0..12),
+        0..20,
+    )
+    .prop_map(|m| m.into_iter().collect())
+}
+
+/// A batch of runs over a deliberately small vertex range, so the same
+/// vertex frequently appears in several runs.
+fn runs_strategy() -> impl Strategy<Value = Vec<Vec<(u32, Vec<u8>)>>> {
+    proptest::collection::vec(run_strategy(), 0..6)
+}
+
+/// The reference semantics: concat in run order, stable sort by vertex,
+/// keep the last payload seen for each vertex.
+fn reference_merge(runs: &[Vec<(u32, Vec<u8>)>]) -> Vec<(u32, Vec<u8>)> {
+    let mut all: Vec<(u32, usize, Vec<u8>)> = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        for (v, p) in run {
+            all.push((*v, i, p.clone()));
+        }
+    }
+    all.sort_by_key(|&(v, i, _)| (v, i));
+    let mut out: Vec<(u32, Vec<u8>)> = Vec::new();
+    for (v, _, p) in all {
+        if out.last().map(|e| e.0) == Some(v) {
+            out.pop();
+        }
+        out.push((v, p));
+    }
+    out
+}
+
+proptest! {
+    /// In-memory runs (duplicates across runs, empty runs, any count of
+    /// runs including zero) merge exactly to the reference.
+    #[test]
+    fn kway_merge_matches_sort_then_concat(runs in runs_strategy()) {
+        let iters: Vec<_> = runs.iter().cloned().map(mem_run).collect();
+        let merged: Vec<(u32, Vec<u8>)> = MergeIter::new(iters)
+            .expect("mem runs cannot fail to open")
+            .map(|r| r.expect("mem runs cannot fail"))
+            .collect();
+        prop_assert_eq!(merged, reference_merge(&runs));
+    }
+
+    /// A single run passes through untouched — the degenerate merge a
+    /// build with exactly one spill performs.
+    #[test]
+    fn single_run_passes_through(run in run_strategy()) {
+        let merged: Vec<(u32, Vec<u8>)> = MergeIter::new(vec![mem_run(run.clone())])
+            .expect("open")
+            .map(|r| r.expect("mem run"))
+            .collect();
+        prop_assert_eq!(merged, run);
+    }
+
+    /// The same merge over real run *files* — through RunWriter framing
+    /// and RunReader CRC checks — agrees with the reference too.
+    #[test]
+    fn file_backed_merge_matches_reference(runs in runs_strategy()) {
+        let dir = std::env::temp_dir().join(format!("motivo-merge-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut readers = Vec::new();
+        for (i, run) in runs.iter().enumerate() {
+            let path = dir.join(format!("run-{i}"));
+            let mut w = RunWriter::create(&path).unwrap();
+            for (v, p) in run {
+                w.push(*v, p).unwrap();
+            }
+            w.finish().unwrap();
+            readers.push(RunReader::open(&path).unwrap());
+        }
+        let merged: Vec<(u32, Vec<u8>)> = MergeIter::new(readers)
+            .unwrap()
+            .map(|r| r.expect("intact run files"))
+            .collect();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(merged, reference_merge(&runs));
+    }
+
+    /// Crash safety: a run file cut at *any* byte short of its full
+    /// length — mid-header, mid-frame, mid-end-marker — must either fail
+    /// to open or surface an error while iterating. Whatever frames do
+    /// come back before the error are a strict prefix of what was
+    /// written; a torn file never reads cleanly and never reorders.
+    #[test]
+    fn truncated_run_files_never_read_cleanly(
+        run in run_strategy(),
+        cut_permille in 0usize..1000,
+    ) {
+        let dir = std::env::temp_dir().join(format!("motivo-torn-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run");
+        let mut w = RunWriter::create(&path).unwrap();
+        for (v, p) in &run {
+            w.push(*v, p).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = (bytes.len() * cut_permille / 1000).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        if let Ok(reader) = RunReader::open(&path) {
+            let items: Vec<_> = reader.collect();
+            let ok_prefix: Vec<(u32, Vec<u8>)> = items
+                .iter()
+                .take_while(|r| r.is_ok())
+                .map(|r| r.as_ref().unwrap().clone())
+                .collect();
+            prop_assert!(
+                items.iter().any(|r| r.is_err()),
+                "file cut to {cut}/{} bytes read cleanly",
+                bytes.len()
+            );
+            prop_assert!(ok_prefix.len() <= run.len());
+            prop_assert_eq!(&ok_prefix[..], &run[..ok_prefix.len()]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -42,13 +42,14 @@ const USAGE: &str = "usage: motivo <generate|convert|info|exact|count|build|samp
      exact    <graph> -k K [--top N]\n\
      count    <graph> -k K [--samples N] [--ags] [--runs R] [--biased L]\n\
               [--threads T] [--seed S] [--top N] [--disk DIR] [--codec plain|succinct]\n\
+              [--build-mem-bytes N]\n\
      build    <graph> -k K --table DIR [--seed S] [--biased L] [--threads T]\n\
-              [--codec plain|succinct]\n\
+              [--codec plain|succinct] [--build-mem-bytes N]\n\
      sample   <graph> --table DIR [--samples N] [--ags] [--seed S] [--threads T]\n\
               [--top N]\n\
      table    stats <dir>\n\
      store    build <graph> -k K --store DIR [--seed S] [--biased L] [--threads T]\n\
-              [--codec plain|succinct]\n\
+              [--codec plain|succinct] [--build-mem-bytes N]\n\
      store    list --store DIR\n\
      store    query <urn-id> --store DIR [--samples N] [--ags] [--seed S]\n\
               [--threads T] [--top N]\n\
@@ -281,7 +282,16 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
         args,
         &[
-            "k", "samples", "runs", "seed", "threads", "top", "biased", "disk", "codec",
+            "k",
+            "samples",
+            "runs",
+            "seed",
+            "threads",
+            "top",
+            "biased",
+            "disk",
+            "codec",
+            "build-mem-bytes",
         ],
         &["ags"],
     )?;
@@ -300,8 +310,31 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     if let Some(lambda) = o.get::<f64>("biased")? {
         build = build.biased(lambda);
     }
-    if let Some(dir) = o.flags.get("disk") {
-        build = build.storage(motivo::table::storage::StorageKind::Disk { dir: dir.into() });
+    let mut scratch: Option<std::path::PathBuf> = None;
+    match (o.get::<usize>("build-mem-bytes")?, o.flags.get("disk")) {
+        (Some(bytes), disk) => {
+            // Budgeted builds always go through the block backend; spill
+            // runs land next to the final level files.
+            let dir = match disk {
+                Some(d) => std::path::PathBuf::from(d),
+                None => {
+                    let d =
+                        std::env::temp_dir().join(format!("motivo-count-{}", std::process::id()));
+                    scratch = Some(d.clone());
+                    d
+                }
+            };
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            build = build.storage(motivo::table::storage::StorageKind::Block {
+                dir,
+                mem_budget: bytes,
+            });
+        }
+        (None, Some(dir)) => {
+            build = build.storage(motivo::table::storage::StorageKind::Disk { dir: dir.into() });
+        }
+        (None, None) => {}
     }
     build = build.codec(parse_codec(&o)?);
     let estimator = if o.has("ags") {
@@ -353,13 +386,24 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     if res.classes.len() > top {
         println!("… and {} more classes", res.classes.len() - top);
     }
+    if let Some(dir) = scratch {
+        std::fs::remove_dir_all(&dir).ok();
+    }
     Ok(())
 }
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
         args,
-        &["k", "table", "seed", "threads", "biased", "codec"],
+        &[
+            "k",
+            "table",
+            "seed",
+            "threads",
+            "biased",
+            "codec",
+            "build-mem-bytes",
+        ],
         &[],
     )?;
     let Some(path) = o.positional.first() else {
@@ -374,6 +418,17 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         cfg = cfg.biased(lambda);
     }
     cfg = cfg.codec(parse_codec(&o)?);
+    let mut scratch: Option<std::path::PathBuf> = None;
+    if let Some(bytes) = o.get::<usize>("build-mem-bytes")? {
+        // Spill runs need a directory before the urn dir exists; save_urn
+        // re-persists the sealed levels into `table`, so the scratch dir
+        // is safe to drop afterwards.
+        let dir = std::path::PathBuf::from(format!("{table}.build-tmp"));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        cfg = cfg.build_mem_bytes(&dir, bytes);
+        scratch = Some(dir);
+    }
     let urn = motivo::core::build_urn(&g, &cfg).map_err(|e| e.to_string())?;
     let st = urn.build_stats();
     println!(
@@ -383,7 +438,15 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         st.table_bytes as f64 / (1 << 20) as f64,
         cfg.codec
     );
+    println!(
+        "spill runs: {} · peak memtable: {} B",
+        st.spill_runs, st.peak_mem_bytes
+    );
     save_urn(&urn, &table).map_err(|e| format!("cannot persist urn: {e}"))?;
+    if let Some(dir) = scratch {
+        drop(urn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
     println!("persisted to {table}");
     Ok(())
 }
@@ -413,7 +476,15 @@ fn parse_urn_id(s: &str) -> Option<UrnId> {
 fn cmd_store_build(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
         args,
-        &["k", "store", "seed", "threads", "biased", "codec"],
+        &[
+            "k",
+            "store",
+            "seed",
+            "threads",
+            "biased",
+            "codec",
+            "build-mem-bytes",
+        ],
         &[],
     )?;
     let Some(path) = o.positional.first() else {
@@ -428,6 +499,11 @@ fn cmd_store_build(args: &[String]) -> Result<(), String> {
         cfg = cfg.biased(lambda);
     }
     cfg = cfg.codec(parse_codec(&o)?);
+    if let Some(bytes) = o.get::<usize>("build-mem-bytes")? {
+        // The store worker rewrites the directory to the urn's own dir;
+        // only the budget matters here.
+        cfg = cfg.build_mem_bytes(std::path::PathBuf::new(), bytes);
+    }
     let handle = store.build_or_get(&g, &cfg).map_err(|e| e.to_string())?;
     let already = handle.poll().is_some();
     let urn = handle.wait().map_err(|e| e.to_string())?;
@@ -578,17 +654,15 @@ fn cmd_table_stats(args: &[String]) -> Result<(), String> {
         table.record_count()
     );
     println!(
-        "{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>6}",
-        "level", "records", "entries", "encoded B", "plain B", "ratio"
+        "{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>6}  {:>6}  {:>6}",
+        "level", "records", "entries", "encoded B", "plain B", "ratio", "blocks", "spills"
     );
     let (mut entries_total, mut plain_total) = (0u64, 0u64);
     for h in 1..=table.k() {
         let level = table.level(h);
         let mut entries = 0u64;
-        for v in level.vertices() {
-            let rec = table
-                .get(h, v)
-                .map_err(|e| format!("level {h} vertex {v}: {e}"))?;
+        for item in level.scan() {
+            let (_, rec) = item.map_err(|e| format!("level {h}: {e}"))?;
             entries += rec.len() as u64;
         }
         // The plain layout costs 24 bytes per entry plus a 4-byte length
@@ -596,14 +670,17 @@ fn cmd_table_stats(args: &[String]) -> Result<(), String> {
         let plain = entries * 24 + level.record_count() as u64 * 4;
         entries_total += entries;
         plain_total += plain;
+        let spills = table.spill_runs().get(h as usize - 1).copied().unwrap_or(0);
         println!(
-            "{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>6.3}",
+            "{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>6.3}  {:>6}  {:>6}",
             h,
             level.record_count(),
             entries,
             level.byte_size(),
             plain,
-            level.byte_size() as f64 / plain.max(1) as f64
+            level.byte_size() as f64 / plain.max(1) as f64,
+            level.profile().blocks,
+            spills
         );
     }
     println!(
@@ -614,6 +691,11 @@ fn cmd_table_stats(args: &[String]) -> Result<(), String> {
         table.byte_size(),
         plain_total,
         table.byte_size() as f64 / plain_total.max(1) as f64
+    );
+    println!(
+        "build history: {} spill runs · peak memtable {} B",
+        table.total_spill_runs(),
+        table.peak_mem_bytes()
     );
     Ok(())
 }

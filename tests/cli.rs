@@ -450,3 +450,63 @@ fn stats_command_reports_per_kind_latencies() {
     assert!(status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The out-of-core path end to end: a build under a tiny memtable budget
+/// must report its spill rounds, leave no scratch behind, produce level
+/// files byte-identical to the unbudgeted build, and `table stats` must
+/// surface the block counts and build history.
+#[test]
+fn budgeted_build_matches_unbudgeted_byte_for_byte() {
+    let dir = workdir("oom");
+    let g = dir.join("g.mtvg");
+    run(motivo()
+        .args([
+            "generate", "--model", "ba", "--nodes", "300", "--param", "3", "--seed", "9",
+        ])
+        .arg("--out")
+        .arg(&g));
+    let reference = dir.join("urn-ref");
+    let budgeted = dir.join("urn-budget");
+    let out = run(motivo()
+        .arg("build")
+        .arg(&g)
+        .args(["-k", "4", "--seed", "3", "--codec", "succinct", "--table"])
+        .arg(&reference));
+    assert!(out.contains("spill runs: 0 "), "{out}");
+    let out = run(motivo()
+        .arg("build")
+        .arg(&g)
+        .args(["-k", "4", "--seed", "3", "--codec", "succinct"])
+        .args(["--build-mem-bytes", "4096", "--table"])
+        .arg(&budgeted));
+    let spills: u64 = out
+        .lines()
+        .find_map(|l| l.strip_prefix("spill runs: "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("spill line")
+        .parse()
+        .expect("spill count");
+    assert!(spills >= 2, "4 KiB budget must force ≥2 spills: {out}");
+    // The scratch spill directory is cleaned up after persisting.
+    assert!(
+        !dir.join("urn-budget.build-tmp").exists(),
+        "scratch dir left behind"
+    );
+    for h in 1..=4 {
+        let a = std::fs::read(reference.join(format!("level-{h}.mtvb"))).unwrap();
+        let b = std::fs::read(budgeted.join(format!("level-{h}.mtvb"))).unwrap();
+        assert_eq!(a, b, "level {h} diverged between budgeted and unbudgeted");
+    }
+    let stats = run(motivo().args(["table", "stats"]).arg(&budgeted));
+    assert!(stats.contains("blocks"), "{stats}");
+    assert!(stats.contains("build history:"), "{stats}");
+    let history = stats
+        .lines()
+        .find(|l| l.starts_with("build history:"))
+        .unwrap()
+        .to_string();
+    assert!(
+        history.contains(&format!("{spills} spill runs")),
+        "{history} vs {spills}"
+    );
+}
