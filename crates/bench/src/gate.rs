@@ -40,6 +40,7 @@ pub const EXACT_FIELDS: &[&str] = &[
     "bits_per_node_succinct",
     "tally_checksum",
     "build_spill_runs",
+    "idle_conns_held",
     "determinism",
 ];
 
@@ -55,6 +56,7 @@ pub const TIMING_FIELDS: &[&str] = &[
     "cache_hit_qps",
     "replica_catchup_secs",
     "replicated_read_qps",
+    "concurrent_active_qps",
 ];
 
 /// Serving latency quantiles, in microseconds, compared as ratios under
@@ -222,6 +224,7 @@ mod tests {
             "decode_entries_per_sec": 50000000.0, "alias_draws_per_sec": 80000000.0,
             "serve_qps": 800.0, "cache_hit_qps": 5000.0,
             "replica_catchup_secs": 0.8, "replicated_read_qps": 700.0,
+            "idle_conns_held": 1000, "concurrent_active_qps": 500.0,
             "serve_p50_us": 60000.0, "serve_p99_us": 80000.0,
             "cache_hit_p50_us": 150.0, "cache_hit_p99_us": 900.0,
         })
@@ -396,6 +399,44 @@ mod tests {
         for strip in [
             "\"build_spill_runs\":6,",
             "\"peak_rss_bytes_per_edge\":9000.0,",
+        ] {
+            let text = serde_json::to_string(&b).unwrap().replace(strip, "");
+            assert_ne!(text, serde_json::to_string(&b).unwrap(), "{strip}");
+            let f: Value = from_str(&text).unwrap();
+            assert!(!compare(&b, &f, DEFAULT_TOLERANCE).passed(), "{strip}");
+        }
+    }
+
+    /// The reactor fields gate with their class: `idle_conns_held` is
+    /// deterministic (the event loop either holds the full idle set or
+    /// the architecture regressed — there is no noise in a count of held
+    /// connections), `concurrent_active_qps` is machine-dependent and
+    /// ratio-tested like the other rates.
+    #[test]
+    fn reactor_fields_gate_exact_idle_and_ratio_qps() {
+        let b = reparse(&doc());
+        // Dropping even one idle connection is an exact-field failure.
+        let f = with(&b, "idle_conns_held", json!(999));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("idle_conns_held"), "{report:?}");
+        assert!(report.failures[0].contains("drifted"), "{report:?}");
+        // A 5x collapse of concurrent throughput fails...
+        let f = with(&b, "concurrent_active_qps", json!(100.0));
+        let report = compare(&b, &f, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(
+            report.failures[0].contains("concurrent_active_qps"),
+            "{report:?}"
+        );
+        // ...while 2x runner variance passes.
+        let f = with(&b, "concurrent_active_qps", json!(1000.0));
+        assert!(compare(&b, &f, DEFAULT_TOLERANCE).passed());
+        // Either field missing from the fresh run is schema drift.
+        for strip in [
+            "\"idle_conns_held\":1000,",
+            "\"concurrent_active_qps\":500.0,",
         ] {
             let text = serde_json::to_string(&b).unwrap().replace(strip, "");
             assert_ne!(text, serde_json::to_string(&b).unwrap(), "{strip}");

@@ -1,19 +1,32 @@
 //! A small blocking client for the wire protocol — what `motivo client`
 //! and the integration tests drive. One request in flight at a time; for
 //! pipelining, open several clients or speak [`crate::proto`] directly.
+//!
+//! The supported surface is **typed**: build a [`Request`], get a
+//! [`Response`] (or a purpose-named helper like [`Client::ping`] /
+//! [`Client::naive_estimates`]). [`Client::send_raw`] remains as the
+//! escape hatch for hand-authored JSON — what `motivo client` forwards
+//! verbatim — and [`Client::request`] for callers that want the raw
+//! payload [`Value`] of a typed request.
 
 use serde_json::Value;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::proto;
+use crate::proto::{
+    self, AgsReply, BuildReply, EstimatesReply, HelloReply, PromoteReply, ReplFetchReply,
+    ReplFileReply, ReplManifestReply, ReplTarget, Request, Response, TallyReply, UrnsReply,
+    FEATURES, PROTO_VERSION,
+};
+use motivo_store::{FileMeta, UrnId};
 
 /// Client-side failures: transport errors, or a server `error` envelope.
 #[derive(Debug)]
 pub enum ClientError {
     /// Connection or framing failure.
     Io(std::io::Error),
-    /// The response frame wasn't valid JSON.
+    /// The response frame wasn't valid JSON, or its payload didn't have
+    /// the shape the request kind promises.
     BadResponse(String),
     /// The server answered with an error envelope (kind, message).
     Server { kind: String, message: String },
@@ -44,6 +57,12 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// A response payload that decoded into an unexpected [`Response`]
+/// variant — impossible unless `Response::parse`'s kind table is wrong.
+fn variant_mismatch(kind: &str) -> ClientError {
+    ClientError::BadResponse(format!("response decoded into the wrong variant for `{kind}`"))
+}
+
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
@@ -61,13 +80,243 @@ impl Client {
         Ok(Client { stream })
     }
 
+    // -- typed surface ------------------------------------------------------
+
+    /// Sends one typed request and decodes the reply into the matching
+    /// [`Response`] variant. Server error envelopes become
+    /// [`ClientError::Server`].
+    pub fn send(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let payload = self.request(&req.to_value())?;
+        Response::parse(req.kind(), &payload).map_err(ClientError::BadResponse)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.send(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(variant_mismatch("Ping")),
+        }
+    }
+
+    /// Version/capability handshake: announces this client's protocol
+    /// version and features, returns what the server speaks. Servers
+    /// answer it inline, so it works even against a saturated pool.
+    pub fn hello(&mut self) -> Result<HelloReply, ClientError> {
+        let req = Request::Hello {
+            proto_version: PROTO_VERSION,
+            features: FEATURES.iter().map(|f| f.to_string()).collect(),
+        };
+        match self.send(&req)? {
+            Response::Hello(h) => Ok(h),
+            _ => Err(variant_mismatch("Hello")),
+        }
+    }
+
+    /// Lists every urn the server's manifest knows.
+    pub fn list_urns(&mut self) -> Result<UrnsReply, ClientError> {
+        match self.send(&Request::ListUrns)? {
+            Response::Urns(u) => Ok(u),
+            _ => Err(variant_mismatch("ListUrns")),
+        }
+    }
+
+    /// Seeded naive estimates against a built urn (server-side thread
+    /// count left to the server; send a full [`Request::NaiveEstimates`]
+    /// through [`Client::send`] to pin it).
+    pub fn naive_estimates(
+        &mut self,
+        urn: UrnId,
+        samples: u64,
+        seed: u64,
+    ) -> Result<EstimatesReply, ClientError> {
+        let req = Request::NaiveEstimates {
+            urn,
+            samples,
+            seed,
+            threads: 0,
+        };
+        match self.send(&req)? {
+            Response::Estimates(e) => Ok(e),
+            _ => Err(variant_mismatch("NaiveEstimates")),
+        }
+    }
+
+    /// Adaptive graphlet sampling with the server-side default knobs
+    /// (send a full [`Request::Ags`] through [`Client::send`] for
+    /// `c_bar`/`epoch`/`idle_limit`).
+    pub fn ags(
+        &mut self,
+        urn: UrnId,
+        max_samples: u64,
+        seed: u64,
+    ) -> Result<AgsReply, ClientError> {
+        let req = Request::Ags {
+            urn,
+            max_samples,
+            c_bar: None,
+            epoch: None,
+            idle_limit: None,
+            seed,
+            threads: 0,
+        };
+        match self.send(&req)? {
+            Response::Ags(a) => Ok(a),
+            _ => Err(variant_mismatch("Ags")),
+        }
+    }
+
+    /// A raw canonical-code tally of sampled graphlet copies.
+    pub fn sample(
+        &mut self,
+        urn: UrnId,
+        samples: u64,
+        seed: u64,
+    ) -> Result<TallyReply, ClientError> {
+        let req = Request::Sample {
+            urn,
+            samples,
+            seed,
+            threads: 0,
+        };
+        match self.send(&req)? {
+            Response::Tally(t) => Ok(t),
+            _ => Err(variant_mismatch("Sample")),
+        }
+    }
+
+    /// Serving counters (raw payload — a diagnostic document, not a
+    /// frozen schema).
+    pub fn stats(&mut self, urn: Option<UrnId>) -> Result<Value, ClientError> {
+        match self.send(&Request::Stats { urn })? {
+            Response::Stats(v) => Ok(v),
+            _ => Err(variant_mismatch("Stats")),
+        }
+    }
+
+    /// The server's metrics registry (raw payload, same reasoning).
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        match self.send(&Request::Metrics)? {
+            Response::Metrics(v) => Ok(v),
+            _ => Err(variant_mismatch("Metrics")),
+        }
+    }
+
+    /// Enqueues a build of `graph` (a path readable by the *server*) and
+    /// optionally waits for it.
+    pub fn build(
+        &mut self,
+        graph: impl Into<String>,
+        k: u32,
+        seed: u64,
+        wait: bool,
+    ) -> Result<BuildReply, ClientError> {
+        let req = Request::Build {
+            graph: graph.into(),
+            k,
+            seed,
+            lambda: None,
+            codec: Default::default(),
+            wait,
+        };
+        match self.send(&req)? {
+            Response::Build(b) => Ok(b),
+            _ => Err(variant_mismatch("Build")),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.send(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(variant_mismatch("Shutdown")),
+        }
+    }
+
+    /// Replication health (raw payload).
+    pub fn repl_status(&mut self) -> Result<Value, ClientError> {
+        match self.send(&Request::ReplStatus)? {
+            Response::ReplStatus(v) => Ok(v),
+            _ => Err(variant_mismatch("ReplStatus")),
+        }
+    }
+
+    /// Turns a replica into a leader.
+    pub fn promote(&mut self) -> Result<PromoteReply, ClientError> {
+        match self.send(&Request::Promote)? {
+            Response::Promote(p) => Ok(p),
+            _ => Err(variant_mismatch("Promote")),
+        }
+    }
+
+    /// Pulls journal frames from a leader (the replica sync path).
+    pub fn repl_fetch(
+        &mut self,
+        replica: impl Into<String>,
+        offset: u64,
+        prefix_crc: u32,
+        log_id: u32,
+    ) -> Result<ReplFetchReply, ClientError> {
+        let req = Request::ReplFetch {
+            replica: replica.into(),
+            offset,
+            prefix_crc,
+            log_id,
+        };
+        match self.send(&req)? {
+            Response::ReplFetch(r) => Ok(r),
+            _ => Err(variant_mismatch("ReplFetch")),
+        }
+    }
+
+    /// Fetches the leader's manifest snapshot bytes.
+    pub fn repl_manifest(&mut self) -> Result<ReplManifestReply, ClientError> {
+        match self.send(&Request::ReplManifest)? {
+            Response::ReplManifest(m) => Ok(m),
+            _ => Err(variant_mismatch("ReplManifest")),
+        }
+    }
+
+    /// Fetches the leader's file inventory for one urn or graph.
+    pub fn repl_files(
+        &mut self,
+        target: ReplTarget,
+        replica: Option<String>,
+    ) -> Result<Vec<FileMeta>, ClientError> {
+        match self.send(&Request::ReplFiles { target, replica })? {
+            Response::ReplFiles(f) => Ok(f),
+            _ => Err(variant_mismatch("ReplFiles")),
+        }
+    }
+
+    /// Fetches one chunk of a sealed urn or graph file.
+    pub fn repl_file(
+        &mut self,
+        target: ReplTarget,
+        name: impl Into<String>,
+        offset: u64,
+        replica: Option<String>,
+    ) -> Result<ReplFileReply, ClientError> {
+        let req = Request::ReplFile {
+            target,
+            name: name.into(),
+            offset,
+            replica,
+        };
+        match self.send(&req)? {
+            Response::ReplFile(f) => Ok(f),
+            _ => Err(variant_mismatch("ReplFile")),
+        }
+    }
+
+    // -- raw escape hatches -------------------------------------------------
+
     /// Sends one request document and returns the full response envelope
     /// (`{"id": …, "ok": …}` or `{"id": …, "error": …}`), without
     /// interpreting it.
     pub fn roundtrip(&mut self, request: &Value) -> Result<Value, ClientError> {
         let text =
             serde_json::to_string(request).map_err(|e| ClientError::BadResponse(e.to_string()))?;
-        self.roundtrip_raw(&text).and_then(|raw| {
+        self.send_raw(&text).and_then(|raw| {
             serde_json::from_str(&raw).map_err(|e| ClientError::BadResponse(e.to_string()))
         })
     }
@@ -75,7 +324,7 @@ impl Client {
     /// Like [`Client::roundtrip`], but over raw JSON text in both
     /// directions (what `motivo client` uses — the request is the user's
     /// own bytes, the response is printed verbatim).
-    pub fn roundtrip_raw(&mut self, request: &str) -> Result<String, ClientError> {
+    pub fn send_raw(&mut self, request: &str) -> Result<String, ClientError> {
         proto::write_frame(&mut self.stream, request.as_bytes())?;
         let payload = proto::read_frame(&mut self.stream)?
             .ok_or_else(|| ClientError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;

@@ -25,10 +25,11 @@ use std::time::Duration;
 
 /// The closed set of kind labels: every wire request type, plus
 /// `Invalid` for frames that never parsed into a request.
-pub const KINDS: [&str; 17] = [
+pub const KINDS: [&str; 18] = [
     "Ags",
     "Batch",
     "Build",
+    "Hello",
     "Invalid",
     "ListUrns",
     "Metrics",

@@ -16,7 +16,7 @@
 
 use motivo_core::{AgsResult, Estimates, RecordCodec};
 use motivo_graphlet::{name, Graphlet, GraphletRegistry};
-use motivo_store::{BuildStatus, CacheStats, QueryStats, StoreError, UrnId, UrnMeta};
+use motivo_store::{BuildStatus, CacheStats, FileMeta, QueryStats, StoreError, UrnId, UrnMeta};
 use serde_json::{json, Value};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -28,6 +28,19 @@ pub const MAX_FRAME: usize = 8 << 20;
 /// Hard cap on sub-requests per `Batch` frame: bounds the memory one
 /// worker slot can be asked to hold, like [`MAX_FRAME`] bounds one frame.
 pub const MAX_BATCH: usize = 1024;
+
+/// The wire-protocol version this build speaks, negotiated by `Hello`.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Per-connection cap on requests in flight through the worker pool.
+/// A pipelining client that exceeds it gets `Busy` for the overflow —
+/// the same backpressure contract as a full queue, applied per
+/// connection so one firehose cannot monopolize the shared queue.
+/// Advertised in the `Hello` response as `max_pipeline`.
+pub const MAX_PIPELINE: usize = 128;
+
+/// Capability strings advertised in the `Hello` response.
+pub const FEATURES: [&str; 4] = ["batch", "pipelining", "query_cache", "replication"];
 
 /// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
 /// boundary (the peer hung up between requests).
@@ -66,9 +79,18 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 /// `threads` 0 = all cores) follow the CLI's.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// Liveness probe; answered inline by the connection reader, so it
-    /// works even when the worker queue is saturated.
+    /// Liveness probe; answered inline by the reactor, so it works even
+    /// when the worker queue is saturated.
     Ping,
+    /// Optional versioned handshake: the client announces its protocol
+    /// version and the feature strings it understands; the server answers
+    /// with its version, supported request kinds, features, and the
+    /// reactor's pipelining limits (see [`hello_payload`]). Clients that
+    /// skip `Hello` keep working — the protocol is unchanged for them.
+    Hello {
+        proto_version: u64,
+        features: Vec<String>,
+    },
     /// Every urn the store's manifest knows.
     ListUrns,
     /// Naive (uniform treelet) estimation against a built urn.
@@ -151,10 +173,10 @@ pub enum Request {
         replica: Option<String>,
     },
     /// Replication health: role, journal offset, log id, and (on a
-    /// leader) per-replica lag; (on a replica) sync-loop status.
+    /// leader) per-replica lag; (on a replica) sync-session status.
     ReplStatus,
     /// Turn a replica into a leader: clear the read-only gate, sweep
-    /// builds the dead leader left unfinished, stop the sync loop.
+    /// builds the dead leader left unfinished, stop the sync session.
     /// `BadRequest` on a server that is already a leader.
     Promote,
 }
@@ -234,6 +256,22 @@ impl Request {
         let threads = get_u64(v, "threads", 0)? as usize;
         let req = match ty.as_str() {
             "Ping" => Request::Ping,
+            "Hello" => Request::Hello {
+                proto_version: get_u64(v, "proto_version", PROTO_VERSION)?,
+                features: match v.get("features") {
+                    None => Vec::new(),
+                    Some(f) => f
+                        .as_array()
+                        .ok_or("`features` must be an array of strings")?
+                        .iter()
+                        .map(|s| {
+                            s.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "`features` must be an array of strings".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                },
+            },
             "ListUrns" => Request::ListUrns,
             "NaiveEstimates" => Request::NaiveEstimates {
                 urn: get_urn(v)?,
@@ -402,6 +440,7 @@ impl Request {
     pub fn kind(&self) -> &'static str {
         match self {
             Request::Ping => "Ping",
+            Request::Hello { .. } => "Hello",
             Request::ListUrns => "ListUrns",
             Request::NaiveEstimates { .. } => "NaiveEstimates",
             Request::Ags { .. } => "Ags",
@@ -429,6 +468,513 @@ impl Request {
             | Request::Sample { urn, .. } => Some(*urn),
             _ => None,
         }
+    }
+
+    /// The canonical request document — what the typed client puts on the
+    /// wire. Round-trips through [`Request::parse`]: optional fields are
+    /// emitted only when set, so absent-vs-defaulted survives the trip
+    /// (asserted for every variant in this module's tests).
+    pub fn to_value(&self) -> Value {
+        let target = |doc: &mut Value, target: &ReplTarget| match target {
+            ReplTarget::Urn(id) => doc.set("urn", json!(id.0)),
+            ReplTarget::Graph(fp) => doc.set("graph", json!(format!("{fp:016x}"))),
+        };
+        let opt = |doc: &mut Value, key: &str, v: Option<Value>| {
+            if let Some(v) = v {
+                doc.set(key, v);
+            }
+        };
+        match self {
+            Request::Ping => json!({"type": "Ping"}),
+            Request::Hello {
+                proto_version,
+                features,
+            } => json!({
+                "type": "Hello", "proto_version": proto_version, "features": features,
+            }),
+            Request::ListUrns => json!({"type": "ListUrns"}),
+            Request::NaiveEstimates {
+                urn,
+                samples,
+                seed,
+                threads,
+            } => json!({
+                "type": "NaiveEstimates", "urn": urn.0, "samples": samples,
+                "seed": seed, "threads": threads,
+            }),
+            Request::Ags {
+                urn,
+                max_samples,
+                c_bar,
+                epoch,
+                idle_limit,
+                seed,
+                threads,
+            } => {
+                let mut doc = json!({
+                    "type": "Ags", "urn": urn.0, "max_samples": max_samples,
+                    "seed": seed, "threads": threads,
+                });
+                opt(&mut doc, "c_bar", c_bar.map(|v| json!(v)));
+                opt(&mut doc, "epoch", epoch.map(|v| json!(v)));
+                opt(&mut doc, "idle_limit", idle_limit.map(|v| json!(v)));
+                doc
+            }
+            Request::Sample {
+                urn,
+                samples,
+                seed,
+                threads,
+            } => json!({
+                "type": "Sample", "urn": urn.0, "samples": samples,
+                "seed": seed, "threads": threads,
+            }),
+            Request::Stats { urn } => {
+                let mut doc = json!({"type": "Stats"});
+                opt(&mut doc, "urn", urn.map(|u| json!(u.0)));
+                doc
+            }
+            Request::Metrics => json!({"type": "Metrics"}),
+            Request::Build {
+                graph,
+                k,
+                seed,
+                lambda,
+                codec,
+                wait,
+            } => {
+                let mut doc = json!({
+                    "type": "Build", "graph": graph, "k": k, "seed": seed,
+                    "codec": codec.to_string(), "wait": wait,
+                });
+                opt(&mut doc, "lambda", lambda.map(|v| json!(v)));
+                doc
+            }
+            Request::Batch(subs) => json!({"type": "Batch", "requests": subs}),
+            Request::Shutdown => json!({"type": "Shutdown"}),
+            Request::ReplFetch {
+                replica,
+                offset,
+                prefix_crc,
+                log_id,
+            } => json!({
+                "type": "ReplFetch", "replica": replica, "offset": offset,
+                "prefix_crc": prefix_crc, "log_id": log_id,
+            }),
+            Request::ReplManifest => json!({"type": "ReplManifest"}),
+            Request::ReplFiles { target: t, replica } => {
+                let mut doc = json!({"type": "ReplFiles"});
+                target(&mut doc, t);
+                opt(&mut doc, "replica", replica.as_ref().map(|r| json!(r)));
+                doc
+            }
+            Request::ReplFile {
+                target: t,
+                name,
+                offset,
+                replica,
+            } => {
+                let mut doc = json!({"type": "ReplFile", "name": name, "offset": offset});
+                target(&mut doc, t);
+                opt(&mut doc, "replica", replica.as_ref().map(|r| json!(r)));
+                doc
+            }
+            Request::ReplStatus => json!({"type": "ReplStatus"}),
+            Request::Promote => json!({"type": "Promote"}),
+        }
+    }
+}
+
+/// The `Hello` response payload. Answered inline by the reactor (like
+/// `Ping`), so a client can negotiate before the worker pool is even
+/// warm. Everything here is static for the life of the process.
+pub fn hello_payload() -> Value {
+    let kinds: Vec<&str> = crate::metrics::KINDS
+        .iter()
+        .copied()
+        .filter(|k| *k != "Invalid") // a metrics label, not a request type
+        .collect();
+    json!({
+        "server": concat!("motivo ", env!("CARGO_PKG_VERSION")),
+        "proto_version": PROTO_VERSION,
+        "kinds": kinds,
+        "features": FEATURES,
+        "max_frame": MAX_FRAME,
+        "max_batch": MAX_BATCH,
+        "max_pipeline": MAX_PIPELINE,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Typed responses
+// ---------------------------------------------------------------------------
+
+fn need(v: &Value, key: &str) -> Result<Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("response missing `{key}`"))
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    need(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("response field `{key}` must be a non-negative integer"))
+}
+
+fn need_f64(v: &Value, key: &str) -> Result<f64, String> {
+    need(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("response field `{key}` must be a number"))
+}
+
+fn need_bool(v: &Value, key: &str) -> Result<bool, String> {
+    need(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("response field `{key}` must be a boolean"))
+}
+
+fn need_str(v: &Value, key: &str) -> Result<String, String> {
+    need(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("response field `{key}` must be a string"))
+}
+
+fn need_array(v: &Value, key: &str) -> Result<Vec<Value>, String> {
+    need(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("response field `{key}` must be an array"))
+}
+
+fn need_hex(v: &Value, key: &str) -> Result<Vec<u8>, String> {
+    crate::repl::protocol::hex_decode(&need_str(v, key)?)
+}
+
+fn str_array(v: &Value, key: &str) -> Result<Vec<String>, String> {
+    need_array(v, key)?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("response field `{key}` must hold strings"))
+        })
+        .collect()
+}
+
+/// What the server said in answer to a `Hello`: identity, protocol
+/// version, the request kinds it accepts, and the reactor's limits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HelloReply {
+    /// Server identity string, e.g. `"motivo 0.1.0"`.
+    pub server: String,
+    pub proto_version: u64,
+    /// Request kinds this server dispatches (sorted).
+    pub kinds: Vec<String>,
+    /// Capability strings (see [`FEATURES`]).
+    pub features: Vec<String>,
+    pub max_frame: u64,
+    pub max_batch: u64,
+    /// Per-connection in-flight cap; pipelining past it earns `Busy`.
+    pub max_pipeline: u64,
+}
+
+/// One manifest row of a `ListUrns` reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UrnRow {
+    /// Printed id, e.g. `"urn-3"` (accepted back by `urn` fields).
+    pub id: String,
+    pub k: u32,
+    pub seed: u64,
+    pub codec: String,
+    pub lambda: Option<f64>,
+    /// `"pending"`, `"built"`, or `"failed"`.
+    pub status: String,
+    pub table_bytes: u64,
+    pub records: u64,
+    /// Graph fingerprint, 16 hex digits.
+    pub fingerprint: String,
+}
+
+/// A `ListUrns` reply: every urn the manifest knows plus the count of
+/// cached graphs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UrnsReply {
+    pub urns: Vec<UrnRow>,
+    pub graphs: u64,
+}
+
+/// One graphlet class of an estimates payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassRow {
+    pub graphlet: String,
+    pub occurrences: u64,
+    pub colorful: f64,
+    pub count: f64,
+    pub frequency: f64,
+}
+
+/// A `NaiveEstimates` reply (also nested inside [`AgsReply`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatesReply {
+    pub k: u32,
+    pub samples: u64,
+    pub total_count: f64,
+    /// Ascending by registry index — the canonical payload order.
+    pub classes: Vec<ClassRow>,
+}
+
+/// An `Ags` reply: estimates plus the adaptive-run counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AgsReply {
+    pub estimates: EstimatesReply,
+    pub switches: u64,
+    pub covered: u64,
+    pub shape_usage: Vec<u64>,
+}
+
+/// One canonical-code row of a `Sample` reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TallyRow {
+    /// Canonical graphlet code (serialized as a `0x…` hex string).
+    pub code: u128,
+    pub graphlet: String,
+    pub occurrences: u64,
+}
+
+/// A `Sample` reply: a canonical-code tally, ascending by code.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TallyReply {
+    pub samples: u64,
+    pub classes: Vec<TallyRow>,
+}
+
+/// A `Build` reply: the urn assigned and its status after the request
+/// (post-wait when `"wait": true` was sent).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BuildReply {
+    pub urn: String,
+    pub status: String,
+}
+
+/// A `ReplFetch` reply: decoded journal frame payloads from the leader.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplFetchReply {
+    pub payloads: Vec<Vec<u8>>,
+    /// The leader's journal length — how far behind the replica is.
+    pub leader_len: u64,
+    pub log_id: u32,
+    /// Set when the replica's journal is not a byte prefix of the
+    /// leader's lineage: discard local state and re-bootstrap.
+    pub stale: bool,
+}
+
+/// A `ReplManifest` reply: raw manifest snapshot bytes plus the log id
+/// binding them to a journal lineage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplManifestReply {
+    pub manifest: Vec<u8>,
+    pub log_id: u32,
+}
+
+/// A `ReplFile` reply: one decoded chunk and the file's total length.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplFileReply {
+    pub data: Vec<u8>,
+    pub total: u64,
+}
+
+/// A `Promote` reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromoteReply {
+    pub promoted: bool,
+    /// Builds the dead leader left unfinished, now swept to `failed`.
+    pub swept: u64,
+}
+
+/// A typed success payload, decoded according to the *request* kind that
+/// produced it (responses carry no discriminant of their own — the frame
+/// `id` pairs them with requests, and the request fixes the shape).
+///
+/// Kinds whose payloads are run-dependent diagnostics (`Stats`,
+/// `Metrics`, `ReplStatus`) and per-sub-request `Batch` envelopes stay
+/// raw [`Value`]s: their schemas are wide, nested, and consumed by
+/// humans or dashboards, so forcing structs on them would freeze exactly
+/// the parts of the wire format meant to evolve freely.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `Ping` ack.
+    Pong,
+    Hello(HelloReply),
+    Urns(UrnsReply),
+    Estimates(EstimatesReply),
+    Ags(AgsReply),
+    Tally(TallyReply),
+    Stats(Value),
+    Metrics(Value),
+    Build(BuildReply),
+    /// Per-sub-request envelopes, in request order.
+    Batch(Vec<Value>),
+    /// `Shutdown` ack: the server is draining.
+    ShuttingDown,
+    ReplFetch(ReplFetchReply),
+    ReplManifest(ReplManifestReply),
+    ReplFiles(Vec<FileMeta>),
+    ReplFile(ReplFileReply),
+    ReplStatus(Value),
+    Promote(PromoteReply),
+}
+
+fn parse_estimates(v: &Value) -> Result<EstimatesReply, String> {
+    let classes = need_array(v, "classes")?
+        .iter()
+        .map(|c| {
+            Ok(ClassRow {
+                graphlet: need_str(c, "graphlet")?,
+                occurrences: need_u64(c, "occurrences")?,
+                colorful: need_f64(c, "colorful")?,
+                count: need_f64(c, "count")?,
+                frequency: need_f64(c, "frequency")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(EstimatesReply {
+        k: need_u64(v, "k")?
+            .try_into()
+            .map_err(|_| "response field `k` must fit in 32 bits".to_string())?,
+        samples: need_u64(v, "samples")?,
+        total_count: need_f64(v, "total_count")?,
+        classes,
+    })
+}
+
+impl Response {
+    /// Decodes a success payload for a request of `kind`
+    /// ([`Request::kind`] of the request that earned it).
+    pub fn parse(kind: &str, payload: &Value) -> Result<Response, String> {
+        let resp = match kind {
+            "Ping" => {
+                need_bool(payload, "pong")?;
+                Response::Pong
+            }
+            "Hello" => Response::Hello(HelloReply {
+                server: need_str(payload, "server")?,
+                proto_version: need_u64(payload, "proto_version")?,
+                kinds: str_array(payload, "kinds")?,
+                features: str_array(payload, "features")?,
+                max_frame: need_u64(payload, "max_frame")?,
+                max_batch: need_u64(payload, "max_batch")?,
+                max_pipeline: need_u64(payload, "max_pipeline")?,
+            }),
+            "ListUrns" => Response::Urns(UrnsReply {
+                urns: need_array(payload, "urns")?
+                    .iter()
+                    .map(|u| {
+                        Ok(UrnRow {
+                            id: need_str(u, "id")?,
+                            k: need_u64(u, "k")? as u32,
+                            seed: need_u64(u, "seed")?,
+                            codec: need_str(u, "codec")?,
+                            lambda: match u.get("lambda") {
+                                None => None,
+                                Some(l) if l.is_null() => None,
+                                Some(l) => Some(l.as_f64().ok_or_else(|| {
+                                    "response field `lambda` must be a number".to_string()
+                                })?),
+                            },
+                            status: need_str(u, "status")?,
+                            table_bytes: need_u64(u, "table_bytes")?,
+                            records: need_u64(u, "records")?,
+                            fingerprint: need_str(u, "fingerprint")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                graphs: need_u64(payload, "graphs")?,
+            }),
+            "NaiveEstimates" => Response::Estimates(parse_estimates(payload)?),
+            "Ags" => Response::Ags(AgsReply {
+                estimates: parse_estimates(&need(payload, "estimates")?)?,
+                switches: need_u64(payload, "switches")?,
+                covered: need_u64(payload, "covered")?,
+                shape_usage: need_array(payload, "shape_usage")?
+                    .iter()
+                    .map(|n| {
+                        n.as_u64().ok_or_else(|| {
+                            "response field `shape_usage` must hold integers".to_string()
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            }),
+            "Sample" => Response::Tally(TallyReply {
+                samples: need_u64(payload, "samples")?,
+                classes: need_array(payload, "classes")?
+                    .iter()
+                    .map(|c| {
+                        let code = need_str(c, "code")?;
+                        let code = code
+                            .strip_prefix("0x")
+                            .and_then(|h| u128::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| {
+                                "response field `code` must be a 0x… hex string".to_string()
+                            })?;
+                        Ok(TallyRow {
+                            code,
+                            graphlet: need_str(c, "graphlet")?,
+                            occurrences: need_u64(c, "occurrences")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            }),
+            "Stats" => Response::Stats(payload.clone()),
+            "Metrics" => Response::Metrics(payload.clone()),
+            "Build" => Response::Build(BuildReply {
+                urn: need_str(payload, "urn")?,
+                status: need_str(payload, "status")?,
+            }),
+            "Batch" => Response::Batch(need_array(payload, "responses")?),
+            "Shutdown" => {
+                need_bool(payload, "shutting_down")?;
+                Response::ShuttingDown
+            }
+            "ReplFetch" => Response::ReplFetch(ReplFetchReply {
+                payloads: need_array(payload, "payloads")?
+                    .iter()
+                    .map(|p| {
+                        p.as_str()
+                            .ok_or_else(|| "response field `payloads` must hold hex".to_string())
+                            .and_then(crate::repl::protocol::hex_decode)
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                leader_len: need_u64(payload, "leader_len")?,
+                log_id: need_u64(payload, "log_id")? as u32,
+                stale: need_bool(payload, "stale")?,
+            }),
+            "ReplManifest" => Response::ReplManifest(ReplManifestReply {
+                manifest: need_hex(payload, "manifest")?,
+                log_id: need_u64(payload, "log_id")? as u32,
+            }),
+            "ReplFiles" => Response::ReplFiles(
+                need_array(payload, "files")?
+                    .iter()
+                    .map(|f| {
+                        Ok(FileMeta {
+                            name: need_str(f, "name")?,
+                            len: need_u64(f, "len")?,
+                            crc: need_u64(f, "crc")? as u32,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            ),
+            "ReplFile" => Response::ReplFile(ReplFileReply {
+                data: need_hex(payload, "data")?,
+                total: need_u64(payload, "total")?,
+            }),
+            "ReplStatus" => Response::ReplStatus(payload.clone()),
+            "Promote" => Response::Promote(PromoteReply {
+                promoted: need_bool(payload, "promoted")?,
+                swept: need_u64(payload, "swept")?,
+            }),
+            other => return Err(format!("unknown request kind `{other}`")),
+        };
+        Ok(resp)
     }
 }
 
@@ -859,5 +1405,207 @@ mod tests {
         let err = error_response(&json!(null), ErrorKind::Busy, "queue full");
         let text = serde_json::to_string(&err).unwrap();
         assert!(text.contains(r#""kind":"Busy""#), "{text}");
+    }
+
+    /// `to_value` → `parse` must reproduce the request exactly for every
+    /// variant, including the absent-vs-set distinction of optional
+    /// fields — this is the contract the typed client rides on.
+    #[test]
+    fn to_value_round_trips_every_variant() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Hello {
+                proto_version: 1,
+                features: vec!["batch".into()],
+            },
+            Request::Hello {
+                proto_version: PROTO_VERSION,
+                features: Vec::new(),
+            },
+            Request::ListUrns,
+            Request::NaiveEstimates {
+                urn: UrnId(3),
+                samples: 500,
+                seed: 7,
+                threads: 2,
+            },
+            Request::Ags {
+                urn: UrnId(1),
+                max_samples: 1000,
+                c_bar: None,
+                epoch: None,
+                idle_limit: None,
+                seed: 0,
+                threads: 0,
+            },
+            Request::Ags {
+                urn: UrnId(1),
+                max_samples: 1000,
+                c_bar: Some(40),
+                epoch: Some(64),
+                idle_limit: Some(9),
+                seed: 3,
+                threads: 1,
+            },
+            Request::Sample {
+                urn: UrnId(2),
+                samples: 64,
+                seed: 1,
+                threads: 0,
+            },
+            Request::Stats { urn: None },
+            Request::Stats { urn: Some(UrnId(4)) },
+            Request::Metrics,
+            Request::Build {
+                graph: "g.mtvg".into(),
+                k: 5,
+                seed: 11,
+                lambda: None,
+                codec: RecordCodec::Plain,
+                wait: false,
+            },
+            Request::Build {
+                graph: "g.txt".into(),
+                k: 4,
+                seed: 0,
+                lambda: Some(0.5),
+                codec: RecordCodec::Succinct,
+                wait: true,
+            },
+            Request::Batch(vec![json!({"type": "Ping"})]),
+            Request::Shutdown,
+            Request::ReplFetch {
+                replica: "r1".into(),
+                offset: 96,
+                prefix_crc: 0xdead_beef,
+                log_id: 42,
+            },
+            Request::ReplManifest,
+            Request::ReplFiles {
+                target: ReplTarget::Urn(UrnId(1)),
+                replica: None,
+            },
+            Request::ReplFiles {
+                target: ReplTarget::Graph(0xabcd),
+                replica: Some("r2".into()),
+            },
+            Request::ReplFile {
+                target: ReplTarget::Urn(UrnId(1)),
+                name: "table.bin".into(),
+                offset: 4096,
+                replica: Some("r1".into()),
+            },
+            Request::ReplStatus,
+            Request::Promote,
+        ];
+        for req in reqs {
+            let doc = req.to_value();
+            let back = Request::parse(&doc).unwrap_or_else(|e| panic!("{e} for {doc:?}"));
+            assert_eq!(back, req, "round-trip through {doc:?}");
+            // And through actual wire text, like the client sends it.
+            let text = serde_json::to_string(&doc).unwrap();
+            assert_eq!(Request::parse(&from_str(&text).unwrap()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn hello_payload_advertises_kinds_and_limits() {
+        let hello = hello_payload();
+        let reply = Response::parse("Hello", &hello).unwrap();
+        let Response::Hello(h) = reply else {
+            panic!("expected Hello, got {reply:?}")
+        };
+        assert_eq!(h.proto_version, PROTO_VERSION);
+        assert_eq!(h.max_frame, MAX_FRAME as u64);
+        assert_eq!(h.max_batch, MAX_BATCH as u64);
+        assert_eq!(h.max_pipeline, MAX_PIPELINE as u64);
+        assert!(h.server.starts_with("motivo "), "{}", h.server);
+        assert!(h.features.iter().any(|f| f == "pipelining"));
+        // Every advertised kind parses as a request type; `Invalid` (a
+        // metrics-only label) is not advertised.
+        assert!(!h.kinds.iter().any(|k| k == "Invalid"));
+        assert!(h.kinds.iter().any(|k| k == "Hello"));
+        assert!(h.kinds.iter().any(|k| k == "NaiveEstimates"));
+    }
+
+    #[test]
+    fn responses_decode_typed_payloads() {
+        let est = from_str(
+            r#"{"k":3,"samples":10,"total_count":6.5,"classes":[
+                {"graphlet":"path-3","occurrences":4,"colorful":2.0,
+                 "count":5.5,"frequency":0.8}]}"#,
+        )
+        .unwrap();
+        let Response::Estimates(e) = Response::parse("NaiveEstimates", &est).unwrap() else {
+            panic!()
+        };
+        assert_eq!(e.k, 3);
+        assert_eq!(e.classes.len(), 1);
+        assert_eq!(e.classes[0].graphlet, "path-3");
+        assert_eq!(e.classes[0].colorful, 2.0);
+
+        let ags = json!({
+            "estimates": est, "switches": 2, "covered": 1, "shape_usage": [3, 0],
+        });
+        let Response::Ags(a) = Response::parse("Ags", &ags).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.switches, 2);
+        assert_eq!(a.shape_usage, vec![3, 0]);
+        assert_eq!(a.estimates.total_count, 6.5);
+
+        let tally = from_str(
+            r#"{"samples":8,"classes":[
+                {"code":"0x1f","graphlet":"triangle","occurrences":8}]}"#,
+        )
+        .unwrap();
+        let Response::Tally(t) = Response::parse("Sample", &tally).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.classes[0].code, 0x1f);
+
+        let urns = from_str(
+            r#"{"graphs":2,"urns":[
+                {"id":"urn-1","k":4,"seed":0,"codec":"plain","lambda":null,
+                 "status":"built","table_bytes":640,"records":16,
+                 "fingerprint":"00000000000000ab"}]}"#,
+        )
+        .unwrap();
+        let Response::Urns(u) = Response::parse("ListUrns", &urns).unwrap() else {
+            panic!()
+        };
+        assert_eq!(u.graphs, 2);
+        assert_eq!(u.urns[0].id, "urn-1");
+        assert_eq!(u.urns[0].lambda, None);
+
+        let fetch = from_str(
+            r#"{"payloads":["00ff"],"leader_len":96,"log_id":7,"stale":false}"#,
+        )
+        .unwrap();
+        let Response::ReplFetch(f) = Response::parse("ReplFetch", &fetch).unwrap() else {
+            panic!()
+        };
+        assert_eq!(f.payloads, vec![vec![0x00, 0xff]]);
+        assert!(!f.stale);
+
+        let files = from_str(r#"{"files":[{"name":"t.bin","len":9,"crc":5}]}"#).unwrap();
+        let Response::ReplFiles(rows) = Response::parse("ReplFiles", &files).unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows[0].name, "t.bin");
+
+        assert_eq!(
+            Response::parse("Ping", &json!({"pong": true})).unwrap(),
+            Response::Pong
+        );
+        assert_eq!(
+            Response::parse("Shutdown", &json!({"shutting_down": true})).unwrap(),
+            Response::ShuttingDown
+        );
+
+        // Malformed payloads fail with a field-naming message.
+        let err = Response::parse("NaiveEstimates", &json!({"k": 3})).unwrap_err();
+        assert!(err.contains("samples") || err.contains("classes"), "{err}");
+        assert!(Response::parse("Nope", &json!({})).is_err());
     }
 }

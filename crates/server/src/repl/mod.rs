@@ -11,9 +11,11 @@
 //!   replica's offset, lag, and served-file counts;
 //! - a **replica** is a server whose store was opened with
 //!   [`motivo_store::UrnStore::open_replica`] (mutations refused with
-//!   `ReadOnly`) plus one [`replica::sync_loop`] thread that bootstraps
-//!   from the leader's snapshot, fetches missing files, and tails the
-//!   journal. Because query answering is deterministic (DESIGN.md §6.4),
+//!   `ReadOnly`) plus a [`replica::SyncDriver`] — stepped as timer jobs
+//!   on the serve loop's worker pool, no dedicated thread — that
+//!   bootstraps from the leader's snapshot, fetches missing files, and
+//!   tails the journal. Because query answering is deterministic
+//!   (DESIGN.md §6.4),
 //!   a caught-up replica returns **byte-identical** responses to the
 //!   leader — replicas scale reads without weakening any guarantee.
 //!
@@ -22,7 +24,7 @@
 //! `Journal::open`'s torn-tail truncation leaves behind, the same
 //! recovery path a standalone store uses. A `Promote` request flips the
 //! read-only gate, sweeps builds the dead leader left unfinished, and
-//! stops the sync loop — after which the server is a leader like any
+//! stops the sync session — after which the server is a leader like any
 //! other.
 
 pub mod backoff;
@@ -34,8 +36,8 @@ use motivo_obs::Registry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Replication state shared between a serve loop's engine, its
-/// connection readers, and (on a replica) its sync thread.
+/// Replication state shared between a serve loop's engine, its reactor,
+/// and (on a replica) its sync driver.
 pub struct ReplShared {
     /// True while this server is a read-only replica; cleared by
     /// `Promote`. Connection readers consult it to refuse `Shutdown`
@@ -47,9 +49,9 @@ pub struct ReplShared {
     /// Per-replica fetch accounting (meaningful on a leader; empty on a
     /// replica unless something fetches from it — chaining is legal).
     pub registry: registry::ReplRegistry,
-    /// The sync loop's self-reported status, served by `ReplStatus`.
+    /// The sync driver's self-reported status, served by `ReplStatus`.
     pub sync: Mutex<replica::SyncStatus>,
-    /// Tells the sync loop to exit (promotion or server shutdown).
+    /// Tells the sync driver to stop (promotion or server shutdown).
     stop_sync: AtomicBool,
 }
 
@@ -84,12 +86,12 @@ impl ReplShared {
         self.replica.store(false, Ordering::SeqCst);
     }
 
-    /// Asks the sync loop to exit at its next check.
+    /// Asks the sync driver to stop at its next step.
     pub fn stop_sync(&self) {
         self.stop_sync.store(true, Ordering::SeqCst);
     }
 
-    /// Has the sync loop been asked to exit?
+    /// Has the sync driver been asked to stop?
     pub fn sync_stopped(&self) -> bool {
         self.stop_sync.load(Ordering::SeqCst)
     }

@@ -1,9 +1,15 @@
-//! The replica's sync loop: one thread inside a replica server that
-//! keeps its read-only store converging toward the leader.
+//! The replica's sync session: a [`SyncDriver`] owned by a replica's
+//! serve loop that keeps its read-only store converging toward the
+//! leader. The driver is **stepped**, not looped — the reactor arms a
+//! timer, a pool worker calls [`SyncDriver::step`], and the returned
+//! delay arms the next timer — so tailing the leader occupies a worker
+//! slot only while a round is actually running, and no dedicated sync
+//! thread exists.
 //!
-//! Each session connects, heals (fetches any file the local manifest
-//! references but the disk lacks — a crash can land between a file fetch
-//! and the journal append that needed it), then tails the leader:
+//! Each session connects (through the typed [`Client`]), heals (fetches
+//! any file the local manifest references but the disk lacks — a crash
+//! can land between a file fetch and the journal append that needed it),
+//! then tails the leader one round per step:
 //!
 //! 1. send `ReplFetch` with the local `(offset, prefix_crc, log_id)`
 //!    cursor ([`motivo_store::UrnStore::replication_cursor`]);
@@ -19,13 +25,14 @@
 //!    dies mid-fetch the journal hasn't advanced, and the re-fetch after
 //!    restart skips everything already on disk.
 //!
-//! Connection errors tear the session down and retry under
-//! [`super::backoff::Backoff`]; a `Promote` (or server shutdown) stops
-//! the loop at its next check.
+//! Connection errors tear the session down; the next step reconnects
+//! after a delay from [`super::backoff::Backoff`]. A `Promote` (or
+//! server shutdown) simply stops the stepping and the serve loop calls
+//! [`SyncDriver::finish`].
 
 use crate::client::Client;
+use crate::proto::ReplTarget;
 use crate::repl::backoff::Backoff;
-use crate::repl::protocol::{field_bytes, field_u64, hex_decode};
 use crate::repl::ReplShared;
 use motivo_core::checksum::crc32;
 use motivo_store::{BuildStatus, FileMeta, ManifestRecord, StoreError, UrnId, UrnStore};
@@ -43,7 +50,7 @@ pub struct SyncOptions {
     pub poll: Duration,
 }
 
-/// The sync loop's self-reported state, served by `ReplStatus` on the
+/// The sync session's self-reported state, served by `ReplStatus` on the
 /// replica.
 #[derive(Clone, Debug, Default)]
 pub struct SyncStatus {
@@ -93,70 +100,81 @@ fn with_status(shared: &ReplShared, f: impl FnOnce(&mut SyncStatus)) {
     f(&mut st);
 }
 
-fn sleep_unless_stopped(total: Duration, stopped: &dyn Fn() -> bool) {
-    let slice = Duration::from_millis(20);
-    let mut left = total;
-    while !stopped() && !left.is_zero() {
-        let d = left.min(slice);
-        std::thread::sleep(d);
-        left -= d;
-    }
+/// The replica sync state machine: one leader session plus reconnect
+/// backoff, advanced one fetch/apply round at a time by the serve loop's
+/// timer jobs. Every failure is recorded in [`SyncStatus::last_error`]
+/// and turns into a delayed retry, never a crash.
+pub struct SyncDriver<'s> {
+    store: &'s UrnStore,
+    shared: &'s ReplShared,
+    opts: SyncOptions,
+    client: Option<Client>,
+    backoff: Backoff,
 }
 
-/// Runs until `stopped` reports true (server shutdown or promotion).
-/// Never returns early on error: every failure is recorded in
-/// [`SyncStatus::last_error`] and retried under exponential backoff.
-pub fn sync_loop(
-    store: &UrnStore,
-    shared: &ReplShared,
-    opts: &SyncOptions,
-    stop: &dyn Fn() -> bool,
-) {
-    let mut backoff = Backoff::new(Duration::from_millis(100), Duration::from_secs(5));
-    let stopped = || stop() || shared.sync_stopped();
-    while !stopped() {
-        match sync_session(store, shared, opts, &stopped, &mut backoff) {
-            Ok(()) => break, // a session only ends cleanly when stopped
+impl<'s> SyncDriver<'s> {
+    pub fn new(store: &'s UrnStore, shared: &'s ReplShared, opts: SyncOptions) -> SyncDriver<'s> {
+        SyncDriver {
+            store,
+            shared,
+            opts,
+            client: None,
+            backoff: Backoff::new(Duration::from_millis(100), Duration::from_secs(5)),
+        }
+    }
+
+    /// Runs one round — connect + heal if no session is up, then one
+    /// fetch/apply — and returns how long to wait before the next step:
+    /// zero while catching up, the configured poll interval once caught
+    /// up, the backoff delay after a failure.
+    pub fn step(&mut self) -> Duration {
+        match self.try_step() {
+            Ok(caught_up) => {
+                self.backoff.reset();
+                if caught_up {
+                    self.opts.poll
+                } else {
+                    Duration::ZERO
+                }
+            }
             Err(e) => {
-                with_status(shared, |st| {
+                // Tear the session down; the next step reconnects and
+                // heals from scratch.
+                self.client = None;
+                with_status(self.shared, |st| {
                     st.connected = false;
                     st.caught_up = false;
                     st.last_error = Some(e);
                 });
-                sleep_unless_stopped(backoff.next_delay(), &stopped);
+                self.backoff.next_delay()
             }
         }
     }
-    with_status(shared, |st| {
-        st.connected = false;
-    });
-}
 
-fn sync_session(
-    store: &UrnStore,
-    shared: &ReplShared,
-    opts: &SyncOptions,
-    stopped: &dyn Fn() -> bool,
-    backoff: &mut Backoff,
-) -> Result<(), String> {
-    let mut client =
-        Client::connect(&opts.leader).map_err(|e| format!("connect {}: {e}", opts.leader))?;
-    // Heal before tailing: a crash mid-bootstrap or mid-fetch may have
-    // left manifest entries whose files never fully landed.
-    ensure_all_files(&mut client, store, shared, opts)?;
-    backoff.reset();
-    with_status(shared, |st| {
-        st.connected = true;
-        st.last_error = None;
-    });
-    loop {
-        if stopped() {
-            return Ok(());
+    fn try_step(&mut self) -> Result<bool, String> {
+        if self.client.is_none() {
+            let mut client = Client::connect(&self.opts.leader)
+                .map_err(|e| format!("connect {}: {e}", self.opts.leader))?;
+            // Heal before tailing: a crash mid-bootstrap or mid-fetch may
+            // have left manifest entries whose files never fully landed.
+            ensure_all_files(&mut client, self.store, self.shared, &self.opts)?;
+            with_status(self.shared, |st| {
+                st.connected = true;
+                st.last_error = None;
+            });
+            self.client = Some(client);
         }
-        let caught_up = poll_once(&mut client, store, shared, opts)?;
-        if caught_up {
-            sleep_unless_stopped(opts.poll, stopped);
-        }
+        let client = self.client.as_mut().expect("connected above");
+        poll_once(client, self.store, self.shared, &self.opts)
+    }
+
+    /// Ends the session (promotion or server shutdown): drops the leader
+    /// connection and reports disconnected.
+    pub fn finish(&mut self) {
+        self.client = None;
+        with_status(self.shared, |st| {
+            st.connected = false;
+        });
     }
 }
 
@@ -169,43 +187,30 @@ fn poll_once(
 ) -> Result<bool, String> {
     let (offset, prefix_crc) = store.replication_cursor().map_err(estore)?;
     let log_id = store.log_id().map_err(estore)?;
-    let resp = client
-        .request(&json!({
-            "type": "ReplFetch",
-            "replica": opts.name,
-            "offset": offset,
-            "prefix_crc": prefix_crc,
-            "log_id": log_id,
-        }))
+    let fetch = client
+        .repl_fetch(opts.name.clone(), offset, prefix_crc, log_id)
         .map_err(|e| format!("ReplFetch: {e}"))?;
     with_status(shared, |st| st.fetches += 1);
 
-    if resp.get("stale").and_then(|v| v.as_bool()).unwrap_or(false) {
+    if fetch.stale {
         bootstrap(client, store, shared, opts)?;
         return Ok(false);
     }
 
-    let leader_len = field_u64(&resp, "leader_len")?;
-    let payloads = resp
-        .get("payloads")
-        .and_then(|v| v.as_array())
-        .ok_or("leader response missing `payloads`")?;
-    for p in &payloads {
-        let hex = p.as_str().ok_or("journal payload must be a hex string")?;
-        let bytes = hex_decode(hex)?;
-        let rec = ManifestRecord::decode(&bytes).map_err(estore)?;
+    for bytes in &fetch.payloads {
+        let rec = ManifestRecord::decode(bytes).map_err(estore)?;
         ensure_record_files(client, store, shared, opts, &rec)?;
         store
-            .apply_replicated(std::slice::from_ref(&bytes))
+            .apply_replicated(std::slice::from_ref(bytes))
             .map_err(estore)?;
         with_status(shared, |st| st.records_applied += 1);
     }
 
     let new_offset = store.replication_offset();
-    let caught_up = new_offset >= leader_len;
+    let caught_up = new_offset >= fetch.leader_len;
     with_status(shared, |st| {
         st.offset = new_offset;
-        st.leader_len = leader_len;
+        st.leader_len = fetch.leader_len;
         st.caught_up = caught_up;
     });
     Ok(caught_up)
@@ -220,11 +225,10 @@ fn bootstrap(
     shared: &ReplShared,
     opts: &SyncOptions,
 ) -> Result<(), String> {
-    let resp = client
-        .request(&json!({"type": "ReplManifest"}))
+    let snap = client
+        .repl_manifest()
         .map_err(|e| format!("ReplManifest: {e}"))?;
-    let bytes = field_bytes(&resp, "manifest")?;
-    store.install_manifest(&bytes).map_err(estore)?;
+    store.install_manifest(&snap.manifest).map_err(estore)?;
     with_status(shared, |st| {
         st.bootstraps += 1;
         st.offset = 0;
@@ -272,24 +276,6 @@ fn ensure_record_files(
     }
 }
 
-fn parse_files(resp: &Value) -> Result<Vec<FileMeta>, String> {
-    let rows = resp
-        .get("files")
-        .and_then(|v| v.as_array())
-        .ok_or("leader response missing `files`")?;
-    rows.iter()
-        .map(|r| {
-            let name = r.get("name").ok_or("file row missing `name`")?;
-            let name = name.as_str().ok_or("file row missing `name`")?.to_string();
-            Ok(FileMeta {
-                name,
-                len: field_u64(r, "len")?,
-                crc: field_u64(r, "crc")? as u32,
-            })
-        })
-        .collect()
-}
-
 fn ensure_urn_files(
     client: &mut Client,
     store: &UrnStore,
@@ -297,10 +283,9 @@ fn ensure_urn_files(
     opts: &SyncOptions,
     id: UrnId,
 ) -> Result<(), String> {
-    let resp = client
-        .request(&json!({"type": "ReplFiles", "urn": id.0, "replica": opts.name}))
+    let leader_files = client
+        .repl_files(ReplTarget::Urn(id), Some(opts.name.clone()))
         .map_err(|e| format!("ReplFiles urn-{}: {e}", id.0))?;
-    let leader_files = parse_files(&resp)?;
     let local = store.urn_file_list(id).map_err(estore)?;
     for meta in leader_files {
         if local
@@ -309,7 +294,7 @@ fn ensure_urn_files(
         {
             continue;
         }
-        let bytes = fetch_file(client, shared, opts, ("urn", json!(id.0)), &meta)?;
+        let bytes = fetch_file(client, shared, opts, ReplTarget::Urn(id), &meta)?;
         store
             .install_urn_file(id, &meta.name, &bytes)
             .map_err(estore)?;
@@ -324,20 +309,19 @@ fn ensure_graph_file(
     opts: &SyncOptions,
     fingerprint: u64,
 ) -> Result<(), String> {
-    let fp = format!("{fingerprint:016x}");
-    let resp = client
-        .request(&json!({"type": "ReplFiles", "graph": fp, "replica": opts.name}))
-        .map_err(|e| format!("ReplFiles graph {fp}: {e}"))?;
+    let leader_files = client
+        .repl_files(ReplTarget::Graph(fingerprint), Some(opts.name.clone()))
+        .map_err(|e| format!("ReplFiles graph {fingerprint:016x}: {e}"))?;
     // Zero rows: the leader has no cached graph file (graphs are an
     // optimization for re-builds, not required to serve) — nothing to do.
-    let Some(meta) = parse_files(&resp)?.into_iter().next() else {
+    let Some(meta) = leader_files.into_iter().next() else {
         return Ok(());
     };
     let local = store.graph_file_meta(fingerprint).map_err(estore)?;
     if local.is_some_and(|l| l.len == meta.len && l.crc == meta.crc) {
         return Ok(());
     }
-    let bytes = fetch_file(client, shared, opts, ("graph", json!(fp)), &meta)?;
+    let bytes = fetch_file(client, shared, opts, ReplTarget::Graph(fingerprint), &meta)?;
     store
         .install_graph_file(fingerprint, &bytes)
         .map_err(estore)?;
@@ -350,38 +334,24 @@ fn fetch_file(
     client: &mut Client,
     shared: &ReplShared,
     opts: &SyncOptions,
-    target: (&str, Value),
+    target: ReplTarget,
     meta: &FileMeta,
 ) -> Result<Vec<u8>, String> {
     let mut bytes: Vec<u8> = Vec::with_capacity(meta.len as usize);
     loop {
-        let doc = if target.0 == "urn" {
-            json!({
-                "type": "ReplFile",
-                "urn": target.1.clone(),
-                "name": meta.name,
-                "offset": bytes.len() as u64,
-                "replica": opts.name,
-            })
-        } else {
-            json!({
-                "type": "ReplFile",
-                "graph": target.1.clone(),
-                "name": meta.name,
-                "offset": bytes.len() as u64,
-                "replica": opts.name,
-            })
-        };
-        let resp = client
-            .request(&doc)
+        let chunk = client
+            .repl_file(
+                target,
+                meta.name.clone(),
+                bytes.len() as u64,
+                Some(opts.name.clone()),
+            )
             .map_err(|e| format!("ReplFile {}: {e}", meta.name))?;
-        let data = field_bytes(&resp, "data")?;
-        let total = field_u64(&resp, "total")?;
-        if data.is_empty() && (bytes.len() as u64) < total {
+        if chunk.data.is_empty() && (bytes.len() as u64) < chunk.total {
             return Err(format!("ReplFile {}: empty chunk before EOF", meta.name));
         }
-        bytes.extend_from_slice(&data);
-        if bytes.len() as u64 >= total {
+        bytes.extend_from_slice(&chunk.data);
+        if bytes.len() as u64 >= chunk.total {
             break;
         }
     }

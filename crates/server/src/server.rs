@@ -1,29 +1,51 @@
-//! The daemon: a TCP accept loop feeding a fixed-size worker pool through
-//! a bounded queue, serving the wire protocol of [`crate::proto`] over a
-//! shared [`UrnStore`] + [`StoreQuery`].
+//! The daemon: a single-threaded poll-based **reactor** owning every
+//! connection, feeding a fixed-size worker pool through a bounded queue,
+//! serving the wire protocol of [`crate::proto`] over a shared
+//! [`UrnStore`] + [`StoreQuery`].
 //!
-//! Threading model (all scoped — the serve loop owns every thread it
-//! spawns):
+//! Event model (DESIGN.md §6.2) — the serve thread *is* the reactor; the
+//! only other threads are the workers:
 //!
 //! ```text
-//! serve thread ── accept loop
-//!   ├─ worker × N ── { lock(rx); recv() } → handle job → write response
-//!   └─ reader  × conn ── read frame → parse → try_send(job) ┐
-//!                         │ inline: Ping, Shutdown,         │ bounded
-//!                         │ Busy / ShuttingDown replies     ▼ queue
-//!                         └────────────────────────── crossbeam bounded(N)
+//! serve thread ── reactor: epoll over {listener, wakeup pipe, conns}
+//!   ├─ accept  ── readiness → non-blocking accept → register conn
+//!   ├─ read    ── readiness → FrameReader → parse → try_send(job) ┐
+//!   │             inline: Ping, Hello, Shutdown,                  │ bounded
+//!   │             Busy / ShuttingDown replies                     ▼ queue
+//!   ├─ write   ── readiness → WriteBuf::flush            crossbeam bounded
+//!   └─ timers  ── replica sync step, metrics snapshot (queued as jobs)
+//! worker × N ──── recv job → Engine::answer → Handback → wake reactor
 //! ```
 //!
-//! **Backpressure:** the queue is bounded; when it is full the reader
-//! answers `Busy` immediately instead of buffering, so overload degrades
-//! into fast rejections rather than unbounded memory growth.
+//! Workers never touch sockets: a finished response is handed back to the
+//! reactor through the [`Handback`] list plus a wakeup-pipe poke, and the
+//! reactor appends it to the connection's [`WriteBuf`]. A connection
+//! therefore costs a table entry and two byte buffers — not a thread —
+//! which is what lets one server hold thousands of idle connections on a
+//! fixed thread count (the `idle_conns_held` CI gate).
+//!
+//! **Backpressure**, both directions: the job queue is bounded — when it
+//! is full the reactor answers `Busy` immediately instead of buffering —
+//! and each connection may have at most [`proto::MAX_PIPELINE`] requests
+//! in flight before further pipelined frames bounce as `Busy` too. On the
+//! write side, a socket that stops accepting bytes parks the response in
+//! its `WriteBuf` under write-interest re-registration; a consumer whose
+//! backlog passes [`WBUF_CAP`] is dropped as dead.
 //!
 //! **Graceful shutdown:** a `Shutdown` request (or [`Server::shutdown`])
-//! sets the signal and pokes the listener. The accept loop stops, readers
-//! answer `ShuttingDown` to new requests and exit, workers drain every job
-//! already accepted into the queue — a request that was not rejected with
-//! `Busy` always gets its real response — and the serve thread flushes the
-//! store's serving statistics to `server-stats.json` before returning.
+//! sets the signal and wakes the reactor. The listener is deregistered,
+//! reads stop, frames that had already fully arrived are answered
+//! `ShuttingDown`, workers drain every job already accepted — a request
+//! that was not rejected with `Busy` always gets its real response — and
+//! the reactor lingers (bounded by [`WRITE_TIMEOUT`]) until every
+//! response byte is flushed, then the serve thread writes the store's
+//! serving statistics to `server-stats.json` before returning.
+//!
+//! **Replication:** a replica runs no dedicated sync thread. Its sync
+//! session lives in a [`SyncDriver`] stepped as a timer-driven job on the
+//! same worker pool: each step does one fetch/apply round and reports the
+//! delay until the next, so tailing the leader shares the pool and the
+//! reactor with query serving.
 //!
 //! **Determinism:** request handlers build a fresh [`GraphletRegistry`]
 //! per request and never put run-dependent values in payloads, so a seeded
@@ -45,10 +67,12 @@ use motivo_graphlet::GraphletRegistry;
 use motivo_obs::Obs;
 use motivo_store::{BuildStatus, StoreError, StoreQuery, UrnStore};
 use serde_json::{json, Value};
-use std::io::Read;
-use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
@@ -56,47 +80,73 @@ use std::time::{Duration, Instant, SystemTime};
 use crate::cache::{QueryCache, QueryCacheStats};
 use crate::metrics::{KindStats, ServerMetrics};
 use crate::proto::{self, ErrorKind, ReplTarget, Request};
-use crate::repl::{self, protocol::hex_encode, ReplShared};
+use crate::reactor::{self, drain_readable, FrameReader, Interest, Poller, WriteBuf};
+use crate::repl::{self, protocol::hex_encode, replica::SyncDriver, ReplShared};
 
-/// How often blocked readers re-check the shutdown signal.
+/// Retry delay when a timer job finds the worker queue full, and the
+/// backoff after a failed accept.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
-/// Per-write timeout so one stalled client cannot wedge a pool worker.
+/// How long a draining reactor waits for stalled clients to accept their
+/// final response bytes before closing on them.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Default query-result cache budget (`ServeOptions::default`): enough
 /// for tens of thousands of typical estimate payloads.
 pub const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
 
-/// Server tuning knobs. The zeroed `Default` for the pool knobs means
-/// "resolve from the machine": workers from the core count, queue depth
-/// from the workers. The cache budget defaults to
+/// Hard cap on the configured worker-pool size (builder validation).
+const MAX_WORKERS: usize = 4096;
+
+/// A connection whose unflushed response backlog passes this is a dead or
+/// pathologically slow consumer; it is dropped rather than buffered for.
+const WBUF_CAP: usize = 64 << 20;
+
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the wakeup pipe's read end.
+const TOKEN_WAKER: u64 = 1;
+/// First connection token; monotonically increasing, never reused, so a
+/// late completion for a dead connection can never hit its successor.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Server tuning knobs. Construct through [`ServeOptions::builder`] —
+/// the field-struct path is deprecated. The zeroed default for the pool
+/// knobs means "resolve from the machine": workers from the core count,
+/// queue depth from the workers. The cache budget defaults to
 /// [`DEFAULT_CACHE_BYTES`]; there `0` means "no result caching"
 /// (singleflight dedup of concurrent identical requests stays active).
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Worker-pool size (`0` = available cores, at least 2).
+    #[deprecated(since = "0.10.0", note = "construct via ServeOptions::builder()")]
     pub workers: usize,
     /// Bounded queue depth before requests bounce as `Busy`
     /// (`0` = `4 × workers`).
+    #[deprecated(since = "0.10.0", note = "construct via ServeOptions::builder()")]
     pub queue_depth: usize,
     /// Byte budget of the deterministic query-result cache
     /// (`0` = disabled).
+    #[deprecated(since = "0.10.0", note = "construct via ServeOptions::builder()")]
     pub cache_bytes: u64,
     /// Seconds between periodic metrics snapshots written to
     /// `<store>/metrics-<unix-millis>.json` (`0` = periodic snapshots
     /// off). A final snapshot is always written at shutdown.
+    #[deprecated(since = "0.10.0", note = "construct via ServeOptions::builder()")]
     pub snapshot_secs: u64,
     /// Serve as a read-only **replica** of the leader at this address:
-    /// spawn a sync thread tailing its journal, refuse `Build` and wire
+    /// drive a sync session tailing its journal, refuse `Build` and wire
     /// `Shutdown` with `ReadOnly` until a `Promote` request arrives. The
     /// store should have been opened with
     /// [`motivo_store::UrnStore::open_replica`].
+    #[deprecated(since = "0.10.0", note = "construct via ServeOptions::builder()")]
     pub replica_of: Option<String>,
     /// Milliseconds between replication polls once caught up
     /// (`0` = 100 ms). Only meaningful with `replica_of`.
+    #[deprecated(since = "0.10.0", note = "construct via ServeOptions::builder()")]
     pub repl_poll_ms: u64,
 }
 
+#[allow(deprecated)] // the Default impl seeds the builder
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
         ServeOptions {
@@ -110,7 +160,15 @@ impl Default for ServeOptions {
     }
 }
 
+#[allow(deprecated)] // internal readers of the deprecated field surface
 impl ServeOptions {
+    /// Starts a [`ServeOptionsBuilder`] seeded with the defaults.
+    pub fn builder() -> ServeOptionsBuilder {
+        ServeOptionsBuilder {
+            opts: ServeOptions::default(),
+        }
+    }
+
     fn resolved_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
@@ -131,12 +189,101 @@ impl ServeOptions {
     }
 }
 
+/// Validating builder for [`ServeOptions`] — the supported construction
+/// path. Every setter keeps the "0 means resolve from the machine"
+/// convention of the underlying knobs; [`ServeOptionsBuilder::build`]
+/// rejects combinations a serve loop cannot honor, at configuration time
+/// instead of as runtime surprises.
+///
+/// ```
+/// use motivo_server::ServeOptions;
+/// let opts = ServeOptions::builder()
+///     .workers(2)
+///     .queue_depth(64)
+///     .build()
+///     .unwrap();
+/// assert!(ServeOptions::builder()
+///     .repl_poll_ms(50) // needs replica_of
+///     .build()
+///     .is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServeOptionsBuilder {
+    opts: ServeOptions,
+}
+
+#[allow(deprecated)] // the builder is the sanctioned writer of the fields
+impl ServeOptionsBuilder {
+    /// Worker-pool size (`0` = available cores, at least 2).
+    pub fn workers(mut self, workers: usize) -> ServeOptionsBuilder {
+        self.opts.workers = workers;
+        self
+    }
+
+    /// Bounded queue depth before requests bounce as `Busy`
+    /// (`0` = `4 × workers`).
+    pub fn queue_depth(mut self, queue_depth: usize) -> ServeOptionsBuilder {
+        self.opts.queue_depth = queue_depth;
+        self
+    }
+
+    /// Byte budget of the query-result cache (`0` = disabled).
+    pub fn cache_bytes(mut self, cache_bytes: u64) -> ServeOptionsBuilder {
+        self.opts.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Seconds between periodic metrics snapshots (`0` = off).
+    pub fn snapshot_secs(mut self, snapshot_secs: u64) -> ServeOptionsBuilder {
+        self.opts.snapshot_secs = snapshot_secs;
+        self
+    }
+
+    /// Serve as a read-only replica of the leader at `leader`.
+    pub fn replica_of(mut self, leader: impl Into<String>) -> ServeOptionsBuilder {
+        self.opts.replica_of = Some(leader.into());
+        self
+    }
+
+    /// Milliseconds between replication polls once caught up
+    /// (`0` = 100 ms). Requires [`ServeOptionsBuilder::replica_of`].
+    pub fn repl_poll_ms(mut self, repl_poll_ms: u64) -> ServeOptionsBuilder {
+        self.opts.repl_poll_ms = repl_poll_ms;
+        self
+    }
+
+    /// Validates and produces the options.
+    pub fn build(self) -> Result<ServeOptions, String> {
+        let o = &self.opts;
+        if o.workers > MAX_WORKERS {
+            return Err(format!(
+                "workers = {} exceeds the {MAX_WORKERS}-thread cap",
+                o.workers
+            ));
+        }
+        if o.workers > 0 && o.queue_depth > 0 && o.queue_depth < o.workers {
+            return Err(format!(
+                "queue_depth = {} is below workers = {}; a queue shallower than \
+                 the pool guarantees idle workers",
+                o.queue_depth, o.workers
+            ));
+        }
+        if o.repl_poll_ms > 0 && o.replica_of.is_none() {
+            return Err("repl_poll_ms is set but replica_of is not; the poll \
+                        interval only applies to a replica's sync session"
+                .into());
+        }
+        Ok(self.opts)
+    }
+}
+
 /// What a serve loop did, returned by [`Server::join`].
 #[derive(Clone, Debug, Default)]
 pub struct ServeReport {
     /// Frames parsed as requests (including ones answered `Busy`).
     pub requests: u64,
-    /// Requests bounced by backpressure.
+    /// Requests bounced by backpressure (full queue or a connection past
+    /// its pipelining cap).
     pub busy_rejections: u64,
     /// Connections accepted.
     pub connections: u64,
@@ -152,11 +299,11 @@ pub struct ServeReport {
     pub metrics_path: Option<PathBuf>,
 }
 
-/// The shutdown signal: a flag plus a self-connect poke that unblocks the
-/// accept loop exactly once.
+/// The shutdown signal: a flag plus the reactor's wakeup pipe, so a
+/// trigger from any thread interrupts a blocked poll exactly once.
 struct Signal {
     flag: AtomicBool,
-    poke_addr: SocketAddr,
+    waker: reactor::Waker,
 }
 
 impl Signal {
@@ -166,28 +313,83 @@ impl Signal {
 
     fn trigger(&self) {
         if !self.flag.swap(true, Ordering::SeqCst) {
-            // Wake the accept loop; an error just means it wasn't blocked.
-            let _ = TcpStream::connect_timeout(&self.poke_addr, Duration::from_secs(1));
+            self.waker.wake();
         }
     }
 }
 
+/// Serving tallies. Plain integers: only the reactor thread writes them.
 #[derive(Default)]
-struct Counters {
-    requests: AtomicU64,
-    busy: AtomicU64,
-    connections: AtomicU64,
+struct Tallies {
+    requests: u64,
+    busy: u64,
+    connections: u64,
 }
 
-/// One accepted request, queued for the pool.
-struct Job {
-    /// The client's `"id"`, echoed into the response.
-    id: Value,
-    req: Request,
-    writer: Arc<Mutex<TcpStream>>,
-    /// When the reader queued this job — the queue-wait side of the
-    /// `server.queue_wait` / `server.service` latency split.
-    enqueued: Instant,
+/// One unit of pool work. Timer-driven work (replica sync, metrics
+/// snapshots) rides the same queue as requests so the pool is the only
+/// place anything blocks.
+enum Job {
+    /// An accepted wire request.
+    Request {
+        /// The connection the response belongs to.
+        token: u64,
+        /// The client's `"id"`, echoed into the response.
+        id: Value,
+        req: Request,
+        /// When the reactor queued this job — the queue-wait side of the
+        /// `server.queue_wait` / `server.service` latency split.
+        enqueued: Instant,
+    },
+    /// One fetch/apply round of the replica's sync session.
+    SyncStep,
+    /// One periodic metrics snapshot.
+    Snapshot,
+}
+
+/// What a worker hands back to the reactor when a job finishes.
+enum Completion {
+    /// A response ready to be queued on its connection's write buffer.
+    Response { token: u64, text: String },
+    /// The sync step finished; re-arm the sync timer after `delay`.
+    SyncDone { delay: Duration },
+    SnapshotDone,
+}
+
+/// The worker → reactor return path: completed jobs pile up under a
+/// mutex and the wakeup pipe interrupts the reactor's poll. Workers
+/// never touch sockets — ownership of every fd stays with the reactor.
+struct Handback {
+    done: Mutex<Vec<Completion>>,
+    waker: reactor::Waker,
+}
+
+impl Handback {
+    fn complete(&self, c: Completion) {
+        self.done.lock().expect("handback poisoned").push(c);
+        self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.done.lock().expect("handback poisoned"))
+    }
+}
+
+/// One connection's reactor state: the socket plus the read and write
+/// halves of its frame state machine.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameReader,
+    wbuf: WriteBuf,
+    /// The interest set currently registered in the poller, reconciled
+    /// against the desired set after every event round.
+    registered: Interest,
+    /// Requests accepted from this connection whose responses are still
+    /// owed — the pipelining counter behind [`proto::MAX_PIPELINE`].
+    in_flight: usize,
+    /// The peer closed its write side (EOF); what it is still owed gets
+    /// flushed, then the connection closes.
+    peer_closed: bool,
 }
 
 /// A running daemon. Dropping the handle shuts it down and joins it.
@@ -208,20 +410,15 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        // Poke a loopback route even when bound to a wildcard address.
-        let poke_ip = if addr.ip().is_unspecified() {
-            IpAddr::V4(Ipv4Addr::LOCALHOST)
-        } else {
-            addr.ip()
-        };
+        let (waker, wake_rx) = reactor::wake_pair()?;
         let signal = Arc::new(Signal {
             flag: AtomicBool::new(false),
-            poke_addr: SocketAddr::new(poke_ip, addr.port()),
+            waker,
         });
         let loop_signal = signal.clone();
         let main = std::thread::Builder::new()
             .name("motivo-serve".into())
-            .spawn(move || serve_loop(store, listener, loop_signal, opts))?;
+            .spawn(move || serve_loop(store, listener, wake_rx, loop_signal, opts))?;
         Ok(Server {
             addr,
             signal,
@@ -256,9 +453,11 @@ impl Drop for Server {
     }
 }
 
+#[allow(deprecated)] // reads the pre-builder ServeOptions field surface
 fn serve_loop(
     store: Arc<UrnStore>,
     listener: TcpListener,
+    wake_rx: reactor::WakeReader,
     signal: Arc<Signal>,
     opts: ServeOptions,
 ) -> ServeReport {
@@ -276,101 +475,70 @@ fn serve_loop(
         metrics: &metrics,
         repl: &repl,
     };
-    let counters = Counters::default();
+    let mut tallies = Tallies::default();
+    let handback = Handback {
+        done: Mutex::new(Vec::new()),
+        waker: signal.waker.clone(),
+    };
+    let snapshot_period = (opts.snapshot_secs > 0).then(|| Duration::from_secs(opts.snapshot_secs));
+    // The replica's sync session is a driver stepped on the worker pool,
+    // not a thread. It names itself after its own serve address, so the
+    // leader's `ReplStatus` reads like a topology map.
+    let sync_driver = opts.replica_of.clone().map(|leader| {
+        let name = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "replica".into());
+        let poll = Duration::from_millis(if opts.repl_poll_ms > 0 {
+            opts.repl_poll_ms
+        } else {
+            100
+        });
+        Mutex::new(SyncDriver::new(
+            &store,
+            &repl,
+            repl::replica::SyncOptions { leader, name, poll },
+        ))
+    });
 
     std::thread::scope(|s| {
         let (tx, rx) = channel::bounded::<Job>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         for i in 0..workers {
             let rx = rx.clone();
-            let engine = &engine;
+            let (engine, handback) = (&engine, &handback);
+            let sync = sync_driver.as_ref();
             std::thread::Builder::new()
                 .name(format!("motivo-serve-worker-{i}"))
-                .spawn_scoped(s, move || worker_loop(&rx, engine))
+                .spawn_scoped(s, move || worker_loop(&rx, engine, handback, sync))
                 .expect("spawn worker");
         }
-        if opts.snapshot_secs > 0 {
-            let (store, metrics, signal) = (&store, &metrics, &signal);
-            let period = Duration::from_secs(opts.snapshot_secs);
-            std::thread::Builder::new()
-                .name("motivo-serve-snapshot".into())
-                .spawn_scoped(s, move || {
-                    let mut last = Instant::now();
-                    while !signal.is_set() {
-                        std::thread::sleep(POLL_INTERVAL);
-                        if last.elapsed() >= period {
-                            last = Instant::now();
-                            if let Err(e) = write_metrics_snapshot(store, metrics) {
-                                eprintln!("motivo-serve: metrics snapshot failed: {e}");
-                            }
-                        }
-                    }
-                })
-                .expect("spawn snapshot writer");
-        }
-        if let Some(leader) = opts.replica_of.clone() {
-            let (store, repl, signal) = (&store, &repl, &signal);
-            let poll = Duration::from_millis(if opts.repl_poll_ms > 0 {
-                opts.repl_poll_ms
-            } else {
-                100
-            });
-            // The replica names itself after its own serve address, so the
-            // leader's `ReplStatus` reads like a topology map.
-            let name = listener
-                .local_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| "replica".into());
-            std::thread::Builder::new()
-                .name("motivo-serve-sync".into())
-                .spawn_scoped(s, move || {
-                    let sync_opts = repl::replica::SyncOptions { leader, name, poll };
-                    repl::replica::sync_loop(store, repl, &sync_opts, &|| signal.is_set());
-                })
-                .expect("spawn replication sync");
-        }
-
-        loop {
-            let stream = match listener.accept() {
-                Ok((stream, _)) => stream,
-                Err(e) => {
-                    if signal.is_set() {
-                        break;
-                    }
-                    eprintln!("motivo-serve: accept failed: {e}");
-                    std::thread::sleep(POLL_INTERVAL);
-                    continue;
-                }
-            };
-            if signal.is_set() {
-                break; // likely the shutdown poke itself
-            }
-            // Response frames must not sit in Nagle's buffer waiting for
-            // an ACK; serving latency is the product here.
-            stream.set_nodelay(true).ok();
-            counters.connections.fetch_add(1, Ordering::Relaxed);
-            let tx = tx.clone();
-            let (signal, counters, metrics, repl) = (&signal, &counters, &metrics, &repl);
-            std::thread::Builder::new()
-                .name("motivo-serve-conn".into())
-                .spawn_scoped(s, move || {
-                    connection_loop(stream, tx, signal, counters, metrics, repl)
-                })
-                .expect("spawn connection reader");
-        }
-        drop(tx); // workers drain the accepted backlog, then exit
+        reactor_loop(
+            listener,
+            &wake_rx,
+            tx,
+            &signal,
+            &mut tallies,
+            &metrics,
+            &repl,
+            &handback,
+            snapshot_period,
+            sync_driver.is_some(),
+        );
+        // `tx` was consumed by the reactor and dropped when it returned;
+        // the workers drain the accepted backlog, then exit.
     });
+    if let Some(driver) = &sync_driver {
+        driver.lock().expect("sync driver poisoned").finish();
+    }
 
-    // Every worker and reader has exited; flush serving stats.
+    // Every worker has exited; flush serving stats.
     let per_urn: Vec<Value> = engine
         .query
         .per_urn_stats()
         .iter()
         .map(|(id, st)| json!({"id": id.to_string(), "stats": proto::query_stats_json(st)}))
         .collect();
-    let report_requests = counters.requests.load(Ordering::Relaxed);
-    let report_busy = counters.busy.load(Ordering::Relaxed);
-    let report_connections = counters.connections.load(Ordering::Relaxed);
     let query_cache = engine.cache.stats();
     let per_kind = metrics.kind_stats();
     let per_kind_json: Vec<Value> = per_kind
@@ -378,9 +546,9 @@ fn serve_loop(
         .map(crate::metrics::kind_stats_json)
         .collect();
     let body = json!({
-        "requests": report_requests,
-        "busy_rejections": report_busy,
-        "connections": report_connections,
+        "requests": tallies.requests,
+        "busy_rejections": tallies.busy,
+        "connections": tallies.connections,
         "total": proto::query_stats_json(&engine.query.total_stats()),
         "per_urn": per_urn,
         "per_kind": per_kind_json,
@@ -404,9 +572,9 @@ fn serve_loop(
     };
 
     ServeReport {
-        requests: report_requests,
-        busy_rejections: report_busy,
-        connections: report_connections,
+        requests: tallies.requests,
+        busy_rejections: tallies.busy,
+        connections: tallies.connections,
         query_cache,
         per_kind,
         stats_path,
@@ -429,144 +597,319 @@ fn write_metrics_snapshot(
     store.write_sidecar(&format!("metrics-{millis}.json"), body.as_bytes())
 }
 
-/// Fills `buf` from `r`, re-checking the shutdown signal on every read
-/// timeout. `Ok(false)` means the read should stop without a frame: clean
-/// EOF at a frame boundary, or shutdown while blocked.
-fn read_full(
-    r: &mut TcpStream,
-    buf: &mut [u8],
-    at_boundary: bool,
-    signal: &Signal,
-) -> std::io::Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 && at_boundary {
-                    Ok(false)
-                } else {
-                    Err(std::io::ErrorKind::UnexpectedEof.into())
-                };
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                if signal.is_set() {
-                    // Drain policy: a request is "accepted" once its whole
-                    // frame arrived; a partially transmitted frame at
-                    // shutdown is abandoned with the connection.
-                    return Ok(false);
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
-}
-
-/// Reads one frame, honoring the shutdown signal while blocked.
-fn read_frame_interruptible(
-    r: &mut TcpStream,
-    signal: &Signal,
-) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    if !read_full(r, &mut len, true, signal)? {
-        return Ok(None);
-    }
-    let len = u32::from_le_bytes(len) as usize;
-    if len > proto::MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!(
-                "frame of {len} bytes exceeds the {}-byte cap",
-                proto::MAX_FRAME
-            ),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    if !read_full(r, &mut payload, false, signal)? {
-        return Ok(None);
-    }
-    Ok(Some(payload))
-}
-
-fn respond(writer: &Mutex<TcpStream>, response: &Value) {
-    respond_text(
-        writer,
-        &serde_json::to_string(response).expect("response serialize"),
-    );
-}
-
-fn respond_text(writer: &Mutex<TcpStream>, text: &str) {
-    let mut stream = writer.lock().expect("connection writer poisoned");
-    if let Err(e) = proto::write_frame(&mut *stream, text.as_bytes()) {
-        // The client is gone or stalled past the write timeout; responses
-        // to a dead connection are droppable by definition.
-        eprintln!("motivo-serve: response write failed: {e}");
-    }
-}
-
-/// Per-connection reader: parses frames, answers `Ping`/`Shutdown` and all
-/// error paths inline, and queues real work — never blocking on the queue,
-/// so a saturated pool turns into `Busy` replies instead of latency.
-fn connection_loop(
-    stream: TcpStream,
+/// The readiness loop. Owns the listener, the wakeup pipe's read end, and
+/// every connection; returns once a drain completes (every accepted job
+/// answered and flushed, or [`WRITE_TIMEOUT`] elapsed on the stragglers).
+#[allow(clippy::too_many_arguments)] // the reactor is the meeting point of every serve-loop concern
+fn reactor_loop(
+    listener: TcpListener,
+    wake_rx: &reactor::WakeReader,
     tx: Sender<Job>,
     signal: &Signal,
-    counters: &Counters,
+    tallies: &mut Tallies,
     metrics: &ServerMetrics,
     repl: &ReplShared,
+    handback: &Handback,
+    snapshot_period: Option<Duration>,
+    sync: bool,
 ) {
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("motivo-serve: cannot create poller: {e}");
+            return;
+        }
+    };
+    if let Err(e) = listener
+        .set_nonblocking(true)
+        .and_then(|()| poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ))
+        .and_then(|()| poller.add(wake_rx.fd(), TOKEN_WAKER, Interest::READ))
+    {
+        eprintln!("motivo-serve: cannot register reactor fds: {e}");
         return;
     }
-    let writer = match stream.try_clone() {
-        Ok(w) => {
-            let _ = w.set_write_timeout(Some(WRITE_TIMEOUT));
-            Arc::new(Mutex::new(w))
-        }
-        Err(_) => return,
-    };
-    let mut reader = stream;
+
+    let mut events: Vec<reactor::Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = TOKEN_FIRST_CONN;
+    // Jobs queued minus completions taken — the drain's exit ledger.
+    let mut outstanding: u64 = 0;
+    let mut draining = false;
+    let mut drain_deadline: Option<Instant> = None;
+    let mut tx = Some(tx);
+    let mut listener = Some(listener);
+
+    let now = Instant::now();
+    let mut next_sync = sync.then_some(now);
+    let mut sync_inflight = false;
+    let mut next_snapshot = snapshot_period.map(|p| now + p);
+    let mut snapshot_inflight = false;
 
     loop {
-        let payload = match read_frame_interruptible(&mut reader, signal) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return,
-            Err(_) => return, // torn frame / oversize / connection error
-        };
-        counters.requests.fetch_add(1, Ordering::Relaxed);
-        handle_frame(&payload, &writer, &tx, signal, counters, metrics, repl);
-        // A reader must not outlive the shutdown signal just because its
-        // client keeps sending (Pings and garbage included): its queue
-        // sender would keep the workers from ever seeing the channel
-        // close, stalling the drain forever. Answer the frame in hand,
-        // then exit — workers still answer this connection's accepted
-        // requests through the shared writer.
-        if signal.is_set() {
-            return;
+        let now = Instant::now();
+
+        // Fire due timers by queueing jobs; a full queue retries shortly.
+        if !draining {
+            if repl.sync_stopped() {
+                next_sync = None; // promotion: the sync timer dies with the session
+            }
+            if let Some(due) = next_sync {
+                if due <= now && !sync_inflight {
+                    next_sync = match tx.as_ref().map(|t| t.try_send(Job::SyncStep)) {
+                        Some(Ok(())) => {
+                            sync_inflight = true;
+                            outstanding += 1;
+                            None // re-armed by the SyncDone completion
+                        }
+                        _ => Some(now + POLL_INTERVAL),
+                    };
+                }
+            }
+            if let Some(due) = next_snapshot {
+                if due <= now && !snapshot_inflight {
+                    next_snapshot = match tx.as_ref().map(|t| t.try_send(Job::Snapshot)) {
+                        Some(Ok(())) => {
+                            snapshot_inflight = true;
+                            outstanding += 1;
+                            snapshot_period.map(|p| now + p)
+                        }
+                        _ => Some(now + POLL_INTERVAL),
+                    };
+                }
+            }
+        }
+
+        // Sleep until readiness, a wakeup, or the nearest timer.
+        let mut timeout = Duration::from_secs(1);
+        for t in [next_sync, next_snapshot, drain_deadline].into_iter().flatten() {
+            timeout = timeout.min(t.saturating_duration_since(now));
+        }
+        if let Err(e) = poller.wait(&mut events, Some(timeout)) {
+            eprintln!("motivo-serve: poll failed: {e}");
+            std::thread::sleep(POLL_INTERVAL); // don't spin on a broken poller
+        }
+
+        for ev in &events {
+            match ev.token {
+                TOKEN_WAKER => wake_rx.drain(),
+                TOKEN_LISTENER => {
+                    let Some(l) = listener.as_ref() else { continue };
+                    loop {
+                        match l.accept() {
+                            Ok((stream, _)) => {
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                // Response frames must not sit in Nagle's
+                                // buffer waiting for an ACK; serving
+                                // latency is the product here.
+                                stream.set_nodelay(true).ok();
+                                tallies.connections += 1;
+                                let token = next_token;
+                                next_token += 1;
+                                if poller
+                                    .add(stream.as_raw_fd(), token, Interest::READ)
+                                    .is_err()
+                                {
+                                    continue; // kernel refused; drop the connection
+                                }
+                                conns.insert(
+                                    token,
+                                    Conn {
+                                        stream,
+                                        frames: FrameReader::new(),
+                                        wbuf: WriteBuf::new(),
+                                        registered: Interest::READ,
+                                        in_flight: 0,
+                                        peer_closed: false,
+                                    },
+                                );
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) => {
+                                eprintln!("motivo-serve: accept failed: {e}");
+                                break;
+                            }
+                        }
+                    }
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let fd = conn.stream.as_raw_fd();
+                    let mut failed = false;
+                    if ev.readable && !conn.peer_closed && !draining {
+                        match drain_readable(&mut conn.stream, &mut scratch, &mut conn.frames) {
+                            Ok(eof) => {
+                                loop {
+                                    match conn.frames.next_frame() {
+                                        Ok(Some(payload)) => {
+                                            tallies.requests += 1;
+                                            handle_frame(
+                                                &payload,
+                                                token,
+                                                conn,
+                                                tx.as_ref(),
+                                                signal,
+                                                metrics,
+                                                repl,
+                                                tallies,
+                                                &mut outstanding,
+                                            );
+                                        }
+                                        Ok(None) => break,
+                                        // Oversized announcement: protocol
+                                        // error, fatal to the connection.
+                                        Err(_) => {
+                                            failed = true;
+                                            break;
+                                        }
+                                    }
+                                }
+                                if eof {
+                                    conn.peer_closed = true;
+                                }
+                            }
+                            Err(_) => failed = true,
+                        }
+                    }
+                    if !failed && ev.writable && !conn.wbuf.is_empty() {
+                        failed = conn.wbuf.flush(&mut conn.stream).is_err();
+                    }
+                    if failed {
+                        let _ = poller.remove(fd);
+                        conns.remove(&token);
+                    }
+                }
+            }
+        }
+
+        // Collect finished jobs from the workers.
+        for c in handback.take() {
+            match c {
+                Completion::Response { token, text } => {
+                    outstanding -= 1;
+                    if let Some(conn) = conns.get_mut(&token) {
+                        conn.in_flight -= 1;
+                        conn.wbuf.push_frame(text.as_bytes());
+                    }
+                    // A vanished token means the connection died first;
+                    // its response is droppable by definition.
+                }
+                Completion::SyncDone { delay } => {
+                    outstanding -= 1;
+                    sync_inflight = false;
+                    if !draining && !repl.sync_stopped() {
+                        next_sync = Some(Instant::now() + delay);
+                    }
+                }
+                Completion::SnapshotDone => {
+                    outstanding -= 1;
+                    snapshot_inflight = false;
+                }
+            }
+        }
+
+        // Drain transition: stop accepting and reading, answer what had
+        // already fully arrived, let the pool finish what it accepted.
+        if signal.is_set() && !draining {
+            draining = true;
+            drain_deadline = Some(Instant::now() + WRITE_TIMEOUT);
+            if let Some(l) = listener.take() {
+                let _ = poller.remove(l.as_raw_fd());
+            }
+            next_sync = None;
+            next_snapshot = None;
+            for (&token, conn) in conns.iter_mut() {
+                while let Ok(Some(payload)) = conn.frames.next_frame() {
+                    // Routed to `ShuttingDown` (or answered inline) by the
+                    // signal check inside — a frame that fully arrived
+                    // before the drain is answered, never ignored.
+                    tallies.requests += 1;
+                    handle_frame(
+                        &payload,
+                        token,
+                        conn,
+                        None,
+                        signal,
+                        metrics,
+                        repl,
+                        tallies,
+                        &mut outstanding,
+                    );
+                }
+            }
+            tx = None; // workers exit once the accepted backlog drains
+        }
+
+        // Per-connection maintenance: flush what the completions queued,
+        // drop dead consumers, close what is finished, reconcile interest.
+        conns.retain(|&token, conn| {
+            if !conn.wbuf.is_empty() && conn.wbuf.flush(&mut conn.stream).is_err() {
+                let _ = poller.remove(conn.stream.as_raw_fd());
+                return false;
+            }
+            if conn.wbuf.pending() > WBUF_CAP {
+                // A consumer this far behind is indistinguishable from a
+                // dead one; buffering further only converts its stall
+                // into our memory.
+                let _ = poller.remove(conn.stream.as_raw_fd());
+                return false;
+            }
+            if (draining || conn.peer_closed) && conn.in_flight == 0 && conn.wbuf.is_empty() {
+                let _ = poller.remove(conn.stream.as_raw_fd());
+                return false;
+            }
+            let desired = Interest {
+                readable: !draining && !conn.peer_closed,
+                writable: !conn.wbuf.is_empty(),
+            };
+            if desired != conn.registered
+                && poller
+                    .modify(conn.stream.as_raw_fd(), token, desired)
+                    .is_ok()
+            {
+                conn.registered = desired;
+            }
+            true
+        });
+
+        if draining {
+            if outstanding == 0 && conns.is_empty() {
+                break; // every accepted job answered and flushed
+            }
+            if drain_deadline.is_some_and(|d| now >= d) {
+                break; // stalled clients cannot wedge shutdown
+            }
         }
     }
 }
 
-/// Handles one frame: answers `Ping`/`Shutdown` and every error inline,
-/// queues real work without ever blocking on the queue. Every frame lands
-/// in exactly one `server.requests.<kind>` counter — frames that never
-/// parse into a request count under the pseudo-kind `Invalid`.
+/// Queues one response document on the connection's write buffer.
+fn push_response(conn: &mut Conn, response: &Value) {
+    let text = serde_json::to_string(response).expect("response serialize");
+    conn.wbuf.push_frame(text.as_bytes());
+}
+
+/// Handles one frame on the reactor thread: answers `Ping`, `Hello`,
+/// `Shutdown`, and every error path inline, queues real work without ever
+/// blocking on the queue. Every frame lands in exactly one
+/// `server.requests.<kind>` counter — frames that never parse into a
+/// request count under the pseudo-kind `Invalid`.
+#[allow(clippy::too_many_arguments)] // one frame touches every reactor concern
 fn handle_frame(
     payload: &[u8],
-    writer: &Arc<Mutex<TcpStream>>,
-    tx: &Sender<Job>,
+    token: u64,
+    conn: &mut Conn,
+    tx: Option<&Sender<Job>>,
     signal: &Signal,
-    counters: &Counters,
     metrics: &ServerMetrics,
     repl: &ReplShared,
+    tallies: &mut Tallies,
+    outstanding: &mut u64,
 ) {
     let doc = match std::str::from_utf8(payload)
         .map_err(|_| "frame is not UTF-8".to_string())
@@ -577,8 +920,8 @@ fn handle_frame(
             let invalid = metrics.kind("Invalid");
             invalid.requests.inc();
             invalid.errors.inc();
-            return respond(
-                writer,
+            return push_response(
+                conn,
                 &proto::error_response(&json!(null), ErrorKind::BadRequest, &msg),
             );
         }
@@ -590,10 +933,7 @@ fn handle_frame(
             let invalid = metrics.kind("Invalid");
             invalid.requests.inc();
             invalid.errors.inc();
-            return respond(
-                writer,
-                &proto::error_response(&id, ErrorKind::BadRequest, &msg),
-            );
+            return push_response(conn, &proto::error_response(&id, ErrorKind::BadRequest, &msg));
         }
     };
     let kind = req.kind();
@@ -603,7 +943,14 @@ fn handle_frame(
         // Answered inline: must work even with a saturated queue.
         Request::Ping => {
             let t0 = Instant::now();
-            respond(writer, &proto::ok_response(&id, json!({"pong": true})));
+            push_response(conn, &proto::ok_response(&id, json!({"pong": true})));
+            metrics.record_inline(kind, t0.elapsed());
+        }
+        // The handshake is inline for the same reason: a client probing
+        // what this server speaks deserves an answer before the pool does.
+        Request::Hello { .. } => {
+            let t0 = Instant::now();
+            push_response(conn, &proto::ok_response(&id, proto::hello_payload()));
             metrics.record_inline(kind, t0.elapsed());
         }
         Request::Shutdown => {
@@ -613,8 +960,8 @@ fn handle_frame(
                 // peer reaching a read replica must not be able to take it
                 // down. Promotion lifts this along with the write gate.
                 metrics.kind(kind).errors.inc();
-                respond(
-                    writer,
+                push_response(
+                    conn,
                     &proto::error_response(
                         &id,
                         ErrorKind::ReadOnly,
@@ -622,8 +969,8 @@ fn handle_frame(
                     ),
                 );
             } else {
-                respond(
-                    writer,
+                push_response(
+                    conn,
                     &proto::ok_response(&id, json!({"shutting_down": true})),
                 );
                 signal.trigger();
@@ -631,10 +978,10 @@ fn handle_frame(
             metrics.record_inline(kind, t0.elapsed());
         }
         req => {
-            if signal.is_set() {
+            if signal.is_set() || tx.is_none() {
                 metrics.kind(kind).errors.inc();
-                return respond(
-                    writer,
+                return push_response(
+                    conn,
                     &proto::error_response(
                         &id,
                         ErrorKind::ShuttingDown,
@@ -642,31 +989,50 @@ fn handle_frame(
                     ),
                 );
             }
-            match tx.try_send(Job {
+            if conn.in_flight >= proto::MAX_PIPELINE {
+                tallies.busy += 1;
+                metrics.kind(kind).errors.inc();
+                return push_response(
+                    conn,
+                    &proto::error_response(
+                        &id,
+                        ErrorKind::Busy,
+                        &format!(
+                            "pipelining cap of {} in-flight requests reached; \
+                             read responses before sending more",
+                            proto::MAX_PIPELINE
+                        ),
+                    ),
+                );
+            }
+            match tx.expect("checked above").try_send(Job::Request {
+                token,
                 id: id.clone(),
                 req,
-                writer: writer.clone(),
                 enqueued: Instant::now(),
             }) {
-                Ok(()) => {}
-                Err(TrySendError::Full(job)) => {
-                    counters.busy.fetch_add(1, Ordering::Relaxed);
+                Ok(()) => {
+                    *outstanding += 1;
+                    conn.in_flight += 1;
+                }
+                Err(TrySendError::Full(_)) => {
+                    tallies.busy += 1;
                     metrics.kind(kind).errors.inc();
-                    respond(
-                        writer,
+                    push_response(
+                        conn,
                         &proto::error_response(
-                            &job.id,
+                            &id,
                             ErrorKind::Busy,
                             "worker queue is full; retry later",
                         ),
                     );
                 }
-                Err(TrySendError::Disconnected(job)) => {
+                Err(TrySendError::Disconnected(_)) => {
                     metrics.kind(kind).errors.inc();
-                    respond(
-                        writer,
+                    push_response(
+                        conn,
                         &proto::error_response(
-                            &job.id,
+                            &id,
                             ErrorKind::ShuttingDown,
                             "worker pool has shut down",
                         ),
@@ -680,25 +1046,54 @@ fn handle_frame(
 /// Pool worker: multi-consumer over the bounded queue (receivers are
 /// single-consumer in std, so workers take turns holding the lock while
 /// blocked in `recv`). Exits when every sender is gone **and** the queue
-/// is empty — that ordering is the drain guarantee.
-fn worker_loop(rx: &Mutex<Receiver<Job>>, engine: &Engine<'_>) {
+/// is empty — that ordering is the drain guarantee. Results go back to
+/// the reactor through the handback, never to a socket.
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    engine: &Engine<'_>,
+    handback: &Handback,
+    sync: Option<&Mutex<SyncDriver<'_>>>,
+) {
     loop {
         let job = match rx.lock().expect("job queue poisoned").recv() {
             Ok(job) => job,
             Err(_) => return, // channel closed and drained
         };
-        engine
-            .metrics
-            .queue_wait
-            .record_duration(job.enqueued.elapsed());
-        let t0 = Instant::now();
-        let (text, is_error) = engine.answer(&job.id, &job.req);
-        // Service time is compute time: the response write is excluded so
-        // one stalled client can't skew every kind's latency histogram.
-        engine
-            .metrics
-            .record_served(job.req.kind(), t0.elapsed(), is_error);
-        respond_text(&job.writer, &text);
+        match job {
+            Job::Request {
+                token,
+                id,
+                req,
+                enqueued,
+            } => {
+                engine
+                    .metrics
+                    .queue_wait
+                    .record_duration(enqueued.elapsed());
+                let t0 = Instant::now();
+                let (text, is_error) = engine.answer(&id, &req);
+                // Service time is compute time: the response write belongs
+                // to the reactor, so one stalled client can't skew every
+                // kind's latency histogram.
+                engine
+                    .metrics
+                    .record_served(req.kind(), t0.elapsed(), is_error);
+                handback.complete(Completion::Response { token, text });
+            }
+            Job::SyncStep => {
+                let delay = match sync {
+                    Some(driver) => driver.lock().expect("sync driver poisoned").step(),
+                    None => POLL_INTERVAL, // a leader never queues SyncStep
+                };
+                handback.complete(Completion::SyncDone { delay });
+            }
+            Job::Snapshot => {
+                if let Err(e) = write_metrics_snapshot(engine.store, engine.metrics) {
+                    eprintln!("motivo-serve: metrics snapshot failed: {e}");
+                }
+                handback.complete(Completion::SnapshotDone);
+            }
+        }
     }
 }
 
@@ -802,6 +1197,10 @@ impl Engine<'_> {
         match Request::parse(doc) {
             Err(msg) => proto::error_envelope_text(&id_text, ErrorKind::BadRequest, &msg),
             Ok(Request::Ping) => proto::ok_envelope_text(&id_text, r#"{"pong":true}"#),
+            Ok(Request::Hello { .. }) => proto::ok_envelope_text(
+                &id_text,
+                &serde_json::to_string(&proto::hello_payload()).expect("hello serialize"),
+            ),
             Ok(Request::Shutdown) | Ok(Request::Batch(_)) => proto::error_envelope_text(
                 &id_text,
                 ErrorKind::BadRequest,
@@ -840,7 +1239,9 @@ impl Engine<'_> {
     fn handle(&self, req: &Request) -> Result<Value, (ErrorKind, String)> {
         let (query, store) = (&self.query, self.store);
         match req {
-            Request::Ping | Request::Shutdown => unreachable!("handled inline by the reader"),
+            Request::Ping | Request::Hello { .. } | Request::Shutdown => {
+                unreachable!("handled inline by the reactor")
+            }
             Request::Batch(_) => unreachable!("expanded by Engine::answer"),
             Request::ListUrns => {
                 let urns: Vec<Value> = store.list().iter().map(proto::urn_json).collect();
@@ -1136,5 +1537,41 @@ mod tests {
             "{} bytes",
             out.len()
         );
+    }
+
+    #[test]
+    #[allow(deprecated)] // asserting the builder writes the legacy fields
+    fn builder_sets_fields_and_validates() {
+        let opts = ServeOptions::builder()
+            .workers(3)
+            .queue_depth(12)
+            .cache_bytes(1 << 20)
+            .snapshot_secs(5)
+            .replica_of("127.0.0.1:9999")
+            .repl_poll_ms(25)
+            .build()
+            .unwrap();
+        assert_eq!((opts.workers, opts.queue_depth), (3, 12));
+        assert_eq!((opts.cache_bytes, opts.snapshot_secs), (1 << 20, 5));
+        assert_eq!(opts.replica_of.as_deref(), Some("127.0.0.1:9999"));
+        assert_eq!(opts.repl_poll_ms, 25);
+
+        // Zeroes keep the resolve-from-the-machine defaults.
+        let opts = ServeOptions::builder().build().unwrap();
+        assert!(opts.resolved_workers() >= 2);
+        assert_eq!(
+            opts.resolved_queue_depth(opts.resolved_workers()),
+            opts.resolved_workers() * 4
+        );
+
+        let err = ServeOptions::builder().workers(MAX_WORKERS + 1).build();
+        assert!(err.unwrap_err().contains("cap"));
+        let err = ServeOptions::builder().workers(8).queue_depth(4).build();
+        assert!(err.unwrap_err().contains("below workers"));
+        let err = ServeOptions::builder().repl_poll_ms(50).build();
+        assert!(err.unwrap_err().contains("replica_of"));
+        // queue_depth >= workers, or either side defaulted, is fine.
+        assert!(ServeOptions::builder().workers(8).queue_depth(8).build().is_ok());
+        assert!(ServeOptions::builder().queue_depth(1).build().is_ok());
     }
 }

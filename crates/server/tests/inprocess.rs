@@ -152,16 +152,12 @@ fn serves_queries_and_matches_in_process_bytes() {
 fn pipelined_requests_match_by_id() {
     let dir = workdir("pipeline");
     let store = seeded_store(&dir);
-    let server = Server::bind(
-        store,
-        "127.0.0.1:0",
-        ServeOptions {
-            workers: 4,
-            queue_depth: 64,
-            ..ServeOptions::default()
-        },
-    )
-    .unwrap();
+    let opts = ServeOptions::builder()
+        .workers(4)
+        .queue_depth(64)
+        .build()
+        .unwrap();
+    let server = Server::bind(store, "127.0.0.1:0", opts).unwrap();
 
     let mut client = Client::connect(server.addr()).unwrap();
     // Fire 8 requests before reading any response.
@@ -207,16 +203,12 @@ fn pipelined_requests_match_by_id() {
 fn overload_answers_busy() {
     let dir = workdir("busy");
     let store = seeded_store(&dir);
-    let server = Server::bind(
-        store,
-        "127.0.0.1:0",
-        ServeOptions {
-            workers: 1,
-            queue_depth: 1,
-            ..ServeOptions::default()
-        },
-    )
-    .unwrap();
+    let opts = ServeOptions::builder()
+        .workers(1)
+        .queue_depth(1)
+        .build()
+        .unwrap();
+    let server = Server::bind(store, "127.0.0.1:0", opts).unwrap();
 
     // Saturate: one slow request occupies the worker, one fills the queue,
     // then a burst must bounce. Fire them all pipelined on one connection.
@@ -269,16 +261,12 @@ fn overload_answers_busy() {
 fn graceful_shutdown_drains_accepted_requests() {
     let dir = workdir("drain");
     let store = seeded_store(&dir);
-    let server = Server::bind(
-        store,
-        "127.0.0.1:0",
-        ServeOptions {
-            workers: 2,
-            queue_depth: 32,
-            ..ServeOptions::default()
-        },
-    )
-    .unwrap();
+    let opts = ServeOptions::builder()
+        .workers(2)
+        .queue_depth(32)
+        .build()
+        .unwrap();
+    let server = Server::bind(store, "127.0.0.1:0", opts).unwrap();
 
     // Fill the pool with slow-ish jobs from several connections.
     let mut conns: Vec<std::net::TcpStream> = (0..6)
@@ -309,6 +297,70 @@ fn graceful_shutdown_drains_accepted_requests() {
     let report = server.join();
     assert!(report.requests >= 6);
     assert!(report.stats_path.is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The typed client surface end-to-end: the `Hello` handshake reports
+/// the server's protocol limits, the purpose-named methods decode into
+/// their reply structs, and the typed estimate matches the raw escape
+/// hatch's bytes for the same seed. A connection that never sends
+/// `Hello` (every other test here) is the old-client compatibility case.
+#[test]
+fn typed_client_and_hello_handshake() {
+    let dir = workdir("typed");
+    let store = seeded_store(&dir);
+    let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let hello = client.hello().unwrap();
+    assert_eq!(hello.proto_version, motivo_server::PROTO_VERSION);
+    assert!(hello.server.starts_with("motivo "), "{}", hello.server);
+    assert!(hello.kinds.iter().any(|k| k == "NaiveEstimates"));
+    assert!(
+        hello.kinds.iter().all(|k| k != "Invalid"),
+        "Invalid is a metrics pseudo-kind, not a dispatchable request"
+    );
+    assert_eq!(hello.max_pipeline, motivo_server::MAX_PIPELINE as u64);
+    assert!(hello.features.iter().any(|f| f == "pipelining"));
+
+    client.ping().unwrap();
+    let urns = client.list_urns().unwrap();
+    assert_eq!(urns.urns.len(), 1);
+    assert_eq!(urns.urns[0].status, "built");
+
+    let est = client.naive_estimates(UrnId(0), 2_000, 7).unwrap();
+    assert_eq!((est.k, est.samples), (4, 2_000));
+    assert!(est.total_count > 0.0);
+    // The typed reply decodes the same payload bytes the raw path sees
+    // (a cache replay, since the request is identical).
+    let raw = client
+        .request(&json!({"type": "NaiveEstimates", "urn": 0, "samples": 2_000, "seed": 7}))
+        .unwrap();
+    assert_eq!(raw.get("total_count").unwrap().as_f64(), Some(est.total_count));
+    assert_eq!(
+        raw.get("classes").unwrap().as_array().unwrap().len(),
+        est.classes.len()
+    );
+
+    let tally = client.sample(UrnId(0), 1_000, 5).unwrap();
+    assert_eq!(
+        tally.classes.iter().map(|c| c.occurrences).sum::<u64>(),
+        1_000
+    );
+
+    let stats = client.stats(None).unwrap();
+    assert!(stats.get("cache").is_some());
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.get("kinds").is_some());
+
+    // Unknown urns surface as typed server errors.
+    match client.naive_estimates(UrnId(99), 10, 1) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "UnknownUrn"),
+        other => panic!("expected UnknownUrn, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    server.join();
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -426,16 +478,12 @@ fn cache_replays_exact_cold_bytes() {
 fn singleflight_coalesces_32_identical_requests() {
     let dir = workdir("singleflight");
     let store = seeded_store(&dir);
-    let server = Server::bind(
-        store,
-        "127.0.0.1:0",
-        ServeOptions {
-            workers: 8,
-            queue_depth: 64,
-            ..ServeOptions::default()
-        },
-    )
-    .unwrap();
+    let opts = ServeOptions::builder()
+        .workers(8)
+        .queue_depth(64)
+        .build()
+        .unwrap();
+    let server = Server::bind(store, "127.0.0.1:0", opts).unwrap();
 
     let clients = 32;
     let payloads: Vec<String> = std::thread::scope(|s| {
@@ -576,17 +624,13 @@ fn batch_answers_in_order_with_per_subrequest_envelopes() {
 fn disabled_cache_recomputes_identical_bytes() {
     let dir = workdir("nocache");
     let store = seeded_store(&dir);
-    let server = Server::bind(
-        store,
-        "127.0.0.1:0",
-        ServeOptions {
-            workers: 2,
-            queue_depth: 16,
-            cache_bytes: 0,
-            ..ServeOptions::default()
-        },
-    )
-    .unwrap();
+    let opts = ServeOptions::builder()
+        .workers(2)
+        .queue_depth(16)
+        .cache_bytes(0)
+        .build()
+        .unwrap();
+    let server = Server::bind(store, "127.0.0.1:0", opts).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
     let req = json!({"type": "NaiveEstimates", "urn": 0, "samples": 2_000, "seed": 3});
     let a = serde_json::to_string(&client.request(&req).unwrap()).unwrap();
@@ -724,15 +768,9 @@ fn metrics_counts_match_issued_requests() {
 fn instrumented_responses_stay_deterministic_across_threads() {
     let dir = workdir("obs-determinism");
     let store = seeded_store(&dir);
-    let server = Server::bind(
-        store,
-        "127.0.0.1:0",
-        ServeOptions {
-            cache_bytes: 0, // force a real recompute per request
-            ..ServeOptions::default()
-        },
-    )
-    .unwrap();
+    // cache_bytes = 0 forces a real recompute per request.
+    let opts = ServeOptions::builder().cache_bytes(0).build().unwrap();
+    let server = Server::bind(store, "127.0.0.1:0", opts).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
     let mut bodies = Vec::new();
     for threads in [1u64, 2, 8] {
@@ -760,15 +798,8 @@ fn instrumented_responses_stay_deterministic_across_threads() {
 fn periodic_metrics_snapshots_are_written() {
     let dir = workdir("snapshots");
     let store = seeded_store(&dir);
-    let server = Server::bind(
-        store,
-        "127.0.0.1:0",
-        ServeOptions {
-            snapshot_secs: 1,
-            ..ServeOptions::default()
-        },
-    )
-    .unwrap();
+    let opts = ServeOptions::builder().snapshot_secs(1).build().unwrap();
+    let server = Server::bind(store, "127.0.0.1:0", opts).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
     client.request(&json!({"type": "Ping"})).unwrap();
     std::thread::sleep(std::time::Duration::from_millis(1400));

@@ -1,5 +1,5 @@
 //! Serving motif counts over TCP: build a store, start the daemon on an
-//! ephemeral port, drive it with the wire client, and shut it down
+//! ephemeral port, drive it with the typed wire client, and shut it down
 //! gracefully — all in one process.
 //!
 //! ```sh
@@ -21,41 +21,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     handle.wait()?;
     println!("built {} into {}", handle.id(), dir.display());
 
-    // The daemon: worker pool + bounded queue over that store.
-    let server = Server::bind(store, "127.0.0.1:0", ServeOptions::default())?;
+    // The daemon: one reactor thread multiplexing every connection, plus
+    // a worker pool behind a bounded queue, configured via the builder.
+    let opts = ServeOptions::builder().workers(2).build()?;
+    let server = Server::bind(store, "127.0.0.1:0", opts)?;
     println!("serving on {}", server.addr());
 
-    // A client drives it over real TCP.
+    // A client drives it over real TCP, starting with the version
+    // handshake (answered inline, so it works even under full load).
     let mut client = Client::connect(server.addr())?;
-    let urns = client.request(&json!({"type": "ListUrns"}))?;
-    println!("urns: {}", serde_json::to_string(&urns)?);
+    let hello = client.hello()?;
+    println!(
+        "connected to {} (proto v{}, {} request kinds, pipeline cap {})",
+        hello.server,
+        hello.proto_version,
+        hello.kinds.len(),
+        hello.max_pipeline
+    );
 
-    let est = client.request(&json!({
-        "type": "NaiveEstimates", "urn": 0, "samples": 20_000, "seed": 3,
-    }))?;
+    let urns = client.list_urns()?;
+    println!("urns: {:?}", urns.urns.iter().map(|u| &u.id).collect::<Vec<_>>());
+
+    let est = client.naive_estimates(UrnId(0), 20_000, 3)?;
     println!(
         "estimated ~{:.3e} induced 4-graphlet copies across {} classes",
-        est.get("total_count")
-            .and_then(|t| t.as_f64())
-            .unwrap_or(0.0),
-        est.get("classes")
-            .and_then(|c| c.as_array())
-            .map(|c| c.len())
-            .unwrap_or(0),
+        est.total_count,
+        est.classes.len()
     );
 
     // The determinism guarantee across the wire: same seed, same bytes —
     // and because the server knows that, the repeat is a cache replay of
-    // the exact payload, not a second estimator run.
+    // the exact payload, not a second estimator run. The raw `request`
+    // escape hatch exposes the payload bytes the guarantee is stated over.
+    let raw_est = client.request(&json!({
+        "type": "NaiveEstimates", "urn": 0, "samples": 20_000, "seed": 3,
+    }))?;
     let again = client.request(&json!({
         "type": "NaiveEstimates", "urn": 0, "samples": 20_000, "seed": 3, "threads": 2,
     }))?;
     assert_eq!(
-        serde_json::to_string(&est)?,
+        serde_json::to_string(&raw_est)?,
         serde_json::to_string(&again)?,
         "a seeded request is byte-identical at any thread count"
     );
-    let stats = client.request(&json!({"type": "Stats"}))?;
+    let stats = client.stats(None)?;
     let qc = stats.get("query_cache").expect("cache counters");
     println!(
         "re-request with the same seed: byte-identical ✓ (cache: {} miss, {} hit)",
@@ -79,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(responses.len(), 3, "in request order");
     assert_eq!(
         serde_json::to_string(&responses[0].get("ok").expect("cached estimate"))?,
-        serde_json::to_string(&est)?,
+        serde_json::to_string(&raw_est)?,
         "the batched estimate replays the cached bytes"
     );
     println!(
@@ -98,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("raw stats envelope: {}", String::from_utf8_lossy(&frame));
 
     // Graceful shutdown over the wire; stats land in the store directory.
-    client.request(&json!({"type": "Shutdown"}))?;
+    client.shutdown()?;
     let report = server.join();
     println!(
         "report: {} requests, {} connections, stats at {:?}",

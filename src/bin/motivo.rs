@@ -763,9 +763,10 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
 }
 
 /// Runs the query daemon until a wire `Shutdown` request arrives. With
-/// `--replica-of` the store opens read-only and a sync thread tails the
-/// leader; the server then refuses `Build` and wire `Shutdown` with a
-/// `ReadOnly` error until a `Promote` request arrives.
+/// `--replica-of` the store opens read-only and the serve loop tails the
+/// leader as a timer-driven sync session; the server then refuses
+/// `Build` and wire `Shutdown` with a `ReadOnly` error until a `Promote`
+/// request arrives.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
         args,
@@ -790,14 +791,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         open_store(&o)?
     };
     let addr: String = o.get_or("addr", "127.0.0.1:7070".into())?;
-    let opts = ServeOptions {
-        workers: o.get_or("workers", 4)?,
-        queue_depth: o.get_or("queue", 0)?,
-        cache_bytes: o.get_or("cache-bytes", motivo::server::DEFAULT_CACHE_BYTES)?,
-        snapshot_secs: o.get_or("snapshot-secs", 0)?,
-        replica_of,
-        repl_poll_ms: o.get_or("poll-ms", 0)?,
-    };
+    let mut builder = ServeOptions::builder()
+        .workers(o.get_or("workers", 4)?)
+        .queue_depth(o.get_or("queue", 0)?)
+        .cache_bytes(o.get_or("cache-bytes", motivo::server::DEFAULT_CACHE_BYTES)?)
+        .snapshot_secs(o.get_or("snapshot-secs", 0)?)
+        .repl_poll_ms(o.get_or("poll-ms", 0)?);
+    if let Some(leader) = replica_of {
+        builder = builder.replica_of(leader);
+    }
+    let opts = builder.build()?;
     let server = Server::bind(Arc::new(store), addr.as_str(), opts)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     // Scripts and tests read this line to learn the ephemeral port.
@@ -848,9 +851,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     };
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let envelope = client
-        .roundtrip_raw(&request_text)
-        .map_err(|e| e.to_string())?;
+    let envelope = client.send_raw(&request_text).map_err(|e| e.to_string())?;
     let parsed: serde_json::Value =
         serde_json::from_str(&envelope).map_err(|e| format!("malformed response: {e}"))?;
     println!(
@@ -882,7 +883,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let ok = client
-        .request(&serde_json::json!({"type": "Metrics"}))
+        .metrics()
         .map_err(|e| format!("Metrics request failed: {e}"))?;
     let field =
         |v: &serde_json::Value, key: &str| v.get(key).and_then(|f| f.as_u64()).unwrap_or_default();
@@ -956,16 +957,18 @@ fn cmd_promote(args: &[String]) -> Result<(), String> {
     };
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let ok = client
-        .request(&serde_json::json!({"type": "Promote"}))
+    let reply = client
+        .promote()
         .map_err(|e| format!("Promote request failed: {e}"))?;
-    let swept = ok.get("swept").and_then(|s| s.as_u64()).unwrap_or(0);
-    println!("promoted {addr} to leader ({swept} interrupted builds swept)");
+    println!(
+        "promoted {addr} to leader ({} interrupted builds swept)",
+        reply.swept
+    );
     Ok(())
 }
 
 /// Prints a server's replication status: its role and offsets, plus
-/// per-replica lag on a leader or sync-loop progress on a replica.
+/// per-replica lag on a leader or sync-session progress on a replica.
 fn cmd_repl(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("status") => cmd_repl_status(&args[1..]),
@@ -981,7 +984,7 @@ fn cmd_repl_status(args: &[String]) -> Result<(), String> {
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let ok = client
-        .request(&serde_json::json!({"type": "ReplStatus"}))
+        .repl_status()
         .map_err(|e| format!("ReplStatus request failed: {e}"))?;
     let field =
         |v: &serde_json::Value, key: &str| v.get(key).and_then(|f| f.as_u64()).unwrap_or_default();

@@ -76,7 +76,10 @@ pub mod prelude {
     pub use crate::graph::{ColorDistribution, Coloring, Graph};
     pub use crate::graphlet::{Graphlet, GraphletRegistry};
     pub use crate::obs::{Histogram, Registry};
-    pub use crate::server::{Client, ClientError, ServeOptions, ServeReport, Server};
+    pub use crate::server::{
+        Client, ClientError, Request, Response, ServeOptions, ServeOptionsBuilder, ServeReport,
+        Server,
+    };
     pub use crate::store::{StoreError, StoreQuery, UrnId, UrnStore};
     pub use crate::table::storage::StorageKind;
     pub use crate::table::RecordCodec;

@@ -189,6 +189,78 @@ fn cli_client_stdin_and_batch_roundtrip() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The reactor holds ≥ 1000 idle connections on a fixed thread count
+/// (read from `/proc/<pid>/status`), while an active connection
+/// pipelining seeded requests still gets responses byte-identical to the
+/// in-process payload — the tentpole claim of the event-driven server.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_holds_1000_idle_connections_on_fixed_threads() {
+    let dir = workdir("idle-conns");
+    let expected = seed_store(&dir, 2_000, 9);
+    let (mut child, addr) = spawn_server(&dir, 2, 64);
+
+    let thread_count = |pid: u32| -> u64 {
+        std::fs::read_to_string(format!("/proc/{pid}/status"))
+            .unwrap()
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .expect("Threads: line in /proc status")
+            .trim()
+            .parse()
+            .unwrap()
+    };
+
+    // A probe request first, so the reactor and pool are warm when the
+    // baseline thread count is taken.
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    client.request(&json!({"type": "Ping"})).unwrap();
+    let threads_before = thread_count(child.id());
+
+    let mut idle: Vec<std::net::TcpStream> = (0..1000)
+        .map(|_| std::net::TcpStream::connect(addr.as_str()).unwrap())
+        .collect();
+
+    // Active traffic while the idle set is held: 16 pipelined seeded
+    // estimates on one connection, every response byte-identical to the
+    // in-process payload.
+    let mut active = std::net::TcpStream::connect(addr.as_str()).unwrap();
+    for i in 0..16u64 {
+        let req = json!({
+            "id": i, "type": "NaiveEstimates", "urn": 0,
+            "samples": 2_000, "seed": 9, "threads": 2,
+        });
+        proto::write_frame(&mut active, serde_json::to_string(&req).unwrap().as_bytes()).unwrap();
+    }
+    for _ in 0..16 {
+        let frame = proto::read_frame(&mut active).unwrap().unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+        assert_eq!(serde_json::to_string(&v.get("ok").unwrap()).unwrap(), expected);
+    }
+
+    // Every idle connection was accepted and still answers — and holding
+    // all 1000 grew the daemon by zero threads.
+    for conn in idle.iter_mut() {
+        proto::write_frame(conn, br#"{"id":"live","type":"Ping"}"#).unwrap();
+        let frame = proto::read_frame(conn)
+            .unwrap()
+            .expect("pong on an idle connection");
+        assert!(std::str::from_utf8(&frame).unwrap().contains("\"pong\""));
+    }
+    assert_eq!(
+        thread_count(child.id()),
+        threads_before,
+        "thread count grew with connection count"
+    );
+
+    drop(idle);
+    client.request(&json!({"type": "Shutdown"})).unwrap();
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "serve exited {status:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Graceful shutdown drains: requests accepted (not `Busy`-rejected)
 /// before the signal all receive real responses; none are dropped.
 #[test]

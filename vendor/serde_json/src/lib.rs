@@ -93,6 +93,20 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Inserts or replaces an object member, preserving insertion order
+    /// for new keys; no-op on non-objects. The stand-in has no `IndexMut`,
+    /// so this is the mutation path for building documents with
+    /// conditional fields.
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Content::Map(entries) = &mut self.0 {
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value.0;
+            } else {
+                entries.push((key.to_string(), value.0));
+            }
+        }
+    }
 }
 
 /// Lowers any `Serialize` value into a [`Value`] (what `json!` uses in
@@ -599,6 +613,17 @@ mod tests {
         // Objects count against the same budget.
         let nested_obj = "{\"a\":".repeat(200) + "1" + &"}".repeat(200);
         assert!(from_str(&nested_obj).is_err());
+    }
+
+    #[test]
+    fn set_inserts_replaces_and_ignores_non_objects() {
+        let mut v = json!({"a": 1});
+        v.set("b", json!(2));
+        v.set("a", json!(3));
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":3,\"b\":2}");
+        let mut arr = json!([1]);
+        arr.set("a", json!(1));
+        assert_eq!(to_string(&arr).unwrap(), "[1]");
     }
 
     /// Duplicate keys: the last one wins, as in real serde_json — a
